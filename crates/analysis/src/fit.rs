@@ -1,0 +1,340 @@
+//! Empirical cost-function fitting.
+//!
+//! Given the `(input size, worst-case cost)` points of a routine's cost
+//! plot, fit a small library of growth models (constant, logarithmic,
+//! linear, linearithmic, quadratic, cubic) by least squares, plus a free
+//! power law via log-log regression, and select the best model with a
+//! parsimony bias: a more complex model must improve adjusted R² by a
+//! margin to displace a simpler one.
+
+use std::fmt;
+
+/// A growth model `cost(n) ≈ a·g(n) + b` (or `a·n^p` for the power law).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Model {
+    /// `g(n) = 1`
+    Constant,
+    /// `g(n) = log₂ n`
+    Logarithmic,
+    /// `g(n) = n`
+    Linear,
+    /// `g(n) = n·log₂ n`
+    Linearithmic,
+    /// `g(n) = n²`
+    Quadratic,
+    /// `g(n) = n³`
+    Cubic,
+    /// `cost(n) = a·n^p` fitted in log-log space.
+    PowerLaw,
+}
+
+impl Model {
+    /// All fixed-shape models, simplest first.
+    pub const FIXED: [Model; 6] = [
+        Model::Constant,
+        Model::Logarithmic,
+        Model::Linear,
+        Model::Linearithmic,
+        Model::Quadratic,
+        Model::Cubic,
+    ];
+
+    fn g(self, n: f64) -> f64 {
+        let n = n.max(1.0);
+        match self {
+            Model::Constant => 1.0,
+            Model::Logarithmic => n.log2(),
+            Model::Linear => n,
+            Model::Linearithmic => n * n.log2().max(1e-9),
+            Model::Quadratic => n * n,
+            Model::Cubic => n * n * n,
+            Model::PowerLaw => unreachable!("power law uses log-log regression"),
+        }
+    }
+
+    /// Complexity rank used by the parsimony rule (lower = simpler).
+    /// The free-exponent power law ranks last so a fixed shape wins ties
+    /// and the power law only surfaces genuinely fractional exponents.
+    fn rank(self) -> u8 {
+        match self {
+            Model::Constant => 0,
+            Model::Logarithmic => 1,
+            Model::Linear => 2,
+            Model::Linearithmic => 3,
+            Model::Quadratic => 4,
+            Model::Cubic => 5,
+            Model::PowerLaw => 6,
+        }
+    }
+
+    /// Big-Theta style name.
+    pub fn asymptotic_name(self) -> &'static str {
+        match self {
+            Model::Constant => "Θ(1)",
+            Model::Logarithmic => "Θ(log n)",
+            Model::Linear => "Θ(n)",
+            Model::Linearithmic => "Θ(n log n)",
+            Model::Quadratic => "Θ(n²)",
+            Model::Cubic => "Θ(n³)",
+            Model::PowerLaw => "Θ(n^p)",
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.asymptotic_name())
+    }
+}
+
+/// Result of fitting one model to a cost plot.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FitResult {
+    /// The fitted model.
+    pub model: Model,
+    /// Scale coefficient `a`.
+    pub a: f64,
+    /// Intercept `b` (fixed-shape models) or unused for the power law.
+    pub b: f64,
+    /// Exponent `p` (power law only; 0 otherwise).
+    pub p: f64,
+    /// Coefficient of determination on the fitted data.
+    pub r2: f64,
+}
+
+impl FitResult {
+    /// Predicted cost at input size `n`.
+    pub fn predict(&self, n: f64) -> f64 {
+        match self.model {
+            Model::PowerLaw => self.a * n.max(1.0).powf(self.p),
+            m => self.a * m.g(n) + self.b,
+        }
+    }
+}
+
+impl fmt::Display for FitResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.model {
+            Model::PowerLaw => write!(
+                f,
+                "≈ {:.3}·n^{:.2} (R²={:.3})",
+                self.a, self.p, self.r2
+            ),
+            m => write!(
+                f,
+                "{} ≈ {:.3}·g(n) + {:.1} (R²={:.3})",
+                m, self.a, self.b, self.r2
+            ),
+        }
+    }
+}
+
+fn r_squared(points: &[(f64, f64)], predict: impl Fn(f64) -> f64) -> f64 {
+    let n = points.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - predict(x)).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        // Degenerate (constant) data: perfect iff residuals vanish.
+        return if ss_res <= 1e-9 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Least-squares fit of `y = a·g(x) + b` for one fixed-shape model.
+pub fn fit_model(points: &[(u64, u64)], model: Model) -> FitResult {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| (x as f64, y as f64))
+        .collect();
+    let n = pts.len() as f64;
+    let gx: Vec<f64> = pts.iter().map(|&(x, _)| model.g(x)).collect();
+    let sum_g: f64 = gx.iter().sum();
+    let sum_y: f64 = pts.iter().map(|&(_, y)| y).sum();
+    let sum_gg: f64 = gx.iter().map(|g| g * g).sum();
+    let sum_gy: f64 = gx.iter().zip(&pts).map(|(g, &(_, y))| g * y).sum();
+    let denom = n * sum_gg - sum_g * sum_g;
+    let (a, b) = if denom.abs() < 1e-12 {
+        (0.0, sum_y / n.max(1.0))
+    } else {
+        let a = (n * sum_gy - sum_g * sum_y) / denom;
+        let b = (sum_y - a * sum_g) / n;
+        (a, b)
+    };
+    let r2 = r_squared(&pts, |x| a * model.g(x) + b);
+    FitResult {
+        model,
+        a,
+        b,
+        p: 0.0,
+        r2,
+    }
+}
+
+/// Power-law fit `y = a·x^p` via linear regression in log-log space
+/// (the approach of Goldsmith et al.'s empirical complexity measurement).
+pub fn fit_power_law(points: &[(u64, u64)]) -> FitResult {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0 && y > 0)
+        .map(|&(x, y)| ((x as f64).ln(), (y as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return FitResult {
+            model: Model::PowerLaw,
+            a: points.first().map(|&(_, y)| y as f64).unwrap_or(0.0),
+            b: 0.0,
+            p: 0.0,
+            r2: 0.0,
+        };
+    }
+    let sx: f64 = pts.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    let (p, ln_a) = if denom.abs() < 1e-12 {
+        (0.0, sy / n)
+    } else {
+        let p = (n * sxy - sx * sy) / denom;
+        (p, (sy - p * sx) / n)
+    };
+    let a = ln_a.exp();
+    let raw: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| (x as f64, y as f64))
+        .collect();
+    let r2 = r_squared(&raw, |x| a * x.max(1.0).powf(p));
+    FitResult {
+        model: Model::PowerLaw,
+        a,
+        b: 0.0,
+        p,
+        r2,
+    }
+}
+
+/// Fits every model and returns the best by adjusted preference: among
+/// fits whose R² is within `tolerance` of the maximum, the simplest model
+/// wins.
+///
+/// # Example
+/// ```
+/// use drms_analysis::fit::{best_fit, Model};
+/// let quad: Vec<(u64, u64)> = (1..20).map(|n| (n, 3 * n * n + 7)).collect();
+/// let fit = best_fit(&quad, 0.01);
+/// assert_eq!(fit.model, Model::Quadratic);
+/// assert!(fit.r2 > 0.999);
+/// ```
+pub fn best_fit(points: &[(u64, u64)], tolerance: f64) -> FitResult {
+    let mut fits: Vec<FitResult> = Model::FIXED
+        .iter()
+        .map(|&m| fit_model(points, m))
+        .collect();
+    fits.push(fit_power_law(points));
+    let best_r2 = fits.iter().map(|f| f.r2).fold(f64::NEG_INFINITY, f64::max);
+    fits.into_iter()
+        .filter(|f| f.r2 >= best_r2 - tolerance)
+        .min_by_key(|f| f.model.rank())
+        .expect("at least one model")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(u64) -> u64) -> Vec<(u64, u64)> {
+        (1..=30).map(|n| (n * 10, f(n * 10))).collect()
+    }
+
+    #[test]
+    fn recovers_linear() {
+        let fit = best_fit(&series(|n| 5 * n + 100), 0.01);
+        assert_eq!(fit.model, Model::Linear);
+        assert!((fit.a - 5.0).abs() < 0.2, "a = {}", fit.a);
+        assert!(fit.r2 > 0.999);
+    }
+
+    #[test]
+    fn recovers_quadratic() {
+        let fit = best_fit(&series(|n| 2 * n * n + n), 0.01);
+        assert_eq!(fit.model, Model::Quadratic);
+        assert!(fit.r2 > 0.999);
+    }
+
+    #[test]
+    fn recovers_constant() {
+        let fit = best_fit(&series(|_| 42), 0.01);
+        assert_eq!(fit.model, Model::Constant);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn recovers_nlogn_over_linear() {
+        let pts: Vec<(u64, u64)> = (1..=40)
+            .map(|i| {
+                let n = i * 50;
+                let nf = n as f64;
+                (n, (3.0 * nf * nf.log2()) as u64)
+            })
+            .collect();
+        let fit = best_fit(&pts, 0.0005);
+        assert_eq!(fit.model, Model::Linearithmic);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let pts: Vec<(u64, u64)> = (1..=25)
+            .map(|i| {
+                let n = i * 8;
+                (n, ((n as f64).powf(1.5) * 2.0) as u64)
+            })
+            .collect();
+        let fit = fit_power_law(&pts);
+        assert!((fit.p - 1.5).abs() < 0.05, "p = {}", fit.p);
+        assert!((fit.a - 2.0).abs() < 0.3, "a = {}", fit.a);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn parsimony_prefers_simpler_on_ties() {
+        // Pure linear data: quadratic fits it perfectly too (a≈0 on n²
+        // term won't happen with single-term models, but cubic etc. reach
+        // similar R²); linear must win under tolerance.
+        let fit = best_fit(&series(|n| 7 * n), 0.005);
+        assert_eq!(fit.model, Model::Linear);
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        assert_eq!(best_fit(&[], 0.01).model, Model::Constant);
+        let single = [(5u64, 17u64)];
+        let fit = best_fit(&single, 0.01);
+        assert!(fit.predict(5.0).is_finite());
+        let two = [(1u64, 1u64), (2, 4)];
+        assert!(best_fit(&two, 0.01).r2.is_finite());
+    }
+
+    #[test]
+    fn display_forms_are_informative() {
+        let fit = best_fit(&series(|n| n * n), 0.01);
+        let s = fit.to_string();
+        assert!(s.contains("R²"));
+        let pl = fit_power_law(&series(|n| n * 3));
+        assert!(pl.to_string().contains("n^"));
+    }
+
+    #[test]
+    fn predict_matches_model() {
+        let fit = fit_model(&series(|n| 2 * n + 1), Model::Linear);
+        let y = fit.predict(1000.0);
+        assert!((y - 2001.0).abs() < 20.0, "prediction {y}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Post-processing of input-sensitive profiles: cost plots, empirical
+//! cost-function fitting and the paper's evaluation metrics.
+//!
+//! * [`plot`] — worst-case cost plots keyed by rms or drms;
+//! * [`fit`] — least-squares fitting of growth models (constant … cubic,
+//!   plus a log-log power law), with parsimony-biased model selection;
+//! * [`metrics`] — routine profile richness, dynamic input volume,
+//!   thread/external input shares, and the "x% of routines ≥ y" curves
+//!   of Figures 11, 12 and 14;
+//! * [`overhead`] — slowdown / space-overhead bookkeeping with geometric
+//!   means (Table 1, Figure 16);
+//! * [`render`] — ASCII scatter plots, CSV / gnuplot emitters, and
+//!   aligned text tables.
+//!
+//! # Example
+//!
+//! ```
+//! use drms_analysis::plot::{CostPlot, InputMetric};
+//! use drms_analysis::fit::Model;
+//! use drms_core::RoutineProfile;
+//!
+//! let mut p = RoutineProfile::default();
+//! for n in 1..30u64 {
+//!     p.record(n, n, 7 * n + 2); // linear routine
+//! }
+//! let fit = CostPlot::of(&p, InputMetric::Drms).fit(0.01);
+//! assert_eq!(fit.model, Model::Linear);
+//! ```
+
+pub mod fit;
+pub mod metrics;
+pub mod overhead;
+pub mod plot;
+pub mod predict;
+pub mod render;
+
+pub use fit::{best_fit, fit_model, fit_power_law, FitResult, Model};
+pub use metrics::{
+    variance_flags, VarianceFlag,
+    induced_split, input_share_curves, richness_curve, routine_metrics, tail_curve, volume_curve,
+    RoutineMetrics,
+};
+pub use overhead::{geometric_mean, Measurement, OverheadTable};
+pub use plot::{CostPlot, InputMetric};
+pub use predict::{crossover, predict, validation_error, Prediction};
+pub use render::{ascii_plot, report_summary, to_csv, to_gnuplot, to_table};

@@ -1,0 +1,335 @@
+//! The paper's evaluation metrics (§4.1).
+//!
+//! * **Routine profile richness** — `(|drms_r| − |rms_r|) / |rms_r|`: the
+//!   relative gain in distinct input-size values when using drms;
+//! * **Dynamic input volume** — `1 − Σrms / Σdrms` over activations;
+//! * **Thread / external input** — the share of (possibly induced)
+//!   first-read operations caused by other threads / by the kernel;
+//! * the *"x% of routines have value ≥ y"* curves of Figures 11, 12
+//!   and 14.
+
+use drms_core::{ProfileReport, RoutineProfile};
+use drms_trace::RoutineId;
+use std::collections::BTreeMap;
+
+/// A *"x% of routines have value ≥ y"* curve: `(percent, value)` points.
+pub type TailCurve = Vec<(f64, f64)>;
+
+/// Per-routine metric record, computed from thread-merged profiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutineMetrics {
+    /// The routine.
+    pub routine: RoutineId,
+    /// Distinct rms values collected (`|rms_r|`).
+    pub distinct_rms: usize,
+    /// Distinct drms values collected (`|drms_r|`).
+    pub distinct_drms: usize,
+    /// `(|drms_r| − |rms_r|) / |rms_r|` — may be negative.
+    pub profile_richness: f64,
+    /// `1 − Σrms / Σdrms` for this routine's activations, in `[0, 1)`.
+    pub input_volume: f64,
+    /// Share of first reads induced by other threads, in `[0, 1]`.
+    pub thread_input: f64,
+    /// Share of first reads induced by the kernel, in `[0, 1]`.
+    pub external_input: f64,
+    /// Total (possibly induced) first-read operations observed.
+    pub first_reads: u64,
+    /// Activations collected.
+    pub calls: u64,
+}
+
+impl RoutineMetrics {
+    fn from_profile(routine: RoutineId, p: &RoutineProfile) -> Self {
+        let distinct_rms = p.distinct_rms();
+        let distinct_drms = p.distinct_drms();
+        let profile_richness = if distinct_rms == 0 {
+            0.0
+        } else {
+            (distinct_drms as f64 - distinct_rms as f64) / distinct_rms as f64
+        };
+        let input_volume = if p.sum_drms == 0 {
+            0.0
+        } else {
+            1.0 - p.sum_rms as f64 / p.sum_drms as f64
+        };
+        RoutineMetrics {
+            routine,
+            distinct_rms,
+            distinct_drms,
+            profile_richness,
+            input_volume,
+            thread_input: p.breakdown.thread_fraction(),
+            external_input: p.breakdown.kernel_fraction(),
+            first_reads: p.breakdown.total(),
+            calls: p.calls,
+        }
+    }
+}
+
+/// Computes per-routine metrics from a report, merging threads first.
+pub fn routine_metrics(report: &ProfileReport) -> Vec<RoutineMetrics> {
+    let merged: BTreeMap<RoutineId, RoutineProfile> = report.merged_by_routine();
+    merged
+        .iter()
+        .map(|(&r, p)| RoutineMetrics::from_profile(r, p))
+        .collect()
+}
+
+/// A *"x% of routines have value ≥ y"* curve: given one value per
+/// routine, returns `(percent, value)` points sorted by decreasing value
+/// (the shape of Figures 11, 12 and 14).
+///
+/// # Example
+/// ```
+/// use drms_analysis::metrics::tail_curve;
+/// let curve = tail_curve(&[1.0, 3.0, 2.0, 4.0]);
+/// assert_eq!(curve[0], (25.0, 4.0)); // 25% of routines have value >= 4
+/// assert_eq!(curve[3], (100.0, 1.0));
+/// ```
+pub fn tail_curve(values: &[f64]) -> TailCurve {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN metric values"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ((i as f64 + 1.0) / n * 100.0, v))
+        .collect()
+}
+
+/// Profile-richness curve of one benchmark (Figure 11): percent of
+/// routines (x) vs. richness ≥ y. Routines with no activation are
+/// excluded.
+pub fn richness_curve(report: &ProfileReport) -> TailCurve {
+    let vals: Vec<f64> = routine_metrics(report)
+        .iter()
+        .filter(|m| m.calls > 0)
+        .map(|m| m.profile_richness)
+        .collect();
+    tail_curve(&vals)
+}
+
+/// Dynamic-input-volume curve of one benchmark (Figure 12), with values
+/// scaled to percent (`×100` as the paper's axis).
+pub fn volume_curve(report: &ProfileReport) -> TailCurve {
+    let vals: Vec<f64> = routine_metrics(report)
+        .iter()
+        .filter(|m| m.calls > 0)
+        .map(|m| m.input_volume * 100.0)
+        .collect();
+    tail_curve(&vals)
+}
+
+/// Thread-input and external-input curves (Figure 14): percent of
+/// routines (x) vs. percent of first reads that are thread/kernel
+/// induced (y).
+pub fn input_share_curves(report: &ProfileReport) -> (TailCurve, TailCurve) {
+    let metrics = routine_metrics(report);
+    let with_reads: Vec<&RoutineMetrics> =
+        metrics.iter().filter(|m| m.first_reads > 0).collect();
+    let thread: Vec<f64> = with_reads.iter().map(|m| m.thread_input * 100.0).collect();
+    let external: Vec<f64> = with_reads
+        .iter()
+        .map(|m| m.external_input * 100.0)
+        .collect();
+    (tail_curve(&thread), tail_curve(&external))
+}
+
+/// Whole-benchmark split of induced first reads between thread and
+/// external input (Figure 15): returns `(thread%, external%)` of the
+/// total induced first reads, summing to 100 (or `(0, 0)` if none).
+pub fn induced_split(report: &ProfileReport) -> (f64, f64) {
+    let (mut th, mut ke) = (0u64, 0u64);
+    for (_, p) in report.iter() {
+        th += p.breakdown.thread_induced;
+        ke += p.breakdown.kernel_induced;
+    }
+    let total = th + ke;
+    if total == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            th as f64 / total as f64 * 100.0,
+            ke as f64 / total as f64 * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_trace::ThreadId;
+
+    type Activations<'a> = &'a [(u64, u64, u64)];
+
+    fn report_with(entries: &[(u32, Activations<'_>)]) -> ProfileReport {
+        let mut rep = ProfileReport::new();
+        for &(rid, acts) in entries {
+            for &(rms, drms, cost) in acts {
+                rep.entry(RoutineId::new(rid), ThreadId::MAIN)
+                    .record(rms, drms, cost);
+            }
+        }
+        rep
+    }
+
+    #[test]
+    fn richness_positive_when_drms_separates() {
+        let rep = report_with(&[(0, &[(5, 10, 1), (5, 20, 2), (5, 30, 3)])]);
+        let m = &routine_metrics(&rep)[0];
+        assert_eq!(m.distinct_rms, 1);
+        assert_eq!(m.distinct_drms, 3);
+        assert!((m.profile_richness - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn richness_can_be_negative() {
+        // Two rms values collapse onto one drms value.
+        let rep = report_with(&[(0, &[(1, 9, 1), (2, 9, 2)])]);
+        let m = &routine_metrics(&rep)[0];
+        assert!(m.profile_richness < 0.0);
+    }
+
+    #[test]
+    fn volume_matches_definition() {
+        let rep = report_with(&[(0, &[(10, 40, 1)])]);
+        let m = &routine_metrics(&rep)[0];
+        assert!((m.input_volume - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_curve_is_monotone() {
+        let c = tail_curve(&[0.5, 0.9, 0.1, 0.7]);
+        assert_eq!(c.len(), 4);
+        assert!(c.windows(2).all(|w| w[0].1 >= w[1].1 && w[0].0 < w[1].0));
+        assert!((c.last().unwrap().0 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn induced_split_sums_to_100() {
+        let mut rep = ProfileReport::new();
+        rep.entry(RoutineId::new(0), ThreadId::MAIN)
+            .breakdown
+            .thread_induced = 30;
+        rep.entry(RoutineId::new(1), ThreadId::MAIN)
+            .breakdown
+            .kernel_induced = 10;
+        let (th, ke) = induced_split(&rep);
+        assert!((th + ke - 100.0).abs() < 1e-9);
+        assert!((th - 75.0).abs() < 1e-9);
+        assert_eq!(induced_split(&ProfileReport::new()), (0.0, 0.0));
+    }
+
+    #[test]
+    fn curves_skip_uncalled_routines() {
+        let mut rep = report_with(&[(0, &[(1, 2, 3)])]);
+        // A routine that only has breakdown counters but no calls.
+        rep.entry(RoutineId::new(9), ThreadId::MAIN).breakdown.plain = 5;
+        assert_eq!(richness_curve(&rep).len(), 1);
+        assert_eq!(volume_curve(&rep).len(), 1);
+        // Only routine 9 has first-read operations recorded; routine 0
+        // has activations but an empty breakdown.
+        let (th, ke) = input_share_curves(&rep);
+        assert_eq!(th.len(), 1, "share curves keep routines with reads");
+        assert_eq!(ke.len(), 1);
+    }
+}
+
+/// A diagnostic flag: a routine whose cost plot shows high cost variance
+/// at some input size — the paper's indicator that the input metric is
+/// missing information (the Figure 6 discussion observes "a high cost
+/// variance for these rms values: this is a good indicator that some
+/// kind of information might not be captured correctly").
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarianceFlag {
+    /// The suspicious routine.
+    pub routine: RoutineId,
+    /// The input size whose activations disagree the most.
+    pub input: u64,
+    /// Activations collapsed onto that input size.
+    pub collapsed_calls: u64,
+    /// Relative cost spread `(max − min) / mean` at that input size.
+    pub spread: f64,
+}
+
+/// Scans the **rms** side of a report for routines whose activations
+/// collapse onto few input sizes with widely varying costs, returning
+/// one flag per suspicious routine (worst input size first). Routines
+/// flagged here are precisely the ones whose workload the drms is likely
+/// to reveal.
+pub fn variance_flags(report: &ProfileReport, min_spread: f64) -> Vec<VarianceFlag> {
+    let mut out = Vec::new();
+    for (routine, p) in report.merged_by_routine() {
+        let mut worst: Option<VarianceFlag> = None;
+        for (&input, stats) in &p.by_rms {
+            if stats.count < 2 {
+                continue;
+            }
+            let spread = stats.spread();
+            if spread >= min_spread
+                && worst.as_ref().map(|w| spread > w.spread).unwrap_or(true)
+            {
+                worst = Some(VarianceFlag {
+                    routine,
+                    input,
+                    collapsed_calls: stats.count,
+                    spread,
+                });
+            }
+        }
+        if let Some(flag) = worst {
+            out.push(flag);
+        }
+    }
+    out.sort_by(|a, b| b.spread.partial_cmp(&a.spread).expect("finite spreads"));
+    out
+}
+
+#[cfg(test)]
+mod variance_tests {
+    use super::*;
+    use drms_trace::ThreadId;
+
+    #[test]
+    fn flags_high_variance_rms_collapses() {
+        let mut rep = ProfileReport::new();
+        // Routine 0: rms collapses 4 calls onto input 67 with costs
+        // spanning 10..1000 — suspicious.
+        let p = rep.entry(RoutineId::new(0), ThreadId::MAIN);
+        for cost in [10, 200, 600, 1000] {
+            p.record(67, cost, cost);
+        }
+        // Routine 1: tight costs — fine.
+        let q = rep.entry(RoutineId::new(1), ThreadId::MAIN);
+        for cost in [100, 101, 102] {
+            q.record(5, cost, cost);
+        }
+        let flags = variance_flags(&rep, 0.5);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].routine, RoutineId::new(0));
+        assert_eq!(flags[0].input, 67);
+        assert_eq!(flags[0].collapsed_calls, 4);
+        assert!(flags[0].spread > 1.0);
+    }
+
+    #[test]
+    fn single_activations_are_never_flagged() {
+        let mut rep = ProfileReport::new();
+        rep.entry(RoutineId::new(0), ThreadId::MAIN).record(1, 1, 1_000_000);
+        assert!(variance_flags(&rep, 0.1).is_empty());
+    }
+
+    #[test]
+    fn flags_sorted_by_spread() {
+        let mut rep = ProfileReport::new();
+        let a = rep.entry(RoutineId::new(0), ThreadId::MAIN);
+        a.record(7, 1, 100);
+        a.record(7, 2, 200);
+        let b = rep.entry(RoutineId::new(1), ThreadId::MAIN);
+        b.record(7, 1, 100);
+        b.record(7, 2, 900);
+        let flags = variance_flags(&rep, 0.1);
+        assert_eq!(flags.len(), 2);
+        assert_eq!(flags[0].routine, RoutineId::new(1), "worst first");
+    }
+}

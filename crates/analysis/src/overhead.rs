@@ -1,0 +1,199 @@
+//! Slowdown and space-overhead accounting (Table 1, Figure 16).
+//!
+//! The paper reports, per tool and benchmark suite, the geometric mean of
+//! the wall-clock slowdown relative to native execution and of the space
+//! overhead relative to the guest's own memory footprint. This module
+//! holds the raw measurements and computes the aggregates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One tool's measurement on one benchmark.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Wall-clock of the instrumented run, in seconds.
+    pub tool_seconds: f64,
+    /// Wall-clock of the native (uninstrumented) run, in seconds.
+    pub native_seconds: f64,
+    /// Host bytes of analysis metadata (shadow memories, tables).
+    pub shadow_bytes: u64,
+    /// Host bytes backing guest memory (the "native" footprint).
+    pub guest_bytes: u64,
+}
+
+impl Measurement {
+    /// Slowdown factor relative to native.
+    pub fn slowdown(&self) -> f64 {
+        if self.native_seconds <= 0.0 {
+            1.0
+        } else {
+            (self.tool_seconds / self.native_seconds).max(1e-9)
+        }
+    }
+
+    /// Space overhead factor: `(guest + shadow) / guest`.
+    pub fn space_overhead(&self) -> f64 {
+        if self.guest_bytes == 0 {
+            1.0
+        } else {
+            (self.guest_bytes + self.shadow_bytes) as f64 / self.guest_bytes as f64
+        }
+    }
+}
+
+/// Geometric mean of a non-empty sequence of positive values.
+///
+/// # Example
+/// ```
+/// use drms_analysis::overhead::geometric_mean;
+/// assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A Table-1 style matrix: per (tool, benchmark) measurements grouped by
+/// suite, with geometric-mean aggregation.
+#[derive(Clone, Debug, Default)]
+pub struct OverheadTable {
+    /// `(suite, tool, benchmark) → measurement`
+    cells: BTreeMap<(String, String, String), Measurement>,
+}
+
+impl OverheadTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, suite: &str, tool: &str, benchmark: &str, m: Measurement) {
+        self.cells
+            .insert((suite.to_owned(), tool.to_owned(), benchmark.to_owned()), m);
+    }
+
+    /// Tools present, in first-recorded order preserved by name sort.
+    pub fn tools(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cells.keys().map(|(_, t, _)| t.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Suites present.
+    pub fn suites(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cells.keys().map(|(s, _, _)| s.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Geometric-mean slowdown of `tool` over the benchmarks of `suite`.
+    pub fn mean_slowdown(&self, suite: &str, tool: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|((s, t, _), _)| s == suite && t == tool)
+            .map(|(_, m)| m.slowdown())
+            .collect();
+        geometric_mean(&vals)
+    }
+
+    /// Geometric-mean space overhead of `tool` over `suite`.
+    pub fn mean_space(&self, suite: &str, tool: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|((s, t, _), _)| s == suite && t == tool)
+            .map(|(_, m)| m.space_overhead())
+            .collect();
+        geometric_mean(&vals)
+    }
+
+    /// Individual measurement, if recorded.
+    pub fn get(&self, suite: &str, tool: &str, benchmark: &str) -> Option<&Measurement> {
+        self.cells
+            .get(&(suite.to_owned(), tool.to_owned(), benchmark.to_owned()))
+    }
+
+    /// Number of recorded cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl fmt::Display for OverheadTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for suite in self.suites() {
+            writeln!(f, "[{suite}] slowdown (geom. mean) / space overhead")?;
+            for tool in self.tools() {
+                writeln!(
+                    f,
+                    "  {tool:<12} {:>8.1}x {:>8.2}x",
+                    self.mean_slowdown(&suite, &tool),
+                    self.mean_space(&suite, &tool)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(tool_s: f64, native_s: f64, shadow: u64, guest: u64) -> Measurement {
+        Measurement {
+            tool_seconds: tool_s,
+            native_seconds: native_s,
+            shadow_bytes: shadow,
+            guest_bytes: guest,
+        }
+    }
+
+    #[test]
+    fn slowdown_and_space_factors() {
+        let x = m(10.0, 2.0, 3000, 1000);
+        assert!((x.slowdown() - 5.0).abs() < 1e-9);
+        assert!((x.space_overhead() - 4.0).abs() < 1e-9);
+        assert_eq!(m(1.0, 0.0, 0, 0).slowdown(), 1.0);
+        assert_eq!(m(1.0, 1.0, 5, 0).space_overhead(), 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-9);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table_aggregates_per_suite_and_tool() {
+        let mut t = OverheadTable::new();
+        t.record("parsec", "nulgrind", "a", m(2.0, 1.0, 0, 100));
+        t.record("parsec", "nulgrind", "b", m(8.0, 1.0, 0, 100));
+        t.record("parsec", "drms", "a", m(20.0, 1.0, 400, 100));
+        t.record("omp", "drms", "c", m(30.0, 1.0, 200, 100));
+        assert!((t.mean_slowdown("parsec", "nulgrind") - 4.0).abs() < 1e-9);
+        assert!((t.mean_slowdown("parsec", "drms") - 20.0).abs() < 1e-9);
+        assert!((t.mean_space("parsec", "drms") - 5.0).abs() < 1e-9);
+        assert_eq!(t.suites(), vec!["omp".to_string(), "parsec".to_string()]);
+        assert!(t.tools().contains(&"drms".to_string()));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let shown = t.to_string();
+        assert!(shown.contains("nulgrind"));
+        assert!(t.get("parsec", "drms", "a").is_some());
+        assert!(t.get("parsec", "drms", "zz").is_none());
+    }
+}

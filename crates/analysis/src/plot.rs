@@ -1,0 +1,114 @@
+//! Cost plots: the bridge between profile reports and charts/fits.
+
+use crate::fit::{best_fit, FitResult};
+use drms_core::RoutineProfile;
+
+/// Which input-size metric keys a cost plot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InputMetric {
+    /// Read memory size (the aprof baseline).
+    Rms,
+    /// Dynamic read memory size (this paper's metric).
+    Drms,
+}
+
+/// A worst-case cost plot of one routine: for each distinct observed
+/// input size, the maximum activation cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostPlot {
+    /// Which metric keys the x axis.
+    pub metric: InputMetric,
+    /// `(input size, worst-case cost)` sorted by input size.
+    pub points: Vec<(u64, u64)>,
+}
+
+impl CostPlot {
+    /// Builds the plot of `profile` under the chosen metric.
+    pub fn of(profile: &RoutineProfile, metric: InputMetric) -> Self {
+        let points = match metric {
+            InputMetric::Rms => profile.rms_plot(),
+            InputMetric::Drms => profile.drms_plot(),
+        };
+        CostPlot { metric, points }
+    }
+
+    /// Number of distinct input sizes (chart points).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plot has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The x span `max − min` of observed input sizes.
+    pub fn input_span(&self) -> u64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => hi - lo,
+            _ => 0,
+        }
+    }
+
+    /// Fits the empirical cost function (see [`best_fit`]).
+    pub fn fit(&self, tolerance: f64) -> FitResult {
+        best_fit(&self.points, tolerance)
+    }
+
+    /// The points as `f64` pairs, for rendering.
+    pub fn as_f64(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|&(x, y)| (x as f64, y as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::Model;
+
+    fn profile(acts: &[(u64, u64, u64)]) -> RoutineProfile {
+        let mut p = RoutineProfile::default();
+        for &(rms, drms, cost) in acts {
+            p.record(rms, drms, cost);
+        }
+        p
+    }
+
+    #[test]
+    fn plots_select_the_metric() {
+        let p = profile(&[(1, 10, 5), (1, 20, 9), (2, 30, 14)]);
+        let rms = CostPlot::of(&p, InputMetric::Rms);
+        let drms = CostPlot::of(&p, InputMetric::Drms);
+        assert_eq!(rms.len(), 2);
+        assert_eq!(drms.len(), 3);
+        assert_eq!(rms.input_span(), 1);
+        assert_eq!(drms.input_span(), 20);
+        assert!(!drms.is_empty());
+    }
+
+    #[test]
+    fn fit_goes_through_cost_plot() {
+        let acts: Vec<(u64, u64, u64)> = (1..=20).map(|n| (n, n, 4 * n + 3)).collect();
+        let p = profile(&acts);
+        let fit = CostPlot::of(&p, InputMetric::Drms).fit(0.01);
+        assert_eq!(fit.model, Model::Linear);
+    }
+
+    #[test]
+    fn as_f64_preserves_order() {
+        let p = profile(&[(3, 3, 1), (1, 1, 2)]);
+        let pts = CostPlot::of(&p, InputMetric::Drms).as_f64();
+        assert_eq!(pts, vec![(1.0, 2.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_profile_yields_empty_plot() {
+        let p = RoutineProfile::default();
+        let plot = CostPlot::of(&p, InputMetric::Rms);
+        assert!(plot.is_empty());
+        assert_eq!(plot.input_span(), 0);
+    }
+}

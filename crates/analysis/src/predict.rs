@@ -1,0 +1,154 @@
+//! Performance prediction from fitted cost functions.
+//!
+//! The paper's motivation is that estimating a routine's empirical cost
+//! function lets developers "predict the runtime on larger workloads and
+//! pinpoint asymptotic inefficiencies". This module provides that last
+//! mile: extrapolation with an explicit trust horizon, comparison of two
+//! fits, and crossover search (at which input size does implementation B
+//! start beating implementation A?).
+
+use crate::fit::FitResult;
+
+/// An extrapolated prediction, annotated with how far beyond the
+/// observed data it reaches.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// Input size the prediction is for.
+    pub input: f64,
+    /// Predicted cost.
+    pub cost: f64,
+    /// `input / max observed input` — how far out on a limb the
+    /// prediction stands (1.0 = interpolation boundary).
+    pub extrapolation_factor: f64,
+}
+
+/// Predicts the cost at `input`, annotating the extrapolation factor
+/// relative to the largest observed input size.
+///
+/// # Example
+/// ```
+/// use drms_analysis::fit::best_fit;
+/// use drms_analysis::predict::predict;
+///
+/// let pts: Vec<(u64, u64)> = (1..=20).map(|n| (n * 10, 5 * n * 10)).collect();
+/// let fit = best_fit(&pts, 0.01);
+/// let p = predict(&fit, &pts, 2000.0);
+/// assert!((p.cost - 10_000.0).abs() / 10_000.0 < 0.05);
+/// assert!((p.extrapolation_factor - 10.0).abs() < 1e-9);
+/// ```
+pub fn predict(fit: &FitResult, observed: &[(u64, u64)], input: f64) -> Prediction {
+    let max_obs = observed.iter().map(|&(n, _)| n).max().unwrap_or(0) as f64;
+    Prediction {
+        input,
+        cost: fit.predict(input),
+        extrapolation_factor: if max_obs > 0.0 { input / max_obs } else { f64::INFINITY },
+    }
+}
+
+/// The smallest input size in `[lo, hi]` at which `b` becomes at least
+/// as cheap as `a`, found by bisection on `a.predict − b.predict`.
+/// Returns `None` if no crossover exists in the range.
+///
+/// Useful for algorithm-selection questions ("from which n on is the
+/// n·log n implementation worth its constant factor?").
+///
+/// # Example
+/// ```
+/// use drms_analysis::fit::{fit_model, Model};
+/// use drms_analysis::predict::crossover;
+///
+/// // a: 2·n² (cheap constants), b: 200·n (expensive constants).
+/// let quad: Vec<(u64, u64)> = (1..40).map(|n| (n, 2 * n * n)).collect();
+/// let lin: Vec<(u64, u64)> = (1..40).map(|n| (n, 200 * n)).collect();
+/// let a = fit_model(&quad, Model::Quadratic);
+/// let b = fit_model(&lin, Model::Linear);
+/// let x = crossover(&a, &b, 1.0, 1e6).unwrap();
+/// assert!((x - 100.0).abs() < 2.0, "2n² ≥ 200n from n = 100");
+/// ```
+pub fn crossover(a: &FitResult, b: &FitResult, lo: f64, hi: f64) -> Option<f64> {
+    let diff = |x: f64| a.predict(x) - b.predict(x);
+    let (mut lo, mut hi) = (lo.max(1.0), hi);
+    if hi <= lo {
+        return None;
+    }
+    // b must be losing at lo and winning (or tied) at hi.
+    if diff(lo) >= 0.0 {
+        return Some(lo);
+    }
+    if diff(hi) < 0.0 {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if diff(mid) >= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo <= 1e-9 * hi.max(1.0) {
+            break;
+        }
+    }
+    Some(hi)
+}
+
+/// Relative prediction error of `fit` against held-out points:
+/// mean of `|predicted − actual| / actual`.
+///
+/// Fitting on a prefix of a sweep and validating on the suffix gives an
+/// honest estimate of how trustworthy an extrapolation is.
+pub fn validation_error(fit: &FitResult, held_out: &[(u64, u64)]) -> f64 {
+    if held_out.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = held_out
+        .iter()
+        .filter(|&&(_, y)| y > 0)
+        .map(|&(x, y)| ((fit.predict(x as f64) - y as f64) / y as f64).abs())
+        .sum();
+    total / held_out.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{best_fit, fit_model, Model};
+
+    #[test]
+    fn prediction_on_linear_data() {
+        let pts: Vec<(u64, u64)> = (1..=30).map(|n| (n, 7 * n + 3)).collect();
+        let fit = best_fit(&pts, 0.01);
+        let p = predict(&fit, &pts, 300.0);
+        assert!((p.cost - 2103.0).abs() < 30.0, "cost {}", p.cost);
+        assert!((p.extrapolation_factor - 10.0).abs() < 1e-9);
+        let q = predict(&fit, &[], 10.0);
+        assert!(q.extrapolation_factor.is_infinite());
+    }
+
+    #[test]
+    fn crossover_edge_cases() {
+        let lin_cheap: Vec<(u64, u64)> = (1..40).map(|n| (n, n)).collect();
+        let lin_dear: Vec<(u64, u64)> = (1..40).map(|n| (n, 10 * n)).collect();
+        let a = fit_model(&lin_cheap, Model::Linear);
+        let b = fit_model(&lin_dear, Model::Linear);
+        // b never beats a.
+        assert_eq!(crossover(&a, &b, 1.0, 1e9), None);
+        // a already loses at lo.
+        assert_eq!(crossover(&b, &a, 1.0, 1e9), Some(1.0));
+        // empty range
+        assert_eq!(crossover(&a, &b, 10.0, 5.0), None);
+    }
+
+    #[test]
+    fn validation_error_detects_wrong_model() {
+        let quad: Vec<(u64, u64)> = (1..=40).map(|n| (n * 5, 3 * n * n * 25)).collect();
+        let (train, test) = quad.split_at(20);
+        let right = best_fit(train, 0.005);
+        let wrong = fit_model(train, Model::Linear);
+        let e_right = validation_error(&right, test);
+        let e_wrong = validation_error(&wrong, test);
+        assert!(e_right < 0.05, "right model extrapolates: {e_right}");
+        assert!(e_wrong > 0.3, "wrong model diverges: {e_wrong}");
+        assert_eq!(validation_error(&right, &[]), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Rendering of series and plots: ASCII scatter plots for the terminal,
+//! plus CSV and gnuplot-compatible `.dat` emitters for offline charting.
+
+use std::fmt::Write as _;
+
+/// Renders `(x, y)` points as an ASCII scatter plot.
+///
+/// # Example
+/// ```
+/// use drms_analysis::render::ascii_plot;
+/// let pts: Vec<(f64, f64)> = (1..30).map(|i| (i as f64, (i * i) as f64)).collect();
+/// let chart = ascii_plot(&pts, 40, 10, "quadratic");
+/// assert!(chart.contains("quadratic"));
+/// assert!(chart.lines().count() > 10);
+/// ```
+pub fn ascii_plot(points: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    let width = width.max(8);
+    let height = height.max(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if points.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(1e-12);
+    let span_y = (max_y - min_y).max(1e-12);
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in points {
+        let cx = (((x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let cy = (((y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = b'*';
+    }
+    let label_w = format!("{max_y:.0}").len().max(format!("{min_y:.0}").len());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_y:.0}")
+        } else if i == height - 1 {
+            format!("{min_y:.0}")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{label:>label_w$} |{}",
+            String::from_utf8_lossy(row)
+        );
+    }
+    let _ = writeln!(out, "{:label_w$} +{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:label_w$}  {:<w2$}{max_x:.0}",
+        "",
+        format!("{min_x:.0}"),
+        w2 = width.saturating_sub(format!("{max_x:.0}").len())
+    );
+    out
+}
+
+/// Emits `(x, y)` series as a two-column CSV with a header.
+pub fn to_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for &(x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Emits multiple named series in gnuplot's indexed `.dat` format
+/// (blank-line separated blocks with `# name` headers).
+pub fn to_gnuplot(series: &[(&str, &[(f64, f64)])]) -> String {
+    let mut out = String::new();
+    for (i, (name, pts)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push_str("\n\n");
+        }
+        let _ = writeln!(out, "# {name}");
+        for &(x, y) in pts.iter() {
+            let _ = writeln!(out, "{x} {y}");
+        }
+    }
+    out
+}
+
+/// Formats a table: header row plus aligned columns, markdown-flavoured.
+pub fn to_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(c.len());
+            let _ = write!(line, " {c:<w$} |");
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        let _ = write!(sep, "{}|", "-".repeat(w + 2));
+    }
+    let _ = writeln!(out, "{sep}");
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_marks_extremes() {
+        let pts = vec![(0.0, 0.0), (10.0, 100.0)];
+        let chart = ascii_plot(&pts, 20, 5, "t");
+        assert!(chart.contains('*'));
+        assert!(chart.contains("100"));
+        assert!(chart.contains('0'));
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_and_single() {
+        assert!(ascii_plot(&[], 10, 5, "e").contains("no data"));
+        let one = ascii_plot(&[(3.0, 3.0)], 10, 5, "s");
+        assert!(one.contains('*'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = to_csv(("n", "cost"), &[(1.0, 2.0), (3.0, 4.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["n,cost", "1,2", "3,4"]);
+    }
+
+    #[test]
+    fn gnuplot_blocks_are_separated() {
+        let a = [(1.0, 1.0)];
+        let b = [(2.0, 2.0)];
+        let g = to_gnuplot(&[("first", &a), ("second", &b)]);
+        assert!(g.contains("# first"));
+        assert!(g.contains("\n\n# second"));
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = to_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|')));
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+}
+
+/// Renders a per-routine summary table of a profile report: calls,
+/// distinct input sizes under both metrics, dynamic input volume and the
+/// thread/external split — the quick-look view of a profiling run.
+pub fn report_summary(
+    report: &drms_core::ProfileReport,
+    name_of: impl Fn(drms_trace::RoutineId) -> String,
+) -> String {
+    let mut metrics = crate::metrics::routine_metrics(report);
+    metrics.retain(|m| m.calls > 0);
+    metrics.sort_by(|a, b| {
+        b.input_volume
+            .partial_cmp(&a.input_volume)
+            .expect("finite volumes")
+    });
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            vec![
+                name_of(m.routine),
+                m.calls.to_string(),
+                m.distinct_rms.to_string(),
+                m.distinct_drms.to_string(),
+                format!("{:.1}", m.input_volume * 100.0),
+                format!("{:.1}", m.thread_input * 100.0),
+                format!("{:.1}", m.external_input * 100.0),
+            ]
+        })
+        .collect();
+    to_table(
+        &["routine", "calls", "|rms|", "|drms|", "volume %", "thread %", "external %"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use drms_trace::{RoutineId, ThreadId};
+
+    #[test]
+    fn summary_lists_called_routines_by_volume() {
+        let mut rep = drms_core::ProfileReport::new();
+        let a = rep.entry(RoutineId::new(0), ThreadId::MAIN);
+        a.record(1, 10, 5); // high volume
+        let b = rep.entry(RoutineId::new(1), ThreadId::MAIN);
+        b.record(4, 4, 5); // zero volume
+        let text = report_summary(&rep, |r| format!("r{}", r.index()));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + separator + 2 rows");
+        assert!(lines[2].contains("r0"), "high-volume routine first:\n{text}");
+        assert!(lines[3].contains("r1"));
+        assert!(text.contains("90.0"), "volume of r0");
+    }
+}

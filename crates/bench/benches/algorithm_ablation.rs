@@ -1,0 +1,97 @@
+//! Ablation of the design choices called out in DESIGN.md:
+//!
+//! * the read/write timestamping algorithm vs the naive set-based
+//!   formulation (paper §3.1 vs §3.2) on the same event stream;
+//! * the drms profiler vs the rms-only baseline (the +29% the paper
+//!   attributes to recognizing induced first-reads);
+//! * the cost of aggressive timestamp renumbering (tiny counter limit)
+//!   vs effectively none.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drms::core::{DrmsConfig, DrmsProfiler, NaiveProfiler, RmsProfiler};
+use drms::trace::{merge_traces, replay, TimedEvent};
+use drms::vm::TraceRecorder;
+use drms::workloads;
+
+fn recorded_stream() -> Vec<TimedEvent> {
+    let w = workloads::parsec::dedup(4, 2);
+    let mut rec = TraceRecorder::new();
+    drms::vm::run_program(&w.program, w.run_config(), &mut rec).expect("record");
+    merge_traces(rec.into_traces())
+}
+
+fn bench(c: &mut Criterion) {
+    let stream = recorded_stream();
+    println!("ablation stream: {} events", stream.len());
+    let mut group = c.benchmark_group("ablation");
+
+    group.bench_function("timestamping_drms", |b| {
+        b.iter(|| {
+            let mut p = DrmsProfiler::new(DrmsConfig::full());
+            replay(&stream, &mut p);
+            p.into_report().len()
+        })
+    });
+    group.bench_function("naive_sets", |b| {
+        b.iter(|| {
+            let mut p = NaiveProfiler::new();
+            replay(&stream, &mut p);
+            p.into_report().len()
+        })
+    });
+    group.bench_function("rms_only", |b| {
+        b.iter(|| {
+            let mut p = RmsProfiler::new();
+            replay(&stream, &mut p);
+            p.into_report().len()
+        })
+    });
+    group.bench_function("drms_external_only", |b| {
+        b.iter(|| {
+            let mut p = DrmsProfiler::new(DrmsConfig::external_only());
+            replay(&stream, &mut p);
+            p.into_report().len()
+        })
+    });
+    group.bench_function("drms_tiny_renumber_limit", |b| {
+        b.iter(|| {
+            let cfg = DrmsConfig {
+                count_limit: 32,
+                ..DrmsConfig::full()
+            };
+            let mut p = DrmsProfiler::new(cfg);
+            replay(&stream, &mut p);
+            (p.renumberings(), p.into_report().len())
+        })
+    });
+    group.finish();
+
+    // Differential check: the three drms computations agree.
+    let mut fast = DrmsProfiler::new(DrmsConfig::full());
+    replay(&stream, &mut fast);
+    let mut tiny = DrmsProfiler::new(DrmsConfig {
+        count_limit: 32,
+        ..DrmsConfig::full()
+    });
+    replay(&stream, &mut tiny);
+    let mut naive = NaiveProfiler::new();
+    replay(&stream, &mut naive);
+    assert!(tiny.renumberings() > 0);
+    let (a, b, c3) = (fast.into_report(), tiny.into_report(), naive.into_report());
+    assert_eq!(a, b, "renumbering must not change profiles");
+    for (&(r, t), p) in a.iter() {
+        let q = c3.get(r, t).expect("same routines");
+        assert_eq!(p.by_drms, q.by_drms, "timestamping == naive oracle");
+        assert_eq!(p.by_rms, q.by_rms);
+    }
+    println!("ablation: all three algorithms agree on {} profiles", a.len());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4: the mysql_select cost plots. The bench measures the full
+//! profile-and-analyze path on growing table sweeps; the printed summary
+//! shows that the drms plot is linear while the rms plot collapses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drms::analysis::{best_fit, CostPlot, InputMetric, Model};
+use drms::workloads::minidb;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04");
+    for steps in [4usize, 8] {
+        let sizes: Vec<i64> = (1..=steps as i64).map(|i| i * 64).collect();
+        let w = minidb::minidb_scaling(&sizes);
+        group.bench_with_input(BenchmarkId::new("profile", steps), &w, |b, w| {
+            b.iter(|| drms::profile_workload(w).expect("run"))
+        });
+    }
+    group.finish();
+
+    let sizes: Vec<i64> = (1..=10).map(|i| i * 64).collect();
+    let w = minidb::minidb_scaling(&sizes);
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    let p = report.merged_routine(w.focus.expect("mysql_select"));
+    let rms = CostPlot::of(&p, InputMetric::Rms);
+    let drms = CostPlot::of(&p, InputMetric::Drms);
+    let fit = best_fit(&drms.points, 0.02);
+    println!(
+        "\nfig04: rms {} points (span {}), drms {} points (span {}), drms fit {fit}",
+        rms.len(),
+        rms.input_span(),
+        drms.len(),
+        drms.input_span()
+    );
+    assert_eq!(fit.model, Model::Linear, "paper: drms shows the linear trend");
+    assert!(drms.len() >= rms.len());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

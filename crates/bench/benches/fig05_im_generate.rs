@@ -1,0 +1,40 @@
+//! Figure 5: im_generate of the vips-like pipeline — profiling
+//! throughput plus the rms-vs-drms plot-shape check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drms::analysis::{CostPlot, InputMetric};
+use drms::workloads::imgpipe;
+
+fn bench(c: &mut Criterion) {
+    let w = imgpipe::vips(2, 12, 1);
+    c.benchmark_group("fig05")
+        .sample_size(10)
+        .bench_function("profile_vips", |b| {
+            b.iter(|| drms::profile_workload(&w).expect("run"))
+        });
+
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    let p = report.merged_routine(w.focus.expect("im_generate"));
+    let rms = CostPlot::of(&p, InputMetric::Rms);
+    let drms = CostPlot::of(&p, InputMetric::Drms);
+    println!(
+        "\nfig05: im_generate called {} times; rms span {}, drms span {} (thread input {:.0}%)",
+        p.calls,
+        rms.input_span(),
+        drms.input_span(),
+        p.breakdown.thread_fraction() * 100.0
+    );
+    assert!(
+        drms.input_span() >= rms.input_span(),
+        "drms spreads at least as far as rms"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

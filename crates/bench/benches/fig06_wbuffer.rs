@@ -1,0 +1,53 @@
+//! Figure 6: wbuffer_write_thread under the three metric variants
+//! (rms / drms external-only / full drms). The printed summary counts the
+//! distinct input sizes each variant collects over 110 calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drms::analysis::{CostPlot, InputMetric};
+use drms::core::DrmsConfig;
+use drms::workloads::imgpipe;
+
+fn bench(c: &mut Criterion) {
+    let small = imgpipe::vips(2, 16, 1);
+    let mut group = c.benchmark_group("fig06");
+    group.bench_function("drms_full", |b| {
+        b.iter(|| drms::profile_workload(&small).expect("run"))
+    });
+    group.bench_function("drms_external_only", |b| {
+        b.iter(|| {
+            drms::profile_with(&small.program, small.run_config(), DrmsConfig::external_only())
+                .expect("run")
+        })
+    });
+    group.finish();
+
+    let w = imgpipe::vips(2, 110, 1);
+    let wb = w
+        .program
+        .routine_by_name("wbuffer_write_thread")
+        .expect("routine");
+    let (full, _) = drms::profile_workload(&w).expect("run");
+    let (ext, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
+        .expect("run");
+    let pf = full.merged_routine(wb);
+    let pe = ext.merged_routine(wb);
+    let a = CostPlot::of(&pf, InputMetric::Rms).len();
+    let b = CostPlot::of(&pe, InputMetric::Drms).len();
+    let c3 = CostPlot::of(&pf, InputMetric::Drms).len();
+    println!(
+        "\nfig06: {} calls -> rms {} sizes, drms(ext) {} sizes, drms(full) {} sizes",
+        pf.calls, a, b, c3
+    );
+    assert!(a <= 3, "rms collapses onto ~2 values (paper Fig 6a)");
+    assert!(b >= a && c3 >= b, "monotone refinement (Fig 6a..6c)");
+    assert!(c3 as u64 >= pf.calls / 2, "full drms separates the calls");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

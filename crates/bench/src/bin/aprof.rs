@@ -1,0 +1,374 @@
+//! `aprof` — command-line front end of the profiler, in the spirit of
+//! the original tool's `valgrind --tool=aprof <prog>` workflow.
+//!
+//! ```text
+//! aprof --workload <name> [options]
+//!
+//! options:
+//!   --workload NAME     one of: producer_consumer, stream_reader,
+//!                       selection_sort, minidb, mysqlslap, vips,
+//!                       blackscholes, bodytrack, canneal, dedup, ferret,
+//!                       fluidanimate, streamcluster, swaptions, x264,
+//!                       smithwa, nab, kdtree, botsalgn, md, imagick,
+//!                       swim, bt331, ilbdc
+//!   --threads N         worker threads for suite workloads (default 4)
+//!   --scale S           workload scale factor (default 2)
+//!   --tool NAME         aprof-drms (default) | aprof | external-only
+//!   --policy P          rr (default) | random:SEED
+//!   --quantum N         scheduling quantum in basic blocks
+//!   --focus ROUTINE     print cost plots + fit for one routine
+//!   --fit               fit the focus (or every) routine's cost function
+//!   --context           context-sensitive profile of the focus routine
+//!   --report FILE       dump the profile report (report_io text format)
+//!   --trace FILE        record and dump the merged execution trace
+//!   --trace-stats       print event-stream statistics
+//!   --disasm            print the guest program listing and exit
+//!   --diff OLD NEW      compare two saved reports and print regressions
+//!                       (standalone mode: no --workload needed)
+//! ```
+
+use drms::analysis::{ascii_plot, CostPlot, InputMetric};
+use drms::core::{report_io, CctProfiler, DrmsConfig, DrmsProfiler, ProfileReport, RmsProfiler};
+use drms::trace::{merge_traces, TraceStats};
+use drms::vm::{disassemble, SchedPolicy, TraceRecorder, Vm};
+use drms::workloads::{self, Workload};
+use std::process::exit;
+
+struct Cli {
+    workload: Option<String>,
+    threads: u32,
+    scale: u32,
+    tool: String,
+    policy: SchedPolicy,
+    quantum: Option<u32>,
+    focus: Option<String>,
+    fit: bool,
+    context: bool,
+    report: Option<String>,
+    trace: Option<String>,
+    trace_stats: bool,
+    disasm: bool,
+    diff: Option<(String, String)>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy rr|random:SEED] [--quantum N]");
+    exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        workload: None,
+        threads: 4,
+        scale: 2,
+        tool: "aprof-drms".to_owned(),
+        policy: SchedPolicy::RoundRobin,
+        quantum: None,
+        focus: None,
+        fit: false,
+        context: false,
+        report: None,
+        trace: None,
+        trace_stats: false,
+        disasm: false,
+        diff: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workload" => cli.workload = Some(value("--workload")),
+            "--threads" => cli.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--scale" => cli.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--tool" => cli.tool = value("--tool"),
+            "--policy" => {
+                let v = value("--policy");
+                cli.policy = if v == "rr" {
+                    SchedPolicy::RoundRobin
+                } else if let Some(seed) = v.strip_prefix("random:") {
+                    SchedPolicy::Random {
+                        seed: seed.parse().unwrap_or_else(|_| usage()),
+                    }
+                } else {
+                    usage()
+                };
+            }
+            "--quantum" => cli.quantum = Some(value("--quantum").parse().unwrap_or_else(|_| usage())),
+            "--focus" => cli.focus = Some(value("--focus")),
+            "--fit" => cli.fit = true,
+            "--context" => cli.context = true,
+            "--report" => cli.report = Some(value("--report")),
+            "--trace" => cli.trace = Some(value("--trace")),
+            "--trace-stats" => cli.trace_stats = true,
+            "--disasm" => cli.disasm = true,
+            "--diff" => {
+                let old = value("--diff");
+                let new = value("--diff");
+                cli.diff = Some((old, new));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn lookup_workload(name: &str, threads: u32, scale: u32) -> Option<Workload> {
+    let w = match name {
+        "producer_consumer" => workloads::patterns::producer_consumer(50 * scale as i64),
+        "stream_reader" => workloads::patterns::stream_reader(50 * scale as i64),
+        "selection_sort" => workloads::sorting::selection_sort_default(12 * scale as i64),
+        "minidb" => {
+            let sizes: Vec<i64> = (1..=10).map(|i| i * 50 * scale as i64).collect();
+            workloads::minidb::minidb_scaling(&sizes)
+        }
+        "mysqlslap" => workloads::minidb::mysqlslap(threads, 4 + scale, 50 * scale as i64),
+        "vips" => workloads::imgpipe::vips(threads.max(2), 10 + 2 * scale as usize, scale),
+        "blackscholes" => workloads::parsec::blackscholes(threads, scale),
+        "bodytrack" => workloads::parsec::bodytrack(threads, scale),
+        "canneal" => workloads::parsec::canneal(threads, scale),
+        "dedup" => workloads::parsec::dedup(threads, scale),
+        "ferret" => workloads::parsec::ferret(threads, scale),
+        "fluidanimate" => workloads::parsec::fluidanimate(threads, scale),
+        "streamcluster" => workloads::parsec::streamcluster(threads, scale),
+        "swaptions" => workloads::parsec::swaptions(threads, scale),
+        "x264" => workloads::parsec::x264(threads, scale),
+        "smithwa" => workloads::specomp::smithwa(threads, scale),
+        "nab" => workloads::specomp::nab(threads, scale),
+        "kdtree" => workloads::specomp::kdtree(threads, scale),
+        "botsalgn" => workloads::specomp::botsalgn(threads, scale),
+        "md" => workloads::specomp::md(threads, scale),
+        "imagick" => workloads::specomp::imagick(threads, scale),
+        "swim" => workloads::specomp::swim(threads, scale),
+        "bt331" => workloads::specomp::bt331(threads, scale),
+        "ilbdc" => workloads::specomp::ilbdc(threads, scale),
+        _ => return None,
+    };
+    Some(w)
+}
+
+fn print_routine(w: &Workload, report: &ProfileReport, name: &str, fit: bool) {
+    let Some(id) = w.program.routine_by_name(name) else {
+        eprintln!("no routine named `{name}` in {}", w.name);
+        exit(1);
+    };
+    let p = report.merged_routine(id);
+    if p.calls == 0 {
+        println!("{name}: never activated");
+        return;
+    }
+    let rms = CostPlot::of(&p, InputMetric::Rms);
+    let drms = CostPlot::of(&p, InputMetric::Drms);
+    println!(
+        "{name}: {} calls, |rms| = {}, |drms| = {}",
+        p.calls,
+        rms.len(),
+        drms.len()
+    );
+    println!(
+        "input provenance: {} plain, {} thread-induced, {} kernel-induced first reads",
+        p.breakdown.plain, p.breakdown.thread_induced, p.breakdown.kernel_induced
+    );
+    println!("{}", ascii_plot(&drms.as_f64(), 60, 12, "worst-case cost vs DRMS"));
+    if fit {
+        println!("rms  fit: {}", rms.fit(0.02));
+        println!("drms fit: {}", drms.fit(0.02));
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if let Some((old_path, new_path)) = &cli.diff {
+        run_diff(old_path, new_path);
+        return;
+    }
+    let Some(ref name) = cli.workload else {
+        usage();
+    };
+    let Some(w) = lookup_workload(name, cli.threads, cli.scale) else {
+        eprintln!("unknown workload `{name}`");
+        exit(1);
+    };
+    if cli.disasm {
+        print!("{}", disassemble(&w.program));
+        return;
+    }
+    let mut config = w.run_config();
+    config.policy = cli.policy;
+    if let Some(q) = cli.quantum {
+        config.quantum = q;
+    }
+
+    // Optional trace capture (a separate run with identical scheduling).
+    if cli.trace.is_some() || cli.trace_stats {
+        let mut rec = TraceRecorder::new();
+        Vm::new(&w.program, config.clone())
+            .expect("valid workload")
+            .run(&mut rec)
+            .unwrap_or_else(|e| {
+                eprintln!("{}: {e}", w.name);
+                exit(1)
+            });
+        let merged = merge_traces(rec.into_traces());
+        if cli.trace_stats {
+            println!("{}", TraceStats::of(&merged));
+        }
+        if let Some(path) = &cli.trace {
+            std::fs::write(path, drms::trace::codec::to_text(&merged)).expect("write trace");
+            println!("trace written to {path} ({} events)", merged.len());
+        }
+    }
+
+    // Context-sensitive mode wraps the drms profiler.
+    if cli.context {
+        let mut prof = CctProfiler::new(DrmsConfig::full());
+        Vm::new(&w.program, config)
+            .expect("valid workload")
+            .run(&mut prof)
+            .unwrap_or_else(|e| {
+                eprintln!("{}: {e}", w.name);
+                exit(1)
+            });
+        let focus = cli.focus.as_deref().unwrap_or_else(|| {
+            w.focus_name().unwrap_or_else(|| {
+                eprintln!("--context needs --focus or a workload with a focus routine");
+                exit(1)
+            })
+        });
+        let Some(id) = w.program.routine_by_name(focus) else {
+            eprintln!("no routine named `{focus}`");
+            exit(1);
+        };
+        println!("contexts of {focus}:");
+        for (ctx, p) in prof.contexts_of(id) {
+            let path = prof
+                .tree()
+                .render(ctx, |r| w.program.routine_name(r).to_owned());
+            let plot = CostPlot::of(&p, InputMetric::Drms);
+            print!("  {path}: {} calls, {} input sizes", p.calls, plot.len());
+            if cli.fit {
+                print!(", fit {}", plot.fit(0.02));
+            }
+            println!();
+        }
+        return;
+    }
+
+    // Standard run under the selected profiler.
+    let (report, stats) = match cli.tool.as_str() {
+        "aprof-drms" => {
+            let mut p = DrmsProfiler::new(DrmsConfig::full());
+            let stats = Vm::new(&w.program, config)
+                .expect("valid workload")
+                .run(&mut p)
+                .unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", w.name);
+                    exit(1)
+                });
+            (p.into_report(), stats)
+        }
+        "external-only" => {
+            let mut p = DrmsProfiler::new(DrmsConfig::external_only());
+            let stats = Vm::new(&w.program, config)
+                .expect("valid workload")
+                .run(&mut p)
+                .unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", w.name);
+                    exit(1)
+                });
+            (p.into_report(), stats)
+        }
+        "aprof" => {
+            let mut p = RmsProfiler::new();
+            let stats = Vm::new(&w.program, config)
+                .expect("valid workload")
+                .run(&mut p)
+                .unwrap_or_else(|e| {
+                    eprintln!("{}: {e}", w.name);
+                    exit(1)
+                });
+            (p.into_report(), stats)
+        }
+        other => {
+            eprintln!("unknown tool `{other}` (aprof-drms | aprof | external-only)");
+            exit(1)
+        }
+    };
+
+    println!(
+        "[{}] {} basic blocks, {} threads, {} syscalls, {} thread switches",
+        w.name, stats.basic_blocks, stats.threads, stats.syscalls, stats.thread_switches
+    );
+    println!(
+        "dynamic input volume: {:.1}%",
+        report.dynamic_input_volume() * 100.0
+    );
+    println!(
+        "{}",
+        drms::analysis::report_summary(&report, |r| w.program.routine_name(r).to_owned())
+    );
+
+    if let Some(focus) = cli.focus.as_deref().or(w.focus_name()) {
+        print_routine(&w, &report, focus, cli.fit);
+    }
+
+    if let Some(path) = &cli.report {
+        std::fs::write(path, report_io::to_text(&report)).expect("write report");
+        println!("report written to {path} ({} profiles)", report.len());
+    }
+}
+
+/// Standalone report comparison: load two report_io dumps and print the
+/// routines whose profiles changed significantly.
+fn run_diff(old_path: &str, new_path: &str) {
+    use drms::core::diff::{regressions, RoutineChange};
+    let load = |path: &str| -> drms::core::ProfileReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1)
+        });
+        report_io::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1)
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let changes = drms::core::diff::diff_reports(&old, &new);
+    let appeared = changes
+        .values()
+        .filter(|c| matches!(c, RoutineChange::Appeared))
+        .count();
+    let disappeared = changes
+        .values()
+        .filter(|c| matches!(c, RoutineChange::Disappeared))
+        .count();
+    println!(
+        "{} routines compared; {appeared} appeared, {disappeared} disappeared",
+        changes.len()
+    );
+    let regs = regressions(&old, &new, 0.1);
+    if regs.is_empty() {
+        println!("no significant changes (epsilon 0.1)");
+        return;
+    }
+    for (routine, delta) in regs {
+        print!("{routine}: calls {} -> {}", delta.calls.0, delta.calls.1);
+        if let Some(r) = delta.cost_ratio() {
+            print!(", cost x{r:.2} at shared input");
+        }
+        println!(
+            ", volume {:.1}% -> {:.1}%",
+            delta.volume.0 * 100.0,
+            delta.volume.1 * 100.0
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--threads N] [--scale S] [--out DIR]
+//!
+//! experiments:
+//!   fig4    mysql_select cost plots, rms vs drms
+//!   fig5    im_generate cost plots, rms vs drms
+//!   fig6    wbuffer_write_thread: rms / drms-external / drms-full
+//!   fig10   selection sort: basic blocks vs simulated nanoseconds
+//!   fig11   routine profile richness curves
+//!   fig12   dynamic input volume curves
+//!   fig13   per-routine thread vs external input (mysqlslap, vips)
+//!   fig14   thread/external input tail curves
+//!   fig15   induced first-read split per benchmark
+//!   fig16   slowdown & space overhead vs number of threads
+//!   table1  tool slowdown/space comparison on both suites
+//!   sched   scheduler-sensitivity study (§4.2)
+//!   all     everything above
+//! ```
+//!
+//! Each experiment prints its series and also writes CSV/gnuplot data
+//! under `--out` (default `target/repro`).
+
+use drms::analysis::{
+    ascii_plot, best_fit, induced_split, richness_curve, routine_metrics, to_gnuplot, to_table,
+    volume_curve, CostPlot, InputMetric, OverheadTable,
+};
+use drms::core::DrmsConfig;
+use drms::vm::{CostKind, SchedPolicy, Vm};
+use drms::workloads::{self, Workload};
+use drms_bench::{measure_suite, profile_with_config, TOOLS};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+struct Options {
+    threads: u32,
+    scale: u32,
+    out: PathBuf,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut experiment = None;
+    let mut opts = Options {
+        threads: 4,
+        scale: 2,
+        out: PathBuf::from("target/repro"),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads N");
+            }
+            "--scale" => {
+                opts.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale S");
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().expect("--out DIR"));
+            }
+            other if experiment.is_none() => experiment = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(experiment) = experiment else {
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|all>");
+        std::process::exit(2);
+    };
+    fs::create_dir_all(&opts.out).expect("create output dir");
+    match experiment.as_str() {
+        "fig4" => fig4(&opts),
+        "fig5" => fig5(&opts),
+        "fig6" => fig6(&opts),
+        "fig10" => fig10(&opts),
+        "fig11" => fig11_12(&opts, true),
+        "fig12" => fig11_12(&opts, false),
+        "fig13" => fig13(&opts),
+        "fig14" => fig14(&opts),
+        "fig15" => fig15(&opts),
+        "fig16" => fig16(&opts),
+        "table1" => table1(&opts),
+        "sched" => sched(&opts),
+        "all" => {
+            fig4(&opts);
+            fig5(&opts);
+            fig6(&opts);
+            fig10(&opts);
+            fig11_12(&opts, true);
+            fig11_12(&opts, false);
+            fig13(&opts);
+            fig14(&opts);
+            fig15(&opts);
+            fig16(&opts);
+            table1(&opts);
+            sched(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn save(out: &Path, name: &str, contents: &str) {
+    let path = out.join(name);
+    fs::write(&path, contents).expect("write data file");
+    println!("  [data written to {}]", path.display());
+}
+
+fn cost_plot_pair(w: &Workload) -> (CostPlot, CostPlot) {
+    let (report, _) = drms::profile_workload(w).expect("profiled run");
+    let p = report.merged_routine(w.focus.expect("focus routine"));
+    (
+        CostPlot::of(&p, InputMetric::Rms),
+        CostPlot::of(&p, InputMetric::Drms),
+    )
+}
+
+fn show_pair(title: &str, rms: &CostPlot, drms: &CostPlot, out: &Path, stem: &str) {
+    println!("\n=== {title} ===");
+    println!("{}", ascii_plot(&rms.as_f64(), 60, 12, &format!("{title}: cost vs RMS")));
+    println!("{}", ascii_plot(&drms.as_f64(), 60, 12, &format!("{title}: cost vs DRMS")));
+    let rms_fit = best_fit(&rms.points, 0.02);
+    let drms_fit = best_fit(&drms.points, 0.02);
+    println!("rms  plot: {:>4} points, span {:>8}, fit {rms_fit}", rms.len(), rms.input_span());
+    println!("drms plot: {:>4} points, span {:>8}, fit {drms_fit}", drms.len(), drms.input_span());
+    save(
+        out,
+        &format!("{stem}.dat"),
+        &to_gnuplot(&[("rms", &rms.as_f64()[..]), ("drms", &drms.as_f64()[..])]),
+    );
+}
+
+/// Figure 4: mysql_select — rms suggests a false superlinear trend, drms
+/// shows the true linear cost.
+fn fig4(opts: &Options) {
+    let sizes: Vec<i64> = (1..=10).map(|i| i * 64 * opts.scale as i64).collect();
+    let w = workloads::minidb::minidb_scaling(&sizes);
+    let (rms, drms) = cost_plot_pair(&w);
+    show_pair("Fig 4: mysql_select (minidb)", &rms, &drms, &opts.out, "fig04");
+}
+
+/// Figure 5: im_generate of the vips-like pipeline.
+fn fig5(opts: &Options) {
+    let w = workloads::imgpipe::vips(opts.threads.max(2), 24, opts.scale);
+    let (rms, drms) = cost_plot_pair(&w);
+    show_pair("Fig 5: im_generate (vips)", &rms, &drms, &opts.out, "fig05");
+}
+
+/// Figure 6: wbuffer_write_thread under (a) rms, (b) drms with external
+/// input only, (c) full drms.
+fn fig6(opts: &Options) {
+    let tasks = 110;
+    let w = workloads::imgpipe::vips(opts.threads.max(2), tasks, opts.scale);
+    let wb = w
+        .program
+        .routine_by_name("wbuffer_write_thread")
+        .expect("wbuffer routine");
+    let (full_report, _) = drms::profile_workload(&w).expect("full profile");
+    let (ext_report, _) =
+        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
+            .expect("external-only profile");
+    let full = full_report.merged_routine(wb);
+    let ext = ext_report.merged_routine(wb);
+    let a = CostPlot::of(&full, InputMetric::Rms);
+    let b = CostPlot::of(&ext, InputMetric::Drms);
+    let c = CostPlot::of(&full, InputMetric::Drms);
+    println!("\n=== Fig 6: wbuffer_write_thread ({} calls) ===", full.calls);
+    println!("(a) rms:                 {:>4} distinct input sizes", a.len());
+    println!("(b) drms external only:  {:>4} distinct input sizes", b.len());
+    println!("(c) drms ext+thread:     {:>4} distinct input sizes", c.len());
+    println!("{}", ascii_plot(&a.as_f64(), 60, 10, "(a) cost vs RMS"));
+    println!("{}", ascii_plot(&b.as_f64(), 60, 10, "(b) cost vs DRMS (external)"));
+    println!("{}", ascii_plot(&c.as_f64(), 60, 10, "(c) cost vs DRMS (full)"));
+    // The paper's variance indicator: rms values carrying many calls
+    // with widely varying costs signal uncaptured input information.
+    let names = w.program.name_table();
+    for flag in drms::analysis::variance_flags(&full_report, 0.5) {
+        println!(
+            "  variance flag: {} collapses {} calls onto rms={} (spread {:.2})",
+            names.get(flag.routine).unwrap_or("?"),
+            flag.collapsed_calls,
+            flag.input,
+            flag.spread
+        );
+    }
+    save(
+        &opts.out,
+        "fig06.dat",
+        &to_gnuplot(&[
+            ("rms", &a.as_f64()[..]),
+            ("drms_external", &b.as_f64()[..]),
+            ("drms_full", &c.as_f64()[..]),
+        ]),
+    );
+}
+
+/// Figure 10: selection sort under basic-block counting vs simulated
+/// nanoseconds.
+fn fig10(opts: &Options) {
+    let w = workloads::sorting::selection_sort_default(16 * opts.scale as i64);
+    let focus = w.focus.expect("selection_sort");
+    let bb_report = profile_with_config(&w, w.run_config());
+    let mut nanos_cfg = w.run_config();
+    nanos_cfg.cost = CostKind::SimNanos { jitter_seed: 42 };
+    let ns_report = profile_with_config(&w, nanos_cfg);
+    let bb = CostPlot::of(&bb_report.merged_routine(focus), InputMetric::Drms);
+    let ns = CostPlot::of(&ns_report.merged_routine(focus), InputMetric::Drms);
+    println!("\n=== Fig 10: selection_sort, BB counting vs timing ===");
+    println!("{}", ascii_plot(&bb.as_f64(), 60, 12, "cost (executed BB)"));
+    println!("{}", ascii_plot(&ns.as_f64(), 60, 12, "cost (simulated ns)"));
+    let bb_fit = best_fit(&bb.points, 0.01);
+    let ns_fit = best_fit(&ns.points, 0.01);
+    println!("BB fit: {bb_fit}");
+    println!("ns fit: {ns_fit}");
+    save(
+        &opts.out,
+        "fig10.dat",
+        &to_gnuplot(&[("bb", &bb.as_f64()[..]), ("nanos", &ns.as_f64()[..])]),
+    );
+}
+
+fn figure_benchmarks(opts: &Options) -> Vec<Workload> {
+    vec![
+        workloads::parsec::fluidanimate(opts.threads, opts.scale),
+        workloads::minidb::mysqlslap(opts.threads, 4 + opts.scale, 60 * opts.scale as i64),
+        workloads::specomp::smithwa(opts.threads, opts.scale),
+        workloads::parsec::dedup(opts.threads, opts.scale),
+        workloads::specomp::nab(opts.threads, opts.scale),
+        workloads::parsec::bodytrack(opts.threads, opts.scale),
+        workloads::parsec::swaptions(opts.threads, opts.scale),
+        workloads::imgpipe::vips(opts.threads.max(2), 10 + opts.scale as usize, opts.scale),
+        workloads::parsec::x264(opts.threads, opts.scale),
+    ]
+}
+
+/// Figures 11 and 12: profile richness / dynamic input volume curves.
+fn fig11_12(opts: &Options, richness: bool) {
+    let (name, stem) = if richness {
+        ("Fig 11: routine profile richness", "fig11")
+    } else {
+        ("Fig 12: dynamic input volume", "fig12")
+    };
+    println!("\n=== {name} ===");
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for w in figure_benchmarks(opts) {
+        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let curve = if richness {
+            richness_curve(&report)
+        } else {
+            volume_curve(&report)
+        };
+        let head: Vec<String> = curve
+            .iter()
+            .take(4)
+            .map(|(x, y)| format!("({x:.0}%, {y:.1})"))
+            .collect();
+        println!("  {:<14} {} points; top: {}", w.name, curve.len(), head.join(" "));
+        series.push((w.name.clone(), curve));
+    }
+    let refs: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.as_slice()))
+        .collect();
+    save(&opts.out, &format!("{stem}.dat"), &to_gnuplot(&refs));
+}
+
+/// Figure 13: routine-by-routine thread vs external input for mysqlslap
+/// and vips.
+fn fig13(opts: &Options) {
+    println!("\n=== Fig 13: per-routine thread vs external input ===");
+    for (label, w) in [
+        (
+            "mysql",
+            workloads::minidb::mysqlslap(opts.threads, 4 + opts.scale, 60 * opts.scale as i64),
+        ),
+        (
+            "vips",
+            workloads::imgpipe::vips(opts.threads.max(2), 10 + opts.scale as usize, opts.scale),
+        ),
+    ] {
+        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let names = w.program.name_table();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut metrics = routine_metrics(&report);
+        metrics.sort_by(|a, b| {
+            let ia = a.thread_input + a.external_input;
+            let ib = b.thread_input + b.external_input;
+            ib.partial_cmp(&ia).expect("finite shares")
+        });
+        for m in metrics.iter().filter(|m| m.first_reads > 0) {
+            rows.push(vec![
+                names.get(m.routine).unwrap_or("?").to_owned(),
+                format!("{:.1}", m.thread_input * 100.0),
+                format!("{:.1}", m.external_input * 100.0),
+            ]);
+        }
+        println!("\n[{label}]");
+        println!(
+            "{}",
+            to_table(&["routine", "thread input %", "external input %"], &rows)
+        );
+        let csv: String = rows
+            .iter()
+            .map(|r| format!("{},{},{}\n", r[0], r[1], r[2]))
+            .collect();
+        save(&opts.out, &format!("fig13_{label}.csv"), &format!("routine,thread,external\n{csv}"));
+    }
+}
+
+/// Figure 14: thread/external input tail curves per benchmark.
+fn fig14(opts: &Options) {
+    println!("\n=== Fig 14: thread and external input per routine ===");
+    let selected = [
+        workloads::parsec::swaptions(opts.threads, opts.scale),
+        workloads::parsec::bodytrack(opts.threads, opts.scale),
+        workloads::specomp::smithwa(opts.threads, opts.scale),
+        workloads::specomp::kdtree(opts.threads, opts.scale),
+        workloads::parsec::dedup(opts.threads, opts.scale),
+        workloads::parsec::x264(opts.threads, opts.scale),
+    ];
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for w in selected {
+        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let (thread, external) = drms::analysis::input_share_curves(&report);
+        println!(
+            "  {:<14} thread curve {} pts (max {:.0}%), external curve {} pts (max {:.0}%)",
+            w.name,
+            thread.len(),
+            thread.first().map(|p| p.1).unwrap_or(0.0),
+            external.len(),
+            external.first().map(|p| p.1).unwrap_or(0.0),
+        );
+        series.push((format!("{}_thread", w.name), thread));
+        series.push((format!("{}_external", w.name), external));
+    }
+    let refs: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.as_slice()))
+        .collect();
+    save(&opts.out, "fig14.dat", &to_gnuplot(&refs));
+}
+
+/// Figure 15: 100%-stacked thread/external split of induced first reads
+/// per benchmark, sorted by decreasing thread input.
+fn fig15(opts: &Options) {
+    println!("\n=== Fig 15: induced first-read characterization ===");
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for w in workloads::full_suite(opts.threads, opts.scale) {
+        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let (th, ke) = induced_split(&report);
+        rows.push((w.name.clone(), th, ke));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(n, th, ke)| vec![n.clone(), format!("{th:.1}"), format!("{ke:.1}")])
+        .collect();
+    println!(
+        "{}",
+        to_table(&["benchmark", "thread input %", "external input %"], &table_rows)
+    );
+    let csv: String = rows
+        .iter()
+        .map(|(n, th, ke)| format!("{n},{th:.2},{ke:.2}\n"))
+        .collect();
+    save(&opts.out, "fig15.csv", &format!("benchmark,thread,external\n{csv}"));
+}
+
+/// Figure 16: slowdown and space overhead as a function of thread count.
+fn fig16(opts: &Options) {
+    println!("\n=== Fig 16: overhead vs number of threads ===");
+    let mut slow_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut space_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for tool in TOOLS {
+        slow_series.push((tool.to_owned(), Vec::new()));
+        space_series.push((tool.to_owned(), Vec::new()));
+    }
+    for threads in [1u32, 2, 4, 8] {
+        let suite = workloads::spec_omp_suite(threads, opts.scale);
+        let mut table = OverheadTable::new();
+        measure_suite(&mut table, "omp", &suite, 2);
+        for (i, tool) in TOOLS.iter().enumerate() {
+            slow_series[i]
+                .1
+                .push((threads as f64, table.mean_slowdown("omp", tool)));
+            space_series[i]
+                .1
+                .push((threads as f64, table.mean_space("omp", tool)));
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, tool) in TOOLS.iter().enumerate() {
+        let slows: Vec<String> = slow_series[i].1.iter().map(|p| format!("{:.1}", p.1)).collect();
+        let spaces: Vec<String> = space_series[i].1.iter().map(|p| format!("{:.2}", p.1)).collect();
+        rows.push(vec![
+            tool.to_string(),
+            slows.join(" / "),
+            spaces.join(" / "),
+        ]);
+    }
+    println!(
+        "{}",
+        to_table(
+            &["tool", "slowdown @1/2/4/8 threads", "space @1/2/4/8 threads"],
+            &rows
+        )
+    );
+    let refs: Vec<(&str, &[(f64, f64)])> = slow_series
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.as_slice()))
+        .collect();
+    save(&opts.out, "fig16_slowdown.dat", &to_gnuplot(&refs));
+    let refs: Vec<(&str, &[(f64, f64)])> = space_series
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.as_slice()))
+        .collect();
+    save(&opts.out, "fig16_space.dat", &to_gnuplot(&refs));
+}
+
+/// Table 1: tool comparison over both suites.
+fn table1(opts: &Options) {
+    println!("\n=== Table 1: slowdown and space overhead (geometric means) ===");
+    let mut table = OverheadTable::new();
+    measure_suite(
+        &mut table,
+        "SPEC OMP",
+        &workloads::spec_omp_suite(opts.threads, opts.scale),
+        2,
+    );
+    measure_suite(
+        &mut table,
+        "PARSEC 2.1",
+        &workloads::parsec_suite(opts.threads, opts.scale),
+        2,
+    );
+    let mut rows = Vec::new();
+    for suite in table.suites() {
+        for tool in TOOLS {
+            rows.push(vec![
+                suite.clone(),
+                tool.to_string(),
+                format!("{:.1}x", table.mean_slowdown(&suite, tool)),
+                format!("{:.2}x", table.mean_space(&suite, tool)),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        to_table(&["suite", "tool", "slowdown", "space overhead"], &rows)
+    );
+    let csv: String = rows
+        .iter()
+        .map(|r| format!("{},{},{},{}\n", r[0], r[1], r[2], r[3]))
+        .collect();
+    save(&opts.out, "table1.csv", &format!("suite,tool,slowdown,space\n{csv}"));
+}
+
+/// Scheduler-sensitivity study (§4.2): external input is stable across
+/// scheduling policies, thread input fluctuates mildly.
+fn sched(opts: &Options) {
+    println!("\n=== Scheduler sensitivity (§4.2) ===");
+    let policies: Vec<(String, SchedPolicy)> = vec![
+        ("round_robin".into(), SchedPolicy::RoundRobin),
+        ("random_1".into(), SchedPolicy::Random { seed: 1 }),
+        ("random_2".into(), SchedPolicy::Random { seed: 2 }),
+        ("random_3".into(), SchedPolicy::Random { seed: 3 }),
+    ];
+    let mut rows = Vec::new();
+    for w in [
+        workloads::parsec::dedup(opts.threads, opts.scale),
+        workloads::specomp::nab(opts.threads, opts.scale),
+        workloads::imgpipe::vips(opts.threads.max(2), 8, opts.scale),
+    ] {
+        for (pname, policy) in &policies {
+            let mut cfg = w.run_config();
+            cfg.policy = *policy;
+            let report = {
+                let mut prof = drms::core::DrmsProfiler::new(DrmsConfig::full());
+                Vm::new(&w.program, cfg)
+                    .expect("valid workload")
+                    .run(&mut prof)
+                    .expect("profiled run");
+                prof.into_report()
+            };
+            let (mut th, mut ke) = (0u64, 0u64);
+            for (_, p) in report.iter() {
+                th += p.breakdown.thread_induced;
+                ke += p.breakdown.kernel_induced;
+            }
+            rows.push(vec![
+                w.name.clone(),
+                pname.clone(),
+                th.to_string(),
+                ke.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        to_table(
+            &["benchmark", "policy", "thread-induced", "kernel-induced"],
+            &rows
+        )
+    );
+    let csv: String = rows
+        .iter()
+        .map(|r| format!("{},{},{},{}\n", r[0], r[1], r[2], r[3]))
+        .collect();
+    save(
+        &opts.out,
+        "sched.csv",
+        &format!("benchmark,policy,thread_induced,kernel_induced\n{csv}"),
+    );
+}

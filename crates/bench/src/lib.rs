@@ -1,0 +1,163 @@
+//! Experiment harness shared by the `repro` binary and the Criterion
+//! benches: run workloads under each tool, measure slowdown and space,
+//! and regenerate the series behind every table and figure of the paper.
+
+use drms::analysis::{Measurement, OverheadTable};
+use drms::core::{DrmsConfig, DrmsProfiler, RmsProfiler};
+use drms::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
+use drms::vm::{NullTool, RunConfig, RunStats, Tool, Vm};
+use drms::workloads::Workload;
+use std::time::Instant;
+
+/// The tool lineup of Table 1, in the paper's column order.
+pub const TOOLS: [&str; 6] = [
+    "nulgrind",
+    "memcheck",
+    "callgrind",
+    "helgrind",
+    "aprof",
+    "aprof-drms",
+];
+
+/// Runs `workload` uninstrumented ("native") and returns `(secs, stats)`.
+///
+/// # Panics
+/// Panics if the guest program fails: harness workloads are expected to
+/// be well-formed.
+pub fn run_native(w: &Workload) -> (f64, RunStats) {
+    let mut vm = Vm::new(&w.program, w.run_config()).expect("valid workload");
+    let start = Instant::now();
+    let stats = vm.run(&mut NullTool).expect("native run");
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+/// Runs `workload` under the named tool (see [`TOOLS`]) through dynamic
+/// dispatch — the analogue of a tool plugin — returning `(secs, shadow
+/// bytes, stats)`.
+///
+/// # Panics
+/// Panics on unknown tool names or failing guest programs.
+pub fn run_tool(w: &Workload, tool_name: &str) -> (f64, u64, RunStats) {
+    let mut null;
+    let mut memcheck;
+    let mut callgrind;
+    let mut helgrind;
+    let mut aprof;
+    let mut aprof_drms;
+    let tool: &mut dyn Tool = match tool_name {
+        "nulgrind" => {
+            null = NullTool;
+            &mut null
+        }
+        "memcheck" => {
+            memcheck = MemcheckTool::for_program(&w.program);
+            &mut memcheck
+        }
+        "callgrind" => {
+            callgrind = CallgrindTool::new();
+            &mut callgrind
+        }
+        "helgrind" => {
+            helgrind = HelgrindTool::new();
+            &mut helgrind
+        }
+        "aprof" => {
+            aprof = RmsProfiler::new();
+            &mut aprof
+        }
+        "aprof-drms" => {
+            aprof_drms = DrmsProfiler::new(DrmsConfig::full());
+            &mut aprof_drms
+        }
+        other => panic!("unknown tool `{other}`"),
+    };
+    let mut vm = Vm::new(&w.program, w.run_config()).expect("valid workload");
+    let start = Instant::now();
+    let stats = vm.run(tool).expect("instrumented run");
+    let secs = start.elapsed().as_secs_f64();
+    (secs, tool.shadow_bytes(), stats)
+}
+
+/// Measures every tool on every workload of `suite`, filling an
+/// [`OverheadTable`] under the given suite label. Each cell is the best
+/// of `repeats` runs (to tame timer noise at these small scales).
+pub fn measure_suite(table: &mut OverheadTable, label: &str, suite: &[Workload], repeats: u32) {
+    for w in suite {
+        let mut native = f64::INFINITY;
+        let mut guest_bytes = 0;
+        for _ in 0..repeats.max(1) {
+            let (secs, stats) = run_native(w);
+            native = native.min(secs);
+            guest_bytes = stats.guest_bytes;
+        }
+        for tool in TOOLS {
+            let mut best = f64::INFINITY;
+            let mut shadow = 0;
+            for _ in 0..repeats.max(1) {
+                let (secs, bytes, _) = run_tool(w, tool);
+                best = best.min(secs);
+                shadow = bytes;
+            }
+            table.record(
+                label,
+                tool,
+                &w.name,
+                Measurement {
+                    tool_seconds: best,
+                    native_seconds: native,
+                    shadow_bytes: shadow,
+                    guest_bytes,
+                },
+            );
+        }
+    }
+}
+
+/// Runs a workload under the full drms profiler with a custom run
+/// config, returning the profile report.
+///
+/// # Panics
+/// Panics if the guest program fails.
+pub fn profile_with_config(w: &Workload, config: RunConfig) -> drms::core::ProfileReport {
+    let mut prof = DrmsProfiler::new(DrmsConfig::full());
+    Vm::new(&w.program, config)
+        .expect("valid workload")
+        .run(&mut prof)
+        .expect("profiled run");
+    prof.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms::workloads::patterns;
+
+    #[test]
+    fn run_tool_covers_all_tools() {
+        let w = patterns::producer_consumer(4);
+        for tool in TOOLS {
+            let (secs, _, stats) = run_tool(&w, tool);
+            assert!(secs >= 0.0);
+            assert!(stats.basic_blocks > 0, "{tool}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tool")]
+    fn unknown_tool_panics() {
+        let w = patterns::producer_consumer(2);
+        let _ = run_tool(&w, "bogus");
+    }
+
+    #[test]
+    fn measure_suite_fills_table() {
+        let mut table = OverheadTable::new();
+        let suite = vec![patterns::producer_consumer(4), patterns::stream_reader(4)];
+        measure_suite(&mut table, "patterns", &suite, 1);
+        assert_eq!(table.len(), TOOLS.len() * suite.len());
+        for tool in TOOLS {
+            assert!(table.mean_slowdown("patterns", tool) > 0.0);
+            assert!(table.mean_space("patterns", tool) >= 1.0);
+        }
+    }
+}

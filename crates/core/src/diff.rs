@@ -1,0 +1,221 @@
+//! Comparing profile reports across runs.
+//!
+//! Input-sensitive profiles are most useful longitudinally: did a code
+//! change alter a routine's empirical cost function, or shift workload
+//! between threads and the kernel? [`diff_reports`] compares two
+//! thread-merged reports routine by routine and classifies the changes.
+
+use crate::profile::{ProfileReport, RoutineProfile};
+use drms_trace::RoutineId;
+use std::collections::BTreeMap;
+
+/// The change observed for one routine between two reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoutineChange {
+    /// Present only in the new report.
+    Appeared,
+    /// Present only in the old report.
+    Disappeared,
+    /// Present in both; carries the measured deltas.
+    Changed(RoutineDelta),
+}
+
+/// Deltas of the key per-routine quantities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutineDelta {
+    /// Calls in the old and new reports.
+    pub calls: (u64, u64),
+    /// Distinct drms values in the old and new reports.
+    pub distinct_drms: (usize, usize),
+    /// Dynamic input volume (`1 − Σrms/Σdrms`) old → new.
+    pub volume: (f64, f64),
+    /// Worst-case cost at the largest common drms input size, old → new,
+    /// if the two runs share any input size.
+    pub cost_at_common_input: Option<(u64, u64)>,
+}
+
+impl RoutineDelta {
+    /// Ratio `new/old` of the worst cost at the largest shared input
+    /// size; `None` when the runs share no input size or old cost is 0.
+    pub fn cost_ratio(&self) -> Option<f64> {
+        match self.cost_at_common_input {
+            Some((old, new)) if old > 0 => Some(new as f64 / old as f64),
+            _ => None,
+        }
+    }
+
+    /// Whether anything beyond call counts moved by more than `epsilon`
+    /// (relative, for the cost ratio; absolute, for the volume).
+    pub fn is_significant(&self, epsilon: f64) -> bool {
+        if (self.volume.1 - self.volume.0).abs() > epsilon {
+            return true;
+        }
+        match self.cost_ratio() {
+            Some(r) => (r - 1.0).abs() > epsilon,
+            None => self.distinct_drms.0 != self.distinct_drms.1,
+        }
+    }
+}
+
+fn volume_of(p: &RoutineProfile) -> f64 {
+    if p.sum_drms == 0 {
+        0.0
+    } else {
+        1.0 - p.sum_rms as f64 / p.sum_drms as f64
+    }
+}
+
+fn delta(old: &RoutineProfile, new: &RoutineProfile) -> RoutineDelta {
+    let common = old
+        .by_drms
+        .keys()
+        .rev()
+        .find(|n| new.by_drms.contains_key(*n));
+    let cost_at_common_input = common.map(|n| (old.by_drms[n].max, new.by_drms[n].max));
+    RoutineDelta {
+        calls: (old.calls, new.calls),
+        distinct_drms: (old.distinct_drms(), new.distinct_drms()),
+        volume: (volume_of(old), volume_of(new)),
+        cost_at_common_input,
+    }
+}
+
+/// Compares two reports (thread-merged), returning one entry per routine
+/// that appears in either.
+///
+/// # Example
+/// ```
+/// use drms_core::diff::{diff_reports, RoutineChange};
+/// use drms_core::ProfileReport;
+/// use drms_trace::{RoutineId, ThreadId};
+///
+/// let mut old = ProfileReport::new();
+/// old.entry(RoutineId::new(0), ThreadId::MAIN).record(4, 4, 100);
+/// let mut new = ProfileReport::new();
+/// new.entry(RoutineId::new(0), ThreadId::MAIN).record(4, 4, 250);
+/// new.entry(RoutineId::new(1), ThreadId::MAIN).record(1, 1, 5);
+///
+/// let changes = diff_reports(&old, &new);
+/// assert!(matches!(changes[&RoutineId::new(1)], RoutineChange::Appeared));
+/// if let RoutineChange::Changed(d) = &changes[&RoutineId::new(0)] {
+///     assert_eq!(d.cost_ratio(), Some(2.5));
+/// } else {
+///     unreachable!();
+/// }
+/// ```
+pub fn diff_reports(
+    old: &ProfileReport,
+    new: &ProfileReport,
+) -> BTreeMap<RoutineId, RoutineChange> {
+    let old_merged = old.merged_by_routine();
+    let new_merged = new.merged_by_routine();
+    let mut out = BTreeMap::new();
+    for (&r, op) in &old_merged {
+        match new_merged.get(&r) {
+            Some(np) => {
+                out.insert(r, RoutineChange::Changed(delta(op, np)));
+            }
+            None => {
+                out.insert(r, RoutineChange::Disappeared);
+            }
+        }
+    }
+    for &r in new_merged.keys() {
+        out.entry(r).or_insert(RoutineChange::Appeared);
+    }
+    out
+}
+
+/// Routines whose delta is significant at `epsilon`, worst cost ratio
+/// first — the "what regressed" view.
+pub fn regressions(
+    old: &ProfileReport,
+    new: &ProfileReport,
+    epsilon: f64,
+) -> Vec<(RoutineId, RoutineDelta)> {
+    let mut out: Vec<(RoutineId, RoutineDelta)> = diff_reports(old, new)
+        .into_iter()
+        .filter_map(|(r, c)| match c {
+            RoutineChange::Changed(d) if d.is_significant(epsilon) => Some((r, d)),
+            _ => None,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        let ra = a.1.cost_ratio().unwrap_or(1.0);
+        let rb = b.1.cost_ratio().unwrap_or(1.0);
+        rb.partial_cmp(&ra).expect("finite ratios")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_trace::ThreadId;
+
+    fn report(entries: &[(u32, u64, u64, u64)]) -> ProfileReport {
+        let mut rep = ProfileReport::new();
+        for &(r, rms, drms, cost) in entries {
+            rep.entry(RoutineId::new(r), ThreadId::MAIN)
+                .record(rms, drms, cost);
+        }
+        rep
+    }
+
+    #[test]
+    fn classifies_appeared_and_disappeared() {
+        let old = report(&[(0, 1, 1, 10)]);
+        let new = report(&[(1, 1, 1, 10)]);
+        let changes = diff_reports(&old, &new);
+        assert_eq!(changes[&RoutineId::new(0)], RoutineChange::Disappeared);
+        assert_eq!(changes[&RoutineId::new(1)], RoutineChange::Appeared);
+    }
+
+    #[test]
+    fn detects_cost_regressions_at_common_input() {
+        let old = report(&[(0, 8, 8, 100), (0, 16, 16, 200)]);
+        let new = report(&[(0, 8, 8, 100), (0, 16, 16, 800)]);
+        let regs = regressions(&old, &new, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].0, RoutineId::new(0));
+        assert_eq!(regs[0].1.cost_ratio(), Some(4.0));
+        assert_eq!(regs[0].1.cost_at_common_input, Some((200, 800)));
+    }
+
+    #[test]
+    fn stable_routines_are_not_significant() {
+        let old = report(&[(0, 8, 8, 100)]);
+        let new = report(&[(0, 8, 8, 103)]);
+        assert!(regressions(&old, &new, 0.1).is_empty());
+        let changes = diff_reports(&old, &new);
+        if let RoutineChange::Changed(d) = &changes[&RoutineId::new(0)] {
+            assert!(!d.is_significant(0.1));
+            assert!((d.cost_ratio().unwrap() - 1.03).abs() < 1e-9);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn volume_shift_is_significant_without_cost_change() {
+        // Same costs, but the new run attributes the input dynamically.
+        let old = report(&[(0, 10, 10, 100)]);
+        let new = report(&[(0, 1, 10, 100)]);
+        let regs = regressions(&old, &new, 0.1);
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].1.volume.1 - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_input_sizes_fall_back_to_point_counts() {
+        let old = report(&[(0, 4, 4, 10)]);
+        let new = report(&[(0, 9, 9, 10), (0, 11, 11, 12)]);
+        let changes = diff_reports(&old, &new);
+        if let RoutineChange::Changed(d) = &changes[&RoutineId::new(0)] {
+            assert_eq!(d.cost_at_common_input, None);
+            assert!(d.is_significant(0.5), "point count changed 1 -> 2");
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! `drms` — input-sensitive profiling with dynamic workloads.
+//!
+//! A from-scratch Rust reproduction of the CGO 2014 paper *Estimating the
+//! Empirical Cost Function of Routines with Dynamic Workloads*: the
+//! **dynamic read memory size (drms)** metric, the read/write
+//! timestamping profiling algorithm that computes it, and everything the
+//! paper's evaluation rests on — an instrumented guest VM standing in for
+//! the Valgrind substrate, comparison tools, benchmark workloads, and
+//! analysis/fit machinery for empirical cost functions.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`trace`] | event model, per-thread traces, merging, replay |
+//! | [`vm`] | guest IR, program builder, interpreter, kernel model, tools |
+//! | [`core`] | [`core::DrmsProfiler`], [`core::RmsProfiler`], [`core::NaiveProfiler`], profiles |
+//! | [`tools`] | memcheck-, callgrind-, helgrind-like comparison tools |
+//! | [`workloads`] | producer/consumer, stream reader, sorting, minidb, imgpipe, PARSEC/OMP-like suites |
+//! | [`analysis`] | cost plots, model fitting, paper metrics, renderers |
+//!
+//! # Quick start
+//!
+//! ```
+//! use drms::prelude::*;
+//!
+//! // The paper's Figure 3 pattern: a routine that streams data through
+//! // a two-cell buffer. rms sees 1 input cell; drms sees all of them.
+//! let w = drms::workloads::patterns::stream_reader(16);
+//! let (report, _stats) = drms::profile_workload(&w).unwrap();
+//! let p = report.merged_routine(w.focus.unwrap());
+//! assert_eq!(p.rms_plot().last().unwrap().0, 1);
+//! assert_eq!(p.drms_plot().last().unwrap().0, 16);
+//! ```
+
+pub use drms_analysis as analysis;
+pub use drms_core as core;
+pub use drms_tools as tools;
+pub use drms_trace as trace;
+pub use drms_vm as vm;
+pub use drms_workloads as workloads;
+
+use drms_core::{DrmsConfig, DrmsProfiler, ProfileReport};
+use drms_vm::{Program, RunConfig, RunError, RunStats, Vm};
+use drms_workloads::Workload;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use drms_analysis::{
+        best_fit, CostPlot, FitResult, InputMetric, Measurement, Model, OverheadTable,
+    };
+    pub use drms_core::{
+        DrmsConfig, DrmsProfiler, InputBreakdown, NaiveProfiler, ProfileReport, RmsProfiler,
+        RoutineProfile,
+    };
+    pub use drms_trace::{Addr, Event, EventSink, RoutineId, ThreadId, TimedEvent};
+    pub use drms_vm::{
+        run_program, Device, NullTool, Operand, Program, ProgramBuilder, RunConfig, RunStats,
+        SchedPolicy, SyscallNo, Tool, Vm,
+    };
+    pub use drms_workloads::Workload;
+}
+
+/// Profiles `program` under `config` with the full drms metric, returning
+/// the thread-sensitive profile report and the run statistics.
+///
+/// # Errors
+/// Propagates any guest [`RunError`].
+///
+/// # Example
+/// ```
+/// use drms::vm::{ProgramBuilder, RunConfig};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let g = pb.global(4);
+/// let main = pb.function("main", 0, |f| {
+///     let _ = f.load(g.raw() as i64, 0);
+///     f.ret(None);
+/// });
+/// let program = pb.finish(main).unwrap();
+/// let (report, stats) = drms::profile(&program, RunConfig::default()).unwrap();
+/// assert!(stats.basic_blocks > 0);
+/// assert!(!report.is_empty());
+/// ```
+pub fn profile(program: &Program, config: RunConfig) -> Result<(ProfileReport, RunStats), RunError> {
+    profile_with(program, config, DrmsConfig::full())
+}
+
+/// Like [`profile`], with an explicit [`DrmsConfig`] (e.g. external input
+/// only, or a small renumbering limit).
+pub fn profile_with(
+    program: &Program,
+    config: RunConfig,
+    drms: DrmsConfig,
+) -> Result<(ProfileReport, RunStats), RunError> {
+    let mut profiler = DrmsProfiler::new(drms);
+    let stats = Vm::new(program, config)?.run(&mut profiler)?;
+    Ok((profiler.into_report(), stats))
+}
+
+/// Profiles a prebuilt [`Workload`] with its own devices and defaults.
+///
+/// # Errors
+/// Propagates any guest [`RunError`].
+pub fn profile_workload(w: &Workload) -> Result<(ProfileReport, RunStats), RunError> {
+    profile(&w.program, w.run_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_analysis::{CostPlot, InputMetric, Model};
+
+    #[test]
+    fn end_to_end_minidb_fit() {
+        let sizes = [16, 32, 64, 128, 256, 512];
+        let w = drms_workloads::minidb::minidb_scaling(&sizes);
+        let (report, _) = profile_workload(&w).unwrap();
+        let p = report.merged_routine(w.focus.unwrap());
+        let drms_fit = CostPlot::of(&p, InputMetric::Drms).fit(0.02);
+        assert_eq!(
+            drms_fit.model,
+            Model::Linear,
+            "drms reveals mysql_select's linear cost: {drms_fit}"
+        );
+    }
+
+    #[test]
+    fn profile_with_static_config_equals_rms() {
+        let w = drms_workloads::patterns::stream_reader(10);
+        let (full, _) = profile_workload(&w).unwrap();
+        let (stat, _) =
+            profile_with(&w.program, w.run_config(), DrmsConfig::static_only()).unwrap();
+        let f = w.focus.unwrap();
+        assert_eq!(
+            stat.merged_routine(f).drms_plot(),
+            full.merged_routine(f).rms_plot()
+        );
+    }
+}

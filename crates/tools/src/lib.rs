@@ -1,0 +1,25 @@
+//! Comparison dynamic-analysis tools sharing the `drms-vm` instrumentation
+//! substrate.
+//!
+//! The paper evaluates `aprof-drms` against four reference Valgrind tools
+//! that share one instrumentation infrastructure; this crate provides
+//! their analogues over the guest VM so Table 1 and Figure 16 can be
+//! regenerated with the same substrate-sharing methodology:
+//!
+//! * [`drms_vm::NullTool`] — `nulgrind`: subscribes and does nothing;
+//! * [`MemcheckTool`] — definedness bits, one shadow byte per cell;
+//! * [`CallgrindTool`] — dynamic call graph with inclusive/exclusive
+//!   costs, no per-access shadowing;
+//! * [`HelgrindTool`] — vector-clock happens-before race detection, the
+//!   heavyweight concurrency analysis.
+//!
+//! The profilers themselves (`drms_core::RmsProfiler` = `aprof`,
+//! `drms_core::DrmsProfiler` = `aprof-drms`) live in `drms-core`.
+
+pub mod callgrind;
+pub mod helgrind;
+pub mod memcheck;
+
+pub use callgrind::{ArcStats, CallgrindTool, RoutineCost};
+pub use helgrind::{HelgrindTool, RaceReport};
+pub use memcheck::MemcheckTool;

@@ -1,0 +1,277 @@
+//! Plain-text trace serialization.
+//!
+//! One event per line:
+//!
+//! ```text
+//! <time> <thread> <cost> <mnemonic> [args...]
+//! ```
+//!
+//! The format is stable, diff-friendly and human-readable; it backs golden
+//! tests and lets traces be captured once and re-analysed offline.
+
+use crate::event::{Event, SyncOp, TimedEvent};
+use crate::ids::{Addr, BlockId, RoutineId, ThreadId};
+use std::fmt::Write as _;
+
+/// Error produced when parsing a serialized trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes events to the line-oriented text format.
+///
+/// # Example
+/// ```
+/// use drms_trace::{TimedEvent, Event, ThreadId, RoutineId};
+/// use drms_trace::codec::{to_text, from_text};
+/// let evs = vec![TimedEvent::new(1, ThreadId::MAIN, 0,
+///     Event::Call { routine: RoutineId::new(2) })];
+/// let text = to_text(&evs);
+/// assert_eq!(from_text(&text).unwrap(), evs);
+/// ```
+pub fn to_text(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        write_event(&mut out, ev);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_event(out: &mut String, ev: &TimedEvent) {
+    let _ = write!(
+        out,
+        "{} {} {} {}",
+        ev.time,
+        ev.thread.index(),
+        ev.cost,
+        ev.event.mnemonic()
+    );
+    match ev.event {
+        Event::Call { routine } | Event::Return { routine } => {
+            let _ = write!(out, " {}", routine.index());
+        }
+        Event::Read { addr, len }
+        | Event::Write { addr, len }
+        | Event::UserToKernel { addr, len }
+        | Event::KernelToUser { addr, len } => {
+            let _ = write!(out, " {} {}", addr.raw(), len);
+        }
+        Event::ThreadStart { parent } => {
+            if let Some(p) = parent {
+                let _ = write!(out, " {}", p.index());
+            }
+        }
+        Event::ThreadExit => {}
+        Event::Sync { op } => {
+            let _ = match op {
+                SyncOp::SemWait(s) => write!(out, " semw {s}"),
+                SyncOp::SemSignal(s) => write!(out, " sems {s}"),
+                SyncOp::MutexLock(m) => write!(out, " mtxl {m}"),
+                SyncOp::MutexUnlock(m) => write!(out, " mtxu {m}"),
+                SyncOp::CondWait { cond, mutex } => write!(out, " cvw {cond} {mutex}"),
+                SyncOp::CondSignal(c) => write!(out, " cvs {c}"),
+                SyncOp::CondBroadcast(c) => write!(out, " cvb {c}"),
+                SyncOp::Spawn { child } => write!(out, " spawn {}", child.index()),
+                SyncOp::Join { child } => write!(out, " join {}", child.index()),
+            };
+        }
+        Event::Block { routine, block } => {
+            let _ = write!(out, " {} {}", routine.index(), block.index());
+        }
+    }
+}
+
+/// Parses the line-oriented text format back into events.
+///
+/// Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+/// Returns a [`ParseTraceError`] naming the first malformed line.
+pub fn from_text(text: &str) -> Result<Vec<TimedEvent>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line, line_no)?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<TimedEvent, ParseTraceError> {
+    let err = |message: String| ParseTraceError {
+        line: line_no,
+        message,
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let next_u64 = |what: &str, parts: &mut std::str::SplitAsciiWhitespace<'_>| {
+        parts
+            .next()
+            .ok_or_else(|| err(format!("missing {what}")))?
+            .parse::<u64>()
+            .map_err(|e| err(format!("bad {what}: {e}")))
+    };
+    let time = next_u64("time", &mut parts)?;
+    let thread = ThreadId::new(next_u64("thread", &mut parts)? as u32);
+    let cost = next_u64("cost", &mut parts)?;
+    let kind = parts.next().ok_or_else(|| err("missing kind".into()))?;
+    let event = match kind {
+        "call" | "ret" => {
+            let r = RoutineId::new(next_u64("routine", &mut parts)? as u32);
+            if kind == "call" {
+                Event::Call { routine: r }
+            } else {
+                Event::Return { routine: r }
+            }
+        }
+        "rd" | "wr" | "u2k" | "k2u" => {
+            let addr = Addr::new(next_u64("addr", &mut parts)?);
+            let len = next_u64("len", &mut parts)? as u32;
+            match kind {
+                "rd" => Event::Read { addr, len },
+                "wr" => Event::Write { addr, len },
+                "u2k" => Event::UserToKernel { addr, len },
+                _ => Event::KernelToUser { addr, len },
+            }
+        }
+        "tstart" => {
+            let parent = parts
+                .next()
+                .map(|p| {
+                    p.parse::<u32>()
+                        .map(ThreadId::new)
+                        .map_err(|e| err(format!("bad parent: {e}")))
+                })
+                .transpose()?;
+            Event::ThreadStart { parent }
+        }
+        "texit" => Event::ThreadExit,
+        "bb" => {
+            let r = RoutineId::new(next_u64("routine", &mut parts)? as u32);
+            let b = BlockId::new(next_u64("block", &mut parts)? as u32);
+            Event::Block {
+                routine: r,
+                block: b,
+            }
+        }
+        "sync" => {
+            let op = parts.next().ok_or_else(|| err("missing sync op".into()))?;
+            let sync = match op {
+                "semw" => SyncOp::SemWait(next_u64("sem", &mut parts)? as u32),
+                "sems" => SyncOp::SemSignal(next_u64("sem", &mut parts)? as u32),
+                "mtxl" => SyncOp::MutexLock(next_u64("mutex", &mut parts)? as u32),
+                "mtxu" => SyncOp::MutexUnlock(next_u64("mutex", &mut parts)? as u32),
+                "cvw" => SyncOp::CondWait {
+                    cond: next_u64("cond", &mut parts)? as u32,
+                    mutex: next_u64("mutex", &mut parts)? as u32,
+                },
+                "cvs" => SyncOp::CondSignal(next_u64("cond", &mut parts)? as u32),
+                "cvb" => SyncOp::CondBroadcast(next_u64("cond", &mut parts)? as u32),
+                "spawn" => SyncOp::Spawn {
+                    child: ThreadId::new(next_u64("child", &mut parts)? as u32),
+                },
+                "join" => SyncOp::Join {
+                    child: ThreadId::new(next_u64("child", &mut parts)? as u32),
+                },
+                other => return Err(err(format!("unknown sync op `{other}`"))),
+            };
+            Event::Sync { op: sync }
+        }
+        other => return Err(err(format!("unknown event kind `{other}`"))),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(err(format!("trailing token `{extra}`")));
+    }
+    Ok(TimedEvent {
+        time,
+        thread,
+        cost,
+        event,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TimedEvent> {
+        let t = ThreadId::new(1);
+        vec![
+            TimedEvent::new(1, t, 0, Event::ThreadStart { parent: Some(ThreadId::MAIN) }),
+            TimedEvent::new(2, t, 0, Event::Call { routine: RoutineId::new(4) }),
+            TimedEvent::new(3, t, 1, Event::Block { routine: RoutineId::new(4), block: BlockId::new(0) }),
+            TimedEvent::new(4, t, 1, Event::Read { addr: Addr::new(100), len: 8 }),
+            TimedEvent::new(5, t, 1, Event::Write { addr: Addr::new(200), len: 1 }),
+            TimedEvent::new(6, t, 2, Event::KernelToUser { addr: Addr::new(300), len: 16 }),
+            TimedEvent::new(7, t, 2, Event::UserToKernel { addr: Addr::new(300), len: 16 }),
+            TimedEvent::new(8, t, 2, Event::Sync { op: SyncOp::SemWait(3) }),
+            TimedEvent::new(9, t, 2, Event::Sync { op: SyncOp::CondWait { cond: 1, mutex: 2 } }),
+            TimedEvent::new(10, t, 2, Event::Sync { op: SyncOp::Spawn { child: ThreadId::new(2) } }),
+            TimedEvent::new(11, t, 3, Event::Return { routine: RoutineId::new(4) }),
+            TimedEvent::new(12, t, 3, Event::ThreadExit),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_event_kinds() {
+        let evs = sample_events();
+        let text = to_text(&evs);
+        let back = from_text(&text).expect("parse");
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn roundtrip_main_thread_start_without_parent() {
+        let evs = vec![TimedEvent::new(
+            0,
+            ThreadId::MAIN,
+            0,
+            Event::ThreadStart { parent: None },
+        )];
+        assert_eq!(from_text(&to_text(&evs)).unwrap(), evs);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let text = "# header\n\n1 0 0 texit\n";
+        let evs = from_text(text).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].event, Event::ThreadExit);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "1 0 0 texit\n2 0 0 bogus\n";
+        let e = from_text(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = from_text("1 0 0 texit junk").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(from_text("1 0 0 rd 5").is_err());
+        assert!(from_text("1 0").is_err());
+        assert!(from_text("x 0 0 texit").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Newtypes keep thread ids, routine ids, guest memory addresses and basic
+//! block ids statically distinct (C-NEWTYPE), while remaining `Copy` and
+//! cheap to pass around.
+
+use std::fmt;
+
+/// Identifier of a guest thread.
+///
+/// Thread ids are small dense integers assigned by the execution substrate
+/// in spawn order; the main thread is conventionally `ThreadId::MAIN`.
+///
+/// # Example
+/// ```
+/// use drms_trace::ThreadId;
+/// assert_eq!(ThreadId::MAIN.index(), 0);
+/// assert_eq!(ThreadId::new(3).to_string(), "T3");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// The main (first) thread of a guest program.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the dense index of this thread.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for ThreadId {
+    fn from(v: u32) -> Self {
+        ThreadId(v)
+    }
+}
+
+/// Identifier of a guest routine (function).
+///
+/// Routine ids index into a program's routine table; human-readable names
+/// are resolved through a [`NameTable`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RoutineId(u32);
+
+impl RoutineId {
+    /// Creates a routine id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        RoutineId(index)
+    }
+
+    /// Returns the dense index of this routine.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RoutineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u32> for RoutineId {
+    fn from(v: u32) -> Self {
+        RoutineId(v)
+    }
+}
+
+/// Identifier of a basic block within a routine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from its dense index within the owning routine.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        BlockId(index)
+    }
+
+    /// Returns the dense index of this block within its routine.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A guest memory address, in *cells* (one cell = one guest word).
+///
+/// The profiling algorithms track input sizes at cell granularity, the
+/// analogue of the word granularity used by the original Valgrind tool.
+/// Arithmetic helpers are provided for range expansion.
+///
+/// # Example
+/// ```
+/// use drms_trace::Addr;
+/// let a = Addr::new(0x100);
+/// assert_eq!(a.offset(4), Addr::new(0x104));
+/// assert_eq!(a.to_string(), "0x100");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Guest programs never map cell 0.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw cell index.
+    #[inline]
+    pub const fn new(cell: u64) -> Self {
+        Addr(cell)
+    }
+
+    /// Returns the raw cell index.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address `delta` cells after `self`.
+    #[inline]
+    pub const fn offset(self, delta: u64) -> Self {
+        Addr(self.0 + delta)
+    }
+
+    /// Iterates the `len` cells of the range starting at `self`.
+    pub fn range(self, len: u32) -> impl Iterator<Item = Addr> {
+        (self.0..self.0 + len as u64).map(Addr)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// Maps dense [`RoutineId`]s to human-readable routine names.
+///
+/// Produced by the execution substrate (the guest program knows its routine
+/// names) and consumed by report renderers.
+///
+/// # Example
+/// ```
+/// use drms_trace::{NameTable, RoutineId};
+/// let mut names = NameTable::new();
+/// let id = names.intern("mysql_select");
+/// assert_eq!(names.name(id), "mysql_select");
+/// assert_eq!(names.intern("mysql_select"), id);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NameTable {
+    names: Vec<String>,
+}
+
+impl NameTable {
+    /// Creates an empty name table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its routine id. Repeated interning of the
+    /// same name returns the same id.
+    pub fn intern(&mut self, name: &str) -> RoutineId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return RoutineId::new(pos as u32);
+        }
+        self.names.push(name.to_owned());
+        RoutineId::new((self.names.len() - 1) as u32)
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: RoutineId) -> &str {
+        &self.names[id.index() as usize]
+    }
+
+    /// Returns the name of `id`, or `None` if unknown.
+    pub fn get(&self, id: RoutineId) -> Option<&str> {
+        self.names.get(id.index() as usize).map(String::as_str)
+    }
+
+    /// Looks up a routine id by exact name.
+    pub fn id_of(&self, name: &str) -> Option<RoutineId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| RoutineId::new(p as u32))
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RoutineId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (RoutineId::new(i as u32), n.as_str()))
+    }
+}
+
+impl FromIterator<String> for NameTable {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        NameTable {
+            names: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_roundtrip() {
+        let t = ThreadId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t, ThreadId::from(7));
+        assert_eq!(format!("{t}"), "T7");
+        assert!(ThreadId::MAIN < t);
+    }
+
+    #[test]
+    fn routine_and_block_display() {
+        assert_eq!(RoutineId::new(2).to_string(), "R2");
+        assert_eq!(BlockId::new(5).to_string(), "bb5");
+    }
+
+    #[test]
+    fn addr_range_expansion() {
+        let a = Addr::new(10);
+        let cells: Vec<u64> = a.range(3).map(Addr::raw).collect();
+        assert_eq!(cells, vec![10, 11, 12]);
+        assert_eq!(a.offset(2), Addr::new(12));
+    }
+
+    #[test]
+    fn addr_range_empty() {
+        assert_eq!(Addr::new(4).range(0).count(), 0);
+    }
+
+    #[test]
+    fn name_table_interning() {
+        let mut t = NameTable::new();
+        assert!(t.is_empty());
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(t.name(b), "beta");
+        assert_eq!(t.id_of("beta"), Some(b));
+        assert_eq!(t.id_of("gamma"), None);
+        assert_eq!(t.len(), 2);
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(a, "alpha"), (b, "beta")]);
+    }
+
+    #[test]
+    fn name_table_from_iter() {
+        let t: NameTable = vec!["x".to_string(), "y".to_string()].into_iter().collect();
+        assert_eq!(t.name(RoutineId::new(1)), "y");
+        assert_eq!(t.get(RoutineId::new(9)), None);
+    }
+}

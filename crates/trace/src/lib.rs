@@ -1,0 +1,52 @@
+//! Execution-trace event model for input-sensitive profiling.
+//!
+//! This crate defines the vocabulary shared by the whole `drms` workspace:
+//!
+//! * [`ids`] — strongly-typed identifiers for threads, routines, memory
+//!   addresses and basic blocks;
+//! * [`event`] — the instrumentation events a dynamic-analysis substrate
+//!   produces (`call`, `return`, `read`, `write`, `userToKernel`,
+//!   `kernelToUser`, synchronization operations, …);
+//! * [`trace`] — per-thread recorded traces of timestamped events;
+//! * [`merge`] — merging per-thread traces into a single totally-ordered
+//!   execution trace, breaking timestamp ties arbitrarily (Section 3 of the
+//!   paper);
+//! * [`replay()`] — feeding a merged trace back into an [`EventSink`], the
+//!   consumer-side trait implemented by profilers, with `switchThread`
+//!   notifications synthesized between events of different threads;
+//! * [`codec`] — a plain-text serialization of traces for golden tests and
+//!   offline analysis.
+//!
+//! The design mirrors the paper's model: the profiler is given per-thread
+//! traces of timestamped operations, which are logically merged into one
+//! totally-ordered execution trace (ties between threads broken
+//! arbitrarily) before being consumed by the profiling algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use drms_trace::{Event, ThreadId, RoutineId, Addr, ThreadTrace, merge_traces};
+//!
+//! let t0 = ThreadId::new(0);
+//! let mut tr = ThreadTrace::new(t0);
+//! tr.push(1, 0, Event::Call { routine: RoutineId::new(0) });
+//! tr.push(2, 1, Event::Read { addr: Addr::new(0x10), len: 1 });
+//! tr.push(3, 2, Event::Return { routine: RoutineId::new(0) });
+//! let merged = merge_traces(vec![tr]);
+//! assert_eq!(merged.len(), 3);
+//! ```
+
+pub mod codec;
+pub mod event;
+pub mod ids;
+pub mod merge;
+pub mod replay;
+pub mod stats;
+pub mod trace;
+
+pub use event::{Event, SyncOp, TimedEvent};
+pub use ids::{Addr, BlockId, NameTable, RoutineId, ThreadId};
+pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};
+pub use replay::{replay, EventSink};
+pub use stats::TraceStats;
+pub use trace::ThreadTrace;

@@ -1,0 +1,197 @@
+//! Summary statistics over event streams.
+//!
+//! [`TraceStats`] condenses a (merged or per-thread) event sequence into
+//! the numbers one wants before profiling it: event counts by kind and
+//! by thread, memory traffic in cells, kernel transfer volumes, call
+//! depths and footprint. Useful both for sanity-checking recorded traces
+//! and for sizing profiler runs.
+
+use crate::event::{Event, TimedEvent};
+use crate::ids::ThreadId;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Aggregate statistics of one event sequence.
+///
+/// # Example
+/// ```
+/// use drms_trace::{Event, TimedEvent, ThreadId, RoutineId, Addr};
+/// use drms_trace::stats::TraceStats;
+///
+/// let t = ThreadId::MAIN;
+/// let events = vec![
+///     TimedEvent::new(1, t, 0, Event::Call { routine: RoutineId::new(0) }),
+///     TimedEvent::new(2, t, 1, Event::Read { addr: Addr::new(10), len: 4 }),
+///     TimedEvent::new(3, t, 2, Event::Return { routine: RoutineId::new(0) }),
+/// ];
+/// let stats = TraceStats::of(&events);
+/// assert_eq!(stats.total_events, 3);
+/// assert_eq!(stats.cells_read, 4);
+/// assert_eq!(stats.max_call_depth, 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of events.
+    pub total_events: usize,
+    /// Events per kind mnemonic (`call`, `rd`, `k2u`, …).
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Events per thread.
+    pub per_thread: BTreeMap<ThreadId, usize>,
+    /// Cells read by guest code (ranges expanded).
+    pub cells_read: u64,
+    /// Cells written by guest code.
+    pub cells_written: u64,
+    /// Cells transferred kernel → user (external input volume).
+    pub cells_kernel_to_user: u64,
+    /// Cells transferred user → kernel (output volume).
+    pub cells_user_to_kernel: u64,
+    /// Distinct memory cells touched by any event.
+    pub distinct_cells: u64,
+    /// Maximum call depth reached by any thread.
+    pub max_call_depth: u32,
+    /// Routine activations (call events).
+    pub calls: usize,
+    /// Synchronization operations.
+    pub sync_ops: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `events`.
+    pub fn of(events: &[TimedEvent]) -> Self {
+        let mut stats = TraceStats::default();
+        let mut depths: BTreeMap<ThreadId, u32> = BTreeMap::new();
+        let mut cells: HashSet<u64> = HashSet::new();
+        for ev in events {
+            stats.total_events += 1;
+            *stats.by_kind.entry(ev.event.mnemonic()).or_default() += 1;
+            *stats.per_thread.entry(ev.thread).or_default() += 1;
+            if let Some((addr, len)) = ev.event.mem_range() {
+                for cell in addr.range(len) {
+                    cells.insert(cell.raw());
+                }
+                let len = len as u64;
+                match ev.event {
+                    Event::Read { .. } => stats.cells_read += len,
+                    Event::Write { .. } => stats.cells_written += len,
+                    Event::KernelToUser { .. } => stats.cells_kernel_to_user += len,
+                    Event::UserToKernel { .. } => stats.cells_user_to_kernel += len,
+                    _ => {}
+                }
+            }
+            match ev.event {
+                Event::Call { .. } => {
+                    stats.calls += 1;
+                    let d = depths.entry(ev.thread).or_default();
+                    *d += 1;
+                    stats.max_call_depth = stats.max_call_depth.max(*d);
+                }
+                Event::Return { .. } => {
+                    let d = depths.entry(ev.thread).or_default();
+                    *d = d.saturating_sub(1);
+                }
+                Event::Sync { .. } => stats.sync_ops += 1,
+                _ => {}
+            }
+        }
+        stats.distinct_cells = cells.len() as u64;
+        stats
+    }
+
+    /// Number of threads that emitted at least one event.
+    pub fn thread_count(&self) -> usize {
+        self.per_thread.len()
+    }
+
+    /// Total external data volume (both directions), in cells.
+    pub fn kernel_traffic(&self) -> u64 {
+        self.cells_kernel_to_user + self.cells_user_to_kernel
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events across {} thread(s); {} calls (max depth {}), {} sync ops",
+            self.total_events,
+            self.thread_count(),
+            self.calls,
+            self.max_call_depth,
+            self.sync_ops
+        )?;
+        writeln!(
+            f,
+            "memory: {} cells read, {} written, {} distinct; kernel: {} in, {} out",
+            self.cells_read,
+            self.cells_written,
+            self.distinct_cells,
+            self.cells_kernel_to_user,
+            self.cells_user_to_kernel
+        )?;
+        for (kind, n) in &self.by_kind {
+            writeln!(f, "  {kind:>6}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Addr, RoutineId};
+
+    fn ev(time: u64, tid: u32, event: Event) -> TimedEvent {
+        TimedEvent::new(time, ThreadId::new(tid), 0, event)
+    }
+
+    #[test]
+    fn counts_kinds_threads_and_traffic() {
+        let events = vec![
+            ev(1, 0, Event::Call { routine: RoutineId::new(0) }),
+            ev(2, 0, Event::Call { routine: RoutineId::new(1) }),
+            ev(3, 0, Event::Read { addr: Addr::new(10), len: 2 }),
+            ev(4, 0, Event::Write { addr: Addr::new(11), len: 1 }),
+            ev(5, 1, Event::Call { routine: RoutineId::new(0) }),
+            ev(6, 1, Event::KernelToUser { addr: Addr::new(20), len: 8 }),
+            ev(7, 1, Event::UserToKernel { addr: Addr::new(20), len: 8 }),
+            ev(8, 0, Event::Return { routine: RoutineId::new(1) }),
+            ev(9, 0, Event::Sync { op: crate::event::SyncOp::SemWait(0) }),
+        ];
+        let s = TraceStats::of(&events);
+        assert_eq!(s.total_events, 9);
+        assert_eq!(s.thread_count(), 2);
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.max_call_depth, 2);
+        assert_eq!(s.cells_read, 2);
+        assert_eq!(s.cells_written, 1);
+        assert_eq!(s.cells_kernel_to_user, 8);
+        assert_eq!(s.cells_user_to_kernel, 8);
+        assert_eq!(s.kernel_traffic(), 16);
+        // cells 10, 11 and 20..28 → 10 distinct
+        assert_eq!(s.distinct_cells, 10);
+        assert_eq!(s.sync_ops, 1);
+        assert_eq!(s.by_kind["call"], 3);
+        let shown = s.to_string();
+        assert!(shown.contains("9 events across 2 thread(s)"));
+        assert!(shown.contains("call"));
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = TraceStats::of(&[]);
+        assert_eq!(s, TraceStats::default());
+        assert_eq!(s.thread_count(), 0);
+    }
+
+    #[test]
+    fn depth_is_per_thread() {
+        let events = vec![
+            ev(1, 0, Event::Call { routine: RoutineId::new(0) }),
+            ev(2, 1, Event::Call { routine: RoutineId::new(0) }),
+            ev(3, 1, Event::Return { routine: RoutineId::new(0) }),
+            ev(4, 1, Event::Call { routine: RoutineId::new(0) }),
+        ];
+        let s = TraceStats::of(&events);
+        assert_eq!(s.max_call_depth, 1, "depths never stack across threads");
+    }
+}

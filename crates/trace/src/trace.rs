@@ -1,0 +1,278 @@
+//! Per-thread recorded traces.
+
+use crate::event::{Event, TimedEvent};
+use crate::ids::ThreadId;
+use std::fmt;
+
+/// Errors reported by [`ThreadTrace::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateTraceError {
+    /// An event in the trace belongs to a different thread.
+    ForeignThread { index: usize, found: ThreadId },
+    /// Timestamps are not monotonically non-decreasing.
+    NonMonotonicTime { index: usize },
+    /// A `Return` event had no matching pending `Call`.
+    UnbalancedReturn { index: usize },
+    /// Cumulative cost decreased between consecutive events.
+    DecreasingCost { index: usize },
+}
+
+impl fmt::Display for ValidateTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateTraceError::ForeignThread { index, found } => {
+                write!(f, "event {index} belongs to foreign thread {found}")
+            }
+            ValidateTraceError::NonMonotonicTime { index } => {
+                write!(f, "timestamp at event {index} decreases")
+            }
+            ValidateTraceError::UnbalancedReturn { index } => {
+                write!(f, "return at event {index} has no matching call")
+            }
+            ValidateTraceError::DecreasingCost { index } => {
+                write!(f, "cumulative cost at event {index} decreases")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateTraceError {}
+
+/// The recorded trace of a single guest thread: a time-ordered sequence of
+/// [`TimedEvent`]s all issued by the same thread.
+///
+/// # Example
+/// ```
+/// use drms_trace::{ThreadTrace, ThreadId, Event, RoutineId};
+/// let mut tr = ThreadTrace::new(ThreadId::MAIN);
+/// tr.push(1, 0, Event::Call { routine: RoutineId::new(0) });
+/// tr.push(2, 3, Event::Return { routine: RoutineId::new(0) });
+/// assert!(tr.validate().is_ok());
+/// assert_eq!(tr.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadTrace {
+    thread: ThreadId,
+    events: Vec<TimedEvent>,
+}
+
+impl ThreadTrace {
+    /// Creates an empty trace for `thread`.
+    pub fn new(thread: ThreadId) -> Self {
+        ThreadTrace {
+            thread,
+            events: Vec::new(),
+        }
+    }
+
+    /// The thread this trace belongs to.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Appends an event with the given timestamp and cumulative cost.
+    pub fn push(&mut self, time: u64, cost: u64, event: Event) {
+        self.events.push(TimedEvent::new(time, self.thread, cost, event));
+    }
+
+    /// Appends an already-timed event.
+    ///
+    /// # Panics
+    /// Panics if the event's thread differs from this trace's thread.
+    pub fn push_timed(&mut self, ev: TimedEvent) {
+        assert_eq!(
+            ev.thread, self.thread,
+            "event thread {} differs from trace thread {}",
+            ev.thread, self.thread
+        );
+        self.events.push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Consumes the trace, returning its events.
+    pub fn into_events(self) -> Vec<TimedEvent> {
+        self.events
+    }
+
+    /// Iterates the recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimedEvent> {
+        self.events.iter()
+    }
+
+    /// Checks structural well-formedness: homogeneous thread ids, monotone
+    /// timestamps, monotone costs and call/return balance (returns never
+    /// outnumber calls at any prefix; a trace may end with pending calls).
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ValidateTraceError> {
+        let mut depth: u64 = 0;
+        let mut last_time = 0u64;
+        let mut last_cost = 0u64;
+        for (index, ev) in self.events.iter().enumerate() {
+            if ev.thread != self.thread {
+                return Err(ValidateTraceError::ForeignThread {
+                    index,
+                    found: ev.thread,
+                });
+            }
+            if ev.time < last_time {
+                return Err(ValidateTraceError::NonMonotonicTime { index });
+            }
+            if ev.cost < last_cost {
+                return Err(ValidateTraceError::DecreasingCost { index });
+            }
+            last_time = ev.time;
+            last_cost = ev.cost;
+            match ev.event {
+                Event::Call { .. } => depth += 1,
+                Event::Return { .. } => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or(ValidateTraceError::UnbalancedReturn { index })?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for ThreadTrace {
+    type Item = TimedEvent;
+    type IntoIter = std::vec::IntoIter<TimedEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ThreadTrace {
+    type Item = &'a TimedEvent;
+    type IntoIter = std::slice::Iter<'a, TimedEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl Extend<TimedEvent> for ThreadTrace {
+    fn extend<I: IntoIterator<Item = TimedEvent>>(&mut self, iter: I) {
+        for ev in iter {
+            self.push_timed(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Addr, RoutineId};
+
+    fn call(r: u32) -> Event {
+        Event::Call {
+            routine: RoutineId::new(r),
+        }
+    }
+    fn ret(r: u32) -> Event {
+        Event::Return {
+            routine: RoutineId::new(r),
+        }
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut tr = ThreadTrace::new(ThreadId::new(2));
+        tr.push(1, 0, call(0));
+        tr.push(
+            2,
+            1,
+            Event::Read {
+                addr: Addr::new(5),
+                len: 1,
+            },
+        );
+        tr.push(3, 2, ret(0));
+        assert_eq!(tr.len(), 3);
+        assert!(!tr.is_empty());
+        assert!(tr.iter().all(|e| e.thread == ThreadId::new(2)));
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_return() {
+        let mut tr = ThreadTrace::new(ThreadId::MAIN);
+        tr.push(1, 0, ret(0));
+        assert_eq!(
+            tr.validate(),
+            Err(ValidateTraceError::UnbalancedReturn { index: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_time_regression() {
+        let mut tr = ThreadTrace::new(ThreadId::MAIN);
+        tr.push(5, 0, call(0));
+        tr.push(4, 1, ret(0));
+        assert_eq!(
+            tr.validate(),
+            Err(ValidateTraceError::NonMonotonicTime { index: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_cost_regression() {
+        let mut tr = ThreadTrace::new(ThreadId::MAIN);
+        tr.push(1, 9, call(0));
+        tr.push(2, 3, ret(0));
+        assert_eq!(
+            tr.validate(),
+            Err(ValidateTraceError::DecreasingCost { index: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_allows_pending_calls_at_end() {
+        let mut tr = ThreadTrace::new(ThreadId::MAIN);
+        tr.push(1, 0, call(0));
+        tr.push(2, 1, call(1));
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from trace thread")]
+    fn push_timed_rejects_foreign_thread() {
+        let mut tr = ThreadTrace::new(ThreadId::MAIN);
+        tr.push_timed(TimedEvent::new(1, ThreadId::new(1), 0, Event::ThreadExit));
+    }
+
+    #[test]
+    fn extend_and_into_iter() {
+        let mut tr = ThreadTrace::new(ThreadId::MAIN);
+        tr.extend(vec![TimedEvent::new(1, ThreadId::MAIN, 0, call(0))]);
+        let evs: Vec<_> = tr.clone().into_iter().collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((&tr).into_iter().count(), 1);
+    }
+
+    #[test]
+    fn validate_error_display() {
+        let e = ValidateTraceError::ForeignThread {
+            index: 3,
+            found: ThreadId::new(9),
+        };
+        assert!(e.to_string().contains("foreign thread T9"));
+    }
+}

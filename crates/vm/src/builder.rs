@@ -1,0 +1,858 @@
+//! Structured construction of guest programs.
+//!
+//! [`ProgramBuilder`] assembles routines, global arrays and synchronization
+//! objects; [`FnBuilder`] provides structured control flow (`if`/`while`/
+//! `for`) and expression helpers on top of raw basic blocks, so workloads
+//! read almost like source code:
+//!
+//! ```
+//! use drms_vm::{ProgramBuilder, run_program, RunConfig, NullTool};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.declare("main", 0);
+//! pb.define(main, |f| {
+//!     let buf = f.alloc(8);
+//!     f.for_range(0, 8, |f, i| {
+//!         let sq = f.mul(i, i);
+//!         f.store(buf, i, sq);
+//!     });
+//!     f.ret(None);
+//! });
+//! let program = pb.finish(main).unwrap();
+//! let stats = run_program(&program, RunConfig::default(), &mut NullTool::default()).unwrap();
+//! assert!(stats.instructions > 0);
+//! ```
+
+use crate::ir::{BinOp, Block, Inst, Operand, Program, Reg, Routine, Terminator};
+use crate::kernel::{Syscall, SyscallNo};
+use drms_trace::{Addr, BlockId, RoutineId};
+
+/// Base address of the first global array.
+const GLOBAL_BASE: u64 = 0x100;
+/// Minimum heap base, leaving room for globals below.
+const MIN_HEAP_BASE: u64 = 0x1_0000;
+
+/// Errors raised when finishing a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A declared routine was never defined.
+    UndefinedRoutine { name: String },
+    /// The structural validator rejected the assembled program.
+    Invalid(crate::ir::ValidateError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UndefinedRoutine { name } => {
+                write!(f, "routine `{name}` declared but never defined")
+            }
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+struct RoutineSlot {
+    name: String,
+    params: u16,
+    body: Option<Routine>,
+}
+
+/// Incremental builder for a [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    routines: Vec<RoutineSlot>,
+    semaphores: Vec<i64>,
+    mutexes: u32,
+    conds: u32,
+    globals: Vec<(Addr, Vec<i64>)>,
+    next_global: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            next_global: GLOBAL_BASE,
+            ..Default::default()
+        }
+    }
+
+    /// Declares a routine with `params` parameters, returning its id.
+    /// Declarations permit forward references and mutual recursion; every
+    /// declared routine must later be [`define`](Self::define)d.
+    pub fn declare(&mut self, name: &str, params: u16) -> RoutineId {
+        self.routines.push(RoutineSlot {
+            name: name.to_owned(),
+            params,
+            body: None,
+        });
+        RoutineId::new((self.routines.len() - 1) as u32)
+    }
+
+    /// Defines the body of a previously declared routine.
+    ///
+    /// The closure receives a [`FnBuilder`]; parameters occupy the first
+    /// registers (see [`FnBuilder::param`]). If the last block is left
+    /// unterminated, a `ret` (without value) is appended.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or already defined.
+    pub fn define(&mut self, id: RoutineId, body: impl FnOnce(&mut FnBuilder)) {
+        let slot = &self.routines[id.index() as usize];
+        assert!(slot.body.is_none(), "routine `{}` defined twice", slot.name);
+        let mut fb = FnBuilder::new(slot.name.clone(), slot.params);
+        body(&mut fb);
+        let routine = fb.finish();
+        self.routines[id.index() as usize].body = Some(routine);
+    }
+
+    /// Declares and defines a routine in one step.
+    pub fn function(
+        &mut self,
+        name: &str,
+        params: u16,
+        body: impl FnOnce(&mut FnBuilder),
+    ) -> RoutineId {
+        let id = self.declare(name, params);
+        self.define(id, body);
+        id
+    }
+
+    /// Adds a semaphore with the given initial value, returning its index.
+    pub fn semaphore(&mut self, initial: i64) -> u32 {
+        self.semaphores.push(initial);
+        (self.semaphores.len() - 1) as u32
+    }
+
+    /// Adds a mutex, returning its index.
+    pub fn mutex(&mut self) -> u32 {
+        self.mutexes += 1;
+        self.mutexes - 1
+    }
+
+    /// Adds a condition variable, returning its index.
+    pub fn condvar(&mut self) -> u32 {
+        self.conds += 1;
+        self.conds - 1
+    }
+
+    /// Reserves a zero-initialized global array of `cells` cells and
+    /// returns its base address.
+    pub fn global(&mut self, cells: u64) -> Addr {
+        self.global_with(vec![0; cells as usize])
+    }
+
+    /// Reserves a global array with explicit initial contents.
+    pub fn global_with(&mut self, data: Vec<i64>) -> Addr {
+        let base = Addr::new(self.next_global);
+        self.next_global = (self.next_global + data.len().max(1) as u64 + 7) & !7;
+        self.globals.push((base, data));
+        base
+    }
+
+    /// Assembles the program with `main` as the entry routine.
+    ///
+    /// # Errors
+    /// [`BuildError::UndefinedRoutine`] if a declaration lacks a body;
+    /// [`BuildError::Invalid`] if structural validation fails.
+    pub fn finish(self, main: RoutineId) -> Result<Program, BuildError> {
+        let mut routines = Vec::with_capacity(self.routines.len());
+        for slot in self.routines {
+            match slot.body {
+                Some(r) => routines.push(r),
+                None => {
+                    return Err(BuildError::UndefinedRoutine { name: slot.name });
+                }
+            }
+        }
+        let program = Program {
+            routines,
+            main,
+            semaphores: self.semaphores,
+            mutexes: self.mutexes,
+            conds: self.conds,
+            globals: self.globals,
+            heap_base: MIN_HEAP_BASE.max((self.next_global + 0xFFF) & !0xFFF),
+        };
+        program.validate().map_err(BuildError::Invalid)?;
+        Ok(program)
+    }
+}
+
+struct ProtoBlock {
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+}
+
+/// Builder for one routine body.
+///
+/// Instructions are emitted into the *current block*; structured helpers
+/// (`if_then`, `if_else`, `while_loop`, `for_range`) create and wire basic
+/// blocks internally. Expression helpers allocate fresh registers.
+pub struct FnBuilder {
+    name: String,
+    params: u16,
+    regs: u16,
+    blocks: Vec<ProtoBlock>,
+    current: usize,
+}
+
+impl FnBuilder {
+    fn new(name: String, params: u16) -> Self {
+        FnBuilder {
+            name,
+            params,
+            regs: params,
+            blocks: vec![ProtoBlock {
+                insts: Vec::new(),
+                term: None,
+            }],
+            current: 0,
+        }
+    }
+
+    /// The routine name under construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    /// Panics if `i` is not less than the declared parameter count.
+    pub fn param(&self, i: u16) -> Reg {
+        assert!(i < self.params, "parameter {i} out of range");
+        i
+    }
+
+    /// Allocates a fresh register (initially zero).
+    pub fn fresh(&mut self) -> Reg {
+        let r = self.regs;
+        self.regs = self.regs.checked_add(1).expect("register space exhausted");
+        r
+    }
+
+    /// Emits a raw instruction into the current block.
+    ///
+    /// # Panics
+    /// Panics if the current block is already terminated.
+    pub fn emit(&mut self, inst: Inst) {
+        let b = &mut self.blocks[self.current];
+        assert!(b.term.is_none(), "emitting into terminated block");
+        b.insts.push(inst);
+    }
+
+    // ---- control-flow primitives -------------------------------------
+
+    /// Creates a new, empty basic block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(ProtoBlock {
+            insts: Vec::new(),
+            term: None,
+        });
+        BlockId::new((self.blocks.len() - 1) as u32)
+    }
+
+    /// Makes `block` the current block for subsequent emissions.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block.index() as usize;
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: impl Into<Operand>, then_block: BlockId, else_block: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            then_block,
+            else_block,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    /// Shorthand for returning a value.
+    pub fn ret_val(&mut self, value: impl Into<Operand>) {
+        self.ret(Some(value.into()));
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let b = &mut self.blocks[self.current];
+        assert!(b.term.is_none(), "block already terminated");
+        b.term = Some(term);
+    }
+
+    /// Whether the current block already has a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.blocks[self.current].term.is_some()
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn bin(&mut self, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        dst
+    }
+
+    /// `lhs + rhs` into a fresh register.
+    pub fn add(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+    /// `lhs - rhs` into a fresh register.
+    pub fn sub(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+    /// `lhs * rhs` into a fresh register.
+    pub fn mul(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+    /// `lhs / rhs` into a fresh register.
+    pub fn div(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Div, lhs, rhs)
+    }
+    /// `lhs % rhs` into a fresh register.
+    pub fn rem(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Rem, lhs, rhs)
+    }
+    /// Bitwise `lhs & rhs`.
+    pub fn bit_and(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::And, lhs, rhs)
+    }
+    /// Bitwise `lhs | rhs`.
+    pub fn bit_or(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Or, lhs, rhs)
+    }
+    /// Bitwise `lhs ^ rhs`.
+    pub fn bit_xor(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Xor, lhs, rhs)
+    }
+    /// `lhs == rhs` (1 or 0).
+    pub fn eq(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Eq, lhs, rhs)
+    }
+    /// `lhs != rhs` (1 or 0).
+    pub fn ne(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Ne, lhs, rhs)
+    }
+    /// `lhs < rhs` (1 or 0).
+    pub fn lt(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Lt, lhs, rhs)
+    }
+    /// `lhs <= rhs` (1 or 0).
+    pub fn le(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Le, lhs, rhs)
+    }
+    /// `lhs > rhs` (1 or 0).
+    pub fn gt(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Gt, lhs, rhs)
+    }
+    /// `lhs >= rhs` (1 or 0).
+    pub fn ge(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Ge, lhs, rhs)
+    }
+    /// `min(lhs, rhs)`.
+    pub fn min(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Min, lhs, rhs)
+    }
+    /// `max(lhs, rhs)`.
+    pub fn max(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Max, lhs, rhs)
+    }
+
+    /// Copies `src` into a fresh register.
+    pub fn copy(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// Assigns `src` to an existing register.
+    pub fn assign(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Loads `memory[base + offset]` into a fresh register.
+    pub fn load(&mut self, base: impl Into<Operand>, offset: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Load {
+            dst,
+            base: base.into(),
+            offset: offset.into(),
+        });
+        dst
+    }
+
+    /// Stores `src` into `memory[base + offset]`.
+    pub fn store(
+        &mut self,
+        base: impl Into<Operand>,
+        offset: impl Into<Operand>,
+        src: impl Into<Operand>,
+    ) {
+        self.emit(Inst::Store {
+            base: base.into(),
+            offset: offset.into(),
+            src: src.into(),
+        });
+    }
+
+    /// Bump-allocates `cells` memory cells; returns the base register.
+    pub fn alloc(&mut self, cells: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Alloc {
+            dst,
+            cells: cells.into(),
+        });
+        dst
+    }
+
+    /// Calls `routine`, discarding its return value.
+    pub fn call_void(&mut self, routine: RoutineId, args: &[Operand]) {
+        self.emit(Inst::Call {
+            routine,
+            args: args.to_vec(),
+            dst: None,
+        });
+    }
+
+    /// Calls `routine`; the return value lands in a fresh register.
+    pub fn call(&mut self, routine: RoutineId, args: &[Operand]) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Call {
+            routine,
+            args: args.to_vec(),
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Spawns a thread rooted at `routine`; returns the register holding
+    /// the new thread's id.
+    pub fn spawn(&mut self, routine: RoutineId, args: &[Operand]) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Spawn {
+            routine,
+            args: args.to_vec(),
+            dst,
+        });
+        dst
+    }
+
+    /// Joins the thread whose id is in `thread`.
+    pub fn join(&mut self, thread: impl Into<Operand>) {
+        self.emit(Inst::Join {
+            thread: thread.into(),
+        });
+    }
+
+    /// Semaphore P.
+    pub fn sem_wait(&mut self, sem: u32) {
+        self.emit(Inst::SemWait { sem });
+    }
+    /// Semaphore V.
+    pub fn sem_signal(&mut self, sem: u32) {
+        self.emit(Inst::SemSignal { sem });
+    }
+    /// Mutex acquire.
+    pub fn lock(&mut self, mutex: u32) {
+        self.emit(Inst::MutexLock { mutex });
+    }
+    /// Mutex release.
+    pub fn unlock(&mut self, mutex: u32) {
+        self.emit(Inst::MutexUnlock { mutex });
+    }
+    /// Condition wait (releases and re-acquires `mutex`).
+    pub fn cond_wait(&mut self, cond: u32, mutex: u32) {
+        self.emit(Inst::CondWait { cond, mutex });
+    }
+    /// Condition signal.
+    pub fn cond_signal(&mut self, cond: u32) {
+        self.emit(Inst::CondSignal { cond });
+    }
+    /// Condition broadcast.
+    pub fn cond_broadcast(&mut self, cond: u32) {
+        self.emit(Inst::CondBroadcast { cond });
+    }
+    /// Ends the scheduling quantum voluntarily.
+    pub fn yield_now(&mut self) {
+        self.emit(Inst::Yield);
+    }
+
+    /// Uniform random integer in `[0, bound)` from the thread's RNG.
+    pub fn rand(&mut self, bound: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Rand {
+            dst,
+            bound: bound.into(),
+        });
+        dst
+    }
+
+    /// Emits a system call; returns the register holding the transferred
+    /// cell count. Positioned calls take `offset`, others ignore it.
+    pub fn syscall(
+        &mut self,
+        no: SyscallNo,
+        fd: impl Into<Operand>,
+        buf: impl Into<Operand>,
+        len: impl Into<Operand>,
+        offset: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.fresh();
+        self.emit(Inst::Syscall {
+            call: Syscall {
+                no,
+                fd: fd.into(),
+                buf: buf.into(),
+                len: len.into(),
+                offset: offset.into(),
+            },
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    // ---- structured control flow ----------------------------------------
+
+    /// `if cond != 0 { then }`.
+    pub fn if_then(&mut self, cond: impl Into<Operand>, then: impl FnOnce(&mut Self)) {
+        let then_block = self.new_block();
+        let merge = self.new_block();
+        self.branch(cond, then_block, merge);
+        self.switch_to(then_block);
+        then(self);
+        if !self.is_terminated() {
+            self.jump(merge);
+        }
+        self.switch_to(merge);
+    }
+
+    /// `if cond != 0 { then } else { otherwise }`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then: impl FnOnce(&mut Self),
+        otherwise: impl FnOnce(&mut Self),
+    ) {
+        let then_block = self.new_block();
+        let else_block = self.new_block();
+        let merge = self.new_block();
+        self.branch(cond, then_block, else_block);
+        self.switch_to(then_block);
+        then(self);
+        if !self.is_terminated() {
+            self.jump(merge);
+        }
+        self.switch_to(else_block);
+        otherwise(self);
+        if !self.is_terminated() {
+            self.jump(merge);
+        }
+        self.switch_to(merge);
+    }
+
+    /// `while cond() != 0 { body }`. The condition closure emits into the
+    /// loop-head block and returns the condition operand.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.new_block();
+        let body_block = self.new_block();
+        let exit = self.new_block();
+        self.jump(head);
+        self.switch_to(head);
+        let c = cond(self);
+        self.branch(c, body_block, exit);
+        self.switch_to(body_block);
+        body(self);
+        if !self.is_terminated() {
+            self.jump(head);
+        }
+        self.switch_to(exit);
+    }
+
+    /// `for i in lo..hi { body(i) }`; `i` is a fresh register visible to
+    /// the body.
+    pub fn for_range(
+        &mut self,
+        lo: impl Into<Operand>,
+        hi: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let i = self.copy(lo);
+        let hi_reg = self.copy(hi);
+        self.while_loop(
+            |f| Operand::Reg(f.lt(i, hi_reg)),
+            |f| {
+                body(f, i);
+                let next = f.add(i, 1);
+                f.assign(i, next);
+            },
+        );
+    }
+
+    fn finish(mut self) -> Routine {
+        if self.blocks[self.current].term.is_none() {
+            self.ret(None);
+        }
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|b| Block {
+                insts: b.insts,
+                term: b.term.unwrap_or(Terminator::Ret(None)),
+            })
+            .collect();
+        Routine {
+            name: self.name,
+            params: self.params,
+            regs: self.regs.max(1),
+            blocks,
+            entry: BlockId::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_program;
+    use crate::stats::RunConfig;
+    use crate::tool::NullTool;
+    use drms_trace::Addr;
+
+    fn run(pb: ProgramBuilder, main: RoutineId) -> (Program, crate::stats::RunStats) {
+        let p = pb.finish(main).expect("valid program");
+        let stats = run_program(&p, RunConfig::default(), &mut NullTool).expect("run");
+        (p, stats)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(4);
+        let main = pb.function("main", 0, |f| {
+            let a = f.add(2, 3);
+            let b = f.mul(a, a);
+            f.store(g.raw() as i64, 0, b);
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 25);
+    }
+
+    #[test]
+    fn if_else_both_arms() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(2);
+        let main = pb.function("main", 0, |f| {
+            let c = f.lt(1, 2);
+            f.if_else(
+                c,
+                |f| f.store(g.raw() as i64, 0, 10),
+                |f| f.store(g.raw() as i64, 0, 20),
+            );
+            let c2 = f.lt(2, 1);
+            f.if_else(
+                c2,
+                |f| f.store(g.raw() as i64, 1, 10),
+                |f| f.store(g.raw() as i64, 1, 20),
+            );
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 10);
+        assert_eq!(vm.memory().load(g.offset(1)), 20);
+    }
+
+    #[test]
+    fn for_range_accumulates() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let acc = f.copy(0);
+            f.for_range(0, 10, |f, i| {
+                let s = f.add(acc, i);
+                f.assign(acc, s);
+            });
+            f.store(g.raw() as i64, 0, acc);
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 45);
+    }
+
+    #[test]
+    fn call_returns_value() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let double = pb.function("double", 1, |f| {
+            let x = f.param(0);
+            let d = f.add(x, x);
+            f.ret_val(d);
+        });
+        let main = pb.function("main", 0, |f| {
+            let v = f.call(double, &[Operand::Imm(21)]);
+            f.store(g.raw() as i64, 0, v);
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 42);
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let fact = pb.declare("fact", 1);
+        pb.define(fact, |f| {
+            let n = f.param(0);
+            let is_base = f.le(n, 1);
+            f.if_then(is_base, |f| f.ret_val(1));
+            let m = f.sub(n, 1);
+            let rec = f.call(fact, &[Operand::Reg(m)]);
+            let out = f.mul(n, rec);
+            f.ret_val(out);
+        });
+        let main = pb.function("main", 0, |f| {
+            let v = f.call(fact, &[Operand::Imm(6)]);
+            f.store(g.raw() as i64, 0, v);
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 720);
+    }
+
+    #[test]
+    fn while_loop_countdown() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let n = f.copy(5);
+            let steps = f.copy(0);
+            f.while_loop(
+                |f| Operand::Reg(f.gt(n, 0)),
+                |f| {
+                    let m = f.sub(n, 1);
+                    f.assign(n, m);
+                    let s = f.add(steps, 1);
+                    f.assign(steps, s);
+                },
+            );
+            f.store(g.raw() as i64, 0, steps);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 5);
+    }
+
+    #[test]
+    fn globals_do_not_overlap() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.global(3);
+        let b = pb.global_with(vec![7, 8]);
+        assert!(b.raw() >= a.raw() + 3);
+        let main = pb.function("main", 0, |f| f.ret(None));
+        let p = pb.finish(main).unwrap();
+        assert!(p.heap_base() > b.raw() + 2);
+        let vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        assert_eq!(vm.memory().load(b), 7);
+        assert_eq!(vm.memory().load(Addr::new(b.raw() + 1)), 8);
+    }
+
+    #[test]
+    fn undefined_routine_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        assert_eq!(
+            pb.finish(main),
+            Err(BuildError::UndefinedRoutine {
+                name: "main".into()
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn double_definition_panics() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0);
+        pb.define(main, |f| f.ret(None));
+        pb.define(main, |f| f.ret(None));
+    }
+
+    #[test]
+    fn spawn_join_threads() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(4);
+        let worker = pb.function("worker", 1, |f| {
+            let slot = f.param(0);
+            let v = f.add(slot, 100);
+            f.store(g.raw() as i64, slot, v);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let t1 = f.spawn(worker, &[Operand::Imm(0)]);
+            let t2 = f.spawn(worker, &[Operand::Imm(1)]);
+            f.join(t1);
+            f.join(t2);
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
+        let stats = vm.run(&mut NullTool).unwrap();
+        assert_eq!(stats.threads, 3);
+        assert_eq!(vm.memory().load(g), 100);
+        assert_eq!(vm.memory().load(g.offset(1)), 101);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| {
+            f.for_range(0, 100, |f, i| {
+                let _ = f.mul(i, i);
+            });
+        });
+        let (_, stats) = run(pb, main);
+        assert!(stats.instructions > 100);
+        assert!(stats.basic_blocks > 100);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.per_thread_blocks.len(), 1);
+        assert_eq!(stats.basic_blocks, stats.total_blocks());
+    }
+}

@@ -1,0 +1,1147 @@
+//! The guest interpreter: a serializing multi-threaded virtual machine.
+//!
+//! Like Valgrind, the VM executes one guest thread at a time; a scheduling
+//! policy hands out quanta (measured in basic blocks) to runnable threads.
+//! Every observable operation — call, return, memory access, kernel
+//! transfer, synchronization, thread switch — is delivered to the attached
+//! [`Tool`] in a single total order, which is exactly the merged trace the
+//! paper's profiling algorithm consumes.
+
+use crate::ir::{Inst, Operand, Program, Reg, Terminator, ValidateError};
+use crate::kernel::{Direction, Kernel, KernelError, Syscall};
+use crate::memory::Memory;
+use crate::shadow::ADDRESS_LIMIT;
+use crate::stats::{CostKind, RunConfig, RunStats, SchedPolicy};
+use crate::tool::Tool;
+use drms_trace::{Addr, BlockId, RoutineId, SyncOp, ThreadId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors aborting a guest execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The program failed structural validation.
+    Validate(ValidateError),
+    /// All live threads are blocked.
+    Deadlock { blocked: Vec<ThreadId> },
+    /// The configured instruction budget was exhausted.
+    InstructionLimit { limit: u64 },
+    /// Integer division or remainder by zero.
+    DivisionByZero { routine: RoutineId },
+    /// A memory access targeted a non-positive or out-of-range address.
+    BadAddress { value: i64 },
+    /// A kernel operation failed.
+    Kernel(KernelError),
+    /// A thread unlocked (or cond-waited on) a mutex it does not hold.
+    MutexNotOwned { mutex: u32, thread: ThreadId },
+    /// A thread re-locked a mutex it already holds.
+    MutexReentry { mutex: u32, thread: ThreadId },
+    /// `Join` on a value that is not a thread id.
+    BadThreadId { value: i64 },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Validate(e) => write!(f, "invalid program: {e}"),
+            RunError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} thread(s) blocked forever", blocked.len())
+            }
+            RunError::InstructionLimit { limit } => {
+                write!(f, "instruction budget of {limit} exhausted")
+            }
+            RunError::DivisionByZero { routine } => {
+                write!(f, "division by zero in routine {routine}")
+            }
+            RunError::BadAddress { value } => write!(f, "bad memory address {value}"),
+            RunError::Kernel(e) => write!(f, "kernel: {e}"),
+            RunError::MutexNotOwned { mutex, thread } => {
+                write!(f, "{thread} released mutex {mutex} it does not hold")
+            }
+            RunError::MutexReentry { mutex, thread } => {
+                write!(f, "{thread} re-locked mutex {mutex} it already holds")
+            }
+            RunError::BadThreadId { value } => write!(f, "bad thread id {value}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ValidateError> for RunError {
+    fn from(e: ValidateError) -> Self {
+        RunError::Validate(e)
+    }
+}
+
+impl From<KernelError> for RunError {
+    fn from(e: KernelError) -> Self {
+        RunError::Kernel(e)
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Blocked,
+    Exited,
+}
+
+#[derive(Debug)]
+struct Frame {
+    routine: RoutineId,
+    block: usize,
+    ip: usize,
+    regs: Vec<i64>,
+    ret_dst: Option<Reg>,
+    /// The frame was created but its entry block not yet entered/counted.
+    pending_entry: bool,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Resume {
+    /// Woken from a condition wait; must re-acquire this mutex.
+    ReacquireMutex(u32),
+}
+
+struct ThreadCtx {
+    id: ThreadId,
+    frames: Vec<Frame>,
+    state: ThreadState,
+    blocks: u64,
+    nanos: u64,
+    rng: SmallRng,
+    jitter: SmallRng,
+    resume: Option<Resume>,
+    join_waiters: Vec<usize>,
+}
+
+struct Semaphore {
+    value: i64,
+    waiters: VecDeque<usize>,
+}
+
+struct Mutex {
+    owner: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+#[derive(Default)]
+struct Cond {
+    waiters: VecDeque<usize>,
+}
+
+enum Step {
+    /// Instruction executed, same basic block.
+    Continue,
+    /// Control entered a (new) basic block.
+    BlockEntered,
+    /// The thread blocked; the instruction will re-execute on wake.
+    Blocked,
+    /// The thread voluntarily ended its quantum.
+    Yielded,
+    /// The thread exited.
+    Exited,
+}
+
+/// A guest virtual machine ready to execute one program.
+///
+/// # Example
+/// ```
+/// use drms_vm::{ProgramBuilder, Vm, RunConfig, NullTool};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let main = pb.declare("main", 0);
+/// pb.define(main, |f| { let _ = f.add(1, 2); f.ret(None); });
+/// let program = pb.finish(main).unwrap();
+/// let mut vm = Vm::new(&program, RunConfig::default()).unwrap();
+/// let stats = vm.run(&mut NullTool::default()).unwrap();
+/// assert!(stats.basic_blocks >= 1);
+/// ```
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: RunConfig,
+    mem: Memory,
+    kernel: Kernel,
+    threads: Vec<ThreadCtx>,
+    sems: Vec<Semaphore>,
+    mutexes: Vec<Mutex>,
+    conds: Vec<Cond>,
+    stats: RunStats,
+    sched_last: usize,
+    sched_rng: SmallRng,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` under `config`, validating the program
+    /// and loading its globals.
+    ///
+    /// # Errors
+    /// Returns [`RunError::Validate`] if the program is malformed.
+    pub fn new(program: &'p Program, config: RunConfig) -> Result<Self, RunError> {
+        program.validate()?;
+        let mut mem = Memory::new(program.heap_base());
+        for (base, data) in program.globals() {
+            mem.store_slice(*base, data);
+        }
+        let kernel = Kernel::with_devices(config.devices.clone());
+        let sems = program
+            .semaphores()
+            .iter()
+            .map(|&v| Semaphore {
+                value: v,
+                waiters: VecDeque::new(),
+            })
+            .collect();
+        let mutexes = (0..program.mutex_count())
+            .map(|_| Mutex {
+                owner: None,
+                waiters: VecDeque::new(),
+            })
+            .collect();
+        let conds = (0..program.cond_count()).map(|_| Cond::default()).collect();
+        let sched_seed = match config.policy {
+            SchedPolicy::Random { seed } => seed,
+            SchedPolicy::RoundRobin => 0,
+        };
+        Ok(Vm {
+            program,
+            config,
+            mem,
+            kernel,
+            threads: Vec::new(),
+            sems,
+            mutexes,
+            conds,
+            stats: RunStats::default(),
+            sched_last: 0,
+            sched_rng: SmallRng::seed_from_u64(sched_seed),
+        })
+    }
+
+    /// Direct access to guest memory (for harnesses inspecting results).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Direct access to the kernel (device counters etc.).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Runs the program to completion, delivering all instrumentation
+    /// events to `tool`, and returns execution statistics.
+    ///
+    /// The generic parameter lets a statically-known no-op tool compile to
+    /// an essentially uninstrumented ("native") run, while `&mut dyn Tool`
+    /// models a dynamically dispatched tool plugin.
+    ///
+    /// # Errors
+    /// Any [`RunError`] raised by the guest (deadlock, bad address,
+    /// instruction budget, kernel failure, …).
+    pub fn run<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<RunStats, RunError> {
+        self.spawn_thread(self.program.main(), Vec::new(), None, tool);
+        let mut current: Option<usize> = None;
+        loop {
+            let Some(next) = self.pick_runnable() else {
+                if self.threads.iter().all(|t| t.state == ThreadState::Exited) {
+                    break;
+                }
+                let blocked = self
+                    .threads
+                    .iter()
+                    .filter(|t| t.state == ThreadState::Blocked)
+                    .map(|t| t.id)
+                    .collect();
+                return Err(RunError::Deadlock { blocked });
+            };
+            if current != Some(next) {
+                if current.is_some() {
+                    self.stats.thread_switches += 1;
+                }
+                self.stats.events += 1;
+                tool.on_thread_switch(current.map(|i| self.threads[i].id), self.threads[next].id);
+                current = Some(next);
+            }
+            self.sched_last = next;
+            let mut blocks_used = 0u32;
+            loop {
+                if self.stats.instructions >= self.config.max_instructions {
+                    return Err(RunError::InstructionLimit {
+                        limit: self.config.max_instructions,
+                    });
+                }
+                match self.step(next, tool)? {
+                    Step::Continue => {}
+                    Step::BlockEntered => {
+                        blocks_used += 1;
+                        if blocks_used >= self.config.quantum {
+                            break;
+                        }
+                    }
+                    Step::Blocked | Step::Yielded | Step::Exited => break,
+                }
+            }
+        }
+        self.stats.guest_pages = self.mem.page_count() as u64;
+        self.stats.guest_bytes = self.mem.backing_bytes();
+        self.stats.threads = self.threads.len() as u32;
+        self.stats.per_thread_blocks = self.threads.iter().map(|t| t.blocks).collect();
+        self.stats.per_thread_nanos = self.threads.iter().map(|t| t.nanos).collect();
+        self.stats.basic_blocks = self.stats.per_thread_blocks.iter().sum();
+        tool.on_finish();
+        Ok(self.stats.clone())
+    }
+
+    fn pick_runnable(&mut self) -> Option<usize> {
+        let n = self.threads.len();
+        if n == 0 {
+            return None;
+        }
+        match self.config.policy {
+            SchedPolicy::RoundRobin => (1..=n)
+                .map(|d| (self.sched_last + d) % n)
+                .find(|&i| self.threads[i].state == ThreadState::Runnable),
+            SchedPolicy::Random { .. } => {
+                let runnable: Vec<usize> = (0..n)
+                    .filter(|&i| self.threads[i].state == ThreadState::Runnable)
+                    .collect();
+                if runnable.is_empty() {
+                    None
+                } else {
+                    Some(runnable[self.sched_rng.gen_range(0..runnable.len())])
+                }
+            }
+        }
+    }
+
+    fn spawn_thread<T: Tool + ?Sized>(
+        &mut self,
+        routine: RoutineId,
+        args: Vec<i64>,
+        parent: Option<usize>,
+        tool: &mut T,
+    ) -> usize {
+        let idx = self.threads.len();
+        let id = ThreadId::new(idx as u32);
+        let r = self.program.routine(routine);
+        let mut regs = vec![0i64; r.regs as usize];
+        regs[..args.len()].copy_from_slice(&args);
+        let frame = Frame {
+            routine,
+            block: r.entry.index() as usize,
+            ip: 0,
+            regs,
+            ret_dst: None,
+            pending_entry: true,
+        };
+        self.threads.push(ThreadCtx {
+            id,
+            frames: vec![frame],
+            state: ThreadState::Runnable,
+            blocks: 0,
+            nanos: 0,
+            rng: SmallRng::seed_from_u64(self.config.seed ^ (idx as u64).wrapping_mul(0xA5A5_5A5A)),
+            jitter: SmallRng::seed_from_u64(match self.config.cost {
+                CostKind::SimNanos { jitter_seed } => jitter_seed ^ idx as u64,
+                CostKind::BasicBlocks => idx as u64,
+            }),
+            resume: None,
+            join_waiters: Vec::new(),
+        });
+        let parent_id = parent.map(|p| self.threads[p].id);
+        self.stats.events += 2;
+        tool.on_thread_start(id, parent_id);
+        tool.on_call(id, routine, 0);
+        idx
+    }
+
+    #[inline]
+    fn eval(&self, t: usize, op: Operand) -> i64 {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => {
+                let frame = self.threads[t].frames.last().expect("live frame");
+                frame.regs[r as usize]
+            }
+        }
+    }
+
+    fn addr_of(&self, base: i64, offset: i64) -> Result<Addr, RunError> {
+        let a = base.wrapping_add(offset);
+        if a <= 0 || (a as u64) >= ADDRESS_LIMIT {
+            return Err(RunError::BadAddress { value: a });
+        }
+        Ok(Addr::new(a as u64))
+    }
+
+    #[inline]
+    fn cost_of(&self, t: usize) -> u64 {
+        match self.config.cost {
+            CostKind::BasicBlocks => self.threads[t].blocks,
+            CostKind::SimNanos { .. } => self.threads[t].nanos,
+        }
+    }
+
+    #[inline]
+    fn add_inst_cost(&mut self, t: usize, inst_kind_cost: u64) {
+        if let CostKind::SimNanos { .. } = self.config.cost {
+            // Base latency plus multiplicative jitter and occasional
+            // cache-miss style spikes, mimicking real timers (Fig. 10).
+            let th = &mut self.threads[t];
+            let jitter = th.jitter.gen_range(0..=inst_kind_cost / 2 + 1);
+            let spike = if th.jitter.gen_ratio(1, 64) { 40 } else { 0 };
+            th.nanos += inst_kind_cost + jitter + spike;
+        }
+    }
+
+    fn enter_block<T: Tool + ?Sized>(&mut self, t: usize, block: usize, tool: &mut T) {
+        let frame = self.threads[t].frames.last_mut().expect("live frame");
+        frame.block = block;
+        frame.ip = 0;
+        frame.pending_entry = false;
+        let routine = frame.routine;
+        self.threads[t].blocks += 1;
+        self.add_inst_cost(t, 2);
+        if self.config.trace_blocks {
+            self.stats.events += 1;
+            tool.on_block(self.threads[t].id, routine, BlockId::new(block as u32));
+        }
+    }
+
+    fn wake(&mut self, t: usize) {
+        debug_assert_eq!(self.threads[t].state, ThreadState::Blocked);
+        self.threads[t].state = ThreadState::Runnable;
+    }
+
+    fn block_thread(&mut self, t: usize) -> Step {
+        self.threads[t].state = ThreadState::Blocked;
+        Step::Blocked
+    }
+
+    fn exit_thread<T: Tool + ?Sized>(&mut self, t: usize, tool: &mut T) -> Step {
+        self.threads[t].state = ThreadState::Exited;
+        let id = self.threads[t].id;
+        let cost = self.cost_of(t);
+        self.stats.events += 1;
+        tool.on_thread_exit(id, cost);
+        let waiters = std::mem::take(&mut self.threads[t].join_waiters);
+        for w in waiters {
+            self.wake(w);
+        }
+        Step::Exited
+    }
+
+    /// Executes one instruction (or terminator) of thread `t`.
+    fn step<T: Tool + ?Sized>(&mut self, t: usize, tool: &mut T) -> Result<Step, RunError> {
+        let (pending, routine_id, block_idx, ip) = {
+            let frame = self.threads[t].frames.last().expect("live frame");
+            (frame.pending_entry, frame.routine, frame.block, frame.ip)
+        };
+        if pending {
+            self.enter_block(t, block_idx, tool);
+            return Ok(Step::BlockEntered);
+        }
+        self.stats.instructions += 1;
+        // Copying the `&'p Program` reference out of `self` unties the
+        // instruction borrow from `&mut self`, avoiding per-step clones.
+        let program: &'p Program = self.program;
+        let block = &program.routine(routine_id).blocks[block_idx];
+        if ip >= block.insts.len() {
+            return self.exec_terminator(t, &block.term, tool);
+        }
+        self.exec_inst(t, &block.insts[ip], tool)
+    }
+
+    fn advance(&mut self, t: usize) {
+        self.threads[t].frames.last_mut().expect("live frame").ip += 1;
+    }
+
+    fn set_reg(&mut self, t: usize, r: Reg, v: i64) {
+        self.threads[t]
+            .frames
+            .last_mut()
+            .expect("live frame")
+            .regs[r as usize] = v;
+    }
+
+    fn emit_sync<T: Tool + ?Sized>(&mut self, t: usize, op: SyncOp, tool: &mut T) {
+        self.stats.events += 1;
+        tool.on_sync(self.threads[t].id, op);
+    }
+
+    fn exec_terminator<T: Tool + ?Sized>(
+        &mut self,
+        t: usize,
+        term: &Terminator,
+        tool: &mut T,
+    ) -> Result<Step, RunError> {
+        match *term {
+            Terminator::Jump(b) => {
+                self.add_inst_cost(t, 1);
+                self.enter_block(t, b.index() as usize, tool);
+                Ok(Step::BlockEntered)
+            }
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.add_inst_cost(t, 1);
+                let taken = if self.eval(t, cond) != 0 {
+                    then_block
+                } else {
+                    else_block
+                };
+                self.enter_block(t, taken.index() as usize, tool);
+                Ok(Step::BlockEntered)
+            }
+            Terminator::Ret(v) => {
+                let value = v.map(|op| self.eval(t, op)).unwrap_or(0);
+                let frame = self.threads[t].frames.pop().expect("live frame");
+                let id = self.threads[t].id;
+                let cost = self.cost_of(t);
+                self.stats.events += 1;
+                tool.on_return(id, frame.routine, cost);
+                if self.threads[t].frames.is_empty() {
+                    return Ok(self.exit_thread(t, tool));
+                }
+                if let Some(dst) = frame.ret_dst {
+                    self.set_reg(t, dst, value);
+                }
+                // The caller's ip was advanced past the call instruction
+                // when the frame was pushed; the continuation resumes there
+                // and counts as a fresh basic block, as dynamic binary
+                // translation splits blocks at call sites.
+                let caller = self.threads[t].frames.last().expect("caller frame");
+                let (cont_routine, cont_block) = (caller.routine, caller.block);
+                self.threads[t].blocks += 1;
+                self.add_inst_cost(t, 2);
+                if self.config.trace_blocks {
+                    self.stats.events += 1;
+                    tool.on_block(id, cont_routine, BlockId::new(cont_block as u32));
+                }
+                Ok(Step::BlockEntered)
+            }
+        }
+    }
+
+    fn exec_inst<T: Tool + ?Sized>(
+        &mut self,
+        t: usize,
+        inst: &Inst,
+        tool: &mut T,
+    ) -> Result<Step, RunError> {
+        match *inst {
+            Inst::Mov { dst, src } => {
+                let v = self.eval(t, src);
+                self.set_reg(t, dst, v);
+                self.add_inst_cost(t, 1);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let a = self.eval(t, lhs);
+                let b = self.eval(t, rhs);
+                let routine = self.threads[t].frames.last().expect("live frame").routine;
+                let v = op
+                    .apply(a, b)
+                    .ok_or(RunError::DivisionByZero { routine })?;
+                self.set_reg(t, dst, v);
+                self.add_inst_cost(t, 1);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = self.addr_of(self.eval(t, base), self.eval(t, offset))?;
+                let id = self.threads[t].id;
+                self.stats.events += 1;
+                tool.on_read(id, addr, 1);
+                let v = self.mem.load(addr);
+                self.set_reg(t, dst, v);
+                self.add_inst_cost(t, 3);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Store { base, offset, src } => {
+                let addr = self.addr_of(self.eval(t, base), self.eval(t, offset))?;
+                let v = self.eval(t, src);
+                let id = self.threads[t].id;
+                self.stats.events += 1;
+                tool.on_write(id, addr, 1);
+                self.mem.store(addr, v);
+                self.add_inst_cost(t, 3);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Alloc { dst, cells } => {
+                let n = self.eval(t, cells).max(0) as u64;
+                let base = self.mem.alloc(n);
+                self.set_reg(t, dst, base.raw() as i64);
+                self.add_inst_cost(t, 4);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Call {
+                routine,
+                ref args,
+                dst,
+            } => {
+                let vals: Vec<i64> = args.iter().map(|&a| self.eval(t, a)).collect();
+                self.advance(t); // resume after the call on return
+                let callee = self.program.routine(routine);
+                let mut regs = vec![0i64; callee.regs as usize];
+                regs[..vals.len()].copy_from_slice(&vals);
+                let id = self.threads[t].id;
+                let cost = self.cost_of(t);
+                self.stats.events += 1;
+                tool.on_call(id, routine, cost);
+                self.threads[t].frames.push(Frame {
+                    routine,
+                    block: callee.entry.index() as usize,
+                    ip: 0,
+                    regs,
+                    ret_dst: dst,
+                    pending_entry: false,
+                });
+                self.add_inst_cost(t, 5);
+                self.enter_block(t, callee.entry.index() as usize, tool);
+                Ok(Step::BlockEntered)
+            }
+            Inst::Spawn {
+                routine,
+                ref args,
+                dst,
+            } => {
+                let vals: Vec<i64> = args.iter().map(|&a| self.eval(t, a)).collect();
+                let child = self.spawn_thread(routine, vals, Some(t), tool);
+                let child_id = self.threads[child].id;
+                self.set_reg(t, dst, child_id.index() as i64);
+                self.emit_sync(t, SyncOp::Spawn { child: child_id }, tool);
+                self.add_inst_cost(t, 20);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Join { thread } => {
+                let v = self.eval(t, thread);
+                let target = usize::try_from(v)
+                    .ok()
+                    .filter(|&i| i < self.threads.len())
+                    .ok_or(RunError::BadThreadId { value: v })?;
+                if self.threads[target].state == ThreadState::Exited {
+                    let child = self.threads[target].id;
+                    self.emit_sync(t, SyncOp::Join { child }, tool);
+                    self.add_inst_cost(t, 5);
+                    self.advance(t);
+                    Ok(Step::Continue)
+                } else {
+                    self.threads[target].join_waiters.push(t);
+                    Ok(self.block_thread(t))
+                }
+            }
+            Inst::SemWait { sem } => {
+                if self.sems[sem as usize].value > 0 {
+                    self.sems[sem as usize].value -= 1;
+                    self.emit_sync(t, SyncOp::SemWait(sem), tool);
+                    self.add_inst_cost(t, 8);
+                    self.advance(t);
+                    Ok(Step::Continue)
+                } else {
+                    self.sems[sem as usize].waiters.push_back(t);
+                    Ok(self.block_thread(t))
+                }
+            }
+            Inst::SemSignal { sem } => {
+                self.sems[sem as usize].value += 1;
+                if let Some(w) = self.sems[sem as usize].waiters.pop_front() {
+                    self.wake(w);
+                }
+                self.emit_sync(t, SyncOp::SemSignal(sem), tool);
+                self.add_inst_cost(t, 8);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::MutexLock { mutex } => self.lock_mutex(t, mutex, false, tool),
+            Inst::MutexUnlock { mutex } => {
+                let m = &mut self.mutexes[mutex as usize];
+                if m.owner != Some(t) {
+                    return Err(RunError::MutexNotOwned {
+                        mutex,
+                        thread: self.threads[t].id,
+                    });
+                }
+                m.owner = None;
+                if let Some(w) = m.waiters.pop_front() {
+                    self.wake(w);
+                }
+                self.emit_sync(t, SyncOp::MutexUnlock(mutex), tool);
+                self.add_inst_cost(t, 6);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::CondWait { cond, mutex } => {
+                if self.threads[t].resume == Some(Resume::ReacquireMutex(mutex)) {
+                    return self.lock_mutex(t, mutex, true, tool);
+                }
+                let m = &mut self.mutexes[mutex as usize];
+                if m.owner != Some(t) {
+                    return Err(RunError::MutexNotOwned {
+                        mutex,
+                        thread: self.threads[t].id,
+                    });
+                }
+                m.owner = None;
+                if let Some(w) = m.waiters.pop_front() {
+                    self.wake(w);
+                }
+                self.conds[cond as usize].waiters.push_back(t);
+                self.threads[t].resume = Some(Resume::ReacquireMutex(mutex));
+                self.emit_sync(t, SyncOp::CondWait { cond, mutex }, tool);
+                Ok(self.block_thread(t))
+            }
+            Inst::CondSignal { cond } => {
+                if let Some(w) = self.conds[cond as usize].waiters.pop_front() {
+                    self.wake(w);
+                }
+                self.emit_sync(t, SyncOp::CondSignal(cond), tool);
+                self.add_inst_cost(t, 6);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::CondBroadcast { cond } => {
+                while let Some(w) = self.conds[cond as usize].waiters.pop_front() {
+                    self.wake(w);
+                }
+                self.emit_sync(t, SyncOp::CondBroadcast(cond), tool);
+                self.add_inst_cost(t, 6);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Syscall { call, dst } => self.exec_syscall(t, call, dst, tool),
+            Inst::Rand { dst, bound } => {
+                let b = self.eval(t, bound).max(1);
+                let v = self.threads[t].rng.gen_range(0..b);
+                self.set_reg(t, dst, v);
+                self.add_inst_cost(t, 2);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Inst::Yield => {
+                self.add_inst_cost(t, 1);
+                self.advance(t);
+                Ok(Step::Yielded)
+            }
+        }
+    }
+
+    fn lock_mutex<T: Tool + ?Sized>(
+        &mut self,
+        t: usize,
+        mutex: u32,
+        from_cond: bool,
+        tool: &mut T,
+    ) -> Result<Step, RunError> {
+        let m = &mut self.mutexes[mutex as usize];
+        match m.owner {
+            None => {
+                m.owner = Some(t);
+                if from_cond {
+                    self.threads[t].resume = None;
+                }
+                self.emit_sync(t, SyncOp::MutexLock(mutex), tool);
+                self.add_inst_cost(t, 6);
+                self.advance(t);
+                Ok(Step::Continue)
+            }
+            Some(owner) if owner == t => Err(RunError::MutexReentry {
+                mutex,
+                thread: self.threads[t].id,
+            }),
+            Some(_) => {
+                m.waiters.push_back(t);
+                Ok(self.block_thread(t))
+            }
+        }
+    }
+
+    fn exec_syscall<T: Tool + ?Sized>(
+        &mut self,
+        t: usize,
+        call: Syscall,
+        dst: Option<Reg>,
+        tool: &mut T,
+    ) -> Result<Step, RunError> {
+        let fd = self.eval(t, call.fd);
+        let len = self.eval(t, call.len).max(0) as u32;
+        let buf = self.addr_of(self.eval(t, call.buf), 0)?;
+        let offset = call
+            .no
+            .is_positioned()
+            .then(|| self.eval(t, call.offset).max(0) as u64);
+        self.stats.syscalls += 1;
+        let id = self.threads[t].id;
+        let transferred = match call.no.direction() {
+            Direction::Input => {
+                let data = self.kernel.input(fd, len, offset)?;
+                let n = data.len() as u32;
+                if n > 0 {
+                    // The kernel writes external data into the user buffer.
+                    self.stats.events += 1;
+                    tool.on_kernel_to_user(id, buf, n);
+                    self.mem.store_slice(buf, &data);
+                }
+                n
+            }
+            Direction::Output => {
+                if len > 0 {
+                    // The kernel reads the user buffer on the thread's
+                    // behalf — "as if the system call were a normal
+                    // subroutine" (Fig. 9).
+                    self.stats.events += 1;
+                    tool.on_user_to_kernel(id, buf, len);
+                }
+                let data = self.mem.load_slice(buf, len);
+                self.kernel.output(fd, &data, offset)?
+            }
+        };
+        if let Some(d) = dst {
+            self.set_reg(t, d, transferred as i64);
+        }
+        self.add_inst_cost(t, 30 + 2 * transferred as u64);
+        self.advance(t);
+        Ok(Step::Continue)
+    }
+}
+
+impl fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("threads", &self.threads.len())
+            .field("instructions", &self.stats.instructions)
+            .finish()
+    }
+}
+
+/// Builds a VM and runs `program` under `config` with `tool` attached.
+///
+/// Convenience wrapper over [`Vm::new`] + [`Vm::run`].
+///
+/// # Errors
+/// Propagates any [`RunError`].
+pub fn run_program<T: Tool + ?Sized>(
+    program: &Program,
+    config: RunConfig,
+    tool: &mut T,
+) -> Result<RunStats, RunError> {
+    Vm::new(program, config)?.run(tool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::kernel::Device;
+    use crate::tool::NullTool;
+
+    fn run_main(
+        body: impl FnOnce(&mut crate::builder::FnBuilder),
+        config: RunConfig,
+    ) -> Result<RunStats, RunError> {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, body);
+        let program = pb.finish(main).expect("build");
+        run_program(&program, config, &mut NullTool)
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let err = run_main(
+            |f| {
+                let z = f.copy(0);
+                let _ = f.div(1, z);
+            },
+            RunConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::DivisionByZero { .. }));
+        assert!(err.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn bad_address_is_reported() {
+        let err = run_main(
+            |f| {
+                let _ = f.load(-5, 0);
+            },
+            RunConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::BadAddress { value: -5 });
+    }
+
+    #[test]
+    fn instruction_limit_aborts_infinite_loops() {
+        let cfg = RunConfig {
+            max_instructions: 10_000,
+            ..RunConfig::default()
+        };
+        let err = run_main(
+            |f| {
+                let head = f.new_block();
+                f.jump(head);
+                f.switch_to(head);
+                let _ = f.add(1, 1);
+                f.jump(head);
+            },
+            cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::InstructionLimit { limit: 10_000 });
+    }
+
+    #[test]
+    fn self_deadlock_is_detected() {
+        let mut pb = ProgramBuilder::new();
+        let sem = pb.semaphore(0);
+        let main = pb.function("main", 0, |f| {
+            f.sem_wait(sem); // never signalled
+        });
+        let program = pb.finish(main).unwrap();
+        let err = run_program(&program, RunConfig::default(), &mut NullTool).unwrap_err();
+        assert!(matches!(err, RunError::Deadlock { ref blocked } if blocked.len() == 1));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn unlocking_foreign_mutex_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.mutex();
+        let main = pb.function("main", 0, |f| f.unlock(m));
+        let program = pb.finish(main).unwrap();
+        let err = run_program(&program, RunConfig::default(), &mut NullTool).unwrap_err();
+        assert!(matches!(err, RunError::MutexNotOwned { mutex: 0, .. }));
+    }
+
+    #[test]
+    fn relocking_held_mutex_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.mutex();
+        let main = pb.function("main", 0, |f| {
+            f.lock(m);
+            f.lock(m);
+        });
+        let program = pb.finish(main).unwrap();
+        let err = run_program(&program, RunConfig::default(), &mut NullTool).unwrap_err();
+        assert!(matches!(err, RunError::MutexReentry { mutex: 0, .. }));
+    }
+
+    #[test]
+    fn join_on_garbage_thread_id_is_an_error() {
+        let err = run_main(|f| f.join(99), RunConfig::default()).unwrap_err();
+        assert_eq!(err, RunError::BadThreadId { value: 99 });
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_per_seed_and_varies_across_seeds() {
+        let build = || {
+            let mut pb = ProgramBuilder::new();
+            let g = pb.global(8);
+            let worker = pb.function("worker", 1, |f| {
+                let tid = f.param(0);
+                f.for_range(0, 50, |f, i| {
+                    let v = f.mul(i, 3);
+                    let slot = f.rem(v, 8);
+                    f.store(g.raw() as i64, slot, v);
+                });
+                let _ = tid;
+                f.ret(None);
+            });
+            let main = pb.function("main", 0, |f| {
+                let a = f.spawn(worker, &[Operand::Imm(0)]);
+                let b = f.spawn(worker, &[Operand::Imm(1)]);
+                f.join(a);
+                f.join(b);
+            });
+            pb.finish(main).unwrap()
+        };
+        let program = build();
+        let run = |policy| {
+            let cfg = RunConfig {
+                policy,
+                quantum: 3,
+                ..RunConfig::default()
+            };
+            let mut rec = crate::recorder::TraceRecorder::new();
+            run_program(&program, cfg, &mut rec).expect("run");
+            drms_trace::merge_traces(rec.into_traces())
+        };
+        let a = run(crate::stats::SchedPolicy::Random { seed: 5 });
+        let b = run(crate::stats::SchedPolicy::Random { seed: 5 });
+        assert_eq!(a, b, "same seed gives the same interleaving");
+        let c = run(crate::stats::SchedPolicy::Random { seed: 6 });
+        assert_ne!(a, c, "different seeds interleave differently");
+    }
+
+    #[test]
+    fn sim_nanos_cost_is_noisy_but_monotone() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| {
+            f.for_range(0, 200, |f, i| {
+                let _ = f.mul(i, i);
+            });
+        });
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            cost: CostKind::SimNanos { jitter_seed: 1 },
+            ..RunConfig::default()
+        };
+        let stats = run_program(&program, cfg, &mut NullTool).unwrap();
+        assert!(stats.per_thread_nanos[0] > stats.per_thread_blocks[0]);
+        let cfg2 = RunConfig {
+            cost: CostKind::SimNanos { jitter_seed: 2 },
+            ..RunConfig::default()
+        };
+        let stats2 = run_program(&program, cfg2, &mut NullTool).unwrap();
+        assert_ne!(
+            stats.per_thread_nanos, stats2.per_thread_nanos,
+            "different jitter seeds give different timings"
+        );
+    }
+
+    #[test]
+    fn yield_rotates_between_threads() {
+        let mut pb = ProgramBuilder::new();
+        let worker = pb.function("worker", 0, |f| {
+            f.for_range(0, 20, |f, _| f.yield_now());
+        });
+        let main = pb.function("main", 0, |f| {
+            let a = f.spawn(worker, &[]);
+            let b = f.spawn(worker, &[]);
+            f.join(a);
+            f.join(b);
+        });
+        let program = pb.finish(main).unwrap();
+        let stats = run_program(&program, RunConfig::default(), &mut NullTool).unwrap();
+        assert!(stats.thread_switches > 20, "yields force frequent switches");
+    }
+
+    #[test]
+    fn condvar_wait_signal_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(2);
+        let m = pb.mutex();
+        let cv = pb.condvar();
+        let waiter = pb.function("waiter", 0, |f| {
+            f.lock(m);
+            let ready_head = f.new_block();
+            let done = f.new_block();
+            f.jump(ready_head);
+            f.switch_to(ready_head);
+            let ready = f.load(g.raw() as i64, 0);
+            let is_ready = f.ne(ready, 0);
+            let wait_blk = f.new_block();
+            f.branch(is_ready, done, wait_blk);
+            f.switch_to(wait_blk);
+            f.cond_wait(cv, m);
+            f.jump(ready_head);
+            f.switch_to(done);
+            f.store(g.raw() as i64, 1, 42); // observed the flag
+            f.unlock(m);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let t = f.spawn(waiter, &[]);
+            f.lock(m);
+            f.store(g.raw() as i64, 0, 1);
+            f.cond_signal(cv);
+            f.unlock(m);
+            f.join(t);
+        });
+        let program = pb.finish(main).unwrap();
+        let mut vm = Vm::new(&program, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x101)), 42);
+    }
+
+    #[test]
+    fn cond_broadcast_wakes_all_waiters() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(4);
+        let m = pb.mutex();
+        let cv = pb.condvar();
+        let waiter = pb.function("waiter", 1, |f| {
+            let slot = f.param(0);
+            f.lock(m);
+            let flag = f.load(g.raw() as i64, 3);
+            let not_ready = f.eq(flag, 0);
+            f.if_then(not_ready, |f| f.cond_wait(cv, m));
+            f.store(g.raw() as i64, slot, 7);
+            f.unlock(m);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let a = f.spawn(waiter, &[Operand::Imm(0)]);
+            let b = f.spawn(waiter, &[Operand::Imm(1)]);
+            // give the waiters a chance to block
+            f.for_range(0, 100, |f, i| {
+                let _ = f.add(i, 1);
+            });
+            f.lock(m);
+            f.store(g.raw() as i64, 3, 1);
+            f.cond_broadcast(cv);
+            f.unlock(m);
+            f.join(a);
+            f.join(b);
+        });
+        let program = pb.finish(main).unwrap();
+        let mut vm = Vm::new(&program, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x100)), 7);
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x101)), 7);
+    }
+
+    #[test]
+    fn syscall_eof_returns_zero() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(4);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(4);
+            let n1 = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 4, 0);
+            let n2 = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 4, 0);
+            f.store(g.raw() as i64, 0, n1);
+            f.store(g.raw() as i64, 1, n2);
+        });
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig::with_devices(vec![Device::File {
+            data: vec![9, 8, 7],
+        }]);
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x100)), 3);
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x101)), 0, "EOF");
+    }
+
+    #[test]
+    fn unknown_fd_surfaces_kernel_error() {
+        let err = run_main(
+            |f| {
+                let buf = f.alloc(2);
+                let _ = f.syscall(crate::kernel::SyscallNo::Read, 7, buf, 2, 0);
+            },
+            RunConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Kernel(_)));
+    }
+
+    #[test]
+    fn vm_debug_is_nonempty() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| f.ret(None));
+        let program = pb.finish(main).unwrap();
+        let vm = Vm::new(&program, RunConfig::default()).unwrap();
+        assert!(format!("{vm:?}").contains("Vm"));
+    }
+}

@@ -1,0 +1,388 @@
+//! The kernel model: devices, file descriptors and the system-call table.
+//!
+//! Guest threads obtain data from external devices (disk, network) and
+//! send data to them exclusively through system calls. Following §4.1 of
+//! the paper, input system calls (`read`, `recvfrom`, `pread64`, `readv`,
+//! `msgrcv`, `preadv`) map to `kernelToUser` events — the kernel writes
+//! device data into a user buffer — while output system calls (`write`,
+//! `sendto`, `pwrite64`, `writev`, `msgsnd`, `pwritev`) map to
+//! `userToKernel` events — the kernel reads the user buffer.
+
+use crate::ir::Operand;
+use std::fmt;
+
+/// Direction of a system call's data transfer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Device → user memory (`kernelToUser`).
+    Input,
+    /// User memory → device (`userToKernel`).
+    Output,
+}
+
+/// The system calls understood by the kernel model, named after their
+/// Linux x86-64 counterparts used by the paper's syscall wrappers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SyscallNo {
+    Read,
+    Pread64,
+    Readv,
+    Recvfrom,
+    Msgrcv,
+    Preadv,
+    Write,
+    Pwrite64,
+    Writev,
+    Sendto,
+    Msgsnd,
+    Pwritev,
+}
+
+impl SyscallNo {
+    /// Whether the call transfers data into or out of user memory.
+    pub fn direction(self) -> Direction {
+        match self {
+            SyscallNo::Read
+            | SyscallNo::Pread64
+            | SyscallNo::Readv
+            | SyscallNo::Recvfrom
+            | SyscallNo::Msgrcv
+            | SyscallNo::Preadv => Direction::Input,
+            SyscallNo::Write
+            | SyscallNo::Pwrite64
+            | SyscallNo::Writev
+            | SyscallNo::Sendto
+            | SyscallNo::Msgsnd
+            | SyscallNo::Pwritev => Direction::Output,
+        }
+    }
+
+    /// Whether the call takes an explicit file offset (positioned I/O).
+    pub fn is_positioned(self) -> bool {
+        matches!(
+            self,
+            SyscallNo::Pread64 | SyscallNo::Preadv | SyscallNo::Pwrite64 | SyscallNo::Pwritev
+        )
+    }
+
+    /// The Linux name of the call.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallNo::Read => "read",
+            SyscallNo::Pread64 => "pread64",
+            SyscallNo::Readv => "readv",
+            SyscallNo::Recvfrom => "recvfrom",
+            SyscallNo::Msgrcv => "msgrcv",
+            SyscallNo::Preadv => "preadv",
+            SyscallNo::Write => "write",
+            SyscallNo::Pwrite64 => "pwrite64",
+            SyscallNo::Writev => "writev",
+            SyscallNo::Sendto => "sendto",
+            SyscallNo::Msgsnd => "msgsnd",
+            SyscallNo::Pwritev => "pwritev",
+        }
+    }
+}
+
+impl fmt::Display for SyscallNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A system-call invocation site in guest code: `no(fd, buf, len[, offset])`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Syscall {
+    /// Which call.
+    pub no: SyscallNo,
+    /// File descriptor operand.
+    pub fd: Operand,
+    /// Base address of the user buffer, in cells.
+    pub buf: Operand,
+    /// Transfer length, in cells.
+    pub len: Operand,
+    /// File offset for positioned calls; ignored otherwise.
+    pub offset: Operand,
+}
+
+/// An external device backing a file descriptor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Device {
+    /// An unbounded input stream (network-like). Produces a deterministic
+    /// pseudo-random sequence derived from `seed`.
+    Stream { seed: u64 },
+    /// A finite file with explicit contents; sequential and positioned
+    /// reads are supported, writes append.
+    File { data: Vec<i64> },
+    /// An output-only sink that discards and counts written cells.
+    Sink,
+}
+
+/// Errors raised by kernel operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// The file descriptor is not open.
+    BadFd { fd: i64 },
+    /// An input call was issued on an output-only device or vice versa.
+    BadDirection { fd: i64 },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadFd { fd } => write!(f, "bad file descriptor {fd}"),
+            KernelError::BadDirection { fd } => {
+                write!(f, "unsupported transfer direction on fd {fd}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[derive(Clone, Debug)]
+struct OpenFile {
+    device: Device,
+    pos: u64,
+    written: u64,
+    read: u64,
+}
+
+/// Per-run kernel state: the open-file table.
+///
+/// File descriptors are dense indices assigned in [`Kernel::open`] order,
+/// so guest programs can refer to them as immediates.
+#[derive(Clone, Debug, Default)]
+pub struct Kernel {
+    files: Vec<OpenFile>,
+}
+
+impl Kernel {
+    /// Creates a kernel with no open files.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a kernel with the given devices pre-opened as fds `0..n`.
+    pub fn with_devices(devices: Vec<Device>) -> Self {
+        let mut k = Kernel::new();
+        for d in devices {
+            k.open(d);
+        }
+        k
+    }
+
+    /// Opens a device, returning its file descriptor.
+    pub fn open(&mut self, device: Device) -> i64 {
+        self.files.push(OpenFile {
+            device,
+            pos: 0,
+            written: 0,
+            read: 0,
+        });
+        (self.files.len() - 1) as i64
+    }
+
+    /// Number of open files.
+    pub fn fd_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total cells written to `fd` so far.
+    pub fn written(&self, fd: i64) -> Option<u64> {
+        self.files.get(fd as usize).map(|f| f.written)
+    }
+
+    /// Total cells read from `fd` so far.
+    pub fn read_total(&self, fd: i64) -> Option<u64> {
+        self.files.get(fd as usize).map(|f| f.read)
+    }
+
+    /// Performs an input transfer: produces up to `len` cells of device
+    /// data. Sequential reads advance the device position; positioned
+    /// reads use `offset` and leave the position untouched.
+    ///
+    /// A short (or empty) read happens at end-of-file.
+    ///
+    /// # Errors
+    /// [`KernelError::BadFd`] for unknown descriptors,
+    /// [`KernelError::BadDirection`] for input on a [`Device::Sink`].
+    pub fn input(&mut self, fd: i64, len: u32, offset: Option<u64>) -> Result<Vec<i64>, KernelError> {
+        let file = self
+            .files
+            .get_mut(fd as usize)
+            .filter(|_| fd >= 0)
+            .ok_or(KernelError::BadFd { fd })?;
+        let out = match &file.device {
+            Device::Stream { seed } => {
+                let start = offset.unwrap_or(file.pos);
+                let data: Vec<i64> = (start..start + len as u64)
+                    .map(|i| stream_cell(*seed, i))
+                    .collect();
+                if offset.is_none() {
+                    file.pos += len as u64;
+                }
+                data
+            }
+            Device::File { data } => {
+                let start = offset.unwrap_or(file.pos) as usize;
+                let end = (start + len as usize).min(data.len());
+                let slice = if start >= data.len() {
+                    Vec::new()
+                } else {
+                    data[start..end].to_vec()
+                };
+                if offset.is_none() {
+                    file.pos += slice.len() as u64;
+                }
+                slice
+            }
+            Device::Sink => return Err(KernelError::BadDirection { fd }),
+        };
+        file.read += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Performs an output transfer: consumes `data`. Sequential writes
+    /// append to files; positioned writes (`offset = Some`) overwrite at
+    /// the given position, zero-extending the file if needed. Sinks and
+    /// streams count and discard.
+    ///
+    /// # Errors
+    /// [`KernelError::BadFd`] for unknown descriptors.
+    pub fn output(
+        &mut self,
+        fd: i64,
+        data: &[i64],
+        offset: Option<u64>,
+    ) -> Result<u32, KernelError> {
+        let file = self
+            .files
+            .get_mut(fd as usize)
+            .filter(|_| fd >= 0)
+            .ok_or(KernelError::BadFd { fd })?;
+        if let Device::File { data: contents } = &mut file.device {
+            match offset {
+                None => contents.extend_from_slice(data),
+                Some(at) => {
+                    let at = at as usize;
+                    if contents.len() < at + data.len() {
+                        contents.resize(at + data.len(), 0);
+                    }
+                    contents[at..at + data.len()].copy_from_slice(data);
+                }
+            }
+        }
+        file.written += data.len() as u64;
+        Ok(data.len() as u32)
+    }
+}
+
+/// Deterministic content of cell `index` of a seeded stream device.
+fn stream_cell(seed: u64, index: u64) -> i64 {
+    let mut x = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) & 0x7FFF_FFFF) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_match_the_papers_table() {
+        use Direction::*;
+        for (no, dir) in [
+            (SyscallNo::Read, Input),
+            (SyscallNo::Recvfrom, Input),
+            (SyscallNo::Pread64, Input),
+            (SyscallNo::Readv, Input),
+            (SyscallNo::Msgrcv, Input),
+            (SyscallNo::Preadv, Input),
+            (SyscallNo::Write, Output),
+            (SyscallNo::Sendto, Output),
+            (SyscallNo::Pwrite64, Output),
+            (SyscallNo::Writev, Output),
+            (SyscallNo::Msgsnd, Output),
+            (SyscallNo::Pwritev, Output),
+        ] {
+            assert_eq!(no.direction(), dir, "{no}");
+        }
+        assert!(SyscallNo::Pread64.is_positioned());
+        assert!(!SyscallNo::Read.is_positioned());
+    }
+
+    #[test]
+    fn stream_reads_are_deterministic_and_advance() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 7 });
+        let a = k.input(fd, 4, None).unwrap();
+        let b = k.input(fd, 4, None).unwrap();
+        assert_ne!(a, b, "sequential stream reads must differ");
+        let mut k2 = Kernel::new();
+        let fd2 = k2.open(Device::Stream { seed: 7 });
+        assert_eq!(k2.input(fd2, 4, None).unwrap(), a, "same seed, same data");
+        assert_eq!(k.read_total(fd), Some(8));
+    }
+
+    #[test]
+    fn file_reads_hit_eof() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::File { data: vec![1, 2, 3] });
+        assert_eq!(k.input(fd, 2, None).unwrap(), vec![1, 2]);
+        assert_eq!(k.input(fd, 2, None).unwrap(), vec![3]);
+        assert_eq!(k.input(fd, 2, None).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn positioned_reads_do_not_move_the_cursor() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::File {
+            data: vec![10, 20, 30, 40],
+        });
+        assert_eq!(k.input(fd, 2, Some(2)).unwrap(), vec![30, 40]);
+        assert_eq!(k.input(fd, 2, None).unwrap(), vec![10, 20]);
+    }
+
+    #[test]
+    fn output_appends_to_files_and_counts_on_sinks() {
+        let mut k = Kernel::new();
+        let file = k.open(Device::File { data: vec![] });
+        let sink = k.open(Device::Sink);
+        k.output(file, &[5, 6], None).unwrap();
+        assert_eq!(k.input(file, 2, Some(0)).unwrap(), vec![5, 6]);
+        k.output(sink, &[1, 2, 3], None).unwrap();
+        assert_eq!(k.written(sink), Some(3));
+    }
+
+    #[test]
+    fn bad_fd_and_direction_errors() {
+        let mut k = Kernel::new();
+        assert_eq!(k.input(0, 1, None), Err(KernelError::BadFd { fd: 0 }));
+        assert_eq!(k.output(-1, &[1], None), Err(KernelError::BadFd { fd: -1 }));
+        let sink = k.open(Device::Sink);
+        assert_eq!(
+            k.input(sink, 1, None),
+            Err(KernelError::BadDirection { fd: sink })
+        );
+        assert!(k.input(99, 1, None).is_err());
+    }
+
+    #[test]
+    fn positioned_writes_overwrite_in_place() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::File { data: vec![1, 2, 3] });
+        k.output(fd, &[9], Some(1)).unwrap();
+        assert_eq!(k.input(fd, 3, Some(0)).unwrap(), vec![1, 9, 3]);
+        // Writing past the end zero-extends.
+        k.output(fd, &[7], Some(5)).unwrap();
+        assert_eq!(k.input(fd, 6, Some(0)).unwrap(), vec![1, 9, 3, 0, 0, 7]);
+    }
+
+    #[test]
+    fn with_devices_assigns_dense_fds() {
+        let k = Kernel::with_devices(vec![Device::Sink, Device::Stream { seed: 1 }]);
+        assert_eq!(k.fd_count(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Three-level shadow memory.
+//!
+//! Per §4.1 of the paper, shadow memories are maintained "by means of
+//! three-level lookup tables, so that only chunks related to memory cells
+//! actually accessed by a thread need to be shadowed". This module is the
+//! shared infrastructure used by both the profiling algorithms (timestamp
+//! shadows) and the comparison tools (validity bits, vector-clock ids).
+//!
+//! The address space is split `L1 → L2 → leaf`; leaves hold
+//! 2¹² values, second-level tables 2¹¹ leaf slots, and the root 2¹³ slots,
+//! covering a 2³⁶-cell space. Unmapped cells read as `T::default()`.
+
+use drms_trace::Addr;
+
+const LEAF_BITS: u32 = 12;
+const L2_BITS: u32 = 11;
+const L1_BITS: u32 = 13;
+
+/// Cells per leaf chunk.
+pub const LEAF_CELLS: usize = 1 << LEAF_BITS;
+const L2_SLOTS: usize = 1 << L2_BITS;
+const L1_SLOTS: usize = 1 << L1_BITS;
+
+/// Maximum shadowable address (exclusive).
+pub const ADDRESS_LIMIT: u64 = 1 << (LEAF_BITS + L2_BITS + L1_BITS);
+
+type Leaf<T> = Box<[T; LEAF_CELLS]>;
+
+struct Level2<T> {
+    leaves: Vec<Option<Leaf<T>>>,
+}
+
+impl<T: Copy + Default> Level2<T> {
+    fn new() -> Self {
+        Level2 {
+            leaves: (0..L2_SLOTS).map(|_| None).collect(),
+        }
+    }
+}
+
+/// A sparse, three-level map from guest addresses to shadow values.
+///
+/// # Example
+/// ```
+/// use drms_vm::shadow::ShadowMemory;
+/// use drms_trace::Addr;
+/// let mut s: ShadowMemory<u64> = ShadowMemory::new();
+/// assert_eq!(s.get(Addr::new(42)), 0);
+/// s.set(Addr::new(42), 7);
+/// assert_eq!(s.get(Addr::new(42)), 7);
+/// assert_eq!(s.leaf_count(), 1);
+/// ```
+pub struct ShadowMemory<T> {
+    root: Vec<Option<Box<Level2<T>>>>,
+    leaf_count: usize,
+}
+
+impl<T: Copy + Default> Default for ShadowMemory<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> ShadowMemory<T> {
+    /// Creates an empty shadow memory.
+    ///
+    /// The root table grows on demand up to [`ADDRESS_LIMIT`]'s
+    /// `2^13` slots, so an empty shadow costs a few words, not a full
+    /// top-level table — the memory reported by [`bytes`](Self::bytes)
+    /// tracks the footprint actually shadowed.
+    pub fn new() -> Self {
+        ShadowMemory {
+            root: Vec::new(),
+            leaf_count: 0,
+        }
+    }
+
+    #[inline]
+    fn split(addr: Addr) -> (usize, usize, usize) {
+        let a = addr.raw();
+        debug_assert!(a < ADDRESS_LIMIT, "address {a:#x} beyond shadowable space");
+        let leaf = (a & (LEAF_CELLS as u64 - 1)) as usize;
+        let l2 = ((a >> LEAF_BITS) & (L2_SLOTS as u64 - 1)) as usize;
+        let l1 = (a >> (LEAF_BITS + L2_BITS)) as usize;
+        debug_assert!(l1 < L1_SLOTS);
+        (l1, l2, leaf)
+    }
+
+    /// Reads the shadow value of `addr`; unmapped cells yield
+    /// `T::default()`.
+    #[inline]
+    pub fn get(&self, addr: Addr) -> T {
+        let (l1, l2, leaf) = Self::split(addr);
+        match self.root.get(l1).and_then(|s| s.as_ref()) {
+            Some(level2) => match &level2.leaves[l2] {
+                Some(chunk) => chunk[leaf],
+                None => T::default(),
+            },
+            None => T::default(),
+        }
+    }
+
+    /// Writes the shadow value of `addr`, materializing chunks on demand.
+    #[inline]
+    pub fn set(&mut self, addr: Addr, value: T) {
+        let (l1, l2, leaf) = Self::split(addr);
+        if self.root.len() <= l1 {
+            self.root.resize_with(l1 + 1, || None);
+        }
+        let level2 = self.root[l1].get_or_insert_with(|| Box::new(Level2::new()));
+        let chunk = match &mut level2.leaves[l2] {
+            Some(c) => c,
+            slot @ None => {
+                self.leaf_count += 1;
+                slot.insert(vec![T::default(); LEAF_CELLS].into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!()))
+            }
+        };
+        chunk[leaf] = value;
+    }
+
+    /// Number of materialized leaf chunks.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Host bytes backing this shadow memory (leaves plus tables).
+    pub fn bytes(&self) -> u64 {
+        let leaf_bytes = self.leaf_count as u64 * (LEAF_CELLS * std::mem::size_of::<T>()) as u64;
+        let l2_bytes = self
+            .root
+            .iter()
+            .filter(|s| s.is_some())
+            .count() as u64
+            * (L2_SLOTS * std::mem::size_of::<usize>()) as u64;
+        let root_bytes = (self.root.capacity() * std::mem::size_of::<usize>()) as u64;
+        leaf_bytes + l2_bytes + root_bytes
+    }
+
+    /// Applies `f` to every cell of every materialized chunk.
+    ///
+    /// Used by the timestamp-renumbering pass, which must rewrite all
+    /// stored timestamps in place.
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(Addr, &mut T)) {
+        for (i1, slot1) in self.root.iter_mut().enumerate() {
+            let Some(level2) = slot1 else { continue };
+            for (i2, slot2) in level2.leaves.iter_mut().enumerate() {
+                let Some(chunk) = slot2 else { continue };
+                let base =
+                    ((i1 as u64) << (LEAF_BITS + L2_BITS)) | ((i2 as u64) << LEAF_BITS);
+                for (off, cell) in chunk.iter_mut().enumerate() {
+                    f(Addr::new(base | off as u64), cell);
+                }
+            }
+        }
+    }
+
+    /// Drops all materialized chunks.
+    pub fn clear(&mut self) {
+        self.root.clear();
+        self.leaf_count = 0;
+    }
+}
+
+impl<T: Copy + Default> std::fmt::Debug for ShadowMemory<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowMemory")
+            .field("leaf_count", &self.leaf_count)
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reads_zero() {
+        let s: ShadowMemory<u64> = ShadowMemory::new();
+        assert_eq!(s.get(Addr::new(0)), 0);
+        assert_eq!(s.get(Addr::new(ADDRESS_LIMIT - 1)), 0);
+        assert_eq!(s.leaf_count(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_levels() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        let addrs = [
+            0u64,
+            1,
+            LEAF_CELLS as u64,                       // second leaf
+            (LEAF_CELLS * L2_SLOTS) as u64,          // second L2 table
+            ADDRESS_LIMIT - 1,                       // last cell
+        ];
+        for (i, &a) in addrs.iter().enumerate() {
+            s.set(Addr::new(a), i as u64 + 1);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(s.get(Addr::new(a)), i as u64 + 1, "addr {a:#x}");
+        }
+        assert_eq!(s.leaf_count(), 4, "two addrs share the first leaf");
+    }
+
+    #[test]
+    fn sparse_allocation_only_touched_chunks() {
+        let mut s: ShadowMemory<u8> = ShadowMemory::new();
+        s.set(Addr::new(5), 1);
+        s.set(Addr::new(6), 2);
+        assert_eq!(s.leaf_count(), 1);
+        let before = s.bytes();
+        s.set(Addr::new((LEAF_CELLS * 10) as u64), 3);
+        assert!(s.bytes() > before);
+        assert_eq!(s.leaf_count(), 2);
+    }
+
+    #[test]
+    fn for_each_mut_visits_and_rewrites() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        s.set(Addr::new(3), 10);
+        s.set(Addr::new((LEAF_CELLS + 1) as u64), 20);
+        let mut seen = Vec::new();
+        s.for_each_mut(|addr, v| {
+            if *v != 0 {
+                seen.push((addr.raw(), *v));
+                *v += 1;
+            }
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(3, 10), (LEAF_CELLS as u64 + 1, 20)]);
+        assert_eq!(s.get(Addr::new(3)), 11);
+        assert_eq!(s.get(Addr::new((LEAF_CELLS + 1) as u64)), 21);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        s.set(Addr::new(100), 9);
+        s.clear();
+        assert_eq!(s.get(Addr::new(100)), 0);
+        assert_eq!(s.leaf_count(), 0);
+    }
+
+    #[test]
+    fn overwrite_keeps_single_leaf() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        for v in 0..100 {
+            s.set(Addr::new(7), v);
+        }
+        assert_eq!(s.get(Addr::new(7)), 99);
+        assert_eq!(s.leaf_count(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Run configuration and execution statistics.
+
+use crate::kernel::Device;
+
+/// How thread cost is accumulated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum CostKind {
+    /// One unit per executed basic block — the paper's default measure,
+    /// which "yields the same trends compared to running time measurements,
+    /// but is faster and produces neater charts with much lower variance".
+    #[default]
+    BasicBlocks,
+    /// Simulated nanoseconds: per-instruction latencies plus seeded jitter
+    /// modelling cache/timer noise. Used to reproduce the noisy
+    /// running-time plot of Figure 10.
+    SimNanos {
+        /// Seed of the jitter generator.
+        jitter_seed: u64,
+    },
+}
+
+/// Thread-scheduling policy of the serializing scheduler.
+///
+/// Like Valgrind, the VM runs one guest thread at a time; the policy picks
+/// which runnable thread owns the next quantum. Different policies produce
+/// different interleavings, backing the paper's scheduler-sensitivity
+/// study (§4.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Cycle through runnable threads in id order.
+    #[default]
+    RoundRobin,
+    /// Pick a uniformly random runnable thread (seeded, reproducible).
+    Random { seed: u64 },
+}
+
+/// Configuration of one guest execution.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Scheduling quantum, in basic blocks.
+    pub quantum: u32,
+    /// Safety cap on total executed instructions.
+    ///
+    /// Exceeding it aborts the run with
+    /// [`RunError::InstructionLimit`](crate::RunError::InstructionLimit).
+    pub max_instructions: u64,
+    /// Devices pre-opened as file descriptors `0..n`.
+    pub devices: Vec<Device>,
+    /// Cost measure reported to tools.
+    pub cost: CostKind,
+    /// Whether to deliver per-basic-block events to the tool.
+    pub trace_blocks: bool,
+    /// Seed of the guest `Rand` instruction (per-thread streams are
+    /// derived from it).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            policy: SchedPolicy::RoundRobin,
+            quantum: 50,
+            max_instructions: 500_000_000,
+            devices: Vec::new(),
+            cost: CostKind::BasicBlocks,
+            trace_blocks: false,
+            seed: 0xD125_5EED,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A config with the given devices and defaults elsewhere.
+    pub fn with_devices(devices: Vec<Device>) -> Self {
+        RunConfig {
+            devices,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics of a completed guest execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total executed instructions (terminators included).
+    pub instructions: u64,
+    /// Total entered basic blocks across all threads.
+    pub basic_blocks: u64,
+    /// Entered basic blocks per thread, indexed by thread id.
+    pub per_thread_blocks: Vec<u64>,
+    /// Simulated nanoseconds per thread, indexed by thread id.
+    pub per_thread_nanos: Vec<u64>,
+    /// Number of thread context switches performed by the scheduler.
+    pub thread_switches: u64,
+    /// Number of system calls serviced.
+    pub syscalls: u64,
+    /// Total threads ever created (main included).
+    pub threads: u32,
+    /// Guest memory pages mapped at exit.
+    pub guest_pages: u64,
+    /// Host bytes backing guest memory at exit.
+    pub guest_bytes: u64,
+    /// Instrumentation events delivered to the tool.
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Cost of thread `t` under the given cost kind.
+    pub fn thread_cost(&self, t: usize, kind: CostKind) -> u64 {
+        match kind {
+            CostKind::BasicBlocks => self.per_thread_blocks.get(t).copied().unwrap_or(0),
+            CostKind::SimNanos { .. } => self.per_thread_nanos.get(t).copied().unwrap_or(0),
+        }
+    }
+
+    /// Sum of all threads' basic-block counts (equals `basic_blocks`).
+    pub fn total_blocks(&self) -> u64 {
+        self.per_thread_blocks.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = RunConfig::default();
+        assert!(c.quantum > 0);
+        assert!(c.max_instructions > 1_000_000);
+        assert_eq!(c.policy, SchedPolicy::RoundRobin);
+        assert_eq!(c.cost, CostKind::BasicBlocks);
+        assert!(!c.trace_blocks);
+    }
+
+    #[test]
+    fn with_devices_sets_devices() {
+        let c = RunConfig::with_devices(vec![Device::Sink]);
+        assert_eq!(c.devices.len(), 1);
+    }
+
+    #[test]
+    fn thread_cost_selection() {
+        let s = RunStats {
+            per_thread_blocks: vec![10, 20],
+            per_thread_nanos: vec![100, 200],
+            basic_blocks: 30,
+            ..Default::default()
+        };
+        assert_eq!(s.thread_cost(1, CostKind::BasicBlocks), 20);
+        assert_eq!(s.thread_cost(1, CostKind::SimNanos { jitter_seed: 0 }), 200);
+        assert_eq!(s.thread_cost(9, CostKind::BasicBlocks), 0);
+        assert_eq!(s.total_blocks(), 30);
+    }
+}

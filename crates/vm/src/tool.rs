@@ -1,0 +1,177 @@
+//! The instrumentation-tool interface.
+//!
+//! A [`Tool`] is the analogue of a Valgrind tool plugin: it consumes the
+//! instrumentation event stream (the [`EventSink`] callbacks) and reports
+//! how much shadow state it allocated, which backs the paper's space
+//! overhead measurements.
+
+use drms_trace::EventSink;
+
+/// A dynamic-analysis tool attached to a guest execution.
+///
+/// Implementors receive every instrumentation event through their
+/// [`EventSink`] methods. [`Tool::shadow_bytes`] reports host bytes spent
+/// on analysis metadata (shadow memories, shadow stacks, profile tables)
+/// and is sampled after the run for space-overhead accounting.
+pub trait Tool: EventSink {
+    /// Short tool name used in reports (e.g. `"aprof-drms"`).
+    fn name(&self) -> &str;
+
+    /// Host bytes currently allocated for analysis metadata.
+    fn shadow_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// The `nulgrind` analogue: subscribes to the event stream and does
+/// nothing, measuring the bare instrumentation-dispatch overhead.
+///
+/// # Example
+/// ```
+/// use drms_vm::{NullTool, Tool};
+/// let t = NullTool::default();
+/// assert_eq!(t.name(), "nulgrind");
+/// assert_eq!(t.shadow_bytes(), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NullTool;
+
+impl EventSink for NullTool {}
+
+impl Tool for NullTool {
+    fn name(&self) -> &str {
+        "nulgrind"
+    }
+}
+
+/// Fans one event stream out to several tools, in order.
+///
+/// Useful for recording a trace while profiling, or for comparing two
+/// analyses over one identical execution.
+#[derive(Default)]
+pub struct MultiTool<'a> {
+    tools: Vec<&'a mut dyn Tool>,
+}
+
+impl<'a> MultiTool<'a> {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        MultiTool { tools: Vec::new() }
+    }
+
+    /// Adds a tool; events are delivered in insertion order.
+    pub fn push(&mut self, tool: &'a mut dyn Tool) -> &mut Self {
+        self.tools.push(tool);
+        self
+    }
+
+    /// Number of attached tools.
+    pub fn len(&self) -> usize {
+        self.tools.len()
+    }
+
+    /// Whether no tools are attached.
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+}
+
+impl std::fmt::Debug for MultiTool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiTool")
+            .field("tools", &self.tools.iter().map(|t| t.name().to_owned()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+macro_rules! fan_out {
+    ($($method:ident ( $($arg:ident : $ty:ty),* );)*) => {
+        impl EventSink for MultiTool<'_> {
+            $(fn $method(&mut self, $($arg: $ty),*) {
+                for t in self.tools.iter_mut() {
+                    t.$method($($arg),*);
+                }
+            })*
+        }
+    };
+}
+
+fan_out! {
+    on_thread_start(thread: drms_trace::ThreadId, parent: Option<drms_trace::ThreadId>);
+    on_thread_exit(thread: drms_trace::ThreadId, cost: u64);
+    on_thread_switch(from: Option<drms_trace::ThreadId>, to: drms_trace::ThreadId);
+    on_call(thread: drms_trace::ThreadId, routine: drms_trace::RoutineId, cost: u64);
+    on_return(thread: drms_trace::ThreadId, routine: drms_trace::RoutineId, cost: u64);
+    on_read(thread: drms_trace::ThreadId, addr: drms_trace::Addr, len: u32);
+    on_write(thread: drms_trace::ThreadId, addr: drms_trace::Addr, len: u32);
+    on_user_to_kernel(thread: drms_trace::ThreadId, addr: drms_trace::Addr, len: u32);
+    on_kernel_to_user(thread: drms_trace::ThreadId, addr: drms_trace::Addr, len: u32);
+    on_sync(thread: drms_trace::ThreadId, op: drms_trace::SyncOp);
+    on_block(thread: drms_trace::ThreadId, routine: drms_trace::RoutineId, block: drms_trace::BlockId);
+    on_finish();
+}
+
+impl Tool for MultiTool<'_> {
+    fn name(&self) -> &str {
+        "multi"
+    }
+
+    fn shadow_bytes(&self) -> u64 {
+        self.tools.iter().map(|t| t.shadow_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_trace::{RoutineId, ThreadId};
+
+    #[derive(Default)]
+    struct Counter {
+        calls: u64,
+        finished: bool,
+    }
+    impl EventSink for Counter {
+        fn on_call(&mut self, _: ThreadId, _: RoutineId, _: u64) {
+            self.calls += 1;
+        }
+        fn on_finish(&mut self) {
+            self.finished = true;
+        }
+    }
+    impl Tool for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn shadow_bytes(&self) -> u64 {
+            16
+        }
+    }
+
+    #[test]
+    fn multi_tool_fans_out_in_order() {
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        {
+            let mut m = MultiTool::new();
+            m.push(&mut a).push(&mut b);
+            assert_eq!(m.len(), 2);
+            assert!(!m.is_empty());
+            m.on_call(ThreadId::MAIN, RoutineId::new(0), 0);
+            m.on_finish();
+            assert_eq!(m.shadow_bytes(), 32);
+            assert!(format!("{m:?}").contains("counter"));
+        }
+        assert_eq!(a.calls, 1);
+        assert_eq!(b.calls, 1);
+        assert!(a.finished && b.finished);
+    }
+
+    #[test]
+    fn null_tool_ignores_everything() {
+        let mut t = NullTool;
+        t.on_call(ThreadId::MAIN, RoutineId::new(0), 0);
+        t.on_finish();
+        assert_eq!(t.shadow_bytes(), 0);
+    }
+}

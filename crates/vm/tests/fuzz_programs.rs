@@ -1,0 +1,194 @@
+//! Property-based fuzzing of the builder + interpreter: randomly
+//! generated structured guest programs must pass validation, run to
+//! completion within the instruction budget, and behave identically when
+//! re-run (the VM is deterministic under round-robin scheduling).
+
+use drms_vm::{run_program, FnBuilder, NullTool, Operand, ProgramBuilder, RunConfig, TraceRecorder};
+use proptest::prelude::*;
+
+/// One structured statement in a generated routine body.
+#[derive(Clone, Debug)]
+enum Stmt {
+    Arith(u8, u8),
+    LoadStore(u8),
+    IfThen(u8, Vec<Stmt>),
+    IfElse(u8, Vec<Stmt>, Vec<Stmt>),
+    ForLoop(u8, Vec<Stmt>),
+    Rand(u8),
+    CallHelper(u8),
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        ((0u8..8), (0u8..8)).prop_map(|(a, b)| Stmt::Arith(a, b)),
+        (0u8..16).prop_map(Stmt::LoadStore),
+        (0u8..8).prop_map(Stmt::Rand),
+        (0u8..4).prop_map(Stmt::CallHelper),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = stmt_strategy(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => ((0u8..8), proptest::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(c, body)| Stmt::IfThen(c, body)),
+            1 => (
+                (0u8..8),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, a, b)| Stmt::IfElse(c, a, b)),
+            1 => ((1u8..6), proptest::collection::vec(inner, 0..3))
+                .prop_map(|(n, body)| Stmt::ForLoop(n, body)),
+        ]
+        .boxed()
+    }
+}
+
+/// Emits a statement list into a routine body. `scratch` is a base
+/// register holding the address of a scratch buffer; `vals` is a small
+/// pool of value registers the statements mix.
+fn emit(f: &mut FnBuilder, stmts: &[Stmt], scratch: drms_vm::Reg, vals: &[drms_vm::Reg], helpers: &[drms_trace::RoutineId]) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Arith(a, b) => {
+                let ra = vals[*a as usize % vals.len()];
+                let rb = vals[*b as usize % vals.len()];
+                let sum = f.add(ra, rb);
+                let clipped = f.rem(sum, 10007);
+                f.assign(ra, clipped);
+            }
+            Stmt::LoadStore(slot) => {
+                let off = (*slot % 16) as i64;
+                let v = f.load(scratch, off);
+                let v2 = f.add(v, 1);
+                f.store(scratch, off, v2);
+            }
+            Stmt::IfThen(c, body) => {
+                let rc = vals[*c as usize % vals.len()];
+                let cond = f.gt(rc, 3);
+                f.if_then(cond, |f| emit(f, body, scratch, vals, helpers));
+            }
+            Stmt::IfElse(c, a, b) => {
+                let rc = vals[*c as usize % vals.len()];
+                let cond = f.lt(rc, 100);
+                f.if_else(
+                    cond,
+                    |f| emit(f, a, scratch, vals, helpers),
+                    |f| emit(f, b, scratch, vals, helpers),
+                );
+            }
+            Stmt::ForLoop(n, body) => {
+                f.for_range(0, *n as i64, |f, _| emit(f, body, scratch, vals, helpers));
+            }
+            Stmt::Rand(v) => {
+                let rv = vals[*v as usize % vals.len()];
+                let r = f.rand(97);
+                f.assign(rv, r);
+            }
+            Stmt::CallHelper(h) => {
+                let helper = helpers[*h as usize % helpers.len()];
+                f.call_void(helper, &[Operand::Reg(scratch)]);
+            }
+        }
+    }
+}
+
+fn build_program(bodies: &[Vec<Stmt>]) -> drms_vm::Program {
+    let mut pb = ProgramBuilder::new();
+    // A few helpers that touch the scratch buffer in different ways.
+    let helpers: Vec<drms_trace::RoutineId> = (0..4)
+        .map(|i| {
+            pb.function(&format!("helper_{i}"), 1, |f| {
+                let base = f.param(0);
+                let v = f.load(base, i);
+                let w = f.add(v, i as i64 + 1);
+                f.store(base, i, w);
+                f.ret(None);
+            })
+        })
+        .collect();
+    let routines: Vec<drms_trace::RoutineId> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let body = body.clone();
+            let helpers = helpers.clone();
+            pb.function(&format!("gen_{i}"), 1, move |f| {
+                let scratch = f.param(0);
+                let vals: Vec<drms_vm::Reg> = (0..4)
+                    .map(|k| f.copy(k as i64 + 1))
+                    .collect();
+                emit(f, &body, scratch, &vals, &helpers);
+                f.ret(None);
+            })
+        })
+        .collect();
+    let main = pb.function("main", 0, |f| {
+        let scratch = f.alloc(16);
+        for &r in &routines {
+            f.call_void(r, &[Operand::Reg(scratch)]);
+        }
+        f.ret(None);
+    });
+    pb.finish(main).expect("generated programs always validate")
+}
+
+fn config() -> RunConfig {
+    RunConfig {
+        max_instructions: 2_000_000,
+        ..RunConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_run_to_completion(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(stmt_strategy(2), 0..10),
+            1..4,
+        )
+    ) {
+        let program = build_program(&bodies);
+        prop_assert!(program.validate().is_ok());
+        let stats = run_program(&program, config(), &mut NullTool)
+            .expect("generated programs terminate");
+        prop_assert!(stats.basic_blocks >= 1);
+        prop_assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn generated_programs_are_deterministic(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(stmt_strategy(2), 0..8),
+            1..3,
+        )
+    ) {
+        let program = build_program(&bodies);
+        let run = || {
+            let mut rec = TraceRecorder::new();
+            run_program(&program, config(), &mut rec).expect("run");
+            drms_trace::merge_traces(rec.into_traces())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn generated_listings_disassemble(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(stmt_strategy(1), 0..6),
+            1..3,
+        )
+    ) {
+        let program = build_program(&bodies);
+        let text = drms_vm::disassemble(&program);
+        prop_assert!(text.contains("routine @"));
+        // Every routine name appears in the listing.
+        for r in program.routines() {
+            prop_assert!(text.contains(&r.name));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! `imgpipe`: a threaded image pipeline standing in for vips.
+//!
+//! Each image *task* runs a three-stage pipeline over double-buffered
+//! strips:
+//!
+//! 1. a **loader** thread fills input strips from an external device
+//!    (`read(2)` → `kernelToUser`);
+//! 2. **worker** threads call `im_generate` per strip: they read the
+//!    input strip (written by the loader thread → thread-induced input)
+//!    plus a coefficient table, and write the output strip;
+//! 3. a **write-behind buffer** thread, `wbuffer_write_thread`, drains
+//!    output strips to a sink via `write(2)` (`userToKernel` reads of
+//!    cells written by the workers → thread-induced input).
+//!
+//! Because every stage reuses small fixed buffers, rms collapses each
+//! routine's input to (nearly) the buffer size, while drms tracks the
+//! amount of data actually streamed — the effects behind Figures 5 and 6
+//! of the paper. Strip counts grow across tasks, and strip widths
+//! alternate between two values, so `wbuffer_write_thread` exhibits
+//! exactly two distinct rms values but one drms value per call
+//! (Figure 6a vs 6c).
+
+use crate::Workload;
+use drms_vm::{Device, Operand, ProgramBuilder, SyscallNo};
+
+/// Builds the vips-like pipeline.
+///
+/// * `workers` — worker threads per task (≥ 1);
+/// * `tasks` — number of images processed (the paper's Figure 6 run has
+///   110 calls of `wbuffer_write_thread`, i.e. 110 tasks);
+/// * `scale` — multiplies strip counts.
+///
+/// Devices: fd 0 = image source, fd 1 = output sink.
+/// Focus routine: `im_generate`.
+pub fn vips(workers: u32, tasks: usize, scale: u32) -> Workload {
+    let workers = workers.max(1) as i64;
+    let scale = scale.max(1) as i64;
+    let mut pb = ProgramBuilder::new();
+
+    // Per-worker double buffers: input and output strips.
+    const STRIP_A: i64 = 24; // even tasks' strip width
+    const STRIP_B: i64 = 26; // odd tasks' strip width
+    const STRIP_MAX: i64 = STRIP_B;
+    let in_buf = pb.global((STRIP_MAX * workers) as u64);
+    let out_buf = pb.global((STRIP_MAX * workers) as u64);
+    // Loader staging buffer: raw device bytes are "decoded" from here
+    // into the workers' input strips by guest code, so the strips the
+    // workers read are thread-written (vips is thread-input dominated).
+    let stage = pb.global(STRIP_MAX as u64);
+    let coeff = pb.global_with((0..16).map(|i| i * 7 + 1).collect());
+    // Task descriptor: [strip_count, strip_cells]
+    let desc = pb.global(2);
+
+    // Per-worker semaphores (dense blocks indexed by worker id).
+    let mut in_full = Vec::new();
+    let mut in_empty = Vec::new();
+    let mut out_full = Vec::new();
+    let mut out_empty = Vec::new();
+    for _ in 0..workers {
+        in_full.push(pb.semaphore(0));
+        in_empty.push(pb.semaphore(1));
+        out_full.push(pb.semaphore(0));
+        out_empty.push(pb.semaphore(1));
+    }
+
+    // im_generate(wid, my_strips): generate this worker's share of the
+    // output image. One activation spans the whole region: the input
+    // window (a single double-buffer slot) is refilled by the loader
+    // thread between strips, so most of the activation's workload is
+    // thread-induced input invisible to the rms.
+    let im_generate = pb.function("im_generate", 2, |f| {
+        let wid = f.param(0);
+        let my_strips = f.param(1);
+        let off = f.mul(wid, STRIP_MAX);
+        let inb = f.add(in_buf.raw() as i64, off);
+        let outb = f.add(out_buf.raw() as i64, off);
+        let cells = f.load(desc.raw() as i64, 1);
+        f.for_range(0, my_strips, |f, _| {
+            for wi in 0..workers {
+                let is_w = f.eq(wid, wi);
+                f.if_then(is_w, |f| {
+                    f.sem_wait(in_full[wi as usize]);
+                    f.sem_wait(out_empty[wi as usize]);
+                    f.for_range(0, cells, |f, c| {
+                        let v = f.load(inb, c);
+                        let k = f.rem(c, 16);
+                        let w = f.load(coeff.raw() as i64, k);
+                        let prod = f.mul(v, w);
+                        let clamped = f.rem(prod, 65536);
+                        f.store(outb, c, clamped);
+                    });
+                    f.sem_signal(in_empty[wi as usize]);
+                    f.sem_signal(out_full[wi as usize]);
+                });
+            }
+        });
+        f.ret(None);
+    });
+
+    // Loader thread: feeds strips round-robin to worker input buffers.
+    let load_strips = pb.function("load_strips", 0, |f| {
+        let strips = f.load(desc.raw() as i64, 0);
+        let cells = f.load(desc.raw() as i64, 1);
+        f.for_range(0, strips, |f, s| {
+            let w = f.rem(s, workers);
+            let off = f.mul(w, STRIP_MAX);
+            let base = f.add(in_buf.raw() as i64, off);
+            // sem ids are compile-time constants per worker; dispatch by
+            // comparing the worker index.
+            for wi in 0..workers {
+                let is_w = f.eq(w, wi);
+                f.if_then(is_w, |f| {
+                    f.sem_wait(in_empty[wi as usize]);
+                    // read raw data, then decode it into the strip
+                    let _ = f.syscall(SyscallNo::Read, 0, stage.raw() as i64, cells, 0);
+                    f.for_range(0, cells, |f, c| {
+                        let raw = f.load(stage.raw() as i64, c);
+                        let decoded = f.bit_and(raw, 0xFFFF);
+                        f.store(base, c, decoded);
+                    });
+                    f.sem_signal(in_full[wi as usize]);
+                });
+            }
+        });
+        f.ret(None);
+    });
+
+    // Worker thread `wid`: one im_generate call covers its whole share.
+    let worker_main = pb.function("worker_main", 2, |f| {
+        let wid = f.param(0);
+        let my_strips = f.param(1);
+        f.call_void(im_generate, &[Operand::Reg(wid), Operand::Reg(my_strips)]);
+        f.ret(None);
+    });
+
+    // Write-behind buffer thread: drains output strips in strip order.
+    let wbuffer = pb.function("wbuffer_write_thread", 0, |f| {
+        let strips = f.load(desc.raw() as i64, 0);
+        let cells = f.load(desc.raw() as i64, 1);
+        f.for_range(0, strips, |f, s| {
+            let w = f.rem(s, workers);
+            let off = f.mul(w, STRIP_MAX);
+            let base = f.add(out_buf.raw() as i64, off);
+            for wi in 0..workers {
+                let is_w = f.eq(w, wi);
+                f.if_then(is_w, |f| {
+                    f.sem_wait(out_full[wi as usize]);
+                    let _ = f.syscall(SyscallNo::Write, 1, base, cells, 0);
+                    f.sem_signal(out_empty[wi as usize]);
+                });
+            }
+        });
+        f.ret(None);
+    });
+
+    // run_task(strips, cells): one image through the pipeline.
+    let run_task = pb.function("run_task", 2, |f| {
+        let strips = f.param(0);
+        let cells = f.param(1);
+        f.store(desc.raw() as i64, 0, strips);
+        f.store(desc.raw() as i64, 1, cells);
+        let loader = f.spawn(load_strips, &[]);
+        let writer = f.spawn(wbuffer, &[]);
+        let tids = f.alloc(workers);
+        f.for_range(0, workers, |f, w| {
+            // strips handled by worker w: ceil((strips - w) / workers)
+            let shifted = f.sub(strips, w);
+            let adj = f.add(shifted, workers - 1);
+            let mine = f.div(adj, workers);
+            let t = f.spawn(worker_main, &[Operand::Reg(w), Operand::Reg(mine)]);
+            f.store(tids, w, t);
+        });
+        f.join(loader);
+        f.for_range(0, workers, |f, w| {
+            let t = f.load(tids, w);
+            f.join(t);
+        });
+        f.join(writer);
+        f.ret(None);
+    });
+
+    let ntasks = tasks as i64;
+    let main = pb.function("main", 0, |f| {
+        f.for_range(0, ntasks, |f, i| {
+            // strip count grows across tasks (every image is a little
+            // larger), so each call sees a distinct amount of streamed
+            // data; width alternates A/B.
+            let strips0 = f.mul(i, scale);
+            let strips = f.add(strips0, 2 + scale);
+            let parity = f.rem(i, 2);
+            let is_odd = f.eq(parity, 1);
+            let cells = f.copy(STRIP_A);
+            f.if_then(is_odd, |f| f.assign(cells, STRIP_B));
+            f.call_void(run_task, &[Operand::Reg(strips), Operand::Reg(cells)]);
+        });
+        f.ret(None);
+    });
+
+    let program = pb.finish(main).expect("imgpipe program");
+    let focus = program.routine_by_name("im_generate");
+    Workload {
+        name: "vips".to_owned(),
+        program,
+        devices: vec![Device::Stream { seed: 0x1316 }, Device::Sink],
+        focus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_core::{DrmsConfig, DrmsProfiler};
+    use drms_vm::run_program;
+
+    fn profile(w: &Workload, config: DrmsConfig) -> drms_core::ProfileReport {
+        let mut prof = DrmsProfiler::new(config);
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        prof.into_report()
+    }
+
+    #[test]
+    fn pipeline_runs_and_streams_all_strips() {
+        let w = vips(2, 4, 1);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        let stats = run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        // 4 tasks x (loader + writer + 2 workers) + main
+        assert_eq!(stats.threads, 1 + 4 * 4);
+        assert!(stats.syscalls > 8, "loader reads + writer writes");
+    }
+
+    #[test]
+    fn im_generate_has_thread_induced_input() {
+        let w = vips(2, 4, 1);
+        let report = profile(&w, DrmsConfig::full());
+        let p = report.merged_routine(w.focus.unwrap());
+        // The input strip was written by the loader thread.
+        assert!(
+            p.breakdown.thread_induced > p.breakdown.kernel_induced,
+            "vips is thread-input dominated: {:?}",
+            p.breakdown
+        );
+        // drms spreads further than rms (Figure 5): more distinct values.
+        assert!(p.distinct_drms() >= p.distinct_rms());
+    }
+
+    #[test]
+    fn wbuffer_rms_collapses_to_two_values_but_drms_separates_calls() {
+        let tasks = 10;
+        let w = vips(2, tasks, 1);
+        let report = profile(&w, DrmsConfig::full());
+        let wb = report.merged_routine(w.program.routine_by_name("wbuffer_write_thread").unwrap());
+        assert_eq!(wb.calls, tasks as u64);
+        // Figure 6a: rms collapses the calls onto two distinct values
+        // (the two strip widths).
+        assert_eq!(wb.distinct_rms(), 2, "rms values: {:?}", wb.rms_plot());
+        // Figure 6c: drms separates (nearly) every call.
+        assert!(
+            wb.distinct_drms() >= tasks - 2,
+            "drms plot should have ~one point per call: {:?}",
+            wb.drms_plot()
+        );
+    }
+
+    #[test]
+    fn external_only_config_sits_between_rms_and_full_drms() {
+        let tasks = 8;
+        let w = vips(2, tasks, 1);
+        let full = profile(&w, DrmsConfig::full());
+        let ext = profile(&w, DrmsConfig::external_only());
+        let name = w.program.routine_by_name("wbuffer_write_thread").unwrap();
+        let full_points = full.merged_routine(name).distinct_drms();
+        let ext_points = ext.merged_routine(name).distinct_drms();
+        let rms_points = full.merged_routine(name).distinct_rms();
+        assert!(ext_points >= rms_points, "Fig 6b >= Fig 6a");
+        assert!(full_points >= ext_points, "Fig 6c >= Fig 6b");
+    }
+}

@@ -1,0 +1,140 @@
+//! Guest workload programs for the `drms` reproduction.
+//!
+//! Each constructor returns a [`Workload`]: a guest [`Program`] together
+//! with the devices it expects and the routine the corresponding paper
+//! experiment focuses on. The workloads model the *shape* of the paper's
+//! benchmarks — how data flows through shared memory, threads and system
+//! calls — rather than their computations:
+//!
+//! * [`patterns`] — the paper's two motivating patterns: producer/consumer
+//!   (Figure 2) and buffered stream reading (Figure 3);
+//! * [`sorting`] — selection sort driven on growing arrays (Figure 10);
+//! * [`minidb`] — a miniature table-scan database with buffered kernel
+//!   reads, standing in for MySQL/`mysqlslap` (Figures 4, 13a);
+//! * [`imgpipe`] — a threaded image pipeline with a write-behind buffer
+//!   thread, standing in for vips (Figures 5, 6, 13b);
+//! * [`parsec`] — synthetic stand-ins for the PARSEC 2.1 subset used in
+//!   the evaluation (blackscholes, bodytrack, canneal, dedup, ferret,
+//!   fluidanimate, streamcluster, swaptions, x264);
+//! * [`specomp`] — synthetic stand-ins for SPEC OMP2012-style fork-join
+//!   kernels (smithwa, nab, kdtree, botsalgn, md, imagick).
+//!
+//! # Example
+//!
+//! ```
+//! use drms_workloads::patterns;
+//! use drms_core::{DrmsProfiler, DrmsConfig};
+//! use drms_vm::run_program;
+//!
+//! let w = patterns::producer_consumer(8);
+//! let mut prof = DrmsProfiler::new(DrmsConfig::full());
+//! run_program(&w.program, w.run_config(), &mut prof).unwrap();
+//! let consumer = w.program.routine_by_name("consumer").unwrap();
+//! let p = prof.into_report().merged_routine(consumer);
+//! assert_eq!(p.rms_plot().last().unwrap().0, 1);
+//! assert_eq!(p.drms_plot().last().unwrap().0, 8);
+//! ```
+
+pub(crate) mod util;
+pub mod imgpipe;
+pub mod minidb;
+pub mod parsec;
+pub mod patterns;
+pub mod sorting;
+pub mod specomp;
+
+use drms_trace::RoutineId;
+use drms_vm::{Device, Program, RunConfig};
+
+/// A ready-to-run guest workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name as used in the paper's tables and figures.
+    pub name: String,
+    /// The guest program.
+    pub program: Program,
+    /// Devices to open as fds `0..n` before running.
+    pub devices: Vec<Device>,
+    /// The routine the experiment's cost plots focus on, if any.
+    pub focus: Option<RoutineId>,
+}
+
+impl Workload {
+    /// A default [`RunConfig`] with this workload's devices installed.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig::with_devices(self.devices.clone())
+    }
+
+    /// The name of the focus routine, if any.
+    pub fn focus_name(&self) -> Option<&str> {
+        self.focus.map(|r| self.program.routine_name(r))
+    }
+}
+
+/// The PARSEC-like suite at the given scale, with `threads` worker
+/// threads per benchmark (the paper spawns four).
+pub fn parsec_suite(threads: u32, scale: u32) -> Vec<Workload> {
+    vec![
+        parsec::blackscholes(threads, scale),
+        parsec::bodytrack(threads, scale),
+        parsec::canneal(threads, scale),
+        parsec::dedup(threads, scale),
+        parsec::ferret(threads, scale),
+        parsec::fluidanimate(threads, scale),
+        parsec::streamcluster(threads, scale),
+        parsec::swaptions(threads, scale),
+        parsec::x264(threads, scale),
+        imgpipe::vips(threads.max(2), 8 + scale as usize, scale),
+    ]
+}
+
+/// The SPEC OMP2012-like suite at the given scale.
+pub fn spec_omp_suite(threads: u32, scale: u32) -> Vec<Workload> {
+    vec![
+        specomp::smithwa(threads, scale),
+        specomp::nab(threads, scale),
+        specomp::kdtree(threads, scale),
+        specomp::botsalgn(threads, scale),
+        specomp::md(threads, scale),
+        specomp::imagick(threads, scale),
+        specomp::swim(threads, scale),
+        specomp::bt331(threads, scale),
+        specomp::ilbdc(threads, scale),
+    ]
+}
+
+/// Every workload used by the paper-wide experiments (both suites plus
+/// `mysqlslap`).
+pub fn full_suite(threads: u32, scale: u32) -> Vec<Workload> {
+    let mut all = parsec_suite(threads, scale);
+    all.extend(spec_omp_suite(threads, scale));
+    all.push(minidb::mysqlslap(threads.max(2), 4 + scale, 40 * scale as i64));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_vm::{run_program, NullTool};
+
+    #[test]
+    fn every_workload_in_full_suite_runs_to_completion() {
+        for w in full_suite(2, 1) {
+            let stats = run_program(&w.program, w.run_config(), &mut NullTool)
+                .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name));
+            assert!(stats.basic_blocks > 0, "{} did no work", w.name);
+            if let Some(f) = w.focus {
+                assert!(w.program.routines().len() > f.index() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn suites_have_distinct_names() {
+        let mut names: Vec<String> = full_suite(2, 1).into_iter().map(|w| w.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,767 @@
+//! Synthetic stand-ins for the PARSEC 2.1 benchmarks used in the paper's
+//! evaluation.
+//!
+//! Each program reproduces the *communication shape* of its namesake —
+//! how much of each routine's workload arrives via shared memory from
+//! other threads versus via system calls from external devices — which is
+//! what the drms-vs-rms comparison measures. Computations are small
+//! arithmetic kernels.
+
+use crate::Workload;
+use drms_trace::RoutineId;
+use drms_vm::{Device, FnBuilder, Operand, ProgramBuilder};
+use drms_vm::SyscallNo;
+
+/// Spawns `threads` instances of `worker(tid, arg)` and joins them all.
+fn fork_join(f: &mut FnBuilder, worker: RoutineId, threads: i64, arg: Operand) {
+    let tids = f.alloc(threads);
+    f.for_range(0, threads, |f, t| {
+        let h = f.spawn(worker, &[Operand::Reg(t), arg]);
+        f.store(tids, t, h);
+    });
+    f.for_range(0, threads, |f, t| {
+        let h = f.load(tids, t);
+        f.join(h);
+    });
+}
+
+/// `blackscholes`: options are read from a device once, then priced by
+/// independent threads — external input at startup, almost no thread
+/// communication.
+pub fn blackscholes(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let n = 32 * scale.max(1) as i64 * t; // options
+    let mut pb = ProgramBuilder::new();
+    let options = pb.global(n as u64);
+    let prices = pb.global(n as u64);
+
+    let price_option = pb.function("bs_price", 1, |f| {
+        let idx = f.param(0);
+        let v = f.load(options.raw() as i64, idx);
+        let a = f.mul(v, v);
+        let b = f.rem(a, 10007);
+        let c = f.add(b, v);
+        f.store(prices.raw() as i64, idx, c);
+        f.ret(None);
+    });
+    let worker = pb.function("bs_worker", 2, |f| {
+        let tid = f.param(0);
+        let per = f.param(1);
+        let start = f.mul(tid, per);
+        let end = f.add(start, per);
+        f.for_range(start, Operand::Reg(end), |f, i| {
+            f.call_void(price_option, &[Operand::Reg(i)]);
+        });
+        f.ret(None);
+    });
+    let load_options = pb.function("bs_load", 0, |f| {
+        let _ = f.syscall(SyscallNo::Read, 0, options.raw() as i64, n, 0);
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        f.call_void(load_options, &[]);
+        let per = f.copy(n / t);
+        fork_join(f, worker, t, Operand::Reg(per));
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("blackscholes");
+    let focus = program.routine_by_name("bs_price");
+    Workload {
+        name: "blackscholes".to_owned(),
+        program,
+        devices: vec![Device::Stream { seed: 0xB5 }],
+        focus,
+    }
+}
+
+/// `swaptions`: embarrassingly parallel Monte Carlo — tiny inputs, heavy
+/// thread-local computation, negligible communication.
+pub fn swaptions(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let trials = 40 * scale.max(1) as i64;
+    let mut pb = ProgramBuilder::new();
+    let params = pb.global_with(vec![100, 5, 30, 2]);
+    let results = pb.global(t as u64);
+
+    let simulate = pb.function("sw_simulate", 1, |f| {
+        let seed_mix = f.param(0);
+        let acc = f.copy(0);
+        f.for_range(0, trials, |f, _| {
+            let r = f.rand(1000);
+            let p0 = f.load(params.raw() as i64, 0);
+            let x = f.mul(r, p0);
+            let y = f.rem(x, 9973);
+            let s = f.add(acc, y);
+            f.assign(acc, s);
+        });
+        let out = f.add(acc, seed_mix);
+        f.ret_val(out);
+    });
+    let worker = pb.function("sw_worker", 2, |f| {
+        let tid = f.param(0);
+        let _rounds = f.param(1);
+        let v = f.call(simulate, &[Operand::Reg(tid)]);
+        f.store(results.raw() as i64, tid, v);
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        fork_join(f, worker, t, Operand::Imm(1));
+        // reduce results (reads of other threads' stores: tiny thread input)
+        let total = f.copy(0);
+        f.for_range(0, t, |f, i| {
+            let v = f.load(results.raw() as i64, i);
+            let s = f.add(total, v);
+            f.assign(total, s);
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("swaptions");
+    let focus = program.routine_by_name("sw_simulate");
+    Workload {
+        name: "swaptions".to_owned(),
+        program,
+        devices: Vec::new(),
+        focus,
+    }
+}
+
+/// `fluidanimate`: grid partitions per thread with boundary exchange each
+/// iteration — moderate thread input concentrated in a few routines.
+pub fn fluidanimate(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let part = 24 * scale.max(1) as i64; // cells per partition
+    let iters = 4 + scale.max(1) as i64;
+    let n = part * t;
+    let mut pb = ProgramBuilder::new();
+    // Double-buffered grid: each iteration reads one copy and writes the
+    // other, so neighbour reads are ordered by the barrier (race-free)
+    // while still being thread-induced input.
+    let grid_a = pb.global(n as u64);
+    let grid_b = pb.global(n as u64);
+    let barrier = crate::util::Barrier::new(&mut pb, t);
+
+    // update_cell(idx, src, dst): new value from self + neighbours.
+    let update_cell = pb.function("fa_update_cell", 3, |f| {
+        let i = f.param(0);
+        let src = f.param(1);
+        let dst = f.param(2);
+        let v = f.load(src, i);
+        let lm = f.sub(i, 1);
+        let li = f.max(lm, 0);
+        let lv = f.load(src, li);
+        let ri0 = f.add(i, 1);
+        let ri = f.min(ri0, n - 1);
+        let rv = f.load(src, ri);
+        let s0 = f.add(v, lv);
+        let s1 = f.add(s0, rv);
+        let nv = f.div(s1, 3);
+        f.store(dst, i, nv);
+        f.ret(None);
+    });
+    let worker = pb.function("fa_worker", 2, |f| {
+        let tid = f.param(0);
+        let _ = f.param(1);
+        let start = f.mul(tid, part);
+        let end = f.add(start, part);
+        let a = grid_a.raw() as i64;
+        let b = grid_b.raw() as i64;
+        f.for_range(0, iters, |f, it| {
+            let parity = f.rem(it, 2);
+            let even = f.eq(parity, 0);
+            let src = f.copy(a);
+            let dst = f.copy(b);
+            f.if_then(even, |f| {
+                f.assign(src, a);
+                f.assign(dst, b);
+            });
+            let odd = f.eq(parity, 1);
+            f.if_then(odd, |f| {
+                f.assign(src, b);
+                f.assign(dst, a);
+            });
+            f.for_range(start, Operand::Reg(end), |f, i| {
+                f.call_void(
+                    update_cell,
+                    &[Operand::Reg(i), Operand::Reg(src), Operand::Reg(dst)],
+                );
+            });
+            barrier.worker(f, tid);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        // init grid
+        f.for_range(0, n, |f, i| {
+            let v = f.rem(i, 97);
+            f.store(grid_a.raw() as i64, i, v);
+        });
+        let tids = f.alloc(t);
+        f.for_range(0, t, |f, w| {
+            let h = f.spawn(worker, &[Operand::Reg(w), Operand::Imm(0)]);
+            f.store(tids, w, h);
+        });
+        f.for_range(0, iters, |f, _| {
+            barrier.coordinator(f);
+        });
+        f.for_range(0, t, |f, w| {
+            let h = f.load(tids, w);
+            f.join(h);
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("fluidanimate");
+    let focus = program.routine_by_name("fa_update_cell");
+    Workload {
+        name: "fluidanimate".to_owned(),
+        program,
+        devices: Vec::new(),
+        focus,
+    }
+}
+
+/// `bodytrack`: frames read from a camera device, processed in parallel,
+/// then reduced into a shared model — mixed external and thread input.
+pub fn bodytrack(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let frames = 3 + scale.max(1) as i64;
+    let frame_cells = 16 * t;
+    let mut pb = ProgramBuilder::new();
+    let frame = pb.global(frame_cells as u64);
+    let partials = pb.global(t as u64);
+    let model = pb.global(8);
+    let model_mutex = pb.mutex();
+
+    let eval_particle = pb.function("bt_eval", 2, |f| {
+        let base = f.param(0);
+        let len = f.param(1);
+        let acc = f.copy(0);
+        f.for_range(0, len, |f, i| {
+            let v = f.load(base, i);
+            let mm = f.rem(i, 8);
+            let mv = f.load(model.raw() as i64, mm);
+            let d = f.sub(v, mv);
+            let d2 = f.mul(d, d);
+            let s = f.add(acc, d2);
+            f.assign(acc, s);
+        });
+        f.ret_val(acc);
+    });
+    let worker = pb.function("bt_worker", 2, |f| {
+        let tid = f.param(0);
+        let per = f.param(1);
+        let off = f.mul(tid, per);
+        let base = f.add(frame.raw() as i64, off);
+        let score = f.call(eval_particle, &[Operand::Reg(base), Operand::Reg(per)]);
+        f.store(partials.raw() as i64, tid, score);
+        f.ret(None);
+    });
+    let update_model = pb.function("bt_update_model", 0, |f| {
+        f.lock(model_mutex);
+        let total = f.copy(0);
+        f.for_range(0, t, |f, i| {
+            let v = f.load(partials.raw() as i64, i);
+            let s = f.add(total, v);
+            f.assign(total, s);
+        });
+        f.for_range(0, 8, |f, i| {
+            let old = f.load(model.raw() as i64, i);
+            let mixed = f.add(old, total);
+            let damped = f.div(mixed, 2);
+            f.store(model.raw() as i64, i, damped);
+        });
+        f.unlock(model_mutex);
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        f.for_range(0, frames, |f, _| {
+            let _ = f.syscall(SyscallNo::Read, 0, frame.raw() as i64, frame_cells, 0);
+            let per = f.copy(frame_cells / t);
+            fork_join(f, worker, t, Operand::Reg(per));
+            f.call_void(update_model, &[]);
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("bodytrack");
+    let focus = program.routine_by_name("bt_eval");
+    Workload {
+        name: "bodytrack".to_owned(),
+        program,
+        devices: vec![Device::Stream { seed: 0xB0D7 }],
+        focus,
+    }
+}
+
+/// `x264`: a frame pipeline where encoding reads the current frame (from
+/// a device) and the reconstructed reference frame produced by the
+/// previous iteration's workers — both input kinds present.
+pub fn x264(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let frames = 3 + scale.max(1) as i64;
+    let width = 12 * t;
+    let mut pb = ProgramBuilder::new();
+    let current = pb.global(width as u64);
+    let reference = pb.global(width as u64);
+
+    let encode_mb = pb.function("x264_encode_mb", 2, |f| {
+        let base_off = f.param(0);
+        let len = f.param(1);
+        let acc = f.copy(0);
+        f.for_range(0, len, |f, i| {
+            let off = f.add(base_off, i);
+            let c = f.load(current.raw() as i64, off);
+            let r = f.load(reference.raw() as i64, off);
+            let d = f.sub(c, r);
+            let d2 = f.mul(d, d);
+            let s = f.add(acc, d2);
+            f.assign(acc, s);
+            // reconstruct: reference for the next frame
+            let cr = f.add(c, r);
+            let rec = f.div(cr, 2);
+            f.store(reference.raw() as i64, off, rec);
+        });
+        f.ret_val(acc);
+    });
+    let worker = pb.function("x264_worker", 2, |f| {
+        let tid = f.param(0);
+        let per = f.param(1);
+        let off = f.mul(tid, per);
+        let _ = f.call(encode_mb, &[Operand::Reg(off), Operand::Reg(per)]);
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        f.for_range(0, frames, |f, _| {
+            let _ = f.syscall(SyscallNo::Read, 0, current.raw() as i64, width, 0);
+            let per = f.copy(width / t);
+            fork_join(f, worker, t, Operand::Reg(per));
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("x264");
+    let focus = program.routine_by_name("x264_encode_mb");
+    Workload {
+        name: "x264".to_owned(),
+        program,
+        devices: vec![Device::Stream { seed: 0x264 }],
+        focus,
+    }
+}
+
+/// `dedup`: a pipeline — a reader streams chunks from a device into a
+/// queue, workers hash and deduplicate against a shared table under a
+/// mutex, a writer emits unique chunks — heavy thread *and* external
+/// input, the paper's profile-richness champion.
+pub fn dedup(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(2) as i64; // at least reader + 1 worker
+    let workers = (t - 1).max(1);
+    let chunks = 12 * scale.max(1) as i64;
+    let chunk_cells = 8i64;
+    let table_slots = 32i64;
+    let mut pb = ProgramBuilder::new();
+    let queue = pb.global((chunk_cells * 2) as u64); // 2-slot ring
+    let table = pb.global(table_slots as u64);
+    let out_count = pb.global(1);
+    let slots_full = pb.semaphore(0);
+    let slots_empty = pb.semaphore(2);
+    let table_mutex = pb.mutex();
+    let queue_mutex = pb.mutex();
+    let head = pb.global(1); // consumer cursor
+
+    let hash_chunk = pb.function("dd_hash", 1, |f| {
+        let base = f.param(0);
+        let h = f.copy(0);
+        f.for_range(0, chunk_cells, |f, i| {
+            let v = f.load(base, i);
+            let m = f.mul(h, 131);
+            let s = f.add(m, v);
+            let r = f.rem(s, 1_000_003);
+            f.assign(h, r);
+        });
+        f.ret_val(h);
+    });
+    let dedup_lookup = pb.function("dd_lookup", 1, |f| {
+        let h = f.param(0);
+        let slot = f.rem(h, table_slots);
+        f.lock(table_mutex);
+        let existing = f.load(table.raw() as i64, slot);
+        let fresh = f.ne(existing, h);
+        f.if_then(fresh, |f| {
+            f.store(table.raw() as i64, slot, h);
+        });
+        f.unlock(table_mutex);
+        f.ret_val(fresh);
+    });
+    let reader = pb.function("dd_reader", 0, |f| {
+        f.for_range(0, chunks, |f, c| {
+            let slot = f.rem(c, 2);
+            let off = f.mul(slot, chunk_cells);
+            let base = f.add(queue.raw() as i64, off);
+            f.sem_wait(slots_empty);
+            let _ = f.syscall(SyscallNo::Read, 0, base, chunk_cells, 0);
+            f.sem_signal(slots_full);
+        });
+        // Poison pills: one extra unit per worker so each can observe
+        // exhaustion and exit.
+        f.for_range(0, workers, |f, _| f.sem_signal(slots_full));
+        f.ret(None);
+    });
+    let compress = pb.function("dd_compress", 1, |f| {
+        let base = f.param(0);
+        let acc = f.copy(0);
+        f.for_range(0, chunk_cells, |f, i| {
+            let v = f.load(base, i);
+            let x = f.bit_xor(acc, v);
+            f.assign(acc, x);
+        });
+        f.ret_val(acc);
+    });
+    let worker = pb.function("dd_worker", 2, |f| {
+        let _tid = f.param(0);
+        let _arg = f.param(1);
+        let local = f.alloc(chunk_cells);
+        let more = f.copy(1);
+        f.while_loop(
+            |f| Operand::Reg(f.copy(more)),
+            |f| {
+                // Wait for a filled chunk (or a poison pill), then claim
+                // the oldest unconsumed chunk under the queue mutex and
+                // copy it out of the ring — claims track fill order, so
+                // every chunk is consumed exactly once regardless of the
+                // scheduler's interleaving.
+                f.sem_wait(slots_full);
+                f.lock(queue_mutex);
+                let c = f.load(head.raw() as i64, 0);
+                let in_range = f.lt(c, chunks);
+                f.if_else(
+                    in_range,
+                    |f| {
+                        let c2 = f.add(c, 1);
+                        f.store(head.raw() as i64, 0, c2);
+                        let slot = f.rem(c, 2);
+                        let off = f.mul(slot, chunk_cells);
+                        let base = f.add(queue.raw() as i64, off);
+                        f.for_range(0, chunk_cells, |f, i| {
+                            let v = f.load(base, i);
+                            f.store(local, i, v);
+                        });
+                    },
+                    |f| f.assign(more, 0),
+                );
+                f.unlock(queue_mutex);
+                f.if_then(more, |f| {
+                    f.sem_signal(slots_empty);
+                    let h = f.call(hash_chunk, &[Operand::Reg(local)]);
+                    let fresh = f.call(dedup_lookup, &[Operand::Reg(h)]);
+                    f.if_then(fresh, |f| {
+                        let z = f.call(compress, &[Operand::Reg(local)]);
+                        let out = f.alloc(1);
+                        f.store(out, 0, z);
+                        let _ = f.syscall(SyscallNo::Write, 1, out, 1, 0);
+                        f.lock(table_mutex);
+                        let n = f.load(out_count.raw() as i64, 0);
+                        let n2 = f.add(n, 1);
+                        f.store(out_count.raw() as i64, 0, n2);
+                        f.unlock(table_mutex);
+                    });
+                });
+            },
+        );
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        let r = f.spawn(reader, &[]);
+        fork_join(f, worker, workers, Operand::Imm(0));
+        f.join(r);
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("dedup");
+    let focus = program.routine_by_name("dd_hash");
+    Workload {
+        name: "dedup".to_owned(),
+        program,
+        devices: vec![Device::Stream { seed: 0xDEDD }, Device::Sink],
+        focus,
+    }
+}
+
+/// `canneal`: threads apply random element swaps to a shared netlist
+/// under a mutex — thread input dominates.
+pub fn canneal(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let elements = 32 * scale.max(1) as i64;
+    let swaps = 50 * scale.max(1) as i64;
+    let mut pb = ProgramBuilder::new();
+    let netlist = pb.global(elements as u64);
+    let netlist_mutex = pb.mutex();
+
+    let swap_cost = pb.function("cn_swap_cost", 2, |f| {
+        let a = f.param(0);
+        let b = f.param(1);
+        let va = f.load(netlist.raw() as i64, a);
+        let vb = f.load(netlist.raw() as i64, b);
+        let d = f.sub(va, vb);
+        let c = f.mul(d, d);
+        f.ret_val(c);
+    });
+    let try_swap = pb.function("cn_try_swap", 0, |f| {
+        let a = f.rand(elements);
+        let b = f.rand(elements);
+        f.lock(netlist_mutex);
+        let cost = f.call(swap_cost, &[Operand::Reg(a), Operand::Reg(b)]);
+        let do_it = f.gt(cost, 100);
+        f.if_then(do_it, |f| {
+            let va = f.load(netlist.raw() as i64, a);
+            let vb = f.load(netlist.raw() as i64, b);
+            f.store(netlist.raw() as i64, a, vb);
+            f.store(netlist.raw() as i64, b, va);
+        });
+        f.unlock(netlist_mutex);
+        f.ret(None);
+    });
+    let worker = pb.function("cn_worker", 2, |f| {
+        f.for_range(0, swaps, |f, _| {
+            f.call_void(try_swap, &[]);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        f.for_range(0, elements, |f, i| {
+            let v = f.rand(1000);
+            f.store(netlist.raw() as i64, i, v);
+            let _ = i;
+        });
+        fork_join(f, worker, t, Operand::Imm(0));
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("canneal");
+    let focus = program.routine_by_name("cn_swap_cost");
+    Workload {
+        name: "canneal".to_owned(),
+        program,
+        devices: Vec::new(),
+        focus,
+    }
+}
+
+/// `ferret`: a similarity-search pipeline — queries stream in from a
+/// device, workers rank them against a shared database loaded at startup.
+pub fn ferret(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let queries = 6 * scale.max(1) as i64;
+    let db_cells = 40i64;
+    let q_cells = 8i64;
+    let mut pb = ProgramBuilder::new();
+    let db = pb.global(db_cells as u64);
+    let qbuf = pb.global(q_cells as u64);
+    let q_ready = pb.semaphore(0);
+    let q_taken = pb.semaphore(1);
+
+    let rank_query = pb.function("fr_rank", 1, |f| {
+        let qbase = f.param(0);
+        let best = f.copy(0);
+        f.for_range(0, db_cells, |f, i| {
+            let d = f.load(db.raw() as i64, i);
+            let qi = f.rem(i, q_cells);
+            let q = f.load(qbase, qi);
+            let diff = f.sub(d, q);
+            let sq = f.mul(diff, diff);
+            let b = f.max(best, sq);
+            f.assign(best, b);
+        });
+        f.ret_val(best);
+    });
+    let worker = pb.function("fr_worker", 2, |f| {
+        let per = f.param(1);
+        let local = f.alloc(q_cells);
+        f.for_range(0, per, |f, _| {
+            f.sem_wait(q_ready);
+            f.for_range(0, q_cells, |f, i| {
+                let v = f.load(qbuf.raw() as i64, i);
+                f.store(local, i, v);
+            });
+            f.sem_signal(q_taken);
+            let _ = f.call(rank_query, &[Operand::Reg(local)]);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        let _ = f.syscall(SyscallNo::Read, 0, db.raw() as i64, db_cells, 0);
+        let per = f.copy(queries / t);
+        let tids = f.alloc(t);
+        f.for_range(0, t, |f, w| {
+            let h = f.spawn(worker, &[Operand::Reg(w), Operand::Reg(per)]);
+            f.store(tids, w, h);
+        });
+        let total = f.mul(per, t);
+        f.for_range(0, Operand::Reg(total), |f, _| {
+            f.sem_wait(q_taken);
+            let _ = f.syscall(SyscallNo::Recvfrom, 1, qbuf.raw() as i64, q_cells, 0);
+            f.sem_signal(q_ready);
+        });
+        f.for_range(0, t, |f, w| {
+            let h = f.load(tids, w);
+            f.join(h);
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("ferret");
+    let focus = program.routine_by_name("fr_rank");
+    Workload {
+        name: "ferret".to_owned(),
+        program,
+        devices: vec![
+            Device::Stream { seed: 0xFE55 },
+            Device::Stream { seed: 0x9E77 },
+        ],
+        focus,
+    }
+}
+
+/// `streamcluster`: points stream in; threads assign them to shared
+/// cluster centers that are recomputed each round.
+pub fn streamcluster(threads: u32, scale: u32) -> Workload {
+    let t = threads.max(1) as i64;
+    let points = 24 * scale.max(1) as i64 * t;
+    let centers = 4i64;
+    let rounds = 3i64;
+    let mut pb = ProgramBuilder::new();
+    let data = pb.global(points as u64);
+    let centroid = pb.global(centers as u64);
+    let assign = pb.global(points as u64);
+    let sums = pb.global((centers * 2) as u64);
+    let sums_mutex = pb.mutex();
+
+    let nearest = pb.function("sc_nearest", 1, |f| {
+        let v = f.param(0);
+        let best = f.copy(0);
+        let best_d = f.copy(i64::MAX);
+        f.for_range(0, centers, |f, c| {
+            let cv = f.load(centroid.raw() as i64, c);
+            let d0 = f.sub(v, cv);
+            let d = f.mul(d0, d0);
+            let closer = f.lt(d, best_d);
+            f.if_then(closer, |f| {
+                f.assign(best, c);
+                f.assign(best_d, d);
+            });
+        });
+        f.ret_val(best);
+    });
+    let worker = pb.function("sc_worker", 2, |f| {
+        let tid = f.param(0);
+        let per = f.param(1);
+        let start = f.mul(tid, per);
+        let end = f.add(start, per);
+        f.for_range(start, Operand::Reg(end), |f, i| {
+            let v = f.load(data.raw() as i64, i);
+            let c = f.call(nearest, &[Operand::Reg(v)]);
+            f.store(assign.raw() as i64, i, c);
+            f.lock(sums_mutex);
+            let so = f.mul(c, 2);
+            let s = f.load(sums.raw() as i64, so);
+            let s2 = f.add(s, v);
+            f.store(sums.raw() as i64, so, s2);
+            let co = f.add(so, 1);
+            let n = f.load(sums.raw() as i64, co);
+            let n2 = f.add(n, 1);
+            f.store(sums.raw() as i64, co, n2);
+            f.unlock(sums_mutex);
+        });
+        f.ret(None);
+    });
+    let recenter = pb.function("sc_recenter", 0, |f| {
+        f.for_range(0, centers, |f, c| {
+            let so = f.mul(c, 2);
+            let s = f.load(sums.raw() as i64, so);
+            let co = f.add(so, 1);
+            let n0 = f.load(sums.raw() as i64, co);
+            let n = f.max(n0, 1);
+            let m = f.div(s, n);
+            f.store(centroid.raw() as i64, c, m);
+            f.store(sums.raw() as i64, so, 0);
+            f.store(sums.raw() as i64, co, 0);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        let _ = f.syscall(SyscallNo::Read, 0, data.raw() as i64, points, 0);
+        f.for_range(0, centers, |f, c| {
+            let v = f.mul(c, 250);
+            f.store(centroid.raw() as i64, c, v);
+        });
+        f.for_range(0, rounds, |f, _| {
+            let per = f.copy(points / t);
+            fork_join(f, worker, t, Operand::Reg(per));
+            f.call_void(recenter, &[]);
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("streamcluster");
+    let focus = program.routine_by_name("sc_nearest");
+    Workload {
+        name: "streamcluster".to_owned(),
+        program,
+        devices: vec![Device::Stream { seed: 0x5C }],
+        focus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_core::{DrmsConfig, DrmsProfiler};
+    use drms_vm::run_program;
+
+    fn volume(w: &Workload) -> f64 {
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        run_program(&w.program, w.run_config(), &mut prof)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        prof.into_report().dynamic_input_volume()
+    }
+
+    #[test]
+    fn all_parsec_benchmarks_run_under_profiling() {
+        for w in crate::parsec_suite(2, 1) {
+            let v = volume(&w);
+            assert!((0.0..1.0).contains(&v), "{}: volume {v}", w.name);
+        }
+    }
+
+    #[test]
+    fn swaptions_has_low_dynamic_input() {
+        let v = volume(&swaptions(2, 1));
+        assert!(v < 0.2, "swaptions barely communicates: {v}");
+    }
+
+    #[test]
+    fn dedup_and_canneal_have_substantial_dynamic_input() {
+        assert!(volume(&dedup(3, 1)) > 0.1, "dedup streams and shares");
+        assert!(volume(&canneal(2, 1)) > 0.02, "canneal shares the netlist");
+    }
+
+    #[test]
+    fn canneal_is_thread_dominated_blackscholes_external() {
+        let w = canneal(2, 1);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        let rep = prof.into_report();
+        let mut th = 0;
+        let mut ke = 0;
+        for (_, p) in rep.iter() {
+            th += p.breakdown.thread_induced;
+            ke += p.breakdown.kernel_induced;
+        }
+        assert!(th > ke, "canneal: thread {th} vs kernel {ke}");
+
+        let w = blackscholes(2, 1);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        let rep = prof.into_report();
+        let mut th = 0;
+        let mut ke = 0;
+        for (_, p) in rep.iter() {
+            th += p.breakdown.thread_induced;
+            ke += p.breakdown.kernel_induced;
+        }
+        assert!(ke > th, "blackscholes: kernel {ke} vs thread {th}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's two motivating dynamic-workload patterns.
+//!
+//! *Producer/consumer* (Figure 2): the consumer repeatedly reads one
+//! memory cell the producer rewrites between iterations — rms sees a
+//! single input cell, drms sees one input per handoff.
+//!
+//! *Data streaming* (Figure 3): a routine repeatedly refills a two-cell
+//! buffer from an external device and processes only the first cell —
+//! rms stays 1, drms equals the number of iterations.
+
+use crate::Workload;
+use drms_vm::{Device, Operand, ProgramBuilder, SyscallNo};
+
+/// Semaphore-based producer/consumer exchanging `n` values through one
+/// shared cell (paper Figure 2).
+///
+/// Routines: `main` (spawns and joins), `producer`, `produce_data`,
+/// `consumer` (the focus), `consume_data`.
+pub fn producer_consumer(n: i64) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let x = pb.global(1);
+    let full = pb.semaphore(0);
+    let empty = pb.semaphore(1);
+    let mutex = pb.mutex();
+
+    let produce_data = pb.function("produce_data", 1, |f| {
+        let i = f.param(0);
+        let v = f.mul(i, 3);
+        let v2 = f.add(v, 1);
+        f.ret_val(v2);
+    });
+    let consume_data = pb.function("consume_data", 0, |f| {
+        let v = f.load(x.raw() as i64, 0);
+        let _ = f.add(v, 1);
+        f.ret(None);
+    });
+    let producer = pb.function("producer", 1, |f| {
+        let n = f.param(0);
+        f.for_range(0, n, |f, i| {
+            f.sem_wait(empty);
+            f.lock(mutex);
+            let v = f.call(produce_data, &[Operand::Reg(i)]);
+            f.store(x.raw() as i64, 0, v);
+            f.unlock(mutex);
+            f.sem_signal(full);
+        });
+        f.ret(None);
+    });
+    let consumer = pb.function("consumer", 1, |f| {
+        let n = f.param(0);
+        f.for_range(0, n, |f, _| {
+            f.sem_wait(full);
+            f.lock(mutex);
+            f.call_void(consume_data, &[]);
+            f.unlock(mutex);
+            f.sem_signal(empty);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        let t = f.spawn(consumer, &[Operand::Imm(n)]);
+        f.call_void(producer, &[Operand::Imm(n)]);
+        f.join(t);
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("producer_consumer program");
+    let focus = program.routine_by_name("consumer");
+    Workload {
+        name: format!("producer_consumer_{n}"),
+        program,
+        devices: Vec::new(),
+        focus,
+    }
+}
+
+/// Buffered reads from a data stream (paper Figure 3): `n` iterations
+/// refill a two-cell buffer via `read(2)`, then `consume_data` processes
+/// `b[0]` only.
+///
+/// Routines: `main`, `stream_reader` (the focus), `consume_data`.
+pub fn stream_reader(n: i64) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let b = pb.global(2);
+
+    let consume_data = pb.function("consume_data", 1, |f| {
+        let base = f.param(0);
+        let v = f.load(base, 0);
+        let _ = f.mul(v, v);
+        f.ret(None);
+    });
+    let reader = pb.function("stream_reader", 1, |f| {
+        let n = f.param(0);
+        f.for_range(0, n, |f, _| {
+            // fill b with external data (two cells; only b[0] is used)
+            let _ = f.syscall(SyscallNo::Read, 0, b.raw() as i64, 2, 0);
+            f.call_void(consume_data, &[Operand::Imm(b.raw() as i64)]);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        f.call_void(reader, &[Operand::Imm(n)]);
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("stream_reader program");
+    let focus = program.routine_by_name("stream_reader");
+    Workload {
+        name: format!("stream_reader_{n}"),
+        program,
+        devices: vec![Device::Stream { seed: 0xFEED }],
+        focus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_core::{DrmsConfig, DrmsProfiler, NaiveProfiler, RmsProfiler};
+    use drms_vm::run_program;
+
+    #[test]
+    fn producer_consumer_matches_figure_2() {
+        let n = 10;
+        let w = producer_consumer(n);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        let report = prof.into_report();
+        let consumer = report.merged_routine(w.focus.unwrap());
+        // consume_data reads x once per handoff: rms = 1, drms = n at the
+        // consumer level (locals aside, the shared cell dominates).
+        let (rms_max, _) = *consumer.rms_plot().last().unwrap();
+        let (drms_max, _) = *consumer.drms_plot().last().unwrap();
+        assert_eq!(rms_max, 1, "rms(consumer) stays at one shared cell");
+        assert_eq!(drms_max, n as u64, "drms(consumer) counts every handoff");
+        // The induced reads happen inside consume_data (the topmost
+        // activation at read time) and are thread input, not external.
+        let cd = report.merged_routine(w.program.routine_by_name("consume_data").unwrap());
+        assert!(cd.breakdown.thread_induced >= (n as u64) - 1);
+        assert_eq!(cd.breakdown.kernel_induced, 0);
+    }
+
+    #[test]
+    fn producer_consumer_agrees_with_naive_oracle() {
+        let w = producer_consumer(6);
+        let mut drms = DrmsProfiler::new(DrmsConfig::full());
+        let mut naive = NaiveProfiler::new();
+        run_program(&w.program, w.run_config(), &mut drms).unwrap();
+        run_program(&w.program, w.run_config(), &mut naive).unwrap();
+        let a = drms.into_report();
+        let b = naive.into_report();
+        for (&(r, t), p) in a.iter() {
+            let q = b.get(r, t).expect("same profiles");
+            assert_eq!(p.by_drms, q.by_drms, "drms oracle mismatch");
+            assert_eq!(p.by_rms, q.by_rms, "rms oracle mismatch");
+        }
+    }
+
+    #[test]
+    fn stream_reader_matches_figure_3() {
+        let n = 12;
+        let w = stream_reader(n);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        let report = prof.into_report();
+        let reader = report.merged_routine(w.focus.unwrap());
+        let (drms_max, _) = *reader.drms_plot().last().unwrap();
+        let (rms_max, _) = *reader.rms_plot().last().unwrap();
+        // drms ≈ n induced reads of b[0]; rms sees the location once.
+        assert_eq!(drms_max, n as u64);
+        assert_eq!(rms_max, 1);
+        let cd = report.merged_routine(w.program.routine_by_name("consume_data").unwrap());
+        assert!(cd.breakdown.kernel_induced >= n as u64 - 1);
+    }
+
+    #[test]
+    fn stream_reader_invisible_to_rms_tool() {
+        let w = stream_reader(9);
+        let mut prof = RmsProfiler::new();
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        let report = prof.into_report();
+        let reader = report.merged_routine(w.focus.unwrap());
+        assert_eq!(reader.rms_plot().last().unwrap().0, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Sorting drivers (paper Figure 10).
+//!
+//! Selection sort has a clean Θ(n²) basic-block cost and Θ(n) read memory
+//! size, so a sweep over growing arrays produces the textbook quadratic
+//! cost plot the paper uses to contrast basic-block counting with noisy
+//! wall-clock timing.
+
+use crate::Workload;
+use drms_trace::RoutineId;
+use drms_vm::{FnBuilder, Operand, Program, ProgramBuilder};
+
+/// Emits the `selection_sort(base, n)` routine body.
+fn emit_selection_sort(f: &mut FnBuilder) {
+    let base = f.param(0);
+    let n = f.param(1);
+    let last = f.sub(n, 1);
+    f.for_range(0, last, |f, i| {
+        let best = f.copy(i);
+        let start = f.add(i, 1);
+        f.for_range(start, n, |f, j| {
+            let vj = f.load(base, j);
+            let vb = f.load(base, best);
+            let less = f.lt(vj, vb);
+            f.if_then(less, |f| f.assign(best, j));
+        });
+        // swap a[i] <-> a[best]
+        let vi = f.load(base, i);
+        let vb = f.load(base, best);
+        f.store(base, i, vb);
+        f.store(base, best, vi);
+    });
+    f.ret(None);
+}
+
+fn build(sizes: &[i64]) -> (Program, Option<RoutineId>) {
+    let mut pb = ProgramBuilder::new();
+    let sort = pb.declare("selection_sort", 2);
+    pb.define(sort, emit_selection_sort);
+    let fill = pb.function("fill_random", 2, |f| {
+        let base = f.param(0);
+        let n = f.param(1);
+        f.for_range(0, n, |f, i| {
+            let v = f.rand(1_000_000);
+            f.store(base, i, v);
+        });
+        f.ret(None);
+    });
+    let run_one = pb.function("run_one", 1, |f| {
+        let n = f.param(0);
+        let buf = f.alloc(n);
+        f.call_void(fill, &[Operand::Reg(buf), Operand::Reg(n)]);
+        f.call_void(sort, &[Operand::Reg(buf), Operand::Reg(n)]);
+        f.ret(None);
+    });
+    let sizes_global: Vec<i64> = sizes.to_vec();
+    let mut pb2 = pb;
+    let table = pb2.global_with(sizes_global);
+    let count = sizes.len() as i64;
+    let main = pb2.function("main", 0, |f| {
+        f.for_range(0, count, |f, i| {
+            let n = f.load(table.raw() as i64, i);
+            f.call_void(run_one, &[Operand::Reg(n)]);
+        });
+        f.ret(None);
+    });
+    let program = pb2.finish(main).expect("sorting program");
+    let focus = program.routine_by_name("selection_sort");
+    (program, focus)
+}
+
+/// Selection sort driven once per size in `sizes` (paper Figure 10).
+///
+/// Routines: `main`, `run_one`, `fill_random`, `selection_sort` (focus).
+pub fn selection_sort_sweep(sizes: &[i64]) -> Workload {
+    let (program, focus) = build(sizes);
+    Workload {
+        name: "selection_sort".to_owned(),
+        program,
+        devices: Vec::new(),
+        focus,
+    }
+}
+
+/// The default Figure 10 sweep: sizes 10, 20, …, `10 * steps`.
+pub fn selection_sort_default(steps: i64) -> Workload {
+    let sizes: Vec<i64> = (1..=steps).map(|i| i * 10).collect();
+    selection_sort_sweep(&sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_core::{DrmsConfig, DrmsProfiler};
+    use drms_vm::{run_program, Vm, NullTool, RunConfig};
+
+    #[test]
+    fn sorts_correctly() {
+        // Single size; inspect memory after the run through a dedicated
+        // program that sorts a known global array.
+        let mut pb = ProgramBuilder::new();
+        let sort = pb.declare("selection_sort", 2);
+        pb.define(sort, emit_selection_sort);
+        let data = pb.global_with(vec![5, 3, 9, 1, 4]);
+        let main = pb.function("main", 0, |f| {
+            f.call_void(sort, &[Operand::Imm(data.raw() as i64), Operand::Imm(5)]);
+            f.ret(None);
+        });
+        let p = pb.finish(main).unwrap();
+        let mut vm = Vm::new(&p, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        let sorted: Vec<i64> = (0..5).map(|i| vm.memory().load(data.offset(i))).collect();
+        assert_eq!(sorted, vec![1, 3, 4, 5, 9]);
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_size_with_quadratic_cost() {
+        let w = selection_sort_sweep(&[10, 20, 40, 80]);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        run_program(&w.program, w.run_config(), &mut prof).unwrap();
+        let p = prof.into_report().merged_routine(w.focus.unwrap());
+        let plot = p.drms_plot();
+        assert_eq!(plot.len(), 4, "one distinct input size per array size");
+        // Input sizes track n (each cell of the array is read).
+        let ns: Vec<u64> = plot.iter().map(|&(n, _)| n).collect();
+        assert!(ns.windows(2).all(|w| w[1] > w[0]));
+        // Quadratic growth: doubling n should ~quadruple the cost.
+        let costs: Vec<f64> = plot.iter().map(|&(_, c)| c as f64).collect();
+        for i in 0..costs.len() - 1 {
+            let ratio = costs[i + 1] / costs[i];
+            assert!(
+                (2.5..6.0).contains(&ratio),
+                "cost ratio {ratio} not quadratic-like"
+            );
+        }
+        // Static workload: rms and drms coincide.
+        assert_eq!(p.rms_plot(), p.drms_plot());
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared guest-code utilities for workload construction.
+
+use drms_vm::{FnBuilder, ProgramBuilder, Reg};
+
+/// A coordinator-driven barrier for a fixed pool of worker threads.
+///
+/// A single shared counting semaphore cannot implement the release phase:
+/// a fast worker that reaches the next barrier early would steal a
+/// release unit destined for a slower sibling, deadlocking the pool. Each
+/// worker therefore waits on its *own* release semaphore.
+pub(crate) struct Barrier {
+    done: u32,
+    gos: Vec<u32>,
+}
+
+impl Barrier {
+    /// Creates barrier semaphores for `threads` workers.
+    pub fn new(pb: &mut ProgramBuilder, threads: i64) -> Self {
+        let done = pb.semaphore(0);
+        let gos = (0..threads).map(|_| pb.semaphore(0)).collect();
+        Barrier { done, gos }
+    }
+
+    /// Worker side: announce completion, wait for this worker's release.
+    /// `tid` must hold a value in `0..threads`.
+    pub fn worker(&self, f: &mut FnBuilder, tid: Reg) {
+        f.sem_signal(self.done);
+        for (wi, &g) in self.gos.iter().enumerate() {
+            let is_w = f.eq(tid, wi as i64);
+            f.if_then(is_w, |f| f.sem_wait(g));
+        }
+    }
+
+    /// Coordinator side: collect all completions, release every worker.
+    pub fn coordinator(&self, f: &mut FnBuilder) {
+        self.collect(f);
+        self.release(f);
+    }
+
+    /// Coordinator side, first half: wait for every worker's completion.
+    /// Lets the coordinator run a sequential phase before releasing.
+    pub fn collect(&self, f: &mut FnBuilder) {
+        let t = self.gos.len() as i64;
+        f.for_range(0, t, |f, _| f.sem_wait(self.done));
+    }
+
+    /// Coordinator side, second half: release every worker.
+    pub fn release(&self, f: &mut FnBuilder) {
+        for &g in &self.gos {
+            f.sem_signal(g);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Calling-context-sensitive profiling: separate cost functions for the
+//! same routine reached from different call sites.
+//!
+//! Routine-level profiling merges every `memset`-style helper into one
+//! cost plot; the calling-context tree keeps one plot per context, so a
+//! helper with linear cost shows distinct, cleaner fits per caller.
+//!
+//! ```sh
+//! cargo run --example context_sensitivity
+//! ```
+
+use drms::analysis::{CostPlot, InputMetric};
+use drms::core::{CctProfiler, DrmsConfig};
+use drms::prelude::*;
+
+fn main() {
+    // `fill` is used by two subsystems: one always passes small buffers,
+    // the other scales with the driver's loop index.
+    let mut pb = ProgramBuilder::new();
+    let fill = pb.function("fill", 2, |f| {
+        let base = f.param(0);
+        let n = f.param(1);
+        f.for_range(0, n, |f, i| {
+            let v = f.load(base, i); // read-modify-write: counts as input
+            let v2 = f.add(v, 1);
+            f.store(base, i, v2);
+        });
+    });
+    let small_user = pb.function("small_user", 0, |f| {
+        let buf = f.alloc(4);
+        f.call_void(fill, &[Operand::Reg(buf), Operand::Imm(4)]);
+    });
+    let big_user = pb.function("big_user", 1, |f| {
+        let k = f.param(0);
+        let n = f.mul(k, 32);
+        let buf = f.alloc(n);
+        f.call_void(fill, &[Operand::Reg(buf), Operand::Reg(n)]);
+    });
+    let main_r = pb.function("main", 0, |f| {
+        f.for_range(1, 12, |f, k| {
+            f.call_void(small_user, &[]);
+            f.call_void(big_user, &[Operand::Reg(k)]);
+        });
+    });
+    let program = pb.finish(main_r).expect("valid program");
+
+    let mut prof = CctProfiler::new(DrmsConfig::full());
+    drms::vm::run_program(&program, RunConfig::default(), &mut prof).expect("run");
+
+    // Routine-level view: one merged plot mixing both behaviours.
+    let merged = prof.inner().report().merged_routine(fill);
+    println!(
+        "routine-level:  fill called {} times, {} distinct input sizes\n",
+        merged.calls,
+        merged.distinct_drms()
+    );
+
+    // Context-level view: one plot per calling context.
+    for (ctx, profile) in prof.contexts_of(fill) {
+        let path = prof
+            .tree()
+            .render(ctx, |r| program.routine_name(r).to_owned());
+        let plot = CostPlot::of(&profile, InputMetric::Drms);
+        let fit = plot.fit(0.02);
+        println!("context {path}");
+        println!(
+            "  {} calls, {} distinct input sizes, fit {fit}",
+            profile.calls,
+            plot.len()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! The vips case study (paper Figures 5 and 6) on the bundled imgpipe.
+//!
+//! A threaded image pipeline: a loader decodes strips, workers run
+//! `im_generate` over them, and a write-behind thread
+//! (`wbuffer_write_thread`) drains finished strips to a sink. The
+//! workloads of both routines are produced by *other threads*, so the
+//! rms collapses their cost plots while the drms separates the calls.
+//!
+//! ```sh
+//! cargo run --example image_pipeline
+//! ```
+
+use drms::analysis::{CostPlot, InputMetric};
+use drms::core::DrmsConfig;
+use drms::workloads::imgpipe;
+
+fn main() {
+    let tasks = 110; // the paper's Figure 6 run observes 110 calls
+    let w = imgpipe::vips(2, tasks, 1);
+
+    let (full, stats) = drms::profile_workload(&w).expect("run");
+    let (ext, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
+        .expect("run");
+    println!(
+        "pipeline ran {} threads, {} thread switches, {} syscalls\n",
+        stats.threads, stats.thread_switches, stats.syscalls
+    );
+
+    // Figure 5: im_generate.
+    let im = full.merged_routine(w.focus.expect("im_generate"));
+    let im_rms = CostPlot::of(&im, InputMetric::Rms);
+    let im_drms = CostPlot::of(&im, InputMetric::Drms);
+    println!("im_generate: {} calls", im.calls);
+    println!(
+        "  rms  plot: {:>3} points, span {:>6}",
+        im_rms.len(),
+        im_rms.input_span()
+    );
+    println!(
+        "  drms plot: {:>3} points, span {:>6}",
+        im_drms.len(),
+        im_drms.input_span()
+    );
+    println!(
+        "  input provenance: {:.0}% thread, {:.0}% external\n",
+        im.breakdown.thread_fraction() * 100.0,
+        im.breakdown.kernel_fraction() * 100.0
+    );
+
+    // Figure 6: wbuffer_write_thread under three metric variants.
+    let wb_id = w
+        .program
+        .routine_by_name("wbuffer_write_thread")
+        .expect("wbuffer_write_thread");
+    let wb_full = full.merged_routine(wb_id);
+    let wb_ext = ext.merged_routine(wb_id);
+    let a = CostPlot::of(&wb_full, InputMetric::Rms);
+    let b = CostPlot::of(&wb_ext, InputMetric::Drms);
+    let c = CostPlot::of(&wb_full, InputMetric::Drms);
+    println!("wbuffer_write_thread: {} calls", wb_full.calls);
+    println!("  (a) rms:                {:>4} distinct input sizes", a.len());
+    println!("  (b) drms external only: {:>4} distinct input sizes", b.len());
+    println!("  (c) drms ext+thread:    {:>4} distinct input sizes", c.len());
+    assert!(a.len() <= 3, "rms collapses the calls onto a couple of sizes");
+    assert!(c.len() >= b.len() && b.len() >= a.len());
+    assert!(
+        c.len() as u64 >= wb_full.calls / 2,
+        "full drms separates (nearly) every call"
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a guest program, profile it with the drms metric,
+//! and fit its empirical cost function.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use drms::analysis::{ascii_plot, CostPlot, InputMetric};
+use drms::prelude::*;
+
+fn main() {
+    // A routine with linear cost: sum an n-cell array. The driver calls
+    // it on arrays of several sizes so the profiler can observe the cost
+    // at many distinct input sizes in a single run.
+    let mut pb = ProgramBuilder::new();
+    let sum_array = pb.function("sum_array", 2, |f| {
+        let base = f.param(0);
+        let n = f.param(1);
+        let acc = f.copy(0);
+        f.for_range(0, n, |f, i| {
+            let v = f.load(base, i);
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        });
+        f.ret_val(acc);
+    });
+    let fill = pb.function("fill", 2, |f| {
+        let base = f.param(0);
+        let n = f.param(1);
+        f.for_range(0, n, |f, i| {
+            let v = f.mul(i, 3);
+            f.store(base, i, v);
+        });
+        f.ret(None);
+    });
+    let main_r = pb.function("main", 0, |f| {
+        f.for_range(1, 25, |f, step| {
+            let n = f.mul(step, 16);
+            let buf = f.alloc(n);
+            f.call_void(fill, &[Operand::Reg(buf), Operand::Reg(n)]);
+            let _ = f.call(sum_array, &[Operand::Reg(buf), Operand::Reg(n)]);
+        });
+        f.ret(None);
+    });
+    let program = pb.finish(main_r).expect("valid program");
+
+    // Profile one execution with the full drms metric.
+    let (report, stats) = drms::profile(&program, RunConfig::default()).expect("run");
+    println!(
+        "executed {} basic blocks across {} thread(s)\n",
+        stats.basic_blocks, stats.threads
+    );
+
+    // Inspect the focus routine's cost plot and fitted cost function.
+    let profile = report.merged_routine(sum_array);
+    let plot = CostPlot::of(&profile, InputMetric::Drms);
+    println!(
+        "{}",
+        ascii_plot(&plot.as_f64(), 60, 12, "sum_array: worst-case cost vs input size")
+    );
+    let fit = plot.fit(0.01);
+    println!("sum_array was called {} times", profile.calls);
+    println!("distinct input sizes observed: {}", plot.len());
+    println!("fitted empirical cost function: {fit}");
+    println!("predicted cost at n = 10_000: {:.0}", fit.predict(10_000.0));
+}

@@ -1,0 +1,45 @@
+//! The paper's Pattern 2 (Figure 3): buffered reads from a data stream.
+//!
+//! `stream_reader` refills a two-cell buffer from an external device `n`
+//! times and processes only the first cell of each refill. The rms of the
+//! routine stays 1 (one buffer location is ever read), while the drms
+//! equals `n` — the kernel-induced first-reads reveal the streamed
+//! workload.
+//!
+//! ```sh
+//! cargo run --example stream_reader
+//! ```
+
+use drms::core::DrmsConfig;
+
+use drms::workloads::patterns;
+
+fn main() {
+    println!("n        rms   drms  drms(external input disabled)");
+    for n in [8i64, 32, 128] {
+        let w = patterns::stream_reader(n);
+        let (full, _) = drms::profile_workload(&w).expect("run");
+        let (blind, _) =
+            drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only())
+                .expect("run");
+        let focus = w.focus.expect("stream_reader");
+        let rms = full.merged_routine(focus).rms_plot().last().unwrap().0;
+        let drms = full.merged_routine(focus).drms_plot().last().unwrap().0;
+        let off = blind.merged_routine(focus).drms_plot().last().unwrap().0;
+        println!("{n:<8} {rms:<5} {drms:<5} {off}");
+        assert_eq!(rms, 1);
+        assert_eq!(drms, n as u64);
+        assert_eq!(off, 1, "without kernel events drms degenerates to rms");
+    }
+
+    // The profiler also tells us the input is external (I/O), not
+    // thread communication.
+    let w = patterns::stream_reader(64);
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    let cd = w.program.routine_by_name("consume_data").expect("routine");
+    let b = report.merged_routine(cd).breakdown;
+    println!(
+        "\nconsume_data: {:.0}% of first reads are external input",
+        b.kernel_fraction() * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Dynamic workload characterization (paper Figures 13–15): where does
+//! each benchmark's input come from — other threads or the kernel?
+//!
+//! ```sh
+//! cargo run --example workload_characterization
+//! ```
+
+use drms::analysis::{induced_split, routine_metrics, to_table};
+use drms::workloads;
+
+fn main() {
+    // Whole-benchmark split of induced first reads (Figure 15).
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for w in workloads::full_suite(4, 1) {
+        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (thread, external) = induced_split(&report);
+        rows.push((w.name.clone(), thread, external));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(n, t, e)| vec![n.clone(), format!("{t:.1}"), format!("{e:.1}")])
+        .collect();
+    println!("Induced first-read split per benchmark (cf. paper Fig. 15):\n");
+    println!(
+        "{}",
+        to_table(&["benchmark", "thread %", "external %"], &table)
+    );
+
+    // Routine-level drill-down for one benchmark (Figure 13 style).
+    let w = workloads::parsec::dedup(4, 1);
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    let names = w.program.name_table();
+    let mut metrics = routine_metrics(&report);
+    metrics.retain(|m| m.first_reads > 0);
+    metrics.sort_by(|a, b| b.thread_input.partial_cmp(&a.thread_input).expect("finite"));
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .map(|m| {
+            vec![
+                names.get(m.routine).unwrap_or("?").to_owned(),
+                format!("{:.1}", m.thread_input * 100.0),
+                format!("{:.1}", m.external_input * 100.0),
+                m.first_reads.to_string(),
+            ]
+        })
+        .collect();
+    println!("\ndedup, routine by routine (cf. paper Fig. 13):\n");
+    println!(
+        "{}",
+        to_table(
+            &["routine", "thread %", "external %", "first reads"],
+            &rows
+        )
+    );
+}

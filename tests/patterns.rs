@@ -1,0 +1,96 @@
+//! Pattern-level integration tests: the paper's worked examples
+//! (Figures 1–3) and case studies (Figures 4–6) hold end-to-end when the
+//! workloads run on the VM and the profiler consumes live events.
+
+use drms::analysis::{CostPlot, InputMetric};
+use drms::core::DrmsConfig;
+use drms::workloads::{imgpipe, minidb, patterns};
+
+#[test]
+fn figure_2_producer_consumer_scaling() {
+    for n in [1i64, 5, 25, 125] {
+        let w = patterns::producer_consumer(n);
+        let (report, _) = drms::profile_workload(&w).expect("run");
+        let consumer = report.merged_routine(w.focus.unwrap());
+        assert_eq!(consumer.rms_plot().last().unwrap().0, 1, "n = {n}");
+        assert_eq!(consumer.drms_plot().last().unwrap().0, n as u64, "n = {n}");
+    }
+}
+
+#[test]
+fn figure_3_stream_reader_scaling() {
+    for n in [1i64, 7, 49] {
+        let w = patterns::stream_reader(n);
+        let (report, _) = drms::profile_workload(&w).expect("run");
+        let reader = report.merged_routine(w.focus.unwrap());
+        assert_eq!(reader.rms_plot().last().unwrap().0, 1, "n = {n}");
+        assert_eq!(reader.drms_plot().last().unwrap().0, n as u64, "n = {n}");
+    }
+}
+
+#[test]
+fn figure_4_rms_collapses_drms_grows() {
+    let sizes = [32i64, 64, 128, 256, 512, 1024];
+    let w = minidb::minidb_scaling(&sizes);
+    let (report, _) = drms::profile_workload(&w).expect("run");
+    let select = report.merged_routine(w.focus.unwrap());
+    let rms = CostPlot::of(&select, InputMetric::Rms);
+    let drms = CostPlot::of(&select, InputMetric::Drms);
+    // drms sees one distinct input size per table; rms compresses them
+    // into (at most a couple of) buffer-sized values.
+    assert_eq!(drms.len(), sizes.len());
+    assert!(rms.len() <= 2);
+    // Worst-case cost at the collapsed rms point equals the biggest
+    // table's cost — the "false superlinear" signature.
+    let max_cost = drms.points.iter().map(|&(_, c)| c).max().unwrap();
+    assert_eq!(rms.points.iter().map(|&(_, c)| c).max().unwrap(), max_cost);
+}
+
+#[test]
+fn figure_6_metric_refinement_chain() {
+    let tasks = 24;
+    let w = imgpipe::vips(2, tasks, 1);
+    let wb = w.program.routine_by_name("wbuffer_write_thread").unwrap();
+    let (full, _) = drms::profile_workload(&w).expect("run");
+    let (ext, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
+        .expect("run");
+    let (none, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only())
+        .expect("run");
+    let p_full = full.merged_routine(wb);
+    let p_ext = ext.merged_routine(wb);
+    let p_none = none.merged_routine(wb);
+    // static-only == rms by construction.
+    assert_eq!(p_none.drms_plot(), p_full.rms_plot());
+    // Each added input source refines the plot.
+    assert!(p_ext.distinct_drms() >= p_none.distinct_drms());
+    assert!(p_full.distinct_drms() >= p_ext.distinct_drms());
+    assert!(p_full.distinct_drms() >= tasks - 2);
+}
+
+#[test]
+fn write_before_read_suppresses_input_everywhere() {
+    // A routine that writes a buffer then reads it back gets zero input
+    // for those cells under both metrics, on a real VM run.
+    use drms::prelude::*;
+    let mut pb = ProgramBuilder::new();
+    let scratch = pb.function("scratch", 0, |f| {
+        let buf = f.alloc(16);
+        f.for_range(0, 16, |f, i| f.store(buf, i, i));
+        let acc = f.copy(0);
+        f.for_range(0, 16, |f, i| {
+            let v = f.load(buf, i);
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        f.call_void(scratch, &[]);
+        f.ret(None);
+    });
+    let program = pb.finish(main).unwrap();
+    let (report, _) = drms::profile(&program, RunConfig::default()).unwrap();
+    let p = report.merged_routine(scratch);
+    assert_eq!(p.drms_plot(), vec![(0, p.drms_plot()[0].1)]);
+    assert_eq!(p.rms_plot()[0].0, 0);
+}

@@ -1,0 +1,221 @@
+//! Property-based tests over randomly generated event streams and guest
+//! programs:
+//!
+//! * the read/write timestamping algorithm agrees with the naive
+//!   set-based oracle (Figure 7 vs Figure 8) on arbitrary interleavings;
+//! * timestamp renumbering never changes profiles;
+//! * `drms ≥ rms` on every activation (paper Inequality 1);
+//! * the trace codec round-trips arbitrary traces;
+//! * merging preserves per-thread subsequences.
+
+use drms::core::{DrmsConfig, DrmsProfiler, NaiveProfiler, RmsProfiler};
+use drms::trace::{
+    codec, merge_traces, merge_traces_with_ties, replay, Addr, Event, RoutineId, ThreadId,
+    ThreadTrace, TieBreaker, TimedEvent,
+};
+use proptest::prelude::*;
+
+/// A compact description of one generated event.
+#[derive(Clone, Debug)]
+enum Op {
+    Call(u8),
+    Return,
+    Read(u8),
+    Write(u8),
+    KernelFill(u8, u8),
+    KernelDrain(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..6).prop_map(Op::Call),
+        3 => Just(Op::Return),
+        6 => (0u8..24).prop_map(Op::Read),
+        4 => (0u8..24).prop_map(Op::Write),
+        1 => ((0u8..20), (1u8..5)).prop_map(|(a, l)| Op::KernelFill(a, l)),
+        1 => ((0u8..20), (1u8..5)).prop_map(|(a, l)| Op::KernelDrain(a, l)),
+    ]
+}
+
+/// Turns per-thread op lists into well-formed per-thread traces: calls
+/// and returns are balanced per thread (spurious returns are dropped,
+/// pending frames closed at the end), memory ops outside a routine are
+/// dropped.
+fn build_traces(per_thread: Vec<Vec<Op>>) -> Vec<ThreadTrace> {
+    let mut traces = Vec::new();
+    let mut time = 1u64;
+    for (t, ops) in per_thread.into_iter().enumerate() {
+        let tid = ThreadId::new(t as u32);
+        let mut tr = ThreadTrace::new(tid);
+        let mut depth = 0u32;
+        let mut stack: Vec<RoutineId> = Vec::new();
+        tr.push(time, 0, Event::ThreadStart { parent: None });
+        time += 1;
+        for op in ops {
+            match op {
+                Op::Call(r) => {
+                    let routine = RoutineId::new(r as u32);
+                    stack.push(routine);
+                    depth += 1;
+                    tr.push(time, depth as u64, Event::Call { routine });
+                }
+                Op::Return => {
+                    if let Some(routine) = stack.pop() {
+                        depth -= 1;
+                        tr.push(time, depth as u64 + 1, Event::Return { routine });
+                    }
+                }
+                Op::Read(a) if depth > 0 => {
+                    tr.push(
+                        time,
+                        depth as u64,
+                        Event::Read {
+                            addr: Addr::new(100 + a as u64),
+                            len: 1,
+                        },
+                    );
+                }
+                Op::Write(a) if depth > 0 => {
+                    tr.push(
+                        time,
+                        depth as u64,
+                        Event::Write {
+                            addr: Addr::new(100 + a as u64),
+                            len: 1,
+                        },
+                    );
+                }
+                Op::KernelFill(a, l) if depth > 0 => {
+                    tr.push(
+                        time,
+                        depth as u64,
+                        Event::KernelToUser {
+                            addr: Addr::new(100 + a as u64),
+                            len: l as u32,
+                        },
+                    );
+                }
+                Op::KernelDrain(a, l) if depth > 0 => {
+                    tr.push(
+                        time,
+                        depth as u64,
+                        Event::UserToKernel {
+                            addr: Addr::new(100 + a as u64),
+                            len: l as u32,
+                        },
+                    );
+                }
+                _ => {}
+            }
+            time += 1;
+        }
+        while let Some(routine) = stack.pop() {
+            tr.push(time, depth as u64, Event::Return { routine });
+            depth = depth.saturating_sub(1);
+            time += 1;
+        }
+        tr.push(time, 0, Event::ThreadExit);
+        time += 1;
+        traces.push(tr);
+    }
+    traces
+}
+
+fn interleavings() -> impl Strategy<Value = Vec<ThreadTrace>> {
+    proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..60), 1..4)
+        .prop_map(build_traces)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timestamping_matches_naive_oracle(traces in interleavings(), seed in 0u64..8) {
+        let merged = merge_traces_with_ties(traces, TieBreaker::Seeded(seed));
+        let mut fast = DrmsProfiler::new(DrmsConfig::full());
+        replay(&merged, &mut fast);
+        let mut oracle = NaiveProfiler::new();
+        replay(&merged, &mut oracle);
+        let a = fast.into_report();
+        let b = oracle.into_report();
+        prop_assert_eq!(a.len(), b.len());
+        for (&(r, t), p) in a.iter() {
+            let q = b.get(r, t).expect("oracle has the same profiles");
+            prop_assert_eq!(&p.by_drms, &q.by_drms, "drms mismatch at {}/{}", r, t);
+            prop_assert_eq!(&p.by_rms, &q.by_rms, "rms mismatch at {}/{}", r, t);
+        }
+    }
+
+    #[test]
+    fn renumbering_never_changes_profiles(traces in interleavings(), limit in 4u64..64) {
+        let merged = merge_traces(traces);
+        let mut base = DrmsProfiler::new(DrmsConfig::full());
+        replay(&merged, &mut base);
+        let mut tiny = DrmsProfiler::new(DrmsConfig {
+            count_limit: limit,
+            ..DrmsConfig::full()
+        });
+        replay(&merged, &mut tiny);
+        prop_assert_eq!(base.into_report(), tiny.into_report());
+    }
+
+    #[test]
+    fn drms_dominates_rms_pointwise(traces in interleavings()) {
+        let merged = merge_traces(traces);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        replay(&merged, &mut prof);
+        for (_, p) in prof.report().iter() {
+            prop_assert!(p.sum_drms >= p.sum_rms);
+        }
+    }
+
+    #[test]
+    fn standalone_rms_matches_fused_rms(traces in interleavings()) {
+        let merged = merge_traces(traces);
+        let mut fused = DrmsProfiler::new(DrmsConfig::full());
+        replay(&merged, &mut fused);
+        let mut standalone = RmsProfiler::new();
+        replay(&merged, &mut standalone);
+        let a = fused.into_report();
+        let b = standalone.into_report();
+        for (&(r, t), p) in a.iter() {
+            let q = b.get(r, t).expect("same routines");
+            prop_assert_eq!(&p.by_rms, &q.by_rms, "at {}/{}", r, t);
+        }
+    }
+
+    #[test]
+    fn static_only_drms_equals_rms(traces in interleavings()) {
+        let merged = merge_traces(traces);
+        let mut prof = DrmsProfiler::new(DrmsConfig::static_only());
+        replay(&merged, &mut prof);
+        for (_, p) in prof.report().iter() {
+            prop_assert_eq!(&p.by_drms, &p.by_rms);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_traces(traces in interleavings()) {
+        let merged = merge_traces(traces);
+        let text = codec::to_text(&merged);
+        let back = codec::from_text(&text).expect("parse");
+        prop_assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn merge_preserves_thread_subsequences(traces in interleavings(), seed in 0u64..8) {
+        let expected: Vec<Vec<TimedEvent>> = traces
+            .iter()
+            .map(|t| t.events().to_vec())
+            .collect();
+        let merged = merge_traces_with_ties(traces, TieBreaker::Seeded(seed));
+        for (t, exp) in expected.iter().enumerate() {
+            let got: Vec<TimedEvent> = merged
+                .iter()
+                .filter(|e| e.thread.index() as usize == t)
+                .copied()
+                .collect();
+            prop_assert_eq!(&got, exp);
+        }
+    }
+}

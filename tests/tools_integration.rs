@@ -1,0 +1,135 @@
+//! Integration tests of the comparison tools over real VM executions:
+//! race detection on the workloads, call-graph structure, definedness
+//! checking, and the relative overhead ordering of Table 1.
+
+use drms::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
+use drms::vm::{run_program, MultiTool, NullTool, Tool};
+use drms::workloads::{self, patterns};
+
+#[test]
+fn helgrind_is_quiet_on_properly_synchronized_workloads() {
+    for w in [
+        patterns::producer_consumer(10),
+        workloads::parsec::fluidanimate(2, 1),
+        workloads::specomp::nab(2, 1),
+        workloads::imgpipe::vips(2, 4, 1),
+    ] {
+        let mut hg = HelgrindTool::new();
+        run_program(&w.program, w.run_config(), &mut hg).expect("run");
+        assert_eq!(
+            hg.race_count(),
+            0,
+            "{} should be race-free, found {:?}",
+            w.name,
+            hg.races()
+        );
+    }
+}
+
+#[test]
+fn helgrind_flags_an_intentionally_racy_program() {
+    use drms::prelude::*;
+    let mut pb = ProgramBuilder::new();
+    let g = pb.global(1);
+    let racer = pb.function("racer", 0, |f| {
+        let v = f.load(g.raw() as i64, 0);
+        let v2 = f.add(v, 1);
+        f.store(g.raw() as i64, 0, v2);
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        let a = f.spawn(racer, &[]);
+        let b = f.spawn(racer, &[]);
+        f.join(a);
+        f.join(b);
+        f.ret(None);
+    });
+    let program = pb.finish(main).unwrap();
+    let mut hg = HelgrindTool::new();
+    run_program(&program, RunConfig::default(), &mut hg).expect("run");
+    assert_eq!(hg.race_count(), 1, "the unsynchronized counter races");
+}
+
+#[test]
+fn callgrind_reconstructs_the_call_graph() {
+    let w = patterns::producer_consumer(8);
+    let mut cg = CallgrindTool::new();
+    run_program(&w.program, w.run_config(), &mut cg).expect("run");
+    let p = &w.program;
+    let consumer = p.routine_by_name("consumer").unwrap();
+    let consume = p.routine_by_name("consume_data").unwrap();
+    let producer = p.routine_by_name("producer").unwrap();
+    let produce = p.routine_by_name("produce_data").unwrap();
+    assert_eq!(cg.arc(consumer, consume).unwrap().calls, 8);
+    assert_eq!(cg.arc(producer, produce).unwrap().calls, 8);
+    assert!(cg.arc(consumer, produce).is_none());
+    let main_cost = cg
+        .routine_cost(p.routine_by_name("main").unwrap())
+        .unwrap();
+    assert!(main_cost.inclusive >= main_cost.exclusive);
+}
+
+#[test]
+fn memcheck_is_quiet_on_initialized_workloads() {
+    // The bundled workloads initialize what they read (via stores or
+    // kernel fills), so a definedness checker reports nothing.
+    for w in [
+        patterns::stream_reader(6),
+        workloads::minidb::minidb_scaling(&[32]),
+        workloads::parsec::blackscholes(2, 1),
+    ] {
+        let mut mc = MemcheckTool::for_program(&w.program);
+        run_program(&w.program, w.run_config(), &mut mc).expect("run");
+        assert_eq!(mc.error_count(), 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn multi_tool_runs_two_analyses_in_one_pass() {
+    let w = patterns::producer_consumer(6);
+    let mut hg = HelgrindTool::new();
+    let mut cg = CallgrindTool::new();
+    {
+        let mut multi = MultiTool::new();
+        multi.push(&mut hg).push(&mut cg);
+        run_program(&w.program, w.run_config(), &mut multi).expect("run");
+    }
+    assert_eq!(hg.race_count(), 0);
+    assert!(cg.routine_count() >= 4);
+}
+
+#[test]
+fn event_counts_are_identical_across_tools() {
+    // The VM emits the same event stream no matter which tool observes
+    // it: stats.events must match between a null run and any tool run.
+    let w = workloads::parsec::dedup(3, 1);
+    let mut null = NullTool;
+    let base = run_program(&w.program, w.run_config(), &mut null).expect("run");
+    let mut hg = HelgrindTool::new();
+    let hg_stats = run_program(&w.program, w.run_config(), &mut hg).expect("run");
+    let mut mc = MemcheckTool::new();
+    let mc_stats = run_program(&w.program, w.run_config(), &mut mc).expect("run");
+    assert_eq!(base.events, hg_stats.events);
+    assert_eq!(base.events, mc_stats.events);
+    assert_eq!(base.basic_blocks, hg_stats.basic_blocks);
+}
+
+#[test]
+fn shadow_footprints_order_matches_the_paper() {
+    // Space: helgrind (16B/cell epochs) > aprof-drms (global + per-thread
+    // u64 shadows) > memcheck (1B/cell) > callgrind (no shadow memory),
+    // mirroring Table 1's space-overhead ordering.
+    use drms::core::{DrmsConfig, DrmsProfiler};
+    let w = workloads::specomp::nab(4, 2);
+    let mut hg = HelgrindTool::new();
+    run_program(&w.program, w.run_config(), &mut hg).expect("run");
+    let mut dp = DrmsProfiler::new(DrmsConfig::full());
+    run_program(&w.program, w.run_config(), &mut dp).expect("run");
+    let mut mc = MemcheckTool::for_program(&w.program);
+    run_program(&w.program, w.run_config(), &mut mc).expect("run");
+    let mut cg = CallgrindTool::new();
+    run_program(&w.program, w.run_config(), &mut cg).expect("run");
+    assert!(hg.shadow_bytes() > dp.shadow_bytes(), "helgrind > drms");
+    assert!(dp.shadow_bytes() > mc.shadow_bytes(), "drms > memcheck");
+    assert!(mc.shadow_bytes() > cg.shadow_bytes(), "memcheck > callgrind");
+}
