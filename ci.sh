@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Offline CI gate for the drms workspace: build, tests, lints, formatting.
+# The build must never touch the network — everything resolves in-tree.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check
+
+echo "ci: all green"

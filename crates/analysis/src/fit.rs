@@ -115,11 +115,7 @@ impl FitResult {
 impl fmt::Display for FitResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.model {
-            Model::PowerLaw => write!(
-                f,
-                "≈ {:.3}·n^{:.2} (R²={:.3})",
-                self.a, self.p, self.r2
-            ),
+            Model::PowerLaw => write!(f, "≈ {:.3}·n^{:.2} (R²={:.3})", self.a, self.p, self.r2),
             m => write!(
                 f,
                 "{} ≈ {:.3}·g(n) + {:.1} (R²={:.3})",
@@ -136,10 +132,7 @@ fn r_squared(points: &[(f64, f64)], predict: impl Fn(f64) -> f64) -> f64 {
     }
     let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
     let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|&(x, y)| (y - predict(x)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|&(x, y)| (y - predict(x)).powi(2)).sum();
     if ss_tot <= f64::EPSILON {
         // Degenerate (constant) data: perfect iff residuals vanish.
         return if ss_res <= 1e-9 { 1.0 } else { 0.0 };
@@ -149,10 +142,7 @@ fn r_squared(points: &[(f64, f64)], predict: impl Fn(f64) -> f64) -> f64 {
 
 /// Least-squares fit of `y = a·g(x) + b` for one fixed-shape model.
 pub fn fit_model(points: &[(u64, u64)], model: Model) -> FitResult {
-    let pts: Vec<(f64, f64)> = points
-        .iter()
-        .map(|&(x, y)| (x as f64, y as f64))
-        .collect();
+    let pts: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
     let n = pts.len() as f64;
     let gx: Vec<f64> = pts.iter().map(|&(x, _)| model.g(x)).collect();
     let sum_g: f64 = gx.iter().sum();
@@ -207,10 +197,7 @@ pub fn fit_power_law(points: &[(u64, u64)]) -> FitResult {
         (p, (sy - p * sx) / n)
     };
     let a = ln_a.exp();
-    let raw: Vec<(f64, f64)> = points
-        .iter()
-        .map(|&(x, y)| (x as f64, y as f64))
-        .collect();
+    let raw: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
     let r2 = r_squared(&raw, |x| a * x.max(1.0).powf(p));
     FitResult {
         model: Model::PowerLaw,
@@ -234,10 +221,7 @@ pub fn fit_power_law(points: &[(u64, u64)]) -> FitResult {
 /// assert!(fit.r2 > 0.999);
 /// ```
 pub fn best_fit(points: &[(u64, u64)], tolerance: f64) -> FitResult {
-    let mut fits: Vec<FitResult> = Model::FIXED
-        .iter()
-        .map(|&m| fit_model(points, m))
-        .collect();
+    let mut fits: Vec<FitResult> = Model::FIXED.iter().map(|&m| fit_model(points, m)).collect();
     fits.push(fit_power_law(points));
     let best_r2 = fits.iter().map(|f| f.r2).fold(f64::NEG_INFINITY, f64::max);
     fits.into_iter()

@@ -36,9 +36,8 @@ pub mod render;
 
 pub use fit::{best_fit, fit_model, fit_power_law, FitResult, Model};
 pub use metrics::{
-    variance_flags, VarianceFlag,
-    induced_split, input_share_curves, richness_curve, routine_metrics, tail_curve, volume_curve,
-    RoutineMetrics,
+    induced_split, input_share_curves, richness_curve, routine_metrics, tail_curve, variance_flags,
+    volume_curve, RoutineMetrics, VarianceFlag,
 };
 pub use overhead::{geometric_mean, Measurement, OverheadTable};
 pub use plot::{CostPlot, InputMetric};

@@ -125,8 +125,7 @@ pub fn volume_curve(report: &ProfileReport) -> TailCurve {
 /// induced (y).
 pub fn input_share_curves(report: &ProfileReport) -> (TailCurve, TailCurve) {
     let metrics = routine_metrics(report);
-    let with_reads: Vec<&RoutineMetrics> =
-        metrics.iter().filter(|m| m.first_reads > 0).collect();
+    let with_reads: Vec<&RoutineMetrics> = metrics.iter().filter(|m| m.first_reads > 0).collect();
     let thread: Vec<f64> = with_reads.iter().map(|m| m.thread_input * 100.0).collect();
     let external: Vec<f64> = with_reads
         .iter()
@@ -266,9 +265,7 @@ pub fn variance_flags(report: &ProfileReport, min_spread: f64) -> Vec<VarianceFl
                 continue;
             }
             let spread = stats.spread();
-            if spread >= min_spread
-                && worst.as_ref().map(|w| spread > w.spread).unwrap_or(true)
-            {
+            if spread >= min_spread && worst.as_ref().map(|w| spread > w.spread).unwrap_or(true) {
                 worst = Some(VarianceFlag {
                     routine,
                     input,
@@ -315,7 +312,8 @@ mod variance_tests {
     #[test]
     fn single_activations_are_never_flagged() {
         let mut rep = ProfileReport::new();
-        rep.entry(RoutineId::new(0), ThreadId::MAIN).record(1, 1, 1_000_000);
+        rep.entry(RoutineId::new(0), ThreadId::MAIN)
+            .record(1, 1, 1_000_000);
         assert!(variance_flags(&rep, 0.1).is_empty());
     }
 

@@ -41,7 +41,11 @@ pub fn predict(fit: &FitResult, observed: &[(u64, u64)], input: f64) -> Predicti
     Prediction {
         input,
         cost: fit.predict(input),
-        extrapolation_factor: if max_obs > 0.0 { input / max_obs } else { f64::INFINITY },
+        extrapolation_factor: if max_obs > 0.0 {
+            input / max_obs
+        } else {
+            f64::INFINITY
+        },
     }
 }
 

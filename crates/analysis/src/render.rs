@@ -47,11 +47,7 @@ pub fn ascii_plot(points: &[(f64, f64)], width: usize, height: usize, title: &st
         } else {
             String::new()
         };
-        let _ = writeln!(
-            out,
-            "{label:>label_w$} |{}",
-            String::from_utf8_lossy(row)
-        );
+        let _ = writeln!(out, "{label:>label_w$} |{}", String::from_utf8_lossy(row));
     }
     let _ = writeln!(out, "{:label_w$} +{}", "", "-".repeat(width));
     let _ = writeln!(
@@ -202,7 +198,15 @@ pub fn report_summary(
         })
         .collect();
     to_table(
-        &["routine", "calls", "|rms|", "|drms|", "volume %", "thread %", "external %"],
+        &[
+            "routine",
+            "calls",
+            "|rms|",
+            "|drms|",
+            "volume %",
+            "thread %",
+            "external %",
+        ],
         &rows,
     )
 }
@@ -222,7 +226,10 @@ mod summary_tests {
         let text = report_summary(&rep, |r| format!("r{}", r.index()));
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4, "header + separator + 2 rows");
-        assert!(lines[2].contains("r0"), "high-volume routine first:\n{text}");
+        assert!(
+            lines[2].contains("r0"),
+            "high-volume routine first:\n{text}"
+        );
         assert!(lines[3].contains("r1"));
         assert!(text.contains("90.0"), "volume of r0");
     }

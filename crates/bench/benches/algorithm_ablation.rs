@@ -84,7 +84,10 @@ fn bench(c: &mut Criterion) {
         assert_eq!(p.by_drms, q.by_drms, "timestamping == naive oracle");
         assert_eq!(p.by_rms, q.by_rms);
     }
-    println!("ablation: all three algorithms agree on {} profiles", a.len());
+    println!(
+        "ablation: all three algorithms agree on {} profiles",
+        a.len()
+    );
 }
 
 criterion_group! {

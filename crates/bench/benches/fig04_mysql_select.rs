@@ -31,7 +31,11 @@ fn bench(c: &mut Criterion) {
         drms.len(),
         drms.input_span()
     );
-    assert_eq!(fit.model, Model::Linear, "paper: drms shows the linear trend");
+    assert_eq!(
+        fit.model,
+        Model::Linear,
+        "paper: drms shows the linear trend"
+    );
     assert!(drms.len() >= rms.len());
 }
 

@@ -15,8 +15,12 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("drms_external_only", |b| {
         b.iter(|| {
-            drms::profile_with(&small.program, small.run_config(), DrmsConfig::external_only())
-                .expect("run")
+            drms::profile_with(
+                &small.program,
+                small.run_config(),
+                DrmsConfig::external_only(),
+            )
+            .expect("run")
         })
     });
     group.finish();
@@ -27,8 +31,8 @@ fn bench(c: &mut Criterion) {
         .routine_by_name("wbuffer_write_thread")
         .expect("routine");
     let (full, _) = drms::profile_workload(&w).expect("run");
-    let (ext, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
-        .expect("run");
+    let (ext, _) =
+        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only()).expect("run");
     let pf = full.merged_routine(wb);
     let pe = ext.merged_routine(wb);
     let a = CostPlot::of(&pf, InputMetric::Rms).len();

@@ -28,8 +28,14 @@ fn bench(c: &mut Criterion) {
     let mut cfg = w.run_config();
     cfg.cost = CostKind::SimNanos { jitter_seed: 7 };
     let ns = profile_with_config(&w, cfg);
-    let bb_fit = best_fit(&CostPlot::of(&bb.merged_routine(focus), InputMetric::Drms).points, 0.01);
-    let ns_fit = best_fit(&CostPlot::of(&ns.merged_routine(focus), InputMetric::Drms).points, 0.01);
+    let bb_fit = best_fit(
+        &CostPlot::of(&bb.merged_routine(focus), InputMetric::Drms).points,
+        0.01,
+    );
+    let ns_fit = best_fit(
+        &CostPlot::of(&ns.merged_routine(focus), InputMetric::Drms).points,
+        0.01,
+    );
     println!("\nfig10: BB fit {bb_fit}; nanos fit {ns_fit}");
     assert_eq!(bb_fit.model, Model::Quadratic, "selection sort is Θ(n²)");
     assert!(

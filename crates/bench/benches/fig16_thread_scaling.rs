@@ -13,11 +13,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16");
     for threads in [1u32, 2, 4, 8] {
         let w = workloads::specomp::nab(threads, 1);
-        group.bench_with_input(
-            BenchmarkId::new("aprof_drms_nab", threads),
-            &w,
-            |b, w| b.iter(|| run_tool(w, "aprof-drms")),
-        );
+        group.bench_with_input(BenchmarkId::new("aprof_drms_nab", threads), &w, |b, w| {
+            b.iter(|| run_tool(w, "aprof-drms"))
+        });
     }
     group.finish();
 

@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
     let workloads = suite();
     let mut group = c.benchmark_group("table1");
     for w in &workloads {
-        group.bench_function(format!("native/{}", w.name), |b| {
-            b.iter(|| run_native(w))
-        });
+        group.bench_function(format!("native/{}", w.name), |b| b.iter(|| run_native(w)));
         for tool in TOOLS {
             group.bench_function(format!("{tool}/{}", w.name), |b| {
                 b.iter(|| run_tool(w, tool))

@@ -18,6 +18,9 @@
 //!   --quantum N         scheduling quantum in basic blocks
 //!   --focus ROUTINE     print cost plots + fit for one routine
 //!   --fit               fit the focus (or every) routine's cost function
+//!   --faults SPEC       seeded kernel fault-injection plan, e.g.
+//!                       "seed=7,fd0:shortread:p=1/4,in:eintr:every=9";
+//!                       aborted runs still report a partial profile
 //!   --context           context-sensitive profile of the focus routine
 //!   --report FILE       dump the profile report (report_io text format)
 //!   --trace FILE        record and dump the merged execution trace
@@ -28,9 +31,9 @@
 //! ```
 
 use drms::analysis::{ascii_plot, CostPlot, InputMetric};
-use drms::core::{report_io, CctProfiler, DrmsConfig, DrmsProfiler, ProfileReport, RmsProfiler};
+use drms::core::{report_io, CctProfiler, DrmsConfig, ProfileReport, RmsProfiler};
 use drms::trace::{merge_traces, TraceStats};
-use drms::vm::{disassemble, SchedPolicy, TraceRecorder, Vm};
+use drms::vm::{disassemble, FaultPlan, RunConfig, RunStats, SchedPolicy, TraceRecorder, Vm};
 use drms::workloads::{self, Workload};
 use std::process::exit;
 
@@ -43,6 +46,7 @@ struct Cli {
     quantum: Option<u32>,
     focus: Option<String>,
     fit: bool,
+    faults: Option<String>,
     context: bool,
     report: Option<String>,
     trace: Option<String>,
@@ -52,7 +56,7 @@ struct Cli {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy rr|random:SEED] [--quantum N]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy rr|random:SEED] [--quantum N]");
     exit(2)
 }
 
@@ -66,6 +70,7 @@ fn parse_cli() -> Cli {
         quantum: None,
         focus: None,
         fit: false,
+        faults: None,
         context: false,
         report: None,
         trace: None,
@@ -98,9 +103,12 @@ fn parse_cli() -> Cli {
                     usage()
                 };
             }
-            "--quantum" => cli.quantum = Some(value("--quantum").parse().unwrap_or_else(|_| usage())),
+            "--quantum" => {
+                cli.quantum = Some(value("--quantum").parse().unwrap_or_else(|_| usage()))
+            }
             "--focus" => cli.focus = Some(value("--focus")),
             "--fit" => cli.fit = true,
+            "--faults" => cli.faults = Some(value("--faults")),
             "--context" => cli.context = true,
             "--report" => cli.report = Some(value("--report")),
             "--trace" => cli.trace = Some(value("--trace")),
@@ -177,7 +185,10 @@ fn print_routine(w: &Workload, report: &ProfileReport, name: &str, fit: bool) {
         "input provenance: {} plain, {} thread-induced, {} kernel-induced first reads",
         p.breakdown.plain, p.breakdown.thread_induced, p.breakdown.kernel_induced
     );
-    println!("{}", ascii_plot(&drms.as_f64(), 60, 12, "worst-case cost vs DRMS"));
+    println!(
+        "{}",
+        ascii_plot(&drms.as_f64(), 60, 12, "worst-case cost vs DRMS")
+    );
     if fit {
         println!("rms  fit: {}", rms.fit(0.02));
         println!("drms fit: {}", drms.fit(0.02));
@@ -205,6 +216,15 @@ fn main() {
     config.policy = cli.policy;
     if let Some(q) = cli.quantum {
         config.quantum = q;
+    }
+    if let Some(spec) = &cli.faults {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => config.faults = Some(plan),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                exit(2)
+            }
+        }
     }
 
     // Optional trace capture (a separate run with identical scheduling).
@@ -264,28 +284,8 @@ fn main() {
 
     // Standard run under the selected profiler.
     let (report, stats) = match cli.tool.as_str() {
-        "aprof-drms" => {
-            let mut p = DrmsProfiler::new(DrmsConfig::full());
-            let stats = Vm::new(&w.program, config)
-                .expect("valid workload")
-                .run(&mut p)
-                .unwrap_or_else(|e| {
-                    eprintln!("{}: {e}", w.name);
-                    exit(1)
-                });
-            (p.into_report(), stats)
-        }
-        "external-only" => {
-            let mut p = DrmsProfiler::new(DrmsConfig::external_only());
-            let stats = Vm::new(&w.program, config)
-                .expect("valid workload")
-                .run(&mut p)
-                .unwrap_or_else(|e| {
-                    eprintln!("{}: {e}", w.name);
-                    exit(1)
-                });
-            (p.into_report(), stats)
-        }
+        "aprof-drms" => run_drms_tool(&w, config, DrmsConfig::full()),
+        "external-only" => run_drms_tool(&w, config, DrmsConfig::external_only()),
         "aprof" => {
             let mut p = RmsProfiler::new();
             let stats = Vm::new(&w.program, config)
@@ -307,6 +307,9 @@ fn main() {
         "[{}] {} basic blocks, {} threads, {} syscalls, {} thread switches",
         w.name, stats.basic_blocks, stats.threads, stats.syscalls, stats.thread_switches
     );
+    if cli.faults.is_some() || stats.faults.injected() > 0 {
+        println!("fault injection: {}", stats.faults);
+    }
     println!(
         "dynamic input volume: {:.1}%",
         report.dynamic_input_volume() * 100.0
@@ -324,6 +327,22 @@ fn main() {
         std::fs::write(path, report_io::to_text(&report)).expect("write report");
         println!("report written to {path} ({} profiles)", report.len());
     }
+}
+
+/// Runs the drms profiler, keeping whatever profile data an aborted run
+/// produced instead of discarding it.
+fn run_drms_tool(w: &Workload, config: RunConfig, drms: DrmsConfig) -> (ProfileReport, RunStats) {
+    let outcome = drms::profile_partial(&w.program, config, drms).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", w.name);
+        exit(1)
+    });
+    if let Some(e) = &outcome.error {
+        eprintln!(
+            "{}: run aborted ({e}); reporting the partial profile",
+            w.name
+        );
+    }
+    (outcome.report, outcome.stats)
 }
 
 /// Standalone report comparison: load two report_io dumps and print the

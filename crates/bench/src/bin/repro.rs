@@ -16,6 +16,7 @@
 //!   fig16   slowdown & space overhead vs number of threads
 //!   table1  tool slowdown/space comparison on both suites
 //!   sched   scheduler-sensitivity study (§4.2)
+//!   faults  robustness study: minidb under injected kernel faults
 //!   all     everything above
 //! ```
 //!
@@ -69,7 +70,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|all>");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all>");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -86,6 +87,7 @@ fn main() {
         "fig16" => fig16(&opts),
         "table1" => table1(&opts),
         "sched" => sched(&opts),
+        "faults" => faults(&opts),
         "all" => {
             fig4(&opts);
             fig5(&opts);
@@ -99,6 +101,7 @@ fn main() {
             fig16(&opts);
             table1(&opts);
             sched(&opts);
+            faults(&opts);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -124,12 +127,26 @@ fn cost_plot_pair(w: &Workload) -> (CostPlot, CostPlot) {
 
 fn show_pair(title: &str, rms: &CostPlot, drms: &CostPlot, out: &Path, stem: &str) {
     println!("\n=== {title} ===");
-    println!("{}", ascii_plot(&rms.as_f64(), 60, 12, &format!("{title}: cost vs RMS")));
-    println!("{}", ascii_plot(&drms.as_f64(), 60, 12, &format!("{title}: cost vs DRMS")));
+    println!(
+        "{}",
+        ascii_plot(&rms.as_f64(), 60, 12, &format!("{title}: cost vs RMS"))
+    );
+    println!(
+        "{}",
+        ascii_plot(&drms.as_f64(), 60, 12, &format!("{title}: cost vs DRMS"))
+    );
     let rms_fit = best_fit(&rms.points, 0.02);
     let drms_fit = best_fit(&drms.points, 0.02);
-    println!("rms  plot: {:>4} points, span {:>8}, fit {rms_fit}", rms.len(), rms.input_span());
-    println!("drms plot: {:>4} points, span {:>8}, fit {drms_fit}", drms.len(), drms.input_span());
+    println!(
+        "rms  plot: {:>4} points, span {:>8}, fit {rms_fit}",
+        rms.len(),
+        rms.input_span()
+    );
+    println!(
+        "drms plot: {:>4} points, span {:>8}, fit {drms_fit}",
+        drms.len(),
+        drms.input_span()
+    );
     save(
         out,
         &format!("{stem}.dat"),
@@ -143,7 +160,13 @@ fn fig4(opts: &Options) {
     let sizes: Vec<i64> = (1..=10).map(|i| i * 64 * opts.scale as i64).collect();
     let w = workloads::minidb::minidb_scaling(&sizes);
     let (rms, drms) = cost_plot_pair(&w);
-    show_pair("Fig 4: mysql_select (minidb)", &rms, &drms, &opts.out, "fig04");
+    show_pair(
+        "Fig 4: mysql_select (minidb)",
+        &rms,
+        &drms,
+        &opts.out,
+        "fig04",
+    );
 }
 
 /// Figure 5: im_generate of the vips-like pipeline.
@@ -171,13 +194,31 @@ fn fig6(opts: &Options) {
     let a = CostPlot::of(&full, InputMetric::Rms);
     let b = CostPlot::of(&ext, InputMetric::Drms);
     let c = CostPlot::of(&full, InputMetric::Drms);
-    println!("\n=== Fig 6: wbuffer_write_thread ({} calls) ===", full.calls);
-    println!("(a) rms:                 {:>4} distinct input sizes", a.len());
-    println!("(b) drms external only:  {:>4} distinct input sizes", b.len());
-    println!("(c) drms ext+thread:     {:>4} distinct input sizes", c.len());
+    println!(
+        "\n=== Fig 6: wbuffer_write_thread ({} calls) ===",
+        full.calls
+    );
+    println!(
+        "(a) rms:                 {:>4} distinct input sizes",
+        a.len()
+    );
+    println!(
+        "(b) drms external only:  {:>4} distinct input sizes",
+        b.len()
+    );
+    println!(
+        "(c) drms ext+thread:     {:>4} distinct input sizes",
+        c.len()
+    );
     println!("{}", ascii_plot(&a.as_f64(), 60, 10, "(a) cost vs RMS"));
-    println!("{}", ascii_plot(&b.as_f64(), 60, 10, "(b) cost vs DRMS (external)"));
-    println!("{}", ascii_plot(&c.as_f64(), 60, 10, "(c) cost vs DRMS (full)"));
+    println!(
+        "{}",
+        ascii_plot(&b.as_f64(), 60, 10, "(b) cost vs DRMS (external)")
+    );
+    println!(
+        "{}",
+        ascii_plot(&c.as_f64(), 60, 10, "(c) cost vs DRMS (full)")
+    );
     // The paper's variance indicator: rms values carrying many calls
     // with widely varying costs signal uncaptured input information.
     let names = w.program.name_table();
@@ -214,7 +255,10 @@ fn fig10(opts: &Options) {
     let ns = CostPlot::of(&ns_report.merged_routine(focus), InputMetric::Drms);
     println!("\n=== Fig 10: selection_sort, BB counting vs timing ===");
     println!("{}", ascii_plot(&bb.as_f64(), 60, 12, "cost (executed BB)"));
-    println!("{}", ascii_plot(&ns.as_f64(), 60, 12, "cost (simulated ns)"));
+    println!(
+        "{}",
+        ascii_plot(&ns.as_f64(), 60, 12, "cost (simulated ns)")
+    );
     let bb_fit = best_fit(&bb.points, 0.01);
     let ns_fit = best_fit(&ns.points, 0.01);
     println!("BB fit: {bb_fit}");
@@ -261,7 +305,12 @@ fn fig11_12(opts: &Options, richness: bool) {
             .take(4)
             .map(|(x, y)| format!("({x:.0}%, {y:.1})"))
             .collect();
-        println!("  {:<14} {} points; top: {}", w.name, curve.len(), head.join(" "));
+        println!(
+            "  {:<14} {} points; top: {}",
+            w.name,
+            curve.len(),
+            head.join(" ")
+        );
         series.push((w.name.clone(), curve));
     }
     let refs: Vec<(&str, &[(f64, f64)])> = series
@@ -310,7 +359,11 @@ fn fig13(opts: &Options) {
             .iter()
             .map(|r| format!("{},{},{}\n", r[0], r[1], r[2]))
             .collect();
-        save(&opts.out, &format!("fig13_{label}.csv"), &format!("routine,thread,external\n{csv}"));
+        save(
+            &opts.out,
+            &format!("fig13_{label}.csv"),
+            &format!("routine,thread,external\n{csv}"),
+        );
     }
 }
 
@@ -364,13 +417,20 @@ fn fig15(opts: &Options) {
         .collect();
     println!(
         "{}",
-        to_table(&["benchmark", "thread input %", "external input %"], &table_rows)
+        to_table(
+            &["benchmark", "thread input %", "external input %"],
+            &table_rows
+        )
     );
     let csv: String = rows
         .iter()
         .map(|(n, th, ke)| format!("{n},{th:.2},{ke:.2}\n"))
         .collect();
-    save(&opts.out, "fig15.csv", &format!("benchmark,thread,external\n{csv}"));
+    save(
+        &opts.out,
+        "fig15.csv",
+        &format!("benchmark,thread,external\n{csv}"),
+    );
 }
 
 /// Figure 16: slowdown and space overhead as a function of thread count.
@@ -397,8 +457,16 @@ fn fig16(opts: &Options) {
     }
     let mut rows = Vec::new();
     for (i, tool) in TOOLS.iter().enumerate() {
-        let slows: Vec<String> = slow_series[i].1.iter().map(|p| format!("{:.1}", p.1)).collect();
-        let spaces: Vec<String> = space_series[i].1.iter().map(|p| format!("{:.2}", p.1)).collect();
+        let slows: Vec<String> = slow_series[i]
+            .1
+            .iter()
+            .map(|p| format!("{:.1}", p.1))
+            .collect();
+        let spaces: Vec<String> = space_series[i]
+            .1
+            .iter()
+            .map(|p| format!("{:.2}", p.1))
+            .collect();
         rows.push(vec![
             tool.to_string(),
             slows.join(" / "),
@@ -408,7 +476,11 @@ fn fig16(opts: &Options) {
     println!(
         "{}",
         to_table(
-            &["tool", "slowdown @1/2/4/8 threads", "space @1/2/4/8 threads"],
+            &[
+                "tool",
+                "slowdown @1/2/4/8 threads",
+                "space @1/2/4/8 threads"
+            ],
             &rows
         )
     );
@@ -459,7 +531,65 @@ fn table1(opts: &Options) {
         .iter()
         .map(|r| format!("{},{},{},{}\n", r[0], r[1], r[2], r[3]))
         .collect();
-    save(&opts.out, "table1.csv", &format!("suite,tool,slowdown,space\n{csv}"));
+    save(
+        &opts.out,
+        "table1.csv",
+        &format!("suite,tool,slowdown,space\n{csv}"),
+    );
+}
+
+/// Robustness study: minidb under injected short reads and transient
+/// EINTR errors. The workload's read loops resume short transfers and
+/// retry transient errors, so the drms cost function of `mysql_select`
+/// keeps its fault-free shape while the run statistics expose how many
+/// faults were absorbed along the way.
+fn faults(opts: &Options) {
+    use drms::vm::FaultPlan;
+    println!("\n=== Faults: minidb under short reads + EINTR ===");
+    let sizes: Vec<i64> = (1..=10).map(|i| i * 64 * opts.scale as i64).collect();
+    let w = workloads::minidb::minidb_scaling(&sizes);
+    let focus = w.focus.expect("mysql_select");
+
+    let (clean_report, clean_stats) = drms::profile_workload(&w).expect("fault-free run");
+    let spec = "seed=7,fd0:shortread:p=1/3,in:eintr:every=11";
+    let mut cfg = w.run_config();
+    cfg.faults = Some(FaultPlan::parse(spec).expect("valid fault spec"));
+    let outcome =
+        drms::profile_partial(&w.program, cfg, DrmsConfig::full()).expect("valid workload");
+    if let Some(e) = &outcome.error {
+        println!("  run aborted: {e} (partial profile below)");
+    }
+
+    let clean = CostPlot::of(&clean_report.merged_routine(focus), InputMetric::Drms);
+    let faulted = CostPlot::of(&outcome.report.merged_routine(focus), InputMetric::Drms);
+    let clean_fit = best_fit(&clean.points, 0.02);
+    let faulted_fit = best_fit(&faulted.points, 0.02);
+    println!("  fault spec: {spec}");
+    println!("  injected:   {}", outcome.stats.faults);
+    println!(
+        "  clean:   {:>6} syscalls, drms fit {clean_fit}",
+        clean_stats.syscalls
+    );
+    println!(
+        "  faulted: {:>6} syscalls, drms fit {faulted_fit}",
+        outcome.stats.syscalls
+    );
+    if clean_fit.model == faulted_fit.model {
+        println!("  fit class preserved under faults: {}", faulted_fit.model);
+    } else {
+        println!(
+            "  WARNING: fit class changed under faults: {} -> {}",
+            clean_fit.model, faulted_fit.model
+        );
+    }
+    save(
+        &opts.out,
+        "faults.dat",
+        &to_gnuplot(&[
+            ("clean", &clean.as_f64()[..]),
+            ("faulted", &faulted.as_f64()[..]),
+        ]),
+    );
 }
 
 /// Scheduler-sensitivity study (§4.2): external input is stable across

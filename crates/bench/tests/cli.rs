@@ -24,7 +24,11 @@ fn stdout(o: &Output) -> String {
 #[test]
 fn aprof_profiles_a_workload_with_fit() {
     let out = aprof(&["--workload", "minidb", "--fit", "--scale", "1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("dynamic input volume"));
     assert!(text.contains("mysql_select"), "focus routine shown");
@@ -35,7 +39,9 @@ fn aprof_profiles_a_workload_with_fit() {
 fn aprof_rejects_unknown_inputs() {
     assert!(!aprof(&["--workload", "nope"]).status.success());
     assert!(!aprof(&[]).status.success());
-    assert!(!aprof(&["--workload", "minidb", "--tool", "bogus"]).status.success());
+    assert!(!aprof(&["--workload", "minidb", "--tool", "bogus"])
+        .status
+        .success());
     assert!(!aprof(&["--bogus-flag"]).status.success());
 }
 
@@ -55,7 +61,11 @@ fn aprof_dumps_parseable_reports_and_traces() {
         "--trace",
         trace.to_str().expect("utf-8 path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report_text = std::fs::read_to_string(&report).expect("report file");
     let parsed = drms::core::report_io::from_text(&report_text).expect("parse report");
     assert!(!parsed.is_empty());
@@ -77,7 +87,11 @@ fn aprof_disassembles_programs() {
 #[test]
 fn aprof_context_mode_renders_paths() {
     let out = aprof(&["--workload", "vips", "--context", "--scale", "1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("contexts of im_generate"));
     assert!(text.contains("→ im_generate"));
@@ -95,7 +109,10 @@ fn aprof_rms_tool_misses_dynamic_input() {
         "aprof",
     ]));
     // The drms run reports a large dynamic input volume, the rms run 0%.
-    assert!(!drms_out.contains("dynamic input volume: 0.0%"), "{drms_out}");
+    assert!(
+        !drms_out.contains("dynamic input volume: 0.0%"),
+        "{drms_out}"
+    );
     assert!(rms_out.contains("dynamic input volume: 0.0%"), "{rms_out}");
 }
 
@@ -109,7 +126,11 @@ fn repro_runs_a_single_experiment_and_writes_data() {
         "--out",
         dir.to_str().expect("utf-8 path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("Fig 4"));
     assert!(text.contains("fit Θ(n)"), "drms linear fit:\n{text}");

@@ -462,9 +462,9 @@ mod tests {
         run_program(&program, RunConfig::default(), &mut prof).unwrap();
         let contexts = prof.contexts_of(inner);
         assert_eq!(contexts.len(), 1);
-        let rendered = prof.tree().render(contexts[0].0, |r| {
-            program.routine_name(r).to_owned()
-        });
+        let rendered = prof
+            .tree()
+            .render(contexts[0].0, |r| program.routine_name(r).to_owned());
         assert_eq!(rendered, "main → outer → inner");
     }
 

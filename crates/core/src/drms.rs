@@ -384,10 +384,15 @@ impl EventSink for DrmsProfiler {
         let rms = frame.partial_rms.max(0) as u64;
         let drms = frame.partial_drms.max(0) as u64;
         debug_assert!(frame.partial_rms >= 0, "rms must be non-negative at return");
-        debug_assert!(frame.partial_drms >= 0, "drms must be non-negative at return");
-        self.report
-            .entry(frame.routine, thread)
-            .record(rms, drms, cost.saturating_sub(frame.entry_cost));
+        debug_assert!(
+            frame.partial_drms >= 0,
+            "drms must be non-negative at return"
+        );
+        self.report.entry(frame.routine, thread).record(
+            rms,
+            drms,
+            cost.saturating_sub(frame.entry_cost),
+        );
     }
 
     fn on_read(&mut self, thread: ThreadId, addr: Addr, len: u32) {
@@ -432,6 +437,20 @@ impl EventSink for DrmsProfiler {
             };
             let routine = frame.routine;
             self.on_return(thread, routine, cost);
+        }
+    }
+
+    fn on_finish(&mut self) {
+        // An aborted run (watchdog, deadlock, corrupt stack) leaves
+        // activations open on some shadow stacks. Flush them at each
+        // thread's latest observed cost so the partial profile is still
+        // valid; on a clean run every stack is already empty.
+        for idx in 0..self.threads.len() {
+            let cost = match &self.threads[idx] {
+                Some(s) if !s.stack.is_empty() => s.last_cost,
+                _ => continue,
+            };
+            self.on_thread_exit(ThreadId::new(idx as u32), cost);
         }
     }
 }
@@ -529,15 +548,15 @@ mod tests {
         let h = RoutineId::new(2);
         let report = drive(
             vec![
-                (T0, call(R0)),  // f
-                (T0, rd(10)),    // first-read for f
+                (T0, call(R0)), // f
+                (T0, rd(10)),   // first-read for f
                 (T1, call(R1)),
-                (T1, wr(10)),    // T2 write
+                (T1, wr(10)), // T2 write
                 (T1, ret(R1)),
                 (T0, call(h)),
-                (T0, rd(10)),    // induced first-read (also first for h)
+                (T0, rd(10)), // induced first-read (also first for h)
                 (T0, ret(h)),
-                (T0, rd(10)),    // NOT induced: T1 accessed x via h already
+                (T0, rd(10)), // NOT induced: T1 accessed x via h already
                 (T0, ret(R0)),
             ],
             DrmsConfig::full(),
@@ -555,12 +574,7 @@ mod tests {
     #[test]
     fn write_then_read_is_not_input() {
         let report = drive(
-            vec![
-                (T0, call(R0)),
-                (T0, wr(5)),
-                (T0, rd(5)),
-                (T0, ret(R0)),
-            ],
+            vec![(T0, call(R0)), (T0, wr(5)), (T0, rd(5)), (T0, ret(R0))],
             DrmsConfig::full(),
         );
         let p = report.get(R0, T0).unwrap();
@@ -611,7 +625,11 @@ mod tests {
         );
         let parent = report.get(R0, T0).unwrap();
         let child = report.get(R1, T0).unwrap();
-        assert_eq!(parent.drms_plot(), vec![(1, 0)], "parent counts the cell once");
+        assert_eq!(
+            parent.drms_plot(),
+            vec![(1, 0)],
+            "parent counts the cell once"
+        );
         assert_eq!(child.calls, 2);
         // Both sibling activations observed drms = 1.
         assert_eq!(child.by_drms.get(&1).map(|s| s.count), Some(2));
@@ -777,7 +795,10 @@ mod tests {
         let merged = drms_trace::merge_traces(traces);
         let mut prof = DrmsProfiler::new(tiny);
         drms_trace::replay(&merged, &mut prof);
-        assert!(prof.renumberings() > 0, "tiny limit must trigger renumbering");
+        assert!(
+            prof.renumberings() > 0,
+            "tiny limit must trigger renumbering"
+        );
         assert!(prof.count() < 200);
         assert_eq!(prof.into_report(), baseline);
     }

@@ -181,9 +181,9 @@ impl Tool for NaiveProfiler {
         let mut bytes = 0u64;
         for state in &self.threads {
             for frame in &state.stack {
-                bytes +=
-                    ((frame.live.len() + frame.accessed.len()) * std::mem::size_of::<u64>() * 2)
-                        as u64;
+                bytes += ((frame.live.len() + frame.accessed.len())
+                    * std::mem::size_of::<u64>()
+                    * 2) as u64;
             }
         }
         bytes + self.report.approx_bytes()

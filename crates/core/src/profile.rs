@@ -339,7 +339,8 @@ mod tests {
         let r = RoutineId::new(1);
         rep.entry(r, ThreadId::new(0)).record(1, 2, 10);
         rep.entry(r, ThreadId::new(1)).record(1, 3, 30);
-        rep.entry(RoutineId::new(2), ThreadId::new(0)).record(4, 4, 5);
+        rep.entry(RoutineId::new(2), ThreadId::new(0))
+            .record(4, 4, 5);
         assert_eq!(rep.len(), 3);
         let merged = rep.merged_by_routine();
         assert_eq!(merged.len(), 2);
@@ -354,9 +355,11 @@ mod tests {
     fn dynamic_input_volume_bounds() {
         let mut rep = ProfileReport::new();
         assert_eq!(rep.dynamic_input_volume(), 0.0);
-        rep.entry(RoutineId::new(0), ThreadId::MAIN).record(10, 10, 1);
+        rep.entry(RoutineId::new(0), ThreadId::MAIN)
+            .record(10, 10, 1);
         assert!(rep.dynamic_input_volume().abs() < 1e-9);
-        rep.entry(RoutineId::new(1), ThreadId::MAIN).record(0, 30, 1);
+        rep.entry(RoutineId::new(1), ThreadId::MAIN)
+            .record(0, 30, 1);
         // Σrms = 10, Σdrms = 40 → volume = 0.75
         assert!((rep.dynamic_input_volume() - 0.75).abs() < 1e-9);
     }

@@ -130,8 +130,9 @@ pub fn from_text(text: &str) -> Result<ProfileReport, ParseReportError> {
                 let Some((routine, thread)) = current else {
                     return Err(err(format!("`{kind}` before any profile header")));
                 };
-                let nums: Result<Vec<u64>, _> =
-                    parts.map(|s| s.parse::<u64>().map_err(|e| e.to_string())).collect();
+                let nums: Result<Vec<u64>, _> = parts
+                    .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+                    .collect();
                 let nums = nums.map_err(|e| err(format!("bad number: {e}")))?;
                 let p = report.entry(routine, thread);
                 match kind {
@@ -190,7 +191,8 @@ mod tests {
         p.breakdown.plain = 6;
         p.breakdown.thread_induced = 4;
         p.breakdown.kernel_induced = 2;
-        rep.entry(RoutineId::new(0), ThreadId::new(0)).record(1, 1, 7);
+        rep.entry(RoutineId::new(0), ThreadId::new(0))
+            .record(1, 1, 7);
         rep
     }
 
@@ -220,7 +222,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(from_text("calls 1 2 3").unwrap_err().message.contains("before any profile"));
+        assert!(from_text("calls 1 2 3")
+            .unwrap_err()
+            .message
+            .contains("before any profile"));
         assert!(from_text("profile routine=0").is_err());
         assert!(from_text("profile routine=0 thread=0\ncalls 1 2").is_err());
         assert!(from_text("profile routine=0 thread=0\nbreakdown 1 2").is_err());

@@ -147,9 +147,11 @@ impl EventSink for RmsProfiler {
             parent.partial_rms += frame.partial_rms;
         }
         let rms = frame.partial_rms.max(0) as u64;
-        self.report
-            .entry(frame.routine, thread)
-            .record(rms, rms, cost.saturating_sub(frame.entry_cost));
+        self.report.entry(frame.routine, thread).record(
+            rms,
+            rms,
+            cost.saturating_sub(frame.entry_cost),
+        );
     }
 
     fn on_read(&mut self, thread: ThreadId, addr: Addr, len: u32) {
@@ -229,11 +231,39 @@ mod tests {
     fn rms_ignores_cross_thread_writes() {
         let report = drive(vec![
             (T0, Event::Call { routine: R0 }),
-            (T0, Event::Read { addr: Addr::new(5), len: 1 }),
-            (T1, Event::Call { routine: RoutineId::new(1) }),
-            (T1, Event::Write { addr: Addr::new(5), len: 1 }),
-            (T1, Event::Return { routine: RoutineId::new(1) }),
-            (T0, Event::Read { addr: Addr::new(5), len: 1 }),
+            (
+                T0,
+                Event::Read {
+                    addr: Addr::new(5),
+                    len: 1,
+                },
+            ),
+            (
+                T1,
+                Event::Call {
+                    routine: RoutineId::new(1),
+                },
+            ),
+            (
+                T1,
+                Event::Write {
+                    addr: Addr::new(5),
+                    len: 1,
+                },
+            ),
+            (
+                T1,
+                Event::Return {
+                    routine: RoutineId::new(1),
+                },
+            ),
+            (
+                T0,
+                Event::Read {
+                    addr: Addr::new(5),
+                    len: 1,
+                },
+            ),
             (T0, Event::Return { routine: R0 }),
         ]);
         let p = report.get(R0, T0).unwrap();
@@ -244,10 +274,34 @@ mod tests {
     fn rms_ignores_kernel_fills() {
         let report = drive(vec![
             (T0, Event::Call { routine: R0 }),
-            (T0, Event::KernelToUser { addr: Addr::new(8), len: 2 }),
-            (T0, Event::Read { addr: Addr::new(8), len: 1 }),
-            (T0, Event::KernelToUser { addr: Addr::new(8), len: 2 }),
-            (T0, Event::Read { addr: Addr::new(8), len: 1 }),
+            (
+                T0,
+                Event::KernelToUser {
+                    addr: Addr::new(8),
+                    len: 2,
+                },
+            ),
+            (
+                T0,
+                Event::Read {
+                    addr: Addr::new(8),
+                    len: 1,
+                },
+            ),
+            (
+                T0,
+                Event::KernelToUser {
+                    addr: Addr::new(8),
+                    len: 2,
+                },
+            ),
+            (
+                T0,
+                Event::Read {
+                    addr: Addr::new(8),
+                    len: 1,
+                },
+            ),
             (T0, Event::Return { routine: R0 }),
         ]);
         let p = report.get(R0, T0).unwrap();
@@ -261,11 +315,39 @@ mod tests {
         let mk = || {
             let mut evs = vec![(T0, Event::Call { routine: R0 })];
             for i in 0..30u64 {
-                evs.push((T0, Event::Call { routine: RoutineId::new(1) }));
-                evs.push((T0, Event::Read { addr: Addr::new(100 + i % 11), len: 1 }));
-                evs.push((T0, Event::Write { addr: Addr::new(200 + i % 7), len: 1 }));
-                evs.push((T0, Event::Read { addr: Addr::new(200 + i % 7), len: 1 }));
-                evs.push((T0, Event::Return { routine: RoutineId::new(1) }));
+                evs.push((
+                    T0,
+                    Event::Call {
+                        routine: RoutineId::new(1),
+                    },
+                ));
+                evs.push((
+                    T0,
+                    Event::Read {
+                        addr: Addr::new(100 + i % 11),
+                        len: 1,
+                    },
+                ));
+                evs.push((
+                    T0,
+                    Event::Write {
+                        addr: Addr::new(200 + i % 7),
+                        len: 1,
+                    },
+                ));
+                evs.push((
+                    T0,
+                    Event::Read {
+                        addr: Addr::new(200 + i % 7),
+                        len: 1,
+                    },
+                ));
+                evs.push((
+                    T0,
+                    Event::Return {
+                        routine: RoutineId::new(1),
+                    },
+                ));
             }
             evs.push((T0, Event::Return { routine: R0 }));
             evs

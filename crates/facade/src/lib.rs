@@ -82,7 +82,10 @@ pub mod prelude {
 /// assert!(stats.basic_blocks > 0);
 /// assert!(!report.is_empty());
 /// ```
-pub fn profile(program: &Program, config: RunConfig) -> Result<(ProfileReport, RunStats), RunError> {
+pub fn profile(
+    program: &Program,
+    config: RunConfig,
+) -> Result<(ProfileReport, RunStats), RunError> {
     profile_with(program, config, DrmsConfig::full())
 }
 
@@ -96,6 +99,54 @@ pub fn profile_with(
     let mut profiler = DrmsProfiler::new(drms);
     let stats = Vm::new(program, config)?.run(&mut profiler)?;
     Ok((profiler.into_report(), stats))
+}
+
+/// Outcome of a guest run that is allowed to abort: whatever profile
+/// data was collected up to the failure point, plus the failure itself.
+///
+/// Produced by [`profile_partial`]. When `error` is `Some`, the report
+/// covers every activation observed before the abort (in-flight
+/// activations are flushed at their last observed cost) and `stats`
+/// reflect the work actually executed — including any injected-fault
+/// counters.
+#[derive(Clone, Debug)]
+pub struct ProfileOutcome {
+    /// The (possibly partial) profile report.
+    pub report: ProfileReport,
+    /// Finalized statistics of the run, complete or not.
+    pub stats: RunStats,
+    /// The abort reason, or `None` if the guest ran to completion.
+    pub error: Option<RunError>,
+}
+
+impl ProfileOutcome {
+    /// Whether the guest aborted and the report is a partial profile.
+    pub fn is_partial(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// Like [`profile_with`], but a guest abort (watchdog, deadlock, corrupt
+/// stack) does not discard the profile: the data gathered so far is
+/// flushed and returned alongside the error.
+///
+/// # Errors
+/// Only setup failures (program validation) are returned as `Err`;
+/// run-time aborts land in [`ProfileOutcome::error`].
+pub fn profile_partial(
+    program: &Program,
+    config: RunConfig,
+    drms: DrmsConfig,
+) -> Result<ProfileOutcome, RunError> {
+    let mut profiler = DrmsProfiler::new(drms);
+    let mut vm = Vm::new(program, config)?;
+    let error = vm.run(&mut profiler).err();
+    let stats = vm.stats().clone();
+    Ok(ProfileOutcome {
+        report: profiler.into_report(),
+        stats,
+        error,
+    })
 }
 
 /// Profiles a prebuilt [`Workload`] with its own devices and defaults.
@@ -123,6 +174,40 @@ mod tests {
             Model::Linear,
             "drms reveals mysql_select's linear cost: {drms_fit}"
         );
+    }
+
+    #[test]
+    fn watchdog_abort_yields_a_partial_profile() {
+        let w = drms_workloads::minidb::minidb_scaling(&[64, 128, 256]);
+        let config = RunConfig {
+            max_instructions: 20_000,
+            ..w.run_config()
+        };
+        let outcome = profile_partial(&w.program, config, DrmsConfig::full()).unwrap();
+        assert!(outcome.is_partial(), "the budget is too small to finish");
+        assert!(matches!(
+            outcome.error,
+            Some(RunError::InstructionLimit { .. })
+        ));
+        assert!(
+            !outcome.report.is_empty(),
+            "activations before the abort are flushed into the report"
+        );
+        assert!(outcome.stats.instructions >= 20_000);
+        // The partial profile serializes and parses like a complete one.
+        let text = drms_core::report_io::to_text(&outcome.report);
+        let back = drms_core::report_io::from_text(&text).unwrap();
+        assert_eq!(back, outcome.report);
+    }
+
+    #[test]
+    fn completed_run_outcome_matches_profile() {
+        let w = drms_workloads::patterns::stream_reader(8);
+        let (report, stats) = profile_workload(&w).unwrap();
+        let outcome = profile_partial(&w.program, w.run_config(), DrmsConfig::full()).unwrap();
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.report, report);
+        assert_eq!(outcome.stats, stats);
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl EventSink for CallgrindTool {
 
     fn on_thread_exit(&mut self, thread: ThreadId, cost: u64) {
         while !self.stack_mut(thread).is_empty() {
-            let routine = self.stack_mut(thread).last().map(|f| f.routine).expect("frame");
+            let routine = self
+                .stack_mut(thread)
+                .last()
+                .map(|f| f.routine)
+                .expect("frame");
             self.on_return(thread, routine, cost);
         }
     }
@@ -144,7 +148,10 @@ impl Tool for CallgrindTool {
     }
 
     fn shadow_bytes(&self) -> u64 {
-        (self.arcs.len() * (std::mem::size_of::<(RoutineId, RoutineId)>() + std::mem::size_of::<ArcStats>() + 32)
+        (self.arcs.len()
+            * (std::mem::size_of::<(RoutineId, RoutineId)>()
+                + std::mem::size_of::<ArcStats>()
+                + 32)
             + self.routines.len() * (std::mem::size_of::<RoutineCost>() + 40)) as u64
     }
 }

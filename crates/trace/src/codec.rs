@@ -3,11 +3,19 @@
 //! One event per line:
 //!
 //! ```text
-//! <time> <thread> <cost> <mnemonic> [args...]
+//! <time> <thread> <cost> <mnemonic> [args...] ~<checksum>
 //! ```
 //!
 //! The format is stable, diff-friendly and human-readable; it backs golden
 //! tests and lets traces be captured once and re-analysed offline.
+//!
+//! The trailing `~<hex>` token is an FNV-1a checksum of the payload
+//! before it, letting corrupted captures (truncated files, flipped
+//! bits) be detected line by line. Checksum-less lines are accepted for
+//! backward compatibility with hand-written traces; when the token is
+//! present it must match. [`from_text`] fails on the first bad line;
+//! [`from_text_lossy`] instead salvages the longest valid prefix so a
+//! damaged capture can still be replayed or merged.
 
 use crate::event::{Event, SyncOp, TimedEvent};
 use crate::ids::{Addr, BlockId, RoutineId, ThreadId};
@@ -43,11 +51,23 @@ impl std::error::Error for ParseTraceError {}
 /// ```
 pub fn to_text(events: &[TimedEvent]) -> String {
     let mut out = String::new();
+    let mut line = String::new();
     for ev in events {
-        write_event(&mut out, ev);
-        out.push('\n');
+        line.clear();
+        write_event(&mut line, ev);
+        let _ = writeln!(out, "{line} ~{:x}", checksum(&line));
     }
     out
+}
+
+/// FNV-1a hash of a line payload (the bytes before the ` ~<hex>` token).
+fn checksum(payload: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in payload.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn write_event(out: &mut String, ev: &TimedEvent) {
@@ -96,7 +116,9 @@ fn write_event(out: &mut String, ev: &TimedEvent) {
 
 /// Parses the line-oriented text format back into events.
 ///
-/// Blank lines and lines starting with `#` are skipped.
+/// Blank lines and lines starting with `#` are skipped. Lines carrying
+/// a trailing `~<hex>` checksum are verified against their payload;
+/// lines without one are accepted unverified.
 ///
 /// # Errors
 /// Returns a [`ParseTraceError`] naming the first malformed line.
@@ -113,10 +135,83 @@ pub fn from_text(text: &str) -> Result<Vec<TimedEvent>, ParseTraceError> {
     Ok(out)
 }
 
+/// A trace recovered from damaged text by [`from_text_lossy`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SalvagedTrace {
+    /// Events of the longest valid prefix.
+    pub events: Vec<TimedEvent>,
+    /// Human-readable descriptions of what was dropped and why
+    /// (empty when the whole text parsed cleanly).
+    pub warnings: Vec<String>,
+}
+
+impl SalvagedTrace {
+    /// Whether any line failed to parse (i.e. data was dropped).
+    pub fn is_damaged(&self) -> bool {
+        !self.warnings.is_empty()
+    }
+}
+
+/// Parses as much of a damaged trace as possible: the longest prefix of
+/// well-formed lines, stopping at the first malformed or
+/// checksum-mismatched line.
+///
+/// Everything from the first bad line onward is dropped — events after
+/// a corruption point cannot be trusted to belong where they appear —
+/// and described in [`SalvagedTrace::warnings`]. Never fails: feeding
+/// it arbitrary bytes yields an empty (or partial) event list.
+pub fn from_text_lossy(text: &str) -> SalvagedTrace {
+    let mut salvage = SalvagedTrace::default();
+    let mut dropped = 0usize;
+    let mut first_error: Option<ParseTraceError> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if first_error.is_some() {
+            dropped += 1;
+            continue;
+        }
+        match parse_line(line, line_no) {
+            Ok(ev) => salvage.events.push(ev),
+            Err(e) => {
+                dropped += 1;
+                first_error = Some(e);
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        salvage.warnings.push(format!(
+            "{e}; salvaged {} event(s), dropped {} line(s)",
+            salvage.events.len(),
+            dropped
+        ));
+    }
+    salvage
+}
+
 fn parse_line(line: &str, line_no: usize) -> Result<TimedEvent, ParseTraceError> {
     let err = |message: String| ParseTraceError {
         line: line_no,
         message,
+    };
+    // Split off and verify the optional trailing `~<hex>` checksum.
+    let line = match line.rsplit_once('~') {
+        Some((head, hex)) if head.ends_with(char::is_whitespace) => {
+            let payload = head.trim_end();
+            let declared = u64::from_str_radix(hex, 16)
+                .map_err(|e| err(format!("bad checksum `{hex}`: {e}")))?;
+            let actual = checksum(payload);
+            if actual != declared {
+                return Err(err(format!(
+                    "checksum mismatch: line declares {declared:x}, payload hashes to {actual:x}"
+                )));
+            }
+            payload
+        }
+        _ => line,
     };
     let mut parts = line.split_ascii_whitespace();
     let next_u64 = |what: &str, parts: &mut std::str::SplitAsciiWhitespace<'_>| {
@@ -212,17 +307,101 @@ mod tests {
     fn sample_events() -> Vec<TimedEvent> {
         let t = ThreadId::new(1);
         vec![
-            TimedEvent::new(1, t, 0, Event::ThreadStart { parent: Some(ThreadId::MAIN) }),
-            TimedEvent::new(2, t, 0, Event::Call { routine: RoutineId::new(4) }),
-            TimedEvent::new(3, t, 1, Event::Block { routine: RoutineId::new(4), block: BlockId::new(0) }),
-            TimedEvent::new(4, t, 1, Event::Read { addr: Addr::new(100), len: 8 }),
-            TimedEvent::new(5, t, 1, Event::Write { addr: Addr::new(200), len: 1 }),
-            TimedEvent::new(6, t, 2, Event::KernelToUser { addr: Addr::new(300), len: 16 }),
-            TimedEvent::new(7, t, 2, Event::UserToKernel { addr: Addr::new(300), len: 16 }),
-            TimedEvent::new(8, t, 2, Event::Sync { op: SyncOp::SemWait(3) }),
-            TimedEvent::new(9, t, 2, Event::Sync { op: SyncOp::CondWait { cond: 1, mutex: 2 } }),
-            TimedEvent::new(10, t, 2, Event::Sync { op: SyncOp::Spawn { child: ThreadId::new(2) } }),
-            TimedEvent::new(11, t, 3, Event::Return { routine: RoutineId::new(4) }),
+            TimedEvent::new(
+                1,
+                t,
+                0,
+                Event::ThreadStart {
+                    parent: Some(ThreadId::MAIN),
+                },
+            ),
+            TimedEvent::new(
+                2,
+                t,
+                0,
+                Event::Call {
+                    routine: RoutineId::new(4),
+                },
+            ),
+            TimedEvent::new(
+                3,
+                t,
+                1,
+                Event::Block {
+                    routine: RoutineId::new(4),
+                    block: BlockId::new(0),
+                },
+            ),
+            TimedEvent::new(
+                4,
+                t,
+                1,
+                Event::Read {
+                    addr: Addr::new(100),
+                    len: 8,
+                },
+            ),
+            TimedEvent::new(
+                5,
+                t,
+                1,
+                Event::Write {
+                    addr: Addr::new(200),
+                    len: 1,
+                },
+            ),
+            TimedEvent::new(
+                6,
+                t,
+                2,
+                Event::KernelToUser {
+                    addr: Addr::new(300),
+                    len: 16,
+                },
+            ),
+            TimedEvent::new(
+                7,
+                t,
+                2,
+                Event::UserToKernel {
+                    addr: Addr::new(300),
+                    len: 16,
+                },
+            ),
+            TimedEvent::new(
+                8,
+                t,
+                2,
+                Event::Sync {
+                    op: SyncOp::SemWait(3),
+                },
+            ),
+            TimedEvent::new(
+                9,
+                t,
+                2,
+                Event::Sync {
+                    op: SyncOp::CondWait { cond: 1, mutex: 2 },
+                },
+            ),
+            TimedEvent::new(
+                10,
+                t,
+                2,
+                Event::Sync {
+                    op: SyncOp::Spawn {
+                        child: ThreadId::new(2),
+                    },
+                },
+            ),
+            TimedEvent::new(
+                11,
+                t,
+                3,
+                Event::Return {
+                    routine: RoutineId::new(4),
+                },
+            ),
             TimedEvent::new(12, t, 3, Event::ThreadExit),
         ]
     }
@@ -273,5 +452,73 @@ mod tests {
         assert!(from_text("1 0 0 rd 5").is_err());
         assert!(from_text("1 0").is_err());
         assert!(from_text("x 0 0 texit").is_err());
+    }
+
+    #[test]
+    fn serialized_lines_carry_checksums() {
+        let text = to_text(&sample_events());
+        for line in text.lines() {
+            let (_, hex) = line.rsplit_once('~').expect("checksum token");
+            assert!(u64::from_str_radix(hex, 16).is_ok(), "hex checksum: {line}");
+        }
+    }
+
+    #[test]
+    fn detects_payload_bit_flips() {
+        let evs = sample_events();
+        let text = to_text(&evs);
+        // Corrupt one digit of the fourth line's address field.
+        let corrupted = text.replacen("100 8", "108 8", 1);
+        assert_ne!(corrupted, text, "corruption applied");
+        let e = from_text(&corrupted).unwrap_err();
+        assert!(e.message.contains("checksum mismatch"), "{e}");
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_text_has_no_warnings() {
+        let evs = sample_events();
+        let s = from_text_lossy(&to_text(&evs));
+        assert_eq!(s.events, evs);
+        assert!(!s.is_damaged());
+    }
+
+    #[test]
+    fn lossy_parse_salvages_prefix_before_corruption() {
+        let evs = sample_events();
+        let text = to_text(&evs);
+        // Flip a byte in the fifth line; everything after it is dropped.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[4] = lines[4].replacen('w', "q", 1);
+        let s = from_text_lossy(&lines.join("\n"));
+        assert_eq!(s.events, evs[..4].to_vec());
+        assert!(s.is_damaged());
+        assert_eq!(s.warnings.len(), 1);
+        assert!(s.warnings[0].contains("line 5"), "{}", s.warnings[0]);
+        assert!(s.warnings[0].contains("salvaged 4"), "{}", s.warnings[0]);
+    }
+
+    #[test]
+    fn lossy_parse_of_truncated_capture_recovers_whole_lines() {
+        let evs = sample_events();
+        let text = to_text(&evs);
+        // Simulate a capture cut off mid-write: keep 60% of the bytes.
+        let cut = &text[..text.len() * 6 / 10];
+        let s = from_text_lossy(cut);
+        assert!(!s.events.is_empty(), "some events survive");
+        assert!(s.events.len() < evs.len(), "some events were lost");
+        assert_eq!(s.events, evs[..s.events.len()].to_vec(), "valid prefix");
+    }
+
+    #[test]
+    fn lossy_parse_of_garbage_is_empty_not_a_panic() {
+        let s = from_text_lossy("not a trace\n\u{1F980} bytes ~zz\n");
+        assert!(s.events.is_empty());
+        assert!(s.is_damaged());
+    }
+
+    #[test]
+    fn checksum_less_lines_remain_accepted() {
+        let evs = from_text("1 0 0 texit\n").unwrap();
+        assert_eq!(evs[0].event, Event::ThreadExit);
     }
 }

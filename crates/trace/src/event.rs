@@ -252,7 +252,11 @@ mod tests {
         ];
         let mut seen = std::collections::HashSet::new();
         for e in events {
-            assert!(seen.insert(e.mnemonic()), "duplicate mnemonic {}", e.mnemonic());
+            assert!(
+                seen.insert(e.mnemonic()),
+                "duplicate mnemonic {}",
+                e.mnemonic()
+            );
         }
     }
 }

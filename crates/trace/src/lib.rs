@@ -44,6 +44,7 @@ pub mod replay;
 pub mod stats;
 pub mod trace;
 
+pub use codec::{from_text, from_text_lossy, to_text, ParseTraceError, SalvagedTrace};
 pub use event::{Event, SyncOp, TimedEvent};
 pub use ids::{Addr, BlockId, NameTable, RoutineId, ThreadId};
 pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};

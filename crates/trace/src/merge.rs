@@ -33,7 +33,8 @@ impl TieBreaker {
             TieBreaker::ByThreadIdReversed => u64::MAX - ev.thread.index() as u64,
             TieBreaker::Seeded(seed) => {
                 // SplitMix64-style hash of (seed, time, thread).
-                let mut x = seed ^ ev.time.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                let mut x = seed
+                    ^ ev.time.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     ^ ((ev.thread.index() as u64) << 32);
                 x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -180,14 +181,18 @@ mod tests {
 
     #[test]
     fn seeded_tiebreak_is_reproducible_and_seed_sensitive() {
-        let mk = || vec![trace_with_times(0, &[7, 7, 7]), trace_with_times(1, &[7, 7, 7])];
+        let mk = || {
+            vec![
+                trace_with_times(0, &[7, 7, 7]),
+                trace_with_times(1, &[7, 7, 7]),
+            ]
+        };
         let m1 = merge_traces_with_ties(mk(), TieBreaker::Seeded(1));
         let m1b = merge_traces_with_ties(mk(), TieBreaker::Seeded(1));
         assert_eq!(m1, m1b);
         // Some seed must produce a different interleaving than ByThreadId.
         let base = merge_traces_with_ties(mk(), TieBreaker::ByThreadId);
-        let differs = (0..32)
-            .any(|s| merge_traces_with_ties(mk(), TieBreaker::Seeded(s)) != base);
+        let differs = (0..32).any(|s| merge_traces_with_ties(mk(), TieBreaker::Seeded(s)) != base);
         assert!(differs, "no seed changed the tie order");
     }
 

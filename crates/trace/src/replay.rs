@@ -149,10 +149,36 @@ mod tests {
     #[test]
     fn synthesizes_thread_switches() {
         let events = vec![
-            ev(1, 0, Event::Call { routine: RoutineId::new(0) }),
-            ev(2, 1, Event::Call { routine: RoutineId::new(1) }),
-            ev(3, 1, Event::Read { addr: Addr::new(4), len: 2 }),
-            ev(4, 0, Event::Read { addr: Addr::new(8), len: 1 }),
+            ev(
+                1,
+                0,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                2,
+                1,
+                Event::Call {
+                    routine: RoutineId::new(1),
+                },
+            ),
+            ev(
+                3,
+                1,
+                Event::Read {
+                    addr: Addr::new(4),
+                    len: 2,
+                },
+            ),
+            ev(
+                4,
+                0,
+                Event::Read {
+                    addr: Addr::new(8),
+                    len: 1,
+                },
+            ),
         ];
         let mut rec = Recorder::default();
         replay(&events, &mut rec);
@@ -193,14 +219,67 @@ mod tests {
         // Smoke-test that every event kind routes without panicking.
         let all = vec![
             ev(1, 0, Event::ThreadStart { parent: None }),
-            ev(2, 0, Event::Call { routine: RoutineId::new(0) }),
-            ev(3, 0, Event::Block { routine: RoutineId::new(0), block: BlockId::new(0) }),
-            ev(4, 0, Event::Read { addr: Addr::new(1), len: 1 }),
-            ev(5, 0, Event::Write { addr: Addr::new(1), len: 1 }),
-            ev(6, 0, Event::UserToKernel { addr: Addr::new(1), len: 1 }),
-            ev(7, 0, Event::KernelToUser { addr: Addr::new(1), len: 1 }),
-            ev(8, 0, Event::Sync { op: SyncOp::SemSignal(0) }),
-            ev(9, 0, Event::Return { routine: RoutineId::new(0) }),
+            ev(
+                2,
+                0,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                3,
+                0,
+                Event::Block {
+                    routine: RoutineId::new(0),
+                    block: BlockId::new(0),
+                },
+            ),
+            ev(
+                4,
+                0,
+                Event::Read {
+                    addr: Addr::new(1),
+                    len: 1,
+                },
+            ),
+            ev(
+                5,
+                0,
+                Event::Write {
+                    addr: Addr::new(1),
+                    len: 1,
+                },
+            ),
+            ev(
+                6,
+                0,
+                Event::UserToKernel {
+                    addr: Addr::new(1),
+                    len: 1,
+                },
+            ),
+            ev(
+                7,
+                0,
+                Event::KernelToUser {
+                    addr: Addr::new(1),
+                    len: 1,
+                },
+            ),
+            ev(
+                8,
+                0,
+                Event::Sync {
+                    op: SyncOp::SemSignal(0),
+                },
+            ),
+            ev(
+                9,
+                0,
+                Event::Return {
+                    routine: RoutineId::new(0),
+                },
+            ),
             ev(10, 0, Event::ThreadExit),
         ];
         let mut rec = Recorder::default();

@@ -147,15 +147,73 @@ mod tests {
     #[test]
     fn counts_kinds_threads_and_traffic() {
         let events = vec![
-            ev(1, 0, Event::Call { routine: RoutineId::new(0) }),
-            ev(2, 0, Event::Call { routine: RoutineId::new(1) }),
-            ev(3, 0, Event::Read { addr: Addr::new(10), len: 2 }),
-            ev(4, 0, Event::Write { addr: Addr::new(11), len: 1 }),
-            ev(5, 1, Event::Call { routine: RoutineId::new(0) }),
-            ev(6, 1, Event::KernelToUser { addr: Addr::new(20), len: 8 }),
-            ev(7, 1, Event::UserToKernel { addr: Addr::new(20), len: 8 }),
-            ev(8, 0, Event::Return { routine: RoutineId::new(1) }),
-            ev(9, 0, Event::Sync { op: crate::event::SyncOp::SemWait(0) }),
+            ev(
+                1,
+                0,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                2,
+                0,
+                Event::Call {
+                    routine: RoutineId::new(1),
+                },
+            ),
+            ev(
+                3,
+                0,
+                Event::Read {
+                    addr: Addr::new(10),
+                    len: 2,
+                },
+            ),
+            ev(
+                4,
+                0,
+                Event::Write {
+                    addr: Addr::new(11),
+                    len: 1,
+                },
+            ),
+            ev(
+                5,
+                1,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                6,
+                1,
+                Event::KernelToUser {
+                    addr: Addr::new(20),
+                    len: 8,
+                },
+            ),
+            ev(
+                7,
+                1,
+                Event::UserToKernel {
+                    addr: Addr::new(20),
+                    len: 8,
+                },
+            ),
+            ev(
+                8,
+                0,
+                Event::Return {
+                    routine: RoutineId::new(1),
+                },
+            ),
+            ev(
+                9,
+                0,
+                Event::Sync {
+                    op: crate::event::SyncOp::SemWait(0),
+                },
+            ),
         ];
         let s = TraceStats::of(&events);
         assert_eq!(s.total_events, 9);
@@ -186,10 +244,34 @@ mod tests {
     #[test]
     fn depth_is_per_thread() {
         let events = vec![
-            ev(1, 0, Event::Call { routine: RoutineId::new(0) }),
-            ev(2, 1, Event::Call { routine: RoutineId::new(0) }),
-            ev(3, 1, Event::Return { routine: RoutineId::new(0) }),
-            ev(4, 1, Event::Call { routine: RoutineId::new(0) }),
+            ev(
+                1,
+                0,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                2,
+                1,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                3,
+                1,
+                Event::Return {
+                    routine: RoutineId::new(0),
+                },
+            ),
+            ev(
+                4,
+                1,
+                Event::Call {
+                    routine: RoutineId::new(0),
+                },
+            ),
         ];
         let s = TraceStats::of(&events);
         assert_eq!(s.max_call_depth, 1, "depths never stack across threads");

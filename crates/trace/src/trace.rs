@@ -72,7 +72,8 @@ impl ThreadTrace {
 
     /// Appends an event with the given timestamp and cumulative cost.
     pub fn push(&mut self, time: u64, cost: u64, event: Event) {
-        self.events.push(TimedEvent::new(time, self.thread, cost, event));
+        self.events
+            .push(TimedEvent::new(time, self.thread, cost, event));
     }
 
     /// Appends an already-timed event.

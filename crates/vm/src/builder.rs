@@ -533,6 +533,101 @@ impl FnBuilder {
         dst
     }
 
+    /// Like [`FnBuilder::syscall`], but retries while the kernel reports a
+    /// transient error (`-EINTR` or `-EAGAIN`), yielding the quantum
+    /// between attempts. Returns the register holding the first
+    /// non-transient result: a transferred cell count, `0` at end of
+    /// stream, or a hard negative errno such as `-EIO`.
+    ///
+    /// On a fault-free run the loop condition fails immediately, so
+    /// exactly one system call executes — instrumentation counts match
+    /// plain [`FnBuilder::syscall`].
+    pub fn syscall_retrying(
+        &mut self,
+        no: SyscallNo,
+        fd: impl Into<Operand>,
+        buf: impl Into<Operand>,
+        len: impl Into<Operand>,
+        offset: impl Into<Operand>,
+    ) -> Reg {
+        let fd = self.copy(fd);
+        let buf = self.copy(buf);
+        let len = self.copy(len);
+        let offset = self.copy(offset);
+        let result = self.syscall(no, fd, buf, len, offset);
+        self.while_loop(
+            |f| {
+                let eintr = f.eq(result, -4);
+                let eagain = f.eq(result, -11);
+                Operand::Reg(f.add(eintr, eagain))
+            },
+            |f| {
+                f.yield_now();
+                let again = f.syscall(no, fd, buf, len, offset);
+                f.assign(result, again);
+            },
+        );
+        result
+    }
+
+    /// Transfers exactly `len` cells through repeated system calls,
+    /// resuming after short transfers and retrying transient errors
+    /// (`-EINTR`/`-EAGAIN`, with a yield between attempts). Stops early
+    /// at end of stream or on a hard error such as `-EIO`. Returns the
+    /// register holding the total cells actually transferred.
+    ///
+    /// Each resumed attempt advances `buf` and `offset` by the cells
+    /// already moved, so positioned reads continue where the short
+    /// transfer stopped. On a fault-free run the first call moves all
+    /// `len` cells and exactly one system call executes.
+    pub fn syscall_full(
+        &mut self,
+        no: SyscallNo,
+        fd: impl Into<Operand>,
+        buf: impl Into<Operand>,
+        len: impl Into<Operand>,
+        offset: impl Into<Operand>,
+    ) -> Reg {
+        let fd = self.copy(fd);
+        let buf = self.copy(buf);
+        let len = self.copy(len);
+        let offset = self.copy(offset);
+        let done = self.copy(0);
+        let stop = self.copy(0);
+        self.while_loop(
+            |f| {
+                let more = f.lt(done, len);
+                let going = f.eq(stop, 0);
+                Operand::Reg(f.mul(more, going))
+            },
+            |f| {
+                let pos = f.add(buf, done);
+                let remaining = f.sub(len, done);
+                let off = f.add(offset, done);
+                let n = f.syscall(no, fd, pos, remaining, off);
+                let eintr = f.eq(n, -4);
+                let eagain = f.eq(n, -11);
+                let transient = f.add(eintr, eagain);
+                f.if_else(
+                    transient,
+                    |f| f.yield_now(),
+                    |f| {
+                        let progressed = f.gt(n, 0);
+                        f.if_else(
+                            progressed,
+                            |f| {
+                                let new_done = f.add(done, n);
+                                f.assign(done, new_done);
+                            },
+                            |f| f.assign(stop, 1),
+                        );
+                    },
+                );
+            },
+        );
+        done
+    }
+
     // ---- structured control flow ----------------------------------------
 
     /// `if cond != 0 { then }`.
@@ -778,6 +873,95 @@ mod tests {
         let mut vm = crate::interp::Vm::new(&p, RunConfig::default()).unwrap();
         vm.run(&mut NullTool).unwrap();
         assert_eq!(vm.memory().load(g), 5);
+    }
+
+    #[test]
+    fn syscall_full_collapses_to_one_syscall_when_fault_free() {
+        use crate::kernel::Device;
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(8);
+            let n = f.syscall_full(SyscallNo::Read, 0, buf, 8, 0);
+            f.store(g.raw() as i64, 0, n);
+        });
+        let p = pb.finish(main).unwrap();
+        let cfg = RunConfig::with_devices(vec![Device::Stream { seed: 1 }]);
+        let mut vm = crate::interp::Vm::new(&p, cfg).unwrap();
+        let stats = vm.run(&mut NullTool).unwrap();
+        assert_eq!(stats.syscalls, 1, "no retries without a fault plan");
+        assert_eq!(vm.memory().load(g), 8);
+    }
+
+    #[test]
+    fn syscall_full_resumes_short_reads_until_complete() {
+        use crate::fault::FaultPlan;
+        use crate::kernel::Device;
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(8);
+            let n = f.syscall_full(SyscallNo::Read, 0, buf, 8, 0);
+            f.store(g.raw() as i64, 0, n);
+        });
+        let p = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::parse("fd0:shortread:every=1").unwrap()),
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 1 }])
+        };
+        let mut vm = crate::interp::Vm::new(&p, cfg).unwrap();
+        let stats = vm.run(&mut NullTool).unwrap();
+        // Deliveries: 4, 2, 1 (short each time), then the final 1-cell
+        // read is too small to halve and completes the transfer.
+        assert_eq!(vm.memory().load(g), 8, "all cells eventually arrive");
+        assert_eq!(stats.syscalls, 4);
+        assert_eq!(stats.faults.short_reads, 3);
+    }
+
+    #[test]
+    fn syscall_retrying_retries_transient_errors() {
+        use crate::fault::FaultPlan;
+        use crate::kernel::Device;
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(4);
+            let n = f.syscall_retrying(SyscallNo::Read, 0, buf, 4, 0);
+            f.store(g.raw() as i64, 0, n);
+        });
+        let p = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::parse("in:eintr:once=1").unwrap()),
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 1 }])
+        };
+        let mut vm = crate::interp::Vm::new(&p, cfg).unwrap();
+        let stats = vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 4, "retry masks the EINTR");
+        assert_eq!(stats.syscalls, 2);
+        assert_eq!(stats.faults.transient_errors, 1);
+    }
+
+    #[test]
+    fn syscall_full_stops_on_hard_device_failure() {
+        use crate::fault::FaultPlan;
+        use crate::kernel::Device;
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(8);
+            let n = f.syscall_full(SyscallNo::Read, 0, buf, 8, 0);
+            f.store(g.raw() as i64, 0, n);
+        });
+        let p = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::parse("fd0:eio:once=1").unwrap()),
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 1 }])
+        };
+        let mut vm = crate::interp::Vm::new(&p, cfg).unwrap();
+        let stats = vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(g), 0, "hard errors are not retried");
+        assert_eq!(stats.syscalls, 1);
+        assert_eq!(stats.faults.device_failures, 1);
     }
 
     #[test]

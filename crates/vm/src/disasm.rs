@@ -76,7 +76,12 @@ fn write_inst(out: &mut String, inst: &Inst, program: &Program) {
             if let Some(d) = dst {
                 let _ = write!(out, "r{d} = ");
             }
-            let _ = write!(out, "call @{} {}(", routine.index(), program.routine_name(*routine));
+            let _ = write!(
+                out,
+                "call @{} {}(",
+                routine.index(),
+                program.routine_name(*routine)
+            );
             for (i, a) in args.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
@@ -86,7 +91,12 @@ fn write_inst(out: &mut String, inst: &Inst, program: &Program) {
             out.push(')');
         }
         Inst::Spawn { routine, args, dst } => {
-            let _ = write!(out, "r{dst} = spawn @{} {}(", routine.index(), program.routine_name(*routine));
+            let _ = write!(
+                out,
+                "r{dst} = spawn @{} {}(",
+                routine.index(),
+                program.routine_name(*routine)
+            );
             for (i, a) in args.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
@@ -160,8 +170,7 @@ pub fn routine_listing(program: &Program, id: RoutineId) -> String {
     );
     for (bi, block) in routine.blocks.iter().enumerate() {
         let entry = if bi == routine.entry.index() as usize {
-            "  bb{bi}:  ; entry"
-                .replace("{bi}", &bi.to_string())
+            "  bb{bi}:  ; entry".replace("{bi}", &bi.to_string())
         } else {
             format!("  bb{bi}:")
         };

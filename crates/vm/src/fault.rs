@@ -1,0 +1,510 @@
+//! Deterministic kernel fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of I/O faults —
+//! short reads/writes, transient errors (EINTR/EAGAIN) and hard device
+//! failures (EIO) — evaluated by the kernel model on every syscall
+//! transfer. Because the VM serializes guest threads, the sequence of
+//! transfer attempts per run configuration is fixed, so a plan plus a
+//! seed reproduces the exact same fault sequence on every run: fault
+//! experiments are as replayable as fault-free ones.
+//!
+//! # Spec grammar
+//!
+//! A plan is written as comma- or semicolon-separated elements:
+//!
+//! ```text
+//! spec    := element ( (","|";") element )*
+//! element := "seed=" INT | rule
+//! rule    := selector* kind [ ":" trigger ]
+//! selector:= ("fd" INT | "in" | "out") ":"
+//! kind    := "shortread" | "shortwrite" | "eintr" | "eagain" | "eio"
+//! trigger := "every=" INT [ "+" INT ]   (period, optional phase)
+//!          | "p=" INT "/" INT           (probability num/den)
+//!          | "once=" INT                (a single 1-based op index)
+//! ```
+//!
+//! Examples: `fd0:shortread:every=3`, `in:eintr:p=1/8`,
+//! `seed=42,fd1:eio:once=100`. A rule with no trigger fires on every
+//! matching operation. Transfer operations are numbered from 1 per
+//! file descriptor; `every=N` fires on ops `N, 2N, 3N, …` and
+//! `every=N+P` shifts that schedule by `P`.
+
+use crate::kernel::Direction;
+use crate::rng::SmallRng;
+use std::fmt;
+
+/// What kind of fault to inject on a matching operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Deliver only part of the requested length (≥ 1 cell).
+    ShortRead,
+    /// Accept only part of the provided data (≥ 1 cell).
+    ShortWrite,
+    /// Fail the call with EINTR; retrying succeeds.
+    Eintr,
+    /// Fail the call with EAGAIN; retrying succeeds.
+    Eagain,
+    /// Fail the device permanently with EIO; all later operations on
+    /// the same descriptor fail too.
+    Eio,
+}
+
+impl FaultKind {
+    /// The spec-grammar token for this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ShortRead => "shortread",
+            FaultKind::ShortWrite => "shortwrite",
+            FaultKind::Eintr => "eintr",
+            FaultKind::Eagain => "eagain",
+            FaultKind::Eio => "eio",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When a matching rule actually fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fires on every `period`-th matching op, shifted by `phase`.
+    Every { period: u64, phase: u64 },
+    /// Fires with probability `num/den`, drawn from the plan's seeded
+    /// generator.
+    Prob { num: u32, den: u32 },
+    /// Fires exactly once, on the `at`-th matching op (1-based).
+    Once { at: u64 },
+}
+
+impl FaultTrigger {
+    /// Whether the trigger fires for the `op`-th matching operation
+    /// (1-based). `Prob` triggers consume one draw from `rng`.
+    fn fires(self, op: u64, rng: &mut SmallRng) -> bool {
+        match self {
+            FaultTrigger::Every { period, phase } => {
+                period > 0 && op % period == phase % period.max(1)
+            }
+            FaultTrigger::Prob { num, den } => den > 0 && rng.gen_ratio(num, den),
+            FaultTrigger::Once { at } => op == at,
+        }
+    }
+}
+
+impl fmt::Display for FaultTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTrigger::Every { period, phase: 0 } => write!(f, "every={period}"),
+            FaultTrigger::Every { period, phase } => write!(f, "every={period}+{phase}"),
+            FaultTrigger::Prob { num, den } => write!(f, "p={num}/{den}"),
+            FaultTrigger::Once { at } => write!(f, "once={at}"),
+        }
+    }
+}
+
+/// One fault-injection rule: which operations it matches and what it
+/// injects when its trigger fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Restrict to one file descriptor (`None` = any).
+    pub fd: Option<i64>,
+    /// Restrict to one transfer direction (`None` = any).
+    pub class: Option<Direction>,
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// When to inject it.
+    pub trigger: FaultTrigger,
+}
+
+impl FaultRule {
+    fn matches(&self, fd: i64, dir: Direction) -> bool {
+        self.fd.is_none_or(|want| want == fd) && self.class.is_none_or(|want| want == dir)
+    }
+}
+
+impl fmt::Display for FaultRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(fd) = self.fd {
+            write!(f, "fd{fd}:")?;
+        }
+        match self.class {
+            Some(Direction::Input) => f.write_str("in:")?,
+            Some(Direction::Output) => f.write_str("out:")?,
+            None => {}
+        }
+        write!(f, "{}:{}", self.kind, self.trigger)
+    }
+}
+
+/// A malformed fault-spec string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// What was wrong, mentioning the offending element.
+    pub message: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn spec_error(message: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        message: message.into(),
+    }
+}
+
+/// A seeded, reproducible fault-injection schedule.
+///
+/// Rules are evaluated in order; the first matching rule whose trigger
+/// fires decides the fault for an operation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for probabilistic triggers.
+    pub seed: u64,
+    /// Rules in priority order.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    /// Returns [`FaultSpecError`] naming the malformed element.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut plan = FaultPlan::default();
+        for element in spec
+            .split([',', ';'])
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+        {
+            if let Some(seed) = element.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| spec_error(format!("`{element}`: seed must be an integer")))?;
+                continue;
+            }
+            plan.rules.push(parse_rule(element)?);
+        }
+        if plan.rules.is_empty() {
+            return Err(spec_error("no rules given"));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for rule in &self.rules {
+            write!(f, ",{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_rule(element: &str) -> Result<FaultRule, FaultSpecError> {
+    let mut fd = None;
+    let mut class = None;
+    let mut kind = None;
+    let mut trigger = None;
+    for token in element.split(':').map(str::trim) {
+        if let Some(n) = token.strip_prefix("fd") {
+            if kind.is_some() {
+                return Err(spec_error(format!("`{element}`: selector after kind")));
+            }
+            fd = Some(
+                n.parse()
+                    .map_err(|_| spec_error(format!("`{element}`: bad fd number `{token}`")))?,
+            );
+        } else if token == "in" || token == "out" {
+            if kind.is_some() {
+                return Err(spec_error(format!("`{element}`: selector after kind")));
+            }
+            class = Some(if token == "in" {
+                Direction::Input
+            } else {
+                Direction::Output
+            });
+        } else if let Some(k) = parse_kind(token) {
+            if kind.is_some() {
+                return Err(spec_error(format!("`{element}`: more than one fault kind")));
+            }
+            kind = Some(k);
+        } else if kind.is_some() && trigger.is_none() {
+            trigger = Some(parse_trigger(element, token)?);
+        } else {
+            return Err(spec_error(format!(
+                "`{element}`: unknown token `{token}` (expected fd<N>, in, out, a fault \
+                 kind, or a trigger)"
+            )));
+        }
+    }
+    let kind = kind.ok_or_else(|| spec_error(format!("`{element}`: missing fault kind")))?;
+    Ok(FaultRule {
+        fd,
+        class,
+        kind,
+        trigger: trigger.unwrap_or(FaultTrigger::Every {
+            period: 1,
+            phase: 0,
+        }),
+    })
+}
+
+fn parse_kind(token: &str) -> Option<FaultKind> {
+    match token {
+        "shortread" | "short_read" => Some(FaultKind::ShortRead),
+        "shortwrite" | "short_write" => Some(FaultKind::ShortWrite),
+        "eintr" => Some(FaultKind::Eintr),
+        "eagain" => Some(FaultKind::Eagain),
+        "eio" => Some(FaultKind::Eio),
+        _ => None,
+    }
+}
+
+fn parse_trigger(element: &str, token: &str) -> Result<FaultTrigger, FaultSpecError> {
+    let int = |s: &str, what: &str| -> Result<u64, FaultSpecError> {
+        s.parse()
+            .map_err(|_| spec_error(format!("`{element}`: bad {what} `{s}`")))
+    };
+    if let Some(rest) = token.strip_prefix("every=") {
+        let (period, phase) = match rest.split_once('+') {
+            Some((p, ph)) => (int(p, "period")?, int(ph, "phase")?),
+            None => (int(rest, "period")?, 0),
+        };
+        if period == 0 {
+            return Err(spec_error(format!("`{element}`: period must be ≥ 1")));
+        }
+        return Ok(FaultTrigger::Every { period, phase });
+    }
+    if let Some(rest) = token
+        .strip_prefix("p=")
+        .or_else(|| token.strip_prefix("prob="))
+    {
+        let (num, den) = rest
+            .split_once('/')
+            .ok_or_else(|| spec_error(format!("`{element}`: probability must be num/den")))?;
+        let num = int(num, "probability numerator")? as u32;
+        let den = int(den, "probability denominator")? as u32;
+        if den == 0 || num > den {
+            return Err(spec_error(format!(
+                "`{element}`: probability must satisfy 0 ≤ num/den ≤ 1 with den ≥ 1"
+            )));
+        }
+        return Ok(FaultTrigger::Prob { num, den });
+    }
+    if let Some(rest) = token.strip_prefix("once=") {
+        let at = int(rest, "op index")?;
+        if at == 0 {
+            return Err(spec_error(format!(
+                "`{element}`: op indices are 1-based; once=0 never fires"
+            )));
+        }
+        return Ok(FaultTrigger::Once { at });
+    }
+    Err(spec_error(format!(
+        "`{element}`: unknown trigger `{token}` (expected every=, p=, or once=)"
+    )))
+}
+
+/// Runtime evaluation state for a [`FaultPlan`]: the plan plus the
+/// seeded generator behind its probabilistic triggers.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: SmallRng,
+}
+
+impl FaultState {
+    /// Creates fresh evaluation state for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        FaultState { plan, rng }
+    }
+
+    /// Decides the fault (if any) for the `op`-th transfer (1-based) on
+    /// `fd` in direction `dir`. First matching rule that fires wins.
+    pub fn decide(&mut self, fd: i64, dir: Direction, op: u64) -> Option<FaultKind> {
+        for rule in &self.plan.rules {
+            if rule.matches(fd, dir) && rule.trigger.fires(op, &mut self.rng) {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+}
+
+/// Counts of injected faults and errno deliveries over one run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Input transfers truncated below the requested length.
+    pub short_reads: u64,
+    /// Output transfers that accepted fewer cells than offered.
+    pub short_writes: u64,
+    /// EINTR/EAGAIN failures injected.
+    pub transient_errors: u64,
+    /// EIO failures delivered (first injection and every retry).
+    pub device_failures: u64,
+    /// Negative-errno returns delivered to guest registers, from any
+    /// cause (injected faults, bad descriptors, closed devices).
+    pub errno_returns: u64,
+}
+
+impl FaultCounters {
+    /// Total injected faults (excluding the errno-delivery tally, which
+    /// overlaps the error categories).
+    pub fn injected(&self) -> u64 {
+        self.short_reads + self.short_writes + self.transient_errors + self.device_failures
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "short reads {}, short writes {}, transient {}, device failures {}, errno returns {}",
+            self.short_reads,
+            self.short_writes,
+            self.transient_errors,
+            self.device_failures,
+            self.errno_returns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_examples() {
+        let plan = FaultPlan::parse("fd0:shortread:every=3").unwrap();
+        assert_eq!(
+            plan.rules,
+            vec![FaultRule {
+                fd: Some(0),
+                class: None,
+                kind: FaultKind::ShortRead,
+                trigger: FaultTrigger::Every {
+                    period: 3,
+                    phase: 0
+                },
+            }]
+        );
+        let plan = FaultPlan::parse("in:eintr:p=1/8").unwrap();
+        assert_eq!(plan.rules[0].class, Some(Direction::Input));
+        assert_eq!(plan.rules[0].trigger, FaultTrigger::Prob { num: 1, den: 8 });
+        let plan = FaultPlan::parse("seed=42, fd1:eio:once=100").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules[0].fd, Some(1));
+        assert_eq!(plan.rules[0].trigger, FaultTrigger::Once { at: 100 });
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let spec = "seed=7,fd0:in:shortread:every=3+1,out:shortwrite:p=1/4,eio:once=9";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn default_trigger_is_always() {
+        let plan = FaultPlan::parse("fd2:eagain").unwrap();
+        assert_eq!(
+            plan.rules[0].trigger,
+            FaultTrigger::Every {
+                period: 1,
+                phase: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "seed=9",
+            "fd0",
+            "fdx:eio",
+            "shortread:bogus=3",
+            "eintr:p=3/2",
+            "eintr:p=1/0",
+            "shortread:every=0",
+            "eio:once=0",
+            "shortread:eintr",
+            "shortread:fd0",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn every_trigger_fires_on_schedule() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = FaultTrigger::Every {
+            period: 3,
+            phase: 0,
+        };
+        let fired: Vec<u64> = (1..=9).filter(|&op| t.fires(op, &mut rng)).collect();
+        assert_eq!(fired, vec![3, 6, 9]);
+        let t = FaultTrigger::Every {
+            period: 3,
+            phase: 1,
+        };
+        let fired: Vec<u64> = (1..=9).filter(|&op| t.fires(op, &mut rng)).collect();
+        assert_eq!(fired, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn once_trigger_fires_exactly_once() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = FaultTrigger::Once { at: 4 };
+        let fired: Vec<u64> = (1..=8).filter(|&op| t.fires(op, &mut rng)).collect();
+        assert_eq!(fired, vec![4]);
+    }
+
+    #[test]
+    fn prob_trigger_is_seed_deterministic() {
+        let plan = FaultPlan::parse("seed=5,in:eintr:p=1/3").unwrap();
+        let run = |mut s: FaultState| -> Vec<bool> {
+            (1..=32)
+                .map(|op| s.decide(0, Direction::Input, op).is_some())
+                .collect()
+        };
+        let a = run(FaultState::new(plan.clone()));
+        let b = run(FaultState::new(plan.clone()));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        let other = FaultPlan::parse("seed=6,in:eintr:p=1/3").unwrap();
+        assert_ne!(run(FaultState::new(other)), a, "different seed diverges");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::parse("fd0:eintr:once=2,eio").unwrap();
+        let mut s = FaultState::new(plan);
+        assert_eq!(s.decide(0, Direction::Input, 2), Some(FaultKind::Eintr));
+        assert_eq!(s.decide(0, Direction::Input, 3), Some(FaultKind::Eio));
+        assert_eq!(s.decide(1, Direction::Output, 1), Some(FaultKind::Eio));
+    }
+
+    #[test]
+    fn selectors_restrict_matching() {
+        let plan = FaultPlan::parse("fd1:out:shortwrite").unwrap();
+        let mut s = FaultState::new(plan);
+        assert_eq!(
+            s.decide(1, Direction::Output, 1),
+            Some(FaultKind::ShortWrite)
+        );
+        assert_eq!(s.decide(1, Direction::Input, 1), None);
+        assert_eq!(s.decide(0, Direction::Output, 1), None);
+    }
+}

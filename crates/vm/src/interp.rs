@@ -10,30 +10,84 @@
 use crate::ir::{Inst, Operand, Program, Reg, Terminator, ValidateError};
 use crate::kernel::{Direction, Kernel, KernelError, Syscall};
 use crate::memory::Memory;
+use crate::rng::SmallRng;
 use crate::shadow::ADDRESS_LIMIT;
 use crate::stats::{CostKind, RunConfig, RunStats, SchedPolicy};
 use crate::tool::Tool;
 use drms_trace::{Addr, BlockId, RoutineId, SyncOp, ThreadId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
 
+/// The resource a blocked thread is waiting on — one node of the
+/// wait-graph reported by [`RunError::Deadlock`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WaitTarget {
+    /// Waiting for a semaphore to be signalled.
+    Semaphore(u32),
+    /// Waiting to acquire a mutex, held by `owner` (if anyone).
+    Mutex { mutex: u32, owner: Option<ThreadId> },
+    /// Waiting on a condition variable.
+    Condvar(u32),
+    /// Waiting for the given thread to exit.
+    Join(ThreadId),
+}
+
+impl fmt::Display for WaitTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitTarget::Semaphore(s) => write!(f, "semaphore {s}"),
+            WaitTarget::Mutex {
+                mutex,
+                owner: Some(o),
+            } => write!(f, "mutex {mutex} (held by {o})"),
+            WaitTarget::Mutex { mutex, owner: None } => write!(f, "mutex {mutex} (unowned)"),
+            WaitTarget::Condvar(c) => write!(f, "condvar {c}"),
+            WaitTarget::Join(t) => write!(f, "join of {t}"),
+        }
+    }
+}
+
+/// One entry of the deadlock wait-graph: a thread and the resource it
+/// is blocked on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlockedThread {
+    /// The blocked thread.
+    pub thread: ThreadId,
+    /// What it is waiting on.
+    pub waiting_on: WaitTarget,
+}
+
+impl fmt::Display for BlockedThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} waiting on {}", self.thread, self.waiting_on)
+    }
+}
+
 /// Errors aborting a guest execution.
+///
+/// Kernel I/O failures are *not* run errors: the VM delivers them to
+/// the guest as negative errno values, like real syscalls (see
+/// [`KernelError::errno`]). When [`Vm::run`] does return an error, the
+/// statistics gathered so far remain available via [`Vm::stats`] and
+/// the attached tool's `on_finish` hook has run, so partial profiles
+/// survive the abort.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RunError {
     /// The program failed structural validation.
     Validate(ValidateError),
-    /// All live threads are blocked.
-    Deadlock { blocked: Vec<ThreadId> },
-    /// The configured instruction budget was exhausted.
+    /// All live threads are blocked; `blocked` is the per-thread
+    /// wait-graph naming the resource each one waits on.
+    Deadlock { blocked: Vec<BlockedThread> },
+    /// The watchdog instruction budget was exhausted.
     InstructionLimit { limit: u64 },
     /// Integer division or remainder by zero.
     DivisionByZero { routine: RoutineId },
     /// A memory access targeted a non-positive or out-of-range address.
     BadAddress { value: i64 },
-    /// A kernel operation failed.
-    Kernel(KernelError),
+    /// A thread's frame stack was empty where a live frame was
+    /// required — a malformed guest program, reported instead of
+    /// panicking.
+    CorruptStack { thread: ThreadId },
     /// A thread unlocked (or cond-waited on) a mutex it does not hold.
     MutexNotOwned { mutex: u32, thread: ThreadId },
     /// A thread re-locked a mutex it already holds.
@@ -47,7 +101,11 @@ impl fmt::Display for RunError {
         match self {
             RunError::Validate(e) => write!(f, "invalid program: {e}"),
             RunError::Deadlock { blocked } => {
-                write!(f, "deadlock: {} thread(s) blocked forever", blocked.len())
+                write!(f, "deadlock: {} thread(s) blocked forever", blocked.len())?;
+                for (i, b) in blocked.iter().enumerate() {
+                    write!(f, "{} {b}", if i == 0 { ":" } else { ";" })?;
+                }
+                Ok(())
             }
             RunError::InstructionLimit { limit } => {
                 write!(f, "instruction budget of {limit} exhausted")
@@ -56,7 +114,9 @@ impl fmt::Display for RunError {
                 write!(f, "division by zero in routine {routine}")
             }
             RunError::BadAddress { value } => write!(f, "bad memory address {value}"),
-            RunError::Kernel(e) => write!(f, "kernel: {e}"),
+            RunError::CorruptStack { thread } => {
+                write!(f, "{thread} has no live frame (corrupt guest stack)")
+            }
             RunError::MutexNotOwned { mutex, thread } => {
                 write!(f, "{thread} released mutex {mutex} it does not hold")
             }
@@ -73,12 +133,6 @@ impl std::error::Error for RunError {}
 impl From<ValidateError> for RunError {
     fn from(e: ValidateError) -> Self {
         RunError::Validate(e)
-    }
-}
-
-impl From<KernelError> for RunError {
-    fn from(e: KernelError) -> Self {
-        RunError::Kernel(e)
     }
 }
 
@@ -116,6 +170,9 @@ struct ThreadCtx {
     jitter: SmallRng,
     resume: Option<Resume>,
     join_waiters: Vec<usize>,
+    /// Set while `state == Blocked`: the wait-graph edge for deadlock
+    /// diagnostics.
+    waiting_on: Option<WaitTarget>,
 }
 
 struct Semaphore {
@@ -186,7 +243,10 @@ impl<'p> Vm<'p> {
         for (base, data) in program.globals() {
             mem.store_slice(*base, data);
         }
-        let kernel = Kernel::with_devices(config.devices.clone());
+        let mut kernel = Kernel::with_devices(config.devices.clone());
+        if let Some(plan) = &config.faults {
+            kernel.set_fault_plan(plan.clone());
+        }
         let sems = program
             .semaphores()
             .iter()
@@ -231,6 +291,13 @@ impl<'p> Vm<'p> {
         &self.kernel
     }
 
+    /// Statistics gathered so far. After [`Vm::run`] returns — even
+    /// with an error — these are finalized, so aborted runs still
+    /// expose instruction, block and fault counts.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
     /// Runs the program to completion, delivering all instrumentation
     /// events to `tool`, and returns execution statistics.
     ///
@@ -238,24 +305,40 @@ impl<'p> Vm<'p> {
     /// an essentially uninstrumented ("native") run, while `&mut dyn Tool`
     /// models a dynamically dispatched tool plugin.
     ///
+    /// The run degrades gracefully on failure: whatever the outcome,
+    /// statistics are finalized (available via [`Vm::stats`]) and the
+    /// tool's `on_finish` hook runs, so a profiler attached to an
+    /// aborted guest still holds a valid partial profile.
+    ///
     /// # Errors
     /// Any [`RunError`] raised by the guest (deadlock, bad address,
-    /// instruction budget, kernel failure, …).
+    /// watchdog budget, corrupt stack, …). Kernel I/O failures are not
+    /// errors here; they surface inside the guest as negative errno
+    /// register values.
     pub fn run<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<RunStats, RunError> {
+        let result = self.run_inner(tool);
+        self.stats.guest_pages = self.mem.page_count() as u64;
+        self.stats.guest_bytes = self.mem.backing_bytes();
+        self.stats.threads = self.threads.len() as u32;
+        self.stats.per_thread_blocks = self.threads.iter().map(|t| t.blocks).collect();
+        self.stats.per_thread_nanos = self.threads.iter().map(|t| t.nanos).collect();
+        self.stats.basic_blocks = self.stats.per_thread_blocks.iter().sum();
+        self.stats.faults = self.kernel.fault_counters();
+        tool.on_finish();
+        result.map(|()| self.stats.clone())
+    }
+
+    fn run_inner<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<(), RunError> {
         self.spawn_thread(self.program.main(), Vec::new(), None, tool);
         let mut current: Option<usize> = None;
         loop {
             let Some(next) = self.pick_runnable() else {
                 if self.threads.iter().all(|t| t.state == ThreadState::Exited) {
-                    break;
+                    return Ok(());
                 }
-                let blocked = self
-                    .threads
-                    .iter()
-                    .filter(|t| t.state == ThreadState::Blocked)
-                    .map(|t| t.id)
-                    .collect();
-                return Err(RunError::Deadlock { blocked });
+                return Err(RunError::Deadlock {
+                    blocked: self.wait_graph(),
+                });
             };
             if current != Some(next) {
                 if current.is_some() {
@@ -269,6 +352,9 @@ impl<'p> Vm<'p> {
             let mut blocks_used = 0u32;
             loop {
                 if self.stats.instructions >= self.config.max_instructions {
+                    // Watchdog: terminate gracefully rather than spin
+                    // forever; the caller still gets finalized stats
+                    // and a flushable partial profile.
                     return Err(RunError::InstructionLimit {
                         limit: self.config.max_instructions,
                     });
@@ -285,14 +371,35 @@ impl<'p> Vm<'p> {
                 }
             }
         }
-        self.stats.guest_pages = self.mem.page_count() as u64;
-        self.stats.guest_bytes = self.mem.backing_bytes();
-        self.stats.threads = self.threads.len() as u32;
-        self.stats.per_thread_blocks = self.threads.iter().map(|t| t.blocks).collect();
-        self.stats.per_thread_nanos = self.threads.iter().map(|t| t.nanos).collect();
-        self.stats.basic_blocks = self.stats.per_thread_blocks.iter().sum();
-        tool.on_finish();
-        Ok(self.stats.clone())
+    }
+
+    /// The wait-graph of currently blocked threads, with mutex
+    /// ownership re-read at report time (ownership may have migrated
+    /// since the thread blocked).
+    fn wait_graph(&self) -> Vec<BlockedThread> {
+        self.threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Blocked)
+            .map(|t| {
+                let waiting_on = match t.waiting_on {
+                    Some(WaitTarget::Mutex { mutex, .. }) => WaitTarget::Mutex {
+                        mutex,
+                        owner: self.mutexes[mutex as usize]
+                            .owner
+                            .map(|o| self.threads[o].id),
+                    },
+                    Some(w) => w,
+                    // Unreachable for threads blocked through
+                    // `block_thread`, but degrade to a self-join edge
+                    // rather than panicking.
+                    None => WaitTarget::Join(t.id),
+                };
+                BlockedThread {
+                    thread: t.id,
+                    waiting_on,
+                }
+            })
+            .collect()
     }
 
     fn pick_runnable(&mut self) -> Option<usize> {
@@ -350,6 +457,7 @@ impl<'p> Vm<'p> {
             }),
             resume: None,
             join_waiters: Vec::new(),
+            waiting_on: None,
         });
         let parent_id = parent.map(|p| self.threads[p].id);
         self.stats.events += 2;
@@ -358,14 +466,37 @@ impl<'p> Vm<'p> {
         idx
     }
 
+    /// The innermost live frame of thread `t`.
+    ///
+    /// # Errors
+    /// [`RunError::CorruptStack`] if the frame stack is empty — a
+    /// malformed guest, reported structurally instead of panicking.
     #[inline]
-    fn eval(&self, t: usize, op: Operand) -> i64 {
+    fn frame(&self, t: usize) -> Result<&Frame, RunError> {
+        let th = &self.threads[t];
+        th.frames
+            .last()
+            .ok_or(RunError::CorruptStack { thread: th.id })
+    }
+
+    /// Mutable access to the innermost live frame of thread `t`.
+    ///
+    /// # Errors
+    /// [`RunError::CorruptStack`] on an empty frame stack.
+    #[inline]
+    fn frame_mut(&mut self, t: usize) -> Result<&mut Frame, RunError> {
+        let th = &mut self.threads[t];
+        let id = th.id;
+        th.frames
+            .last_mut()
+            .ok_or(RunError::CorruptStack { thread: id })
+    }
+
+    #[inline]
+    fn eval(&self, t: usize, op: Operand) -> Result<i64, RunError> {
         match op {
-            Operand::Imm(v) => v,
-            Operand::Reg(r) => {
-                let frame = self.threads[t].frames.last().expect("live frame");
-                frame.regs[r as usize]
-            }
+            Operand::Imm(v) => Ok(v),
+            Operand::Reg(r) => Ok(self.frame(t)?.regs[r as usize]),
         }
     }
 
@@ -397,8 +528,13 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn enter_block<T: Tool + ?Sized>(&mut self, t: usize, block: usize, tool: &mut T) {
-        let frame = self.threads[t].frames.last_mut().expect("live frame");
+    fn enter_block<T: Tool + ?Sized>(
+        &mut self,
+        t: usize,
+        block: usize,
+        tool: &mut T,
+    ) -> Result<(), RunError> {
+        let frame = self.frame_mut(t)?;
         frame.block = block;
         frame.ip = 0;
         frame.pending_entry = false;
@@ -409,15 +545,18 @@ impl<'p> Vm<'p> {
             self.stats.events += 1;
             tool.on_block(self.threads[t].id, routine, BlockId::new(block as u32));
         }
+        Ok(())
     }
 
     fn wake(&mut self, t: usize) {
         debug_assert_eq!(self.threads[t].state, ThreadState::Blocked);
         self.threads[t].state = ThreadState::Runnable;
+        self.threads[t].waiting_on = None;
     }
 
-    fn block_thread(&mut self, t: usize) -> Step {
+    fn block_thread(&mut self, t: usize, target: WaitTarget) -> Step {
         self.threads[t].state = ThreadState::Blocked;
+        self.threads[t].waiting_on = Some(target);
         Step::Blocked
     }
 
@@ -437,11 +576,11 @@ impl<'p> Vm<'p> {
     /// Executes one instruction (or terminator) of thread `t`.
     fn step<T: Tool + ?Sized>(&mut self, t: usize, tool: &mut T) -> Result<Step, RunError> {
         let (pending, routine_id, block_idx, ip) = {
-            let frame = self.threads[t].frames.last().expect("live frame");
+            let frame = self.frame(t)?;
             (frame.pending_entry, frame.routine, frame.block, frame.ip)
         };
         if pending {
-            self.enter_block(t, block_idx, tool);
+            self.enter_block(t, block_idx, tool)?;
             return Ok(Step::BlockEntered);
         }
         self.stats.instructions += 1;
@@ -455,16 +594,14 @@ impl<'p> Vm<'p> {
         self.exec_inst(t, &block.insts[ip], tool)
     }
 
-    fn advance(&mut self, t: usize) {
-        self.threads[t].frames.last_mut().expect("live frame").ip += 1;
+    fn advance(&mut self, t: usize) -> Result<(), RunError> {
+        self.frame_mut(t)?.ip += 1;
+        Ok(())
     }
 
-    fn set_reg(&mut self, t: usize, r: Reg, v: i64) {
-        self.threads[t]
-            .frames
-            .last_mut()
-            .expect("live frame")
-            .regs[r as usize] = v;
+    fn set_reg(&mut self, t: usize, r: Reg, v: i64) -> Result<(), RunError> {
+        self.frame_mut(t)?.regs[r as usize] = v;
+        Ok(())
     }
 
     fn emit_sync<T: Tool + ?Sized>(&mut self, t: usize, op: SyncOp, tool: &mut T) {
@@ -481,7 +618,7 @@ impl<'p> Vm<'p> {
         match *term {
             Terminator::Jump(b) => {
                 self.add_inst_cost(t, 1);
-                self.enter_block(t, b.index() as usize, tool);
+                self.enter_block(t, b.index() as usize, tool)?;
                 Ok(Step::BlockEntered)
             }
             Terminator::Branch {
@@ -490,18 +627,21 @@ impl<'p> Vm<'p> {
                 else_block,
             } => {
                 self.add_inst_cost(t, 1);
-                let taken = if self.eval(t, cond) != 0 {
+                let taken = if self.eval(t, cond)? != 0 {
                     then_block
                 } else {
                     else_block
                 };
-                self.enter_block(t, taken.index() as usize, tool);
+                self.enter_block(t, taken.index() as usize, tool)?;
                 Ok(Step::BlockEntered)
             }
             Terminator::Ret(v) => {
-                let value = v.map(|op| self.eval(t, op)).unwrap_or(0);
-                let frame = self.threads[t].frames.pop().expect("live frame");
+                let value = v.map(|op| self.eval(t, op)).transpose()?.unwrap_or(0);
                 let id = self.threads[t].id;
+                let frame = self.threads[t]
+                    .frames
+                    .pop()
+                    .ok_or(RunError::CorruptStack { thread: id })?;
                 let cost = self.cost_of(t);
                 self.stats.events += 1;
                 tool.on_return(id, frame.routine, cost);
@@ -509,13 +649,13 @@ impl<'p> Vm<'p> {
                     return Ok(self.exit_thread(t, tool));
                 }
                 if let Some(dst) = frame.ret_dst {
-                    self.set_reg(t, dst, value);
+                    self.set_reg(t, dst, value)?;
                 }
                 // The caller's ip was advanced past the call instruction
                 // when the frame was pushed; the continuation resumes there
                 // and counts as a fresh basic block, as dynamic binary
                 // translation splits blocks at call sites.
-                let caller = self.threads[t].frames.last().expect("caller frame");
+                let caller = self.frame(t)?;
                 let (cont_routine, cont_block) = (caller.routine, caller.block);
                 self.threads[t].blocks += 1;
                 self.add_inst_cost(t, 2);
@@ -536,52 +676,50 @@ impl<'p> Vm<'p> {
     ) -> Result<Step, RunError> {
         match *inst {
             Inst::Mov { dst, src } => {
-                let v = self.eval(t, src);
-                self.set_reg(t, dst, v);
+                let v = self.eval(t, src)?;
+                self.set_reg(t, dst, v)?;
                 self.add_inst_cost(t, 1);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Bin { op, dst, lhs, rhs } => {
-                let a = self.eval(t, lhs);
-                let b = self.eval(t, rhs);
-                let routine = self.threads[t].frames.last().expect("live frame").routine;
-                let v = op
-                    .apply(a, b)
-                    .ok_or(RunError::DivisionByZero { routine })?;
-                self.set_reg(t, dst, v);
+                let a = self.eval(t, lhs)?;
+                let b = self.eval(t, rhs)?;
+                let routine = self.frame(t)?.routine;
+                let v = op.apply(a, b).ok_or(RunError::DivisionByZero { routine })?;
+                self.set_reg(t, dst, v)?;
                 self.add_inst_cost(t, 1);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Load { dst, base, offset } => {
-                let addr = self.addr_of(self.eval(t, base), self.eval(t, offset))?;
+                let addr = self.addr_of(self.eval(t, base)?, self.eval(t, offset)?)?;
                 let id = self.threads[t].id;
                 self.stats.events += 1;
                 tool.on_read(id, addr, 1);
                 let v = self.mem.load(addr);
-                self.set_reg(t, dst, v);
+                self.set_reg(t, dst, v)?;
                 self.add_inst_cost(t, 3);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Store { base, offset, src } => {
-                let addr = self.addr_of(self.eval(t, base), self.eval(t, offset))?;
-                let v = self.eval(t, src);
+                let addr = self.addr_of(self.eval(t, base)?, self.eval(t, offset)?)?;
+                let v = self.eval(t, src)?;
                 let id = self.threads[t].id;
                 self.stats.events += 1;
                 tool.on_write(id, addr, 1);
                 self.mem.store(addr, v);
                 self.add_inst_cost(t, 3);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Alloc { dst, cells } => {
-                let n = self.eval(t, cells).max(0) as u64;
+                let n = self.eval(t, cells)?.max(0) as u64;
                 let base = self.mem.alloc(n);
-                self.set_reg(t, dst, base.raw() as i64);
+                self.set_reg(t, dst, base.raw() as i64)?;
                 self.add_inst_cost(t, 4);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Call {
@@ -589,8 +727,11 @@ impl<'p> Vm<'p> {
                 ref args,
                 dst,
             } => {
-                let vals: Vec<i64> = args.iter().map(|&a| self.eval(t, a)).collect();
-                self.advance(t); // resume after the call on return
+                let vals = args
+                    .iter()
+                    .map(|&a| self.eval(t, a))
+                    .collect::<Result<Vec<i64>, RunError>>()?;
+                self.advance(t)?; // resume after the call on return
                 let callee = self.program.routine(routine);
                 let mut regs = vec![0i64; callee.regs as usize];
                 regs[..vals.len()].copy_from_slice(&vals);
@@ -607,7 +748,7 @@ impl<'p> Vm<'p> {
                     pending_entry: false,
                 });
                 self.add_inst_cost(t, 5);
-                self.enter_block(t, callee.entry.index() as usize, tool);
+                self.enter_block(t, callee.entry.index() as usize, tool)?;
                 Ok(Step::BlockEntered)
             }
             Inst::Spawn {
@@ -615,17 +756,20 @@ impl<'p> Vm<'p> {
                 ref args,
                 dst,
             } => {
-                let vals: Vec<i64> = args.iter().map(|&a| self.eval(t, a)).collect();
+                let vals = args
+                    .iter()
+                    .map(|&a| self.eval(t, a))
+                    .collect::<Result<Vec<i64>, RunError>>()?;
                 let child = self.spawn_thread(routine, vals, Some(t), tool);
                 let child_id = self.threads[child].id;
-                self.set_reg(t, dst, child_id.index() as i64);
+                self.set_reg(t, dst, child_id.index() as i64)?;
                 self.emit_sync(t, SyncOp::Spawn { child: child_id }, tool);
                 self.add_inst_cost(t, 20);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Join { thread } => {
-                let v = self.eval(t, thread);
+                let v = self.eval(t, thread)?;
                 let target = usize::try_from(v)
                     .ok()
                     .filter(|&i| i < self.threads.len())
@@ -634,11 +778,12 @@ impl<'p> Vm<'p> {
                     let child = self.threads[target].id;
                     self.emit_sync(t, SyncOp::Join { child }, tool);
                     self.add_inst_cost(t, 5);
-                    self.advance(t);
+                    self.advance(t)?;
                     Ok(Step::Continue)
                 } else {
                     self.threads[target].join_waiters.push(t);
-                    Ok(self.block_thread(t))
+                    let child = self.threads[target].id;
+                    Ok(self.block_thread(t, WaitTarget::Join(child)))
                 }
             }
             Inst::SemWait { sem } => {
@@ -646,11 +791,11 @@ impl<'p> Vm<'p> {
                     self.sems[sem as usize].value -= 1;
                     self.emit_sync(t, SyncOp::SemWait(sem), tool);
                     self.add_inst_cost(t, 8);
-                    self.advance(t);
+                    self.advance(t)?;
                     Ok(Step::Continue)
                 } else {
                     self.sems[sem as usize].waiters.push_back(t);
-                    Ok(self.block_thread(t))
+                    Ok(self.block_thread(t, WaitTarget::Semaphore(sem)))
                 }
             }
             Inst::SemSignal { sem } => {
@@ -660,7 +805,7 @@ impl<'p> Vm<'p> {
                 }
                 self.emit_sync(t, SyncOp::SemSignal(sem), tool);
                 self.add_inst_cost(t, 8);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::MutexLock { mutex } => self.lock_mutex(t, mutex, false, tool),
@@ -678,7 +823,7 @@ impl<'p> Vm<'p> {
                 }
                 self.emit_sync(t, SyncOp::MutexUnlock(mutex), tool);
                 self.add_inst_cost(t, 6);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::CondWait { cond, mutex } => {
@@ -699,7 +844,7 @@ impl<'p> Vm<'p> {
                 self.conds[cond as usize].waiters.push_back(t);
                 self.threads[t].resume = Some(Resume::ReacquireMutex(mutex));
                 self.emit_sync(t, SyncOp::CondWait { cond, mutex }, tool);
-                Ok(self.block_thread(t))
+                Ok(self.block_thread(t, WaitTarget::Condvar(cond)))
             }
             Inst::CondSignal { cond } => {
                 if let Some(w) = self.conds[cond as usize].waiters.pop_front() {
@@ -707,7 +852,7 @@ impl<'p> Vm<'p> {
                 }
                 self.emit_sync(t, SyncOp::CondSignal(cond), tool);
                 self.add_inst_cost(t, 6);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::CondBroadcast { cond } => {
@@ -716,21 +861,21 @@ impl<'p> Vm<'p> {
                 }
                 self.emit_sync(t, SyncOp::CondBroadcast(cond), tool);
                 self.add_inst_cost(t, 6);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Syscall { call, dst } => self.exec_syscall(t, call, dst, tool),
             Inst::Rand { dst, bound } => {
-                let b = self.eval(t, bound).max(1);
+                let b = self.eval(t, bound)?.max(1);
                 let v = self.threads[t].rng.gen_range(0..b);
-                self.set_reg(t, dst, v);
+                self.set_reg(t, dst, v)?;
                 self.add_inst_cost(t, 2);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Inst::Yield => {
                 self.add_inst_cost(t, 1);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Yielded)
             }
         }
@@ -752,18 +897,43 @@ impl<'p> Vm<'p> {
                 }
                 self.emit_sync(t, SyncOp::MutexLock(mutex), tool);
                 self.add_inst_cost(t, 6);
-                self.advance(t);
+                self.advance(t)?;
                 Ok(Step::Continue)
             }
             Some(owner) if owner == t => Err(RunError::MutexReentry {
                 mutex,
                 thread: self.threads[t].id,
             }),
-            Some(_) => {
+            Some(owner) => {
                 m.waiters.push_back(t);
-                Ok(self.block_thread(t))
+                let owner_id = self.threads[owner].id;
+                Ok(self.block_thread(
+                    t,
+                    WaitTarget::Mutex {
+                        mutex,
+                        owner: Some(owner_id),
+                    },
+                ))
             }
         }
+    }
+
+    /// Completes a failed syscall POSIX-style: the destination register
+    /// receives `-errno` and execution continues. Kernel failures never
+    /// abort the run.
+    fn deliver_errno(
+        &mut self,
+        t: usize,
+        dst: Option<Reg>,
+        e: &KernelError,
+    ) -> Result<Step, RunError> {
+        self.kernel.count_errno_return();
+        if let Some(d) = dst {
+            self.set_reg(t, d, -e.errno())?;
+        }
+        self.add_inst_cost(t, 30);
+        self.advance(t)?;
+        Ok(Step::Continue)
     }
 
     fn exec_syscall<T: Tool + ?Sized>(
@@ -773,18 +943,33 @@ impl<'p> Vm<'p> {
         dst: Option<Reg>,
         tool: &mut T,
     ) -> Result<Step, RunError> {
-        let fd = self.eval(t, call.fd);
-        let len = self.eval(t, call.len).max(0) as u32;
-        let buf = self.addr_of(self.eval(t, call.buf), 0)?;
+        let fd = self.eval(t, call.fd)?;
+        let len = self.eval(t, call.len)?.max(0) as u32;
+        let buf = self.addr_of(self.eval(t, call.buf)?, 0)?;
         let offset = call
             .no
             .is_positioned()
-            .then(|| self.eval(t, call.offset).max(0) as u64);
+            .then(|| self.eval(t, call.offset))
+            .transpose()?
+            .map(|o| o.max(0) as u64);
         self.stats.syscalls += 1;
         let id = self.threads[t].id;
-        let transferred = match call.no.direction() {
+        // The fault gate decides the effective transfer length (short
+        // reads/writes) or fails the call with an errno, *before* any
+        // kernelToUser/userToKernel event is emitted — events must tag
+        // only cells the kernel actually moves, or drms would count
+        // input the guest never received.
+        let dir = call.no.direction();
+        let effective = match self.kernel.prepare_transfer(fd, dir, len) {
+            Ok(n) => n,
+            Err(e) => return self.deliver_errno(t, dst, &e),
+        };
+        let transferred = match dir {
             Direction::Input => {
-                let data = self.kernel.input(fd, len, offset)?;
+                let data = match self.kernel.input(fd, effective, offset) {
+                    Ok(d) => d,
+                    Err(e) => return self.deliver_errno(t, dst, &e),
+                };
                 let n = data.len() as u32;
                 if n > 0 {
                     // The kernel writes external data into the user buffer.
@@ -795,22 +980,26 @@ impl<'p> Vm<'p> {
                 n
             }
             Direction::Output => {
-                if len > 0 {
-                    // The kernel reads the user buffer on the thread's
-                    // behalf — "as if the system call were a normal
-                    // subroutine" (Fig. 9).
+                let data = self.mem.load_slice(buf, effective);
+                let n = match self.kernel.output(fd, &data, offset) {
+                    Ok(n) => n,
+                    Err(e) => return self.deliver_errno(t, dst, &e),
+                };
+                if n > 0 {
+                    // The kernel reads the accepted prefix of the user
+                    // buffer on the thread's behalf — "as if the system
+                    // call were a normal subroutine" (Fig. 9).
                     self.stats.events += 1;
-                    tool.on_user_to_kernel(id, buf, len);
+                    tool.on_user_to_kernel(id, buf, n);
                 }
-                let data = self.mem.load_slice(buf, len);
-                self.kernel.output(fd, &data, offset)?
+                n
             }
         };
         if let Some(d) = dst {
-            self.set_reg(t, d, transferred as i64);
+            self.set_reg(t, d, transferred as i64)?;
         }
         self.add_inst_cost(t, 30 + 2 * transferred as u64);
-        self.advance(t);
+        self.advance(t)?;
         Ok(Step::Continue)
     }
 }
@@ -1124,16 +1313,214 @@ mod tests {
     }
 
     #[test]
-    fn unknown_fd_surfaces_kernel_error() {
-        let err = run_main(
-            |f| {
-                let buf = f.alloc(2);
-                let _ = f.syscall(crate::kernel::SyscallNo::Read, 7, buf, 2, 0);
-            },
-            RunConfig::default(),
-        )
-        .unwrap_err();
-        assert!(matches!(err, RunError::Kernel(_)));
+    fn unknown_fd_returns_ebadf_to_the_guest() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(2);
+            let n = f.syscall(crate::kernel::SyscallNo::Read, 7, buf, 2, 0);
+            f.store(g.raw() as i64, 0, n);
+        });
+        let program = pb.finish(main).unwrap();
+        let mut vm = Vm::new(&program, RunConfig::default()).unwrap();
+        vm.run(&mut NullTool)
+            .expect("kernel errors do not abort the run");
+        assert_eq!(
+            vm.memory().load(drms_trace::Addr::new(0x100)),
+            -9,
+            "guest sees -EBADF"
+        );
+        assert_eq!(vm.kernel().fault_counters().errno_returns, 1);
+    }
+
+    #[test]
+    fn deadlock_error_names_waited_resources() {
+        let mut pb = ProgramBuilder::new();
+        let sem = pb.semaphore(0);
+        let main = pb.function("main", 0, |f| {
+            f.sem_wait(sem); // never signalled
+        });
+        let program = pb.finish(main).unwrap();
+        let err = run_program(&program, RunConfig::default(), &mut NullTool).unwrap_err();
+        match &err {
+            RunError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].waiting_on, WaitTarget::Semaphore(sem));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert!(err.to_string().contains("semaphore 0"), "{err}");
+    }
+
+    #[test]
+    fn mutex_deadlock_reports_the_owner() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.mutex();
+        let sem = pb.semaphore(0);
+        let holder = pb.function("holder", 0, |f| {
+            f.lock(m);
+            f.sem_wait(sem); // parks forever while holding the mutex
+            f.unlock(m);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let _h = f.spawn(holder, &[]);
+            // Let the holder take the lock first.
+            f.for_range(0, 200, |f, i| {
+                let _ = f.add(i, 1);
+            });
+            f.lock(m);
+        });
+        let program = pb.finish(main).unwrap();
+        let err = run_program(&program, RunConfig::default(), &mut NullTool).unwrap_err();
+        match &err {
+            RunError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 2);
+                let holder_id = ThreadId::new(1);
+                assert!(blocked
+                    .iter()
+                    .any(|b| b.thread == holder_id && b.waiting_on == WaitTarget::Semaphore(sem)));
+                assert!(blocked.iter().any(|b| b.waiting_on
+                    == WaitTarget::Mutex {
+                        mutex: m,
+                        owner: Some(holder_id),
+                    }));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert!(err.to_string().contains("held by"), "{err}");
+    }
+
+    #[test]
+    fn join_cycle_deadlock_names_the_join_target() {
+        let mut pb = ProgramBuilder::new();
+        let waiter = pb.function("waiter", 0, |f| {
+            // Join the main thread (id 0): a join cycle.
+            f.join(0);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let h = f.spawn(waiter, &[]);
+            f.join(h);
+        });
+        let program = pb.finish(main).unwrap();
+        let err = run_program(&program, RunConfig::default(), &mut NullTool).unwrap_err();
+        match &err {
+            RunError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 2);
+                let targets: Vec<WaitTarget> = blocked.iter().map(|b| b.waiting_on).collect();
+                assert!(targets.contains(&WaitTarget::Join(ThreadId::new(0))));
+                assert!(targets.contains(&WaitTarget::Join(ThreadId::new(1))));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert!(err.to_string().contains("join of"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_abort_still_finalizes_stats_and_finishes_the_tool() {
+        struct FinishProbe {
+            finished: bool,
+        }
+        impl drms_trace::EventSink for FinishProbe {
+            fn on_finish(&mut self) {
+                self.finished = true;
+            }
+        }
+        impl Tool for FinishProbe {
+            fn name(&self) -> &str {
+                "finish-probe"
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| {
+            let head = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let _ = f.add(1, 1);
+            f.jump(head);
+        });
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            max_instructions: 5_000,
+            ..RunConfig::default()
+        };
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        let mut probe = FinishProbe { finished: false };
+        let err = vm.run(&mut probe).unwrap_err();
+        assert_eq!(err, RunError::InstructionLimit { limit: 5_000 });
+        assert!(probe.finished, "on_finish runs even on abort");
+        let stats = vm.stats();
+        assert!(stats.instructions >= 5_000);
+        assert!(stats.basic_blocks > 0);
+        assert_eq!(stats.per_thread_blocks.len(), 1);
+        assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn injected_short_reads_tag_only_delivered_cells() {
+        use crate::fault::FaultPlan;
+        struct K2uProbe {
+            cells: Vec<u32>,
+        }
+        impl drms_trace::EventSink for K2uProbe {
+            fn on_kernel_to_user(&mut self, _t: ThreadId, _addr: Addr, len: u32) {
+                self.cells.push(len);
+            }
+        }
+        impl Tool for K2uProbe {
+            fn name(&self) -> &str {
+                "k2u-probe"
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(1);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(8);
+            let n = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 8, 0);
+            f.store(g.raw() as i64, 0, n);
+        });
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::parse("fd0:shortread:every=1").unwrap()),
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 3 }])
+        };
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        let mut probe = K2uProbe { cells: Vec::new() };
+        vm.run(&mut probe).unwrap();
+        assert_eq!(probe.cells, vec![4], "event tags delivered cells only");
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x100)), 4);
+        assert_eq!(vm.stats().faults.short_reads, 1);
+    }
+
+    #[test]
+    fn injected_eintr_returns_negative_errno_and_counts() {
+        use crate::fault::FaultPlan;
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(2);
+        let main = pb.function("main", 0, |f| {
+            let buf = f.alloc(4);
+            let n1 = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 4, 0);
+            let n2 = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 4, 0);
+            f.store(g.raw() as i64, 0, n1);
+            f.store(g.raw() as i64, 1, n2);
+        });
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::parse("in:eintr:once=1").unwrap()),
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 3 }])
+        };
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        vm.run(&mut NullTool).unwrap();
+        assert_eq!(vm.memory().load(drms_trace::Addr::new(0x100)), -4, "-EINTR");
+        assert_eq!(
+            vm.memory().load(drms_trace::Addr::new(0x101)),
+            4,
+            "retry succeeds"
+        );
+        let faults = vm.stats().faults;
+        assert_eq!(faults.transient_errors, 1);
+        assert_eq!(faults.errno_returns, 1);
     }
 
     #[test]

@@ -238,7 +238,10 @@ pub enum ValidateError {
     BadParamCount { routine: RoutineId },
     /// A call/spawn passes a number of arguments different from the
     /// callee's parameter count.
-    BadArity { routine: RoutineId, callee: RoutineId },
+    BadArity {
+        routine: RoutineId,
+        callee: RoutineId,
+    },
     /// A synchronization instruction names an object out of range.
     BadSyncObject { routine: RoutineId },
     /// The main routine id is out of range.
@@ -410,7 +413,10 @@ impl Program {
     ) -> Result<(), ValidateError> {
         if let Operand::Reg(r) = op {
             if r >= routine.regs {
-                return Err(ValidateError::BadRegister { routine: rid, reg: r });
+                return Err(ValidateError::BadRegister {
+                    routine: rid,
+                    reg: r,
+                });
             }
         }
         Ok(())
@@ -418,7 +424,10 @@ impl Program {
 
     fn validate_reg(&self, rid: RoutineId, routine: &Routine, r: Reg) -> Result<(), ValidateError> {
         if r >= routine.regs {
-            return Err(ValidateError::BadRegister { routine: rid, reg: r });
+            return Err(ValidateError::BadRegister {
+                routine: rid,
+                reg: r,
+            });
         }
         Ok(())
     }
@@ -473,7 +482,11 @@ impl Program {
                 reg(*dst)?;
                 op(*cells)?;
             }
-            Inst::Call { routine: callee, args, dst } => {
+            Inst::Call {
+                routine: callee,
+                args,
+                dst,
+            } => {
                 for a in args {
                     op(*a)?;
                 }
@@ -482,7 +495,11 @@ impl Program {
                 }
                 self.validate_callee(rid, *callee, args)?;
             }
-            Inst::Spawn { routine: callee, args, dst } => {
+            Inst::Spawn {
+                routine: callee,
+                args,
+                dst,
+            } => {
                 for a in args {
                     op(*a)?;
                 }

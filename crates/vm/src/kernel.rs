@@ -8,6 +8,7 @@
 //! `sendto`, `pwrite64`, `writev`, `msgsnd`, `pwritev`) map to
 //! `userToKernel` events — the kernel reads the user buffer.
 
+use crate::fault::{FaultCounters, FaultKind, FaultPlan, FaultState};
 use crate::ir::Operand;
 use std::fmt;
 
@@ -119,12 +120,49 @@ pub enum Device {
 }
 
 /// Errors raised by kernel operations.
+///
+/// Each maps to a POSIX errno (see [`KernelError::errno`]); the VM
+/// delivers them to guest registers as negative errno values, exactly
+/// like real syscalls, rather than aborting the run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KernelError {
-    /// The file descriptor is not open.
+    /// The file descriptor was never opened (EBADF).
     BadFd { fd: i64 },
-    /// An input call was issued on an output-only device or vice versa.
+    /// An input call was issued on an output-only device or vice versa
+    /// (EBADF: "not open for reading/writing").
     BadDirection { fd: i64 },
+    /// The file descriptor was open once but has been closed (EBADF).
+    Closed { fd: i64 },
+    /// The call was interrupted; retrying may succeed (EINTR).
+    Interrupted { fd: i64 },
+    /// The device is temporarily unready; retrying may succeed
+    /// (EAGAIN).
+    WouldBlock { fd: i64 },
+    /// The device has failed permanently (EIO).
+    DeviceFailure { fd: i64 },
+}
+
+impl KernelError {
+    /// The POSIX errno corresponding to this error.
+    pub fn errno(&self) -> i64 {
+        match self {
+            KernelError::BadFd { .. }
+            | KernelError::BadDirection { .. }
+            | KernelError::Closed { .. } => 9, // EBADF
+            KernelError::Interrupted { .. } => 4,   // EINTR
+            KernelError::WouldBlock { .. } => 11,   // EAGAIN
+            KernelError::DeviceFailure { .. } => 5, // EIO
+        }
+    }
+
+    /// Whether a guest retry loop can reasonably expect the next
+    /// attempt to succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            KernelError::Interrupted { .. } | KernelError::WouldBlock { .. }
+        )
+    }
 }
 
 impl fmt::Display for KernelError {
@@ -134,6 +172,10 @@ impl fmt::Display for KernelError {
             KernelError::BadDirection { fd } => {
                 write!(f, "unsupported transfer direction on fd {fd}")
             }
+            KernelError::Closed { fd } => write!(f, "file descriptor {fd} is closed"),
+            KernelError::Interrupted { fd } => write!(f, "interrupted transfer on fd {fd}"),
+            KernelError::WouldBlock { fd } => write!(f, "fd {fd} would block"),
+            KernelError::DeviceFailure { fd } => write!(f, "I/O error on fd {fd}"),
         }
     }
 }
@@ -146,6 +188,13 @@ struct OpenFile {
     pos: u64,
     written: u64,
     read: u64,
+    /// Closed descriptors keep their slot (fds stay dense) but reject
+    /// all transfers.
+    closed: bool,
+    /// Set once an EIO fault fires; every later transfer fails too.
+    failed: bool,
+    /// 1-based count of transfer attempts, driving fault triggers.
+    ops: u64,
 }
 
 /// Per-run kernel state: the open-file table.
@@ -155,6 +204,8 @@ struct OpenFile {
 #[derive(Clone, Debug, Default)]
 pub struct Kernel {
     files: Vec<OpenFile>,
+    faults: Option<FaultState>,
+    counters: FaultCounters,
 }
 
 impl Kernel {
@@ -179,8 +230,46 @@ impl Kernel {
             pos: 0,
             written: 0,
             read: 0,
+            closed: false,
+            failed: false,
+            ops: 0,
         });
         (self.files.len() - 1) as i64
+    }
+
+    /// Closes a descriptor; later transfers on it fail with
+    /// [`KernelError::Closed`]. Descriptors stay dense, so other fds
+    /// are unaffected.
+    ///
+    /// # Errors
+    /// [`KernelError::BadFd`] if never opened, [`KernelError::Closed`]
+    /// if already closed.
+    pub fn close(&mut self, fd: i64) -> Result<(), KernelError> {
+        let file = self
+            .files
+            .get_mut(fd as usize)
+            .filter(|_| fd >= 0)
+            .ok_or(KernelError::BadFd { fd })?;
+        if file.closed {
+            return Err(KernelError::Closed { fd });
+        }
+        file.closed = true;
+        Ok(())
+    }
+
+    /// Installs a fault-injection plan, resetting its evaluation state.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Counters of injected faults and errno deliveries so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Records one negative-errno delivery to a guest register.
+    pub fn count_errno_return(&mut self) {
+        self.counters.errno_returns += 1;
     }
 
     /// Number of open files.
@@ -198,6 +287,73 @@ impl Kernel {
         self.files.get(fd as usize).map(|f| f.read)
     }
 
+    /// Validates a pending transfer and applies the fault plan,
+    /// returning the *effective* length the transfer may move. This is
+    /// the single fault gate: the VM calls it before [`Kernel::input`]
+    /// or [`Kernel::output`], so `kernelToUser`/`userToKernel` events
+    /// tag only cells that are actually delivered.
+    ///
+    /// Each call counts as one transfer attempt on `fd` for the fault
+    /// plan's per-descriptor op numbering.
+    ///
+    /// # Errors
+    /// Descriptor errors ([`KernelError::BadFd`], [`KernelError::Closed`],
+    /// [`KernelError::BadDirection`]), a prior device failure
+    /// ([`KernelError::DeviceFailure`]), or an injected fault
+    /// ([`KernelError::Interrupted`], [`KernelError::WouldBlock`],
+    /// [`KernelError::DeviceFailure`]).
+    pub fn prepare_transfer(
+        &mut self,
+        fd: i64,
+        dir: Direction,
+        len: u32,
+    ) -> Result<u32, KernelError> {
+        let file = self
+            .files
+            .get_mut(fd as usize)
+            .filter(|_| fd >= 0)
+            .ok_or(KernelError::BadFd { fd })?;
+        if file.closed {
+            return Err(KernelError::Closed { fd });
+        }
+        if file.failed {
+            self.counters.device_failures += 1;
+            return Err(KernelError::DeviceFailure { fd });
+        }
+        if dir == Direction::Input && matches!(file.device, Device::Sink) {
+            return Err(KernelError::BadDirection { fd });
+        }
+        file.ops += 1;
+        let op = file.ops;
+        match self.faults.as_mut().and_then(|s| s.decide(fd, dir, op)) {
+            Some(FaultKind::Eio) => {
+                self.files[fd as usize].failed = true;
+                self.counters.device_failures += 1;
+                Err(KernelError::DeviceFailure { fd })
+            }
+            Some(FaultKind::Eintr) => {
+                self.counters.transient_errors += 1;
+                Err(KernelError::Interrupted { fd })
+            }
+            Some(FaultKind::Eagain) => {
+                self.counters.transient_errors += 1;
+                Err(KernelError::WouldBlock { fd })
+            }
+            Some(FaultKind::ShortRead) if dir == Direction::Input && len > 1 => {
+                self.counters.short_reads += 1;
+                Ok(len.div_ceil(2))
+            }
+            Some(FaultKind::ShortWrite) if dir == Direction::Output && len > 1 => {
+                self.counters.short_writes += 1;
+                Ok(len.div_ceil(2))
+            }
+            // Short faults on one-cell (or zero-cell) transfers, or a
+            // kind that does not apply to this direction, degrade to
+            // no fault.
+            Some(FaultKind::ShortRead) | Some(FaultKind::ShortWrite) | None => Ok(len),
+        }
+    }
+
     /// Performs an input transfer: produces up to `len` cells of device
     /// data. Sequential reads advance the device position; positioned
     /// reads use `offset` and leave the position untouched.
@@ -206,13 +362,26 @@ impl Kernel {
     ///
     /// # Errors
     /// [`KernelError::BadFd`] for unknown descriptors,
+    /// [`KernelError::Closed`] after [`Kernel::close`],
+    /// [`KernelError::DeviceFailure`] after an EIO fault,
     /// [`KernelError::BadDirection`] for input on a [`Device::Sink`].
-    pub fn input(&mut self, fd: i64, len: u32, offset: Option<u64>) -> Result<Vec<i64>, KernelError> {
+    pub fn input(
+        &mut self,
+        fd: i64,
+        len: u32,
+        offset: Option<u64>,
+    ) -> Result<Vec<i64>, KernelError> {
         let file = self
             .files
             .get_mut(fd as usize)
             .filter(|_| fd >= 0)
             .ok_or(KernelError::BadFd { fd })?;
+        if file.closed {
+            return Err(KernelError::Closed { fd });
+        }
+        if file.failed {
+            return Err(KernelError::DeviceFailure { fd });
+        }
         let out = match &file.device {
             Device::Stream { seed } => {
                 let start = offset.unwrap_or(file.pos);
@@ -249,7 +418,9 @@ impl Kernel {
     /// streams count and discard.
     ///
     /// # Errors
-    /// [`KernelError::BadFd`] for unknown descriptors.
+    /// [`KernelError::BadFd`] for unknown descriptors,
+    /// [`KernelError::Closed`] after [`Kernel::close`],
+    /// [`KernelError::DeviceFailure`] after an EIO fault.
     pub fn output(
         &mut self,
         fd: i64,
@@ -261,6 +432,12 @@ impl Kernel {
             .get_mut(fd as usize)
             .filter(|_| fd >= 0)
             .ok_or(KernelError::BadFd { fd })?;
+        if file.closed {
+            return Err(KernelError::Closed { fd });
+        }
+        if file.failed {
+            return Err(KernelError::DeviceFailure { fd });
+        }
         if let Device::File { data: contents } = &mut file.device {
             match offset {
                 None => contents.extend_from_slice(data),
@@ -329,7 +506,9 @@ mod tests {
     #[test]
     fn file_reads_hit_eof() {
         let mut k = Kernel::new();
-        let fd = k.open(Device::File { data: vec![1, 2, 3] });
+        let fd = k.open(Device::File {
+            data: vec![1, 2, 3],
+        });
         assert_eq!(k.input(fd, 2, None).unwrap(), vec![1, 2]);
         assert_eq!(k.input(fd, 2, None).unwrap(), vec![3]);
         assert_eq!(k.input(fd, 2, None).unwrap(), Vec::<i64>::new());
@@ -372,7 +551,9 @@ mod tests {
     #[test]
     fn positioned_writes_overwrite_in_place() {
         let mut k = Kernel::new();
-        let fd = k.open(Device::File { data: vec![1, 2, 3] });
+        let fd = k.open(Device::File {
+            data: vec![1, 2, 3],
+        });
         k.output(fd, &[9], Some(1)).unwrap();
         assert_eq!(k.input(fd, 3, Some(0)).unwrap(), vec![1, 9, 3]);
         // Writing past the end zero-extends.
@@ -384,5 +565,107 @@ mod tests {
     fn with_devices_assigns_dense_fds() {
         let k = Kernel::with_devices(vec![Device::Sink, Device::Stream { seed: 1 }]);
         assert_eq!(k.fd_count(), 2);
+    }
+
+    #[test]
+    fn closed_fds_reject_all_transfers() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 1 });
+        k.close(fd).unwrap();
+        assert_eq!(k.input(fd, 1, None), Err(KernelError::Closed { fd }));
+        assert_eq!(k.output(fd, &[1], None), Err(KernelError::Closed { fd }));
+        assert_eq!(
+            k.prepare_transfer(fd, Direction::Input, 1),
+            Err(KernelError::Closed { fd })
+        );
+        assert_eq!(k.close(fd), Err(KernelError::Closed { fd }));
+        assert_eq!(k.close(99), Err(KernelError::BadFd { fd: 99 }));
+    }
+
+    #[test]
+    fn errno_values_match_posix() {
+        assert_eq!(KernelError::BadFd { fd: 0 }.errno(), 9);
+        assert_eq!(KernelError::BadDirection { fd: 0 }.errno(), 9);
+        assert_eq!(KernelError::Closed { fd: 0 }.errno(), 9);
+        assert_eq!(KernelError::Interrupted { fd: 0 }.errno(), 4);
+        assert_eq!(KernelError::WouldBlock { fd: 0 }.errno(), 11);
+        assert_eq!(KernelError::DeviceFailure { fd: 0 }.errno(), 5);
+        assert!(KernelError::Interrupted { fd: 0 }.is_transient());
+        assert!(KernelError::WouldBlock { fd: 0 }.is_transient());
+        assert!(!KernelError::DeviceFailure { fd: 0 }.is_transient());
+    }
+
+    #[test]
+    fn prepare_transfer_without_plan_passes_through() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 1 });
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 8), Ok(8));
+        let sink = k.open(Device::Sink);
+        assert_eq!(
+            k.prepare_transfer(sink, Direction::Input, 8),
+            Err(KernelError::BadDirection { fd: sink })
+        );
+        assert_eq!(k.prepare_transfer(sink, Direction::Output, 8), Ok(8));
+        assert_eq!(k.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn short_read_fault_halves_the_request() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 1 });
+        k.set_fault_plan(FaultPlan::parse("fd0:shortread:every=2").unwrap());
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 8), Ok(8));
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 8), Ok(4));
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 7), Ok(7));
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 7), Ok(4));
+        // One-cell requests cannot be shortened.
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 8), Ok(8));
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 1), Ok(1));
+        assert_eq!(k.fault_counters().short_reads, 2);
+    }
+
+    #[test]
+    fn eio_fault_is_permanent() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 1 });
+        k.set_fault_plan(FaultPlan::parse("fd0:eio:once=3").unwrap());
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 4), Ok(4));
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 4), Ok(4));
+        assert_eq!(
+            k.prepare_transfer(fd, Direction::Input, 4),
+            Err(KernelError::DeviceFailure { fd })
+        );
+        // The device stays failed even though `once=3` has passed.
+        assert_eq!(
+            k.prepare_transfer(fd, Direction::Input, 4),
+            Err(KernelError::DeviceFailure { fd })
+        );
+        assert_eq!(k.input(fd, 4, None), Err(KernelError::DeviceFailure { fd }));
+        assert_eq!(k.fault_counters().device_failures, 2);
+    }
+
+    #[test]
+    fn transient_faults_are_counted() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 1 });
+        k.set_fault_plan(FaultPlan::parse("in:eintr:every=2").unwrap());
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 4), Ok(4));
+        assert_eq!(
+            k.prepare_transfer(fd, Direction::Input, 4),
+            Err(KernelError::Interrupted { fd })
+        );
+        assert_eq!(k.prepare_transfer(fd, Direction::Input, 4), Ok(4));
+        assert_eq!(k.fault_counters().transient_errors, 1);
+        k.count_errno_return();
+        assert_eq!(k.fault_counters().errno_returns, 1);
+    }
+
+    #[test]
+    fn short_fault_of_wrong_direction_degrades_to_no_fault() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::File { data: vec![] });
+        k.set_fault_plan(FaultPlan::parse("shortread").unwrap());
+        assert_eq!(k.prepare_transfer(fd, Direction::Output, 6), Ok(6));
+        assert_eq!(k.fault_counters().short_reads, 0);
     }
 }

@@ -40,22 +40,26 @@
 
 pub mod builder;
 pub mod disasm;
+pub mod fault;
 pub mod interp;
 pub mod ir;
 pub mod kernel;
 pub mod memory;
 pub mod recorder;
+pub mod rng;
 pub mod shadow;
 pub mod stats;
 pub mod tool;
 
 pub use builder::{BuildError, FnBuilder, ProgramBuilder};
 pub use disasm::{disassemble, routine_listing};
-pub use interp::{run_program, RunError, Vm};
+pub use fault::{FaultCounters, FaultKind, FaultPlan, FaultRule, FaultSpecError, FaultTrigger};
+pub use interp::{run_program, BlockedThread, RunError, Vm, WaitTarget};
 pub use ir::{BinOp, Block, Inst, Operand, Program, Reg, Routine, Terminator, ValidateError};
 pub use kernel::{Device, Direction, Kernel, KernelError, Syscall, SyscallNo};
 pub use memory::Memory;
 pub use recorder::TraceRecorder;
+pub use rng::SmallRng;
 pub use shadow::ShadowMemory;
 pub use stats::{CostKind, RunConfig, RunStats, SchedPolicy};
 pub use tool::{MultiTool, NullTool, Tool};

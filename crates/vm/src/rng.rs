@@ -1,0 +1,204 @@
+//! Self-contained seeded pseudo-random number generation.
+//!
+//! The VM needs reproducible randomness in three places — the guest
+//! `Rand` instruction, the random scheduler, and the simulated-timer
+//! jitter — and the fault-injection layer adds a fourth. All of them
+//! must be byte-for-byte deterministic per seed, and none needs
+//! cryptographic quality, so a small xoshiro256** generator (seeded
+//! through SplitMix64) is vendored here instead of pulling in an
+//! external crate. This keeps the whole workspace building offline.
+
+/// A small, fast, seedable PRNG (xoshiro256**).
+///
+/// # Example
+/// ```
+/// use drms_vm::rng::SmallRng;
+/// let mut a = SmallRng::seed_from_u64(7);
+/// let mut b = SmallRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand one seed word into a full state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator whose full state is derived from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound` is 0.
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Widening multiply-shift: negligibly biased for the bounds the
+        // VM uses, and branch-free.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the given range (empty ranges yield the start).
+    pub fn gen_range<T, R: GenRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: true with probability `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den` is 0.
+    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0, "gen_ratio with zero denominator");
+        self.below(den as u64) < num as u64
+    }
+}
+
+/// Range types [`SmallRng::gen_range`] can sample from.
+pub trait GenRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+impl GenRange<i64> for std::ops::Range<i64> {
+    fn sample(self, rng: &mut SmallRng) -> i64 {
+        if self.start >= self.end {
+            return self.start;
+        }
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl GenRange<u64> for std::ops::Range<u64> {
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        if self.start >= self.end {
+            return self.start;
+        }
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl GenRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        if start >= end {
+            return start;
+        }
+        let span = end - start + 1; // end < u64::MAX in all VM uses; 0 means full range
+        if span == 0 {
+            return rng.next_u64();
+        }
+        start + rng.below(span)
+    }
+}
+
+impl GenRange<u32> for std::ops::Range<u32> {
+    fn sample(self, rng: &mut SmallRng) -> u32 {
+        if self.start >= self.end {
+            return self.start;
+        }
+        self.start + rng.below((self.end - self.start) as u64) as u32
+    }
+}
+
+impl GenRange<usize> for std::ops::Range<usize> {
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        if self.start >= self.end {
+            return self.start;
+        }
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = r.gen_range(0usize..9);
+            assert!(u < 9);
+            let w = r.gen_range(10u64..=12);
+            assert!((10..=12).contains(&w));
+        }
+        assert_eq!(r.gen_range(7i64..7), 7, "empty range yields start");
+        assert_eq!(r.gen_range(0u64..=0), 0);
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..4 appear");
+    }
+
+    #[test]
+    fn gen_ratio_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "1/4 ratio gave {hits}/10000");
+        assert!(!r.gen_ratio(0, 5));
+        assert!(r.gen_ratio(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn gen_ratio_rejects_zero_denominator() {
+        SmallRng::seed_from_u64(0).gen_ratio(1, 0);
+    }
+}

@@ -112,7 +112,12 @@ impl<T: Copy + Default> ShadowMemory<T> {
             Some(c) => c,
             slot @ None => {
                 self.leaf_count += 1;
-                slot.insert(vec![T::default(); LEAF_CELLS].into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!()))
+                slot.insert(
+                    vec![T::default(); LEAF_CELLS]
+                        .into_boxed_slice()
+                        .try_into()
+                        .unwrap_or_else(|_| unreachable!()),
+                )
             }
         };
         chunk[leaf] = value;
@@ -126,11 +131,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
     /// Host bytes backing this shadow memory (leaves plus tables).
     pub fn bytes(&self) -> u64 {
         let leaf_bytes = self.leaf_count as u64 * (LEAF_CELLS * std::mem::size_of::<T>()) as u64;
-        let l2_bytes = self
-            .root
-            .iter()
-            .filter(|s| s.is_some())
-            .count() as u64
+        let l2_bytes = self.root.iter().filter(|s| s.is_some()).count() as u64
             * (L2_SLOTS * std::mem::size_of::<usize>()) as u64;
         let root_bytes = (self.root.capacity() * std::mem::size_of::<usize>()) as u64;
         leaf_bytes + l2_bytes + root_bytes
@@ -145,8 +146,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
             let Some(level2) = slot1 else { continue };
             for (i2, slot2) in level2.leaves.iter_mut().enumerate() {
                 let Some(chunk) = slot2 else { continue };
-                let base =
-                    ((i1 as u64) << (LEAF_BITS + L2_BITS)) | ((i2 as u64) << LEAF_BITS);
+                let base = ((i1 as u64) << (LEAF_BITS + L2_BITS)) | ((i2 as u64) << LEAF_BITS);
                 for (off, cell) in chunk.iter_mut().enumerate() {
                     f(Addr::new(base | off as u64), cell);
                 }
@@ -188,9 +188,9 @@ mod tests {
         let addrs = [
             0u64,
             1,
-            LEAF_CELLS as u64,                       // second leaf
-            (LEAF_CELLS * L2_SLOTS) as u64,          // second L2 table
-            ADDRESS_LIMIT - 1,                       // last cell
+            LEAF_CELLS as u64,              // second leaf
+            (LEAF_CELLS * L2_SLOTS) as u64, // second L2 table
+            ADDRESS_LIMIT - 1,              // last cell
         ];
         for (i, &a) in addrs.iter().enumerate() {
             s.set(Addr::new(a), i as u64 + 1);

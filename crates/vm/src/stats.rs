@@ -1,5 +1,6 @@
 //! Run configuration and execution statistics.
 
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::kernel::Device;
 
 /// How thread cost is accumulated.
@@ -55,6 +56,10 @@ pub struct RunConfig {
     /// Seed of the guest `Rand` instruction (per-thread streams are
     /// derived from it).
     pub seed: u64,
+    /// Optional kernel fault-injection plan (see
+    /// [`FaultPlan::parse`] for the spec grammar). `None` runs
+    /// fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -67,6 +72,7 @@ impl Default for RunConfig {
             cost: CostKind::BasicBlocks,
             trace_blocks: false,
             seed: 0xD125_5EED,
+            faults: None,
         }
     }
 }
@@ -104,6 +110,9 @@ pub struct RunStats {
     pub guest_bytes: u64,
     /// Instrumentation events delivered to the tool.
     pub events: u64,
+    /// Injected-fault and errno-delivery counters (all zero on
+    /// fault-free runs).
+    pub faults: FaultCounters,
 }
 
 impl RunStats {

@@ -79,7 +79,14 @@ impl<'a> MultiTool<'a> {
 impl std::fmt::Debug for MultiTool<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiTool")
-            .field("tools", &self.tools.iter().map(|t| t.name().to_owned()).collect::<Vec<_>>())
+            .field(
+                "tools",
+                &self
+                    .tools
+                    .iter()
+                    .map(|t| t.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

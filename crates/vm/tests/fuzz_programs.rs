@@ -2,9 +2,16 @@
 //! generated structured guest programs must pass validation, run to
 //! completion within the instruction budget, and behave identically when
 //! re-run (the VM is deterministic under round-robin scheduling).
+//!
+//! Programs are generated with the workspace's own seeded PRNG (the
+//! build environment has no network access, so no external fuzzing
+//! crate); every case is reproducible from its printed seed.
 
-use drms_vm::{run_program, FnBuilder, NullTool, Operand, ProgramBuilder, RunConfig, TraceRecorder};
-use proptest::prelude::*;
+use drms_vm::{
+    run_program, FnBuilder, NullTool, Operand, ProgramBuilder, RunConfig, SmallRng, TraceRecorder,
+};
+
+const CASES: u64 = 48;
 
 /// One structured statement in a generated routine body.
 #[derive(Clone, Debug)]
@@ -18,38 +25,70 @@ enum Stmt {
     CallHelper(u8),
 }
 
-fn stmt_strategy(depth: u32) -> BoxedStrategy<Stmt> {
-    let leaf = prop_oneof![
-        ((0u8..8), (0u8..8)).prop_map(|(a, b)| Stmt::Arith(a, b)),
-        (0u8..16).prop_map(Stmt::LoadStore),
-        (0u8..8).prop_map(Stmt::Rand),
-        (0u8..4).prop_map(Stmt::CallHelper),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        let inner = stmt_strategy(depth - 1);
-        prop_oneof![
-            4 => leaf,
-            1 => ((0u8..8), proptest::collection::vec(inner.clone(), 0..4))
-                .prop_map(|(c, body)| Stmt::IfThen(c, body)),
-            1 => (
-                (0u8..8),
-                proptest::collection::vec(inner.clone(), 0..3),
-                proptest::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(c, a, b)| Stmt::IfElse(c, a, b)),
-            1 => ((1u8..6), proptest::collection::vec(inner, 0..3))
-                .prop_map(|(n, body)| Stmt::ForLoop(n, body)),
-        ]
-        .boxed()
+fn random_leaf(rng: &mut SmallRng) -> Stmt {
+    match rng.gen_range(0u32..4) {
+        0 => Stmt::Arith(rng.gen_range(0u32..8) as u8, rng.gen_range(0u32..8) as u8),
+        1 => Stmt::LoadStore(rng.gen_range(0u32..16) as u8),
+        2 => Stmt::Rand(rng.gen_range(0u32..8) as u8),
+        _ => Stmt::CallHelper(rng.gen_range(0u32..4) as u8),
     }
+}
+
+/// Samples one statement: at depth 0 only leaves; otherwise leaves with
+/// weight 4 against if/if-else/for with weight 1 each.
+fn random_stmt(rng: &mut SmallRng, depth: u32) -> Stmt {
+    if depth == 0 {
+        return random_leaf(rng);
+    }
+    match rng.gen_range(0u32..7) {
+        0..=3 => random_leaf(rng),
+        4 => {
+            let c = rng.gen_range(0u32..8) as u8;
+            let body = random_stmts(rng, depth - 1, 4);
+            Stmt::IfThen(c, body)
+        }
+        5 => {
+            let c = rng.gen_range(0u32..8) as u8;
+            let a = random_stmts(rng, depth - 1, 3);
+            let b = random_stmts(rng, depth - 1, 3);
+            Stmt::IfElse(c, a, b)
+        }
+        _ => {
+            let n = rng.gen_range(1u32..6) as u8;
+            let body = random_stmts(rng, depth - 1, 3);
+            Stmt::ForLoop(n, body)
+        }
+    }
+}
+
+fn random_stmts(rng: &mut SmallRng, depth: u32, max_len: usize) -> Vec<Stmt> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| random_stmt(rng, depth)).collect()
+}
+
+/// Samples 1..max_routines routine bodies of 0..max_stmts statements.
+fn random_bodies(
+    rng: &mut SmallRng,
+    depth: u32,
+    max_routines: usize,
+    max_stmts: usize,
+) -> Vec<Vec<Stmt>> {
+    let routines = rng.gen_range(1usize..max_routines);
+    (0..routines)
+        .map(|_| random_stmts(rng, depth, max_stmts))
+        .collect()
 }
 
 /// Emits a statement list into a routine body. `scratch` is a base
 /// register holding the address of a scratch buffer; `vals` is a small
 /// pool of value registers the statements mix.
-fn emit(f: &mut FnBuilder, stmts: &[Stmt], scratch: drms_vm::Reg, vals: &[drms_vm::Reg], helpers: &[drms_trace::RoutineId]) {
+fn emit(
+    f: &mut FnBuilder,
+    stmts: &[Stmt],
+    scratch: drms_vm::Reg,
+    vals: &[drms_vm::Reg],
+    helpers: &[drms_trace::RoutineId],
+) {
     for stmt in stmts {
         match stmt {
             Stmt::Arith(a, b) => {
@@ -117,9 +156,7 @@ fn build_program(bodies: &[Vec<Stmt>]) -> drms_vm::Program {
             let helpers = helpers.clone();
             pb.function(&format!("gen_{i}"), 1, move |f| {
                 let scratch = f.param(0);
-                let vals: Vec<drms_vm::Reg> = (0..4)
-                    .map(|k| f.copy(k as i64 + 1))
-                    .collect();
+                let vals: Vec<drms_vm::Reg> = (0..4).map(|k| f.copy(k as i64 + 1)).collect();
                 emit(f, &body, scratch, &vals, &helpers);
                 f.ret(None);
             })
@@ -142,53 +179,46 @@ fn config() -> RunConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_programs_run_to_completion(
-        bodies in proptest::collection::vec(
-            proptest::collection::vec(stmt_strategy(2), 0..10),
-            1..4,
-        )
-    ) {
+#[test]
+fn generated_programs_run_to_completion() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF022 ^ case);
+        let bodies = random_bodies(&mut rng, 2, 4, 10);
         let program = build_program(&bodies);
-        prop_assert!(program.validate().is_ok());
+        assert!(program.validate().is_ok(), "case {case}");
         let stats = run_program(&program, config(), &mut NullTool)
-            .expect("generated programs terminate");
-        prop_assert!(stats.basic_blocks >= 1);
-        prop_assert_eq!(stats.threads, 1);
+            .unwrap_or_else(|e| panic!("generated programs terminate (case {case}): {e}"));
+        assert!(stats.basic_blocks >= 1, "case {case}");
+        assert_eq!(stats.threads, 1, "case {case}");
     }
+}
 
-    #[test]
-    fn generated_programs_are_deterministic(
-        bodies in proptest::collection::vec(
-            proptest::collection::vec(stmt_strategy(2), 0..8),
-            1..3,
-        )
-    ) {
+#[test]
+fn generated_programs_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xDE7 ^ case);
+        let bodies = random_bodies(&mut rng, 2, 3, 8);
         let program = build_program(&bodies);
         let run = || {
             let mut rec = TraceRecorder::new();
             run_program(&program, config(), &mut rec).expect("run");
             drms_trace::merge_traces(rec.into_traces())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    #[test]
-    fn generated_listings_disassemble(
-        bodies in proptest::collection::vec(
-            proptest::collection::vec(stmt_strategy(1), 0..6),
-            1..3,
-        )
-    ) {
+#[test]
+fn generated_listings_disassemble() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD15A ^ case);
+        let bodies = random_bodies(&mut rng, 1, 3, 6);
         let program = build_program(&bodies);
         let text = drms_vm::disassemble(&program);
-        prop_assert!(text.contains("routine @"));
+        assert!(text.contains("routine @"), "case {case}");
         // Every routine name appears in the listing.
         for r in program.routines() {
-            prop_assert!(text.contains(&r.name));
+            assert!(text.contains(&r.name), "case {case}: missing {}", r.name);
         }
     }
 }

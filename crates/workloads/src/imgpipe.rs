@@ -111,8 +111,9 @@ pub fn vips(workers: u32, tasks: usize, scale: u32) -> Workload {
                 let is_w = f.eq(w, wi);
                 f.if_then(is_w, |f| {
                     f.sem_wait(in_empty[wi as usize]);
-                    // read raw data, then decode it into the strip
-                    let _ = f.syscall(SyscallNo::Read, 0, stage.raw() as i64, cells, 0);
+                    // read raw data (resuming short/interrupted reads),
+                    // then decode it into the strip
+                    let _ = f.syscall_full(SyscallNo::Read, 0, stage.raw() as i64, cells, 0);
                     f.for_range(0, cells, |f, c| {
                         let raw = f.load(stage.raw() as i64, c);
                         let decoded = f.bit_and(raw, 0xFFFF);
@@ -145,7 +146,7 @@ pub fn vips(workers: u32, tasks: usize, scale: u32) -> Workload {
                 let is_w = f.eq(w, wi);
                 f.if_then(is_w, |f| {
                     f.sem_wait(out_full[wi as usize]);
-                    let _ = f.syscall(SyscallNo::Write, 1, base, cells, 0);
+                    let _ = f.syscall_full(SyscallNo::Write, 1, base, cells, 0);
                     f.sem_signal(out_empty[wi as usize]);
                 });
             }

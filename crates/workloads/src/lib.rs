@@ -35,13 +35,13 @@
 //! assert_eq!(p.drms_plot().last().unwrap().0, 8);
 //! ```
 
-pub(crate) mod util;
 pub mod imgpipe;
 pub mod minidb;
 pub mod parsec;
 pub mod patterns;
 pub mod sorting;
 pub mod specomp;
+pub(crate) mod util;
 
 use drms_trace::RoutineId;
 use drms_vm::{Device, Program, RunConfig};
@@ -108,7 +108,11 @@ pub fn spec_omp_suite(threads: u32, scale: u32) -> Vec<Workload> {
 pub fn full_suite(threads: u32, scale: u32) -> Vec<Workload> {
     let mut all = parsec_suite(threads, scale);
     all.extend(spec_omp_suite(threads, scale));
-    all.push(minidb::mysqlslap(threads.max(2), 4 + scale, 40 * scale as i64));
+    all.push(minidb::mysqlslap(
+        threads.max(2),
+        4 + scale,
+        40 * scale as i64,
+    ));
     all
 }
 

@@ -28,7 +28,12 @@ pub const BUF_CELLS: i64 = ROW_CELLS * GROUP_ROWS;
 ///
 /// Returns `(mysql_execute, mysql_select)` routine ids. The engine reads
 /// table rows from fd `table_fd`.
-fn declare_engine(pb: &mut ProgramBuilder, table_fd: i64, buf: u64, query: u64) -> (RoutineId, RoutineId) {
+fn declare_engine(
+    pb: &mut ProgramBuilder,
+    table_fd: i64,
+    buf: u64,
+    query: u64,
+) -> (RoutineId, RoutineId) {
     // scan_row(base): evaluate a row, returning 1 if it matches.
     let scan_row = pb.function("scan_row", 1, |f| {
         let base = f.param(0);
@@ -68,14 +73,9 @@ fn declare_engine(pb: &mut ProgramBuilder, table_fd: i64, buf: u64, query: u64) 
                 let batch = f.min(remaining, GROUP_ROWS);
                 let cells = f.mul(batch, ROW_CELLS);
                 let offset = f.mul(row, ROW_CELLS);
-                // load the group into the (reused) buffer
-                let _ = f.syscall(
-                    SyscallNo::Pread64,
-                    table_fd,
-                    buf as i64,
-                    cells,
-                    offset,
-                );
+                // load the group into the (reused) buffer, resuming
+                // short reads and retrying transient kernel errors
+                let _ = f.syscall_full(SyscallNo::Pread64, table_fd, buf as i64, cells, offset);
                 f.for_range(0, batch, |f, r| {
                     let row_off = f.mul(r, ROW_CELLS);
                     let base = f.add(buf as i64, row_off);
@@ -138,7 +138,12 @@ pub fn minidb_scaling(table_sizes: &[i64]) -> Workload {
 pub fn mysqlslap(clients: u32, queries: u32, max_rows: i64) -> Workload {
     let mut pb = ProgramBuilder::new();
     let buf_pool = pb.global(BUF_CELLS as u64 * clients as u64);
-    let query = pb.global_with("SELECT*FROM t WHERE c>0".bytes().map(|b| b as i64).collect());
+    let query = pb.global_with(
+        "SELECT*FROM t WHERE c>0"
+            .bytes()
+            .map(|b| b as i64)
+            .collect(),
+    );
     let stats = pb.global(4); // [queries_done, rows_matched, rows_scanned, errors]
     let stats_mutex = pb.mutex();
     // Each client gets a private buffer slice of the pool, but the engine
@@ -178,7 +183,7 @@ pub fn mysqlslap(clients: u32, queries: u32, max_rows: i64) -> Workload {
                 let batch = f.min(remaining, GROUP_ROWS);
                 let cells = f.mul(batch, ROW_CELLS);
                 let offset = f.mul(row, ROW_CELLS);
-                let _ = f.syscall(SyscallNo::Pread64, 0, buf, cells, offset);
+                let _ = f.syscall_full(SyscallNo::Pread64, 0, buf, cells, offset);
                 f.for_range(0, batch, |f, r| {
                     let row_off = f.mul(r, ROW_CELLS);
                     let base = f.add(buf, row_off);
@@ -273,14 +278,20 @@ mod tests {
         // drms grows with the table; rms stays near the buffer size.
         let drms_span = drms.last().unwrap().0 - drms.first().unwrap().0;
         let rms_span = rms.last().unwrap().0.saturating_sub(rms.first().unwrap().0);
-        assert!(drms_span > 10 * rms_span.max(1), "rms collapses, drms spreads");
+        assert!(
+            drms_span > 10 * rms_span.max(1),
+            "rms collapses, drms spreads"
+        );
         assert!(rms.last().unwrap().0 <= 2 * BUF_CELLS as u64 + 8);
         // Cost grows linearly in drms: check the cost-per-input ratio is
         // roughly stable across the largest points.
         let (n1, c1) = drms[drms.len() - 2];
         let (n2, c2) = drms[drms.len() - 1];
         let slope_ratio = (c2 as f64 / n2 as f64) / (c1 as f64 / n1 as f64);
-        assert!((0.5..2.0).contains(&slope_ratio), "linear trend in drms plot");
+        assert!(
+            (0.5..2.0).contains(&slope_ratio),
+            "linear trend in drms plot"
+        );
         // Under rms the same costs pile up on nearly constant input sizes
         // (the "false superlinear" effect): max cost at max rms is much
         // larger than the input-size spread justifies.
@@ -306,7 +317,10 @@ mod tests {
         let p = prof.into_report().merged_routine(w.focus.unwrap());
         let rms = p.rms_plot();
         let span = rms.last().unwrap().0 - rms.first().unwrap().0;
-        assert!(span <= 4, "rms is oblivious to the 8x larger table (span {span})");
+        assert!(
+            span <= 4,
+            "rms is oblivious to the 8x larger table (span {span})"
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use crate::Workload;
 use drms_trace::RoutineId;
-use drms_vm::{Device, FnBuilder, Operand, ProgramBuilder};
 use drms_vm::SyscallNo;
+use drms_vm::{Device, FnBuilder, Operand, ProgramBuilder};
 
 /// Spawns `threads` instances of `worker(tid, arg)` and joins them all.
 fn fork_join(f: &mut FnBuilder, worker: RoutineId, threads: i64, arg: Operand) {

@@ -91,8 +91,9 @@ pub fn stream_reader(n: i64) -> Workload {
     let reader = pb.function("stream_reader", 1, |f| {
         let n = f.param(0);
         f.for_range(0, n, |f, _| {
-            // fill b with external data (two cells; only b[0] is used)
-            let _ = f.syscall(SyscallNo::Read, 0, b.raw() as i64, 2, 0);
+            // fill b with external data (two cells; only b[0] is used),
+            // resuming short reads and retrying transient errors
+            let _ = f.syscall_full(SyscallNo::Read, 0, b.raw() as i64, 2, 0);
             f.call_void(consume_data, &[Operand::Imm(b.raw() as i64)]);
         });
         f.ret(None);

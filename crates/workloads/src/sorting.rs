@@ -91,7 +91,7 @@ pub fn selection_sort_default(steps: i64) -> Workload {
 mod tests {
     use super::*;
     use drms_core::{DrmsConfig, DrmsProfiler};
-    use drms_vm::{run_program, Vm, NullTool, RunConfig};
+    use drms_vm::{run_program, NullTool, RunConfig, Vm};
 
     #[test]
     fn sorts_correctly() {

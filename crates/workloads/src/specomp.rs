@@ -17,13 +17,7 @@ use crate::util::Barrier;
 
 /// Spawns `threads` persistent instances of `worker(tid)`, runs `rounds`
 /// coordinator barrier phases, then joins the workers.
-fn run_pool(
-    f: &mut FnBuilder,
-    worker: RoutineId,
-    threads: i64,
-    rounds: i64,
-    barrier: &Barrier,
-) {
+fn run_pool(f: &mut FnBuilder, worker: RoutineId, threads: i64, rounds: i64, barrier: &Barrier) {
     let tids = f.alloc(threads);
     f.for_range(0, threads, |f, w| {
         let h = f.spawn(worker, &[Operand::Reg(w)]);
@@ -260,11 +254,7 @@ pub fn kdtree(threads: u32, scale: u32) -> Workload {
                 let l0 = f.mul(i, 2);
                 let left = f.add(l0, 1);
                 let right = f.add(l0, 2);
-                f.if_else(
-                    go_left,
-                    |f| f.assign(i, left),
-                    |f| f.assign(i, right),
-                );
+                f.if_else(go_left, |f| f.assign(i, left), |f| f.assign(i, right));
             },
         );
         f.ret_val(best);
@@ -601,7 +591,10 @@ pub fn swim(threads: u32, scale: u32) -> Workload {
                 f.assign(dst, va);
             });
             f.for_range(Operand::Reg(start), Operand::Reg(end), |f, r| {
-                f.call_void(step_row, &[Operand::Reg(r), Operand::Reg(src), Operand::Reg(dst)]);
+                f.call_void(
+                    step_row,
+                    &[Operand::Reg(r), Operand::Reg(src), Operand::Reg(dst)],
+                );
             });
             barrier.worker(f, tid);
         });
@@ -732,7 +725,10 @@ pub fn ilbdc(threads: u32, scale: u32) -> Workload {
                 f.assign(dst, b);
             });
             f.for_range(Operand::Reg(start), Operand::Reg(end), |f, i| {
-                f.call_void(stream_site, &[Operand::Reg(i), Operand::Reg(src), Operand::Reg(dst)]);
+                f.call_void(
+                    stream_site,
+                    &[Operand::Reg(i), Operand::Reg(src), Operand::Reg(dst)],
+                );
             });
             barrier.worker(f, tid);
         });
@@ -818,7 +814,10 @@ mod tests {
         run_program(&w.program, w.run_config(), &mut prof).unwrap();
         let rep = prof.into_report();
         let q = rep.merged_routine(w.focus.unwrap());
-        assert!(q.breakdown.thread_induced > 0, "tree nodes are thread input");
+        assert!(
+            q.breakdown.thread_induced > 0,
+            "tree nodes are thread input"
+        );
         assert!(q.calls >= 20);
     }
 }

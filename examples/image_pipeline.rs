@@ -19,8 +19,8 @@ fn main() {
     let w = imgpipe::vips(2, tasks, 1);
 
     let (full, stats) = drms::profile_workload(&w).expect("run");
-    let (ext, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
-        .expect("run");
+    let (ext, _) =
+        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only()).expect("run");
     println!(
         "pipeline ran {} threads, {} thread switches, {} syscalls\n",
         stats.threads, stats.thread_switches, stats.syscalls
@@ -58,10 +58,22 @@ fn main() {
     let b = CostPlot::of(&wb_ext, InputMetric::Drms);
     let c = CostPlot::of(&wb_full, InputMetric::Drms);
     println!("wbuffer_write_thread: {} calls", wb_full.calls);
-    println!("  (a) rms:                {:>4} distinct input sizes", a.len());
-    println!("  (b) drms external only: {:>4} distinct input sizes", b.len());
-    println!("  (c) drms ext+thread:    {:>4} distinct input sizes", c.len());
-    assert!(a.len() <= 3, "rms collapses the calls onto a couple of sizes");
+    println!(
+        "  (a) rms:                {:>4} distinct input sizes",
+        a.len()
+    );
+    println!(
+        "  (b) drms external only: {:>4} distinct input sizes",
+        b.len()
+    );
+    println!(
+        "  (c) drms ext+thread:    {:>4} distinct input sizes",
+        c.len()
+    );
+    assert!(
+        a.len() <= 3,
+        "rms collapses the calls onto a couple of sizes"
+    );
     assert!(c.len() >= b.len() && b.len() >= a.len());
     assert!(
         c.len() as u64 >= wb_full.calls / 2,

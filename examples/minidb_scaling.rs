@@ -27,8 +27,14 @@ fn main() {
     let rms = CostPlot::of(&select, InputMetric::Rms);
     let drms = CostPlot::of(&select, InputMetric::Drms);
 
-    println!("{}", ascii_plot(&rms.as_f64(), 60, 12, "mysql_select: cost vs RMS"));
-    println!("{}", ascii_plot(&drms.as_f64(), 60, 12, "mysql_select: cost vs DRMS"));
+    println!(
+        "{}",
+        ascii_plot(&rms.as_f64(), 60, 12, "mysql_select: cost vs RMS")
+    );
+    println!(
+        "{}",
+        ascii_plot(&drms.as_f64(), 60, 12, "mysql_select: cost vs DRMS")
+    );
 
     println!(
         "rms:  {} distinct input sizes spanning {} cells",

@@ -10,7 +10,6 @@
 //! cargo run --example producer_consumer
 //! ```
 
-
 use drms::workloads::patterns;
 
 fn main() {

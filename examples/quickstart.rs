@@ -56,7 +56,12 @@ fn main() {
     let plot = CostPlot::of(&profile, InputMetric::Drms);
     println!(
         "{}",
-        ascii_plot(&plot.as_f64(), 60, 12, "sum_array: worst-case cost vs input size")
+        ascii_plot(
+            &plot.as_f64(),
+            60,
+            12,
+            "sum_array: worst-case cost vs input size"
+        )
     );
     let fit = plot.fit(0.01);
     println!("sum_array was called {} times", profile.calls);

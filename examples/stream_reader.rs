@@ -20,8 +20,7 @@ fn main() {
         let w = patterns::stream_reader(n);
         let (full, _) = drms::profile_workload(&w).expect("run");
         let (blind, _) =
-            drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only())
-                .expect("run");
+            drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only()).expect("run");
         let focus = w.focus.expect("stream_reader");
         let rms = full.merged_routine(focus).rms_plot().last().unwrap().0;
         let drms = full.merged_routine(focus).drms_plot().last().unwrap().0;

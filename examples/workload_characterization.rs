@@ -48,9 +48,6 @@ fn main() {
     println!("\ndedup, routine by routine (cf. paper Fig. 13):\n");
     println!(
         "{}",
-        to_table(
-            &["routine", "thread %", "external %", "first reads"],
-            &rows
-        )
+        to_table(&["routine", "thread %", "external %", "first reads"], &rows)
     );
 }

@@ -173,11 +173,7 @@ fn cct_profiler_matches_routine_sums_on_workloads() {
         for rid in 0..w.program.routines().len() as u32 {
             let routine = drms::trace::RoutineId::new(rid);
             let merged = prof.inner().report().merged_routine(routine);
-            let ctx_calls: u64 = prof
-                .contexts_of(routine)
-                .iter()
-                .map(|(_, p)| p.calls)
-                .sum();
+            let ctx_calls: u64 = prof.contexts_of(routine).iter().map(|(_, p)| p.calls).sum();
             assert_eq!(
                 ctx_calls, merged.calls,
                 "{}: context calls partition routine calls",
@@ -203,8 +199,7 @@ fn report_roundtrips_through_text_for_all_pattern_workloads() {
     ] {
         let (report, _) = drms::profile_workload(&w).expect("run");
         let text = report_io::to_text(&report);
-        let back = report_io::from_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let back = report_io::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(back, report, "{}", w.name);
     }
 }

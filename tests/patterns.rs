@@ -52,10 +52,10 @@ fn figure_6_metric_refinement_chain() {
     let w = imgpipe::vips(2, tasks, 1);
     let wb = w.program.routine_by_name("wbuffer_write_thread").unwrap();
     let (full, _) = drms::profile_workload(&w).expect("run");
-    let (ext, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
-        .expect("run");
-    let (none, _) = drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only())
-        .expect("run");
+    let (ext, _) =
+        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only()).expect("run");
+    let (none, _) =
+        drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only()).expect("run");
     let p_full = full.merged_routine(wb);
     let p_ext = ext.merged_routine(wb);
     let p_none = none.merged_routine(wb);

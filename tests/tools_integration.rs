@@ -63,9 +63,7 @@ fn callgrind_reconstructs_the_call_graph() {
     assert_eq!(cg.arc(consumer, consume).unwrap().calls, 8);
     assert_eq!(cg.arc(producer, produce).unwrap().calls, 8);
     assert!(cg.arc(consumer, produce).is_none());
-    let main_cost = cg
-        .routine_cost(p.routine_by_name("main").unwrap())
-        .unwrap();
+    let main_cost = cg.routine_cost(p.routine_by_name("main").unwrap()).unwrap();
     assert!(main_cost.inclusive >= main_cost.exclusive);
 }
 
@@ -131,5 +129,8 @@ fn shadow_footprints_order_matches_the_paper() {
     run_program(&w.program, w.run_config(), &mut cg).expect("run");
     assert!(hg.shadow_bytes() > dp.shadow_bytes(), "helgrind > drms");
     assert!(dp.shadow_bytes() > mc.shadow_bytes(), "drms > memcheck");
-    assert!(mc.shadow_bytes() > cg.shadow_bytes(), "memcheck > callgrind");
+    assert!(
+        mc.shadow_bytes() > cg.shadow_bytes(),
+        "memcheck > callgrind"
+    );
 }
