@@ -11,4 +11,9 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
 
+# Schedule-fuzz smoke gate: chaos-scan the fuzz workloads, replay every
+# failure strictly and shrink it. Exits non-zero on any panic, any
+# non-reproducible failure, or any unshrinkable failure.
+cargo run --release -q -p drms-bench --bin repro -- sched-fuzz --seeds 16 --quick
+
 echo "ci: all green"

@@ -6,7 +6,8 @@
 //!
 //! options:
 //!   --workload NAME     one of: producer_consumer, stream_reader,
-//!                       selection_sort, minidb, mysqlslap, vips,
+//!                       lock_order_inversion, selection_sort, minidb,
+//!                       mysqlslap, vips,
 //!                       blackscholes, bodytrack, canneal, dedup, ferret,
 //!                       fluidanimate, streamcluster, swaptions, x264,
 //!                       smithwa, nab, kdtree, botsalgn, md, imagick,
@@ -14,8 +15,15 @@
 //!   --threads N         worker threads for suite workloads (default 4)
 //!   --scale S           workload scale factor (default 2)
 //!   --tool NAME         aprof-drms (default) | aprof | external-only
-//!   --policy P          rr (default) | random:SEED
+//!   --policy P          rr (default) | random:SEED | chaos,seed=N
+//!   --sched P           alias of --policy (chaos fuzzing reads better as
+//!                       `--sched chaos,seed=7`)
 //!   --quantum N         scheduling quantum in basic blocks
+//!   --record-sched FILE record every scheduling decision of the profiled
+//!                       run into FILE (drms-sched text format)
+//!   --replay-sched FILE drive the scheduler from a recorded schedule;
+//!                       strict replay reproduces the recorded run's event
+//!                       stream and report byte for byte
 //!   --focus ROUTINE     print cost plots + fit for one routine
 //!   --fit               fit the focus (or every) routine's cost function
 //!   --faults SPEC       seeded kernel fault-injection plan, e.g.
@@ -29,13 +37,24 @@
 //!   --diff OLD NEW      compare two saved reports and print regressions
 //!                       (standalone mode: no --workload needed)
 //! ```
+//!
+//! Aborted runs still print whatever partial profile was collected, then
+//! exit with a distinct documented code per abort reason (see
+//! [`drms_bench::run_error_exit_code`]): 3 invalid program, 4 deadlock,
+//! 5 instruction budget, 6 corrupt guest stack, 7 schedule replay
+//! missing/diverged, 8 other guest errors. 0 is success, 1 generic
+//! failures, 2 usage errors.
 
 use drms::analysis::{ascii_plot, CostPlot, InputMetric};
-use drms::core::{report_io, CctProfiler, DrmsConfig, ProfileReport, RmsProfiler};
+use drms::core::{report_io, CctProfiler, DrmsConfig, DrmsProfiler, ProfileReport, RmsProfiler};
 use drms::trace::{merge_traces, TraceStats};
-use drms::vm::{disassemble, FaultPlan, RunConfig, RunStats, SchedPolicy, TraceRecorder, Vm};
+use drms::vm::{
+    disassemble, FaultPlan, RunConfig, RunError, RunStats, SchedPolicy, Tool, TraceRecorder, Vm,
+};
 use drms::workloads::{self, Workload};
+use drms_bench::run_error_exit_code;
 use std::process::exit;
+use std::sync::Arc;
 
 struct Cli {
     workload: Option<String>,
@@ -47,6 +66,8 @@ struct Cli {
     focus: Option<String>,
     fit: bool,
     faults: Option<String>,
+    record_sched: Option<String>,
+    replay_sched: Option<String>,
     context: bool,
     report: Option<String>,
     trace: Option<String>,
@@ -56,8 +77,23 @@ struct Cli {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy rr|random:SEED] [--quantum N]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE]");
     exit(2)
+}
+
+/// Parses a scheduling policy spec: `rr`, `random:SEED`, `chaos:SEED`;
+/// the seed may also be written `,seed=N` (e.g. `chaos,seed=7`).
+fn parse_policy(spec: &str) -> Option<SchedPolicy> {
+    if spec == "rr" {
+        return Some(SchedPolicy::RoundRobin);
+    }
+    let (name, arg) = spec.split_once([':', ','])?;
+    let seed = arg.strip_prefix("seed=").unwrap_or(arg).parse().ok()?;
+    match name {
+        "random" => Some(SchedPolicy::Random { seed }),
+        "chaos" => Some(SchedPolicy::Chaos { seed }),
+        _ => None,
+    }
 }
 
 fn parse_cli() -> Cli {
@@ -71,6 +107,8 @@ fn parse_cli() -> Cli {
         focus: None,
         fit: false,
         faults: None,
+        record_sched: None,
+        replay_sched: None,
         context: false,
         report: None,
         trace: None,
@@ -91,17 +129,12 @@ fn parse_cli() -> Cli {
             "--threads" => cli.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
             "--scale" => cli.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
             "--tool" => cli.tool = value("--tool"),
-            "--policy" => {
-                let v = value("--policy");
-                cli.policy = if v == "rr" {
-                    SchedPolicy::RoundRobin
-                } else if let Some(seed) = v.strip_prefix("random:") {
-                    SchedPolicy::Random {
-                        seed: seed.parse().unwrap_or_else(|_| usage()),
-                    }
-                } else {
+            "--policy" | "--sched" => {
+                let v = value(&arg);
+                cli.policy = parse_policy(&v).unwrap_or_else(|| {
+                    eprintln!("bad policy `{v}` (rr | random:SEED | chaos,seed=N)");
                     usage()
-                };
+                });
             }
             "--quantum" => {
                 cli.quantum = Some(value("--quantum").parse().unwrap_or_else(|_| usage()))
@@ -109,6 +142,8 @@ fn parse_cli() -> Cli {
             "--focus" => cli.focus = Some(value("--focus")),
             "--fit" => cli.fit = true,
             "--faults" => cli.faults = Some(value("--faults")),
+            "--record-sched" => cli.record_sched = Some(value("--record-sched")),
+            "--replay-sched" => cli.replay_sched = Some(value("--replay-sched")),
             "--context" => cli.context = true,
             "--report" => cli.report = Some(value("--report")),
             "--trace" => cli.trace = Some(value("--trace")),
@@ -133,6 +168,7 @@ fn lookup_workload(name: &str, threads: u32, scale: u32) -> Option<Workload> {
     let w = match name {
         "producer_consumer" => workloads::patterns::producer_consumer(50 * scale as i64),
         "stream_reader" => workloads::patterns::stream_reader(50 * scale as i64),
+        "lock_order_inversion" => workloads::patterns::lock_order_inversion(3 * scale as i64),
         "selection_sort" => workloads::sorting::selection_sort_default(12 * scale as i64),
         "minidb" => {
             let sizes: Vec<i64> = (1..=10).map(|i| i * 50 * scale as i64).collect();
@@ -226,6 +262,19 @@ fn main() {
             }
         }
     }
+    if let Some(path) = &cli.replay_sched {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1)
+        });
+        let sched = drms::trace::sched::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1)
+        });
+        config.policy = SchedPolicy::Replay { relaxed: false };
+        config.replay = Some(Arc::new(sched));
+    }
+    config.record_sched = cli.record_sched.is_some();
 
     // Optional trace capture (a separate run with identical scheduling).
     if cli.trace.is_some() || cli.trace_stats {
@@ -233,10 +282,7 @@ fn main() {
         Vm::new(&w.program, config.clone())
             .expect("valid workload")
             .run(&mut rec)
-            .unwrap_or_else(|e| {
-                eprintln!("{}: {e}", w.name);
-                exit(1)
-            });
+            .unwrap_or_else(|e| abort_exit(&w.name, &e));
         let merged = merge_traces(rec.into_traces());
         if cli.trace_stats {
             println!("{}", TraceStats::of(&merged));
@@ -253,10 +299,7 @@ fn main() {
         Vm::new(&w.program, config)
             .expect("valid workload")
             .run(&mut prof)
-            .unwrap_or_else(|e| {
-                eprintln!("{}: {e}", w.name);
-                exit(1)
-            });
+            .unwrap_or_else(|e| abort_exit(&w.name, &e));
         let focus = cli.focus.as_deref().unwrap_or_else(|| {
             w.focus_name().unwrap_or_else(|| {
                 eprintln!("--context needs --focus or a workload with a focus routine");
@@ -283,19 +326,14 @@ fn main() {
     }
 
     // Standard run under the selected profiler.
-    let (report, stats) = match cli.tool.as_str() {
-        "aprof-drms" => run_drms_tool(&w, config, DrmsConfig::full()),
-        "external-only" => run_drms_tool(&w, config, DrmsConfig::external_only()),
+    let record = cli.record_sched.as_deref();
+    let (report, stats, abort) = match cli.tool.as_str() {
+        "aprof-drms" => run_drms_tool(&w, config, DrmsConfig::full(), record),
+        "external-only" => run_drms_tool(&w, config, DrmsConfig::external_only(), record),
         "aprof" => {
             let mut p = RmsProfiler::new();
-            let stats = Vm::new(&w.program, config)
-                .expect("valid workload")
-                .run(&mut p)
-                .unwrap_or_else(|e| {
-                    eprintln!("{}: {e}", w.name);
-                    exit(1)
-                });
-            (p.into_report(), stats)
+            let (stats, abort) = run_vm(&w, config, &mut p, record);
+            (p.into_report(), stats, abort)
         }
         other => {
             eprintln!("unknown tool `{other}` (aprof-drms | aprof | external-only)");
@@ -327,22 +365,62 @@ fn main() {
         std::fs::write(path, report_io::to_text(&report)).expect("write report");
         println!("report written to {path} ({} profiles)", report.len());
     }
+    if let Some(e) = abort {
+        exit(run_error_exit_code(&e));
+    }
+}
+
+/// Reports a fatal guest error and exits with its documented code.
+fn abort_exit(workload: &str, e: &RunError) -> ! {
+    eprintln!("{workload}: {e}");
+    exit(run_error_exit_code(e))
+}
+
+/// Builds and runs a VM under `tool`, writing the recorded schedule to
+/// `record` (when given) and returning the stats plus the abort reason.
+/// Setup failures exit immediately with their documented code.
+fn run_vm(
+    w: &Workload,
+    config: RunConfig,
+    tool: &mut dyn Tool,
+    record: Option<&str>,
+) -> (RunStats, Option<RunError>) {
+    let mut vm = match Vm::new(&w.program, config) {
+        Ok(vm) => vm,
+        Err(e) => abort_exit(&w.name, &e),
+    };
+    let error = vm.run(tool).err();
+    if let Some(path) = record {
+        let sched = vm
+            .take_recorded_schedule()
+            .expect("--record-sched enables recording");
+        std::fs::write(path, drms::trace::sched::to_text(&sched)).expect("write schedule");
+        println!(
+            "schedule written to {path} ({} decisions, {} forced preemptions)",
+            sched.len(),
+            sched.preemption_points()
+        );
+    }
+    (vm.stats().clone(), error)
 }
 
 /// Runs the drms profiler, keeping whatever profile data an aborted run
 /// produced instead of discarding it.
-fn run_drms_tool(w: &Workload, config: RunConfig, drms: DrmsConfig) -> (ProfileReport, RunStats) {
-    let outcome = drms::profile_partial(&w.program, config, drms).unwrap_or_else(|e| {
-        eprintln!("{}: {e}", w.name);
-        exit(1)
-    });
-    if let Some(e) = &outcome.error {
+fn run_drms_tool(
+    w: &Workload,
+    config: RunConfig,
+    drms: DrmsConfig,
+    record: Option<&str>,
+) -> (ProfileReport, RunStats, Option<RunError>) {
+    let mut profiler = DrmsProfiler::new(drms);
+    let (stats, error) = run_vm(w, config, &mut profiler, record);
+    if let Some(e) = &error {
         eprintln!(
             "{}: run aborted ({e}); reporting the partial profile",
             w.name
         );
     }
-    (outcome.report, outcome.stats)
+    (profiler.into_report(), stats, error)
 }
 
 /// Standalone report comparison: load two report_io dumps and print the

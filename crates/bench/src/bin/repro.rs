@@ -18,6 +18,15 @@
 //!   sched   scheduler-sensitivity study (§4.2)
 //!   faults  robustness study: minidb under injected kernel faults
 //!   all     everything above
+//!
+//!   sched-fuzz    chaos-fuzz the scheduler: N seeds per workload
+//!                 ([--seeds N] [--quick]); prints the drms-variance
+//!                 summary, strict-replays every failure, shrinks its
+//!                 schedule, and exits nonzero if any failure cannot be
+//!                 replayed or shrunk
+//!   sched-shrink  minimize a failing schedule ([--sched FILE] from
+//!                 sched-fuzz/aprof --record-sched, or self-seeded);
+//!                 writes the minimized .sched and prints the wait-graph
 //! ```
 //!
 //! Each experiment prints its series and also writes CSV/gnuplot data
@@ -38,6 +47,9 @@ struct Options {
     threads: u32,
     scale: u32,
     out: PathBuf,
+    seeds: u64,
+    quick: bool,
+    sched: Option<String>,
 }
 
 fn main() {
@@ -47,6 +59,9 @@ fn main() {
         threads: 4,
         scale: 2,
         out: PathBuf::from("target/repro"),
+        seeds: 16,
+        quick: false,
+        sched: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +77,11 @@ fn main() {
             "--out" => {
                 opts.out = PathBuf::from(args.next().expect("--out DIR"));
             }
+            "--seeds" => {
+                opts.seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N");
+            }
+            "--quick" => opts.quick = true,
+            "--sched" => opts.sched = Some(args.next().expect("--sched FILE")),
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -70,7 +90,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all>");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE]");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -88,6 +108,8 @@ fn main() {
         "table1" => table1(&opts),
         "sched" => sched(&opts),
         "faults" => faults(&opts),
+        "sched-fuzz" => sched_fuzz(&opts),
+        "sched-shrink" => sched_shrink(&opts),
         "all" => {
             fig4(&opts);
             fig5(&opts);
@@ -647,5 +669,166 @@ fn sched(opts: &Options) {
         &opts.out,
         "sched.csv",
         &format!("benchmark,policy,thread_induced,kernel_induced\n{csv}"),
+    );
+}
+
+/// The schedule fuzzer's targets: small pattern workloads whose behavior
+/// under adversarial interleavings is fully understood — one genuinely
+/// racy program (the lock-order inversion) and two correct ones that
+/// must survive any schedule.
+fn fuzz_workloads(quick: bool) -> Vec<Workload> {
+    let n: i64 = if quick { 6 } else { 12 };
+    vec![
+        workloads::patterns::lock_order_inversion(n),
+        workloads::patterns::producer_consumer(2 * n),
+        workloads::patterns::stream_reader(2 * n),
+    ]
+}
+
+/// Schedule fuzzing gate: run every fuzz workload under `--seeds` chaos
+/// seeds, print the per-routine drms-variance summary, and put each
+/// failing seed through the full robustness pipeline — strict replay
+/// must reproduce the failure exactly and the shrinker must minimize its
+/// schedule. Any unreproducible or unshrinkable failure fails the run.
+fn sched_fuzz(opts: &Options) {
+    use drms::sched::{chaos_scan, replay_run, shrink_failing_schedule};
+    use std::sync::Arc;
+    println!(
+        "\n=== Schedule fuzz: chaos policy, {} seeds{} ===",
+        opts.seeds,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
+    let mut bad = 0usize;
+    for w in fuzz_workloads(opts.quick) {
+        let scan = chaos_scan(&w.program, &w.run_config(), &seeds).expect("valid workload");
+        let failures: Vec<_> = scan.failures().collect();
+        println!(
+            "\n[{}] {}/{} seeds completed, {} failed",
+            w.name,
+            scan.completed(),
+            seeds.len(),
+            failures.len()
+        );
+        let names = w.program.name_table();
+        print!(
+            "{}",
+            scan.variance
+                .render(|r| names.get(r).unwrap_or("?").to_owned())
+        );
+        for f in &failures {
+            let err = f.outcome.error.clone().expect("failing run has an error");
+            let strict = replay_run(&w.program, &w.run_config(), Arc::clone(&f.schedule), false)
+                .expect("valid workload");
+            if strict.outcome.error.as_ref() != Some(&err) {
+                println!(
+                    "  seed {}: NOT REPRODUCIBLE under strict replay: {err}",
+                    f.seed
+                );
+                bad += 1;
+                continue;
+            }
+            match shrink_failing_schedule(&w.program, &w.run_config(), &f.schedule, &err) {
+                Some(s) => {
+                    println!(
+                        "  seed {}: {err}; shrunk {} -> {} preemption points in {} replays",
+                        f.seed, s.original_points, s.minimized_points, s.attempts
+                    );
+                    save(
+                        &opts.out,
+                        &format!("{}_seed{}.sched", w.name, f.seed),
+                        &drms::trace::sched::to_text(&s.minimized),
+                    );
+                }
+                None => {
+                    println!("  seed {}: UNSHRINKABLE: {err}", f.seed);
+                    bad += 1;
+                }
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("sched-fuzz: {bad} failure(s) did not replay deterministically or shrink");
+        std::process::exit(1);
+    }
+    println!("\nsched-fuzz: every failure replayed deterministically and shrank");
+}
+
+/// Minimize one failing schedule. With `--sched FILE` the schedule comes
+/// from a previous `sched-fuzz` / `aprof --record-sched` run (against
+/// the same fuzz workload and `--quick` setting); without it, the
+/// command hunts a failing chaos seed itself. Writes the minimized
+/// `.sched` next to the other outputs and prints the deadlock
+/// wait-graph.
+fn sched_shrink(opts: &Options) {
+    use drms::sched::{chaos_scan, replay_run, shrink_failing_schedule};
+    use drms::vm::RunError;
+    use std::sync::Arc;
+    let w = fuzz_workloads(opts.quick)
+        .into_iter()
+        .next()
+        .expect("fuzz workloads are non-empty");
+    println!("\n=== Schedule shrink on {} ===", w.name);
+    let (schedule, err) = match &opts.sched {
+        Some(path) => {
+            let text = fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1)
+            });
+            let schedule = Arc::new(drms::trace::sched::from_text(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(2)
+            }));
+            let run = replay_run(&w.program, &w.run_config(), Arc::clone(&schedule), true)
+                .expect("valid workload");
+            let Some(err) = run.outcome.error else {
+                eprintln!(
+                    "{path}: schedule does not reproduce a failure on {}",
+                    w.name
+                );
+                std::process::exit(1)
+            };
+            (schedule, err)
+        }
+        None => {
+            let seeds: Vec<u64> = (0..opts.seeds.max(16)).collect();
+            let scan = chaos_scan(&w.program, &w.run_config(), &seeds).expect("valid workload");
+            let Some(f) = scan
+                .failures()
+                .max_by_key(|r| r.schedule.preemption_points())
+            else {
+                eprintln!("no chaos seed in 0..{} fails {}", seeds.len(), w.name);
+                std::process::exit(1)
+            };
+            println!("  seed {} fails; using its recorded schedule", f.seed);
+            (
+                Arc::clone(&f.schedule),
+                f.outcome.error.clone().expect("failing run has an error"),
+            )
+        }
+    };
+    let Some(s) = shrink_failing_schedule(&w.program, &w.run_config(), &schedule, &err) else {
+        eprintln!("the schedule does not reproduce its own failure");
+        std::process::exit(1)
+    };
+    println!(
+        "  shrunk {} -> {} decisions, {} -> {} preemption points ({} replays)",
+        schedule.len(),
+        s.minimized.len(),
+        s.original_points,
+        s.minimized_points,
+        s.attempts
+    );
+    println!("  minimized failure: {}", s.error);
+    if let RunError::Deadlock { blocked } = &s.error {
+        println!("  wait-graph:");
+        for b in blocked {
+            println!("    {b}");
+        }
+    }
+    save(
+        &opts.out,
+        "minimized.sched",
+        &drms::trace::sched::to_text(&s.minimized),
     );
 }

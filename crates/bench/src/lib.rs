@@ -161,3 +161,63 @@ mod tests {
         }
     }
 }
+
+/// Process exit code for a guest abort, one distinct code per failure
+/// class so scripts and CI can dispatch on `$?` without parsing stderr:
+///
+/// | code | abort reason |
+/// |---|---|
+/// | 3 | invalid guest program ([`RunError::Validate`]) |
+/// | 4 | deadlock ([`RunError::Deadlock`]) |
+/// | 5 | watchdog instruction budget ([`RunError::InstructionLimit`]) |
+/// | 6 | corrupt guest stack ([`RunError::CorruptStack`]) |
+/// | 7 | schedule replay failed ([`RunError::ScheduleMissing`] / [`RunError::ScheduleDiverged`]) |
+/// | 8 | any other guest error (bad address, division by zero, misused mutex, …) |
+///
+/// Codes 0–2 are reserved for success, generic I/O failures and usage
+/// errors respectively.
+pub fn run_error_exit_code(e: &drms::vm::RunError) -> i32 {
+    use drms::vm::RunError;
+    match e {
+        RunError::Validate(_) => 3,
+        RunError::Deadlock { .. } => 4,
+        RunError::InstructionLimit { .. } => 5,
+        RunError::CorruptStack { .. } => 6,
+        RunError::ScheduleMissing | RunError::ScheduleDiverged { .. } => 7,
+        _ => 8,
+    }
+}
+
+#[cfg(test)]
+mod exit_code_tests {
+    use super::run_error_exit_code;
+    use drms::trace::ThreadId;
+    use drms::vm::{RunError, ValidateError};
+
+    #[test]
+    fn every_failure_class_has_a_distinct_documented_code() {
+        let cases = [
+            (RunError::Validate(ValidateError::BadMain), 3),
+            (RunError::Deadlock { blocked: vec![] }, 4),
+            (RunError::InstructionLimit { limit: 1 }, 5),
+            (
+                RunError::CorruptStack {
+                    thread: ThreadId::MAIN,
+                },
+                6,
+            ),
+            (RunError::ScheduleMissing, 7),
+            (
+                RunError::ScheduleDiverged {
+                    slice: 0,
+                    reason: String::new(),
+                },
+                7,
+            ),
+            (RunError::BadAddress { value: -1 }, 8),
+        ];
+        for (err, code) in cases {
+            assert_eq!(run_error_exit_code(&err), code, "{err}");
+        }
+    }
+}

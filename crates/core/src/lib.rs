@@ -63,6 +63,7 @@ pub mod naive;
 pub mod profile;
 pub mod report_io;
 pub mod rms;
+pub mod variance;
 
 pub use context::{CctProfiler, ContextId, ContextTree};
 pub use diff::{diff_reports, regressions, RoutineChange, RoutineDelta};
@@ -71,3 +72,4 @@ pub use naive::NaiveProfiler;
 pub use profile::{CostStats, InputBreakdown, ProfileReport, RoutineProfile};
 pub use report_io::ParseReportError;
 pub use rms::RmsProfiler;
+pub use variance::{drms_variance, RoutineVariance, VarianceReport};

@@ -1,0 +1,208 @@
+//! Cross-run drms variance: how schedule-sensitive each routine's
+//! measured input sizes are.
+//!
+//! The drms of a routine depends on the interleaving the scheduler
+//! produced (§4.2 of the paper: induced first reads appear where another
+//! thread's store lands between two reads). Profiling the same program
+//! under N chaos seeds and aggregating the per-routine terminal drms
+//! values quantifies that sensitivity: a routine whose drms is identical
+//! across seeds has a schedule-independent cost function; a large spread
+//! flags a routine whose cost plot should be read as one sample of a
+//! distribution.
+
+use crate::profile::ProfileReport;
+use drms_trace::RoutineId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The drms spread of one routine across a set of runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutineVariance {
+    /// The routine.
+    pub routine: RoutineId,
+    /// Runs in which the routine was activated at least once.
+    pub runs: usize,
+    /// Smallest terminal (largest-observed) drms across runs.
+    pub min_drms: u64,
+    /// Largest terminal drms across runs.
+    pub max_drms: u64,
+    /// Mean terminal drms across runs.
+    pub mean_drms: f64,
+    /// Per-run terminal drms values, in run order (runs where the
+    /// routine never ran are absent).
+    pub samples: Vec<u64>,
+}
+
+impl RoutineVariance {
+    /// Relative spread `(max − min) / mean`, `0` for degenerate data.
+    /// Zero means the routine's drms is schedule-independent over the
+    /// sampled seeds.
+    pub fn spread(&self) -> f64 {
+        if self.mean_drms <= 0.0 {
+            0.0
+        } else {
+            (self.max_drms - self.min_drms) as f64 / self.mean_drms
+        }
+    }
+
+    /// Whether every sampled run observed the same terminal drms.
+    pub fn is_stable(&self) -> bool {
+        self.min_drms == self.max_drms
+    }
+}
+
+/// Per-routine drms spread across N runs of one program (typically one
+/// chaos seed per run). Produced by [`drms_variance`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VarianceReport {
+    /// One entry per routine observed in any run, in routine-id order.
+    pub per_routine: Vec<RoutineVariance>,
+    /// Number of reports aggregated.
+    pub runs: usize,
+}
+
+impl VarianceReport {
+    /// The entry of one routine, if it was ever activated.
+    pub fn routine(&self, routine: RoutineId) -> Option<&RoutineVariance> {
+        self.per_routine.iter().find(|v| v.routine == routine)
+    }
+
+    /// Routines whose drms differed between runs, worst spread first.
+    pub fn unstable(&self) -> Vec<&RoutineVariance> {
+        let mut out: Vec<&RoutineVariance> =
+            self.per_routine.iter().filter(|v| !v.is_stable()).collect();
+        out.sort_by(|a, b| {
+            b.spread()
+                .partial_cmp(&a.spread())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// Renders the `drms-variance` summary table, resolving routine
+    /// names through `name`.
+    pub fn render(&self, name: impl Fn(RoutineId) -> String) -> String {
+        let mut out = format!("drms-variance over {} run(s)\n", self.runs);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>10} {:>10} {:>12} {:>8}",
+            "routine", "runs", "min drms", "max drms", "mean drms", "spread"
+        );
+        for v in &self.per_routine {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>5} {:>10} {:>10} {:>12.1} {:>8.3}",
+                name(v.routine),
+                v.runs,
+                v.min_drms,
+                v.max_drms,
+                v.mean_drms,
+                v.spread()
+            );
+        }
+        out
+    }
+}
+
+/// Aggregates the per-routine terminal drms of each report: for every
+/// routine, the largest drms value any activation observed in that run
+/// (the rightmost point of its cost plot), summarized across runs.
+pub fn drms_variance(reports: &[ProfileReport]) -> VarianceReport {
+    let mut samples: BTreeMap<RoutineId, Vec<u64>> = BTreeMap::new();
+    for report in reports {
+        for (routine, profile) in report.merged_by_routine() {
+            if let Some((&drms, _)) = profile.by_drms.iter().next_back() {
+                samples.entry(routine).or_default().push(drms);
+            }
+        }
+    }
+    let per_routine = samples
+        .into_iter()
+        .map(|(routine, samples)| {
+            let min_drms = samples.iter().copied().min().unwrap_or(0);
+            let max_drms = samples.iter().copied().max().unwrap_or(0);
+            let mean_drms = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+            RoutineVariance {
+                routine,
+                runs: samples.len(),
+                min_drms,
+                max_drms,
+                mean_drms,
+                samples,
+            }
+        })
+        .collect();
+    VarianceReport {
+        per_routine,
+        runs: reports.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_trace::ThreadId;
+
+    fn report_with(drms_values: &[(u32, u64)]) -> ProfileReport {
+        let mut rep = ProfileReport::new();
+        for &(r, d) in drms_values {
+            rep.entry(RoutineId::new(r), ThreadId::MAIN)
+                .record(1, d, 10);
+        }
+        rep
+    }
+
+    #[test]
+    fn stable_routine_has_zero_spread() {
+        let reports = vec![report_with(&[(0, 8)]), report_with(&[(0, 8)])];
+        let v = drms_variance(&reports);
+        assert_eq!(v.runs, 2);
+        let r = v.routine(RoutineId::new(0)).unwrap();
+        assert!(r.is_stable());
+        assert_eq!(r.spread(), 0.0);
+        assert_eq!((r.min_drms, r.max_drms), (8, 8));
+        assert!(v.unstable().is_empty());
+    }
+
+    #[test]
+    fn unstable_routine_reports_its_spread() {
+        let reports = vec![
+            report_with(&[(0, 4), (1, 100)]),
+            report_with(&[(0, 4), (1, 60)]),
+            report_with(&[(0, 4), (1, 80)]),
+        ];
+        let v = drms_variance(&reports);
+        let r1 = v.routine(RoutineId::new(1)).unwrap();
+        assert_eq!((r1.min_drms, r1.max_drms), (60, 100));
+        assert!((r1.mean_drms - 80.0).abs() < 1e-9);
+        assert!((r1.spread() - 0.5).abs() < 1e-9);
+        assert_eq!(r1.samples, vec![100, 60, 80]);
+        let unstable = v.unstable();
+        assert_eq!(unstable.len(), 1);
+        assert_eq!(unstable[0].routine, RoutineId::new(1));
+    }
+
+    #[test]
+    fn routines_missing_from_some_runs_count_only_observed_runs() {
+        let reports = vec![report_with(&[(0, 4)]), report_with(&[(1, 9)])];
+        let v = drms_variance(&reports);
+        assert_eq!(v.routine(RoutineId::new(0)).unwrap().runs, 1);
+        assert_eq!(v.routine(RoutineId::new(1)).unwrap().runs, 1);
+    }
+
+    #[test]
+    fn render_lists_every_routine() {
+        let reports = vec![report_with(&[(0, 4), (1, 7)])];
+        let text = drms_variance(&reports).render(|r| format!("fn{}", r.index()));
+        assert!(text.contains("fn0"));
+        assert!(text.contains("fn1"));
+        assert!(text.starts_with("drms-variance over 1 run(s)"));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let v = drms_variance(&[]);
+        assert_eq!(v.runs, 0);
+        assert!(v.per_routine.is_empty());
+    }
+}

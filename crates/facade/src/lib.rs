@@ -33,6 +33,8 @@
 //! assert_eq!(p.drms_plot().last().unwrap().0, 16);
 //! ```
 
+pub mod sched;
+
 pub use drms_analysis as analysis;
 pub use drms_core as core;
 pub use drms_tools as tools;

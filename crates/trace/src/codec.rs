@@ -61,7 +61,8 @@ pub fn to_text(events: &[TimedEvent]) -> String {
 }
 
 /// FNV-1a hash of a line payload (the bytes before the ` ~<hex>` token).
-fn checksum(payload: &str) -> u64 {
+/// Shared with the schedule codec in [`crate::sched`].
+pub(crate) fn checksum(payload: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in payload.bytes() {
         h ^= u64::from(b);
@@ -140,6 +141,11 @@ pub fn from_text(text: &str) -> Result<Vec<TimedEvent>, ParseTraceError> {
 pub struct SalvagedTrace {
     /// Events of the longest valid prefix.
     pub events: Vec<TimedEvent>,
+    /// Non-comment lines successfully parsed into events.
+    pub salvaged_lines: usize,
+    /// Non-comment lines dropped (the first malformed line and
+    /// everything after it).
+    pub dropped_lines: usize,
     /// Human-readable descriptions of what was dropped and why
     /// (empty when the whole text parsed cleanly).
     pub warnings: Vec<String>,
@@ -148,7 +154,7 @@ pub struct SalvagedTrace {
 impl SalvagedTrace {
     /// Whether any line failed to parse (i.e. data was dropped).
     pub fn is_damaged(&self) -> bool {
-        !self.warnings.is_empty()
+        self.dropped_lines > 0
     }
 }
 
@@ -162,7 +168,6 @@ impl SalvagedTrace {
 /// it arbitrary bytes yields an empty (or partial) event list.
 pub fn from_text_lossy(text: &str) -> SalvagedTrace {
     let mut salvage = SalvagedTrace::default();
-    let mut dropped = 0usize;
     let mut first_error: Option<ParseTraceError> = None;
     for (i, line) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -171,13 +176,16 @@ pub fn from_text_lossy(text: &str) -> SalvagedTrace {
             continue;
         }
         if first_error.is_some() {
-            dropped += 1;
+            salvage.dropped_lines += 1;
             continue;
         }
         match parse_line(line, line_no) {
-            Ok(ev) => salvage.events.push(ev),
+            Ok(ev) => {
+                salvage.events.push(ev);
+                salvage.salvaged_lines += 1;
+            }
             Err(e) => {
-                dropped += 1;
+                salvage.dropped_lines += 1;
                 first_error = Some(e);
             }
         }
@@ -185,8 +193,7 @@ pub fn from_text_lossy(text: &str) -> SalvagedTrace {
     if let Some(e) = first_error {
         salvage.warnings.push(format!(
             "{e}; salvaged {} event(s), dropped {} line(s)",
-            salvage.events.len(),
-            dropped
+            salvage.salvaged_lines, salvage.dropped_lines
         ));
     }
     salvage
@@ -480,6 +487,8 @@ mod tests {
         let s = from_text_lossy(&to_text(&evs));
         assert_eq!(s.events, evs);
         assert!(!s.is_damaged());
+        assert_eq!(s.salvaged_lines, evs.len());
+        assert_eq!(s.dropped_lines, 0);
     }
 
     #[test]
@@ -492,6 +501,8 @@ mod tests {
         let s = from_text_lossy(&lines.join("\n"));
         assert_eq!(s.events, evs[..4].to_vec());
         assert!(s.is_damaged());
+        assert_eq!(s.salvaged_lines, 4);
+        assert_eq!(s.dropped_lines, evs.len() - 4);
         assert_eq!(s.warnings.len(), 1);
         assert!(s.warnings[0].contains("line 5"), "{}", s.warnings[0]);
         assert!(s.warnings[0].contains("salvaged 4"), "{}", s.warnings[0]);
@@ -514,6 +525,8 @@ mod tests {
         let s = from_text_lossy("not a trace\n\u{1F980} bytes ~zz\n");
         assert!(s.events.is_empty());
         assert!(s.is_damaged());
+        assert_eq!(s.salvaged_lines, 0);
+        assert_eq!(s.dropped_lines, 2);
     }
 
     #[test]

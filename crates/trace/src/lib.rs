@@ -41,6 +41,7 @@ pub mod event;
 pub mod ids;
 pub mod merge;
 pub mod replay;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 
@@ -49,5 +50,6 @@ pub use event::{Event, SyncOp, TimedEvent};
 pub use ids::{Addr, BlockId, NameTable, RoutineId, ThreadId};
 pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};
 pub use replay::{replay, EventSink};
+pub use sched::{PreemptCause, SalvagedSchedule, SchedDecision, Schedule};
 pub use stats::TraceStats;
 pub use trace::ThreadTrace;

@@ -179,12 +179,20 @@ impl FaultPlan {
     /// Returns [`FaultSpecError`] naming the malformed element.
     pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
         let mut plan = FaultPlan::default();
+        let mut seed_seen = false;
         for element in spec
             .split([',', ';'])
             .map(str::trim)
             .filter(|e| !e.is_empty())
         {
             if let Some(seed) = element.strip_prefix("seed=") {
+                if seed_seen {
+                    return Err(spec_error(format!(
+                        "`{element}`: duplicate seed element (seed already set to {})",
+                        plan.seed
+                    )));
+                }
+                seed_seen = true;
                 plan.seed = seed
                     .parse()
                     .map_err(|_| spec_error(format!("`{element}`: seed must be an integer")))?;
@@ -195,8 +203,49 @@ impl FaultPlan {
         if plan.rules.is_empty() {
             return Err(spec_error("no rules given"));
         }
+        check_rule_consistency(&plan.rules)?;
         Ok(plan)
     }
+}
+
+/// Whether the trigger fires on every matching operation.
+fn always_fires(t: FaultTrigger) -> bool {
+    match t {
+        FaultTrigger::Every { period: 1, .. } => true,
+        FaultTrigger::Prob { num, den } => den > 0 && num >= den,
+        _ => false,
+    }
+}
+
+/// Whether every operation matched by `b`'s selectors is also matched
+/// by `a`'s (i.e. `a` is equally or more general).
+fn covers(a: &FaultRule, b: &FaultRule) -> bool {
+    (a.fd.is_none() || a.fd == b.fd) && (a.class.is_none() || a.class == b.class)
+}
+
+/// Rejects duplicate and contradictory (unreachable) rules: since the
+/// first matching rule that fires wins, a later rule shadowed by an
+/// equally-general, always-firing earlier rule is dead configuration —
+/// almost certainly a typo in the spec — and an exact duplicate can
+/// only ever lose the race to its first copy.
+fn check_rule_consistency(rules: &[FaultRule]) -> Result<(), FaultSpecError> {
+    for (i, rule) in rules.iter().enumerate() {
+        for earlier in &rules[..i] {
+            if earlier == rule {
+                return Err(spec_error(format!(
+                    "duplicate rule `{rule}`: an identical earlier rule already decides \
+                     these operations"
+                )));
+            }
+            if covers(earlier, rule) && always_fires(earlier.trigger) {
+                return Err(spec_error(format!(
+                    "rule `{rule}` can never fire: earlier rule `{earlier}` matches the \
+                     same operations and always fires first"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Display for FaultPlan {
@@ -444,6 +493,107 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn duplicate_rules_are_rejected_with_a_precise_message() {
+        let e = FaultPlan::parse("fd0:eio:once=2,fd0:eio:once=2").unwrap_err();
+        assert!(e.message.contains("duplicate rule"), "{e}");
+        assert!(e.message.contains("fd0:eio:once=2"), "{e}");
+    }
+
+    #[test]
+    fn shadowed_rules_are_rejected_with_a_precise_message() {
+        // `eio` (no trigger) fires on every operation of every fd, so
+        // the later eintr rule can never win.
+        let e = FaultPlan::parse("eio,fd0:eintr:once=3").unwrap_err();
+        assert!(e.message.contains("can never fire"), "{e}");
+        assert!(e.message.contains("eio"), "{e}");
+        // An always-true probability shadows the same way.
+        let e = FaultPlan::parse("in:eagain:p=4/4,in:eio:every=5").unwrap_err();
+        assert!(e.message.contains("can never fire"), "{e}");
+    }
+
+    #[test]
+    fn narrower_always_firing_rules_do_not_shadow_broader_ones() {
+        // fd0:eio always fires but only on fd 0; the eintr rule still
+        // applies to every other descriptor.
+        let plan = FaultPlan::parse("fd0:eio,eintr:once=3").unwrap();
+        assert_eq!(plan.rules.len(), 2);
+        let mut s = FaultState::new(plan);
+        assert_eq!(s.decide(1, Direction::Input, 3), Some(FaultKind::Eintr));
+    }
+
+    #[test]
+    fn duplicate_seed_elements_are_rejected() {
+        let e = FaultPlan::parse("seed=1,seed=2,eio").unwrap_err();
+        assert!(e.message.contains("duplicate seed"), "{e}");
+        assert!(e.message.contains("already set to 1"), "{e}");
+    }
+
+    /// Seeded-loop property: `parse(plan.to_string()) == plan` for any
+    /// plan the grammar accepts, so `--faults` strings round-trip and
+    /// are self-documenting.
+    #[test]
+    fn display_parse_roundtrip_property() {
+        let mut rng = SmallRng::seed_from_u64(0xFA017);
+        let kinds = [
+            FaultKind::ShortRead,
+            FaultKind::ShortWrite,
+            FaultKind::Eintr,
+            FaultKind::Eagain,
+            FaultKind::Eio,
+        ];
+        let mut valid = 0u32;
+        for _ in 0..256 {
+            let n_rules = 1 + rng.gen_range(0usize..4);
+            let rules: Vec<FaultRule> = (0..n_rules)
+                .map(|_| FaultRule {
+                    fd: rng.gen_ratio(1, 2).then(|| rng.gen_range(0i64..4)),
+                    class: match rng.gen_range(0u32..3) {
+                        0 => None,
+                        1 => Some(Direction::Input),
+                        _ => Some(Direction::Output),
+                    },
+                    kind: kinds[rng.gen_range(0usize..kinds.len())],
+                    trigger: match rng.gen_range(0u32..3) {
+                        0 => FaultTrigger::Every {
+                            period: 1 + rng.gen_range(0u64..5),
+                            phase: rng.gen_range(0u64..3),
+                        },
+                        1 => {
+                            let den = 1 + rng.gen_range(0u64..8) as u32;
+                            FaultTrigger::Prob {
+                                num: rng.gen_range(0u64..=den as u64) as u32,
+                                den,
+                            }
+                        }
+                        _ => FaultTrigger::Once {
+                            at: 1 + rng.gen_range(0u64..100),
+                        },
+                    },
+                })
+                .collect();
+            let plan = FaultPlan {
+                seed: rng.gen_range(0u64..1_000_000),
+                rules,
+            };
+            match FaultPlan::parse(&plan.to_string()) {
+                Ok(parsed) => {
+                    assert_eq!(parsed, plan, "roundtrip of `{plan}`");
+                    valid += 1;
+                }
+                Err(e) => {
+                    // Randomly generated plans may contain duplicate or
+                    // shadowed rules; the parser must say so precisely.
+                    assert!(
+                        e.message.contains("duplicate") || e.message.contains("can never fire"),
+                        "unexpected rejection of `{plan}`: {e}"
+                    );
+                }
+            }
+        }
+        assert!(valid > 128, "most generated plans are valid ({valid}/256)");
     }
 
     #[test]

@@ -11,10 +11,12 @@ use crate::ir::{Inst, Operand, Program, Reg, Terminator, ValidateError};
 use crate::kernel::{Direction, Kernel, KernelError, Syscall};
 use crate::memory::Memory;
 use crate::rng::SmallRng;
+use crate::sched::{Scheduler, StepKind};
 use crate::shadow::ADDRESS_LIMIT;
-use crate::stats::{CostKind, RunConfig, RunStats, SchedPolicy};
+use crate::stats::{CostKind, RunConfig, RunStats};
 use crate::tool::Tool;
-use drms_trace::{Addr, BlockId, RoutineId, SyncOp, ThreadId};
+use drms_trace::sched::PreemptCause;
+use drms_trace::{Addr, BlockId, RoutineId, Schedule, SyncOp, ThreadId};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -94,6 +96,18 @@ pub enum RunError {
     MutexReentry { mutex: u32, thread: ThreadId },
     /// `Join` on a value that is not a thread id.
     BadThreadId { value: i64 },
+    /// The policy is [`SchedPolicy::Replay`] but
+    /// [`RunConfig::replay`] holds no schedule.
+    ScheduleMissing,
+    /// A strict replay could not honor the recorded schedule: the guest
+    /// behaved differently from the recording run (e.g. a different
+    /// program, config, or fault plan was supplied).
+    ScheduleDiverged {
+        /// Index of the recorded decision that could not be honored.
+        slice: usize,
+        /// What differed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -124,11 +138,24 @@ impl fmt::Display for RunError {
                 write!(f, "{thread} re-locked mutex {mutex} it already holds")
             }
             RunError::BadThreadId { value } => write!(f, "bad thread id {value}"),
+            RunError::ScheduleMissing => {
+                write!(f, "replay policy selected but no schedule was provided")
+            }
+            RunError::ScheduleDiverged { slice, reason } => {
+                write!(f, "replay diverged at schedule slice {slice}: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Validate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ValidateError> for RunError {
     fn from(e: ValidateError) -> Self {
@@ -195,12 +222,29 @@ enum Step {
     Continue,
     /// Control entered a (new) basic block.
     BlockEntered,
+    /// A synchronization operation completed without blocking — a
+    /// potential chaos preemption point.
+    Synced,
+    /// A kernel transfer (syscall) executed — a potential chaos
+    /// preemption point.
+    Kernel,
     /// The thread blocked; the instruction will re-execute on wake.
     Blocked,
     /// The thread voluntarily ended its quantum.
     Yielded,
     /// The thread exited.
     Exited,
+}
+
+impl Step {
+    fn kind(&self) -> StepKind {
+        match self {
+            Step::BlockEntered => StepKind::Block,
+            Step::Synced => StepKind::Sync,
+            Step::Kernel => StepKind::Kernel,
+            Step::Continue | Step::Blocked | Step::Yielded | Step::Exited => StepKind::Plain,
+        }
+    }
 }
 
 /// A guest virtual machine ready to execute one program.
@@ -227,8 +271,7 @@ pub struct Vm<'p> {
     mutexes: Vec<Mutex>,
     conds: Vec<Cond>,
     stats: RunStats,
-    sched_last: usize,
-    sched_rng: SmallRng,
+    sched: Scheduler,
 }
 
 impl<'p> Vm<'p> {
@@ -262,10 +305,7 @@ impl<'p> Vm<'p> {
             })
             .collect();
         let conds = (0..program.cond_count()).map(|_| Cond::default()).collect();
-        let sched_seed = match config.policy {
-            SchedPolicy::Random { seed } => seed,
-            SchedPolicy::RoundRobin => 0,
-        };
+        let sched = Scheduler::new(&config)?;
         Ok(Vm {
             program,
             config,
@@ -276,8 +316,7 @@ impl<'p> Vm<'p> {
             mutexes,
             conds,
             stats: RunStats::default(),
-            sched_last: 0,
-            sched_rng: SmallRng::seed_from_u64(sched_seed),
+            sched,
         })
     }
 
@@ -317,6 +356,11 @@ impl<'p> Vm<'p> {
     /// register values.
     pub fn run<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<RunStats, RunError> {
         let result = self.run_inner(tool);
+        if result.is_err() {
+            // Flush the in-progress slice so a recorded failing run
+            // replays to the same failure point.
+            self.sched.abort_slice();
+        }
         self.stats.guest_pages = self.mem.page_count() as u64;
         self.stats.guest_bytes = self.mem.backing_bytes();
         self.stats.threads = self.threads.len() as u32;
@@ -331,8 +375,15 @@ impl<'p> Vm<'p> {
     fn run_inner<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<(), RunError> {
         self.spawn_thread(self.program.main(), Vec::new(), None, tool);
         let mut current: Option<usize> = None;
+        let mut runnable: Vec<bool> = Vec::new();
         loop {
-            let Some(next) = self.pick_runnable() else {
+            runnable.clear();
+            runnable.extend(
+                self.threads
+                    .iter()
+                    .map(|t| t.state == ThreadState::Runnable),
+            );
+            let Some(next) = self.sched.pick(&runnable)? else {
                 if self.threads.iter().all(|t| t.state == ThreadState::Exited) {
                     return Ok(());
                 }
@@ -348,8 +399,7 @@ impl<'p> Vm<'p> {
                 tool.on_thread_switch(current.map(|i| self.threads[i].id), self.threads[next].id);
                 current = Some(next);
             }
-            self.sched_last = next;
-            let mut blocks_used = 0u32;
+            self.sched.begin_slice(next);
             loop {
                 if self.stats.instructions >= self.config.max_instructions {
                     // Watchdog: terminate gracefully rather than spin
@@ -359,18 +409,44 @@ impl<'p> Vm<'p> {
                         limit: self.config.max_instructions,
                     });
                 }
-                match self.step(next, tool)? {
-                    Step::Continue => {}
-                    Step::BlockEntered => {
-                        blocks_used += 1;
-                        if blocks_used >= self.config.quantum {
+                let step = self.step(next, tool)?;
+                let forced = self.sched.note_step(step.kind());
+                // Natural slice ends take precedence over any forced
+                // preemption landing on the same step.
+                match step {
+                    Step::Blocked => {
+                        self.sched.end_slice(PreemptCause::Block)?;
+                        break;
+                    }
+                    Step::Yielded => {
+                        self.sched.end_slice(PreemptCause::Yield)?;
+                        break;
+                    }
+                    Step::Exited => {
+                        self.sched.end_slice(PreemptCause::Exit)?;
+                        break;
+                    }
+                    Step::Continue | Step::BlockEntered | Step::Synced | Step::Kernel => {
+                        if let Some(cause) = forced {
+                            self.sched.end_slice(cause)?;
                             break;
                         }
                     }
-                    Step::Blocked | Step::Yielded | Step::Exited => break,
                 }
             }
         }
+    }
+
+    /// The schedule recorded by this run, when
+    /// [`RunConfig::record_sched`] was set.
+    pub fn recorded_schedule(&self) -> Option<&Schedule> {
+        self.sched.recorded()
+    }
+
+    /// Takes ownership of the recorded schedule (if any), leaving
+    /// `None` behind.
+    pub fn take_recorded_schedule(&mut self) -> Option<Schedule> {
+        self.sched.take_recorded()
     }
 
     /// The wait-graph of currently blocked threads, with mutex
@@ -400,28 +476,6 @@ impl<'p> Vm<'p> {
                 }
             })
             .collect()
-    }
-
-    fn pick_runnable(&mut self) -> Option<usize> {
-        let n = self.threads.len();
-        if n == 0 {
-            return None;
-        }
-        match self.config.policy {
-            SchedPolicy::RoundRobin => (1..=n)
-                .map(|d| (self.sched_last + d) % n)
-                .find(|&i| self.threads[i].state == ThreadState::Runnable),
-            SchedPolicy::Random { .. } => {
-                let runnable: Vec<usize> = (0..n)
-                    .filter(|&i| self.threads[i].state == ThreadState::Runnable)
-                    .collect();
-                if runnable.is_empty() {
-                    None
-                } else {
-                    Some(runnable[self.sched_rng.gen_range(0..runnable.len())])
-                }
-            }
-        }
     }
 
     fn spawn_thread<T: Tool + ?Sized>(
@@ -766,7 +820,7 @@ impl<'p> Vm<'p> {
                 self.emit_sync(t, SyncOp::Spawn { child: child_id }, tool);
                 self.add_inst_cost(t, 20);
                 self.advance(t)?;
-                Ok(Step::Continue)
+                Ok(Step::Synced)
             }
             Inst::Join { thread } => {
                 let v = self.eval(t, thread)?;
@@ -779,7 +833,7 @@ impl<'p> Vm<'p> {
                     self.emit_sync(t, SyncOp::Join { child }, tool);
                     self.add_inst_cost(t, 5);
                     self.advance(t)?;
-                    Ok(Step::Continue)
+                    Ok(Step::Synced)
                 } else {
                     self.threads[target].join_waiters.push(t);
                     let child = self.threads[target].id;
@@ -792,7 +846,7 @@ impl<'p> Vm<'p> {
                     self.emit_sync(t, SyncOp::SemWait(sem), tool);
                     self.add_inst_cost(t, 8);
                     self.advance(t)?;
-                    Ok(Step::Continue)
+                    Ok(Step::Synced)
                 } else {
                     self.sems[sem as usize].waiters.push_back(t);
                     Ok(self.block_thread(t, WaitTarget::Semaphore(sem)))
@@ -806,7 +860,7 @@ impl<'p> Vm<'p> {
                 self.emit_sync(t, SyncOp::SemSignal(sem), tool);
                 self.add_inst_cost(t, 8);
                 self.advance(t)?;
-                Ok(Step::Continue)
+                Ok(Step::Synced)
             }
             Inst::MutexLock { mutex } => self.lock_mutex(t, mutex, false, tool),
             Inst::MutexUnlock { mutex } => {
@@ -824,7 +878,7 @@ impl<'p> Vm<'p> {
                 self.emit_sync(t, SyncOp::MutexUnlock(mutex), tool);
                 self.add_inst_cost(t, 6);
                 self.advance(t)?;
-                Ok(Step::Continue)
+                Ok(Step::Synced)
             }
             Inst::CondWait { cond, mutex } => {
                 if self.threads[t].resume == Some(Resume::ReacquireMutex(mutex)) {
@@ -853,7 +907,7 @@ impl<'p> Vm<'p> {
                 self.emit_sync(t, SyncOp::CondSignal(cond), tool);
                 self.add_inst_cost(t, 6);
                 self.advance(t)?;
-                Ok(Step::Continue)
+                Ok(Step::Synced)
             }
             Inst::CondBroadcast { cond } => {
                 while let Some(w) = self.conds[cond as usize].waiters.pop_front() {
@@ -862,7 +916,7 @@ impl<'p> Vm<'p> {
                 self.emit_sync(t, SyncOp::CondBroadcast(cond), tool);
                 self.add_inst_cost(t, 6);
                 self.advance(t)?;
-                Ok(Step::Continue)
+                Ok(Step::Synced)
             }
             Inst::Syscall { call, dst } => self.exec_syscall(t, call, dst, tool),
             Inst::Rand { dst, bound } => {
@@ -898,7 +952,7 @@ impl<'p> Vm<'p> {
                 self.emit_sync(t, SyncOp::MutexLock(mutex), tool);
                 self.add_inst_cost(t, 6);
                 self.advance(t)?;
-                Ok(Step::Continue)
+                Ok(Step::Synced)
             }
             Some(owner) if owner == t => Err(RunError::MutexReentry {
                 mutex,
@@ -933,7 +987,7 @@ impl<'p> Vm<'p> {
         }
         self.add_inst_cost(t, 30);
         self.advance(t)?;
-        Ok(Step::Continue)
+        Ok(Step::Kernel)
     }
 
     fn exec_syscall<T: Tool + ?Sized>(
@@ -1000,7 +1054,7 @@ impl<'p> Vm<'p> {
         }
         self.add_inst_cost(t, 30 + 2 * transferred as u64);
         self.advance(t)?;
-        Ok(Step::Continue)
+        Ok(Step::Kernel)
     }
 }
 
@@ -1032,6 +1086,7 @@ mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
     use crate::kernel::Device;
+    use crate::stats::SchedPolicy;
     use crate::tool::NullTool;
 
     fn run_main(
@@ -1521,6 +1576,177 @@ mod tests {
         let faults = vm.stats().faults;
         assert_eq!(faults.transient_errors, 1);
         assert_eq!(faults.errno_returns, 1);
+    }
+
+    /// A contended two-worker program exercising sync ops and syscalls —
+    /// plenty of scheduling decision points.
+    fn contended_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(8);
+        let m = pb.mutex();
+        let worker = pb.function("worker", 1, |f| {
+            let tid = f.param(0);
+            let buf = f.alloc(4);
+            f.for_range(0, 20, |f, i| {
+                f.lock(m);
+                let v = f.mul(i, 3);
+                let slot = f.rem(v, 8);
+                f.store(g.raw() as i64, slot, v);
+                f.unlock(m);
+                let _ = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 2, 0);
+            });
+            let _ = tid;
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let a = f.spawn(worker, &[Operand::Imm(0)]);
+            let b = f.spawn(worker, &[Operand::Imm(1)]);
+            f.join(a);
+            f.join(b);
+        });
+        pb.finish(main).unwrap()
+    }
+
+    fn record_run(
+        program: &Program,
+        policy: SchedPolicy,
+    ) -> (Vec<drms_trace::TimedEvent>, crate::Schedule) {
+        let cfg = RunConfig {
+            policy,
+            quantum: 5,
+            record_sched: true,
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 9 }])
+        };
+        let mut vm = Vm::new(program, cfg).unwrap();
+        let mut rec = crate::recorder::TraceRecorder::new();
+        vm.run(&mut rec).expect("run");
+        let schedule = vm.take_recorded_schedule().expect("recorded");
+        (drms_trace::merge_traces(rec.into_traces()), schedule)
+    }
+
+    fn replay_run(
+        program: &Program,
+        schedule: crate::Schedule,
+    ) -> Result<Vec<drms_trace::TimedEvent>, RunError> {
+        let cfg = RunConfig {
+            policy: SchedPolicy::Replay { relaxed: false },
+            quantum: 5,
+            replay: Some(std::sync::Arc::new(schedule)),
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 9 }])
+        };
+        let mut vm = Vm::new(program, cfg).unwrap();
+        let mut rec = crate::recorder::TraceRecorder::new();
+        vm.run(&mut rec)?;
+        Ok(drms_trace::merge_traces(rec.into_traces()))
+    }
+
+    #[test]
+    fn replaying_a_recorded_chaos_schedule_reproduces_the_event_stream() {
+        let program = contended_program();
+        for seed in [1u64, 7, 42] {
+            let (events, schedule) = record_run(&program, SchedPolicy::Chaos { seed });
+            assert!(!schedule.is_empty());
+            let replayed = replay_run(&program, schedule).expect("strict replay");
+            assert_eq!(events, replayed, "seed {seed}: bit-identical event stream");
+        }
+    }
+
+    #[test]
+    fn replaying_a_recorded_round_robin_schedule_reproduces_the_event_stream() {
+        let program = contended_program();
+        let (events, schedule) = record_run(&program, SchedPolicy::RoundRobin);
+        let replayed = replay_run(&program, schedule).expect("strict replay");
+        assert_eq!(events, replayed);
+    }
+
+    #[test]
+    fn chaos_preempts_at_sync_points() {
+        let program = contended_program();
+        let (_, schedule) = record_run(&program, SchedPolicy::Chaos { seed: 3 });
+        let has_sync_or_kernel = schedule.decisions.iter().any(|d| {
+            matches!(
+                d.cause,
+                drms_trace::sched::PreemptCause::Sync | drms_trace::sched::PreemptCause::Kernel
+            )
+        });
+        assert!(has_sync_or_kernel, "chaos injected sync/kernel preemptions");
+    }
+
+    #[test]
+    fn replay_of_a_different_program_diverges_instead_of_misattributing() {
+        let program = contended_program();
+        let (_, schedule) = record_run(&program, SchedPolicy::Chaos { seed: 1 });
+        // A different guest cannot follow the recorded slices.
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| {
+            f.for_range(0, 5, |f, i| {
+                let _ = f.add(i, 1);
+            });
+        });
+        let other = pb.finish(main).unwrap();
+        let err = replay_run(&other, schedule).unwrap_err();
+        assert!(
+            matches!(err, RunError::ScheduleDiverged { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn replay_policy_without_schedule_fails_fast() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| f.ret(None));
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            policy: SchedPolicy::Replay { relaxed: false },
+            ..RunConfig::default()
+        };
+        let err = Vm::new(&program, cfg).unwrap_err();
+        assert_eq!(err, RunError::ScheduleMissing);
+        assert!(err.to_string().contains("no schedule"));
+    }
+
+    #[test]
+    fn aborted_run_records_a_final_abort_decision_and_replays_to_the_same_error() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| {
+            let head = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let _ = f.add(1, 1);
+            f.jump(head);
+        });
+        let program = pb.finish(main).unwrap();
+        let cfg = RunConfig {
+            max_instructions: 5_000,
+            record_sched: true,
+            ..RunConfig::default()
+        };
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        let err = vm.run(&mut NullTool).unwrap_err();
+        assert_eq!(err, RunError::InstructionLimit { limit: 5_000 });
+        let schedule = vm.take_recorded_schedule().unwrap();
+        let last = schedule.decisions.last().expect("abort slice flushed");
+        assert_eq!(last.cause, drms_trace::sched::PreemptCause::Abort);
+        // Replaying the failing schedule reproduces the same abort.
+        let replay_cfg = RunConfig {
+            policy: SchedPolicy::Replay { relaxed: false },
+            max_instructions: 5_000,
+            replay: Some(std::sync::Arc::new(schedule)),
+            ..RunConfig::default()
+        };
+        let mut vm = Vm::new(&program, replay_cfg).unwrap();
+        let err2 = vm.run(&mut NullTool).unwrap_err();
+        assert_eq!(err2, RunError::InstructionLimit { limit: 5_000 });
+    }
+
+    #[test]
+    fn run_error_source_chain_exposes_validate_cause() {
+        use std::error::Error as _;
+        let validate = ValidateError::BadMain;
+        let err = RunError::Validate(validate.clone());
+        let source = err.source().expect("validate carries a source");
+        assert_eq!(source.to_string(), validate.to_string());
+        assert!(RunError::ScheduleMissing.source().is_none());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod kernel;
 pub mod memory;
 pub mod recorder;
 pub mod rng;
+pub mod sched;
 pub mod shadow;
 pub mod stats;
 pub mod tool;
@@ -63,3 +64,8 @@ pub use rng::SmallRng;
 pub use shadow::ShadowMemory;
 pub use stats::{CostKind, RunConfig, RunStats, SchedPolicy};
 pub use tool::{MultiTool, NullTool, Tool};
+
+// Schedule model re-exports, so VM users need not depend on the trace
+// crate directly to record or replay schedules.
+pub use drms_trace::sched::{PreemptCause, SchedDecision};
+pub use drms_trace::Schedule;

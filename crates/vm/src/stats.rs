@@ -2,6 +2,8 @@
 
 use crate::fault::{FaultCounters, FaultPlan};
 use crate::kernel::Device;
+use drms_trace::Schedule;
+use std::sync::Arc;
 
 /// How thread cost is accumulated.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -33,6 +35,18 @@ pub enum SchedPolicy {
     RoundRobin,
     /// Pick a uniformly random runnable thread (seeded, reproducible).
     Random { seed: u64 },
+    /// Seeded fuzzing policy: random thread pick, random per-slice
+    /// quantum in `[1, quantum]`, and probabilistic preemption right
+    /// after sync operations and kernel transfers — the decision points
+    /// where interleaving changes drms.
+    Chaos { seed: u64 },
+    /// Drive the scheduler from the recorded [`Schedule`] in
+    /// [`RunConfig::replay`]. Strict mode (`relaxed: false`) verifies
+    /// every slice against the recording and fails with
+    /// [`RunError::ScheduleDiverged`](crate::RunError::ScheduleDiverged)
+    /// on any mismatch; relaxed mode follows a mutated schedule as
+    /// closely as the program allows (used by the shrinker).
+    Replay { relaxed: bool },
 }
 
 /// Configuration of one guest execution.
@@ -60,6 +74,15 @@ pub struct RunConfig {
     /// [`FaultPlan::parse`] for the spec grammar). `None` runs
     /// fault-free.
     pub faults: Option<FaultPlan>,
+    /// Record every scheduling decision into a [`Schedule`], retrievable
+    /// via [`Vm::take_recorded_schedule`](crate::Vm::take_recorded_schedule)
+    /// after the run. Works under any policy.
+    pub record_sched: bool,
+    /// The schedule to follow when the policy is
+    /// [`SchedPolicy::Replay`]. Required for that policy
+    /// ([`RunError::ScheduleMissing`](crate::RunError::ScheduleMissing)
+    /// otherwise); ignored by the others.
+    pub replay: Option<Arc<Schedule>>,
 }
 
 impl Default for RunConfig {
@@ -73,6 +96,8 @@ impl Default for RunConfig {
             trace_blocks: false,
             seed: 0xD125_5EED,
             faults: None,
+            record_sched: false,
+            replay: None,
         }
     }
 }

@@ -112,11 +112,81 @@ pub fn stream_reader(n: i64) -> Workload {
     }
 }
 
+/// Two workers acquiring the same two mutexes in opposite order —
+/// the classic lock-order inversion.
+///
+/// Each of `n` iterations, `worker_ab` takes mutex A then B while
+/// `worker_ba` takes B then A, touching a shared cell under each lock.
+/// Under the non-preemptive round-robin scheduler the quantum is long
+/// enough that each worker completes its critical section atomically and
+/// the program terminates; a chaos schedule that preempts between the two
+/// acquisitions deadlocks it. This is the seed workload of the schedule
+/// fuzzer and shrinker: a failure here is entirely a property of the
+/// interleaving, so a recorded failing schedule replays to the same
+/// deadlock and shrinks to the few forced preemptions that cause it.
+///
+/// Routines: `main`, `worker_ab` (the focus), `worker_ba`.
+pub fn lock_order_inversion(n: i64) -> Workload {
+    let mut pb = ProgramBuilder::new();
+    let cell_a = pb.global(1);
+    let cell_b = pb.global(1);
+    let mutex_a = pb.mutex();
+    let mutex_b = pb.mutex();
+
+    let worker_ab = pb.function("worker_ab", 1, |f| {
+        let n = f.param(0);
+        f.for_range(0, n, |f, i| {
+            f.lock(mutex_a);
+            let va = f.load(cell_a.raw() as i64, 0);
+            let va2 = f.add(va, i);
+            f.store(cell_a.raw() as i64, 0, va2);
+            f.lock(mutex_b);
+            let vb = f.load(cell_b.raw() as i64, 0);
+            let vb2 = f.add(vb, 1);
+            f.store(cell_b.raw() as i64, 0, vb2);
+            f.unlock(mutex_b);
+            f.unlock(mutex_a);
+        });
+        f.ret(None);
+    });
+    let worker_ba = pb.function("worker_ba", 1, |f| {
+        let n = f.param(0);
+        f.for_range(0, n, |f, i| {
+            f.lock(mutex_b);
+            let vb = f.load(cell_b.raw() as i64, 0);
+            let vb2 = f.add(vb, i);
+            f.store(cell_b.raw() as i64, 0, vb2);
+            f.lock(mutex_a);
+            let va = f.load(cell_a.raw() as i64, 0);
+            let va2 = f.add(va, 1);
+            f.store(cell_a.raw() as i64, 0, va2);
+            f.unlock(mutex_a);
+            f.unlock(mutex_b);
+        });
+        f.ret(None);
+    });
+    let main = pb.function("main", 0, |f| {
+        let t1 = f.spawn(worker_ab, &[Operand::Imm(n)]);
+        let t2 = f.spawn(worker_ba, &[Operand::Imm(n)]);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    let program = pb.finish(main).expect("lock_order_inversion program");
+    let focus = program.routine_by_name("worker_ab");
+    Workload {
+        name: format!("lock_order_inversion_{n}"),
+        program,
+        devices: Vec::new(),
+        focus,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use drms_core::{DrmsConfig, DrmsProfiler, NaiveProfiler, RmsProfiler};
-    use drms_vm::run_program;
+    use drms_vm::{run_program, NullTool, RunConfig, RunError, SchedPolicy};
 
     #[test]
     fn producer_consumer_matches_figure_2() {
@@ -170,6 +240,33 @@ mod tests {
         assert_eq!(rms_max, 1);
         let cd = report.merged_routine(w.program.routine_by_name("consume_data").unwrap());
         assert!(cd.breakdown.kernel_induced >= n as u64 - 1);
+    }
+
+    #[test]
+    fn lock_order_inversion_completes_under_round_robin() {
+        let w = lock_order_inversion(4);
+        let stats = run_program(&w.program, w.run_config(), &mut NullTool).unwrap();
+        assert_eq!(stats.threads, 3);
+        assert!(stats.basic_blocks > 0);
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks_under_some_chaos_seed() {
+        let w = lock_order_inversion(6);
+        let deadlocked = (0..32).any(|seed| {
+            let config = RunConfig {
+                policy: SchedPolicy::Chaos { seed },
+                ..w.run_config()
+            };
+            matches!(
+                run_program(&w.program, config, &mut NullTool),
+                Err(RunError::Deadlock { .. })
+            )
+        });
+        assert!(
+            deadlocked,
+            "no chaos seed in 0..32 hit the lock-order deadlock"
+        );
     }
 
     #[test]
