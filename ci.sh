@@ -16,4 +16,10 @@ cargo fmt --all -- --check
 # non-reproducible failure, or any unshrinkable failure.
 cargo run --release -q -p drms-bench --bin repro -- sched-fuzz --seeds 16 --quick
 
+# Bench smoke gate: a tiny parallel sweep. The binary validates its own
+# BENCH_sweep.json against the drms-sweep-v1 schema and exits non-zero
+# if the serial and parallel sweeps diverge or the schema check fails.
+cargo run --release -q -p drms-bench --bin repro -- sweep --quick --jobs 2 \
+    --bench-out target/repro/BENCH_sweep.json
+
 echo "ci: all green"

@@ -1,0 +1,42 @@
+//! Hot-path event dispatch: the same NullTool run driven through the
+//! monomorphized [`run_program_with`] entry point vs through a
+//! `&mut dyn Tool` reference, isolating the per-event virtual-call
+//! overhead the single-tool fast path removes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drms::vm::{run_program_with, NullTool, Tool, Vm};
+use drms::workloads::patterns;
+
+fn bench(c: &mut Criterion) {
+    let w = patterns::stream_reader(64);
+    let events = run_program_with(&w.program, w.run_config(), &mut NullTool)
+        .expect("warm-up run")
+        .events;
+    println!("dispatch workload: {events} events per run");
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("null_static", |b| {
+        b.iter(|| {
+            run_program_with(&w.program, w.run_config(), &mut NullTool)
+                .expect("run")
+                .basic_blocks
+        })
+    });
+    group.bench_function("null_dyn", |b| {
+        b.iter(|| {
+            let mut tool = NullTool;
+            let tool: &mut dyn Tool = &mut tool;
+            Vm::new(&w.program, w.run_config())
+                .expect("valid workload")
+                .run(tool)
+                .expect("run")
+                .basic_blocks
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

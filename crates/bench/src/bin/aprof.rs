@@ -15,6 +15,13 @@
 //!   --threads N         worker threads for suite workloads (default 4)
 //!   --scale S           workload scale factor (default 2)
 //!   --tool NAME         aprof-drms (default) | aprof | external-only
+//!   --sweep SIZES       profile the workload once per comma-separated
+//!                       size (e.g. `--sweep 64,128,256`) through the
+//!                       parallel sweep engine and print the merged
+//!                       focus plot; sweepable workloads: minidb,
+//!                       mysqlslap, vips, stream_reader,
+//!                       producer_consumer, selection_sort
+//!   --jobs N            worker threads for --sweep (default 1)
 //!   --policy P          rr (default) | random:SEED | chaos,seed=N
 //!   --sched P           alias of --policy (chaos fuzzing reads better as
 //!                       `--sched chaos,seed=7`)
@@ -46,13 +53,15 @@
 //! failures, 2 usage errors.
 
 use drms::analysis::{ascii_plot, CostPlot, InputMetric};
-use drms::core::{report_io, CctProfiler, DrmsConfig, DrmsProfiler, ProfileReport, RmsProfiler};
+use drms::core::{report_io, CctProfiler, DrmsConfig, ProfileReport, RmsProfiler};
 use drms::trace::{merge_traces, TraceStats};
 use drms::vm::{
     disassemble, FaultPlan, RunConfig, RunError, RunStats, SchedPolicy, Tool, TraceRecorder, Vm,
 };
 use drms::workloads::{self, Workload};
+use drms::ProfileSession;
 use drms_bench::run_error_exit_code;
+use drms_bench::sweep::{run_sweep, SweepSpec};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -74,10 +83,12 @@ struct Cli {
     trace_stats: bool,
     disasm: bool,
     diff: Option<(String, String)>,
+    sweep: Option<Vec<i64>>,
+    jobs: usize,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--jobs N]");
     exit(2)
 }
 
@@ -115,6 +126,8 @@ fn parse_cli() -> Cli {
         trace_stats: false,
         disasm: false,
         diff: None,
+        sweep: None,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -149,6 +162,19 @@ fn parse_cli() -> Cli {
             "--trace" => cli.trace = Some(value("--trace")),
             "--trace-stats" => cli.trace_stats = true,
             "--disasm" => cli.disasm = true,
+            "--sweep" => {
+                let spec = value("--sweep");
+                let sizes: Option<Vec<i64>> =
+                    spec.split(',').map(|s| s.trim().parse().ok()).collect();
+                match sizes {
+                    Some(s) if !s.is_empty() => cli.sweep = Some(s),
+                    _ => {
+                        eprintln!("bad --sweep `{spec}` (comma-separated sizes)");
+                        usage()
+                    }
+                }
+            }
+            "--jobs" => cli.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--diff" => {
                 let old = value("--diff");
                 let new = value("--diff");
@@ -246,6 +272,10 @@ fn main() {
     };
     if cli.disasm {
         print!("{}", disassemble(&w.program));
+        return;
+    }
+    if let Some(sizes) = &cli.sweep {
+        run_size_sweep(name, sizes, cli.jobs, cli.fit);
         return;
     }
     let mut config = w.run_config();
@@ -376,13 +406,71 @@ fn abort_exit(workload: &str, e: &RunError) -> ! {
     exit(run_error_exit_code(e))
 }
 
-/// Builds and runs a VM under `tool`, writing the recorded schedule to
+/// Maps an aprof workload name onto a sweep family (the sweepable
+/// workloads are the ones parameterized by a single size).
+fn sweep_family(name: &str) -> Option<&'static str> {
+    match name {
+        "minidb" => Some("minidb"),
+        "mysqlslap" => Some("mysqlslap"),
+        "vips" => Some("imgpipe"),
+        "stream_reader" => Some("stream"),
+        "producer_consumer" => Some("producer-consumer"),
+        "selection_sort" => Some("sort"),
+        _ => None,
+    }
+}
+
+/// `--sweep`: fan the workload's size grid across `jobs` workers and
+/// print the per-cell summary plus the merged focus plot.
+fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool) {
+    let Some(family) = sweep_family(name) else {
+        eprintln!(
+            "`{name}` is not sweepable (try minidb, mysqlslap, vips, \
+             stream_reader, producer_consumer or selection_sort)"
+        );
+        exit(2);
+    };
+    let spec = SweepSpec::new(family, sizes, jobs.max(1));
+    let result = run_sweep(&spec);
+    println!(
+        "[{family}] {} cells in {:.3}s with {} jobs ({} instructions, {} events)",
+        result.cells.len(),
+        result.wall_secs,
+        spec.jobs,
+        result.instructions(),
+        result.events()
+    );
+    for cell in &result.cells {
+        let note = cell
+            .error
+            .as_deref()
+            .map(|e| format!(" [aborted: {e}]"))
+            .unwrap_or_default();
+        println!(
+            "  size {:>6} seed {}: {} basic blocks, {} threads{note}",
+            cell.size, cell.seed, cell.stats.basic_blocks, cell.stats.threads
+        );
+    }
+    let plot = result.focus_plot(InputMetric::Drms);
+    if !plot.points.is_empty() {
+        println!(
+            "{}",
+            ascii_plot(&plot.as_f64(), 60, 12, "worst-case cost vs DRMS")
+        );
+        if fit {
+            println!("drms fit: {}", plot.fit(0.02));
+        }
+    }
+}
+
+/// Builds and runs a VM under a statically-known `tool` (no `dyn`
+/// dispatch in the event loop), writing the recorded schedule to
 /// `record` (when given) and returning the stats plus the abort reason.
 /// Setup failures exit immediately with their documented code.
-fn run_vm(
+fn run_vm<T: Tool>(
     w: &Workload,
     config: RunConfig,
-    tool: &mut dyn Tool,
+    tool: &mut T,
     record: Option<&str>,
 ) -> (RunStats, Option<RunError>) {
     let mut vm = match Vm::new(&w.program, config) {
@@ -404,23 +492,45 @@ fn run_vm(
     (vm.stats().clone(), error)
 }
 
-/// Runs the drms profiler, keeping whatever profile data an aborted run
-/// produced instead of discarding it.
+/// Runs the drms profiler through [`ProfileSession`], keeping whatever
+/// profile data an aborted run produced instead of discarding it.
+/// Setup failures exit immediately with their documented code.
 fn run_drms_tool(
     w: &Workload,
     config: RunConfig,
     drms: DrmsConfig,
     record: Option<&str>,
 ) -> (ProfileReport, RunStats, Option<RunError>) {
-    let mut profiler = DrmsProfiler::new(drms);
-    let (stats, error) = run_vm(w, config, &mut profiler, record);
-    if let Some(e) = &error {
+    let outcome = ProfileSession::new(&w.program)
+        .config(config)
+        .drms(drms)
+        .run()
+        .unwrap_or_else(|e| match e {
+            drms::Error::Run(e) => abort_exit(&w.name, &e),
+            other => {
+                eprintln!("{}: {other}", w.name);
+                exit(1)
+            }
+        });
+    if let Some(path) = record {
+        let sched = outcome
+            .schedule
+            .as_ref()
+            .expect("--record-sched enables recording");
+        std::fs::write(path, drms::trace::sched::to_text(sched)).expect("write schedule");
+        println!(
+            "schedule written to {path} ({} decisions, {} forced preemptions)",
+            sched.len(),
+            sched.preemption_points()
+        );
+    }
+    if let Some(e) = &outcome.error {
         eprintln!(
             "{}: run aborted ({e}); reporting the partial profile",
             w.name
         );
     }
-    (profiler.into_report(), stats, error)
+    (outcome.report, outcome.stats, outcome.error)
 }
 
 /// Standalone report comparison: load two report_io dumps and print the

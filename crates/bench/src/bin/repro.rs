@@ -27,6 +27,11 @@
 //!   sched-shrink  minimize a failing schedule ([--sched FILE] from
 //!                 sched-fuzz/aprof --record-sched, or self-seeded);
 //!                 writes the minimized .sched and prints the wait-graph
+//!   sweep         parallel sweep benchmark over the minidb/imgpipe size
+//!                 grids ([--jobs N] [--quick] [--bench-out FILE]): each
+//!                 family is swept serially and with N workers, the
+//!                 merged reports are checked byte-identical, and the
+//!                 measurements land in BENCH_sweep.json
 //! ```
 //!
 //! Each experiment prints its series and also writes CSV/gnuplot data
@@ -36,9 +41,10 @@ use drms::analysis::{
     ascii_plot, best_fit, induced_split, richness_curve, routine_metrics, to_gnuplot, to_table,
     volume_curve, CostPlot, InputMetric, OverheadTable,
 };
-use drms::core::DrmsConfig;
-use drms::vm::{CostKind, SchedPolicy, Vm};
+use drms::core::{DrmsConfig, ProfileReport};
+use drms::vm::{CostKind, SchedPolicy};
 use drms::workloads::{self, Workload};
+use drms::ProfileSession;
 use drms_bench::{measure_suite, profile_with_config, TOOLS};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -50,6 +56,8 @@ struct Options {
     seeds: u64,
     quick: bool,
     sched: Option<String>,
+    jobs: usize,
+    bench_out: PathBuf,
 }
 
 fn main() {
@@ -62,6 +70,8 @@ fn main() {
         seeds: 16,
         quick: false,
         sched: None,
+        jobs: 4,
+        bench_out: PathBuf::from("BENCH_sweep.json"),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,6 +92,12 @@ fn main() {
             }
             "--quick" => opts.quick = true,
             "--sched" => opts.sched = Some(args.next().expect("--sched FILE")),
+            "--jobs" => {
+                opts.jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
+            }
+            "--bench-out" => {
+                opts.bench_out = PathBuf::from(args.next().expect("--bench-out FILE"));
+            }
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -90,7 +106,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE]");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE]");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -110,6 +126,7 @@ fn main() {
         "faults" => faults(&opts),
         "sched-fuzz" => sched_fuzz(&opts),
         "sched-shrink" => sched_shrink(&opts),
+        "sweep" => sweep_bench(&opts),
         "all" => {
             fig4(&opts);
             fig5(&opts);
@@ -138,8 +155,20 @@ fn save(out: &Path, name: &str, contents: &str) {
     println!("  [data written to {}]", path.display());
 }
 
+/// Profiles `w` through the session builder and returns the completed
+/// report, aborting the process on a guest failure (repro's workloads
+/// are expected to run to completion).
+fn profile_full(w: &Workload) -> ProfileReport {
+    let outcome = ProfileSession::workload(w).run().expect("valid workload");
+    if let Some(e) = outcome.error {
+        eprintln!("{}: guest aborted: {e}", w.name);
+        std::process::exit(drms_bench::run_error_exit_code(&e));
+    }
+    outcome.report
+}
+
 fn cost_plot_pair(w: &Workload) -> (CostPlot, CostPlot) {
-    let (report, _) = drms::profile_workload(w).expect("profiled run");
+    let report = profile_full(w);
     let p = report.merged_routine(w.focus.expect("focus routine"));
     (
         CostPlot::of(&p, InputMetric::Rms),
@@ -207,10 +236,12 @@ fn fig6(opts: &Options) {
         .program
         .routine_by_name("wbuffer_write_thread")
         .expect("wbuffer routine");
-    let (full_report, _) = drms::profile_workload(&w).expect("full profile");
-    let (ext_report, _) =
-        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only())
-            .expect("external-only profile");
+    let full_report = profile_full(&w);
+    let ext_report = ProfileSession::workload(&w)
+        .drms(DrmsConfig::external_only())
+        .run()
+        .expect("external-only profile")
+        .report;
     let full = full_report.merged_routine(wb);
     let ext = ext_report.merged_routine(wb);
     let a = CostPlot::of(&full, InputMetric::Rms);
@@ -316,7 +347,7 @@ fn fig11_12(opts: &Options, richness: bool) {
     println!("\n=== {name} ===");
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for w in figure_benchmarks(opts) {
-        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let report = profile_full(&w);
         let curve = if richness {
             richness_curve(&report)
         } else {
@@ -356,7 +387,7 @@ fn fig13(opts: &Options) {
             workloads::imgpipe::vips(opts.threads.max(2), 10 + opts.scale as usize, opts.scale),
         ),
     ] {
-        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let report = profile_full(&w);
         let names = w.program.name_table();
         let mut rows: Vec<Vec<String>> = Vec::new();
         let mut metrics = routine_metrics(&report);
@@ -402,7 +433,7 @@ fn fig14(opts: &Options) {
     ];
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for w in selected {
-        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let report = profile_full(&w);
         let (thread, external) = drms::analysis::input_share_curves(&report);
         println!(
             "  {:<14} thread curve {} pts (max {:.0}%), external curve {} pts (max {:.0}%)",
@@ -428,7 +459,7 @@ fn fig15(opts: &Options) {
     println!("\n=== Fig 15: induced first-read characterization ===");
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for w in workloads::full_suite(opts.threads, opts.scale) {
-        let (report, _) = drms::profile_workload(&w).expect("profiled run");
+        let report = profile_full(&w);
         let (th, ke) = induced_split(&report);
         rows.push((w.name.clone(), th, ke));
     }
@@ -572,12 +603,13 @@ fn faults(opts: &Options) {
     let w = workloads::minidb::minidb_scaling(&sizes);
     let focus = w.focus.expect("mysql_select");
 
-    let (clean_report, clean_stats) = drms::profile_workload(&w).expect("fault-free run");
+    let clean = ProfileSession::workload(&w).run().expect("fault-free run");
+    let (clean_report, clean_stats) = (clean.report, clean.stats);
     let spec = "seed=7,fd0:shortread:p=1/3,in:eintr:every=11";
-    let mut cfg = w.run_config();
-    cfg.faults = Some(FaultPlan::parse(spec).expect("valid fault spec"));
-    let outcome =
-        drms::profile_partial(&w.program, cfg, DrmsConfig::full()).expect("valid workload");
+    let outcome = ProfileSession::workload(&w)
+        .faults(FaultPlan::parse(spec).expect("valid fault spec"))
+        .run()
+        .expect("valid workload");
     if let Some(e) = &outcome.error {
         println!("  run aborted: {e} (partial profile below)");
     }
@@ -631,16 +663,12 @@ fn sched(opts: &Options) {
         workloads::imgpipe::vips(opts.threads.max(2), 8, opts.scale),
     ] {
         for (pname, policy) in &policies {
-            let mut cfg = w.run_config();
-            cfg.policy = *policy;
-            let report = {
-                let mut prof = drms::core::DrmsProfiler::new(DrmsConfig::full());
-                Vm::new(&w.program, cfg)
-                    .expect("valid workload")
-                    .run(&mut prof)
-                    .expect("profiled run");
-                prof.into_report()
-            };
+            let outcome = ProfileSession::workload(&w)
+                .sched(*policy)
+                .run()
+                .expect("valid workload");
+            assert!(outcome.error.is_none(), "profiled run");
+            let report = outcome.report;
             let (mut th, mut ke) = (0u64, 0u64);
             for (_, p) in report.iter() {
                 th += p.breakdown.thread_induced;
@@ -831,4 +859,72 @@ fn sched_shrink(opts: &Options) {
         "minimized.sched",
         &drms::trace::sched::to_text(&s.minimized),
     );
+}
+
+/// Parallel sweep benchmark: sweep the minidb and imgpipe families over
+/// their size grids, serially and with `--jobs` workers, verify the
+/// merged reports are byte-identical, and write the measurements to
+/// `--bench-out` (default `BENCH_sweep.json`). `--quick` shrinks the
+/// grids for smoke testing.
+fn sweep_bench(opts: &Options) {
+    use drms::analysis::InputMetric;
+    use drms_bench::sweep::{validate_bench_json, FamilyBench, SweepBench, SweepSpec};
+    println!("\n=== Parallel sweep benchmark ({} jobs) ===", opts.jobs);
+    let scale = opts.scale as i64;
+    let (minidb_sizes, imgpipe_sizes, seeds): (Vec<i64>, Vec<i64>, Vec<u64>) = if opts.quick {
+        ((1..=3).map(|i| i * 32).collect(), vec![4, 8], vec![1])
+    } else {
+        (
+            (1..=8).map(|i| i * 64 * scale).collect(),
+            (1..=6).map(|i| 4 * i * scale).collect(),
+            vec![1, 2],
+        )
+    };
+    let specs = [
+        SweepSpec::new("minidb", &minidb_sizes, opts.jobs).seeds(&seeds),
+        SweepSpec::new("imgpipe", &imgpipe_sizes, opts.jobs).seeds(&seeds),
+    ];
+    let mut families = Vec::new();
+    for spec in &specs {
+        let fam = FamilyBench::measure(spec);
+        let p = &fam.parallel;
+        println!(
+            "  {:<8} {:>2} cells: serial {:.3}s, parallel {:.3}s ({:.2}x), fingerprint {:#018x}{}",
+            spec.family,
+            p.cells.len(),
+            fam.serial_secs,
+            p.wall_secs,
+            fam.speedup(),
+            p.fingerprint(),
+            if fam.diverged() { "  DIVERGED" } else { "" },
+        );
+        let plot = p.focus_plot(InputMetric::Drms);
+        let fit = best_fit(&plot.points, 0.02);
+        println!(
+            "           focus drms plot: {} points, fit {fit}",
+            plot.points.len()
+        );
+        families.push(fam);
+    }
+    let bench = SweepBench {
+        jobs: opts.jobs,
+        families,
+    };
+    if bench.diverged() {
+        eprintln!("sweep: serial and parallel merged reports diverged");
+        std::process::exit(1);
+    }
+    let json = bench.to_json();
+    if let Err(e) = validate_bench_json(&json) {
+        eprintln!("sweep: emitted JSON fails its own schema: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "  total: serial {:.3}s, parallel {:.3}s, speedup {:.2}x",
+        bench.serial_secs(),
+        bench.parallel_secs(),
+        bench.speedup()
+    );
+    fs::write(&opts.bench_out, &json).expect("write BENCH_sweep.json");
+    println!("  [benchmark written to {}]", opts.bench_out.display());
 }

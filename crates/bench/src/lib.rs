@@ -2,6 +2,8 @@
 //! benches: run workloads under each tool, measure slowdown and space,
 //! and regenerate the series behind every table and figure of the paper.
 
+pub mod sweep;
+
 use drms::analysis::{Measurement, OverheadTable};
 use drms::core::{DrmsConfig, DrmsProfiler, RmsProfiler};
 use drms::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
@@ -31,51 +33,42 @@ pub fn run_native(w: &Workload) -> (f64, RunStats) {
     (start.elapsed().as_secs_f64(), stats)
 }
 
-/// Runs `workload` under the named tool (see [`TOOLS`]) through dynamic
-/// dispatch — the analogue of a tool plugin — returning `(secs, shadow
-/// bytes, stats)`.
+/// Runs `workload` under a statically-known tool, returning `(secs,
+/// shadow bytes, stats)`.
+///
+/// This is the monomorphized hot path: the tool type is fixed at the
+/// call site, so the VM's per-event dispatch compiles to direct calls —
+/// no `dyn Tool` vtable in the loop.
 ///
 /// # Panics
-/// Panics on unknown tool names or failing guest programs.
-pub fn run_tool(w: &Workload, tool_name: &str) -> (f64, u64, RunStats) {
-    let mut null;
-    let mut memcheck;
-    let mut callgrind;
-    let mut helgrind;
-    let mut aprof;
-    let mut aprof_drms;
-    let tool: &mut dyn Tool = match tool_name {
-        "nulgrind" => {
-            null = NullTool;
-            &mut null
-        }
-        "memcheck" => {
-            memcheck = MemcheckTool::for_program(&w.program);
-            &mut memcheck
-        }
-        "callgrind" => {
-            callgrind = CallgrindTool::new();
-            &mut callgrind
-        }
-        "helgrind" => {
-            helgrind = HelgrindTool::new();
-            &mut helgrind
-        }
-        "aprof" => {
-            aprof = RmsProfiler::new();
-            &mut aprof
-        }
-        "aprof-drms" => {
-            aprof_drms = DrmsProfiler::new(DrmsConfig::full());
-            &mut aprof_drms
-        }
-        other => panic!("unknown tool `{other}`"),
-    };
+/// Panics on failing guest programs.
+pub fn run_tool_with<T: Tool>(w: &Workload, tool: &mut T) -> (f64, u64, RunStats) {
     let mut vm = Vm::new(&w.program, w.run_config()).expect("valid workload");
     let start = Instant::now();
     let stats = vm.run(tool).expect("instrumented run");
     let secs = start.elapsed().as_secs_f64();
     (secs, tool.shadow_bytes(), stats)
+}
+
+/// Runs `workload` under the named tool (see [`TOOLS`]), returning
+/// `(secs, shadow bytes, stats)`.
+///
+/// Dispatches on the name **once**, then hands the concrete tool to the
+/// monomorphized [`run_tool_with`] — the measured run itself carries no
+/// dynamic dispatch.
+///
+/// # Panics
+/// Panics on unknown tool names or failing guest programs.
+pub fn run_tool(w: &Workload, tool_name: &str) -> (f64, u64, RunStats) {
+    match tool_name {
+        "nulgrind" => run_tool_with(w, &mut NullTool),
+        "memcheck" => run_tool_with(w, &mut MemcheckTool::for_program(&w.program)),
+        "callgrind" => run_tool_with(w, &mut CallgrindTool::new()),
+        "helgrind" => run_tool_with(w, &mut HelgrindTool::new()),
+        "aprof" => run_tool_with(w, &mut RmsProfiler::new()),
+        "aprof-drms" => run_tool_with(w, &mut DrmsProfiler::new(DrmsConfig::full())),
+        other => panic!("unknown tool `{other}`"),
+    }
 }
 
 /// Measures every tool on every workload of `suite`, filling an

@@ -1,0 +1,828 @@
+//! The parallel sweep engine.
+//!
+//! The paper's evaluation (§5) sweeps one routine across many workload
+//! sizes and fits the resulting drms plots. Every VM run is
+//! self-contained and deterministic, so a sweep — workload family ×
+//! size grid × seed set — is embarrassingly parallel: this module fans
+//! the cells out across a scoped thread pool, collects a
+//! `(ProfileReport, RunStats)` pair per cell, and merges them into cost
+//! plots and variance tables.
+//!
+//! Determinism is preserved by construction: each worker writes its
+//! finished cell into the slot indexed by the cell's grid position, so
+//! the merged output is in grid order (sizes outer, seeds inner)
+//! regardless of thread timing, and a `--jobs 1` and a `--jobs 4` sweep
+//! of the same spec produce byte-identical merged reports.
+//!
+//! [`SweepBench`] pairs a serial and a parallel run of the same spec and
+//! serializes the measurements (wall time, instructions/sec, events/sec,
+//! shadow bytes, speedup) as `BENCH_sweep.json`, giving every future
+//! change a perf trajectory to beat. [`validate_bench_json`] re-parses
+//! an emitted file and checks it against the schema — the offline CI
+//! gate.
+
+use drms::analysis::{CostPlot, InputMetric};
+use drms::core::{drms_variance, report_io, ProfileReport, VarianceReport};
+use drms::sched::fnv1a;
+use drms::vm::{RunConfig, RunStats};
+use drms::workloads::{imgpipe, minidb, patterns, sorting, Workload};
+use drms::ProfileSession;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Workload families a sweep can iterate, keyed by CLI-friendly names.
+///
+/// Each family maps a single scalar size to a [`Workload`] with a focus
+/// routine, so sweep cells stay one-dimensional.
+pub const FAMILIES: [&str; 6] = [
+    "minidb",
+    "mysqlslap",
+    "imgpipe",
+    "stream",
+    "producer-consumer",
+    "sort",
+];
+
+/// Builds the workload of `family` at `size`, or `None` for an unknown
+/// family name (see [`FAMILIES`]).
+pub fn family_workload(family: &str, size: i64) -> Option<Workload> {
+    let size = size.max(1);
+    Some(match family {
+        "minidb" => minidb::minidb_scaling(&[size]),
+        "mysqlslap" => minidb::mysqlslap(2, 2, size),
+        "imgpipe" => imgpipe::vips(2, size as usize, 2),
+        "stream" => patterns::stream_reader(size),
+        "producer-consumer" => patterns::producer_consumer(size),
+        "sort" => sorting::selection_sort_default(size),
+        _ => return None,
+    })
+}
+
+/// One sweep: a workload family crossed with a size grid and a seed set,
+/// executed on `jobs` worker threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Family name (see [`FAMILIES`]).
+    pub family: String,
+    /// Workload sizes, the grid's outer dimension.
+    pub sizes: Vec<i64>,
+    /// Guest `Rand` seeds, the grid's inner dimension.
+    pub seeds: Vec<u64>,
+    /// Worker threads; `1` runs inline with no pool.
+    pub jobs: usize,
+}
+
+impl SweepSpec {
+    /// A spec over `family` with one default seed.
+    pub fn new(family: &str, sizes: &[i64], jobs: usize) -> Self {
+        SweepSpec {
+            family: family.to_string(),
+            sizes: sizes.to_vec(),
+            seeds: vec![0],
+            jobs,
+        }
+    }
+
+    /// Replaces the seed set.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// The flattened `(size, seed)` grid, sizes outer, seeds inner —
+    /// the canonical cell order of every merge.
+    pub fn grid(&self) -> Vec<(i64, u64)> {
+        self.sizes
+            .iter()
+            .flat_map(|&size| self.seeds.iter().map(move |&seed| (size, seed)))
+            .collect()
+    }
+}
+
+/// The result of one sweep cell: one profiled VM run.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Workload size of this cell.
+    pub size: i64,
+    /// Guest seed of this cell.
+    pub seed: u64,
+    /// Wall-clock seconds of the profiled run.
+    pub secs: f64,
+    /// Shadow bytes held by the profiler after the run.
+    pub shadow_bytes: u64,
+    /// Finalized run statistics.
+    pub stats: RunStats,
+    /// The (possibly partial) drms profile.
+    pub report: ProfileReport,
+    /// Rendered abort reason, if the guest failed.
+    pub error: Option<String>,
+}
+
+/// A completed sweep: every cell in grid order, plus the sweep's own
+/// wall time.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The spec that produced this result.
+    pub spec: SweepSpec,
+    /// Cells in grid order (sizes outer, seeds inner).
+    pub cells: Vec<SweepCell>,
+    /// Wall-clock seconds of the whole sweep.
+    pub wall_secs: f64,
+}
+
+impl SweepResult {
+    /// Serializes every cell's profile into one deterministic text
+    /// blob: a header per cell (family, size, seed, error class)
+    /// followed by the report in the canonical report-io format.
+    ///
+    /// Two sweeps of the same spec merge byte-identically exactly when
+    /// every cell profiled identically — the `--jobs 1` vs `--jobs N`
+    /// determinism gate compares these blobs.
+    pub fn merged_report_text(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            let _ = writeln!(
+                out,
+                "## cell family={} size={} seed={} error={}",
+                self.spec.family,
+                cell.size,
+                cell.seed,
+                cell.error.as_deref().unwrap_or("none"),
+            );
+            out.push_str(&report_io::to_text(&cell.report));
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint of [`merged_report_text`](Self::merged_report_text).
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.merged_report_text().as_bytes())
+    }
+
+    /// Merged cost plot of the family's focus routine under `metric`:
+    /// the union of every cell's plot, keeping the worst-case cost per
+    /// input size (the paper's plot semantics).
+    pub fn focus_plot(&self, metric: InputMetric) -> CostPlot {
+        let mut worst: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        if let Some(w) = family_workload(&self.spec.family, 1) {
+            if let Some(focus) = w.focus {
+                for cell in &self.cells {
+                    let profile = cell.report.merged_routine(focus);
+                    for (input, cost) in CostPlot::of(&profile, metric).points {
+                        let e = worst.entry(input).or_insert(cost);
+                        *e = (*e).max(cost);
+                    }
+                }
+            }
+        }
+        CostPlot {
+            metric,
+            points: worst.into_iter().collect(),
+        }
+    }
+
+    /// Per-routine drms variance across all cells (completed runs only),
+    /// the sweep analogue of the chaos scan's variance table.
+    pub fn variance(&self) -> VarianceReport {
+        let completed: Vec<ProfileReport> = self
+            .cells
+            .iter()
+            .filter(|c| c.error.is_none())
+            .map(|c| c.report.clone())
+            .collect();
+        drms_variance(&completed)
+    }
+
+    /// Total guest instructions across all cells.
+    pub fn instructions(&self) -> u64 {
+        self.cells.iter().map(|c| c.stats.instructions).sum()
+    }
+
+    /// Total instrumentation events across all cells.
+    pub fn events(&self) -> u64 {
+        self.cells.iter().map(|c| c.stats.events).sum()
+    }
+
+    /// Total shadow bytes across all cells.
+    pub fn shadow_bytes(&self) -> u64 {
+        self.cells.iter().map(|c| c.shadow_bytes).sum()
+    }
+}
+
+/// Runs one sweep cell. Guest aborts do not fail the sweep; they are
+/// recorded in the cell with whatever partial profile was collected.
+fn run_cell(family: &str, size: i64, seed: u64) -> SweepCell {
+    let w = family_workload(family, size).expect("family validated by run_sweep");
+    let config = RunConfig {
+        seed,
+        ..w.run_config()
+    };
+    let start = Instant::now();
+    let outcome = ProfileSession::new(&w.program)
+        .config(config)
+        .run()
+        .expect("harness workloads are well-formed");
+    SweepCell {
+        size,
+        seed,
+        secs: start.elapsed().as_secs_f64(),
+        shadow_bytes: outcome.shadow_bytes,
+        stats: outcome.stats,
+        report: outcome.report,
+        error: outcome.error.map(|e| e.to_string()),
+    }
+}
+
+/// Runs the sweep described by `spec`.
+///
+/// With `jobs == 1` the cells run inline, serially, in grid order. With
+/// more jobs, a scoped pool of workers pulls cells off a shared cursor
+/// and writes each finished cell into its grid slot, so the result is
+/// identical to the serial one regardless of scheduling.
+///
+/// # Panics
+/// Panics on an unknown family name (see [`FAMILIES`]) — specs are
+/// validated at the CLI boundary.
+pub fn run_sweep(spec: &SweepSpec) -> SweepResult {
+    assert!(
+        FAMILIES.contains(&spec.family.as_str()),
+        "unknown sweep family `{}`",
+        spec.family
+    );
+    let grid = spec.grid();
+    let start = Instant::now();
+    let cells: Vec<SweepCell> = if spec.jobs <= 1 || grid.len() <= 1 {
+        grid.iter()
+            .map(|&(size, seed)| run_cell(&spec.family, size, seed))
+            .collect()
+    } else {
+        let workers = spec.jobs.min(grid.len());
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new(vec![None; grid.len()]);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(size, seed)) = grid.get(i) else {
+                        break;
+                    };
+                    let cell = run_cell(&spec.family, size, seed);
+                    slots.lock().expect("sweep worker poisoned the slots")[i] = Some(cell);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("sweep worker poisoned the slots")
+            .into_iter()
+            .map(|c| c.expect("every grid slot was filled"))
+            .collect()
+    };
+    SweepResult {
+        spec: spec.clone(),
+        cells,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Schema tag of `BENCH_sweep.json`; bump when the layout changes.
+pub const BENCH_SCHEMA: &str = "drms-sweep-v1";
+
+/// One family's serial + parallel measurement pair inside a
+/// [`SweepBench`].
+#[derive(Clone, Debug)]
+pub struct FamilyBench {
+    /// The (parallel) sweep result; cells and totals come from here.
+    pub parallel: SweepResult,
+    /// Wall seconds of the serial (`jobs = 1`) run of the same spec.
+    pub serial_secs: f64,
+    /// Fingerprint of the serial run's merged report.
+    pub serial_fingerprint: u64,
+}
+
+impl FamilyBench {
+    /// Measures `spec` twice — serially, then with `spec.jobs` workers —
+    /// and pairs the results.
+    pub fn measure(spec: &SweepSpec) -> FamilyBench {
+        let serial = run_sweep(&SweepSpec {
+            jobs: 1,
+            ..spec.clone()
+        });
+        let parallel = run_sweep(spec);
+        FamilyBench {
+            serial_secs: serial.wall_secs,
+            serial_fingerprint: serial.fingerprint(),
+            parallel,
+        }
+    }
+
+    /// Serial wall time over parallel wall time.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel.wall_secs.max(1e-12)
+    }
+
+    /// Whether the serial and parallel merged reports differ — always a
+    /// bug, the engine's core invariant.
+    pub fn diverged(&self) -> bool {
+        self.serial_fingerprint != self.parallel.fingerprint()
+    }
+}
+
+/// The machine-readable sweep benchmark: every family measured serially
+/// and in parallel, serialized as `BENCH_sweep.json`.
+#[derive(Clone, Debug)]
+pub struct SweepBench {
+    /// Worker threads used for the parallel runs.
+    pub jobs: usize,
+    /// Per-family measurement pairs.
+    pub families: Vec<FamilyBench>,
+}
+
+impl SweepBench {
+    /// Total serial wall seconds across families.
+    pub fn serial_secs(&self) -> f64 {
+        self.families.iter().map(|f| f.serial_secs).sum()
+    }
+
+    /// Total parallel wall seconds across families.
+    pub fn parallel_secs(&self) -> f64 {
+        self.families.iter().map(|f| f.parallel.wall_secs).sum()
+    }
+
+    /// Aggregate serial-over-parallel speedup.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs() / self.parallel_secs().max(1e-12)
+    }
+
+    /// Whether any family diverged between serial and parallel runs.
+    pub fn diverged(&self) -> bool {
+        self.families.iter().any(|f| f.diverged())
+    }
+
+    /// Renders the benchmark as `BENCH_sweep.json` (schema
+    /// [`BENCH_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let instructions: u64 = self
+            .families
+            .iter()
+            .map(|f| f.parallel.instructions())
+            .sum();
+        let events: u64 = self.families.iter().map(|f| f.parallel.events()).sum();
+        let shadow: u64 = self
+            .families
+            .iter()
+            .map(|f| f.parallel.shadow_bytes())
+            .sum();
+        let wall = self.parallel_secs().max(1e-12);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BENCH_SCHEMA}\",");
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"wall_secs_serial\": {:.6},", self.serial_secs());
+        let _ = writeln!(
+            out,
+            "  \"wall_secs_parallel\": {:.6},",
+            self.parallel_secs()
+        );
+        let _ = writeln!(out, "  \"speedup\": {:.4},", self.speedup());
+        let _ = writeln!(out, "  \"instructions\": {instructions},");
+        let _ = writeln!(
+            out,
+            "  \"instructions_per_sec\": {:.1},",
+            instructions as f64 / wall
+        );
+        let _ = writeln!(out, "  \"events\": {events},");
+        let _ = writeln!(out, "  \"events_per_sec\": {:.1},", events as f64 / wall);
+        let _ = writeln!(out, "  \"shadow_bytes\": {shadow},");
+        let _ = writeln!(out, "  \"divergence\": {},", self.diverged());
+        out.push_str("  \"families\": [\n");
+        for (i, fam) in self.families.iter().enumerate() {
+            let p = &fam.parallel;
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"family\": \"{}\",", p.spec.family);
+            let _ = writeln!(out, "      \"sizes\": {:?},", p.spec.sizes);
+            let _ = writeln!(out, "      \"seeds\": {:?},", p.spec.seeds);
+            let _ = writeln!(out, "      \"serial_secs\": {:.6},", fam.serial_secs);
+            let _ = writeln!(out, "      \"parallel_secs\": {:.6},", p.wall_secs);
+            let _ = writeln!(out, "      \"speedup\": {:.4},", fam.speedup());
+            let _ = writeln!(out, "      \"fingerprint\": \"{:#018x}\",", p.fingerprint());
+            let _ = writeln!(out, "      \"divergence\": {},", fam.diverged());
+            out.push_str("      \"cells\": [\n");
+            for (j, c) in p.cells.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"size\": {}, \"seed\": {}, \"secs\": {:.6}, \
+                     \"instructions\": {}, \"events\": {}, \"basic_blocks\": {}, \
+                     \"shadow_bytes\": {}, \"error\": {}}}",
+                    c.size,
+                    c.seed,
+                    c.secs,
+                    c.stats.instructions,
+                    c.stats.events,
+                    c.stats.basic_blocks,
+                    c.shadow_bytes,
+                    match &c.error {
+                        Some(e) => format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")),
+                        None => "null".to_string(),
+                    },
+                );
+                out.push_str(if j + 1 < p.cells.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.families.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation: a minimal JSON reader (the workspace is offline and
+// dependency-free, so no serde) plus the drms-sweep-v1 checks.
+
+/// A parsed JSON value — just enough of the data model for validation.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    out.push(match esc {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        other => {
+                            return Err(format!("unsupported escape {other:?}"));
+                        }
+                    });
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let ch_len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + ch_len])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos += ch_len;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+/// Validates a `BENCH_sweep.json` blob against the `drms-sweep-v1`
+/// schema, including the engine's core invariant: serial and parallel
+/// runs must not diverge.
+///
+/// # Errors
+/// A human-readable description of the first violation: parse failure,
+/// wrong schema tag, missing or mistyped field, empty family/cell list,
+/// or a recorded serial-vs-parallel divergence.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let root = JsonParser::parse(text)?;
+    match root.get("schema") {
+        Some(Json::Str(s)) if s == BENCH_SCHEMA => {}
+        other => return Err(format!("bad schema tag: {other:?}")),
+    }
+    let jobs = root
+        .get("jobs")
+        .and_then(Json::num)
+        .ok_or("missing numeric `jobs`")?;
+    if jobs < 1.0 {
+        return Err(format!("jobs must be >= 1, got {jobs}"));
+    }
+    for key in [
+        "wall_secs_serial",
+        "wall_secs_parallel",
+        "speedup",
+        "instructions",
+        "instructions_per_sec",
+        "events",
+        "events_per_sec",
+        "shadow_bytes",
+    ] {
+        let v = root
+            .get(key)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("missing numeric `{key}`"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("`{key}` must be a finite non-negative number"));
+        }
+    }
+    if root.get("divergence") != Some(&Json::Bool(false)) {
+        return Err("serial and parallel sweeps diverged".to_string());
+    }
+    let Some(Json::Arr(families)) = root.get("families") else {
+        return Err("missing `families` array".to_string());
+    };
+    if families.is_empty() {
+        return Err("`families` is empty".to_string());
+    }
+    for fam in families {
+        let name = match fam.get("family") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("family entry without a `family` name".to_string()),
+        };
+        if fam.get("divergence") != Some(&Json::Bool(false)) {
+            return Err(format!("family `{name}` diverged"));
+        }
+        match fam.get("fingerprint") {
+            Some(Json::Str(f)) if f.starts_with("0x") && f.len() == 18 => {}
+            other => return Err(format!("family `{name}`: bad fingerprint {other:?}")),
+        }
+        let Some(Json::Arr(cells)) = fam.get("cells") else {
+            return Err(format!("family `{name}`: missing `cells` array"));
+        };
+        if cells.is_empty() {
+            return Err(format!("family `{name}`: no cells"));
+        }
+        for cell in cells {
+            for key in [
+                "size",
+                "seed",
+                "secs",
+                "instructions",
+                "events",
+                "basic_blocks",
+                "shadow_bytes",
+            ] {
+                if cell.get(key).and_then(Json::num).is_none() {
+                    return Err(format!("family `{name}`: cell missing numeric `{key}`"));
+                }
+            }
+            match cell.get("error") {
+                Some(Json::Null) | Some(Json::Str(_)) => {}
+                other => {
+                    return Err(format!("family `{name}`: bad cell error field {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_sizes_outer_seeds_inner() {
+        let spec = SweepSpec::new("stream", &[4, 8], 1).seeds(&[1, 2]);
+        assert_eq!(spec.grid(), vec![(4, 1), (4, 2), (8, 1), (8, 2)]);
+    }
+
+    #[test]
+    fn every_family_builds_a_focused_workload() {
+        for family in FAMILIES {
+            let w = family_workload(family, 4).expect(family);
+            assert!(w.focus.is_some(), "{family} needs a focus routine");
+        }
+        assert!(family_workload("bogus", 4).is_none());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_merge_identically() {
+        let spec = SweepSpec::new("stream", &[4, 8, 16], 4).seeds(&[1, 2]);
+        let serial = run_sweep(&SweepSpec {
+            jobs: 1,
+            ..spec.clone()
+        });
+        let parallel = run_sweep(&spec);
+        assert_eq!(serial.cells.len(), 6);
+        assert_eq!(serial.merged_report_text(), parallel.merged_report_text());
+        assert_eq!(serial.fingerprint(), parallel.fingerprint());
+    }
+
+    #[test]
+    fn focus_plot_merges_worst_case_points() {
+        let spec = SweepSpec::new("stream", &[4, 8], 1);
+        let result = run_sweep(&spec);
+        let plot = result.focus_plot(InputMetric::Drms);
+        let inputs: Vec<u64> = plot.points.iter().map(|p| p.0).collect();
+        assert!(inputs.contains(&4) && inputs.contains(&8), "{inputs:?}");
+        let sorted = {
+            let mut s = inputs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(inputs, sorted, "plot points are sorted by input");
+    }
+
+    #[test]
+    fn bench_json_emits_and_validates() {
+        let spec = SweepSpec::new("stream", &[4, 8], 2);
+        let bench = SweepBench {
+            jobs: 2,
+            families: vec![FamilyBench::measure(&spec)],
+        };
+        assert!(!bench.diverged());
+        let json = bench.to_json();
+        validate_bench_json(&json).expect("emitted JSON matches the schema");
+    }
+
+    #[test]
+    fn validator_rejects_broken_blobs() {
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{}").is_err());
+        let spec = SweepSpec::new("stream", &[4], 1);
+        let bench = SweepBench {
+            jobs: 1,
+            families: vec![FamilyBench::measure(&spec)],
+        };
+        let good = bench.to_json();
+        let diverged = good.replace("\"divergence\": false", "\"divergence\": true");
+        let err = validate_bench_json(&diverged).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+        let no_schema = good.replace(BENCH_SCHEMA, "drms-sweep-v0");
+        assert!(validate_bench_json(&no_schema).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_the_data_model() {
+        let v =
+            JsonParser::parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\"y"}, "d": null, "e": true}"#)
+                .unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-3.0)
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(&Json::Str("x\"y".into()))
+        );
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e"), Some(&Json::Bool(true)));
+        assert!(JsonParser::parse("{\"a\": }").is_err());
+        assert!(JsonParser::parse("[1, 2] trailing").is_err());
+    }
+}

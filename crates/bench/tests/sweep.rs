@@ -1,0 +1,65 @@
+//! Integration tests for the parallel sweep engine: the determinism
+//! gate (serial and parallel sweeps merge byte-identically) and the
+//! `BENCH_sweep.json` schema contract.
+
+use drms_bench::sweep::{
+    run_sweep, validate_bench_json, FamilyBench, SweepBench, SweepSpec, BENCH_SCHEMA,
+};
+
+/// `--jobs 1` vs `--jobs 4` over the same grid must produce
+/// byte-identical merged reports: parallelism may only change wall
+/// time, never the profiles.
+#[test]
+fn parallel_sweep_is_deterministic() {
+    for family in ["minidb", "stream", "producer-consumer"] {
+        let sizes = [8, 16, 24];
+        let serial = run_sweep(&SweepSpec::new(family, &sizes, 1).seeds(&[1, 2]));
+        let parallel = run_sweep(&SweepSpec::new(family, &sizes, 4).seeds(&[1, 2]));
+        assert_eq!(
+            serial.merged_report_text(),
+            parallel.merged_report_text(),
+            "{family}: serial and parallel sweeps diverged"
+        );
+        assert_eq!(serial.fingerprint(), parallel.fingerprint(), "{family}");
+        assert_eq!(serial.cells.len(), sizes.len() * 2, "{family}");
+    }
+}
+
+/// Repeating the same sweep twice yields the same fingerprint: the
+/// engine itself adds no hidden run-to-run state.
+#[test]
+fn repeated_sweeps_fingerprint_identically() {
+    let spec = SweepSpec::new("minidb", &[16, 32], 4);
+    assert_eq!(
+        run_sweep(&spec).fingerprint(),
+        run_sweep(&spec).fingerprint()
+    );
+}
+
+/// The emitted benchmark JSON validates against its own schema checker
+/// and carries the documented top-level fields.
+#[test]
+fn bench_json_round_trips_through_the_validator() {
+    let specs = [
+        SweepSpec::new("minidb", &[16, 32], 2),
+        SweepSpec::new("stream", &[8, 16], 2),
+    ];
+    let bench = SweepBench {
+        jobs: 2,
+        families: specs.iter().map(FamilyBench::measure).collect(),
+    };
+    let json = bench.to_json();
+    assert!(json.contains(BENCH_SCHEMA));
+    validate_bench_json(&json).expect("emitted JSON validates");
+    assert!(!bench.diverged());
+}
+
+/// The validator rejects payloads that are not a sweep benchmark.
+#[test]
+fn validator_rejects_foreign_json() {
+    assert!(validate_bench_json("{}").is_err());
+    assert!(validate_bench_json("not json at all").is_err());
+    assert!(
+        validate_bench_json(&format!("{{\"schema\": \"{BENCH_SCHEMA}\", \"jobs\": 0}}")).is_err()
+    );
+}

@@ -60,6 +60,40 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Per-iteration work declared by a benchmark so results can be
+/// reported as a rate, mirroring criterion's `Throughput`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration (binary-prefixed report).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal-prefixed report).
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    /// Renders the rate achieved at `nanos_per_iter` in criterion's
+    /// `thrpt:` style.
+    fn rate(&self, nanos_per_iter: f64) -> String {
+        let (count, unit) = match self {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (*n, "B"),
+            Throughput::Elements(n) => (*n, "elem"),
+        };
+        let per_sec = count as f64 / (nanos_per_iter / 1e9).max(1e-12);
+        if per_sec >= 1e9 {
+            format!("{:.3} G{unit}/s", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.3} M{unit}/s", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.3} K{unit}/s", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.1} {unit}/s")
         }
     }
 }
@@ -90,12 +124,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Overrides the sample count for this group only.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the per-iteration work of subsequent benchmarks in this
+    /// group; their reports gain a `thrpt:` column.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -106,7 +148,13 @@ impl BenchmarkGroup<'_> {
     {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, samples, self.criterion.measurement_time, |b| f(b));
+        run_benchmark(
+            &label,
+            samples,
+            self.criterion.measurement_time,
+            self.throughput,
+            |b| f(b),
+        );
         self
     }
 
@@ -118,9 +166,13 @@ impl BenchmarkGroup<'_> {
     {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, samples, self.criterion.measurement_time, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &label,
+            samples,
+            self.criterion.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -149,6 +201,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     label: &str,
     samples: usize,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
     mut f: F,
 ) {
     // One warm-up sample, also used to pick an iteration count that
@@ -174,7 +227,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         total_iters += b.iters;
     }
     let mean_nanos = total.as_nanos() as f64 / total_iters.max(1) as f64;
-    println!("{label:<48} time: {}", format_nanos(mean_nanos));
+    match throughput {
+        Some(t) => println!(
+            "{label:<48} time: {:<12} thrpt: {}",
+            format_nanos(mean_nanos),
+            t.rate(mean_nanos)
+        ),
+        None => println!("{label:<48} time: {}", format_nanos(mean_nanos)),
+    }
 }
 
 fn format_nanos(nanos: f64) -> String {
@@ -251,6 +311,28 @@ mod tests {
     #[test]
     fn benchmark_id_formats_like_criterion() {
         assert_eq!(BenchmarkId::new("profile", 10).to_string(), "profile/10");
+    }
+
+    #[test]
+    fn throughput_rates_pick_units() {
+        // 1000 elements in 1 µs = 1 Gelem/s.
+        assert_eq!(Throughput::Elements(1000).rate(1_000.0), "1.000 Gelem/s");
+        // 1 byte per second.
+        assert_eq!(Throughput::Bytes(1).rate(1e9), "1.0 B/s");
+        assert!(Throughput::BytesDecimal(500).rate(1e6).ends_with("KB/s"));
+    }
+
+    #[test]
+    fn throughput_group_still_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("rate", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
     }
 
     #[test]

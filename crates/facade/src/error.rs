@@ -1,0 +1,151 @@
+//! The workspace-wide error type.
+//!
+//! CLI and sweep code used to match on crate-specific error enums
+//! (`RunError` here, `KernelError` there, three different parse errors).
+//! [`Error`] wraps them all behind one type with proper
+//! [`source`](std::error::Error::source) chains, so callers can `?` any
+//! workspace result and still drill down to the original failure when
+//! they need to.
+
+use drms_core::report_io::ParseReportError;
+use drms_trace::sched::ParseSchedError;
+use drms_trace::ParseTraceError;
+use drms_vm::{FaultSpecError, KernelError, RunError};
+use std::fmt;
+
+/// Any failure a `drms` profiling session, sweep, or tool run can hit.
+///
+/// Each variant wraps the underlying crate-specific error and exposes it
+/// via [`std::error::Error::source`], so `anyhow`-style chain printers
+/// and plain `{}`/`{:#}` formatting both work.
+///
+/// # Example
+/// ```
+/// use std::error::Error as _;
+/// let inner = drms::vm::RunError::BadAddress { value: -1 };
+/// let err = drms::Error::from(inner);
+/// assert!(err.to_string().contains("guest run failed"));
+/// assert!(err.source().unwrap().to_string().contains("address"));
+/// ```
+#[derive(Debug)]
+pub enum Error {
+    /// The guest aborted (deadlock, bad address, watchdog, …).
+    Run(RunError),
+    /// A kernel/device operation failed outside a guest context.
+    Kernel(KernelError),
+    /// A serialized event trace failed to parse.
+    Trace(ParseTraceError),
+    /// A serialized schedule failed to parse.
+    Sched(ParseSchedError),
+    /// A serialized profile report failed to parse.
+    Report(ParseReportError),
+    /// A fault-plan spec string was malformed.
+    Faults(FaultSpecError),
+    /// Reading or writing an artifact (report, schedule, JSON) failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Run(_) => write!(f, "guest run failed"),
+            Error::Kernel(_) => write!(f, "kernel operation failed"),
+            Error::Trace(_) => write!(f, "malformed event trace"),
+            Error::Sched(_) => write!(f, "malformed schedule"),
+            Error::Report(_) => write!(f, "malformed profile report"),
+            Error::Faults(_) => write!(f, "malformed fault plan"),
+            Error::Io(_) => write!(f, "artifact I/O failed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Run(e) => Some(e),
+            Error::Kernel(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            Error::Sched(e) => Some(e),
+            Error::Report(e) => Some(e),
+            Error::Faults(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<RunError> for Error {
+    fn from(e: RunError) -> Self {
+        Error::Run(e)
+    }
+}
+
+impl From<KernelError> for Error {
+    fn from(e: KernelError) -> Self {
+        Error::Kernel(e)
+    }
+}
+
+impl From<ParseTraceError> for Error {
+    fn from(e: ParseTraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<ParseSchedError> for Error {
+    fn from(e: ParseSchedError) -> Self {
+        Error::Sched(e)
+    }
+}
+
+impl From<ParseReportError> for Error {
+    fn from(e: ParseReportError) -> Self {
+        Error::Report(e)
+    }
+}
+
+impl From<FaultSpecError> for Error {
+    fn from(e: FaultSpecError) -> Self {
+        Error::Faults(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chains_reach_the_original_error() {
+        let err: Error = RunError::BadAddress { value: -7 }.into();
+        let src = err.source().expect("wrapped error is the source");
+        assert!(src.to_string().contains("-7"), "{src}");
+        assert!(src.downcast_ref::<RunError>().is_some());
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let err: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(err.to_string(), "artifact I/O failed");
+        assert!(matches!(err, Error::Io(_)));
+    }
+
+    #[test]
+    fn every_variant_displays_distinctly() {
+        let msgs = [
+            Error::from(RunError::BadAddress { value: 0 }).to_string(),
+            Error::from(KernelError::BadFd { fd: 1 }).to_string(),
+            Error::from(std::io::Error::other("x")).to_string(),
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            for b in &msgs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

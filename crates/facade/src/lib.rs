@@ -27,13 +27,16 @@
 //! // The paper's Figure 3 pattern: a routine that streams data through
 //! // a two-cell buffer. rms sees 1 input cell; drms sees all of them.
 //! let w = drms::workloads::patterns::stream_reader(16);
-//! let (report, _stats) = drms::profile_workload(&w).unwrap();
-//! let p = report.merged_routine(w.focus.unwrap());
+//! let outcome = ProfileSession::workload(&w).run().unwrap();
+//! assert!(!outcome.is_partial());
+//! let p = outcome.report.merged_routine(w.focus.unwrap());
 //! assert_eq!(p.rms_plot().last().unwrap().0, 1);
 //! assert_eq!(p.drms_plot().last().unwrap().0, 16);
 //! ```
 
+pub mod error;
 pub mod sched;
+pub mod session;
 
 pub use drms_analysis as analysis;
 pub use drms_core as core;
@@ -42,12 +45,19 @@ pub use drms_trace as trace;
 pub use drms_vm as vm;
 pub use drms_workloads as workloads;
 
-use drms_core::{DrmsConfig, DrmsProfiler, ProfileReport};
-use drms_vm::{Program, RunConfig, RunError, RunStats, Vm};
+pub use error::Error;
+pub use session::ProfileSession;
+
+use drms_core::{DrmsConfig, ProfileReport};
+use drms_trace::Schedule;
+use drms_vm::{Program, RunConfig, RunError, RunStats};
 use drms_workloads::Workload;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::session::ProfileSession;
+    pub use crate::ProfileOutcome;
     pub use drms_analysis::{
         best_fit, CostPlot, FitResult, InputMetric, Measurement, Model, OverheadTable,
     };
@@ -55,16 +65,32 @@ pub mod prelude {
         DrmsConfig, DrmsProfiler, InputBreakdown, NaiveProfiler, ProfileReport, RmsProfiler,
         RoutineProfile,
     };
-    pub use drms_trace::{Addr, Event, EventSink, RoutineId, ThreadId, TimedEvent};
+    pub use drms_trace::{Addr, Event, EventSink, RoutineId, Schedule, ThreadId, TimedEvent};
     pub use drms_vm::{
-        run_program, Device, NullTool, Operand, Program, ProgramBuilder, RunConfig, RunStats,
-        SchedPolicy, SyscallNo, Tool, Vm,
+        run_program, run_program_with, Device, FaultPlan, NullTool, Operand, Program,
+        ProgramBuilder, RunConfig, RunStats, SchedPolicy, SyscallNo, Tool, Vm,
     };
     pub use drms_workloads::Workload;
 }
 
+/// Extracts the guest error from a [`ProfileSession::run`] failure.
+///
+/// The session only fails at setup time, and setup failures are always
+/// guest [`RunError`]s — this keeps the legacy wrappers' signatures.
+fn setup_error(e: Error) -> RunError {
+    match e {
+        Error::Run(e) => e,
+        other => unreachable!("session setup cannot fail with {other}"),
+    }
+}
+
 /// Profiles `program` under `config` with the full drms metric, returning
 /// the thread-sensitive profile report and the run statistics.
+///
+/// **Deprecated-style wrapper:** new code should use the
+/// [`ProfileSession`] builder, which exposes the same pipeline plus
+/// faults, scheduling, extra tools and partial profiles; this function
+/// remains for source compatibility.
 ///
 /// # Errors
 /// Propagates any guest [`RunError`].
@@ -93,24 +119,32 @@ pub fn profile(
 
 /// Like [`profile`], with an explicit [`DrmsConfig`] (e.g. external input
 /// only, or a small renumbering limit).
+///
+/// **Deprecated-style wrapper** over [`ProfileSession`]; see [`profile`].
 pub fn profile_with(
     program: &Program,
     config: RunConfig,
     drms: DrmsConfig,
 ) -> Result<(ProfileReport, RunStats), RunError> {
-    let mut profiler = DrmsProfiler::new(drms);
-    let stats = Vm::new(program, config)?.run(&mut profiler)?;
-    Ok((profiler.into_report(), stats))
+    let outcome = ProfileSession::new(program)
+        .config(config)
+        .drms(drms)
+        .run()
+        .map_err(setup_error)?;
+    match outcome.error {
+        Some(e) => Err(e),
+        None => Ok((outcome.report, outcome.stats)),
+    }
 }
 
 /// Outcome of a guest run that is allowed to abort: whatever profile
 /// data was collected up to the failure point, plus the failure itself.
 ///
-/// Produced by [`profile_partial`]. When `error` is `Some`, the report
-/// covers every activation observed before the abort (in-flight
-/// activations are flushed at their last observed cost) and `stats`
-/// reflect the work actually executed — including any injected-fault
-/// counters.
+/// Produced by [`ProfileSession::run`] (and the legacy
+/// [`profile_partial`]). When `error` is `Some`, the report covers every
+/// activation observed before the abort (in-flight activations are
+/// flushed at their last observed cost) and `stats` reflect the work
+/// actually executed — including any injected-fault counters.
 #[derive(Clone, Debug)]
 pub struct ProfileOutcome {
     /// The (possibly partial) profile report.
@@ -119,6 +153,12 @@ pub struct ProfileOutcome {
     pub stats: RunStats,
     /// The abort reason, or `None` if the guest ran to completion.
     pub error: Option<RunError>,
+    /// The recorded schedule, when the session asked for one
+    /// ([`ProfileSession::record_sched`]); `None` otherwise.
+    pub schedule: Option<Schedule>,
+    /// Host bytes of analysis metadata (shadow memories, profile tables)
+    /// held by the profiler and any extra tools, sampled after the run.
+    pub shadow_bytes: u64,
 }
 
 impl ProfileOutcome {
@@ -132,6 +172,9 @@ impl ProfileOutcome {
 /// stack) does not discard the profile: the data gathered so far is
 /// flushed and returned alongside the error.
 ///
+/// **Deprecated-style wrapper:** this is [`ProfileSession::run`]'s
+/// native contract; prefer the builder.
+///
 /// # Errors
 /// Only setup failures (program validation) are returned as `Err`;
 /// run-time aborts land in [`ProfileOutcome::error`].
@@ -140,18 +183,17 @@ pub fn profile_partial(
     config: RunConfig,
     drms: DrmsConfig,
 ) -> Result<ProfileOutcome, RunError> {
-    let mut profiler = DrmsProfiler::new(drms);
-    let mut vm = Vm::new(program, config)?;
-    let error = vm.run(&mut profiler).err();
-    let stats = vm.stats().clone();
-    Ok(ProfileOutcome {
-        report: profiler.into_report(),
-        stats,
-        error,
-    })
+    ProfileSession::new(program)
+        .config(config)
+        .drms(drms)
+        .run()
+        .map_err(setup_error)
 }
 
 /// Profiles a prebuilt [`Workload`] with its own devices and defaults.
+///
+/// **Deprecated-style wrapper** over
+/// [`ProfileSession::workload`]; see [`profile`].
 ///
 /// # Errors
 /// Propagates any guest [`RunError`].

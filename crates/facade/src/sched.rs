@@ -22,7 +22,7 @@
 use drms_core::{report_io, DrmsConfig, DrmsProfiler, VarianceReport};
 use drms_trace::{codec, merge_traces};
 use drms_vm::{
-    MultiTool, NullTool, Program, RunConfig, RunError, SchedDecision, SchedPolicy, Schedule,
+    MultiTool, NullTool, Program, RunConfig, RunError, SchedDecision, SchedPolicy, Schedule, Tool,
     TraceRecorder, Vm,
 };
 use std::sync::Arc;
@@ -56,7 +56,10 @@ impl RecordedRun {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a hash of `bytes` — the workspace's cheap, dependency-free
+/// fingerprint for byte-identity checks (reports, event streams, merged
+/// sweep output).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -82,10 +85,11 @@ pub fn record_run(program: &Program, config: &RunConfig) -> Result<RecordedRun, 
     let mut profiler = DrmsProfiler::new(DrmsConfig::full());
     let mut recorder = TraceRecorder::new();
     let mut vm = Vm::new(program, config)?;
-    let error = {
+    let (error, shadow_bytes) = {
         let mut fan = MultiTool::new();
         fan.push(&mut profiler).push(&mut recorder);
-        vm.run(&mut fan).err()
+        let error = vm.run(&mut fan).err();
+        (error, fan.shadow_bytes())
     };
     let stats = vm.stats().clone();
     let schedule = Arc::new(
@@ -100,6 +104,8 @@ pub fn record_run(program: &Program, config: &RunConfig) -> Result<RecordedRun, 
             report,
             stats,
             error,
+            schedule: None,
+            shadow_bytes,
         },
         schedule,
         events,
@@ -241,6 +247,7 @@ pub fn chaos_scan(
         let mut vm = Vm::new(program, config)?;
         let error = vm.run(&mut profiler).err();
         let stats = vm.stats().clone();
+        let shadow_bytes = profiler.shadow_bytes();
         let schedule = Arc::new(
             vm.take_recorded_schedule()
                 .expect("record_sched was set, so a schedule was recorded"),
@@ -251,6 +258,8 @@ pub fn chaos_scan(
                 report: profiler.into_report(),
                 stats,
                 error,
+                schedule: None,
+                shadow_bytes,
             },
             schedule,
         });

@@ -1,0 +1,237 @@
+//! The unified profiling entry point.
+//!
+//! [`ProfileSession`] is a builder that collapses the facade's historical
+//! `profile` / `profile_partial` / `profile_workload` trio into one
+//! configurable pipeline: pick a program, layer on run configuration,
+//! drms settings, fault plans, scheduling and extra tools, then
+//! [`run`](ProfileSession::run) it. Every run uses the partial-profile
+//! contract — a guest abort never discards the data collected before it.
+//!
+//! When no extra tools are attached, the session drives the VM through
+//! the monomorphized fast path (the profiler's event handlers compile to
+//! direct calls); attaching tools switches to a
+//! [`MultiTool`](drms_vm::MultiTool) fan-out.
+
+use crate::{Error, ProfileOutcome};
+use drms_core::{DrmsConfig, DrmsProfiler};
+use drms_vm::{FaultPlan, MultiTool, Program, RunConfig, SchedPolicy, Schedule, Tool, Vm};
+use drms_workloads::Workload;
+use std::sync::Arc;
+
+/// A configurable profiling run over one guest program.
+///
+/// # Example
+/// ```
+/// use drms::prelude::*;
+///
+/// let w = drms::workloads::patterns::stream_reader(16);
+/// let outcome = ProfileSession::new(&w.program)
+///     .config(w.run_config())
+///     .drms(DrmsConfig::full())
+///     .run()
+///     .unwrap();
+/// assert!(!outcome.is_partial());
+/// let p = outcome.report.merged_routine(w.focus.unwrap());
+/// assert_eq!(p.drms_plot().last().unwrap().0, 16);
+/// ```
+pub struct ProfileSession<'p, 't> {
+    program: &'p Program,
+    config: RunConfig,
+    drms: DrmsConfig,
+    extra: Vec<&'t mut dyn Tool>,
+}
+
+impl<'p, 't> ProfileSession<'p, 't> {
+    /// Starts a session over `program` with default run configuration
+    /// and the full drms metric.
+    pub fn new(program: &'p Program) -> Self {
+        ProfileSession {
+            program,
+            config: RunConfig::default(),
+            drms: DrmsConfig::full(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Starts a session over a prebuilt [`Workload`], adopting its
+    /// program, devices and run defaults.
+    pub fn workload(w: &'p Workload) -> Self {
+        ProfileSession::new(&w.program).config(w.run_config())
+    }
+
+    /// Replaces the whole [`RunConfig`] (devices, quantum, budgets, …).
+    ///
+    /// Call this *before* the targeted setters ([`faults`](Self::faults),
+    /// [`sched`](Self::sched), …); it overwrites all of them.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the drms profiler configuration (full, external-only,
+    /// static-only, renumbering limits).
+    pub fn drms(mut self, drms: DrmsConfig) -> Self {
+        self.drms = drms;
+        self
+    }
+
+    /// Attaches a kernel fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the guest `Rand` seed (per-thread streams derive from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Records the schedule of this run; it lands in
+    /// [`ProfileOutcome::schedule`].
+    pub fn record_sched(mut self) -> Self {
+        self.config.record_sched = true;
+        self
+    }
+
+    /// Replays a previously recorded schedule. Strict mode
+    /// (`relaxed = false`) aborts on divergence.
+    pub fn replay(mut self, schedule: Arc<Schedule>, relaxed: bool) -> Self {
+        self.config.policy = SchedPolicy::Replay { relaxed };
+        self.config.replay = Some(schedule);
+        self
+    }
+
+    /// Attaches an extra tool; it observes the identical event stream as
+    /// the drms profiler, in insertion order after it.
+    pub fn tool(mut self, tool: &'t mut dyn Tool) -> Self {
+        self.extra.push(tool);
+        self
+    }
+
+    /// Runs the session.
+    ///
+    /// A guest abort (watchdog, deadlock, injected fault escalation)
+    /// does not discard the profile: data gathered before the failure is
+    /// flushed into [`ProfileOutcome::report`] and the abort reason lands
+    /// in [`ProfileOutcome::error`].
+    ///
+    /// # Errors
+    /// Only setup failures — program validation, a replay policy without
+    /// a schedule — are returned as `Err`.
+    pub fn run(self) -> Result<ProfileOutcome, Error> {
+        let mut profiler = DrmsProfiler::new(self.drms);
+        let mut vm = Vm::new(self.program, self.config)?;
+        let (error, shadow_bytes) = if self.extra.is_empty() {
+            // Single-tool runs stay monomorphized: `T = DrmsProfiler`, so
+            // per-event dispatch is direct calls, not a vtable.
+            let error = vm.run(&mut profiler).err();
+            (error, profiler.shadow_bytes())
+        } else {
+            let mut fan = MultiTool::new();
+            fan.push(&mut profiler);
+            for t in self.extra {
+                fan.push(t);
+            }
+            let error = vm.run(&mut fan).err();
+            (error, fan.shadow_bytes())
+        };
+        let stats = vm.stats().clone();
+        let schedule = vm.take_recorded_schedule();
+        Ok(ProfileOutcome {
+            report: profiler.into_report(),
+            stats,
+            error,
+            schedule,
+            shadow_bytes,
+        })
+    }
+}
+
+impl std::fmt::Debug for ProfileSession<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileSession")
+            .field("config", &self.config)
+            .field("extra_tools", &self.extra.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_vm::{NullTool, RunError};
+
+    #[test]
+    fn session_matches_the_legacy_entry_points() {
+        let w = drms_workloads::patterns::stream_reader(8);
+        let (report, stats) = crate::profile_workload(&w).unwrap();
+        let outcome = ProfileSession::workload(&w).run().unwrap();
+        assert!(!outcome.is_partial());
+        assert_eq!(outcome.report, report);
+        assert_eq!(outcome.stats, stats);
+    }
+
+    #[test]
+    fn extra_tools_observe_the_same_run() {
+        let w = drms_workloads::patterns::stream_reader(8);
+        let solo = ProfileSession::workload(&w).run().unwrap();
+        let mut null = NullTool;
+        let fan = ProfileSession::workload(&w).tool(&mut null).run().unwrap();
+        assert_eq!(
+            solo.report, fan.report,
+            "fan-out must not perturb the profile"
+        );
+    }
+
+    #[test]
+    fn aborts_yield_partial_outcomes_not_errors() {
+        let w = drms_workloads::minidb::minidb_scaling(&[64, 128, 256]);
+        let outcome = ProfileSession::workload(&w)
+            .config(RunConfig {
+                max_instructions: 20_000,
+                ..w.run_config()
+            })
+            .run()
+            .unwrap();
+        assert!(outcome.is_partial());
+        assert!(matches!(
+            outcome.error,
+            Some(RunError::InstructionLimit { .. })
+        ));
+        assert!(!outcome.report.is_empty());
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_profile() {
+        let w = drms_workloads::patterns::producer_consumer(12);
+        let recorded = ProfileSession::workload(&w)
+            .sched(SchedPolicy::Chaos { seed: 7 })
+            .record_sched()
+            .run()
+            .unwrap();
+        let schedule = Arc::new(recorded.schedule.clone().expect("recorded"));
+        let replayed = ProfileSession::workload(&w)
+            .replay(schedule, false)
+            .run()
+            .unwrap();
+        assert!(replayed.error.is_none(), "{:?}", replayed.error);
+        assert_eq!(replayed.report, recorded.report);
+    }
+
+    #[test]
+    fn replay_without_schedule_is_a_setup_error() {
+        let w = drms_workloads::patterns::stream_reader(4);
+        let err = ProfileSession::workload(&w)
+            .sched(SchedPolicy::Replay { relaxed: false })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Run(RunError::ScheduleMissing)));
+    }
+}

@@ -272,6 +272,11 @@ pub struct Vm<'p> {
     conds: Vec<Cond>,
     stats: RunStats,
     sched: Scheduler,
+    /// Reusable staging buffer for syscall transfers: kernel data on its
+    /// way into guest memory (input) or the loaded user buffer on its way
+    /// to a device (output). Cleared before each use, so steady-state
+    /// transfers allocate nothing.
+    scratch: Vec<i64>,
 }
 
 impl<'p> Vm<'p> {
@@ -317,6 +322,7 @@ impl<'p> Vm<'p> {
             conds,
             stats: RunStats::default(),
             sched,
+            scratch: Vec::new(),
         })
     }
 
@@ -1020,22 +1026,26 @@ impl<'p> Vm<'p> {
         };
         let transferred = match dir {
             Direction::Input => {
-                let data = match self.kernel.input(fd, effective, offset) {
-                    Ok(d) => d,
+                self.scratch.clear();
+                let n = match self
+                    .kernel
+                    .input_into(fd, effective, offset, &mut self.scratch)
+                {
+                    Ok(n) => n,
                     Err(e) => return self.deliver_errno(t, dst, &e),
                 };
-                let n = data.len() as u32;
                 if n > 0 {
                     // The kernel writes external data into the user buffer.
                     self.stats.events += 1;
                     tool.on_kernel_to_user(id, buf, n);
-                    self.mem.store_slice(buf, &data);
+                    self.mem.store_slice(buf, &self.scratch);
                 }
                 n
             }
             Direction::Output => {
-                let data = self.mem.load_slice(buf, effective);
-                let n = match self.kernel.output(fd, &data, offset) {
+                self.scratch.clear();
+                self.mem.load_into(buf, effective, &mut self.scratch);
+                let n = match self.kernel.output(fd, &self.scratch, offset) {
                     Ok(n) => n,
                     Err(e) => return self.deliver_errno(t, dst, &e),
                 };
@@ -1074,6 +1084,26 @@ impl fmt::Debug for Vm<'_> {
 /// # Errors
 /// Propagates any [`RunError`].
 pub fn run_program<T: Tool + ?Sized>(
+    program: &Program,
+    config: RunConfig,
+    tool: &mut T,
+) -> Result<RunStats, RunError> {
+    Vm::new(program, config)?.run(tool)
+}
+
+/// Monomorphized fast path of [`run_program`]: `T` is `Sized` and known
+/// at the call site, so the per-event hot loop compiles with direct
+/// (inlinable) calls into the tool — no `dyn Tool` vtable dispatch.
+///
+/// Callers holding a `&mut dyn Tool` should branch on the concrete tool
+/// *once* and call this with the unerased type; keep
+/// [`MultiTool`](crate::MultiTool) for fanning one event stream out to
+/// several tools.
+///
+/// # Errors
+/// Propagates any [`RunError`].
+#[inline]
+pub fn run_program_with<T: Tool>(
     program: &Program,
     config: RunConfig,
     tool: &mut T,

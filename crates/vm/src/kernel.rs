@@ -371,6 +371,27 @@ impl Kernel {
         len: u32,
         offset: Option<u64>,
     ) -> Result<Vec<i64>, KernelError> {
+        let mut out = Vec::new();
+        self.input_into(fd, len, offset, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`input`](Self::input), but appends the transferred cells to
+    /// `out` instead of allocating a fresh vector.
+    ///
+    /// The interpreter's syscall loop reuses one scratch buffer across
+    /// every `kernelToUser` transfer, so steady-state transfers allocate
+    /// nothing. Returns the number of cells appended.
+    ///
+    /// # Errors
+    /// Same as [`input`](Self::input); on error nothing is appended.
+    pub fn input_into(
+        &mut self,
+        fd: i64,
+        len: u32,
+        offset: Option<u64>,
+        out: &mut Vec<i64>,
+    ) -> Result<u32, KernelError> {
         let file = self
             .files
             .get_mut(fd as usize)
@@ -382,34 +403,30 @@ impl Kernel {
         if file.failed {
             return Err(KernelError::DeviceFailure { fd });
         }
-        let out = match &file.device {
+        let before = out.len();
+        match &file.device {
             Device::Stream { seed } => {
                 let start = offset.unwrap_or(file.pos);
-                let data: Vec<i64> = (start..start + len as u64)
-                    .map(|i| stream_cell(*seed, i))
-                    .collect();
+                out.extend((start..start + len as u64).map(|i| stream_cell(*seed, i)));
                 if offset.is_none() {
                     file.pos += len as u64;
                 }
-                data
             }
             Device::File { data } => {
                 let start = offset.unwrap_or(file.pos) as usize;
                 let end = (start + len as usize).min(data.len());
-                let slice = if start >= data.len() {
-                    Vec::new()
-                } else {
-                    data[start..end].to_vec()
-                };
-                if offset.is_none() {
-                    file.pos += slice.len() as u64;
+                if start < data.len() {
+                    out.extend_from_slice(&data[start..end]);
                 }
-                slice
+                if offset.is_none() {
+                    file.pos += (out.len() - before) as u64;
+                }
             }
             Device::Sink => return Err(KernelError::BadDirection { fd }),
-        };
-        file.read += out.len() as u64;
-        Ok(out)
+        }
+        let moved = (out.len() - before) as u32;
+        file.read += moved as u64;
+        Ok(moved)
     }
 
     /// Performs an output transfer: consumes `data`. Sequential writes

@@ -55,7 +55,7 @@ pub mod tool;
 pub use builder::{BuildError, FnBuilder, ProgramBuilder};
 pub use disasm::{disassemble, routine_listing};
 pub use fault::{FaultCounters, FaultKind, FaultPlan, FaultRule, FaultSpecError, FaultTrigger};
-pub use interp::{run_program, BlockedThread, RunError, Vm, WaitTarget};
+pub use interp::{run_program, run_program_with, BlockedThread, RunError, Vm, WaitTarget};
 pub use ir::{BinOp, Block, Inst, Operand, Program, Reg, Routine, Terminator, ValidateError};
 pub use kernel::{Device, Direction, Kernel, KernelError, Syscall, SyscallNo};
 pub use memory::Memory;

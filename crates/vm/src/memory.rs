@@ -93,7 +93,17 @@ impl Memory {
 
     /// Reads `len` cells starting at `base`.
     pub fn load_slice(&self, base: Addr, len: u32) -> Vec<i64> {
-        base.range(len).map(|a| self.load(a)).collect()
+        let mut out = Vec::new();
+        self.load_into(base, len, &mut out);
+        out
+    }
+
+    /// Reads `len` cells starting at `base`, appending them to `out`.
+    ///
+    /// Allocation-free when `out` has capacity; the interpreter reuses
+    /// one scratch buffer across all `userToKernel` transfers.
+    pub fn load_into(&self, base: Addr, len: u32, out: &mut Vec<i64>) {
+        out.extend(base.range(len).map(|a| self.load(a)));
     }
 }
 

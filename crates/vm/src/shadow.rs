@@ -9,8 +9,17 @@
 //! The address space is split `L1 → L2 → leaf`; leaves hold
 //! 2¹² values, second-level tables 2¹¹ leaf slots, and the root 2¹³ slots,
 //! covering a 2³⁶-cell space. Unmapped cells read as `T::default()`.
+//!
+//! Per-access event handlers hit this structure on every guest load and
+//! store, so [`ShadowMemory::get`]/[`ShadowMemory::set`] keep a
+//! **last-leaf cache**: the walk result of the previous access. Guest
+//! accesses are strongly clustered (stack frames, buffers, table scans),
+//! so most lookups resolve in the one-comparison fast path without
+//! touching the L1/L2 tables.
 
 use drms_trace::Addr;
+use std::cell::Cell;
+use std::ptr::NonNull;
 
 const LEAF_BITS: u32 = 12;
 const L2_BITS: u32 = 11;
@@ -53,7 +62,21 @@ impl<T: Copy + Default> Level2<T> {
 pub struct ShadowMemory<T> {
     root: Vec<Option<Box<Level2<T>>>>,
     leaf_count: usize,
+    /// Last-leaf cache: `(addr >> LEAF_BITS, pointer to the leaf's first
+    /// cell, writable)` of the most recent table walk. Leaf chunks are
+    /// boxed and never move once materialized (only `clear` frees them),
+    /// so the pointer stays valid for the structure's lifetime between
+    /// clears. `writable` records whether the pointer was derived from a
+    /// mutable borrow (in `set`); pointers cached by `get` carry
+    /// read-only provenance and are never written through.
+    last: Cell<Option<(u64, NonNull<T>, bool)>>,
 }
+
+// SAFETY: `ShadowMemory` owns every allocation the cached pointer can
+// refer to, so moving the whole structure to another thread moves its
+// referent along with it. The `Cell` makes it `!Sync`, which is correct:
+// the cache is updated through `&self` in `get`.
+unsafe impl<T: Send> Send for ShadowMemory<T> {}
 
 impl<T: Copy + Default> Default for ShadowMemory<T> {
     fn default() -> Self {
@@ -72,6 +95,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
         ShadowMemory {
             root: Vec::new(),
             leaf_count: 0,
+            last: Cell::new(None),
         }
     }
 
@@ -86,10 +110,56 @@ impl<T: Copy + Default> ShadowMemory<T> {
         (l1, l2, leaf)
     }
 
+    /// The cache tag of `addr`: the address with the in-leaf offset
+    /// masked off, identifying its leaf chunk.
+    #[inline]
+    fn leaf_tag(addr: Addr) -> u64 {
+        addr.raw() >> LEAF_BITS
+    }
+
     /// Reads the shadow value of `addr`; unmapped cells yield
     /// `T::default()`.
+    ///
+    /// Accesses hitting the same leaf chunk as the previous `get`/`set`
+    /// skip the table walk entirely (the common case: guest accesses are
+    /// clustered). [`get_uncached`](Self::get_uncached) is the always-walk
+    /// reference path.
     #[inline]
     pub fn get(&self, addr: Addr) -> T {
+        if let Some((tag, ptr, _)) = self.last.get() {
+            if tag == Self::leaf_tag(addr) {
+                let leaf = (addr.raw() & (LEAF_CELLS as u64 - 1)) as usize;
+                // SAFETY: `ptr` points to the first cell of a live
+                // `LEAF_CELLS`-sized leaf (see the `last` field
+                // invariant) and `leaf < LEAF_CELLS`. No `&mut` to the
+                // chunk can exist while `&self` is held.
+                return unsafe { *ptr.as_ptr().add(leaf) };
+            }
+        }
+        let (l1, l2, leaf) = Self::split(addr);
+        match self.root.get(l1).and_then(|s| s.as_ref()) {
+            Some(level2) => match &level2.leaves[l2] {
+                Some(chunk) => {
+                    self.last.set(Some((
+                        Self::leaf_tag(addr),
+                        NonNull::from(&chunk[0]),
+                        false,
+                    )));
+                    chunk[leaf]
+                }
+                None => T::default(),
+            },
+            None => T::default(),
+        }
+    }
+
+    /// Reads the shadow value of `addr` by walking the full three-level
+    /// structure, bypassing (and not updating) the last-leaf cache.
+    ///
+    /// This is the reference path the cached [`get`](Self::get) must
+    /// agree with; property tests exercise both on the same sequence.
+    #[inline]
+    pub fn get_uncached(&self, addr: Addr) -> T {
         let (l1, l2, leaf) = Self::split(addr);
         match self.root.get(l1).and_then(|s| s.as_ref()) {
             Some(level2) => match &level2.leaves[l2] {
@@ -101,8 +171,22 @@ impl<T: Copy + Default> ShadowMemory<T> {
     }
 
     /// Writes the shadow value of `addr`, materializing chunks on demand.
+    ///
+    /// Like [`get`](Self::get), consecutive writes into one leaf chunk
+    /// take a one-comparison fast path.
     #[inline]
     pub fn set(&mut self, addr: Addr, value: T) {
+        if let Some((tag, ptr, true)) = self.last.get() {
+            if tag == Self::leaf_tag(addr) {
+                let leaf = (addr.raw() & (LEAF_CELLS as u64 - 1)) as usize;
+                // SAFETY: same invariant as in `get`, plus
+                // `writable == true` means the pointer was derived from a
+                // mutable borrow; `&mut self` grants exclusive access to
+                // the leaf it refers to.
+                unsafe { *ptr.as_ptr().add(leaf) = value };
+                return;
+            }
+        }
         let (l1, l2, leaf) = Self::split(addr);
         if self.root.len() <= l1 {
             self.root.resize_with(l1 + 1, || None);
@@ -121,6 +205,11 @@ impl<T: Copy + Default> ShadowMemory<T> {
             }
         };
         chunk[leaf] = value;
+        self.last.set(Some((
+            Self::leaf_tag(addr),
+            NonNull::from(&mut chunk[0]),
+            true,
+        )));
     }
 
     /// Number of materialized leaf chunks.
@@ -142,6 +231,9 @@ impl<T: Copy + Default> ShadowMemory<T> {
     /// Used by the timestamp-renumbering pass, which must rewrite all
     /// stored timestamps in place.
     pub fn for_each_mut(&mut self, mut f: impl FnMut(Addr, &mut T)) {
+        // The fresh `&mut` borrows below supersede the cached pointer's
+        // provenance; drop it rather than write through a stale tag later.
+        self.last.set(None);
         for (i1, slot1) in self.root.iter_mut().enumerate() {
             let Some(level2) = slot1 else { continue };
             for (i2, slot2) in level2.leaves.iter_mut().enumerate() {
@@ -156,6 +248,8 @@ impl<T: Copy + Default> ShadowMemory<T> {
 
     /// Drops all materialized chunks.
     pub fn clear(&mut self) {
+        // The cached leaf pointer dangles once its chunk is freed.
+        self.last.set(None);
         self.root.clear();
         self.leaf_count = 0;
     }
@@ -238,6 +332,34 @@ mod tests {
         s.clear();
         assert_eq!(s.get(Addr::new(100)), 0);
         assert_eq!(s.leaf_count(), 0);
+    }
+
+    #[test]
+    fn cached_and_uncached_reads_agree_across_leaf_switches() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        let a = Addr::new(10);
+        let b = Addr::new((LEAF_CELLS * 3 + 5) as u64); // different leaf
+        s.set(a, 1); // cache -> leaf of a
+        s.set(b, 2); // cache -> leaf of b
+        assert_eq!(s.get(a), 1, "switch back via slow path");
+        assert_eq!(s.get(a), 1, "now served from the cache");
+        assert_eq!(s.get_uncached(a), 1);
+        assert_eq!(s.get_uncached(b), 2);
+        // Cached write after cached read of the same leaf.
+        s.set(a, 9);
+        assert_eq!(s.get_uncached(a), 9);
+        assert_eq!(s.get(Addr::new(11)), 0, "cache hit on an unset cell");
+    }
+
+    #[test]
+    fn clear_invalidates_the_leaf_cache() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        s.set(Addr::new(42), 7);
+        assert_eq!(s.get(Addr::new(42)), 7);
+        s.clear();
+        assert_eq!(s.get(Addr::new(42)), 0, "no stale read through the cache");
+        s.set(Addr::new(42), 3);
+        assert_eq!(s.get(Addr::new(42)), 3);
     }
 
     #[test]

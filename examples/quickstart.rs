@@ -45,11 +45,12 @@ fn main() {
     let program = pb.finish(main_r).expect("valid program");
 
     // Profile one execution with the full drms metric.
-    let (report, stats) = drms::profile(&program, RunConfig::default()).expect("run");
+    let outcome = ProfileSession::new(&program).run().expect("run");
     println!(
         "executed {} basic blocks across {} thread(s)\n",
-        stats.basic_blocks, stats.threads
+        outcome.stats.basic_blocks, outcome.stats.threads
     );
+    let report = outcome.report;
 
     // Inspect the focus routine's cost plot and fitted cost function.
     let profile = report.merged_routine(sum_array);

@@ -364,3 +364,48 @@ fn corrupted_trace_text_never_panics() {
         let _ = prof.into_report();
     }
 }
+
+/// The shadow memory's last-leaf cache is transparent: on arbitrary
+/// clustered get/set/clear sequences the cached reads agree with the
+/// always-walk reference path ([`get_uncached`]) and with a map oracle.
+///
+/// [`get_uncached`]: drms::vm::ShadowMemory::get_uncached
+#[test]
+fn shadow_leaf_cache_is_transparent() {
+    use drms::vm::ShadowMemory;
+    use std::collections::HashMap;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5AD0_0B5E ^ case);
+        let mut shadow: ShadowMemory<u64> = ShadowMemory::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for step in 0..500u64 {
+            // Cluster addresses onto a handful of leaf chunks so the
+            // sequence mixes same-leaf runs with leaf switches.
+            let leaf = rng.gen_range(0u32..5) as u64;
+            let a = leaf * 4096 + rng.gen_range(0u32..64) as u64;
+            let addr = Addr::new(a);
+            match rng.gen_range(0u32..12) {
+                0..=5 => {
+                    shadow.set(addr, step + 1);
+                    oracle.insert(a, step + 1);
+                }
+                6..=9 => {
+                    let expect = oracle.get(&a).copied().unwrap_or_default();
+                    assert_eq!(shadow.get(addr), expect, "case {case} step {step}");
+                    assert_eq!(shadow.get_uncached(addr), expect, "case {case} step {step}");
+                }
+                10 => {
+                    assert_eq!(
+                        shadow.get(addr),
+                        shadow.get_uncached(addr),
+                        "case {case} step {step}"
+                    );
+                }
+                _ => {
+                    shadow.clear();
+                    oracle.clear();
+                }
+            }
+        }
+    }
+}
