@@ -18,8 +18,21 @@ cargo run --release -q -p drms-bench --bin repro -- sched-fuzz --seeds 16 --quic
 
 # Bench smoke gate: a tiny parallel sweep. The binary validates its own
 # BENCH_sweep.json against the drms-sweep-v1 schema and exits non-zero
-# if the serial and parallel sweeps diverge or the schema check fails.
+# if the serial and parallel sweeps diverge, the serial and parallel
+# merged metrics diverge, the metrics audit fails, or the schema check
+# fails.
 cargo run --release -q -p drms-bench --bin repro -- sweep --quick --jobs 2 \
     --bench-out target/repro/BENCH_sweep.json
+
+# Metrics smoke gate: the same workload + seed twice must render a
+# byte-identical metrics export (aprof exits non-zero if the registry
+# fails its self-consistency audit).
+mkdir -p target/repro
+cargo run --release -q -p drms-bench --bin aprof -- --workload producer_consumer \
+    --sched random:7 --metrics target/repro/metrics_a.json > /dev/null
+cargo run --release -q -p drms-bench --bin aprof -- --workload producer_consumer \
+    --sched random:7 --metrics target/repro/metrics_b.json > /dev/null
+cmp target/repro/metrics_a.json target/repro/metrics_b.json \
+    || { echo "ci: metrics export is not deterministic" >&2; exit 1; }
 
 echo "ci: all green"

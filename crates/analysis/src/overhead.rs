@@ -41,16 +41,26 @@ impl Measurement {
     }
 }
 
-/// Geometric mean of a non-empty sequence of positive values.
+/// Geometric mean of a sequence of overhead factors.
+///
+/// Edge cases are defined, not accidental:
+///
+/// * **Empty input → `1.0`** — the neutral overhead factor ("no
+///   measurements" reads as "no overhead", and an empty suite's Table-1
+///   row prints `1.0x` rather than a misleading `0.0x`).
+/// * **Zero or negative values** are clamped to `1e-12` before taking
+///   logs, so a degenerate measurement (zero wall-clock) yields a tiny
+///   but finite contribution instead of `-inf`/NaN poisoning the mean.
 ///
 /// # Example
 /// ```
 /// use drms_analysis::overhead::geometric_mean;
 /// assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+/// assert_eq!(geometric_mean(&[]), 1.0);
 /// ```
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
-        return 0.0;
+        return 1.0;
     }
     let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
     (log_sum / values.len() as f64).exp()
@@ -93,6 +103,8 @@ impl OverheadTable {
     }
 
     /// Geometric-mean slowdown of `tool` over the benchmarks of `suite`.
+    /// A (suite, tool) pair with no recorded cells reports the neutral
+    /// factor `1.0` (see [`geometric_mean`]).
     pub fn mean_slowdown(&self, suite: &str, tool: &str) -> f64 {
         let vals: Vec<f64> = self
             .cells
@@ -103,7 +115,8 @@ impl OverheadTable {
         geometric_mean(&vals)
     }
 
-    /// Geometric-mean space overhead of `tool` over `suite`.
+    /// Geometric-mean space overhead of `tool` over `suite`. Empty
+    /// (suite, tool) pairs report `1.0`, like [`mean_slowdown`](Self::mean_slowdown).
     pub fn mean_space(&self, suite: &str, tool: &str) -> f64 {
         let vals: Vec<f64> = self
             .cells
@@ -172,9 +185,38 @@ mod tests {
 
     #[test]
     fn geometric_mean_basics() {
-        assert_eq!(geometric_mean(&[]), 0.0);
         assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-9);
         assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_mean_edge_cases_are_defined() {
+        assert_eq!(
+            geometric_mean(&[]),
+            1.0,
+            "empty input is the neutral factor, not 0.0"
+        );
+        let degenerate = geometric_mean(&[0.0, 4.0]);
+        assert!(
+            degenerate.is_finite() && degenerate > 0.0,
+            "zero values clamp instead of producing -inf: {degenerate}"
+        );
+        let negative = geometric_mean(&[-3.0, 2.0]);
+        assert!(negative.is_finite() && negative > 0.0, "{negative}");
+    }
+
+    #[test]
+    fn empty_suite_rows_report_neutral_overhead() {
+        let t = OverheadTable::new();
+        assert_eq!(t.mean_slowdown("parsec", "drms"), 1.0);
+        assert_eq!(t.mean_space("parsec", "drms"), 1.0);
+        let mut t = OverheadTable::new();
+        t.record("omp", "drms", "c", m(30.0, 1.0, 200, 100));
+        assert_eq!(
+            t.mean_slowdown("parsec", "drms"),
+            1.0,
+            "tool recorded under another suite only"
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Cost of run-level observability: the profiling counters bumped in
+//! the VM hot loop (per-event kind tallies, scheduler slice buckets,
+//! kernel transfer buckets, shadow-cache hit/miss cells) are plain
+//! integer increments, and building the [`Metrics`] registry happens
+//! once per run at finalization. This bench pins both claims:
+//!
+//! * `run_only` — the instrumented run as-is; the counters are always
+//!   on, so this *includes* every hot-loop increment. The acceptance
+//!   bar (≤5% over the pre-observability hot loop) is tracked by
+//!   comparing this series against `tool_dispatch`'s history across
+//!   commits.
+//! * `run_plus_registry` — the same run plus `Vm::metrics()` +
+//!   `Metrics::to_json()`, measuring the one-shot finalization cost a
+//!   `--metrics` export adds on top.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drms::vm::{NullTool, Tool, Vm};
+use drms::workloads::patterns;
+
+fn bench(c: &mut Criterion) {
+    let w = patterns::stream_reader(64);
+    let events = {
+        let mut vm = Vm::new(&w.program, w.run_config()).expect("valid workload");
+        vm.run(&mut NullTool).expect("warm-up run").events
+    };
+    println!("metrics workload: {events} events per run");
+
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("run_only", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&w.program, w.run_config()).expect("valid workload");
+            vm.run(&mut NullTool).expect("run").basic_blocks
+        })
+    });
+    group.bench_function("run_plus_registry", |b| {
+        b.iter(|| {
+            let mut tool = NullTool;
+            let mut vm = Vm::new(&w.program, w.run_config()).expect("valid workload");
+            vm.run(&mut tool).expect("run");
+            let mut metrics = vm.metrics();
+            tool.observe_metrics(&mut metrics);
+            metrics.to_json().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -38,6 +38,13 @@
 //!                       aborted runs still report a partial profile
 //!   --context           context-sensitive profile of the focus routine
 //!   --report FILE       dump the profile report (report_io text format)
+//!   --metrics FILE      dump the run's observability registry (event,
+//!                       scheduler, kernel, shadow-cache and per-tool
+//!                       counters) as deterministic JSON — or prometheus
+//!                       text when FILE ends in `.prom`; the registry's
+//!                       self-consistency audit runs first and audit
+//!                       violations fail the invocation (exit 1); with
+//!                       --sweep this dumps the grid-merged registry
 //!   --trace FILE        record and dump the merged execution trace
 //!   --trace-stats       print event-stream statistics
 //!   --disasm            print the guest program listing and exit
@@ -54,7 +61,7 @@
 
 use drms::analysis::{ascii_plot, CostPlot, InputMetric};
 use drms::core::{report_io, CctProfiler, DrmsConfig, ProfileReport, RmsProfiler};
-use drms::trace::{merge_traces, TraceStats};
+use drms::trace::{merge_traces, Metrics, TraceStats};
 use drms::vm::{
     disassemble, FaultPlan, RunConfig, RunError, RunStats, SchedPolicy, Tool, TraceRecorder, Vm,
 };
@@ -79,6 +86,7 @@ struct Cli {
     replay_sched: Option<String>,
     context: bool,
     report: Option<String>,
+    metrics: Option<String>,
     trace: Option<String>,
     trace_stats: bool,
     disasm: bool,
@@ -88,7 +96,7 @@ struct Cli {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--jobs N]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--jobs N]");
     exit(2)
 }
 
@@ -122,6 +130,7 @@ fn parse_cli() -> Cli {
         replay_sched: None,
         context: false,
         report: None,
+        metrics: None,
         trace: None,
         trace_stats: false,
         disasm: false,
@@ -159,6 +168,7 @@ fn parse_cli() -> Cli {
             "--replay-sched" => cli.replay_sched = Some(value("--replay-sched")),
             "--context" => cli.context = true,
             "--report" => cli.report = Some(value("--report")),
+            "--metrics" => cli.metrics = Some(value("--metrics")),
             "--trace" => cli.trace = Some(value("--trace")),
             "--trace-stats" => cli.trace_stats = true,
             "--disasm" => cli.disasm = true,
@@ -275,7 +285,7 @@ fn main() {
         return;
     }
     if let Some(sizes) = &cli.sweep {
-        run_size_sweep(name, sizes, cli.jobs, cli.fit);
+        run_size_sweep(name, sizes, cli.jobs, cli.fit, cli.metrics.as_deref());
         return;
     }
     let mut config = w.run_config();
@@ -357,13 +367,13 @@ fn main() {
 
     // Standard run under the selected profiler.
     let record = cli.record_sched.as_deref();
-    let (report, stats, abort) = match cli.tool.as_str() {
+    let (report, stats, abort, metrics) = match cli.tool.as_str() {
         "aprof-drms" => run_drms_tool(&w, config, DrmsConfig::full(), record),
         "external-only" => run_drms_tool(&w, config, DrmsConfig::external_only(), record),
         "aprof" => {
             let mut p = RmsProfiler::new();
-            let (stats, abort) = run_vm(&w, config, &mut p, record);
-            (p.into_report(), stats, abort)
+            let (stats, abort, metrics) = run_vm(&w, config, &mut p, record);
+            (p.into_report(), stats, abort, metrics)
         }
         other => {
             eprintln!("unknown tool `{other}` (aprof-drms | aprof | external-only)");
@@ -395,9 +405,33 @@ fn main() {
         std::fs::write(path, report_io::to_text(&report)).expect("write report");
         println!("report written to {path} ({} profiles)", report.len());
     }
+    if let Some(path) = &cli.metrics {
+        write_metrics(path, &metrics);
+    }
     if let Some(e) = abort {
         exit(run_error_exit_code(&e));
     }
+}
+
+/// `--metrics`: audits the registry, then dumps it to `path` —
+/// prometheus text for a `.prom` extension, deterministic JSON
+/// otherwise. Audit violations are a profiler bug, never workload
+/// noise, so they fail the invocation loudly.
+fn write_metrics(path: &str, metrics: &Metrics) {
+    if let Err(violations) = metrics.audit() {
+        eprintln!("metrics audit failed ({} violations):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        exit(1);
+    }
+    let rendered = if path.ends_with(".prom") {
+        metrics.to_prometheus()
+    } else {
+        metrics.to_json()
+    };
+    std::fs::write(path, rendered).expect("write metrics");
+    println!("metrics written to {path} (audit passed)");
 }
 
 /// Reports a fatal guest error and exits with its documented code.
@@ -421,8 +455,9 @@ fn sweep_family(name: &str) -> Option<&'static str> {
 }
 
 /// `--sweep`: fan the workload's size grid across `jobs` workers and
-/// print the per-cell summary plus the merged focus plot.
-fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool) {
+/// print the per-cell summary plus the merged focus plot. With
+/// `--metrics`, the grid-merged registry is audited and dumped too.
+fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool, metrics: Option<&str>) {
     let Some(family) = sweep_family(name) else {
         eprintln!(
             "`{name}` is not sweepable (try minidb, mysqlslap, vips, \
@@ -461,6 +496,9 @@ fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool) {
             println!("drms fit: {}", plot.fit(0.02));
         }
     }
+    if let Some(path) = metrics {
+        write_metrics(path, &result.merged_metrics());
+    }
 }
 
 /// Builds and runs a VM under a statically-known `tool` (no `dyn`
@@ -472,12 +510,17 @@ fn run_vm<T: Tool>(
     config: RunConfig,
     tool: &mut T,
     record: Option<&str>,
-) -> (RunStats, Option<RunError>) {
+) -> (RunStats, Option<RunError>, Metrics) {
     let mut vm = match Vm::new(&w.program, config) {
         Ok(vm) => vm,
         Err(e) => abort_exit(&w.name, &e),
     };
     let error = vm.run(tool).err();
+    let mut metrics = vm.metrics();
+    tool.observe_metrics(&mut metrics);
+    if error.is_some() {
+        metrics.inc("run.aborts");
+    }
     if let Some(path) = record {
         let sched = vm
             .take_recorded_schedule()
@@ -489,7 +532,7 @@ fn run_vm<T: Tool>(
             sched.preemption_points()
         );
     }
-    (vm.stats().clone(), error)
+    (vm.stats().clone(), error, metrics)
 }
 
 /// Runs the drms profiler through [`ProfileSession`], keeping whatever
@@ -500,7 +543,7 @@ fn run_drms_tool(
     config: RunConfig,
     drms: DrmsConfig,
     record: Option<&str>,
-) -> (ProfileReport, RunStats, Option<RunError>) {
+) -> (ProfileReport, RunStats, Option<RunError>, Metrics) {
     let outcome = ProfileSession::new(&w.program)
         .config(config)
         .drms(drms)
@@ -530,7 +573,12 @@ fn run_drms_tool(
             w.name
         );
     }
-    (outcome.report, outcome.stats, outcome.error)
+    (
+        outcome.report,
+        outcome.stats,
+        outcome.error,
+        outcome.metrics,
+    )
 }
 
 /// Standalone report comparison: load two report_io dumps and print the

@@ -30,8 +30,10 @@
 //!   sweep         parallel sweep benchmark over the minidb/imgpipe size
 //!                 grids ([--jobs N] [--quick] [--bench-out FILE]): each
 //!                 family is swept serially and with N workers, the
-//!                 merged reports are checked byte-identical, and the
-//!                 measurements land in BENCH_sweep.json
+//!                 merged reports and merged metrics are checked
+//!                 byte-identical, and the measurements land in
+//!                 BENCH_sweep.json (audited metrics in its
+//!                 .metrics.json sibling)
 //! ```
 //!
 //! Each experiment prints its series and also writes CSV/gnuplot data
@@ -863,9 +865,10 @@ fn sched_shrink(opts: &Options) {
 
 /// Parallel sweep benchmark: sweep the minidb and imgpipe families over
 /// their size grids, serially and with `--jobs` workers, verify the
-/// merged reports are byte-identical, and write the measurements to
-/// `--bench-out` (default `BENCH_sweep.json`). `--quick` shrinks the
-/// grids for smoke testing.
+/// merged reports **and merged metrics** are byte-identical, and write
+/// the measurements to `--bench-out` (default `BENCH_sweep.json`) plus
+/// the audited grid-merged metrics to a `.metrics.json` sibling.
+/// `--quick` shrinks the grids for smoke testing.
 fn sweep_bench(opts: &Options) {
     use drms::analysis::InputMetric;
     use drms_bench::sweep::{validate_bench_json, FamilyBench, SweepBench, SweepSpec};
@@ -885,6 +888,7 @@ fn sweep_bench(opts: &Options) {
         SweepSpec::new("imgpipe", &imgpipe_sizes, opts.jobs).seeds(&seeds),
     ];
     let mut families = Vec::new();
+    let mut merged_metrics = drms::trace::Metrics::new();
     for spec in &specs {
         let fam = FamilyBench::measure(spec);
         let p = &fam.parallel;
@@ -898,6 +902,14 @@ fn sweep_bench(opts: &Options) {
             p.fingerprint(),
             if fam.diverged() { "  DIVERGED" } else { "" },
         );
+        if fam.metrics_diverged() {
+            eprintln!(
+                "sweep: family `{}`: serial and parallel merged metrics diverged",
+                spec.family
+            );
+            std::process::exit(1);
+        }
+        merged_metrics.merge(&p.merged_metrics());
         let plot = p.focus_plot(InputMetric::Drms);
         let fit = best_fit(&plot.points, 0.02);
         println!(
@@ -927,4 +939,17 @@ fn sweep_bench(opts: &Options) {
     );
     fs::write(&opts.bench_out, &json).expect("write BENCH_sweep.json");
     println!("  [benchmark written to {}]", opts.bench_out.display());
+    if let Err(violations) = merged_metrics.audit() {
+        eprintln!(
+            "sweep: metrics audit failed ({} violations):",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    let metrics_out = opts.bench_out.with_extension("metrics.json");
+    fs::write(&metrics_out, merged_metrics.to_json()).expect("write sweep metrics");
+    println!("  [audited metrics written to {}]", metrics_out.display());
 }

@@ -7,6 +7,7 @@ pub mod sweep;
 use drms::analysis::{Measurement, OverheadTable};
 use drms::core::{DrmsConfig, DrmsProfiler, RmsProfiler};
 use drms::tools::{CallgrindTool, HelgrindTool, MemcheckTool};
+use drms::trace::Metrics;
 use drms::vm::{NullTool, RunConfig, RunStats, Tool, Vm};
 use drms::workloads::Workload;
 use std::time::Instant;
@@ -75,6 +76,30 @@ pub fn run_tool(w: &Workload, tool_name: &str) -> (f64, u64, RunStats) {
 /// [`OverheadTable`] under the given suite label. Each cell is the best
 /// of `repeats` runs (to tame timer noise at these small scales).
 pub fn measure_suite(table: &mut OverheadTable, label: &str, suite: &[Workload], repeats: u32) {
+    measure_suite_observed(table, label, suite, repeats, &mut Metrics::new());
+}
+
+/// Like [`measure_suite`], but also folds per-tool overhead accounting
+/// into `metrics`, so Table 1 can be regenerated from a live run's
+/// metrics export:
+///
+/// * deterministic `tool.<tool>.shadow_bytes` gauges (summed over the
+///   suite's workloads — gauge merges are additive) and
+///   `tool.<tool>.runs` counters;
+/// * wall-clock dispatch time per tool in the **timings** section
+///   (`<label>.<tool>.secs`, plus `<label>.native.secs`), which only
+///   [`Metrics::to_json_with_timings`] renders — the default export
+///   stays byte-deterministic.
+pub fn measure_suite_observed(
+    table: &mut OverheadTable,
+    label: &str,
+    suite: &[Workload],
+    repeats: u32,
+    metrics: &mut Metrics,
+) {
+    let mut native_secs = 0.0;
+    let mut tool_secs: Vec<f64> = vec![0.0; TOOLS.len()];
+    let mut tool_shadow: Vec<u64> = vec![0; TOOLS.len()];
     for w in suite {
         let mut native = f64::INFINITY;
         let mut guest_bytes = 0;
@@ -83,7 +108,8 @@ pub fn measure_suite(table: &mut OverheadTable, label: &str, suite: &[Workload],
             native = native.min(secs);
             guest_bytes = stats.guest_bytes;
         }
-        for tool in TOOLS {
+        native_secs += native;
+        for (ti, tool) in TOOLS.iter().enumerate() {
             let mut best = f64::INFINITY;
             let mut shadow = 0;
             for _ in 0..repeats.max(1) {
@@ -91,6 +117,9 @@ pub fn measure_suite(table: &mut OverheadTable, label: &str, suite: &[Workload],
                 best = best.min(secs);
                 shadow = bytes;
             }
+            tool_secs[ti] += best;
+            tool_shadow[ti] += shadow;
+            metrics.inc(format!("tool.{tool}.runs"));
             table.record(
                 label,
                 tool,
@@ -103,6 +132,11 @@ pub fn measure_suite(table: &mut OverheadTable, label: &str, suite: &[Workload],
                 },
             );
         }
+    }
+    metrics.set_timing(format!("{label}.native.secs"), native_secs);
+    for (ti, tool) in TOOLS.iter().enumerate() {
+        metrics.set_timing(format!("{label}.{tool}.secs"), tool_secs[ti]);
+        metrics.set_gauge(format!("tool.{tool}.shadow_bytes"), tool_shadow[ti]);
     }
 }
 
@@ -153,6 +187,31 @@ mod tests {
             assert!(table.mean_space("patterns", tool) >= 1.0);
         }
     }
+
+    #[test]
+    fn observed_measurement_feeds_table_and_metrics() {
+        let mut table = OverheadTable::new();
+        let mut metrics = drms::trace::Metrics::new();
+        let suite = vec![patterns::stream_reader(4)];
+        measure_suite_observed(&mut table, "patterns", &suite, 1, &mut metrics);
+        assert_eq!(table.len(), TOOLS.len());
+        assert_eq!(metrics.audit(), Ok(()));
+        for tool in TOOLS {
+            assert_eq!(metrics.counter(&format!("tool.{tool}.runs")), 1);
+            assert!(
+                metrics.timing(&format!("patterns.{tool}.secs")).is_some(),
+                "{tool} wall-clock recorded"
+            );
+        }
+        assert!(metrics.gauge("tool.aprof-drms.shadow_bytes") > 0);
+        assert!(
+            !metrics.to_json().contains(".secs"),
+            "wall-clock stays out of the deterministic export"
+        );
+        assert!(metrics
+            .to_json_with_timings()
+            .contains("patterns.native.secs"));
+    }
 }
 
 /// Process exit code for a guest abort, one distinct code per failure
@@ -171,25 +230,37 @@ mod tests {
 /// errors respectively.
 pub fn run_error_exit_code(e: &drms::vm::RunError) -> i32 {
     use drms::vm::RunError;
+    // Exhaustive on purpose: a new RunError variant must pick its exit
+    // code here (and in the table above) or the build fails — the
+    // wildcard this replaced silently bucketed new failure classes
+    // into 8, letting the docs and the mapping drift apart.
     match e {
         RunError::Validate(_) => 3,
         RunError::Deadlock { .. } => 4,
         RunError::InstructionLimit { .. } => 5,
         RunError::CorruptStack { .. } => 6,
         RunError::ScheduleMissing | RunError::ScheduleDiverged { .. } => 7,
-        _ => 8,
+        RunError::DivisionByZero { .. }
+        | RunError::BadAddress { .. }
+        | RunError::MutexNotOwned { .. }
+        | RunError::MutexReentry { .. }
+        | RunError::BadThreadId { .. } => 8,
     }
 }
 
 #[cfg(test)]
 mod exit_code_tests {
     use super::run_error_exit_code;
-    use drms::trace::ThreadId;
+    use drms::trace::{RoutineId, ThreadId};
     use drms::vm::{RunError, ValidateError};
 
-    #[test]
-    fn every_failure_class_has_a_distinct_documented_code() {
-        let cases = [
+    /// One instance of every [`RunError`] variant. Adding a variant to
+    /// the enum without adding it here (and to the mapping's doc table)
+    /// leaves the new variant untested; the exhaustive match in
+    /// [`run_error_exit_code`] already refuses to compile until the
+    /// mapping itself is decided.
+    fn every_variant() -> Vec<(RunError, i32)> {
+        vec![
             (RunError::Validate(ValidateError::BadMain), 3),
             (RunError::Deadlock { blocked: vec![] }, 4),
             (RunError::InstructionLimit { limit: 1 }, 5),
@@ -207,10 +278,39 @@ mod exit_code_tests {
                 },
                 7,
             ),
+            (
+                RunError::DivisionByZero {
+                    routine: RoutineId::new(0),
+                },
+                8,
+            ),
             (RunError::BadAddress { value: -1 }, 8),
-        ];
+            (
+                RunError::MutexNotOwned {
+                    mutex: 0,
+                    thread: ThreadId::MAIN,
+                },
+                8,
+            ),
+            (
+                RunError::MutexReentry {
+                    mutex: 0,
+                    thread: ThreadId::MAIN,
+                },
+                8,
+            ),
+            (RunError::BadThreadId { value: 7 }, 8),
+        ]
+    }
+
+    #[test]
+    fn every_failure_class_has_a_distinct_documented_code() {
+        let cases = every_variant();
+        assert_eq!(cases.len(), 11, "one case per RunError variant");
         for (err, code) in cases {
-            assert_eq!(run_error_exit_code(&err), code, "{err}");
+            let got = run_error_exit_code(&err);
+            assert_eq!(got, code, "{err}");
+            assert!((3..=8).contains(&got), "documented range is 3–8: {err}");
         }
     }
 }

@@ -24,6 +24,7 @@
 use drms::analysis::{CostPlot, InputMetric};
 use drms::core::{drms_variance, report_io, ProfileReport, VarianceReport};
 use drms::sched::fnv1a;
+use drms::trace::Metrics;
 use drms::vm::{RunConfig, RunStats};
 use drms::workloads::{imgpipe, minidb, patterns, sorting, Workload};
 use drms::ProfileSession;
@@ -116,6 +117,9 @@ pub struct SweepCell {
     pub stats: RunStats,
     /// The (possibly partial) drms profile.
     pub report: ProfileReport,
+    /// The run's observability registry (deterministic counters, gauges
+    /// and histograms — see [`drms::trace::Metrics`]).
+    pub metrics: Metrics,
     /// Rendered abort reason, if the guest failed.
     pub error: Option<String>,
 }
@@ -209,6 +213,25 @@ impl SweepResult {
     pub fn shadow_bytes(&self) -> u64 {
         self.cells.iter().map(|c| c.shadow_bytes).sum()
     }
+
+    /// Merges every cell's metrics registry in grid order into one
+    /// sweep-wide registry (counters, gauges, histograms and timings
+    /// all add — see [`Metrics::merge`]), then tags it with the grid
+    /// shape.
+    ///
+    /// Deterministic like [`merged_report_text`](Self::merged_report_text):
+    /// a `--jobs 1` and a `--jobs N` sweep of the same spec produce
+    /// byte-identical [`Metrics::to_json`] outputs.
+    pub fn merged_metrics(&self) -> Metrics {
+        let mut merged = Metrics::new();
+        for cell in &self.cells {
+            merged.merge(&cell.metrics);
+        }
+        merged.set_gauge("sweep.cells", self.cells.len() as u64);
+        merged.set_gauge("sweep.sizes", self.spec.sizes.len() as u64);
+        merged.set_gauge("sweep.seeds", self.spec.seeds.len() as u64);
+        merged
+    }
 }
 
 /// Runs one sweep cell. Guest aborts do not fail the sweep; they are
@@ -231,6 +254,7 @@ fn run_cell(family: &str, size: i64, seed: u64) -> SweepCell {
         shadow_bytes: outcome.shadow_bytes,
         stats: outcome.stats,
         report: outcome.report,
+        metrics: outcome.metrics,
         error: outcome.error.map(|e| e.to_string()),
     }
 }
@@ -300,6 +324,8 @@ pub struct FamilyBench {
     pub serial_secs: f64,
     /// Fingerprint of the serial run's merged report.
     pub serial_fingerprint: u64,
+    /// Fingerprint of the serial run's merged metrics JSON.
+    pub serial_metrics_fingerprint: u64,
 }
 
 impl FamilyBench {
@@ -314,6 +340,7 @@ impl FamilyBench {
         FamilyBench {
             serial_secs: serial.wall_secs,
             serial_fingerprint: serial.fingerprint(),
+            serial_metrics_fingerprint: fnv1a(serial.merged_metrics().to_json().as_bytes()),
             parallel,
         }
     }
@@ -327,6 +354,14 @@ impl FamilyBench {
     /// bug, the engine's core invariant.
     pub fn diverged(&self) -> bool {
         self.serial_fingerprint != self.parallel.fingerprint()
+    }
+
+    /// Whether the serial and parallel merged **metrics** differ — the
+    /// observability analogue of [`diverged`](Self::diverged): the same
+    /// grid must count the same events no matter how many workers ran it.
+    pub fn metrics_diverged(&self) -> bool {
+        self.serial_metrics_fingerprint
+            != fnv1a(self.parallel.merged_metrics().to_json().as_bytes())
     }
 }
 
@@ -757,6 +792,37 @@ mod tests {
         assert_eq!(serial.cells.len(), 6);
         assert_eq!(serial.merged_report_text(), parallel.merged_report_text());
         assert_eq!(serial.fingerprint(), parallel.fingerprint());
+    }
+
+    #[test]
+    fn merged_metrics_are_audited_and_jobs_invariant() {
+        let spec = SweepSpec::new("producer-consumer", &[4, 8], 4).seeds(&[1, 2]);
+        let serial = run_sweep(&SweepSpec {
+            jobs: 1,
+            ..spec.clone()
+        });
+        let parallel = run_sweep(&spec);
+        let (sm, pm) = (serial.merged_metrics(), parallel.merged_metrics());
+        assert_eq!(sm.audit(), Ok(()), "{:?}", sm.audit());
+        assert_eq!(
+            sm.to_json(),
+            pm.to_json(),
+            "merged metrics must not depend on worker count"
+        );
+        assert_eq!(sm.gauge("sweep.cells"), 4);
+        assert_eq!(sm.gauge("sweep.sizes"), 2);
+        assert_eq!(sm.gauge("sweep.seeds"), 2);
+        assert_eq!(
+            sm.counter("vm.events.total"),
+            serial.events(),
+            "merged event counter matches the stats total"
+        );
+        let per_cell: u64 = serial
+            .cells
+            .iter()
+            .map(|c| c.metrics.counter("vm.instructions"))
+            .sum();
+        assert_eq!(sm.counter("vm.instructions"), per_cell);
     }
 
     #[test]

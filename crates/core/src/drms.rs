@@ -24,8 +24,8 @@
 //! `ts_t[ℓ]`, `wts[ℓ]` and the shadow-stack entries.
 
 use crate::profile::ProfileReport;
-use drms_trace::{Addr, EventSink, RoutineId, ThreadId};
-use drms_vm::{ShadowMemory, Tool};
+use drms_trace::{Addr, EventSink, Metrics, RoutineId, ThreadId};
+use drms_vm::{ShadowCacheStats, ShadowMemory, Tool};
 
 /// Which write source a `wts` entry came from (provenance of induced
 /// first-reads, backing the thread/external input split of Figs. 13–15).
@@ -467,6 +467,34 @@ impl Tool for DrmsProfiler {
             bytes += (state.stack.capacity() * std::mem::size_of::<Frame>()) as u64;
         }
         bytes + self.report.approx_bytes()
+    }
+
+    /// Adds the profiler's shadow-memory pressure to the registry: the
+    /// summed last-leaf cache counters of every shadow (`wts`, `wsrc`
+    /// and the per-thread `ts_t`), leaf/byte gauges, and the
+    /// renumbering count. `Metrics::audit` cross-checks
+    /// `shadow.cache.hit + miss == lookups` over the summed values.
+    fn observe_metrics(&self, metrics: &mut Metrics) {
+        metrics.set_gauge(
+            format!("tool.{}.shadow_bytes", self.name()),
+            self.shadow_bytes(),
+        );
+        let mut cache = ShadowCacheStats::default();
+        cache.absorb(self.wts.cache_stats());
+        cache.absorb(self.wsrc.cache_stats());
+        let mut leaves = (self.wts.leaf_count() + self.wsrc.leaf_count()) as u64;
+        for state in self.threads.iter().flatten() {
+            cache.absorb(state.ts.cache_stats());
+            leaves += state.ts.leaf_count() as u64;
+        }
+        metrics.add("shadow.cache.hit", cache.hits);
+        metrics.add("shadow.cache.miss", cache.misses);
+        metrics.add("shadow.cache.lookups", cache.lookups);
+        metrics.add("shadow.cache.invalidate", cache.invalidations);
+        metrics.add("shadow.leaf_allocs", cache.leaf_allocs);
+        metrics.set_gauge("shadow.leaves", leaves);
+        metrics.set_gauge("shadow.bytes", self.shadow_bytes());
+        metrics.add("drms.renumberings", self.renumberings);
     }
 }
 

@@ -49,7 +49,7 @@ pub use error::Error;
 pub use session::ProfileSession;
 
 use drms_core::{DrmsConfig, ProfileReport};
-use drms_trace::Schedule;
+use drms_trace::{Metrics, Schedule};
 use drms_vm::{Program, RunConfig, RunError, RunStats};
 use drms_workloads::Workload;
 
@@ -65,7 +65,9 @@ pub mod prelude {
         DrmsConfig, DrmsProfiler, InputBreakdown, NaiveProfiler, ProfileReport, RmsProfiler,
         RoutineProfile,
     };
-    pub use drms_trace::{Addr, Event, EventSink, RoutineId, Schedule, ThreadId, TimedEvent};
+    pub use drms_trace::{
+        Addr, Event, EventSink, Metrics, RoutineId, Schedule, ThreadId, TimedEvent,
+    };
     pub use drms_vm::{
         run_program, run_program_with, Device, FaultPlan, NullTool, Operand, Program,
         ProgramBuilder, RunConfig, RunStats, SchedPolicy, SyscallNo, Tool, Vm,
@@ -159,6 +161,12 @@ pub struct ProfileOutcome {
     /// Host bytes of analysis metadata (shadow memories, profile tables)
     /// held by the profiler and any extra tools, sampled after the run.
     pub shadow_bytes: u64,
+    /// The run's observability registry: VM event tallies, scheduler
+    /// and kernel counters, shadow-memory cache pressure and per-tool
+    /// gauges ([`Tool::observe_metrics`](drms_vm::Tool::observe_metrics)).
+    /// Deterministic — same program + seed + schedule gives a
+    /// byte-identical [`Metrics::to_json`](drms_trace::Metrics::to_json).
+    pub metrics: Metrics,
 }
 
 impl ProfileOutcome {

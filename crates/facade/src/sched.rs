@@ -85,11 +85,13 @@ pub fn record_run(program: &Program, config: &RunConfig) -> Result<RecordedRun, 
     let mut profiler = DrmsProfiler::new(DrmsConfig::full());
     let mut recorder = TraceRecorder::new();
     let mut vm = Vm::new(program, config)?;
-    let (error, shadow_bytes) = {
+    let (error, shadow_bytes, metrics) = {
         let mut fan = MultiTool::new();
         fan.push(&mut profiler).push(&mut recorder);
         let error = vm.run(&mut fan).err();
-        (error, fan.shadow_bytes())
+        let mut metrics = vm.metrics();
+        fan.observe_metrics(&mut metrics);
+        (error, fan.shadow_bytes(), metrics)
     };
     let stats = vm.stats().clone();
     let schedule = Arc::new(
@@ -106,6 +108,7 @@ pub fn record_run(program: &Program, config: &RunConfig) -> Result<RecordedRun, 
             error,
             schedule: None,
             shadow_bytes,
+            metrics,
         },
         schedule,
         events,
@@ -248,6 +251,8 @@ pub fn chaos_scan(
         let error = vm.run(&mut profiler).err();
         let stats = vm.stats().clone();
         let shadow_bytes = profiler.shadow_bytes();
+        let mut metrics = vm.metrics();
+        profiler.observe_metrics(&mut metrics);
         let schedule = Arc::new(
             vm.take_recorded_schedule()
                 .expect("record_sched was set, so a schedule was recorded"),
@@ -260,6 +265,7 @@ pub fn chaos_scan(
                 error,
                 schedule: None,
                 shadow_bytes,
+                metrics,
             },
             schedule,
         });

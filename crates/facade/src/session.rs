@@ -128,11 +128,13 @@ impl<'p, 't> ProfileSession<'p, 't> {
     pub fn run(self) -> Result<ProfileOutcome, Error> {
         let mut profiler = DrmsProfiler::new(self.drms);
         let mut vm = Vm::new(self.program, self.config)?;
-        let (error, shadow_bytes) = if self.extra.is_empty() {
+        let (error, shadow_bytes, mut metrics) = if self.extra.is_empty() {
             // Single-tool runs stay monomorphized: `T = DrmsProfiler`, so
             // per-event dispatch is direct calls, not a vtable.
             let error = vm.run(&mut profiler).err();
-            (error, profiler.shadow_bytes())
+            let mut metrics = vm.metrics();
+            profiler.observe_metrics(&mut metrics);
+            (error, profiler.shadow_bytes(), metrics)
         } else {
             let mut fan = MultiTool::new();
             fan.push(&mut profiler);
@@ -140,8 +142,13 @@ impl<'p, 't> ProfileSession<'p, 't> {
                 fan.push(t);
             }
             let error = vm.run(&mut fan).err();
-            (error, fan.shadow_bytes())
+            let mut metrics = vm.metrics();
+            fan.observe_metrics(&mut metrics);
+            (error, fan.shadow_bytes(), metrics)
         };
+        if error.is_some() {
+            metrics.inc("run.aborts");
+        }
         let stats = vm.stats().clone();
         let schedule = vm.take_recorded_schedule();
         Ok(ProfileOutcome {
@@ -150,6 +157,7 @@ impl<'p, 't> ProfileSession<'p, 't> {
             error,
             schedule,
             shadow_bytes,
+            metrics,
         })
     }
 }
@@ -188,6 +196,41 @@ mod tests {
             solo.report, fan.report,
             "fan-out must not perturb the profile"
         );
+        assert_eq!(solo.metrics.audit(), Ok(()));
+        assert_eq!(fan.metrics.audit(), Ok(()));
+        assert_eq!(
+            solo.metrics.counter("vm.events.total"),
+            fan.metrics.counter("vm.events.total"),
+            "both paths deliver the identical event stream"
+        );
+        assert_eq!(
+            fan.metrics.gauge("tool.nulgrind.shadow_bytes"),
+            0,
+            "extra tools report under their own names"
+        );
+        assert!(fan.metrics.gauge("tool.aprof-drms.shadow_bytes") > 0);
+    }
+
+    #[test]
+    fn outcome_metrics_are_deterministic_and_audited() {
+        let w = drms_workloads::patterns::producer_consumer(12);
+        let run = || {
+            ProfileSession::workload(&w)
+                .sched(SchedPolicy::Random { seed: 9 })
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.metrics.audit(), Ok(()), "{:?}", a.metrics.audit());
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(a.metrics.counter("vm.events.total"), a.stats.events);
+        assert_eq!(
+            a.metrics.gauge("shadow.bytes"),
+            a.shadow_bytes,
+            "profiler shadow gauge matches the outcome field"
+        );
+        assert!(a.metrics.counter("shadow.cache.lookups") > 0);
+        assert_eq!(a.metrics.counter("run.aborts"), 0);
     }
 
     #[test]

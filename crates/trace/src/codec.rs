@@ -146,6 +146,11 @@ pub struct SalvagedTrace {
     /// Non-comment lines dropped (the first malformed line and
     /// everything after it).
     pub dropped_lines: usize,
+    /// Non-comment, non-blank input lines seen — counted independently
+    /// of the salvage decisions, so `salvaged_lines + dropped_lines ==
+    /// total_lines` is a checkable invariant (blank and `#` comment
+    /// lines count in neither side nor the total).
+    pub total_lines: usize,
     /// Human-readable descriptions of what was dropped and why
     /// (empty when the whole text parsed cleanly).
     pub warnings: Vec<String>,
@@ -155,6 +160,18 @@ impl SalvagedTrace {
     /// Whether any line failed to parse (i.e. data was dropped).
     pub fn is_damaged(&self) -> bool {
         self.dropped_lines > 0
+    }
+
+    /// Records this salvage's accounting into `metrics` under the
+    /// `trace` prefix, where [`Metrics::audit`](crate::obs::Metrics::audit)
+    /// cross-checks `salvaged + dropped == total`.
+    pub fn observe_metrics(&self, metrics: &mut crate::obs::Metrics) {
+        metrics.record_salvage(
+            "trace",
+            self.salvaged_lines as u64,
+            self.dropped_lines as u64,
+            self.total_lines as u64,
+        );
     }
 }
 
@@ -175,6 +192,7 @@ pub fn from_text_lossy(text: &str) -> SalvagedTrace {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        salvage.total_lines += 1;
         if first_error.is_some() {
             salvage.dropped_lines += 1;
             continue;

@@ -40,6 +40,7 @@ pub mod codec;
 pub mod event;
 pub mod ids;
 pub mod merge;
+pub mod obs;
 pub mod replay;
 pub mod sched;
 pub mod stats;
@@ -49,6 +50,7 @@ pub use codec::{from_text, from_text_lossy, to_text, ParseTraceError, SalvagedTr
 pub use event::{Event, SyncOp, TimedEvent};
 pub use ids::{Addr, BlockId, NameTable, RoutineId, ThreadId};
 pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};
+pub use obs::{Histogram, Metrics};
 pub use replay::{replay, EventSink};
 pub use sched::{PreemptCause, SalvagedSchedule, SchedDecision, Schedule};
 pub use stats::TraceStats;

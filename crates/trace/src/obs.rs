@@ -1,0 +1,532 @@
+//! `drms_obs` — the run-level observability registry.
+//!
+//! The paper evaluates aprof-drms by its overheads (Table 1, §5), which
+//! means the instrumentation substrate itself must be measurable: event
+//! volumes, scheduler occupancy, shadow-memory pressure, kernel transfer
+//! traffic, salvage and fault counters. [`Metrics`] is the one place all
+//! of those land — a deterministic, allocation-light registry of
+//! monotonic **counters**, **gauges** and **fixed-bucket histograms**
+//! keyed by dotted names (`vm.events.read`, `shadow.cache.hit`, …).
+//!
+//! Design rules:
+//!
+//! * **Deterministic by construction.** The default renderings
+//!   ([`to_json`](Metrics::to_json), [`to_prometheus`](Metrics::to_prometheus))
+//!   contain no wall-clock, no host addresses, no iteration-order
+//!   artifacts: the same program + seed + schedule produces byte-identical
+//!   output. Wall-clock measurements go into the separate *timings*
+//!   section, which only [`to_json_with_timings`](Metrics::to_json_with_timings)
+//!   renders.
+//! * **Allocation-light.** Static names (`&'static str`) are stored
+//!   borrowed; dynamic names (per-thread, per-tool) allocate once at
+//!   registration, never per increment. Hot loops accumulate into plain
+//!   integer fields and fold into the registry at finalization — the
+//!   registry is the *ledger*, not the fast path.
+//! * **Self-checking.** [`Metrics::audit`] cross-checks the recorded
+//!   counters against each other (events emitted vs events counted,
+//!   salvaged + dropped vs total lines, per-thread cost sums vs run
+//!   cost), turning every accounting bug into a visible invariant
+//!   violation instead of a silently wrong table.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A registry key: borrowed for static names, owned for dynamic ones.
+pub type Name = Cow<'static, str>;
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `<= bounds[i]`
+/// (and `counts[bounds.len()]` the overflow bucket), cumulative count and
+/// sum alongside.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending. Static: picked at the observation
+    /// site, identical for a given metric name.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `len == bounds.len() + 1` (the last
+    /// slot is the `+Inf` bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    pub fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Adds `other`'s observations into `self`.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ — one metric name must always
+    /// use one bucket layout.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge with mismatched bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+/// The metrics registry. See the module docs for the design rules.
+///
+/// # Example
+/// ```
+/// use drms_trace::obs::Metrics;
+/// let mut m = Metrics::new();
+/// m.inc("vm.events.read");
+/// m.add("vm.events.read", 2);
+/// m.set_gauge("vm.threads", 4);
+/// m.observe("kernel.transfer.cells", &[4, 64], 100);
+/// assert_eq!(m.counter("vm.events.read"), 3);
+/// assert_eq!(m.gauge("vm.threads"), 4);
+/// let json = m.to_json();
+/// assert_eq!(json, m.to_json(), "rendering is deterministic");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<Name, u64>,
+    gauges: BTreeMap<Name, u64>,
+    histograms: BTreeMap<Name, Histogram>,
+    /// Wall-clock measurements in seconds. Excluded from the default
+    /// renderings — see the module determinism rules.
+    timings: BTreeMap<Name, f64>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: impl Into<Name>) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `by`. Counters are monotonic: there
+    /// is deliberately no decrement.
+    pub fn add(&mut self, name: impl Into<Name>, by: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: impl Into<Name>, value: u64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Current value of gauge `name` (0 when never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`, creating it over `bounds`
+    /// on first use. One name must always use one bucket layout.
+    pub fn observe(&mut self, name: impl Into<Name>, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Folds a pre-counted histogram into the registry (used when hot
+    /// loops bucket locally and publish at finalization).
+    pub fn merge_histogram(&mut self, name: impl Into<Name>, h: &Histogram) {
+        self.histograms
+            .entry(name.into())
+            .or_insert_with(|| Histogram::new(&h.bounds))
+            .merge(h);
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Records a wall-clock measurement in seconds. Timings never appear
+    /// in the default renderings (determinism rule); use
+    /// [`to_json_with_timings`](Self::to_json_with_timings) to export them.
+    pub fn set_timing(&mut self, name: impl Into<Name>, seconds: f64) {
+        self.timings.insert(name.into(), seconds);
+    }
+
+    /// The recorded wall-clock timing in seconds, if any.
+    pub fn timing(&self, name: &str) -> Option<f64> {
+        self.timings.get(name).copied()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.timings.is_empty()
+    }
+
+    /// Records the accounting of one lossy-salvage pass under `prefix`
+    /// (e.g. `trace` or `sched`): `<prefix>.lines.salvaged`,
+    /// `<prefix>.lines.dropped` and `<prefix>.lines.total`, which
+    /// [`audit`](Self::audit) cross-checks (`salvaged + dropped == total`).
+    pub fn record_salvage(&mut self, prefix: &str, salvaged: u64, dropped: u64, total: u64) {
+        self.add(format!("{prefix}.lines.salvaged"), salvaged);
+        self.add(format!("{prefix}.lines.dropped"), dropped);
+        self.add(format!("{prefix}.lines.total"), total);
+    }
+
+    /// Merges `other` into `self`: counters, histogram buckets and
+    /// timings add; gauges add as well, which gives grid merges (sweep
+    /// cells) sum semantics — a merged registry reports totals across
+    /// cells, and stays deterministic because addition commutes.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.merge_histogram(k.clone(), h);
+        }
+        for (k, v) in &other.timings {
+            *self.timings.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
+    /// Cross-checks the registered counters against each other and
+    /// returns every violated invariant (empty ⇒ consistent).
+    ///
+    /// Checks applied when the participating names are present:
+    ///
+    /// 1. `Σ vm.events.<kind>` == `vm.events.total` — every event the VM
+    ///    delivered to a tool was counted by kind, and vice versa;
+    /// 2. `Σ vm.blocks.thread.<t>` == `vm.basic_blocks`;
+    /// 3. `Σ vm.cost.thread.<t>` == `vm.cost.total` — per-thread cost
+    ///    sums match the run cost;
+    /// 4. `Σ sched.preempt.<cause>` == `sched.slices` — every slice
+    ///    ended for exactly one recorded cause;
+    /// 5. `<p>.lines.salvaged + <p>.lines.dropped == <p>.lines.total`
+    ///    for every salvage prefix `<p>` (lossy codec accounting);
+    /// 6. `shadow.cache.hit + shadow.cache.miss == shadow.cache.lookups`;
+    /// 7. every histogram's bucket counts sum to its total.
+    pub fn audit(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        let mut check_sum = |parts: &str, total_name: &str| {
+            if !self.counters.contains_key(total_name) {
+                return;
+            }
+            let total = self.counter(total_name);
+            let sum: u64 = self
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(parts) && k.as_ref() != total_name)
+                .map(|(_, v)| v)
+                .sum();
+            if sum != total {
+                violations.push(format!("sum({parts}*) = {sum} != {total_name} = {total}"));
+            }
+        };
+        check_sum("vm.events.", "vm.events.total");
+        check_sum("vm.blocks.thread.", "vm.basic_blocks");
+        check_sum("vm.cost.thread.", "vm.cost.total");
+        check_sum("sched.preempt.", "sched.slices");
+
+        let salvage_prefixes: Vec<String> = self
+            .counters
+            .keys()
+            .filter_map(|k| k.strip_suffix(".lines.total").map(str::to_owned))
+            .collect();
+        for p in salvage_prefixes {
+            let salvaged = self.counter(&format!("{p}.lines.salvaged"));
+            let dropped = self.counter(&format!("{p}.lines.dropped"));
+            let total = self.counter(&format!("{p}.lines.total"));
+            if salvaged + dropped != total {
+                violations.push(format!(
+                    "{p}.lines.salvaged ({salvaged}) + {p}.lines.dropped ({dropped}) \
+                     != {p}.lines.total ({total})"
+                ));
+            }
+        }
+
+        if self.counters.contains_key("shadow.cache.lookups") {
+            let hit = self.counter("shadow.cache.hit");
+            let miss = self.counter("shadow.cache.miss");
+            let lookups = self.counter("shadow.cache.lookups");
+            if hit + miss != lookups {
+                violations.push(format!(
+                    "shadow.cache.hit ({hit}) + shadow.cache.miss ({miss}) \
+                     != shadow.cache.lookups ({lookups})"
+                ));
+            }
+        }
+
+        for (name, h) in &self.histograms {
+            let bucket_sum: u64 = h.counts.iter().sum();
+            if bucket_sum != h.total {
+                violations.push(format!(
+                    "histogram {name}: bucket sum {bucket_sum} != total {}",
+                    h.total
+                ));
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Renders the registry as deterministic JSON: sorted names, integer
+    /// values, no timings. Byte-identical across runs of the same
+    /// program + seed + schedule.
+    pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Like [`to_json`](Self::to_json), plus a `"timings"` section of
+    /// wall-clock seconds. **Not** deterministic across runs — meant for
+    /// overhead reports, not for byte-comparison gates.
+    pub fn to_json_with_timings(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, timings: bool) -> String {
+        fn map_block(out: &mut String, title: &str, entries: &BTreeMap<Name, u64>, last: bool) {
+            let _ = writeln!(out, "  \"{title}\": {{");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                let comma = if i + 1 < entries.len() { "," } else { "" };
+                let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+            }
+            let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+        }
+        let mut out = String::from("{\n");
+        map_block(&mut out, "counters", &self.counters, false);
+        map_block(&mut out, "gauges", &self.gauges, false);
+        let _ = writeln!(out, "  \"histograms\": {{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    \"{k}\": {{\"bounds\": {:?}, \"counts\": {:?}, \
+                 \"total\": {}, \"sum\": {}}}{comma}",
+                h.bounds, h.counts, h.total, h.sum
+            );
+        }
+        let _ = writeln!(out, "  }}{}", if timings { "," } else { "" });
+        if timings {
+            let _ = writeln!(out, "  \"timings\": {{");
+            for (i, (k, v)) in self.timings.iter().enumerate() {
+                let comma = if i + 1 < self.timings.len() { "," } else { "" };
+                let _ = writeln!(out, "    \"{k}\": {v:.6}{comma}");
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (dots become underscores, `drms_` prefix), for quick diffing with
+    /// standard tooling. Deterministic; timings are excluded.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            format!("drms_{}", name.replace(['.', '-'], "_"))
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = sanitize(k);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let n = sanitize(k);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let n = sanitize(k);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0;
+            for (i, c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.total);
+        }
+        out
+    }
+
+    /// Iterates the counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// Iterates the gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut m = Metrics::new();
+        m.inc("a.one");
+        m.add("a.one", 4);
+        m.set_gauge("g", 7);
+        m.set_gauge("g", 9);
+        m.observe("h", &[2, 8], 1);
+        m.observe("h", &[2, 8], 5);
+        m.observe("h", &[2, 8], 100);
+        assert_eq!(m.counter("a.one"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), 9, "gauges are last-write-wins");
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.total, 3);
+        assert_eq!(h.sum, 106);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let mut a = Metrics::new();
+        a.inc("z.last");
+        a.inc("a.first");
+        a.set_timing("wall", 1.23);
+        let mut b = Metrics::new();
+        b.inc("a.first");
+        b.inc("z.last");
+        b.set_timing("wall", 9.87);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "insertion order and timings must not leak into default JSON"
+        );
+        assert!(a.to_json().find("a.first").unwrap() < a.to_json().find("z.last").unwrap());
+        assert!(!a.to_json().contains("wall"), "no wall-clock by default");
+        assert!(a.to_json_with_timings().contains("\"wall\": 1.23"));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Metrics::new();
+        a.inc("c");
+        a.set_gauge("g", 10);
+        a.observe("h", &[4], 3);
+        let mut b = Metrics::new();
+        b.add("c", 2);
+        b.set_gauge("g", 5);
+        b.observe("h", &[4], 9);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), 15, "gauges merge additively (grid sums)");
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![1, 1]);
+        assert_eq!(h.sum, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1, 2]);
+        a.merge(&Histogram::new(&[1, 3]));
+    }
+
+    #[test]
+    fn audit_passes_on_consistent_registries() {
+        let mut m = Metrics::new();
+        m.add("vm.events.read", 3);
+        m.add("vm.events.call", 2);
+        m.add("vm.events.total", 5);
+        m.add("vm.blocks.thread.0", 10);
+        m.add("vm.blocks.thread.1", 4);
+        m.add("vm.basic_blocks", 14);
+        m.add("sched.preempt.quantum", 2);
+        m.add("sched.slices", 2);
+        m.record_salvage("trace", 7, 1, 8);
+        m.add("shadow.cache.hit", 9);
+        m.add("shadow.cache.miss", 1);
+        m.add("shadow.cache.lookups", 10);
+        assert_eq!(m.audit(), Ok(()));
+        assert_eq!(
+            Metrics::new().audit(),
+            Ok(()),
+            "empty registry is consistent"
+        );
+    }
+
+    #[test]
+    fn audit_flags_every_broken_invariant() {
+        let mut m = Metrics::new();
+        m.add("vm.events.read", 3);
+        m.add("vm.events.total", 5);
+        m.record_salvage("sched", 4, 1, 6);
+        m.add("shadow.cache.hit", 2);
+        m.add("shadow.cache.lookups", 5);
+        let violations = m.audit().unwrap_err();
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("vm.events")));
+        assert!(violations.iter().any(|v| v.contains("sched.lines")));
+        assert!(violations.iter().any(|v| v.contains("shadow.cache")));
+    }
+
+    #[test]
+    fn prometheus_rendering_has_buckets_and_types() {
+        let mut m = Metrics::new();
+        m.inc("vm.events.total");
+        m.set_gauge("vm.threads", 2);
+        m.observe("kernel.transfer.cells", &[4, 64], 5);
+        m.observe("kernel.transfer.cells", &[4, 64], 1000);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE drms_vm_events_total counter"));
+        assert!(text.contains("drms_vm_threads 2"));
+        assert!(text.contains("drms_kernel_transfer_cells_bucket{le=\"64\"} 1"));
+        assert!(text.contains("drms_kernel_transfer_cells_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("drms_kernel_transfer_cells_count 2"));
+    }
+}

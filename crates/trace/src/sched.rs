@@ -52,6 +52,45 @@ pub enum PreemptCause {
 }
 
 impl PreemptCause {
+    /// Every cause, in declaration order. The per-cause scheduler
+    /// counters (`sched.preempt.*`) index this array, and
+    /// `Metrics::audit` checks their sum against `sched.slices`.
+    pub const ALL: [PreemptCause; 7] = [
+        PreemptCause::Quantum,
+        PreemptCause::Sync,
+        PreemptCause::Kernel,
+        PreemptCause::Block,
+        PreemptCause::Yield,
+        PreemptCause::Exit,
+        PreemptCause::Abort,
+    ];
+
+    /// The index of this cause in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            PreemptCause::Quantum => 0,
+            PreemptCause::Sync => 1,
+            PreemptCause::Kernel => 2,
+            PreemptCause::Block => 3,
+            PreemptCause::Yield => 4,
+            PreemptCause::Exit => 5,
+            PreemptCause::Abort => 6,
+        }
+    }
+
+    /// The lower-case word used in metric names (`sched.preempt.<word>`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            PreemptCause::Quantum => "quantum",
+            PreemptCause::Sync => "sync",
+            PreemptCause::Kernel => "kernel",
+            PreemptCause::Block => "block",
+            PreemptCause::Yield => "yield",
+            PreemptCause::Exit => "exit",
+            PreemptCause::Abort => "abort",
+        }
+    }
+
     /// The single-character codec mnemonic.
     pub fn token(self) -> &'static str {
         match self {
@@ -317,6 +356,11 @@ pub struct SalvagedSchedule {
     /// Non-comment lines dropped (the first malformed line and
     /// everything after it).
     pub dropped_lines: usize,
+    /// Non-comment, non-blank input lines seen — counted independently
+    /// of the salvage decisions, so `salvaged_lines + dropped_lines ==
+    /// total_lines` is a checkable invariant (blank and `#` comment
+    /// lines count in neither side nor the total).
+    pub total_lines: usize,
     /// Human-readable description of what was dropped and why (empty
     /// when the whole text parsed cleanly).
     pub warnings: Vec<String>,
@@ -326,6 +370,18 @@ impl SalvagedSchedule {
     /// Whether any line failed to parse (i.e. data was dropped).
     pub fn is_damaged(&self) -> bool {
         self.dropped_lines > 0
+    }
+
+    /// Records this salvage's accounting into `metrics` under the
+    /// `sched` prefix, where [`Metrics::audit`](crate::obs::Metrics::audit)
+    /// cross-checks `salvaged + dropped == total`.
+    pub fn observe_metrics(&self, metrics: &mut crate::obs::Metrics) {
+        metrics.record_salvage(
+            "sched",
+            self.salvaged_lines as u64,
+            self.dropped_lines as u64,
+            self.total_lines as u64,
+        );
     }
 }
 
@@ -342,6 +398,7 @@ pub fn from_text_lossy(text: &str) -> SalvagedSchedule {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        salvage.total_lines += 1;
         if first_error.is_some() {
             salvage.dropped_lines += 1;
             continue;

@@ -11,12 +11,12 @@ use crate::ir::{Inst, Operand, Program, Reg, Terminator, ValidateError};
 use crate::kernel::{Direction, Kernel, KernelError, Syscall};
 use crate::memory::Memory;
 use crate::rng::SmallRng;
-use crate::sched::{Scheduler, StepKind};
+use crate::sched::{Scheduler, StepKind, SLICE_STEP_BOUNDS};
 use crate::shadow::ADDRESS_LIMIT;
 use crate::stats::{CostKind, RunConfig, RunStats};
 use crate::tool::Tool;
 use drms_trace::sched::PreemptCause;
-use drms_trace::{Addr, BlockId, RoutineId, Schedule, SyncOp, ThreadId};
+use drms_trace::{Addr, BlockId, Histogram, Metrics, RoutineId, Schedule, SyncOp, ThreadId};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -277,7 +277,16 @@ pub struct Vm<'p> {
     /// to a device (output). Cleared before each use, so steady-state
     /// transfers allocate nothing.
     scratch: Vec<i64>,
+    /// Per-transfer cell counts bucketed by [`TRANSFER_CELL_BOUNDS`]
+    /// (last slot is the overflow bucket) plus their running sum —
+    /// the raw data of the `kernel.transfer.cells` histogram.
+    transfer_buckets: [u64; 8],
+    transfer_cells_sum: u64,
 }
+
+/// Histogram bucket bounds for cells moved per completed kernel
+/// transfer (`kernel.transfer.cells` in the metrics registry).
+pub const TRANSFER_CELL_BOUNDS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
 
 impl<'p> Vm<'p> {
     /// Creates a VM for `program` under `config`, validating the program
@@ -323,6 +332,8 @@ impl<'p> Vm<'p> {
             stats: RunStats::default(),
             sched,
             scratch: Vec::new(),
+            transfer_buckets: [0; 8],
+            transfer_cells_sum: 0,
         })
     }
 
@@ -341,6 +352,73 @@ impl<'p> Vm<'p> {
     /// expose instruction, block and fault counts.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Folds the run's execution counters into a fresh observability
+    /// registry: event tallies by kind, per-thread block and cost
+    /// counts, scheduler slices by preemption cause, kernel transfer
+    /// traffic, and fault-injection counters. Deterministic — no
+    /// wall-clock, no addresses — so the same program + seed + schedule
+    /// yields a byte-identical [`Metrics::to_json`].
+    ///
+    /// Call after [`Vm::run`]; mid-run the registry reflects progress
+    /// so far (the hot loop only bumps plain integer fields, the
+    /// registry is built here). [`Metrics::audit`] passes on the
+    /// result by construction unless the VM's own accounting is buggy
+    /// — which is exactly what the audit exists to catch.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.add("vm.instructions", self.stats.instructions);
+        m.add("vm.basic_blocks", self.stats.basic_blocks);
+        m.add("vm.thread_switches", self.stats.thread_switches);
+        m.add("vm.syscalls", self.stats.syscalls);
+        m.add("vm.events.total", self.stats.events);
+        for (kind, count) in self.stats.events_by_kind.by_kind() {
+            m.add(format!("vm.events.{kind}"), count);
+        }
+        let mut cost_total = 0;
+        for (t, &blocks) in self.stats.per_thread_blocks.iter().enumerate() {
+            m.add(format!("vm.blocks.thread.{t}"), blocks);
+            let cost = self.stats.thread_cost(t, self.config.cost);
+            m.add(format!("vm.cost.thread.{t}"), cost);
+            cost_total += cost;
+        }
+        m.add("vm.cost.total", cost_total);
+        m.set_gauge("vm.threads", u64::from(self.stats.threads));
+        m.set_gauge("vm.guest_pages", self.stats.guest_pages);
+        m.set_gauge("vm.guest_bytes", self.stats.guest_bytes);
+
+        let sc = self.sched.counters();
+        m.add("sched.slices", sc.slices);
+        for cause in PreemptCause::ALL {
+            m.add(
+                format!("sched.preempt.{}", cause.metric_name()),
+                sc.by_cause[cause.index()],
+            );
+        }
+        let mut steps = Histogram::new(&SLICE_STEP_BOUNDS);
+        steps.counts = sc.step_buckets.to_vec();
+        steps.total = sc.slices;
+        steps.sum = sc.step_sum;
+        m.merge_histogram("sched.slice.steps", &steps);
+
+        let tc = self.kernel.transfer_counters();
+        m.add("kernel.transfers", tc.transfers);
+        m.add("kernel.cells_in", tc.cells_in);
+        m.add("kernel.cells_out", tc.cells_out);
+        let mut cells = Histogram::new(&TRANSFER_CELL_BOUNDS);
+        cells.counts = self.transfer_buckets.to_vec();
+        cells.total = self.transfer_buckets.iter().sum();
+        cells.sum = self.transfer_cells_sum;
+        m.merge_histogram("kernel.transfer.cells", &cells);
+
+        let f = self.kernel.fault_counters();
+        m.add("faults.short_reads", f.short_reads);
+        m.add("faults.short_writes", f.short_writes);
+        m.add("faults.transient_errors", f.transient_errors);
+        m.add("faults.device_failures", f.device_failures);
+        m.add("faults.errno_returns", f.errno_returns);
+        m
     }
 
     /// Runs the program to completion, delivering all instrumentation
@@ -402,6 +480,7 @@ impl<'p> Vm<'p> {
                     self.stats.thread_switches += 1;
                 }
                 self.stats.events += 1;
+                self.stats.events_by_kind.thread_switch += 1;
                 tool.on_thread_switch(current.map(|i| self.threads[i].id), self.threads[next].id);
                 current = Some(next);
             }
@@ -521,6 +600,8 @@ impl<'p> Vm<'p> {
         });
         let parent_id = parent.map(|p| self.threads[p].id);
         self.stats.events += 2;
+        self.stats.events_by_kind.thread_start += 1;
+        self.stats.events_by_kind.call += 1;
         tool.on_thread_start(id, parent_id);
         tool.on_call(id, routine, 0);
         idx
@@ -603,6 +684,7 @@ impl<'p> Vm<'p> {
         self.add_inst_cost(t, 2);
         if self.config.trace_blocks {
             self.stats.events += 1;
+            self.stats.events_by_kind.block += 1;
             tool.on_block(self.threads[t].id, routine, BlockId::new(block as u32));
         }
         Ok(())
@@ -625,6 +707,7 @@ impl<'p> Vm<'p> {
         let id = self.threads[t].id;
         let cost = self.cost_of(t);
         self.stats.events += 1;
+        self.stats.events_by_kind.thread_exit += 1;
         tool.on_thread_exit(id, cost);
         let waiters = std::mem::take(&mut self.threads[t].join_waiters);
         for w in waiters {
@@ -666,6 +749,7 @@ impl<'p> Vm<'p> {
 
     fn emit_sync<T: Tool + ?Sized>(&mut self, t: usize, op: SyncOp, tool: &mut T) {
         self.stats.events += 1;
+        self.stats.events_by_kind.sync += 1;
         tool.on_sync(self.threads[t].id, op);
     }
 
@@ -704,6 +788,7 @@ impl<'p> Vm<'p> {
                     .ok_or(RunError::CorruptStack { thread: id })?;
                 let cost = self.cost_of(t);
                 self.stats.events += 1;
+                self.stats.events_by_kind.ret += 1;
                 tool.on_return(id, frame.routine, cost);
                 if self.threads[t].frames.is_empty() {
                     return Ok(self.exit_thread(t, tool));
@@ -721,6 +806,7 @@ impl<'p> Vm<'p> {
                 self.add_inst_cost(t, 2);
                 if self.config.trace_blocks {
                     self.stats.events += 1;
+                    self.stats.events_by_kind.block += 1;
                     tool.on_block(id, cont_routine, BlockId::new(cont_block as u32));
                 }
                 Ok(Step::BlockEntered)
@@ -756,6 +842,7 @@ impl<'p> Vm<'p> {
                 let addr = self.addr_of(self.eval(t, base)?, self.eval(t, offset)?)?;
                 let id = self.threads[t].id;
                 self.stats.events += 1;
+                self.stats.events_by_kind.read += 1;
                 tool.on_read(id, addr, 1);
                 let v = self.mem.load(addr);
                 self.set_reg(t, dst, v)?;
@@ -768,6 +855,7 @@ impl<'p> Vm<'p> {
                 let v = self.eval(t, src)?;
                 let id = self.threads[t].id;
                 self.stats.events += 1;
+                self.stats.events_by_kind.write += 1;
                 tool.on_write(id, addr, 1);
                 self.mem.store(addr, v);
                 self.add_inst_cost(t, 3);
@@ -798,6 +886,7 @@ impl<'p> Vm<'p> {
                 let id = self.threads[t].id;
                 let cost = self.cost_of(t);
                 self.stats.events += 1;
+                self.stats.events_by_kind.call += 1;
                 tool.on_call(id, routine, cost);
                 self.threads[t].frames.push(Frame {
                     routine,
@@ -1037,6 +1126,7 @@ impl<'p> Vm<'p> {
                 if n > 0 {
                     // The kernel writes external data into the user buffer.
                     self.stats.events += 1;
+                    self.stats.events_by_kind.kernel_to_user += 1;
                     tool.on_kernel_to_user(id, buf, n);
                     self.mem.store_slice(buf, &self.scratch);
                 }
@@ -1054,11 +1144,18 @@ impl<'p> Vm<'p> {
                     // buffer on the thread's behalf — "as if the system
                     // call were a normal subroutine" (Fig. 9).
                     self.stats.events += 1;
+                    self.stats.events_by_kind.user_to_kernel += 1;
                     tool.on_user_to_kernel(id, buf, n);
                 }
                 n
             }
         };
+        let bucket = TRANSFER_CELL_BOUNDS
+            .iter()
+            .position(|&b| u64::from(transferred) <= b)
+            .unwrap_or(TRANSFER_CELL_BOUNDS.len());
+        self.transfer_buckets[bucket] += 1;
+        self.transfer_cells_sum += u64::from(transferred);
         if let Some(d) = dst {
             self.set_reg(t, d, transferred as i64)?;
         }
@@ -1786,5 +1883,102 @@ mod tests {
         let program = pb.finish(main).unwrap();
         let vm = Vm::new(&program, RunConfig::default()).unwrap();
         assert!(format!("{vm:?}").contains("Vm"));
+    }
+
+    /// A threaded, syscalling guest for the metrics tests.
+    fn metrics_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(4);
+        let worker = pb.function("worker", 1, |f| {
+            let buf = f.alloc(16);
+            let n = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 16, 0);
+            f.store(g.raw() as i64, 0, n);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let a = f.spawn(worker, &[Operand::Imm(0)]);
+            let b = f.spawn(worker, &[Operand::Imm(1)]);
+            f.join(a);
+            f.join(b);
+        });
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn metrics_cover_the_run_and_survive_the_audit() {
+        let program = metrics_program();
+        let cfg = RunConfig {
+            quantum: 3,
+            ..RunConfig::with_devices(vec![Device::Stream { seed: 3 }])
+        };
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        let stats = vm.run(&mut NullTool).unwrap();
+        let m = vm.metrics();
+        assert_eq!(m.audit(), Ok(()), "a healthy run is self-consistent");
+        assert_eq!(m.counter("vm.events.total"), stats.events);
+        assert_eq!(m.counter("vm.events.thread_start"), 3, "main + two workers");
+        assert_eq!(m.counter("vm.basic_blocks"), stats.basic_blocks);
+        assert_eq!(m.counter("vm.syscalls"), stats.syscalls);
+        assert_eq!(m.counter("kernel.transfers"), 2);
+        assert_eq!(m.counter("kernel.cells_in"), 32);
+        assert_eq!(m.gauge("vm.threads"), 3);
+        assert!(m.counter("sched.slices") > 0);
+        let steps = m.histogram("sched.slice.steps").unwrap();
+        assert_eq!(steps.total, m.counter("sched.slices"));
+        let cells = m.histogram("kernel.transfer.cells").unwrap();
+        assert_eq!(cells.total, 2);
+        assert_eq!(cells.sum, 32);
+    }
+
+    #[test]
+    fn metrics_json_is_byte_identical_across_same_seed_runs() {
+        let program = metrics_program();
+        let run = || {
+            let cfg = RunConfig {
+                policy: SchedPolicy::Random { seed: 11 },
+                quantum: 3,
+                ..RunConfig::with_devices(vec![Device::Stream { seed: 3 }])
+            };
+            let mut vm = Vm::new(&program, cfg).unwrap();
+            vm.run(&mut NullTool).unwrap();
+            vm.metrics()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    #[test]
+    fn metrics_of_an_aborted_run_still_audit_cleanly() {
+        let cfg = RunConfig {
+            max_instructions: 2_000,
+            ..RunConfig::default()
+        };
+        let err = run_main(
+            |f| {
+                let head = f.new_block();
+                f.jump(head);
+                f.switch_to(head);
+                let _ = f.add(1, 1);
+                f.jump(head);
+            },
+            cfg.clone(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::InstructionLimit { limit: 2_000 });
+        let mut pb = ProgramBuilder::new();
+        let main = pb.function("main", 0, |f| {
+            let head = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let _ = f.add(1, 1);
+            f.jump(head);
+        });
+        let program = pb.finish(main).unwrap();
+        let mut vm = Vm::new(&program, cfg).unwrap();
+        vm.run(&mut NullTool).unwrap_err();
+        let m = vm.metrics();
+        assert_eq!(m.audit(), Ok(()), "graceful degradation includes metrics");
+        assert!(m.counter("sched.preempt.abort") > 0, "abort slice counted");
     }
 }

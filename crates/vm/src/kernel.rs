@@ -201,11 +201,26 @@ struct OpenFile {
 ///
 /// File descriptors are dense indices assigned in [`Kernel::open`] order,
 /// so guest programs can refer to them as immediates.
+/// Tallies of completed kernel transfers, for the observability
+/// registry (`kernel.transfers`, `kernel.cells_in`, `kernel.cells_out`).
+/// Only *successful* transfers count: a faulted or rejected attempt
+/// moves no cells and shows up in [`FaultCounters`] instead.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransferCounters {
+    /// Completed transfers in either direction.
+    pub transfers: u64,
+    /// Cells moved kernel→user (reads).
+    pub cells_in: u64,
+    /// Cells moved user→kernel (writes).
+    pub cells_out: u64,
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct Kernel {
     files: Vec<OpenFile>,
     faults: Option<FaultState>,
     counters: FaultCounters,
+    transfer_counters: TransferCounters,
 }
 
 impl Kernel {
@@ -265,6 +280,11 @@ impl Kernel {
     /// Counters of injected faults and errno deliveries so far.
     pub fn fault_counters(&self) -> FaultCounters {
         self.counters
+    }
+
+    /// Counters of completed transfers so far.
+    pub fn transfer_counters(&self) -> TransferCounters {
+        self.transfer_counters
     }
 
     /// Records one negative-errno delivery to a guest register.
@@ -426,6 +446,8 @@ impl Kernel {
         }
         let moved = (out.len() - before) as u32;
         file.read += moved as u64;
+        self.transfer_counters.transfers += 1;
+        self.transfer_counters.cells_in += moved as u64;
         Ok(moved)
     }
 
@@ -468,6 +490,8 @@ impl Kernel {
             }
         }
         file.written += data.len() as u64;
+        self.transfer_counters.transfers += 1;
+        self.transfer_counters.cells_out += data.len() as u64;
         Ok(data.len() as u32)
     }
 }
@@ -624,6 +648,27 @@ mod tests {
         );
         assert_eq!(k.prepare_transfer(sink, Direction::Output, 8), Ok(8));
         assert_eq!(k.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn transfer_counters_count_only_successful_transfers() {
+        let mut k = Kernel::new();
+        let fd = k.open(Device::Stream { seed: 1 });
+        let sink = k.open(Device::Sink);
+        assert_eq!(k.transfer_counters(), TransferCounters::default());
+        k.input(fd, 8, None).unwrap();
+        k.output(sink, &[1, 2, 3], None).unwrap();
+        // Failed attempts move nothing and must not count.
+        assert!(k.input(sink, 4, None).is_err());
+        assert!(k.output(99, &[1], None).is_err());
+        assert_eq!(
+            k.transfer_counters(),
+            TransferCounters {
+                transfers: 2,
+                cells_in: 8,
+                cells_out: 3,
+            }
+        );
     }
 
     #[test]

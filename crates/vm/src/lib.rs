@@ -57,12 +57,13 @@ pub use disasm::{disassemble, routine_listing};
 pub use fault::{FaultCounters, FaultKind, FaultPlan, FaultRule, FaultSpecError, FaultTrigger};
 pub use interp::{run_program, run_program_with, BlockedThread, RunError, Vm, WaitTarget};
 pub use ir::{BinOp, Block, Inst, Operand, Program, Reg, Routine, Terminator, ValidateError};
-pub use kernel::{Device, Direction, Kernel, KernelError, Syscall, SyscallNo};
+pub use kernel::{Device, Direction, Kernel, KernelError, Syscall, SyscallNo, TransferCounters};
 pub use memory::Memory;
 pub use recorder::TraceRecorder;
 pub use rng::SmallRng;
+pub use shadow::ShadowCacheStats;
 pub use shadow::ShadowMemory;
-pub use stats::{CostKind, RunConfig, RunStats, SchedPolicy};
+pub use stats::{CostKind, EventCounters, RunConfig, RunStats, SchedPolicy};
 pub use tool::{MultiTool, NullTool, Tool};
 
 // Schedule model re-exports, so VM users need not depend on the trace

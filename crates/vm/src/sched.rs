@@ -46,6 +46,28 @@ pub(crate) enum StepKind {
 const CHAOS_PREEMPT_NUM: u32 = 1;
 const CHAOS_PREEMPT_DEN: u32 = 4;
 
+/// Histogram bucket bounds for slice lengths in interpreter steps
+/// (`sched.slice.steps` in the metrics registry).
+pub(crate) const SLICE_STEP_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Observability tallies of one run's scheduling decisions. Plain
+/// integer bumps on the slice-close path; folded into the metrics
+/// registry by [`Vm::metrics`](crate::Vm::metrics), where the audit
+/// checks `Σ sched.preempt.* == sched.slices`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SliceCounters {
+    /// Total closed slices (aborted ones included).
+    pub slices: u64,
+    /// Per-cause tallies, indexed by [`PreemptCause::index`].
+    pub by_cause: [u64; 7],
+    /// Slice lengths in steps, bucketed by [`SLICE_STEP_BOUNDS`]
+    /// (`counts[i]` covers values `<= SLICE_STEP_BOUNDS[i]`, the last
+    /// slot is the overflow bucket), plus the running sum for the
+    /// histogram's `_sum` series.
+    pub step_buckets: [u64; 9],
+    pub step_sum: u64,
+}
+
 pub(crate) struct Scheduler {
     policy: SchedPolicy,
     quantum: u32,
@@ -66,6 +88,7 @@ pub(crate) struct Scheduler {
     blocks_left: u32,
     /// The recorded decision driving the current slice (replay).
     replay_decision: Option<SchedDecision>,
+    counters: SliceCounters,
 }
 
 impl Scheduler {
@@ -99,6 +122,7 @@ impl Scheduler {
             cur_steps: 0,
             blocks_left: 0,
             replay_decision: None,
+            counters: SliceCounters::default(),
         })
     }
 
@@ -270,6 +294,14 @@ impl Scheduler {
 
     fn push_decision(&mut self, cause: PreemptCause) {
         let (thread, steps) = (self.cur_thread, self.cur_steps);
+        self.counters.slices += 1;
+        self.counters.by_cause[cause.index()] += 1;
+        let bucket = SLICE_STEP_BOUNDS
+            .iter()
+            .position(|&b| u64::from(steps) <= b)
+            .unwrap_or(SLICE_STEP_BOUNDS.len());
+        self.counters.step_buckets[bucket] += 1;
+        self.counters.step_sum += u64::from(steps);
         if let Some(rec) = &mut self.record {
             rec.push(SchedDecision {
                 thread: ThreadId::new(thread as u32),
@@ -277,6 +309,11 @@ impl Scheduler {
                 cause,
             });
         }
+    }
+
+    /// The observability tallies accumulated so far.
+    pub(crate) fn counters(&self) -> &SliceCounters {
+        &self.counters
     }
 
     /// The schedule recorded so far, if recording was requested.
@@ -515,6 +552,33 @@ mod tests {
         }
         assert!(sync_preempts > 0, "sync preemptions occur");
         assert!(quantum_preempts > 0, "quantum preemptions occur");
+    }
+
+    #[test]
+    fn slice_counters_cover_every_closed_slice() {
+        let mut s = Scheduler::new(&config(SchedPolicy::RoundRobin)).unwrap();
+        s.begin_slice(0);
+        s.note_step(StepKind::Plain);
+        s.note_step(StepKind::Plain);
+        s.note_step(StepKind::Plain);
+        s.end_slice(PreemptCause::Block).unwrap();
+        s.begin_slice(1);
+        s.note_step(StepKind::Plain);
+        s.end_slice(PreemptCause::Exit).unwrap();
+        s.begin_slice(0);
+        s.note_step(StepKind::Plain);
+        s.abort_slice();
+        let c = s.counters();
+        assert_eq!(c.slices, 3);
+        assert_eq!(c.by_cause.iter().sum::<u64>(), c.slices);
+        assert_eq!(c.by_cause[PreemptCause::Block.index()], 1);
+        assert_eq!(c.by_cause[PreemptCause::Exit.index()], 1);
+        assert_eq!(c.by_cause[PreemptCause::Abort.index()], 1);
+        assert_eq!(c.step_buckets.iter().sum::<u64>(), c.slices);
+        assert_eq!(c.step_sum, 5);
+        // Steps 3 lands in the `<= 4` bucket, 1 in `<= 1`, 1 in `<= 1`.
+        assert_eq!(c.step_buckets[0], 2);
+        assert_eq!(c.step_buckets[2], 1);
     }
 
     #[test]

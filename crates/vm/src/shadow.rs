@@ -70,6 +70,48 @@ pub struct ShadowMemory<T> {
     /// mutable borrow (in `set`); pointers cached by `get` carry
     /// read-only provenance and are never written through.
     last: Cell<Option<(u64, NonNull<T>, bool)>>,
+    /// Last-leaf fast-path hits (`Cell`: `get` counts through `&self`).
+    hits: Cell<u64>,
+    /// Full three-level walks, including reads of unmapped cells.
+    misses: Cell<u64>,
+    /// All `get`/`set` accesses, counted independently of the hit/miss
+    /// split so `Metrics::audit` can cross-check `hit + miss == lookups`.
+    lookups: Cell<u64>,
+    /// Times the cache was explicitly wiped (`clear`, `for_each_mut`).
+    invalidations: u64,
+    /// Leaf chunks ever materialized (monotonic, unlike `leaf_count`).
+    leaf_allocs: u64,
+}
+
+/// Snapshot of one [`ShadowMemory`]'s last-leaf cache and leaf-allocator
+/// counters. Every leaf-dropping or pointer-superseding path (`clear`,
+/// `for_each_mut`) must bump `invalidations` when it wipes the cache —
+/// the cache-transparency property tests assert these counters
+/// alongside value agreement.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShadowCacheStats {
+    /// Accesses served by the last-leaf fast path.
+    pub hits: u64,
+    /// Accesses that walked the three-level structure.
+    pub misses: u64,
+    /// All accesses (`hits + misses` must equal this).
+    pub lookups: u64,
+    /// Explicit cache wipes.
+    pub invalidations: u64,
+    /// Leaf chunks ever materialized.
+    pub leaf_allocs: u64,
+}
+
+impl ShadowCacheStats {
+    /// Adds `other`'s counters into `self` (for summing the stats of a
+    /// profiler's several shadow memories).
+    pub fn absorb(&mut self, other: ShadowCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.lookups += other.lookups;
+        self.invalidations += other.invalidations;
+        self.leaf_allocs += other.leaf_allocs;
+    }
 }
 
 // SAFETY: `ShadowMemory` owns every allocation the cached pointer can
@@ -96,6 +138,11 @@ impl<T: Copy + Default> ShadowMemory<T> {
             root: Vec::new(),
             leaf_count: 0,
             last: Cell::new(None),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            lookups: Cell::new(0),
+            invalidations: 0,
+            leaf_allocs: 0,
         }
     }
 
@@ -126,8 +173,10 @@ impl<T: Copy + Default> ShadowMemory<T> {
     /// reference path.
     #[inline]
     pub fn get(&self, addr: Addr) -> T {
+        self.lookups.set(self.lookups.get() + 1);
         if let Some((tag, ptr, _)) = self.last.get() {
             if tag == Self::leaf_tag(addr) {
+                self.hits.set(self.hits.get() + 1);
                 let leaf = (addr.raw() & (LEAF_CELLS as u64 - 1)) as usize;
                 // SAFETY: `ptr` points to the first cell of a live
                 // `LEAF_CELLS`-sized leaf (see the `last` field
@@ -136,6 +185,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
                 return unsafe { *ptr.as_ptr().add(leaf) };
             }
         }
+        self.misses.set(self.misses.get() + 1);
         let (l1, l2, leaf) = Self::split(addr);
         match self.root.get(l1).and_then(|s| s.as_ref()) {
             Some(level2) => match &level2.leaves[l2] {
@@ -176,8 +226,10 @@ impl<T: Copy + Default> ShadowMemory<T> {
     /// take a one-comparison fast path.
     #[inline]
     pub fn set(&mut self, addr: Addr, value: T) {
+        self.lookups.set(self.lookups.get() + 1);
         if let Some((tag, ptr, true)) = self.last.get() {
             if tag == Self::leaf_tag(addr) {
+                self.hits.set(self.hits.get() + 1);
                 let leaf = (addr.raw() & (LEAF_CELLS as u64 - 1)) as usize;
                 // SAFETY: same invariant as in `get`, plus
                 // `writable == true` means the pointer was derived from a
@@ -187,6 +239,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
                 return;
             }
         }
+        self.misses.set(self.misses.get() + 1);
         let (l1, l2, leaf) = Self::split(addr);
         if self.root.len() <= l1 {
             self.root.resize_with(l1 + 1, || None);
@@ -196,6 +249,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
             Some(c) => c,
             slot @ None => {
                 self.leaf_count += 1;
+                self.leaf_allocs += 1;
                 slot.insert(
                     vec![T::default(); LEAF_CELLS]
                         .into_boxed_slice()
@@ -234,6 +288,7 @@ impl<T: Copy + Default> ShadowMemory<T> {
         // The fresh `&mut` borrows below supersede the cached pointer's
         // provenance; drop it rather than write through a stale tag later.
         self.last.set(None);
+        self.invalidations += 1;
         for (i1, slot1) in self.root.iter_mut().enumerate() {
             let Some(level2) = slot1 else { continue };
             for (i2, slot2) in level2.leaves.iter_mut().enumerate() {
@@ -247,11 +302,27 @@ impl<T: Copy + Default> ShadowMemory<T> {
     }
 
     /// Drops all materialized chunks.
+    ///
+    /// Cache counters survive: a session that clears and re-populates
+    /// its shadows keeps one continuous hit/miss/invalidation history,
+    /// which is what the staleness tripwire audits.
     pub fn clear(&mut self) {
         // The cached leaf pointer dangles once its chunk is freed.
         self.last.set(None);
+        self.invalidations += 1;
         self.root.clear();
         self.leaf_count = 0;
+    }
+
+    /// Snapshot of the cache and allocation counters.
+    pub fn cache_stats(&self) -> ShadowCacheStats {
+        ShadowCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            lookups: self.lookups.get(),
+            invalidations: self.invalidations,
+            leaf_allocs: self.leaf_allocs,
+        }
     }
 }
 
@@ -360,6 +431,73 @@ mod tests {
         assert_eq!(s.get(Addr::new(42)), 0, "no stale read through the cache");
         s.set(Addr::new(42), 3);
         assert_eq!(s.get(Addr::new(42)), 3);
+        let st = s.cache_stats();
+        assert_eq!(st.invalidations, 1, "one clear, one invalidation");
+        assert_eq!(st.leaf_allocs, 2, "the leaf was re-materialized");
+        assert_eq!(st.hits + st.misses, st.lookups);
+    }
+
+    #[test]
+    fn cache_counters_track_hits_misses_and_wipes() {
+        let mut s: ShadowMemory<u64> = ShadowMemory::new();
+        assert_eq!(s.cache_stats(), ShadowCacheStats::default());
+        s.set(Addr::new(1), 1); // miss (materialize)
+        s.set(Addr::new(2), 2); // hit (same leaf, writable cache)
+        assert_eq!(s.get(Addr::new(1)), 1); // hit
+        assert_eq!(s.get(Addr::new((LEAF_CELLS * 5) as u64)), 0); // miss, unmapped
+        let st = s.cache_stats();
+        assert_eq!((st.hits, st.misses, st.lookups), (2, 2, 4));
+        assert_eq!(st.leaf_allocs, 1);
+        s.for_each_mut(|_, _| {});
+        assert_eq!(s.cache_stats().invalidations, 1, "for_each_mut wipes");
+        assert_eq!(
+            s.get_uncached(Addr::new(1)),
+            1,
+            "reference path counts nothing"
+        );
+        assert_eq!(s.cache_stats().lookups, 4);
+    }
+
+    /// Seeded-loop property: interleaving `clear()` (and `for_each_mut`)
+    /// with re-population keeps the cached path transparent — every read
+    /// agrees with the uncached reference walk — while the counters obey
+    /// `hits + misses == lookups` and count one invalidation per wipe.
+    #[test]
+    fn cache_transparent_across_interleaved_clears_and_repopulation() {
+        let mut rng = crate::rng::SmallRng::seed_from_u64(0x5AD0_CAFE);
+        for round in 0..20u64 {
+            let mut s: ShadowMemory<u64> = ShadowMemory::new();
+            let mut wipes = 0;
+            let mut ops = 0;
+            for step in 0..400u64 {
+                let addr = Addr::new(rng.gen_range(0..(LEAF_CELLS as u64 * 4)));
+                match rng.gen_range(0..10u32) {
+                    0 => {
+                        s.clear();
+                        wipes += 1;
+                    }
+                    1 => {
+                        s.for_each_mut(|_, v| *v = v.wrapping_add(1));
+                        wipes += 1;
+                    }
+                    2..=5 => {
+                        s.set(addr, round * 1000 + step);
+                        ops += 1;
+                    }
+                    _ => {
+                        let cached = s.get(addr);
+                        let reference = s.get_uncached(addr);
+                        assert_eq!(cached, reference, "round {round} step {step}");
+                        ops += 1;
+                    }
+                }
+            }
+            let st = s.cache_stats();
+            assert_eq!(st.hits + st.misses, st.lookups, "round {round}");
+            assert_eq!(st.lookups, ops, "round {round}: every access counted");
+            assert_eq!(st.invalidations, wipes, "round {round}: every wipe counted");
+            assert!(st.leaf_allocs >= s.leaf_count() as u64);
+        }
     }
 
     #[test]

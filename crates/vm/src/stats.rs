@@ -112,6 +112,72 @@ impl RunConfig {
     }
 }
 
+/// Per-kind tallies of the instrumentation events delivered to the
+/// tool. Kept as plain fields (not a map) so the hot loop pays one
+/// integer increment per event; [`Vm::metrics`](crate::Vm::metrics)
+/// folds them into the observability registry after the run, where
+/// `Metrics::audit` cross-checks their sum against
+/// [`RunStats::events`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    /// `on_thread_start` deliveries.
+    pub thread_start: u64,
+    /// `on_thread_exit` deliveries.
+    pub thread_exit: u64,
+    /// `on_thread_switch` deliveries.
+    pub thread_switch: u64,
+    /// `on_call` deliveries.
+    pub call: u64,
+    /// `on_return` deliveries.
+    pub ret: u64,
+    /// `on_read` deliveries.
+    pub read: u64,
+    /// `on_write` deliveries.
+    pub write: u64,
+    /// `on_sync` deliveries.
+    pub sync: u64,
+    /// `on_block` deliveries (only under `trace_blocks`).
+    pub block: u64,
+    /// `on_kernel_to_user` deliveries.
+    pub kernel_to_user: u64,
+    /// `on_user_to_kernel` deliveries.
+    pub user_to_kernel: u64,
+}
+
+impl EventCounters {
+    /// Sum over every kind — must equal [`RunStats::events`].
+    pub fn total(&self) -> u64 {
+        self.thread_start
+            + self.thread_exit
+            + self.thread_switch
+            + self.call
+            + self.ret
+            + self.read
+            + self.write
+            + self.sync
+            + self.block
+            + self.kernel_to_user
+            + self.user_to_kernel
+    }
+
+    /// `(name, count)` pairs in metric-name order, for registry export.
+    pub fn by_kind(&self) -> [(&'static str, u64); 11] {
+        [
+            ("thread_start", self.thread_start),
+            ("thread_exit", self.thread_exit),
+            ("thread_switch", self.thread_switch),
+            ("call", self.call),
+            ("return", self.ret),
+            ("read", self.read),
+            ("write", self.write),
+            ("sync", self.sync),
+            ("block", self.block),
+            ("kernel_to_user", self.kernel_to_user),
+            ("user_to_kernel", self.user_to_kernel),
+        ]
+    }
+}
+
 /// Statistics of a completed guest execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -135,6 +201,8 @@ pub struct RunStats {
     pub guest_bytes: u64,
     /// Instrumentation events delivered to the tool.
     pub events: u64,
+    /// The same events, tallied per callback kind.
+    pub events_by_kind: EventCounters,
     /// Injected-fault and errno-delivery counters (all zero on
     /// fault-free runs).
     pub faults: FaultCounters,
@@ -173,6 +241,27 @@ mod tests {
     fn with_devices_sets_devices() {
         let c = RunConfig::with_devices(vec![Device::Sink]);
         assert_eq!(c.devices.len(), 1);
+    }
+
+    #[test]
+    fn event_counters_total_matches_by_kind_sum() {
+        let c = EventCounters {
+            thread_start: 1,
+            thread_exit: 2,
+            thread_switch: 3,
+            call: 4,
+            ret: 5,
+            read: 6,
+            write: 7,
+            sync: 8,
+            block: 9,
+            kernel_to_user: 10,
+            user_to_kernel: 11,
+        };
+        let by_kind_sum: u64 = c.by_kind().iter().map(|(_, v)| v).sum();
+        assert_eq!(c.total(), by_kind_sum);
+        assert_eq!(c.total(), 66);
+        assert_eq!(c.by_kind().len(), 11, "one entry per EventSink callback");
     }
 
     #[test]

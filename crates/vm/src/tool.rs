@@ -5,7 +5,7 @@
 //! how much shadow state it allocated, which backs the paper's space
 //! overhead measurements.
 
-use drms_trace::EventSink;
+use drms_trace::{EventSink, Metrics};
 
 /// A dynamic-analysis tool attached to a guest execution.
 ///
@@ -20,6 +20,19 @@ pub trait Tool: EventSink {
     /// Host bytes currently allocated for analysis metadata.
     fn shadow_bytes(&self) -> u64 {
         0
+    }
+
+    /// Folds this tool's observability data into the run's metrics
+    /// registry. Called once after the run, never on the hot path.
+    ///
+    /// The default contribution is a `tool.<name>.shadow_bytes` gauge;
+    /// tools with richer internal state (shadow-memory caches, profile
+    /// tables) override this to add their own deterministic counters.
+    fn observe_metrics(&self, metrics: &mut Metrics) {
+        metrics.set_gauge(
+            format!("tool.{}.shadow_bytes", self.name()),
+            self.shadow_bytes(),
+        );
     }
 }
 
@@ -126,6 +139,14 @@ impl Tool for MultiTool<'_> {
     fn shadow_bytes(&self) -> u64 {
         self.tools.iter().map(|t| t.shadow_bytes()).sum()
     }
+
+    /// Fans out: each attached tool reports under its own name; the
+    /// fan itself contributes nothing.
+    fn observe_metrics(&self, metrics: &mut Metrics) {
+        for t in &self.tools {
+            t.observe_metrics(metrics);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +189,9 @@ mod tests {
             m.on_finish();
             assert_eq!(m.shadow_bytes(), 32);
             assert!(format!("{m:?}").contains("counter"));
+            let mut metrics = Metrics::new();
+            m.observe_metrics(&mut metrics);
+            assert_eq!(metrics.gauge("tool.counter.shadow_bytes"), 16);
         }
         assert_eq!(a.calls, 1);
         assert_eq!(b.calls, 1);
