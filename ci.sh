@@ -17,12 +17,45 @@ cargo fmt --all -- --check
 cargo run --release -q -p drms-bench --bin repro -- sched-fuzz --seeds 16 --quick
 
 # Bench smoke gate: a tiny parallel sweep. The binary validates its own
-# BENCH_sweep.json against the drms-sweep-v1 schema and exits non-zero
+# BENCH_sweep.json against the drms-sweep-v2 schema (accounting:
+# completed + retries + quarantined == attempts) and exits non-zero
 # if the serial and parallel sweeps diverge, the serial and parallel
 # merged metrics diverge, the metrics audit fails, or the schema check
 # fails.
 cargo run --release -q -p drms-bench --bin repro -- sweep --quick --jobs 2 \
     --bench-out target/repro/BENCH_sweep.json
+
+# Crash-safety gate: journal a sweep, SIGKILL it mid-grid, resume from
+# the salvaged journal, and require the resumed BENCH_sweep.json and
+# audited .metrics.json to be byte-identical to an uninterrupted run of
+# the same grid (the v2 bench artifact is deterministic by design; only
+# the .timings.json sibling may differ). If the victim finishes before
+# the kill lands, the resume degrades to a pure journal replay — the
+# byte-identity requirement is the same either way.
+mkdir -p target/repro/crash
+repro=target/release/repro
+"$repro" sweep --quick --jobs 2 \
+    --bench-out target/repro/crash/BENCH_base.json > /dev/null
+rm -f target/repro/crash/sweep.journal
+"$repro" sweep --quick --jobs 2 \
+    --journal target/repro/crash/sweep.journal \
+    --bench-out target/repro/crash/BENCH_killed.json > /dev/null &
+victim=$!
+for _ in $(seq 1 500); do
+    cells=$(grep -c '^@rec cell' target/repro/crash/sweep.journal 2>/dev/null) || cells=0
+    [ "$cells" -ge 2 ] && break
+    kill -0 "$victim" 2>/dev/null || break
+    sleep 0.01
+done
+kill -KILL "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+"$repro" sweep --quick --jobs 2 \
+    --resume target/repro/crash/sweep.journal \
+    --bench-out target/repro/crash/BENCH_resumed.json > /dev/null
+cmp target/repro/crash/BENCH_base.json target/repro/crash/BENCH_resumed.json \
+    || { echo "ci: resumed sweep bench JSON differs from uninterrupted run" >&2; exit 1; }
+cmp target/repro/crash/BENCH_base.metrics.json target/repro/crash/BENCH_resumed.metrics.json \
+    || { echo "ci: resumed sweep metrics differ from uninterrupted run" >&2; exit 1; }
 
 # Metrics smoke gate: the same workload + seed twice must render a
 # byte-identical metrics export (aprof exits non-zero if the registry

@@ -1,0 +1,90 @@
+//! Crash-safe artifact writes.
+//!
+//! Every file the harness emits (`BENCH_*.json`, `.metrics.json`,
+//! reports, traces, schedules) is written through [`atomic_write`]: the
+//! bytes land in a temporary file in the destination directory, are
+//! fsynced, and only then renamed over the target. A crash mid-write
+//! leaves either the old artifact or the new one — never a torn file —
+//! which is what lets the kill-and-resume CI gate `cmp` artifacts
+//! byte-for-byte after a SIGKILL.
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`.
+///
+/// The temporary sibling is named `<file>.tmp.<pid>` so concurrent
+/// writers of *different* artifacts never collide, and a leftover from
+/// a previous crash is simply overwritten on the next run.
+///
+/// # Errors
+/// Any I/O failure from creating, writing, syncing or renaming the
+/// temporary file. On error the target is untouched.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        "{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let mut f = File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    // Data must be durable before the rename makes it visible,
+    // otherwise a crash could expose a renamed-but-empty file.
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Persist the rename itself (the directory entry). Best-effort:
+    // directories cannot be opened for writing on every platform.
+    if let Some(dir) = dir {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("drms-artifact-{name}-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.json");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error_and_target_untouched() {
+        let dir = tmp_dir("missing");
+        let path = dir.join("nope").join("out.json");
+        assert!(atomic_write(&path, "x").is_err());
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -17,11 +17,19 @@
 //!   --tool NAME         aprof-drms (default) | aprof | external-only
 //!   --sweep SIZES       profile the workload once per comma-separated
 //!                       size (e.g. `--sweep 64,128,256`) through the
-//!                       parallel sweep engine and print the merged
-//!                       focus plot; sweepable workloads: minidb,
-//!                       mysqlslap, vips, stream_reader,
-//!                       producer_consumer, selection_sort
+//!                       crash-safe sweep supervisor and print the
+//!                       merged focus plot; cells that keep failing are
+//!                       quarantined and reported, not fatal; sweepable
+//!                       workloads: minidb, mysqlslap, vips,
+//!                       stream_reader, producer_consumer,
+//!                       selection_sort
 //!   --jobs N            worker threads for --sweep (default 1)
+//!   --deadline-ms N     wall-clock budget per run (checked once per
+//!                       scheduler slice; exceeding it aborts with
+//!                       a deterministic deadline error, exit code 5);
+//!                       with --sweep, bounds every cell attempt
+//!   --max-attempts N    with --sweep: supervisor attempts per cell
+//!                       before quarantine (default 3)
 //!   --policy P          rr (default) | random:SEED | chaos,seed=N
 //!   --sched P           alias of --policy (chaos fuzzing reads better as
 //!                       `--sched chaos,seed=7`)
@@ -67,10 +75,14 @@ use drms::vm::{
 };
 use drms::workloads::{self, Workload};
 use drms::ProfileSession;
+use drms_bench::artifact::atomic_write;
 use drms_bench::run_error_exit_code;
-use drms_bench::sweep::{run_sweep, SweepSpec};
+use drms_bench::supervisor::{run_supervised, SupervisorOptions};
+use drms_bench::sweep::SweepSpec;
+use std::path::Path;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Cli {
     workload: Option<String>,
@@ -93,10 +105,12 @@ struct Cli {
     diff: Option<(String, String)>,
     sweep: Option<Vec<i64>>,
     jobs: usize,
+    deadline_ms: Option<u64>,
+    max_attempts: u32,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--jobs N]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--jobs N] [--deadline-ms N] [--max-attempts N]");
     exit(2)
 }
 
@@ -137,6 +151,8 @@ fn parse_cli() -> Cli {
         diff: None,
         sweep: None,
         jobs: 1,
+        deadline_ms: None,
+        max_attempts: 3,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -185,6 +201,12 @@ fn parse_cli() -> Cli {
                 }
             }
             "--jobs" => cli.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-attempts" => {
+                cli.max_attempts = value("--max-attempts").parse().unwrap_or_else(|_| usage())
+            }
             "--diff" => {
                 let old = value("--diff");
                 let new = value("--diff");
@@ -285,7 +307,7 @@ fn main() {
         return;
     }
     if let Some(sizes) = &cli.sweep {
-        run_size_sweep(name, sizes, cli.jobs, cli.fit, cli.metrics.as_deref());
+        run_size_sweep(name, sizes, &cli);
         return;
     }
     let mut config = w.run_config();
@@ -293,6 +315,7 @@ fn main() {
     if let Some(q) = cli.quantum {
         config.quantum = q;
     }
+    config.deadline = cli.deadline_ms.map(Duration::from_millis);
     if let Some(spec) = &cli.faults {
         match FaultPlan::parse(spec) {
             Ok(plan) => config.faults = Some(plan),
@@ -328,7 +351,8 @@ fn main() {
             println!("{}", TraceStats::of(&merged));
         }
         if let Some(path) = &cli.trace {
-            std::fs::write(path, drms::trace::codec::to_text(&merged)).expect("write trace");
+            atomic_write(Path::new(path), &drms::trace::codec::to_text(&merged))
+                .expect("write trace");
             println!("trace written to {path} ({} events)", merged.len());
         }
     }
@@ -402,7 +426,7 @@ fn main() {
     }
 
     if let Some(path) = &cli.report {
-        std::fs::write(path, report_io::to_text(&report)).expect("write report");
+        atomic_write(Path::new(path), &report_io::to_text(&report)).expect("write report");
         println!("report written to {path} ({} profiles)", report.len());
     }
     if let Some(path) = &cli.metrics {
@@ -430,7 +454,7 @@ fn write_metrics(path: &str, metrics: &Metrics) {
     } else {
         metrics.to_json()
     };
-    std::fs::write(path, rendered).expect("write metrics");
+    atomic_write(Path::new(path), &rendered).expect("write metrics");
     println!("metrics written to {path} (audit passed)");
 }
 
@@ -454,10 +478,12 @@ fn sweep_family(name: &str) -> Option<&'static str> {
     }
 }
 
-/// `--sweep`: fan the workload's size grid across `jobs` workers and
-/// print the per-cell summary plus the merged focus plot. With
-/// `--metrics`, the grid-merged registry is audited and dumped too.
-fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool, metrics: Option<&str>) {
+/// `--sweep`: fan the workload's size grid across `--jobs` workers
+/// under the crash-safe supervisor and print the per-cell summary plus
+/// the merged focus plot. Cells that exhaust their retry budget are
+/// quarantined and listed, never fatal. With `--metrics`, the
+/// grid-merged registry is audited and dumped too.
+fn run_size_sweep(name: &str, sizes: &[i64], cli: &Cli) {
     let Some(family) = sweep_family(name) else {
         eprintln!(
             "`{name}` is not sweepable (try minidb, mysqlslap, vips, \
@@ -465,15 +491,21 @@ fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool, metrics: Op
         );
         exit(2);
     };
-    let spec = SweepSpec::new(family, sizes, jobs.max(1));
-    let result = run_sweep(&spec);
+    let spec = SweepSpec::new(family, sizes, cli.jobs.max(1));
+    let opts = SupervisorOptions {
+        max_attempts: cli.max_attempts.max(1),
+        deadline: cli.deadline_ms.map(Duration::from_millis),
+        ..SupervisorOptions::default()
+    };
+    let result = run_supervised(&spec, &opts);
     println!(
-        "[{family}] {} cells in {:.3}s with {} jobs ({} instructions, {} events)",
+        "[{family}] {} cells in {:.3}s with {} jobs ({} instructions, {} events, {} retries)",
         result.cells.len(),
         result.wall_secs,
         spec.jobs,
         result.instructions(),
-        result.events()
+        result.events(),
+        result.retries()
     );
     for cell in &result.cells {
         let note = cell
@@ -486,17 +518,23 @@ fn run_size_sweep(name: &str, sizes: &[i64], jobs: usize, fit: bool, metrics: Op
             cell.size, cell.seed, cell.stats.basic_blocks, cell.stats.threads
         );
     }
+    for q in &result.quarantined {
+        println!(
+            "  QUARANTINED size {:>6} seed {} after {} attempts ({} panics): {}",
+            q.size, q.seed, q.attempts, q.panics, q.error
+        );
+    }
     let plot = result.focus_plot(InputMetric::Drms);
     if !plot.points.is_empty() {
         println!(
             "{}",
             ascii_plot(&plot.as_f64(), 60, 12, "worst-case cost vs DRMS")
         );
-        if fit {
+        if cli.fit {
             println!("drms fit: {}", plot.fit(0.02));
         }
     }
-    if let Some(path) = metrics {
+    if let Some(path) = cli.metrics.as_deref() {
         write_metrics(path, &result.merged_metrics());
     }
 }
@@ -525,7 +563,8 @@ fn run_vm<T: Tool>(
         let sched = vm
             .take_recorded_schedule()
             .expect("--record-sched enables recording");
-        std::fs::write(path, drms::trace::sched::to_text(&sched)).expect("write schedule");
+        atomic_write(Path::new(path), &drms::trace::sched::to_text(&sched))
+            .expect("write schedule");
         println!(
             "schedule written to {path} ({} decisions, {} forced preemptions)",
             sched.len(),
@@ -560,7 +599,7 @@ fn run_drms_tool(
             .schedule
             .as_ref()
             .expect("--record-sched enables recording");
-        std::fs::write(path, drms::trace::sched::to_text(sched)).expect("write schedule");
+        atomic_write(Path::new(path), &drms::trace::sched::to_text(sched)).expect("write schedule");
         println!(
             "schedule written to {path} ({} decisions, {} forced preemptions)",
             sched.len(),

@@ -28,12 +28,18 @@
 //!                 sched-fuzz/aprof --record-sched, or self-seeded);
 //!                 writes the minimized .sched and prints the wait-graph
 //!   sweep         parallel sweep benchmark over the minidb/imgpipe size
-//!                 grids ([--jobs N] [--quick] [--bench-out FILE]): each
-//!                 family is swept serially and with N workers, the
+//!                 grids ([--jobs N] [--quick] [--bench-out FILE]
+//!                 [--journal FILE] [--resume FILE] [--max-attempts N]
+//!                 [--deadline-ms N]): each family is swept serially and
+//!                 with N workers under the crash-safe supervisor, the
 //!                 merged reports and merged metrics are checked
-//!                 byte-identical, and the measurements land in
-//!                 BENCH_sweep.json (audited metrics in its
-//!                 .metrics.json sibling)
+//!                 byte-identical, and the deterministic measurements
+//!                 land in BENCH_sweep.json (wall-clock in its
+//!                 .timings.json sibling, audited metrics in its
+//!                 .metrics.json sibling). --journal checkpoints every
+//!                 finished cell; --resume salvages a journal after a
+//!                 crash and re-runs only the lost cells, reproducing
+//!                 the uninterrupted artifacts byte-for-byte
 //! ```
 //!
 //! Each experiment prints its series and also writes CSV/gnuplot data
@@ -60,6 +66,10 @@ struct Options {
     sched: Option<String>,
     jobs: usize,
     bench_out: PathBuf,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    max_attempts: u32,
+    deadline_ms: Option<u64>,
 }
 
 fn main() {
@@ -74,6 +84,10 @@ fn main() {
         sched: None,
         jobs: 4,
         bench_out: PathBuf::from("BENCH_sweep.json"),
+        journal: None,
+        resume: None,
+        max_attempts: 3,
+        deadline_ms: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +114,25 @@ fn main() {
             "--bench-out" => {
                 opts.bench_out = PathBuf::from(args.next().expect("--bench-out FILE"));
             }
+            "--journal" => {
+                opts.journal = Some(PathBuf::from(args.next().expect("--journal FILE")));
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(args.next().expect("--resume FILE")));
+            }
+            "--max-attempts" => {
+                opts.max_attempts = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-attempts N");
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline-ms N"),
+                );
+            }
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -108,7 +141,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE]");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N]");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -153,7 +186,7 @@ fn main() {
 
 fn save(out: &Path, name: &str, contents: &str) {
     let path = out.join(name);
-    fs::write(&path, contents).expect("write data file");
+    drms_bench::artifact::atomic_write(&path, contents).expect("write data file");
     println!("  [data written to {}]", path.display());
 }
 
@@ -864,13 +897,25 @@ fn sched_shrink(opts: &Options) {
 }
 
 /// Parallel sweep benchmark: sweep the minidb and imgpipe families over
-/// their size grids, serially and with `--jobs` workers, verify the
-/// merged reports **and merged metrics** are byte-identical, and write
-/// the measurements to `--bench-out` (default `BENCH_sweep.json`) plus
-/// the audited grid-merged metrics to a `.metrics.json` sibling.
+/// their size grids under the crash-safe supervisor, verify the merged
+/// reports **and merged metrics** are byte-identical between serial and
+/// parallel runs, and write the deterministic measurements to
+/// `--bench-out` (default `BENCH_sweep.json`) plus the wall-clock side
+/// to a `.timings.json` sibling and the audited grid-merged metrics to
+/// a `.metrics.json` sibling — all through atomic temp+fsync+rename
+/// writes.
+///
+/// `--journal FILE` checkpoints every finished cell; after a crash,
+/// `--resume FILE` (with the same grid flags) salvages the journal,
+/// re-runs only the lost cells, and produces artifacts byte-identical
+/// to an uninterrupted run. `--max-attempts` / `--deadline-ms` tune the
+/// supervisor's retry and deadline policy; cells that exhaust their
+/// attempts are quarantined and reported, and the sweep still exits 0.
 /// `--quick` shrinks the grids for smoke testing.
 fn sweep_bench(opts: &Options) {
     use drms::analysis::InputMetric;
+    use drms_bench::artifact::atomic_write;
+    use drms_bench::supervisor::{resume_sweep, JournalWriter, SupervisorOptions};
     use drms_bench::sweep::{validate_bench_json, FamilyBench, SweepBench, SweepSpec};
     println!("\n=== Parallel sweep benchmark ({} jobs) ===", opts.jobs);
     let scale = opts.scale as i64;
@@ -887,39 +932,94 @@ fn sweep_bench(opts: &Options) {
         SweepSpec::new("minidb", &minidb_sizes, opts.jobs).seeds(&seeds),
         SweepSpec::new("imgpipe", &imgpipe_sizes, opts.jobs).seeds(&seeds),
     ];
+    let sup = SupervisorOptions {
+        max_attempts: opts.max_attempts.max(1),
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        ..SupervisorOptions::default()
+    };
+    let resumed = opts.resume.is_some();
     let mut families = Vec::new();
-    let mut merged_metrics = drms::trace::Metrics::new();
-    for spec in &specs {
-        let fam = FamilyBench::measure(spec);
-        let p = &fam.parallel;
-        println!(
-            "  {:<8} {:>2} cells: serial {:.3}s, parallel {:.3}s ({:.2}x), fingerprint {:#018x}{}",
-            spec.family,
-            p.cells.len(),
-            fam.serial_secs,
-            p.wall_secs,
-            fam.speedup(),
-            p.fingerprint(),
-            if fam.diverged() { "  DIVERGED" } else { "" },
-        );
-        if fam.metrics_diverged() {
-            eprintln!(
-                "sweep: family `{}`: serial and parallel merged metrics diverged",
-                spec.family
-            );
-            std::process::exit(1);
+    if let Some(path) = &opts.resume {
+        println!("  resuming from journal {}", path.display());
+        for spec in &specs {
+            match resume_sweep(spec, &sup, path) {
+                Ok((result, resume)) => {
+                    println!(
+                        "  {:<8} salvaged {} cells, re-ran {} ({:.3}s)",
+                        spec.family, resume.salvaged_cells, resume.rerun_cells, result.wall_secs,
+                    );
+                    for w in &resume.warnings {
+                        println!("           note: {w}");
+                    }
+                    if let Err(violations) = resume.metrics.audit() {
+                        eprintln!("sweep: resume accounting audit failed:");
+                        for v in &violations {
+                            eprintln!("  {v}");
+                        }
+                        std::process::exit(1);
+                    }
+                    families.push(FamilyBench::from_resumed(result));
+                }
+                Err(e) => {
+                    eprintln!("sweep: cannot resume family `{}`: {e}", spec.family);
+                    let mut source = std::error::Error::source(&e);
+                    while let Some(s) = source {
+                        eprintln!("  caused by: {s}");
+                        source = s.source();
+                    }
+                    std::process::exit(1);
+                }
+            }
         }
+    } else {
+        let mut writer = opts.journal.as_ref().map(|p| {
+            let w = JournalWriter::create(p).expect("create checkpoint journal");
+            println!("  journaling checkpoints to {}", p.display());
+            w
+        });
+        for spec in &specs {
+            let fam = FamilyBench::measure_with(spec, &sup, writer.as_mut());
+            let p = &fam.parallel;
+            println!(
+                "  {:<8} {:>2} cells: serial {:.3}s, parallel {:.3}s ({:.2}x), fingerprint {:#018x}{}",
+                spec.family,
+                p.cells.len(),
+                fam.serial_secs,
+                p.wall_secs,
+                fam.speedup(),
+                p.fingerprint(),
+                if fam.diverged() { "  DIVERGED" } else { "" },
+            );
+            if fam.metrics_diverged() {
+                eprintln!(
+                    "sweep: family `{}`: serial and parallel merged metrics diverged",
+                    spec.family
+                );
+                std::process::exit(1);
+            }
+            families.push(fam);
+        }
+    }
+    let mut merged_metrics = drms::trace::Metrics::new();
+    for fam in &families {
+        let p = &fam.parallel;
         merged_metrics.merge(&p.merged_metrics());
+        for q in &p.quarantined {
+            println!(
+                "  QUARANTINED {} size={} seed={} after {} attempt(s): {}",
+                p.spec.family, q.size, q.seed, q.attempts, q.error
+            );
+        }
         let plot = p.focus_plot(InputMetric::Drms);
         let fit = best_fit(&plot.points, 0.02);
         println!(
             "           focus drms plot: {} points, fit {fit}",
             plot.points.len()
         );
-        families.push(fam);
     }
     let bench = SweepBench {
         jobs: opts.jobs,
+        resumed,
         families,
     };
     if bench.diverged() {
@@ -937,8 +1037,11 @@ fn sweep_bench(opts: &Options) {
         bench.parallel_secs(),
         bench.speedup()
     );
-    fs::write(&opts.bench_out, &json).expect("write BENCH_sweep.json");
+    atomic_write(&opts.bench_out, &json).expect("write BENCH_sweep.json");
     println!("  [benchmark written to {}]", opts.bench_out.display());
+    let timings_out = opts.bench_out.with_extension("timings.json");
+    atomic_write(&timings_out, &bench.timings_json()).expect("write sweep timings");
+    println!("  [timings written to {}]", timings_out.display());
     if let Err(violations) = merged_metrics.audit() {
         eprintln!(
             "sweep: metrics audit failed ({} violations):",
@@ -950,6 +1053,6 @@ fn sweep_bench(opts: &Options) {
         std::process::exit(1);
     }
     let metrics_out = opts.bench_out.with_extension("metrics.json");
-    fs::write(&metrics_out, merged_metrics.to_json()).expect("write sweep metrics");
+    atomic_write(&metrics_out, &merged_metrics.to_json()).expect("write sweep metrics");
     println!("  [audited metrics written to {}]", metrics_out.display());
 }

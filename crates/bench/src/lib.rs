@@ -2,6 +2,8 @@
 //! benches: run workloads under each tool, measure slowdown and space,
 //! and regenerate the series behind every table and figure of the paper.
 
+pub mod artifact;
+pub mod supervisor;
 pub mod sweep;
 
 use drms::analysis::{Measurement, OverheadTable};
@@ -221,7 +223,7 @@ mod tests {
 /// |---|---|
 /// | 3 | invalid guest program ([`RunError::Validate`]) |
 /// | 4 | deadlock ([`RunError::Deadlock`]) |
-/// | 5 | watchdog instruction budget ([`RunError::InstructionLimit`]) |
+/// | 5 | watchdog budget — instruction count or wall-clock deadline ([`RunError::InstructionLimit`] / [`RunError::DeadlineExceeded`]) |
 /// | 6 | corrupt guest stack ([`RunError::CorruptStack`]) |
 /// | 7 | schedule replay failed ([`RunError::ScheduleMissing`] / [`RunError::ScheduleDiverged`]) |
 /// | 8 | any other guest error (bad address, division by zero, misused mutex, …) |
@@ -237,7 +239,7 @@ pub fn run_error_exit_code(e: &drms::vm::RunError) -> i32 {
     match e {
         RunError::Validate(_) => 3,
         RunError::Deadlock { .. } => 4,
-        RunError::InstructionLimit { .. } => 5,
+        RunError::InstructionLimit { .. } | RunError::DeadlineExceeded { .. } => 5,
         RunError::CorruptStack { .. } => 6,
         RunError::ScheduleMissing | RunError::ScheduleDiverged { .. } => 7,
         RunError::DivisionByZero { .. }
@@ -264,6 +266,7 @@ mod exit_code_tests {
             (RunError::Validate(ValidateError::BadMain), 3),
             (RunError::Deadlock { blocked: vec![] }, 4),
             (RunError::InstructionLimit { limit: 1 }, 5),
+            (RunError::DeadlineExceeded { millis: 100 }, 5),
             (
                 RunError::CorruptStack {
                     thread: ThreadId::MAIN,
@@ -306,7 +309,7 @@ mod exit_code_tests {
     #[test]
     fn every_failure_class_has_a_distinct_documented_code() {
         let cases = every_variant();
-        assert_eq!(cases.len(), 11, "one case per RunError variant");
+        assert_eq!(cases.len(), 12, "one case per RunError variant");
         for (err, code) in cases {
             let got = run_error_exit_code(&err);
             assert_eq!(got, code, "{err}");

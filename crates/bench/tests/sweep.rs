@@ -46,6 +46,7 @@ fn bench_json_round_trips_through_the_validator() {
     ];
     let bench = SweepBench {
         jobs: 2,
+        resumed: false,
         families: specs.iter().map(FamilyBench::measure).collect(),
     };
     let json = bench.to_json();
@@ -59,7 +60,8 @@ fn bench_json_round_trips_through_the_validator() {
 fn validator_rejects_foreign_json() {
     assert!(validate_bench_json("{}").is_err());
     assert!(validate_bench_json("not json at all").is_err());
-    assert!(
-        validate_bench_json(&format!("{{\"schema\": \"{BENCH_SCHEMA}\", \"jobs\": 0}}")).is_err()
-    );
+    assert!(validate_bench_json(&format!(
+        "{{\"schema\": \"{BENCH_SCHEMA}\", \"attempts\": -1}}"
+    ))
+    .is_err());
 }

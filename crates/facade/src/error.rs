@@ -8,6 +8,7 @@
 //! they need to.
 
 use drms_core::report_io::ParseReportError;
+use drms_trace::journal::ParseJournalError;
 use drms_trace::sched::ParseSchedError;
 use drms_trace::ParseTraceError;
 use drms_vm::{FaultSpecError, KernelError, RunError};
@@ -41,6 +42,11 @@ pub enum Error {
     Report(ParseReportError),
     /// A fault-plan spec string was malformed.
     Faults(FaultSpecError),
+    /// A checkpoint journal was unusable (unreadable header, spec
+    /// mismatch against the resuming sweep, …). Damaged *records* are
+    /// not errors — the lossy salvage drops them and the supervisor
+    /// re-runs the lost cells.
+    Journal(ParseJournalError),
     /// Reading or writing an artifact (report, schedule, JSON) failed.
     Io(std::io::Error),
 }
@@ -54,6 +60,7 @@ impl fmt::Display for Error {
             Error::Sched(_) => write!(f, "malformed schedule"),
             Error::Report(_) => write!(f, "malformed profile report"),
             Error::Faults(_) => write!(f, "malformed fault plan"),
+            Error::Journal(_) => write!(f, "unusable checkpoint journal"),
             Error::Io(_) => write!(f, "artifact I/O failed"),
         }
     }
@@ -68,6 +75,7 @@ impl std::error::Error for Error {
             Error::Sched(e) => Some(e),
             Error::Report(e) => Some(e),
             Error::Faults(e) => Some(e),
+            Error::Journal(e) => Some(e),
             Error::Io(e) => Some(e),
         }
     }
@@ -106,6 +114,12 @@ impl From<ParseReportError> for Error {
 impl From<FaultSpecError> for Error {
     fn from(e: FaultSpecError) -> Self {
         Error::Faults(e)
+    }
+}
+
+impl From<ParseJournalError> for Error {
+    fn from(e: ParseJournalError) -> Self {
+        Error::Journal(e)
     }
 }
 

@@ -93,6 +93,21 @@ impl<'p, 't> ProfileSession<'p, 't> {
         self
     }
 
+    /// Caps the run's wall-clock time. Exceeding it aborts with
+    /// [`RunError`](drms_vm::RunError)`::DeadlineExceeded` — a partial
+    /// outcome like any other guest abort, with a deterministic message
+    /// (the configured budget, not the elapsed time).
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.config.deadline = Some(budget);
+        self
+    }
+
+    /// Caps the run's executed instructions (the VM watchdog budget).
+    pub fn max_instructions(mut self, limit: u64) -> Self {
+        self.config.max_instructions = limit;
+        self
+    }
+
     /// Records the schedule of this run; it lands in
     /// [`ProfileOutcome::schedule`].
     pub fn record_sched(mut self) -> Self {
@@ -249,6 +264,32 @@ mod tests {
             Some(RunError::InstructionLimit { .. })
         ));
         assert!(!outcome.report.is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_yields_a_partial_outcome() {
+        let w = drms_workloads::patterns::stream_reader(8);
+        let outcome = ProfileSession::workload(&w)
+            .deadline(std::time::Duration::ZERO)
+            .run()
+            .unwrap();
+        assert!(matches!(
+            outcome.error,
+            Some(RunError::DeadlineExceeded { millis: 0 })
+        ));
+    }
+
+    #[test]
+    fn max_instructions_setter_arms_the_watchdog() {
+        let w = drms_workloads::patterns::stream_reader(64);
+        let outcome = ProfileSession::workload(&w)
+            .max_instructions(50)
+            .run()
+            .unwrap();
+        assert!(matches!(
+            outcome.error,
+            Some(RunError::InstructionLimit { limit: 50 })
+        ));
     }
 
     #[test]

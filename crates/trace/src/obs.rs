@@ -237,7 +237,12 @@ impl Metrics {
     /// 5. `<p>.lines.salvaged + <p>.lines.dropped == <p>.lines.total`
     ///    for every salvage prefix `<p>` (lossy codec accounting);
     /// 6. `shadow.cache.hit + shadow.cache.miss == shadow.cache.lookups`;
-    /// 7. every histogram's bucket counts sum to its total.
+    /// 7. every histogram's bucket counts sum to its total;
+    /// 8. `sweep.attempts == sweep.completed + sweep.retries +
+    ///    sweep.quarantined` — every supervised cell attempt either
+    ///    completed its cell, was retried, or was the final attempt of a
+    ///    quarantined cell (all four counters are additive, so the
+    ///    invariant survives grid merges).
     pub fn audit(&self) -> Result<(), Vec<String>> {
         let mut violations = Vec::new();
         let mut check_sum = |parts: &str, total_name: &str| {
@@ -285,6 +290,19 @@ impl Metrics {
                 violations.push(format!(
                     "shadow.cache.hit ({hit}) + shadow.cache.miss ({miss}) \
                      != shadow.cache.lookups ({lookups})"
+                ));
+            }
+        }
+
+        if self.counters.contains_key("sweep.attempts") {
+            let attempts = self.counter("sweep.attempts");
+            let completed = self.counter("sweep.completed");
+            let retries = self.counter("sweep.retries");
+            let quarantined = self.counter("sweep.quarantined");
+            if completed + retries + quarantined != attempts {
+                violations.push(format!(
+                    "sweep.completed ({completed}) + sweep.retries ({retries}) \
+                     + sweep.quarantined ({quarantined}) != sweep.attempts ({attempts})"
                 ));
             }
         }
@@ -357,6 +375,132 @@ impl Metrics {
         }
         out.push_str("}\n");
         out
+    }
+
+    /// Renders the registry as a compact line-per-entry text form meant
+    /// for embedding in checkpoint journals ([`crate::journal`]):
+    ///
+    /// ```text
+    /// counter <name> <value>
+    /// gauge <name> <value>
+    /// hist <name> <bounds|-> <counts> <total> <sum>
+    /// timing <name> <seconds>
+    /// ```
+    ///
+    /// Deterministic (sorted names) and lossless: [`from_lines`]
+    /// (Self::from_lines) round-trips it exactly, including timings —
+    /// journals capture the full cell state, and the determinism split
+    /// is re-applied at render time, not at checkpoint time.
+    ///
+    /// Metric names must not contain spaces (dotted names never do).
+    pub fn to_lines(&self) -> String {
+        fn csv(values: &[u64]) -> String {
+            if values.is_empty() {
+                return "-".to_string();
+            }
+            values
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter {k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist {k} {} {} {} {}",
+                csv(&h.bounds),
+                csv(&h.counts),
+                h.total,
+                h.sum
+            );
+        }
+        for (k, v) in &self.timings {
+            let _ = writeln!(out, "timing {k} {v}");
+        }
+        out
+    }
+
+    /// Parses the [`to_lines`](Self::to_lines) form back into a registry.
+    /// Blank lines are skipped; any other malformed line is an error (the
+    /// journal layer has already checksummed the payload, so damage here
+    /// means a writer bug, not file corruption).
+    pub fn from_lines(text: &str) -> Result<Metrics, String> {
+        fn uncsv(tok: &str) -> Result<Vec<u64>, String> {
+            if tok == "-" {
+                return Ok(Vec::new());
+            }
+            tok.split(',')
+                .map(|v| v.parse().map_err(|_| format!("bad number `{v}`")))
+                .collect()
+        }
+        let mut m = Metrics::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("metrics line {}: {msg}: `{line}`", i + 1);
+            let mut tok = line.split(' ');
+            let kind = tok.next().unwrap_or_default();
+            let name = tok.next().ok_or_else(|| err("missing name"))?.to_string();
+            match kind {
+                "counter" | "gauge" => {
+                    let v: u64 = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad value"))?;
+                    if kind == "counter" {
+                        m.add(name, v);
+                    } else {
+                        m.set_gauge(name, v);
+                    }
+                }
+                "hist" => {
+                    let bounds = uncsv(tok.next().ok_or_else(|| err("missing bounds"))?)
+                        .map_err(|e| err(&e))?;
+                    let counts = uncsv(tok.next().ok_or_else(|| err("missing counts"))?)
+                        .map_err(|e| err(&e))?;
+                    let total: u64 = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad total"))?;
+                    let sum: u64 = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad sum"))?;
+                    if counts.len() != bounds.len() + 1 {
+                        return Err(err("counts/bounds length mismatch"));
+                    }
+                    m.histograms.insert(
+                        name.into(),
+                        Histogram {
+                            bounds,
+                            counts,
+                            total,
+                            sum,
+                        },
+                    );
+                }
+                "timing" => {
+                    let v: f64 = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad seconds"))?;
+                    m.set_timing(name, v);
+                }
+                _ => return Err(err("unknown entry kind")),
+            }
+            if tok.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        Ok(m)
     }
 
     /// Renders the registry in the Prometheus text exposition format
@@ -513,6 +657,49 @@ mod tests {
         assert!(violations.iter().any(|v| v.contains("vm.events")));
         assert!(violations.iter().any(|v| v.contains("sched.lines")));
         assert!(violations.iter().any(|v| v.contains("shadow.cache")));
+    }
+
+    #[test]
+    fn audit_checks_sweep_attempt_accounting() {
+        let mut m = Metrics::new();
+        m.add("sweep.attempts", 7);
+        m.add("sweep.completed", 4);
+        m.add("sweep.retries", 2);
+        m.add("sweep.quarantined", 1);
+        assert_eq!(m.audit(), Ok(()));
+        m.add("sweep.retries", 1);
+        let violations = m.audit().unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("sweep.attempts")));
+    }
+
+    #[test]
+    fn line_codec_roundtrips_everything() {
+        let mut m = Metrics::new();
+        m.add("vm.events.total", 42);
+        m.set_gauge("sweep.cells", 6);
+        m.observe("kernel.transfer.cells", &[4, 64], 5);
+        m.observe("kernel.transfer.cells", &[4, 64], 1000);
+        m.observe("empty.bounds", &[], 3);
+        m.set_timing("patterns.native.secs", 0.12345678901234);
+        let text = m.to_lines();
+        let back = Metrics::from_lines(&text).unwrap();
+        assert_eq!(back, m, "{text}");
+        assert_eq!(back.to_lines(), text);
+        assert_eq!(Metrics::from_lines("").unwrap(), Metrics::new());
+    }
+
+    #[test]
+    fn line_codec_rejects_malformed_lines() {
+        for bad in [
+            "counter a",
+            "gauge g x",
+            "hist h 1,2 1,1 2",
+            "hist h 1,2 1,1,1,1 4 9",
+            "mystery m 1",
+            "counter a 1 extra",
+        ] {
+            assert!(Metrics::from_lines(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub enum RunError {
     Deadlock { blocked: Vec<BlockedThread> },
     /// The watchdog instruction budget was exhausted.
     InstructionLimit { limit: u64 },
+    /// The wall-clock deadline ([`RunConfig::deadline`]) was exceeded.
+    /// Carries the configured budget in milliseconds — never the
+    /// elapsed time — so the abort message is deterministic.
+    DeadlineExceeded { millis: u64 },
     /// Integer division or remainder by zero.
     DivisionByZero { routine: RoutineId },
     /// A memory access targeted a non-positive or out-of-range address.
@@ -123,6 +127,9 @@ impl fmt::Display for RunError {
             }
             RunError::InstructionLimit { limit } => {
                 write!(f, "instruction budget of {limit} exhausted")
+            }
+            RunError::DeadlineExceeded { millis } => {
+                write!(f, "wall-clock deadline of {millis} ms exceeded")
             }
             RunError::DivisionByZero { routine } => {
                 write!(f, "division by zero in routine {routine}")
@@ -439,7 +446,8 @@ impl<'p> Vm<'p> {
     /// errors here; they surface inside the guest as negative errno
     /// register values.
     pub fn run<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<RunStats, RunError> {
-        let result = self.run_inner(tool);
+        let started = std::time::Instant::now();
+        let result = self.run_inner(tool, started);
         if result.is_err() {
             // Flush the in-progress slice so a recorded failing run
             // replays to the same failure point.
@@ -456,11 +464,25 @@ impl<'p> Vm<'p> {
         result.map(|()| self.stats.clone())
     }
 
-    fn run_inner<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<(), RunError> {
+    fn run_inner<T: Tool + ?Sized>(
+        &mut self,
+        tool: &mut T,
+        started: std::time::Instant,
+    ) -> Result<(), RunError> {
         self.spawn_thread(self.program.main(), Vec::new(), None, tool);
         let mut current: Option<usize> = None;
         let mut runnable: Vec<bool> = Vec::new();
         loop {
+            // Wall-clock watchdog: checked once per slice so the hot
+            // instruction loop never reads the clock. A slice is bounded
+            // by the quantum, which bounds how late the abort can fire.
+            if let Some(deadline) = self.config.deadline {
+                if started.elapsed() >= deadline {
+                    return Err(RunError::DeadlineExceeded {
+                        millis: deadline.as_millis() as u64,
+                    });
+                }
+            }
             runnable.clear();
             runnable.extend(
                 self.threads
@@ -1270,6 +1292,41 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, RunError::InstructionLimit { limit: 10_000 });
+    }
+
+    #[test]
+    fn zero_deadline_aborts_before_the_first_slice() {
+        let cfg = RunConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..RunConfig::default()
+        };
+        let err = run_main(
+            |f| {
+                let _ = f.add(1, 1);
+            },
+            cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::DeadlineExceeded { millis: 0 });
+        assert!(
+            err.to_string().contains("deadline of 0 ms"),
+            "message reports the configured budget, not elapsed time"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let cfg = RunConfig {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            ..RunConfig::default()
+        };
+        run_main(
+            |f| {
+                let _ = f.add(1, 1);
+            },
+            cfg,
+        )
+        .unwrap();
     }
 
     #[test]

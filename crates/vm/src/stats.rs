@@ -61,6 +61,13 @@ pub struct RunConfig {
     /// Exceeding it aborts the run with
     /// [`RunError::InstructionLimit`](crate::RunError::InstructionLimit).
     pub max_instructions: u64,
+    /// Optional wall-clock budget for the whole run, checked once per
+    /// scheduler slice. Exceeding it aborts the run with
+    /// [`RunError::DeadlineExceeded`](crate::RunError::DeadlineExceeded);
+    /// the error reports the *configured* budget, never the elapsed
+    /// time, so aborts stay byte-deterministic. `None` (the default)
+    /// runs without a deadline.
+    pub deadline: Option<std::time::Duration>,
     /// Devices pre-opened as file descriptors `0..n`.
     pub devices: Vec<Device>,
     /// Cost measure reported to tools.
@@ -91,6 +98,7 @@ impl Default for RunConfig {
             policy: SchedPolicy::RoundRobin,
             quantum: 50,
             max_instructions: 500_000_000,
+            deadline: None,
             devices: Vec::new(),
             cost: CostKind::BasicBlocks,
             trace_blocks: false,
