@@ -57,6 +57,79 @@ cmp target/repro/crash/BENCH_base.json target/repro/crash/BENCH_resumed.json \
 cmp target/repro/crash/BENCH_base.metrics.json target/repro/crash/BENCH_resumed.metrics.json \
     || { echo "ci: resumed sweep metrics differ from uninterrupted run" >&2; exit 1; }
 
+# Service crash-safety gate: run one sweep job through the aprofd
+# daemon uninterrupted, then the same submission against a fresh state
+# dir with the daemon SIGKILLed mid-grid and restarted. Deterministic
+# job IDs line the two state dirs up by path, and the resumed
+# .bench.json / .metrics.json must be byte-identical to the
+# uninterrupted run's.
+aprofd=target/release/aprofd
+aprofctl=target/release/aprofctl
+rm -rf target/repro/aprofd
+mkdir -p target/repro/aprofd/state-a target/repro/aprofd/state-b
+spec=target/repro/aprofd/job.spec
+printf 'family stream\nsizes 6,10,14\nseeds 1,2\njobs 2\n' > "$spec"
+
+"$aprofd" --state-dir target/repro/aprofd/state-a \
+    --addr-file target/repro/aprofd/addr-a --workers 2 > /dev/null &
+daemon_a=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-a ] && break; sleep 0.01; done
+job=$("$aprofctl" --addr-file target/repro/aprofd/addr-a submit "$spec")
+"$aprofctl" --addr-file target/repro/aprofd/addr-a wait "$job" > /dev/null
+"$aprofctl" --addr-file target/repro/aprofd/addr-a shutdown > /dev/null
+wait "$daemon_a"
+
+"$aprofd" --state-dir target/repro/aprofd/state-b \
+    --addr-file target/repro/aprofd/addr-b --workers 2 > /dev/null &
+daemon_b=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-b ] && break; sleep 0.01; done
+job_b=$("$aprofctl" --addr-file target/repro/aprofd/addr-b submit "$spec")
+[ "$job" = "$job_b" ] \
+    || { echo "ci: aprofd job ids are not deterministic ($job vs $job_b)" >&2; exit 1; }
+for _ in $(seq 1 500); do
+    cells=$(grep -c '^@rec cell' "target/repro/aprofd/state-b/job-$job_b.journal" 2>/dev/null) || cells=0
+    [ "$cells" -ge 2 ] && break
+    kill -0 "$daemon_b" 2>/dev/null || break
+    sleep 0.01
+done
+kill -KILL "$daemon_b" 2>/dev/null || true
+wait "$daemon_b" 2>/dev/null || true
+"$aprofd" --state-dir target/repro/aprofd/state-b \
+    --addr-file target/repro/aprofd/addr-b2 --workers 2 > /dev/null &
+daemon_b2=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-b2 ] && break; sleep 0.01; done
+"$aprofctl" --addr-file target/repro/aprofd/addr-b2 wait "$job_b" > /dev/null
+"$aprofctl" --addr-file target/repro/aprofd/addr-b2 shutdown > /dev/null
+wait "$daemon_b2"
+cmp "target/repro/aprofd/state-a/job-$job.bench.json" \
+    "target/repro/aprofd/state-b/job-$job_b.bench.json" \
+    || { echo "ci: daemon-resumed bench JSON differs from uninterrupted run" >&2; exit 1; }
+cmp "target/repro/aprofd/state-a/job-$job.metrics.json" \
+    "target/repro/aprofd/state-b/job-$job_b.metrics.json" \
+    || { echo "ci: daemon-resumed metrics differ from uninterrupted run" >&2; exit 1; }
+
+# Load-shedding gate: an admit-only daemon (no workers) with a 2-slot
+# queue takes two submissions, then sheds the third with the typed
+# retry-after refusal (aprofctl exit code 3), and stays healthy.
+rm -rf target/repro/aprofd/state-shed
+"$aprofd" --state-dir target/repro/aprofd/state-shed \
+    --addr-file target/repro/aprofd/addr-shed --workers 0 --queue-cap 2 > /dev/null &
+daemon_shed=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-shed ] && break; sleep 0.01; done
+ctl_shed="$aprofctl --addr-file target/repro/aprofd/addr-shed"
+$ctl_shed submit "$spec" > /dev/null
+$ctl_shed submit "$spec" > /dev/null
+shed_rc=0
+shed_msg=$($ctl_shed --retries 1 submit "$spec" 2>&1) || shed_rc=$?
+[ "$shed_rc" -eq 3 ] \
+    || { echo "ci: full-queue submission should shed with exit 3, got $shed_rc" >&2; exit 1; }
+echo "$shed_msg" | grep -q "queue full" \
+    || { echo "ci: shed refusal lacks the typed reason: $shed_msg" >&2; exit 1; }
+$ctl_shed health | grep -q "queued 2" \
+    || { echo "ci: shed submission perturbed the queue" >&2; exit 1; }
+$ctl_shed shutdown > /dev/null
+wait "$daemon_shed"
+
 # Metrics smoke gate: the same workload + seed twice must render a
 # byte-identical metrics export (aprof exits non-zero if the registry
 # fails its self-consistency audit).

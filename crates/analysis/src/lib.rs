@@ -42,4 +42,4 @@ pub use metrics::{
 pub use overhead::{geometric_mean, Measurement, OverheadTable};
 pub use plot::{CostPlot, InputMetric};
 pub use predict::{crossover, predict, validation_error, Prediction};
-pub use render::{ascii_plot, report_summary, to_csv, to_gnuplot, to_table};
+pub use render::{ascii_plot, report_summary, sweep_snapshot, to_csv, to_gnuplot, to_table};

@@ -211,6 +211,34 @@ pub fn report_summary(
     )
 }
 
+/// Renders an in-flight sweep snapshot: completion ratio, the current
+/// best-fit cost model over the cells that have landed so far, and the
+/// partial drms plot. Meant to be re-rendered as cells complete — a
+/// live profiling service calls this on every `/jobs/{id}/report`
+/// request, so polling it is watching the cost model converge.
+///
+/// # Example
+/// ```
+/// use drms_analysis::render::sweep_snapshot;
+/// let pts = [(4u64, 16u64), (8, 64)];
+/// let text = sweep_snapshot("stream", &pts, 2, 6);
+/// assert!(text.contains("2/6 cells"));
+/// assert!(text.contains("fit so far"));
+/// ```
+pub fn sweep_snapshot(title: &str, points: &[(u64, u64)], done: usize, total: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "snapshot {title}: {done}/{total} cells");
+    if points.len() >= 2 {
+        let fit = crate::fit::best_fit(points, 0.02);
+        let _ = writeln!(out, "fit so far: {fit}");
+    } else {
+        let _ = writeln!(out, "fit so far: (need at least 2 points)");
+    }
+    let f: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+    out.push_str(&ascii_plot(&f, 48, 12, title));
+    out
+}
+
 #[cfg(test)]
 mod summary_tests {
     use super::*;

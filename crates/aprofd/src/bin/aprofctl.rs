@@ -1,0 +1,201 @@
+//! `aprofctl` — line client for the `aprofd` profiling service.
+//!
+//! ```text
+//! aprofctl [--addr HOST:PORT | --addr-file FILE] [--retries N] CMD ...
+//!
+//!   submit [SPEC-FILE]        submit a job spec (stdin when omitted); prints the id
+//!   status ID                 one job's status lines
+//!   wait ID [--timeout-ms N]  poll until the job finishes
+//!   report ID [--since N]     snapshot (or delta) report of a live or done job
+//!   metrics [ID]              daemon (or per-job) metrics as Prometheus text
+//!   health                    daemon health lines
+//!   shutdown                  begin the graceful drain
+//! ```
+//!
+//! Retries are the supervisor's discipline: exponential backoff with
+//! seeded FNV-1a jitter, honoring the server's `X-Retry-After-Ms` when
+//! a submission is shed.
+//!
+//! Exit codes: 0 ok · 1 transport/daemon failure · 2 usage ·
+//! 3 shed after retries · 4 job failed · 5 wait timed out.
+
+use drms_aprofd::client::{Client, ClientError};
+use std::io::Read as _;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aprofctl [--addr HOST:PORT | --addr-file FILE] [--retries N] CMD ...\n\
+         \n\
+         commands:\n\
+         \x20 submit [SPEC-FILE]        submit a job spec (stdin when omitted); prints the id\n\
+         \x20 status ID                 one job's status lines\n\
+         \x20 wait ID [--timeout-ms N]  poll until the job finishes (default 120000)\n\
+         \x20 report ID [--since N]     snapshot (or delta) report\n\
+         \x20 metrics [ID]              daemon (or per-job) metrics\n\
+         \x20 health                    daemon health lines\n\
+         \x20 shutdown                  begin the graceful drain"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display, code: i32) -> ! {
+    eprintln!("aprofctl: {msg}");
+    std::process::exit(code);
+}
+
+/// Runs one request, mapping terminal outcomes to exit codes: shed
+/// exhaustion is 3 (distinct, scriptable), transport failure is 1.
+fn run(client: &Client, method: &str, path: &str, body: &str) -> drms_aprofd::http::Reply {
+    match client.request(method, path, body) {
+        Ok(reply) => reply,
+        Err(e @ ClientError::Shed(_)) => fail(e, 3),
+        Err(e) => fail(e, 1),
+    }
+}
+
+/// The `state` line of a status body, if present.
+fn state_of(body: &str) -> Option<&str> {
+    body.lines().find_map(|l| l.strip_prefix("state "))
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut retries: Option<u32> = None;
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--addr-file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => addr = Some(text.trim().to_string()),
+                    Err(e) => fail(format!("cannot read addr file `{path}`: {e}"), 1),
+                }
+            }
+            "--retries" => retries = args.next().and_then(|v| v.parse().ok()),
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        fail("--addr or --addr-file is required", 2);
+    };
+    let mut client = Client::new(addr);
+    if let Some(n) = retries {
+        client.attempts = n.max(1);
+    }
+
+    let mut rest = rest.into_iter();
+    let cmd = rest.next().unwrap_or_else(|| usage());
+    match cmd.as_str() {
+        "submit" => {
+            let spec = match rest.next() {
+                Some(path) => std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(format!("cannot read `{path}`: {e}"), 1)),
+                None => {
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .unwrap_or_else(|e| fail(format!("cannot read stdin: {e}"), 1));
+                    buf
+                }
+            };
+            let reply = run(&client, "POST", "/jobs", &spec);
+            if reply.status != 200 {
+                fail(reply.body.trim_end(), 1);
+            }
+            print!("{}", reply.body);
+        }
+        "status" => {
+            let id = rest.next().unwrap_or_else(|| usage());
+            let reply = run(&client, "GET", &format!("/jobs/{id}"), "");
+            if reply.status != 200 {
+                fail(reply.body.trim_end(), 1);
+            }
+            print!("{}", reply.body);
+        }
+        "wait" => {
+            let id = rest.next().unwrap_or_else(|| usage());
+            let mut timeout_ms = 120_000u64;
+            if rest.next().as_deref() == Some("--timeout-ms") {
+                timeout_ms = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+            loop {
+                let reply = run(&client, "GET", &format!("/jobs/{id}"), "");
+                if reply.status != 200 {
+                    fail(reply.body.trim_end(), 1);
+                }
+                match state_of(&reply.body) {
+                    Some("done") => {
+                        print!("{}", reply.body);
+                        return;
+                    }
+                    Some("failed") => {
+                        eprint!("{}", reply.body);
+                        std::process::exit(4);
+                    }
+                    _ => {}
+                }
+                if Instant::now() >= deadline {
+                    fail(
+                        format!("job {id} still not finished after {timeout_ms} ms"),
+                        5,
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        "report" => {
+            let id = rest.next().unwrap_or_else(|| usage());
+            let mut path = format!("/jobs/{id}/report");
+            if rest.next().as_deref() == Some("--since") {
+                let n: u64 = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                path.push_str(&format!("?since={n}"));
+            }
+            let reply = run(&client, "GET", &path, "");
+            if reply.status != 200 {
+                fail(reply.body.trim_end(), 1);
+            }
+            print!("{}", reply.body);
+        }
+        "metrics" => {
+            let path = match rest.next() {
+                Some(id) => format!("/jobs/{id}/metrics"),
+                None => "/metrics".to_string(),
+            };
+            let reply = run(&client, "GET", &path, "");
+            if reply.status != 200 {
+                fail(reply.body.trim_end(), 1);
+            }
+            print!("{}", reply.body);
+        }
+        "health" => {
+            let reply = run(&client, "GET", "/healthz", "");
+            if reply.status != 200 {
+                fail(reply.body.trim_end(), 1);
+            }
+            print!("{}", reply.body);
+        }
+        "shutdown" => {
+            let reply = run(&client, "POST", "/shutdown", "");
+            if reply.status != 200 {
+                fail(reply.body.trim_end(), 1);
+            }
+            print!("{}", reply.body);
+        }
+        _ => usage(),
+    }
+}

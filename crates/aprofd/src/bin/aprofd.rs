@@ -1,0 +1,156 @@
+//! `aprofd` — the profiling service daemon.
+//!
+//! ```text
+//! aprofd --state-dir DIR [--addr 127.0.0.1:0] [--addr-file FILE]
+//!        [--workers N] [--queue-cap N] [--tenant-queued N] [--tenant-running N]
+//! ```
+//!
+//! Binds, prints `aprofd listening on <addr>` (and writes the address
+//! to `--addr-file` for scripts that bound port 0), restores any
+//! journaled jobs found in the state directory, then serves until a
+//! graceful drain completes. SIGTERM and `POST /shutdown` both begin
+//! the drain: submissions are refused, running jobs finish, queued
+//! jobs stay on disk for the next start. SIGKILL is the crash path the
+//! journal exists for — restart with the same `--state-dir` and every
+//! unfinished job resumes to byte-identical artifacts.
+
+use drms_aprofd::daemon::{serve, Daemon, DaemonConfig};
+use drms_aprofd::queue::QueueConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Set by the SIGTERM handler; polled by the drain watcher thread.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_term` for SIGTERM (15) via the libc `signal` the Rust
+/// runtime already links — the workspace is dependency-free, so no
+/// `libc` crate.
+fn install_sigterm() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(15, on_term);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aprofd --state-dir DIR [--addr HOST:PORT] [--addr-file FILE]\n\
+         \x20             [--workers N] [--queue-cap N] [--tenant-queued N] [--tenant-running N]\n\
+         \n\
+         --state-dir DIR     job specs, journals, and artifacts (required)\n\
+         --addr HOST:PORT    bind address (default 127.0.0.1:0)\n\
+         --addr-file FILE    write the bound address here (for port 0)\n\
+         --workers N         concurrent jobs; 0 = admit-only (default 2)\n\
+         --queue-cap N       queued jobs before submissions shed (default 64)\n\
+         --tenant-queued N   queued jobs per tenant before shed (default 16)\n\
+         --tenant-running N  running jobs per tenant (default 2)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(flag: &str, v: Option<String>) -> usize {
+    match v.and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("{flag} needs a number");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut state_dir: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut addr_file: Option<PathBuf> = None;
+    let mut workers = 2usize;
+    let mut queue = QueueConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--state-dir" => state_dir = args.next().map(PathBuf::from),
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--addr-file" => addr_file = args.next().map(PathBuf::from),
+            "--workers" => workers = parse_num("--workers", args.next()),
+            "--queue-cap" => queue.capacity = parse_num("--queue-cap", args.next()),
+            "--tenant-queued" => {
+                queue.tenant_queued_cap = parse_num("--tenant-queued", args.next())
+            }
+            "--tenant-running" => {
+                queue.tenant_running_cap = parse_num("--tenant-running", args.next())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(state_dir) = state_dir else {
+        eprintln!("--state-dir is required");
+        usage();
+    };
+    if queue.capacity == 0 {
+        eprintln!("--queue-cap must be >= 1 (0 would shed every submission)");
+        std::process::exit(2);
+    }
+
+    install_sigterm();
+
+    let daemon = match Daemon::new(DaemonConfig {
+        state_dir,
+        workers,
+        queue,
+    }) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("aprofd: state dir unusable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("aprofd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    println!("aprofd listening on {bound}");
+    if let Some(path) = addr_file {
+        if let Err(e) = drms_bench::artifact::atomic_write(&path, &format!("{bound}\n")) {
+            eprintln!("aprofd: cannot write addr file: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let handles = daemon.spawn_workers();
+
+    // Bridge SIGTERM to the graceful drain.
+    {
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || loop {
+            if TERM.load(Ordering::SeqCst) {
+                d.begin_drain();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
+    if let Err(e) = serve(Arc::clone(&daemon), listener) {
+        eprintln!("aprofd: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    println!("aprofd drained");
+}

@@ -1,0 +1,762 @@
+//! The daemon: job store, worker pool, endpoints, and restart-resume.
+//!
+//! Every job lives in the state directory as a small family of files
+//! keyed by its deterministic ID:
+//!
+//! ```text
+//! job-<id>.spec          canonical spec + submission counter (written at admission)
+//! job-<id>.journal       per-job checkpoint journal (supervisor-appended, fsynced)
+//! job-<id>.bench.json    drms-sweep-v2 artifact (atomic, deterministic)
+//! job-<id>.report.txt    merged profile report (atomic, deterministic)
+//! job-<id>.metrics.json  merged metrics registry (atomic, deterministic)
+//! job-<id>.done          completion summary (atomic; presence = job finished)
+//! job-<id>.failed        failure summary (atomic; presence = job failed)
+//! ```
+//!
+//! The `.spec` file is the durability point: a submission is
+//! acknowledged only after its spec is atomically on disk, so a
+//! `kill -9` at *any* later moment leaves either a finished job (done
+//! marker present) or a resumable one (spec present, journal salvaged
+//! by [`resume_sweep`], missing cells re-run). Restart scans the
+//! directory, restores the submission counter, and re-queues every
+//! unfinished job — artifacts come out byte-identical to an
+//! uninterrupted run.
+
+use crate::http::{Request, Response};
+use crate::queue::{Admission, AdmissionQueue, QueueConfig};
+use crate::spec::{job_id, JobSpec};
+use drms::analysis::{sweep_snapshot, CostPlot, InputMetric};
+use drms::trace::journal;
+use drms::trace::Metrics;
+use drms_bench::artifact::atomic_write;
+use drms_bench::supervisor::{
+    decode_cell_payload, profile_cell, resume_sweep, run_supervised_with, JournalWriter,
+};
+use drms_bench::sweep::{family_workload, FamilyBench, SweepBench, SweepCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration (CLI flags map 1:1 onto this).
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Directory holding specs, journals, and artifacts.
+    pub state_dir: PathBuf,
+    /// Concurrent jobs. `0` is a valid admission-only mode (jobs queue
+    /// but never run) used by tests and the CI full-queue gate.
+    pub workers: usize,
+    /// Admission bounds.
+    pub queue: QueueConfig,
+}
+
+/// Lifecycle state of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is sweeping its grid.
+    Running,
+    /// Finished; artifacts and the done marker are on disk.
+    Done,
+    /// Could not run (journal spec mismatch, I/O failure). The string
+    /// is the human-readable cause.
+    Failed(String),
+}
+
+impl JobState {
+    /// The wire name of this state (the `state` line of `/jobs/{id}`).
+    pub fn as_str(&self) -> &str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Attempt/retry accounting of a finished job (mirrors the sweep's own
+/// derived counters, so a resumed job reports identical numbers).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Total cell attempts.
+    pub attempts: u64,
+    /// Attempts beyond the first, per cell, summed.
+    pub retries: u64,
+    /// Cells quarantined after exhausting their attempts.
+    pub quarantined: u64,
+    /// Completed cells.
+    pub cells: u64,
+    /// Fingerprint of the merged report (`drms-sweep-v2` discipline).
+    pub fingerprint: u64,
+}
+
+impl JobSummary {
+    fn to_text(&self) -> String {
+        format!(
+            "attempts {}\nretries {}\nquarantined {}\ncells {}\nfingerprint {:016x}\n",
+            self.attempts, self.retries, self.quarantined, self.cells, self.fingerprint
+        )
+    }
+
+    fn parse(text: &str) -> JobSummary {
+        let mut s = JobSummary::default();
+        for line in text.lines() {
+            let Some((k, v)) = line.split_once(' ') else {
+                continue;
+            };
+            match k {
+                "attempts" => s.attempts = v.parse().unwrap_or(0),
+                "retries" => s.retries = v.parse().unwrap_or(0),
+                "quarantined" => s.quarantined = v.parse().unwrap_or(0),
+                "cells" => s.cells = v.parse().unwrap_or(0),
+                "fingerprint" => s.fingerprint = u64::from_str_radix(v, 16).unwrap_or(0),
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    submitted: u64,
+    state: JobState,
+    resumed: bool,
+    summary: Option<JobSummary>,
+}
+
+struct Inner {
+    entries: BTreeMap<String, JobEntry>,
+    queue: AdmissionQueue,
+    counter: u64,
+    running_jobs: usize,
+}
+
+/// The shared daemon state. Cheap to clone behind an [`Arc`]; the
+/// worker pool, the accept loop, and every connection handler hold one.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    metrics: Mutex<Metrics>,
+    draining: AtomicBool,
+}
+
+impl Daemon {
+    /// Creates the daemon over `cfg.state_dir`, creating the directory
+    /// and restoring every journaled job found in it: done/failed jobs
+    /// load as records, unfinished ones re-queue for resume in
+    /// submission order, and the submission counter continues past the
+    /// highest restored value (so new job IDs never collide).
+    pub fn new(cfg: DaemonConfig) -> std::io::Result<Arc<Daemon>> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        let mut inner = Inner {
+            entries: BTreeMap::new(),
+            queue: AdmissionQueue::new(cfg.queue.clone()),
+            counter: 0,
+            running_jobs: 0,
+        };
+        let mut metrics = Metrics::new();
+
+        let mut restored: Vec<(u64, String, String)> = Vec::new(); // (submitted, id, tenant)
+        for entry in std::fs::read_dir(&cfg.state_dir)? {
+            let name = entry?.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("job-"))
+                .and_then(|n| n.strip_suffix(".spec"))
+            else {
+                continue;
+            };
+            let id = id.to_string();
+            let text = std::fs::read_to_string(cfg.state_dir.join(&*name))?;
+            let mut submitted = 0u64;
+            let mut spec_lines = String::new();
+            for line in text.lines() {
+                if let Some(v) = line.strip_prefix("submitted ") {
+                    submitted = v.parse().unwrap_or(0);
+                } else {
+                    spec_lines.push_str(line);
+                    spec_lines.push('\n');
+                }
+            }
+            let spec = match JobSpec::parse(&spec_lines) {
+                Ok(s) => s,
+                Err(e) => {
+                    // A spec this daemon once accepted no longer parses
+                    // (config drift): record the failure, don't crash.
+                    metrics.inc("aprofd.jobs.unloadable");
+                    inner.entries.insert(
+                        id,
+                        JobEntry {
+                            spec: JobSpec::default(),
+                            submitted,
+                            state: JobState::Failed(format!("unloadable spec: {e}")),
+                            resumed: true,
+                            summary: None,
+                        },
+                    );
+                    continue;
+                }
+            };
+            inner.counter = inner.counter.max(submitted);
+            let done = cfg.state_dir.join(format!("job-{id}.done"));
+            let failed = cfg.state_dir.join(format!("job-{id}.failed"));
+            let (state, summary) = if let Ok(t) = std::fs::read_to_string(&done) {
+                (JobState::Done, Some(JobSummary::parse(&t)))
+            } else if let Ok(t) = std::fs::read_to_string(&failed) {
+                (JobState::Failed(t.trim().to_string()), None)
+            } else {
+                restored.push((submitted, id.clone(), spec.tenant.clone()));
+                (JobState::Queued, None)
+            };
+            inner.entries.insert(
+                id,
+                JobEntry {
+                    spec,
+                    submitted,
+                    state,
+                    resumed: true,
+                    summary,
+                },
+            );
+        }
+        // Re-queue unfinished jobs in their original submission order,
+        // bypassing admission caps (they were admitted pre-crash).
+        restored.sort();
+        for (_, id, tenant) in restored {
+            inner.queue.restore(&tenant, &id);
+            metrics.inc("aprofd.jobs.restored");
+        }
+        metrics.set_gauge("aprofd.queue.depth", inner.queue.queued() as u64);
+
+        Ok(Arc::new(Daemon {
+            cfg,
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+            metrics: Mutex::new(metrics),
+            draining: AtomicBool::new(false),
+        }))
+    }
+
+    fn job_path(&self, id: &str, suffix: &str) -> PathBuf {
+        self.cfg.state_dir.join(format!("job-{id}.{suffix}"))
+    }
+
+    /// Begins the graceful drain: submissions are refused with a typed
+    /// 503, running jobs finish, queued jobs stay durable on disk for
+    /// the next start. Idempotent.
+    pub fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.metrics.lock().unwrap().inc("aprofd.drains");
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether the drain has finished (no job mid-run). Queued jobs do
+    /// not block exit — their specs are durable and the next start
+    /// resumes them.
+    pub fn drain_complete(&self) -> bool {
+        self.is_draining() && self.inner.lock().unwrap().running_jobs == 0
+    }
+
+    /// Spawns the worker pool (`cfg.workers` threads).
+    pub fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.cfg.workers)
+            .map(|_| {
+                let d = Arc::clone(self);
+                std::thread::spawn(move || d.worker_loop())
+            })
+            .collect()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let popped = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if let Some((tenant, id)) = inner.queue.pop_fair() {
+                        inner.running_jobs += 1;
+                        if let Some(e) = inner.entries.get_mut(&id) {
+                            e.state = JobState::Running;
+                        }
+                        break Some((tenant, id));
+                    }
+                    if self.is_draining() {
+                        break None;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(inner, Duration::from_millis(100))
+                        .unwrap();
+                    inner = guard;
+                }
+            };
+            let Some((tenant, id)) = popped else {
+                return;
+            };
+            self.publish_depth();
+            let outcome = self.run_job(&id);
+            {
+                let mut inner = self.inner.lock().unwrap();
+                inner.queue.finished(&tenant);
+                inner.running_jobs -= 1;
+                if let Some(e) = inner.entries.get_mut(&id) {
+                    match outcome {
+                        Ok(summary) => {
+                            e.state = JobState::Done;
+                            e.summary = Some(summary);
+                        }
+                        Err(msg) => e.state = JobState::Failed(msg),
+                    }
+                }
+            }
+            let mut m = self.metrics.lock().unwrap();
+            m.inc("aprofd.jobs.finished");
+            drop(m);
+            self.publish_depth();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Runs (or resumes) one job to its artifacts. Every failure mode
+    /// the sweep itself can absorb — panics, deadlines, budgets,
+    /// transient faults — is already the supervisor's business; only
+    /// setup-level failures (journal unusable, artifact I/O) fail the
+    /// job, and those are recorded durably in the `.failed` marker.
+    fn run_job(&self, id: &str) -> Result<JobSummary, String> {
+        let spec = {
+            let inner = self.inner.lock().unwrap();
+            match inner.entries.get(id) {
+                Some(e) => e.spec.clone(),
+                None => return Err("job vanished from the store".to_string()),
+            }
+        };
+        let sweep_spec = spec.sweep_spec();
+        let opts = spec.supervisor_options();
+        let journal_path = self.job_path(id, "journal");
+
+        let journal_bytes = std::fs::metadata(&journal_path)
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let (result, resumed) = if journal_bytes > 0 {
+            match resume_sweep(&sweep_spec, &opts, &journal_path) {
+                Ok((result, report)) => {
+                    let mut m = self.metrics.lock().unwrap();
+                    m.inc("aprofd.jobs.resumed");
+                    m.merge(&report.metrics)
+                        .map_err(|e| format!("resume metrics merge: {e}"))?;
+                    drop(m);
+                    (result, true)
+                }
+                Err(e) => {
+                    let msg = render_error_chain(&e);
+                    let _ = atomic_write(&self.job_path(id, "failed"), &msg);
+                    return Err(msg);
+                }
+            }
+        } else {
+            let mut writer = JournalWriter::create(&journal_path)
+                .map_err(|e| self.fail_job(id, format!("journal create: {e}")))?;
+            (
+                run_supervised_with(&sweep_spec, &opts, Some(&mut writer), &profile_cell),
+                false,
+            )
+        };
+
+        let summary = JobSummary {
+            attempts: result.attempts(),
+            retries: result.retries(),
+            quarantined: result.quarantined.len() as u64,
+            cells: result.cells.len() as u64,
+            fingerprint: result.fingerprint(),
+        };
+        let report_text = result.merged_report_text();
+        let metrics_json = result.merged_metrics().to_json();
+        let bench = SweepBench {
+            jobs: spec.jobs,
+            resumed,
+            families: vec![FamilyBench::from_resumed(result)],
+        };
+        let write = |suffix: &str, contents: &str| {
+            atomic_write(&self.job_path(id, suffix), contents)
+                .map_err(|e| self.fail_job(id, format!("artifact `{suffix}`: {e}")))
+        };
+        write("bench.json", &bench.to_json())?;
+        write("report.txt", &report_text)?;
+        write("metrics.json", &metrics_json)?;
+        write("done", &summary.to_text())?;
+        Ok(summary)
+    }
+
+    /// Records a job failure durably and returns the message (for use
+    /// as the in-memory state).
+    fn fail_job(&self, id: &str, msg: String) -> String {
+        let _ = atomic_write(&self.job_path(id, "failed"), &msg);
+        msg
+    }
+
+    fn publish_depth(&self) {
+        let (queued, running) = {
+            let inner = self.inner.lock().unwrap();
+            (inner.queue.queued(), inner.running_jobs)
+        };
+        let mut m = self.metrics.lock().unwrap();
+        m.set_gauge("aprofd.queue.depth", queued as u64);
+        m.set_gauge("aprofd.jobs.running", running as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Endpoints
+    // ------------------------------------------------------------------
+
+    /// Routes one request. Pure with respect to the connection — tests
+    /// call this directly without a socket.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.metrics.lock().unwrap().inc("aprofd.http.requests");
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => Response::ok(self.metrics.lock().unwrap().to_prometheus()),
+            ("POST", "/jobs") => self.submit(&req.body),
+            ("POST", "/shutdown") => {
+                self.begin_drain();
+                Response::ok("draining\n")
+            }
+            ("GET", path) => {
+                if let Some(rest) = path.strip_prefix("/jobs/") {
+                    match rest.split_once('/') {
+                        None => self.job_status(rest),
+                        Some((id, "report")) => self.job_report(id, req.query_u64("since")),
+                        Some((id, "metrics")) => self.job_metrics(id),
+                        Some(_) => Response::text(404, "not found\n"),
+                    }
+                } else {
+                    Response::text(404, "not found\n")
+                }
+            }
+            _ => Response::text(404, "not found\n"),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let inner = self.inner.lock().unwrap();
+        let done = inner
+            .entries
+            .values()
+            .filter(|e| e.state == JobState::Done)
+            .count();
+        Response::ok(format!(
+            "ok\nqueued {}\nrunning {}\ndone {}\njobs {}\ndraining {}\n",
+            inner.queue.queued(),
+            inner.running_jobs,
+            done,
+            inner.entries.len(),
+            self.is_draining() as u8,
+        ))
+    }
+
+    /// Admission: parse → validate → durably persist the spec → queue.
+    /// The bounded queue makes the refusal typed and explicit; nothing
+    /// about a shed submission is retained.
+    fn submit(&self, body: &str) -> Response {
+        if self.is_draining() {
+            self.metrics
+                .lock()
+                .unwrap()
+                .inc("aprofd.jobs.refused_draining");
+            return Response::shed(503, 1000, "draining: submissions refused; retry later\n");
+        }
+        let spec = match JobSpec::parse(body) {
+            Ok(s) => s,
+            Err(e) => {
+                self.metrics
+                    .lock()
+                    .unwrap()
+                    .inc("aprofd.jobs.rejected_spec");
+                return Response::text(400, format!("rejected: {e}\n"));
+            }
+        };
+        let (id, decision) = {
+            let mut inner = self.inner.lock().unwrap();
+            let submitted = inner.counter + 1;
+            let id = job_id(&spec, submitted);
+            let decision = inner.queue.offer(&spec.tenant, &id);
+            if decision == Admission::Queued {
+                inner.counter = submitted;
+                // Durability point: acknowledge only after the spec is
+                // atomically on disk. Failure to persist is a refusal,
+                // not a half-admitted job.
+                let spec_text = format!("{}submitted {submitted}\n", spec.canonical_text());
+                if let Err(e) = atomic_write(&self.job_path(&id, "spec"), &spec_text) {
+                    // The queued slot drains harmlessly: a worker pops the
+                    // id, finds no entry, and records nothing.
+                    return Response::text(500, format!("spec persist failed: {e}\n"));
+                }
+                inner.entries.insert(
+                    id.clone(),
+                    JobEntry {
+                        spec: spec.clone(),
+                        submitted,
+                        state: JobState::Queued,
+                        resumed: false,
+                        summary: None,
+                    },
+                );
+            }
+            (id, decision)
+        };
+        let mut m = self.metrics.lock().unwrap();
+        match decision {
+            Admission::Queued => {
+                m.inc("aprofd.jobs.submitted");
+                drop(m);
+                self.publish_depth();
+                self.cv.notify_all();
+                Response::ok(format!("{id}\n"))
+            }
+            Admission::ShedFull {
+                queued,
+                retry_after_ms,
+            } => {
+                m.inc("aprofd.jobs.shed_full");
+                Response::shed(
+                    429,
+                    retry_after_ms,
+                    format!(
+                        "shed: queue full ({queued} queued); retry after {retry_after_ms} ms\n"
+                    ),
+                )
+            }
+            Admission::ShedTenant {
+                queued,
+                retry_after_ms,
+            } => {
+                m.inc("aprofd.jobs.shed_tenant");
+                Response::shed(
+                    429,
+                    retry_after_ms,
+                    format!(
+                        "shed: tenant quota exhausted ({queued} queued); retry after {retry_after_ms} ms\n"
+                    ),
+                )
+            }
+        }
+    }
+
+    fn job_status(&self, id: &str) -> Response {
+        let inner = self.inner.lock().unwrap();
+        let Some(e) = inner.entries.get(id) else {
+            return Response::text(404, format!("no such job `{id}`\n"));
+        };
+        let total = e.spec.grid_len();
+        let mut out = String::new();
+        let _ = writeln!(out, "id {id}");
+        let _ = writeln!(out, "tenant {}", e.spec.tenant);
+        let _ = writeln!(out, "family {}", e.spec.family);
+        let _ = writeln!(out, "state {}", e.state.as_str());
+        let _ = writeln!(out, "submitted {}", e.submitted);
+        let _ = writeln!(out, "resumed {}", e.resumed as u8);
+        match (&e.state, &e.summary) {
+            (JobState::Done, Some(s)) => {
+                let _ = writeln!(out, "cells {}/{total}", s.cells);
+                let _ = writeln!(out, "attempts {}", s.attempts);
+                let _ = writeln!(out, "retries {}", s.retries);
+                let _ = writeln!(out, "quarantined {}", s.quarantined);
+                let _ = writeln!(out, "fingerprint {:016x}", s.fingerprint);
+            }
+            (JobState::Failed(msg), _) => {
+                let _ = writeln!(out, "error {}", msg.replace('\n', " "));
+            }
+            _ => {
+                // Live accounting straight from the journal: cells land
+                // there (fsynced) the moment they finish.
+                drop(inner);
+                let (cells, attempts, quarantined) = self.live_accounting(id);
+                let _ = writeln!(out, "cells {cells}/{total}");
+                let _ = writeln!(out, "attempts {attempts}");
+                let _ = writeln!(out, "quarantined {quarantined}");
+            }
+        }
+        Response::ok(out)
+    }
+
+    /// Salvages the job's journal (tolerating the torn tail of a live
+    /// append) and decodes its completed cells in record order.
+    fn live_cells(&self, id: &str) -> Vec<(usize, SweepCell)> {
+        let Ok(text) = std::fs::read_to_string(self.job_path(id, "journal")) else {
+            return Vec::new();
+        };
+        let salvaged = journal::from_text_lossy(&text);
+        let mut cells = Vec::new();
+        for rec in &salvaged.records {
+            let mut tok = rec.meta.split(' ');
+            if tok.next() != Some("cell") {
+                continue;
+            }
+            let (Some(_family), Some(idx), Some("ok")) = (tok.next(), tok.next(), tok.next())
+            else {
+                continue;
+            };
+            let Ok(idx) = idx.parse::<usize>() else {
+                continue;
+            };
+            if let Ok(cell) = decode_cell_payload(&rec.payload) {
+                cells.push((idx, cell));
+            }
+        }
+        cells
+    }
+
+    fn live_accounting(&self, id: &str) -> (usize, u64, usize) {
+        let Ok(text) = std::fs::read_to_string(self.job_path(id, "journal")) else {
+            return (0, 0, 0);
+        };
+        let salvaged = journal::from_text_lossy(&text);
+        let mut cells = 0usize;
+        let mut quarantined = 0usize;
+        let mut attempts = 0u64;
+        for rec in &salvaged.records {
+            if !rec.meta.starts_with("cell ") {
+                continue;
+            }
+            if rec.meta.ends_with(" ok") {
+                cells += 1;
+                if let Ok(c) = decode_cell_payload(&rec.payload) {
+                    attempts += c.attempts as u64;
+                }
+            } else if rec.meta.ends_with(" quarantined") {
+                quarantined += 1;
+            }
+        }
+        (cells, attempts, quarantined)
+    }
+
+    /// Snapshot (`/jobs/{id}/report`) and delta
+    /// (`/jobs/{id}/report?since=N`) rendering of a live run, straight
+    /// from the journal. Done jobs serve their final artifact.
+    fn job_report(&self, id: &str, since: Option<u64>) -> Response {
+        let (state, family, total) = {
+            let inner = self.inner.lock().unwrap();
+            let Some(e) = inner.entries.get(id) else {
+                return Response::text(404, format!("no such job `{id}`\n"));
+            };
+            (e.state.clone(), e.spec.family.clone(), e.spec.grid_len())
+        };
+        if since.is_none() && state == JobState::Done {
+            return match std::fs::read_to_string(self.job_path(id, "report.txt")) {
+                Ok(text) => Response::ok(text),
+                Err(e) => Response::text(500, format!("artifact unreadable: {e}\n")),
+            };
+        }
+        let cells = self.live_cells(id);
+        let mut out = String::new();
+        let _ = writeln!(out, "cursor {}", cells.len());
+        let skip = since.unwrap_or(0) as usize;
+        for (idx, cell) in cells.iter().skip(skip) {
+            let _ = writeln!(
+                out,
+                "cell {idx} size {} seed {} attempts {} shadow_bytes {}",
+                cell.size, cell.seed, cell.attempts, cell.shadow_bytes
+            );
+        }
+        if since.is_none() {
+            // Full snapshot: the partial drms plot of the family's focus
+            // routine (worst-case cost per input, mirroring
+            // `SweepResult::focus_plot`) plus the current fit,
+            // re-rendered on every poll as the model converges.
+            let mut worst: BTreeMap<u64, u64> = BTreeMap::new();
+            if let Some(focus) = family_workload(&family, 1).and_then(|w| w.focus) {
+                for (_, cell) in &cells {
+                    let profile = cell.report.merged_routine(focus);
+                    for (input, cost) in CostPlot::of(&profile, InputMetric::Drms).points {
+                        let e = worst.entry(input).or_insert(cost);
+                        *e = (*e).max(cost);
+                    }
+                }
+            }
+            let points: Vec<(u64, u64)> = worst.into_iter().collect();
+            out.push_str(&sweep_snapshot(&family, &points, cells.len(), total));
+        }
+        Response::ok(out)
+    }
+
+    /// Streams the job's merged metrics as Prometheus text, rebuilt
+    /// from the journal so live and finished jobs share one code path.
+    /// A bucket-layout mismatch between cells surfaces as the typed
+    /// [`drms::Error::Metrics`] chain, not a panic.
+    fn job_metrics(&self, id: &str) -> Response {
+        if !self.inner.lock().unwrap().entries.contains_key(id) {
+            return Response::text(404, format!("no such job `{id}`\n"));
+        }
+        let mut merged = Metrics::new();
+        for (_, cell) in self.live_cells(id) {
+            if let Err(e) = merged.merge(&cell.metrics) {
+                let err = drms::Error::from(e);
+                return Response::text(500, render_error_chain(&err));
+            }
+        }
+        Response::ok(merged.to_prometheus())
+    }
+}
+
+/// Renders an error with its `source()` chain, one frame per line.
+fn render_error_chain(err: &dyn std::error::Error) -> String {
+    let mut out = format!("{err}\n");
+    let mut src = err.source();
+    while let Some(e) = src {
+        let _ = writeln!(out, "  caused by: {e}");
+        src = e.source();
+    }
+    out
+}
+
+/// Serves `daemon` on `listener` until the drain completes: accepts
+/// connections (each handled on its own thread), refuses new
+/// submissions while draining, and returns once no job is mid-run.
+/// Both the `aprofd` binary and the in-process tests run this.
+pub fn serve(daemon: Arc<Daemon>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if daemon.drain_complete() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let d = Arc::clone(&daemon);
+                std::thread::spawn(move || handle_connection(&d, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(daemon: &Daemon, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = std::io::BufReader::new(stream);
+    let response = match crate::http::read_request(&mut reader) {
+        Ok(req) => daemon.handle(&req),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            Response::text(400, format!("bad request: {e}\n"))
+        }
+        Err(_) => return, // torn connection; nothing to answer
+    };
+    let _ = crate::http::write_response(&mut write_half, &response);
+}

@@ -1,0 +1,289 @@
+//! A deliberately tiny HTTP/1.1 subset over `std::net`.
+//!
+//! The workspace is dependency-free by design, so the daemon speaks
+//! just enough HTTP for line tools and `curl`: one request per
+//! connection (`Connection: close`), plain-text bodies, and a
+//! `Content-Length` requirement both ways. Responses that shed load
+//! carry the deterministic back-pressure hint in both the standard
+//! `Retry-After` (whole seconds, rounded up) and the millisecond
+//! `X-Retry-After-Ms` header the `aprofctl` client honors.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body: job specs are a few hundred bytes,
+/// so anything near this bound is abuse, not a job.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// Request body (empty when absent).
+    pub body: String,
+}
+
+impl Request {
+    /// The integer value of query parameter `key`, if present and valid.
+    pub fn query_u64(&self, key: &str) -> Option<u64> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then(|| v.parse().ok())?
+        })
+    }
+}
+
+/// One response to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Deterministic back-pressure hint for 429/503 responses.
+    pub retry_after_ms: Option<u64>,
+    /// Plain-text body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 with the given body.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response::text(200, body)
+    }
+
+    /// An arbitrary-status plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            retry_after_ms: None,
+            body: body.into(),
+        }
+    }
+
+    /// A load-shedding response carrying the retry-after hint.
+    pub fn shed(status: u16, retry_after_ms: u64, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            retry_after_ms: Some(retry_after_ms),
+            body: body.into(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads one request from `reader` (a buffered wrapper of the accepted
+/// stream).
+///
+/// # Errors
+/// I/O errors propagate; malformed framing and oversized bodies come
+/// back as [`InvalidData`](std::io::ErrorKind::InvalidData), which the
+/// connection handler maps to a 400/413.
+pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(invalid("empty request"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("missing method"))?;
+    let target = parts.next().ok_or_else(|| invalid("missing path"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(invalid("truncated headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(invalid("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        body,
+    })
+}
+
+/// Serializes `resp` onto `stream` and flushes it.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+    );
+    if let Some(ms) = resp.retry_after_ms {
+        head.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000)));
+        head.push_str(&format!("X-Retry-After-Ms: {ms}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// A client-side view of one response.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `X-Retry-After-Ms` hint, when the server sent one.
+    pub retry_after_ms: Option<u64>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Reply {
+    /// Whether the server shed the request (retry may help).
+    pub fn is_shed(&self) -> bool {
+        self.status == 429 || self.status == 503
+    }
+}
+
+/// Performs one request against `addr` and reads the full response.
+///
+/// # Errors
+/// Connection, timeout, and framing failures — the retrying client
+/// treats all of them as transient.
+pub fn roundtrip(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<Reply> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut retry_after_ms = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(invalid("truncated response headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            let v = v.trim();
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().ok();
+            } else if k.eq_ignore_ascii_case("x-retry-after-ms") {
+                retry_after_ms = v.parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| invalid("response body is not UTF-8"))?
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(Reply {
+        status,
+        retry_after_ms,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = b"POST /jobs?since=3 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query_u64("since"), Some(3));
+        assert_eq!(req.query_u64("missing"), None);
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_up_front() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_framing_is_invalid_not_a_hang() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n";
+        assert!(read_request(&mut Cursor::new(&raw[..])).is_err());
+        assert!(read_request(&mut Cursor::new(&b""[..])).is_err());
+    }
+}

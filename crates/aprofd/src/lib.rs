@@ -1,0 +1,43 @@
+//! `drms-aprofd` — a crash-safe multi-tenant profiling service.
+//!
+//! The library behind the `aprofd` daemon and the `aprofctl` client:
+//! tenants submit sweep jobs over a tiny dependency-free HTTP surface,
+//! and every job runs through the workspace's crash-safe supervisor
+//! ([`drms_bench::supervisor`]) with its checkpoint journal, panic
+//! isolation, deadlines, and deterministic retry/backoff.
+//!
+//! The service adds the *operational* half the supervisor leaves open:
+//!
+//! - **Admission control** ([`queue`]): a bounded queue with a global
+//!   capacity and per-tenant quotas. A full queue *sheds* the
+//!   submission with a typed refusal and a deterministic retry-after —
+//!   it never grows unbounded and never silently drops work.
+//! - **Fair dispatch**: round-robin across tenants with a per-tenant
+//!   running cap, so one noisy tenant cannot starve the rest.
+//! - **Deterministic identity** ([`spec`]): job IDs are FNV-1a over the
+//!   canonical spec plus a submission counter — no wall clock, no RNG —
+//!   so a restarted daemon reproduces the same IDs, paths, and
+//!   artifacts.
+//! - **Crash safety** ([`daemon`]): the spec file is the durability
+//!   point and the per-job journal the progress point. `kill -9` the
+//!   daemon mid-grid, start it again, and every unfinished job resumes
+//!   through [`drms_bench::supervisor::resume_sweep`] to byte-identical
+//!   artifacts.
+//! - **Graceful drain**: SIGTERM (or `POST /shutdown`) refuses new
+//!   submissions, finishes running jobs, and leaves queued ones durable
+//!   for the next start.
+//! - **Live observability**: per-job status, snapshot/delta reports and
+//!   merged metrics are rendered straight from the journal while the
+//!   sweep is still running; the daemon's own registry streams as
+//!   Prometheus text from `/metrics`.
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod queue;
+pub mod spec;
+
+pub use client::{Client, ClientError};
+pub use daemon::{serve, Daemon, DaemonConfig, JobState, JobSummary};
+pub use queue::{Admission, AdmissionQueue, QueueConfig};
+pub use spec::{job_id, JobSpec, SpecError};

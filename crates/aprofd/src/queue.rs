@@ -1,0 +1,241 @@
+//! Bounded admission with per-tenant fairness and quotas.
+//!
+//! The queue is the daemon's only growth point, so it is bounded twice:
+//! a global capacity (full ⇒ the submission is *shed* with a
+//! deterministic retry-after, never silently queued) and a per-tenant
+//! queued cap (one tenant flooding the service cannot evict the
+//! others' headroom). Dispatch is round-robin across tenants with a
+//! per-tenant running cap, so a tenant with a hundred queued sweeps
+//! still yields the next free worker to a tenant with one.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bounds of the admission queue.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Queued jobs across all tenants before submissions are shed.
+    pub capacity: usize,
+    /// Queued jobs per tenant before that tenant's submissions are shed.
+    pub tenant_queued_cap: usize,
+    /// Concurrently running jobs per tenant.
+    pub tenant_running_cap: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 64,
+            tenant_queued_cap: 16,
+            tenant_running_cap: 2,
+        }
+    }
+}
+
+/// The typed admission decision for one submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted and queued.
+    Queued,
+    /// Shed: the global queue is full. Retry after the given delay.
+    ShedFull {
+        /// Jobs queued when the submission was refused.
+        queued: usize,
+        /// Deterministic client back-pressure hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Shed: the tenant's queued quota is exhausted (other tenants may
+    /// still submit). Retry after the given delay.
+    ShedTenant {
+        /// Jobs this tenant had queued when the submission was refused.
+        queued: usize,
+        /// Deterministic client back-pressure hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// The bounded, tenant-fair admission queue. Pure data structure — the
+/// daemon holds it under its state mutex.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    cfg: QueueConfig,
+    queues: BTreeMap<String, VecDeque<String>>,
+    running: BTreeMap<String, usize>,
+    rr: VecDeque<String>,
+    queued_total: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given bounds.
+    pub fn new(cfg: QueueConfig) -> Self {
+        AdmissionQueue {
+            cfg,
+            queues: BTreeMap::new(),
+            running: BTreeMap::new(),
+            rr: VecDeque::new(),
+            queued_total: 0,
+        }
+    }
+
+    /// Jobs currently queued across tenants.
+    pub fn queued(&self) -> usize {
+        self.queued_total
+    }
+
+    /// Jobs currently marked running across tenants.
+    pub fn running(&self) -> usize {
+        self.running.values().sum()
+    }
+
+    /// The deterministic retry-after hint for a shed submission:
+    /// proportional to queue depth (each queued sweep is ~250 ms of
+    /// drain time at minimum), bounded so clients never sleep forever.
+    /// No randomness — the jitter that prevents a thundering herd is
+    /// the *client's* seeded FNV-1a discipline, not the server's.
+    pub fn retry_after_ms(&self) -> u64 {
+        (250u64.saturating_mul(self.queued_total as u64)).clamp(250, 10_000)
+    }
+
+    /// Offers one submission. Queues it or sheds it with a typed
+    /// decision — the queue never grows past its bounds.
+    pub fn offer(&mut self, tenant: &str, job: &str) -> Admission {
+        if self.queued_total >= self.cfg.capacity {
+            return Admission::ShedFull {
+                queued: self.queued_total,
+                retry_after_ms: self.retry_after_ms(),
+            };
+        }
+        let tenant_queued = self.queues.get(tenant).map_or(0, VecDeque::len);
+        if tenant_queued >= self.cfg.tenant_queued_cap {
+            return Admission::ShedTenant {
+                queued: tenant_queued,
+                retry_after_ms: self.retry_after_ms(),
+            };
+        }
+        self.push(tenant, job);
+        Admission::Queued
+    }
+
+    /// Re-admits a journaled job during restart-resume, bypassing the
+    /// caps: it was admitted before the crash and its spec is already
+    /// durable — shedding it now would lose accepted work.
+    pub fn restore(&mut self, tenant: &str, job: &str) {
+        self.push(tenant, job);
+    }
+
+    fn push(&mut self, tenant: &str, job: &str) {
+        if !self.queues.contains_key(tenant) && !self.rr.iter().any(|t| t == tenant) {
+            self.rr.push_back(tenant.to_string());
+        }
+        self.queues
+            .entry(tenant.to_string())
+            .or_default()
+            .push_back(job.to_string());
+        self.queued_total += 1;
+    }
+
+    /// Dispatches the next job fairly: rotates through tenants, skipping
+    /// any whose running cap is reached, and pops FIFO within a tenant.
+    /// Marks the job running for its tenant.
+    pub fn pop_fair(&mut self) -> Option<(String, String)> {
+        for _ in 0..self.rr.len() {
+            let tenant = self.rr.pop_front()?;
+            let eligible = self.queues.get(&tenant).is_some_and(|q| !q.is_empty())
+                && self.running.get(&tenant).copied().unwrap_or(0) < self.cfg.tenant_running_cap;
+            if eligible {
+                let job = self
+                    .queues
+                    .get_mut(&tenant)
+                    .and_then(VecDeque::pop_front)
+                    .expect("eligible tenant has a queued job");
+                self.queued_total -= 1;
+                *self.running.entry(tenant.clone()).or_insert(0) += 1;
+                self.rr.push_back(tenant.clone());
+                return Some((tenant, job));
+            }
+            self.rr.push_back(tenant);
+        }
+        None
+    }
+
+    /// Marks one of `tenant`'s running jobs finished.
+    pub fn finished(&mut self, tenant: &str) {
+        if let Some(n) = self.running.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue(capacity: usize, tq: usize, tr: usize) -> AdmissionQueue {
+        AdmissionQueue::new(QueueConfig {
+            capacity,
+            tenant_queued_cap: tq,
+            tenant_running_cap: tr,
+        })
+    }
+
+    #[test]
+    fn full_queue_sheds_with_depth_proportional_retry_after() {
+        let mut q = queue(2, 16, 2);
+        assert_eq!(q.offer("a", "j1"), Admission::Queued);
+        assert_eq!(q.offer("a", "j2"), Admission::Queued);
+        match q.offer("b", "j3") {
+            Admission::ShedFull {
+                queued,
+                retry_after_ms,
+            } => {
+                assert_eq!(queued, 2);
+                assert_eq!(retry_after_ms, 500, "deterministic, depth-proportional");
+            }
+            other => panic!("expected ShedFull, got {other:?}"),
+        }
+        assert_eq!(q.queued(), 2, "shed submissions never grow the queue");
+    }
+
+    #[test]
+    fn tenant_quota_sheds_only_the_noisy_tenant() {
+        let mut q = queue(64, 1, 2);
+        assert_eq!(q.offer("noisy", "j1"), Admission::Queued);
+        assert!(matches!(
+            q.offer("noisy", "j2"),
+            Admission::ShedTenant { queued: 1, .. }
+        ));
+        assert_eq!(q.offer("quiet", "j3"), Admission::Queued);
+    }
+
+    #[test]
+    fn dispatch_round_robins_across_tenants() {
+        let mut q = queue(64, 16, 4);
+        for j in ["a1", "a2", "a3"] {
+            q.offer("alice", j);
+        }
+        q.offer("bob", "b1");
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_fair().map(|(_, j)| j)).collect();
+        assert_eq!(order, ["a1", "b1", "a2", "a3"], "bob is not starved");
+    }
+
+    #[test]
+    fn running_cap_defers_a_tenants_next_job() {
+        let mut q = queue(64, 16, 1);
+        q.offer("a", "j1");
+        q.offer("a", "j2");
+        assert_eq!(q.pop_fair(), Some(("a".into(), "j1".into())));
+        assert_eq!(q.pop_fair(), None, "tenant at running cap");
+        q.finished("a");
+        assert_eq!(q.pop_fair(), Some(("a".into(), "j2".into())));
+        q.finished("a");
+        assert_eq!(q.running(), 0);
+    }
+
+    #[test]
+    fn restore_bypasses_the_caps() {
+        let mut q = queue(1, 1, 1);
+        q.offer("a", "j1");
+        q.restore("a", "j2");
+        assert_eq!(q.queued(), 2, "restored jobs are never shed");
+        assert!(matches!(q.offer("a", "j3"), Admission::ShedFull { .. }));
+    }
+}

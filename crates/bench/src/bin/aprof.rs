@@ -202,10 +202,19 @@ fn parse_cli() -> Cli {
             }
             "--jobs" => cli.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => {
-                cli.deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                if ms == 0 {
+                    eprintln!("--deadline-ms must be >= 1 (0 expires before the run starts)");
+                    usage()
+                }
+                cli.deadline_ms = Some(ms);
             }
             "--max-attempts" => {
-                cli.max_attempts = value("--max-attempts").parse().unwrap_or_else(|_| usage())
+                cli.max_attempts = value("--max-attempts").parse().unwrap_or_else(|_| usage());
+                if cli.max_attempts == 0 {
+                    eprintln!("--max-attempts must be >= 1 (0 would never run a cell)");
+                    usage()
+                }
             }
             "--diff" => {
                 let old = value("--diff");

@@ -125,13 +125,21 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--max-attempts N");
+                if opts.max_attempts == 0 {
+                    eprintln!("--max-attempts must be >= 1 (0 would never run a cell)");
+                    std::process::exit(2);
+                }
             }
             "--deadline-ms" => {
-                opts.deadline_ms = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--deadline-ms N"),
-                );
+                let ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--deadline-ms N");
+                if ms == 0 {
+                    eprintln!("--deadline-ms must be >= 1 (0 expires before the run starts)");
+                    std::process::exit(2);
+                }
+                opts.deadline_ms = Some(ms);
             }
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
@@ -1003,7 +1011,9 @@ fn sweep_bench(opts: &Options) {
     let mut merged_metrics = drms::trace::Metrics::new();
     for fam in &families {
         let p = &fam.parallel;
-        merged_metrics.merge(&p.merged_metrics());
+        merged_metrics
+            .merge(&p.merged_metrics())
+            .expect("families share one bucket layout per histogram name");
         for q in &p.quarantined {
             println!(
                 "  QUARANTINED {} size={} seed={} after {} attempt(s): {}",

@@ -471,7 +471,12 @@ impl<'a> PayloadLines<'a> {
     }
 }
 
-fn decode_cell_payload(payload: &str) -> Result<SweepCell, String> {
+/// Decodes one journaled `cell … ok` payload back into a [`SweepCell`].
+///
+/// Public for journal consumers beyond resume: the `aprofd` daemon
+/// renders live snapshot/delta reports and per-job metrics straight
+/// from the on-disk journal of a running sweep.
+pub fn decode_cell_payload(payload: &str) -> Result<SweepCell, String> {
     let mut p = PayloadLines::new(payload);
     let size: i64 = p.num("size")?;
     let seed: u64 = p.num("seed")?;
@@ -848,6 +853,16 @@ pub fn resume_sweep_with(
         // Nothing usable (empty file, or killed before the header hit
         // the disk): start the journal over.
         JournalWriter::create(path)?
+    } else if salvaged.is_damaged() {
+        // A torn tail or stray trailer would sit between the valid
+        // prefix and everything this resume appends, and the *next*
+        // salvage would stop at the damage and drop the appended
+        // records. Rewrite the journal to its salvaged prefix first so
+        // interleaved appends from a resumed writer always extend a
+        // clean file.
+        crate::artifact::atomic_write(path, &journal::to_text(&salvaged.records))?;
+        report.metrics.inc("journal.rewritten");
+        JournalWriter::append_to(path)?
     } else {
         JournalWriter::append_to(path)?
     };

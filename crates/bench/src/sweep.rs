@@ -308,7 +308,9 @@ impl SweepResult {
     pub fn merged_metrics(&self) -> Metrics {
         let mut merged = Metrics::new();
         for cell in &self.cells {
-            merged.merge(&cell.metrics);
+            merged
+                .merge(&cell.metrics)
+                .expect("sweep cells share one bucket layout per histogram name");
         }
         merged.add("sweep.attempts", self.attempts());
         merged.add("sweep.completed", self.cells.len() as u64);

@@ -352,3 +352,38 @@ fn resume_runs_unstarted_families_from_scratch() {
     assert_eq!(report.salvaged_cells, 1);
     let _ = std::fs::remove_file(&path);
 }
+
+/// A resumed writer must never append behind a torn tail: resume
+/// rewrites the journal to its salvaged prefix before appending, so the
+/// file stays strictly parsable and a *second* crash + resume cannot
+/// lose the records the first resume appended to the damage.
+#[test]
+fn resume_heals_torn_journals_before_appending() {
+    let spec = SweepSpec::new("stream", &[4, 8], 1).seeds(&[1]);
+    let opts = fast_opts();
+    let base = temp_path("heal-base");
+    let mut writer = JournalWriter::create(&base).unwrap();
+    let baseline = run_supervised_with(&spec, &opts, Some(&mut writer), &profile_cell);
+    let baseline_report = baseline.merged_report_text();
+    let bytes = std::fs::read(&base).unwrap();
+    let _ = std::fs::remove_file(&base);
+
+    // First crash: tear mid-way through the last record's trailer.
+    let path = temp_path("heal");
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+    let (first, report) = resume_sweep(&spec, &opts, &path).unwrap();
+    assert_eq!(first.merged_report_text(), baseline_report);
+    assert_eq!(report.metrics.counter("journal.rewritten"), 1);
+    let healed = std::fs::read_to_string(&path).unwrap();
+    drms::trace::journal::from_text(&healed)
+        .expect("resume leaves a strictly-parsable journal behind");
+
+    // Second crash on the healed file: resume again; byte-identical
+    // output and a clean journal, every time.
+    std::fs::write(&path, &healed[..healed.len() - 7]).unwrap();
+    let (second, _) = resume_sweep(&spec, &opts, &path).unwrap();
+    assert_eq!(second.merged_report_text(), baseline_report);
+    drms::trace::journal::from_text(&std::fs::read_to_string(&path).unwrap())
+        .expect("second resume also leaves a clean journal");
+    let _ = std::fs::remove_file(&path);
+}

@@ -9,6 +9,7 @@
 
 use drms_core::report_io::ParseReportError;
 use drms_trace::journal::ParseJournalError;
+use drms_trace::obs::MergeError;
 use drms_trace::sched::ParseSchedError;
 use drms_trace::ParseTraceError;
 use drms_vm::{FaultSpecError, KernelError, RunError};
@@ -47,6 +48,10 @@ pub enum Error {
     /// not errors — the lossy salvage drops them and the supervisor
     /// re-runs the lost cells.
     Journal(ParseJournalError),
+    /// Two metrics registries disagreed on a histogram's bucket layout
+    /// while being merged (e.g. aggregating jobs produced by different
+    /// builds in a long-lived service).
+    Metrics(MergeError),
     /// Reading or writing an artifact (report, schedule, JSON) failed.
     Io(std::io::Error),
 }
@@ -61,6 +66,7 @@ impl fmt::Display for Error {
             Error::Report(_) => write!(f, "malformed profile report"),
             Error::Faults(_) => write!(f, "malformed fault plan"),
             Error::Journal(_) => write!(f, "unusable checkpoint journal"),
+            Error::Metrics(_) => write!(f, "metrics merge failed"),
             Error::Io(_) => write!(f, "artifact I/O failed"),
         }
     }
@@ -76,6 +82,7 @@ impl std::error::Error for Error {
             Error::Report(e) => Some(e),
             Error::Faults(e) => Some(e),
             Error::Journal(e) => Some(e),
+            Error::Metrics(e) => Some(e),
             Error::Io(e) => Some(e),
         }
     }
@@ -123,6 +130,12 @@ impl From<ParseJournalError> for Error {
     }
 }
 
+impl From<MergeError> for Error {
+    fn from(e: MergeError) -> Self {
+        Error::Metrics(e)
+    }
+}
+
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
@@ -140,6 +153,22 @@ mod tests {
         let src = err.source().expect("wrapped error is the source");
         assert!(src.to_string().contains("-7"), "{src}");
         assert!(src.downcast_ref::<RunError>().is_some());
+    }
+
+    #[test]
+    fn metrics_merge_errors_chain_to_the_bucket_layouts() {
+        let mut a = drms_trace::Metrics::new();
+        a.observe("h", &[1, 2], 1);
+        let mut b = drms_trace::Metrics::new();
+        b.observe("h", &[1, 3], 1);
+        let err: Error = a.merge(&b).unwrap_err().into();
+        assert_eq!(err.to_string(), "metrics merge failed");
+        let src = err.source().expect("merge error is the source");
+        assert!(
+            src.to_string().contains("mismatched bucket bounds"),
+            "{src}"
+        );
+        assert!(src.downcast_ref::<MergeError>().is_some());
     }
 
     #[test]

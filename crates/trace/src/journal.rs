@@ -196,6 +196,15 @@ pub fn from_text_lossy(text: &str) -> SalvagedJournal {
         if line.is_empty() {
             continue; // stray blank line between records is harmless
         }
+        if line.starts_with("@end") {
+            // A duplicate `@end` trailer (a writer retrying an append
+            // after a partially-flushed one) is unambiguous at record
+            // position: note it and keep going — the records after it
+            // are intact and must not be dropped with the noise.
+            out.warnings
+                .push(format!("stray `@end` trailer skipped: `{line}`"));
+            continue;
+        }
         match parse_record_at(text, line, pos) {
             Ok((rec, next)) => {
                 out.records.push(rec);
@@ -212,10 +221,12 @@ pub fn from_text_lossy(text: &str) -> SalvagedJournal {
     out.salvaged = out.records.len();
     // Count the records we failed to recover: every @rec header in the
     // damaged suffix. The torn record itself counts once even when its
-    // header line is what got corrupted beyond recognition.
-    if !out.warnings.is_empty() {
+    // header line is what got corrupted beyond recognition. Skipped
+    // stray trailers cost no records, so nothing is dropped when the
+    // scan reached the end of the file.
+    if !out.warnings.is_empty() && pos < text.len() {
         let mut dropped = count_record_headers(text, pos);
-        if dropped == 0 && pos < text.len() {
+        if dropped == 0 {
             dropped = 1;
         }
         out.dropped = dropped;

@@ -52,7 +52,7 @@ pub use event::{Event, SyncOp, TimedEvent};
 pub use ids::{Addr, BlockId, NameTable, RoutineId, ThreadId};
 pub use journal::{JournalRecord, ParseJournalError, SalvagedJournal};
 pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};
-pub use obs::{Histogram, Metrics};
+pub use obs::{Histogram, MergeError, Metrics};
 pub use replay::{replay, EventSink};
 pub use sched::{PreemptCause, SalvagedSchedule, SchedDecision, Schedule};
 pub use stats::TraceStats;

@@ -77,21 +77,57 @@ impl Histogram {
 
     /// Adds `other`'s observations into `self`.
     ///
-    /// # Panics
-    /// Panics if the bucket bounds differ — one metric name must always
-    /// use one bucket layout.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.bounds, other.bounds,
-            "histogram merge with mismatched bucket bounds"
-        );
+    /// # Errors
+    /// Returns [`MergeError`] when the bucket bounds differ — one metric
+    /// name must always use one bucket layout. `self` is untouched in
+    /// that case.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.bounds != other.bounds {
+            return Err(MergeError {
+                name: String::new(),
+                ours: self.bounds.clone(),
+                theirs: other.bounds.clone(),
+            });
+        }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
         self.total += other.total;
         self.sum += other.sum;
+        Ok(())
     }
 }
+
+/// Error produced when merging histograms with mismatched bucket
+/// layouts. One metric name must always use one bucket layout; two
+/// registries disagreeing on it means they were produced by different
+/// code (or one was corrupted in transit) and adding their buckets
+/// would silently misattribute observations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeError {
+    /// The registry name of the offending histogram (empty when the
+    /// merge was on a bare [`Histogram`] outside a registry).
+    pub name: String,
+    /// The bucket bounds already registered.
+    pub ours: Vec<u64>,
+    /// The bucket bounds of the incoming histogram.
+    pub theirs: Vec<u64>,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.name.is_empty() {
+            write!(f, "histogram `{}`: ", self.name)?;
+        }
+        write!(
+            f,
+            "merge with mismatched bucket bounds: {:?} vs {:?}",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// The metrics registry. See the module docs for the design rules.
 ///
@@ -161,11 +197,24 @@ impl Metrics {
 
     /// Folds a pre-counted histogram into the registry (used when hot
     /// loops bucket locally and publish at finalization).
-    pub fn merge_histogram(&mut self, name: impl Into<Name>, h: &Histogram) {
+    ///
+    /// # Errors
+    /// Returns [`MergeError`] (carrying `name`) when a histogram is
+    /// already registered under `name` with a different bucket layout.
+    pub fn merge_histogram(
+        &mut self,
+        name: impl Into<Name>,
+        h: &Histogram,
+    ) -> Result<(), MergeError> {
+        let name = name.into();
         self.histograms
-            .entry(name.into())
+            .entry(name.clone())
             .or_insert_with(|| Histogram::new(&h.bounds))
-            .merge(h);
+            .merge(h)
+            .map_err(|e| MergeError {
+                name: name.into_owned(),
+                ..e
+            })
     }
 
     /// The histogram registered under `name`, if any.
@@ -207,7 +256,13 @@ impl Metrics {
     /// timings add; gauges add as well, which gives grid merges (sweep
     /// cells) sum semantics — a merged registry reports totals across
     /// cells, and stays deterministic because addition commutes.
-    pub fn merge(&mut self, other: &Metrics) {
+    ///
+    /// # Errors
+    /// Returns [`MergeError`] when `other` registers a histogram under a
+    /// name `self` already holds with a different bucket layout (the
+    /// registries were produced by different code). `self` may hold a
+    /// partial merge in that case — treat it as poisoned.
+    pub fn merge(&mut self, other: &Metrics) -> Result<(), MergeError> {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
@@ -215,11 +270,12 @@ impl Metrics {
             *self.gauges.entry(k.clone()).or_insert(0) += v;
         }
         for (k, h) in &other.histograms {
-            self.merge_histogram(k.clone(), h);
+            self.merge_histogram(k.clone(), h)?;
         }
         for (k, v) in &other.timings {
             *self.timings.entry(k.clone()).or_insert(0.0) += v;
         }
+        Ok(())
     }
 
     /// Cross-checks the registered counters against each other and
@@ -606,7 +662,7 @@ mod tests {
         b.add("c", 2);
         b.set_gauge("g", 5);
         b.observe("h", &[4], 9);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.gauge("g"), 15, "gauges merge additively (grid sums)");
         let h = a.histogram("h").unwrap();
@@ -615,10 +671,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mismatched bucket bounds")]
     fn histogram_merge_rejects_mismatched_bounds() {
         let mut a = Histogram::new(&[1, 2]);
-        a.merge(&Histogram::new(&[1, 3]));
+        a.observe(1);
+        let err = a.merge(&Histogram::new(&[1, 3])).unwrap_err();
+        assert!(
+            err.to_string().contains("mismatched bucket bounds"),
+            "{err}"
+        );
+        assert_eq!(err.ours, vec![1, 2]);
+        assert_eq!(err.theirs, vec![1, 3]);
+        assert_eq!(a.total, 1, "failed merge leaves the histogram untouched");
+    }
+
+    #[test]
+    fn registry_merge_names_the_offending_histogram() {
+        let mut a = Metrics::new();
+        a.observe("vm.h", &[1, 2], 1);
+        let mut b = Metrics::new();
+        b.observe("vm.h", &[1, 3], 1);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err.name, "vm.h");
+        assert!(err.to_string().contains("`vm.h`"), "{err}");
+        // Same layouts merge fine, and the error type is Eq for tests.
+        let mut c = Metrics::new();
+        c.observe("vm.h", &[1, 2], 9);
+        assert_eq!(a.merge(&c), Ok(()));
     }
 
     #[test]

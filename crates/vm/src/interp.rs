@@ -407,7 +407,8 @@ impl<'p> Vm<'p> {
         steps.counts = sc.step_buckets.to_vec();
         steps.total = sc.slices;
         steps.sum = sc.step_sum;
-        m.merge_histogram("sched.slice.steps", &steps);
+        m.merge_histogram("sched.slice.steps", &steps)
+            .expect("one bucket layout per histogram name");
 
         let tc = self.kernel.transfer_counters();
         m.add("kernel.transfers", tc.transfers);
@@ -417,7 +418,8 @@ impl<'p> Vm<'p> {
         cells.counts = self.transfer_buckets.to_vec();
         cells.total = self.transfer_buckets.iter().sum();
         cells.sum = self.transfer_cells_sum;
-        m.merge_histogram("kernel.transfer.cells", &cells);
+        m.merge_histogram("kernel.transfer.cells", &cells)
+            .expect("one bucket layout per histogram name");
 
         let f = self.kernel.fault_counters();
         m.add("faults.short_reads", f.short_reads);
