@@ -130,6 +130,69 @@ $ctl_shed health | grep -q "queued 2" \
 $ctl_shed shutdown > /dev/null
 wait "$daemon_shed"
 
+# Host-fault chaos gate: a journaled sweep with a seeded ENOSPC landing
+# mid-journal (write op 5 is a cell checkpoint) must degrade gracefully
+# — journaling disables with an attributed warning, the run still exits
+# clean — and a resume of the salvaged journal on healthy I/O must be
+# byte-identical to the fault-free BENCH_base.json from the crash gate
+# above (same grid flags, same deterministic artifact).
+rm -f target/repro/crash/chaos.journal
+"$repro" sweep --quick --jobs 2 \
+    --journal target/repro/crash/chaos.journal \
+    --bench-out target/repro/crash/BENCH_chaos.json \
+    --host-faults write:enospc:once=5 > /dev/null 2> target/repro/crash/chaos.err || true
+grep -q "injected host fault" target/repro/crash/chaos.err \
+    || { echo "ci: chaos sweep never attributed the injected fault" >&2; exit 1; }
+[ -s target/repro/crash/chaos.journal ] \
+    || { echo "ci: chaos sweep left no journal to salvage" >&2; exit 1; }
+"$repro" sweep --quick --jobs 2 \
+    --resume target/repro/crash/chaos.journal \
+    --bench-out target/repro/crash/BENCH_chaos_resumed.json > /dev/null
+cmp target/repro/crash/BENCH_base.json target/repro/crash/BENCH_chaos_resumed.json \
+    || { echo "ci: ENOSPC-resumed sweep bench JSON differs from fault-free run" >&2; exit 1; }
+
+# A fault on the artifact rename itself must fail *typed* (nonzero exit,
+# the injection named on stderr) and must never leave a corrupt or
+# partial bench artifact behind.
+denied_rc=0
+"$repro" sweep --quick --jobs 2 \
+    --bench-out target/repro/crash/BENCH_denied.json \
+    --host-faults rename:eio:once=1 > /dev/null 2> target/repro/crash/denied.err || denied_rc=$?
+[ "$denied_rc" -ne 0 ] \
+    || { echo "ci: faulted artifact rename should exit nonzero" >&2; exit 1; }
+grep -q "injected host fault" target/repro/crash/denied.err \
+    || { echo "ci: faulted rename did not fail typed" >&2; exit 1; }
+[ ! -e target/repro/crash/BENCH_denied.json ] \
+    || { echo "ci: faulted rename left an artifact behind" >&2; exit 1; }
+
+# Slow-loris gate: a client that opens a connection, sends half a
+# request line, and stalls must not wedge the daemon — /healthz keeps
+# answering throughout, and the loris itself is answered with a typed
+# 408 when the read deadline expires.
+rm -rf target/repro/aprofd/state-loris
+"$aprofd" --state-dir target/repro/aprofd/state-loris \
+    --addr-file target/repro/aprofd/addr-loris --workers 0 \
+    --read-timeout-ms 500 > /dev/null &
+daemon_loris=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-loris ] && break; sleep 0.01; done
+IFS=: read -r loris_host loris_port < target/repro/aprofd/addr-loris
+(
+    exec 3<>"/dev/tcp/${loris_host}/${loris_port}"
+    printf 'GET /heal' >&3
+    sleep 2
+    cat <&3 > target/repro/aprofd/loris.out
+) &
+loris=$!
+sleep 0.1
+"$aprofctl" --addr-file target/repro/aprofd/addr-loris --timeout-ms 2000 health \
+    | grep -q "^ok" \
+    || { echo "ci: daemon unresponsive while a slow loris holds a socket" >&2; exit 1; }
+wait "$loris"
+grep -q "408" target/repro/aprofd/loris.out \
+    || { echo "ci: slow loris was not answered with a typed 408" >&2; exit 1; }
+"$aprofctl" --addr-file target/repro/aprofd/addr-loris shutdown > /dev/null
+wait "$daemon_loris"
+
 # Metrics smoke gate: the same workload + seed twice must render a
 # byte-identical metrics export (aprof exits non-zero if the registry
 # fails its self-consistency audit).

@@ -17,7 +17,9 @@
 //! a submission is shed.
 //!
 //! Exit codes: 0 ok · 1 transport/daemon failure · 2 usage ·
-//! 3 shed after retries · 4 job failed · 5 wait timed out.
+//! 3 shed after retries · 4 job failed · 5 timed out (a `wait` that
+//! never finished, or a hung daemon blowing the per-request socket
+//! deadline on every retry).
 
 use drms_aprofd::client::{Client, ClientError};
 use std::io::Read as _;
@@ -25,7 +27,8 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aprofctl [--addr HOST:PORT | --addr-file FILE] [--retries N] CMD ...\n\
+        "usage: aprofctl [--addr HOST:PORT | --addr-file FILE] [--retries N]\n\
+         \x20               [--timeout-ms N] CMD ...\n\
          \n\
          commands:\n\
          \x20 submit [SPEC-FILE]        submit a job spec (stdin when omitted); prints the id\n\
@@ -45,11 +48,21 @@ fn fail(msg: impl std::fmt::Display, code: i32) -> ! {
 }
 
 /// Runs one request, mapping terminal outcomes to exit codes: shed
-/// exhaustion is 3 (distinct, scriptable), transport failure is 1.
+/// exhaustion is 3 (distinct, scriptable), a hung daemon blowing the
+/// socket deadline on every retry is 5 (timeout), transport failure
+/// is 1. The socket deadline means a wedged daemon can never wedge the
+/// client with it.
 fn run(client: &Client, method: &str, path: &str, body: &str) -> drms_aprofd::http::Reply {
     match client.request(method, path, body) {
         Ok(reply) => reply,
         Err(e @ ClientError::Shed(_)) => fail(e, 3),
+        Err(e @ ClientError::Timeout(_)) => fail(
+            format!(
+                "{e} (daemon hung or unreachable; socket deadline {:?})",
+                client.timeout
+            ),
+            5,
+        ),
         Err(e) => fail(e, 1),
     }
 }
@@ -62,6 +75,7 @@ fn state_of(body: &str) -> Option<&str> {
 fn main() {
     let mut addr: Option<String> = None;
     let mut retries: Option<u32> = None;
+    let mut timeout_ms: Option<u64> = None;
     let mut rest: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -76,6 +90,12 @@ fn main() {
                 }
             }
             "--retries" => retries = args.next().and_then(|v| v.parse().ok()),
+            "--timeout-ms" if rest.is_empty() => {
+                timeout_ms = args.next().and_then(|v| v.parse().ok());
+                if timeout_ms.is_none() {
+                    fail("--timeout-ms needs a number of milliseconds", 2);
+                }
+            }
             "--help" | "-h" => usage(),
             _ => {
                 rest.push(arg);
@@ -89,6 +109,9 @@ fn main() {
     let mut client = Client::new(addr);
     if let Some(n) = retries {
         client.attempts = n.max(1);
+    }
+    if let Some(ms) = timeout_ms {
+        client.timeout = Duration::from_millis(ms.max(1));
     }
 
     let mut rest = rest.into_iter();

@@ -43,14 +43,22 @@ fn usage() -> ! {
     eprintln!(
         "usage: aprofd --state-dir DIR [--addr HOST:PORT] [--addr-file FILE]\n\
          \x20             [--workers N] [--queue-cap N] [--tenant-queued N] [--tenant-running N]\n\
+         \x20             [--max-conns N] [--read-timeout-ms N] [--retain N] [--retain-age-ms N]\n\
+         \x20             [--host-faults SPEC]\n\
          \n\
-         --state-dir DIR     job specs, journals, and artifacts (required)\n\
-         --addr HOST:PORT    bind address (default 127.0.0.1:0)\n\
-         --addr-file FILE    write the bound address here (for port 0)\n\
-         --workers N         concurrent jobs; 0 = admit-only (default 2)\n\
-         --queue-cap N       queued jobs before submissions shed (default 64)\n\
-         --tenant-queued N   queued jobs per tenant before shed (default 16)\n\
-         --tenant-running N  running jobs per tenant (default 2)"
+         --state-dir DIR      job specs, journals, and artifacts (required)\n\
+         --addr HOST:PORT     bind address (default 127.0.0.1:0)\n\
+         --addr-file FILE     write the bound address here (for port 0)\n\
+         --workers N          concurrent jobs; 0 = admit-only (default 2)\n\
+         --queue-cap N        queued jobs before submissions shed (default 64)\n\
+         --tenant-queued N    queued jobs per tenant before shed (default 16)\n\
+         --tenant-running N   running jobs per tenant (default 2)\n\
+         --max-conns N        concurrent connections; excess shed 503 (default 64)\n\
+         --read-timeout-ms N  per-socket read/write deadline (default 10000)\n\
+         --retain N           keep at most N finished jobs; prune older (default all)\n\
+         --retain-age-ms N    prune finished jobs older than N ms (default never)\n\
+         --host-faults SPEC   inject host I/O faults (chaos testing), e.g.\n\
+         \x20                    'write:enospc:after=4096' or 'fsync:eio:once=2'"
     );
     std::process::exit(2);
 }
@@ -71,6 +79,11 @@ fn main() {
     let mut addr_file: Option<PathBuf> = None;
     let mut workers = 2usize;
     let mut queue = QueueConfig::default();
+    let mut max_connections = 64usize;
+    let mut read_timeout_ms = 10_000u64;
+    let mut retain_count: Option<usize> = None;
+    let mut retain_age_ms: Option<u64> = None;
+    let mut host_faults: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +99,15 @@ fn main() {
             "--tenant-running" => {
                 queue.tenant_running_cap = parse_num("--tenant-running", args.next())
             }
+            "--max-conns" => max_connections = parse_num("--max-conns", args.next()),
+            "--read-timeout-ms" => {
+                read_timeout_ms = parse_num("--read-timeout-ms", args.next()) as u64
+            }
+            "--retain" => retain_count = Some(parse_num("--retain", args.next())),
+            "--retain-age-ms" => {
+                retain_age_ms = Some(parse_num("--retain-age-ms", args.next()) as u64)
+            }
+            "--host-faults" => host_faults = args.next(),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -101,14 +123,33 @@ fn main() {
         eprintln!("--queue-cap must be >= 1 (0 would shed every submission)");
         std::process::exit(2);
     }
+    let host_io = match host_faults.as_deref() {
+        None => drms::trace::hostio::HostIo::real(),
+        Some(spec) => match drms::trace::hostio::HostIo::from_spec(spec) {
+            Ok(io) => {
+                eprintln!("aprofd: CHAOS MODE — injecting host faults from `{spec}`");
+                io
+            }
+            Err(e) => {
+                eprintln!("aprofd: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
 
     install_sigterm();
 
-    let daemon = match Daemon::new(DaemonConfig {
-        state_dir,
+    let cfg = DaemonConfig {
         workers,
         queue,
-    }) {
+        host_io,
+        retain_count,
+        retain_age: retain_age_ms.map(std::time::Duration::from_millis),
+        max_connections,
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        ..DaemonConfig::new(state_dir)
+    };
+    let daemon = match Daemon::new(cfg) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("aprofd: state dir unusable: {e}");

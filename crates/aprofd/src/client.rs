@@ -33,7 +33,13 @@ pub struct Client {
 pub enum ClientError {
     /// Every attempt was shed; the last reply carries the final hint.
     Shed(Reply),
-    /// Every attempt failed at the transport (connect/timeout/framing).
+    /// Every attempt blew the per-request socket deadline — the daemon
+    /// is hung or unreachable-but-accepting; distinct from [`Io`] so
+    /// `aprofctl` can exit with the timeout code instead of wedging.
+    ///
+    /// [`Io`]: ClientError::Io
+    Timeout(String),
+    /// Every attempt failed at the transport (connect/framing).
     Io(String),
 }
 
@@ -48,9 +54,21 @@ impl std::fmt::Display for ClientError {
                     r.body.trim_end()
                 )
             }
+            ClientError::Timeout(e) => {
+                write!(f, "request deadline expired after retries: {e}")
+            }
             ClientError::Io(e) => write!(f, "transport failed after retries: {e}"),
         }
     }
+}
+
+/// Whether a transport error is the socket deadline expiring (reported
+/// as `WouldBlock` or `TimedOut` depending on platform).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 impl std::error::Error for ClientError {}
@@ -97,6 +115,7 @@ impl Client {
         let attempts = self.attempts.max(1);
         let mut last_shed: Option<Reply> = None;
         let mut last_io = String::new();
+        let mut last_was_timeout = false;
         for attempt in 1..=attempts {
             match roundtrip(&self.addr, method, path, body, self.timeout) {
                 Ok(reply) if reply.is_shed() => {
@@ -114,6 +133,7 @@ impl Client {
                 }
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
+                    last_was_timeout = is_timeout(&e);
                     last_io = e.to_string();
                     last_shed = None;
                     let ms = self.backoff_ms(path, attempt);
@@ -125,6 +145,7 @@ impl Client {
         }
         match last_shed {
             Some(reply) => Err(ClientError::Shed(reply)),
+            None if last_was_timeout => Err(ClientError::Timeout(last_io)),
             None => Err(ClientError::Io(last_io)),
         }
     }
@@ -155,6 +176,28 @@ mod tests {
         let mut c = Client::new("127.0.0.1:1");
         c.backoff_base_ms = 0;
         assert_eq!(c.backoff_ms("/jobs", 7), 0);
+    }
+
+    #[test]
+    fn hung_server_surfaces_the_typed_timeout() {
+        // Accepts connections but never answers — the wedged-daemon
+        // shape the socket deadline exists for.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((s, _)) = listener.accept() {
+                held.push(s);
+            }
+        });
+        let mut c = Client::new(addr);
+        c.attempts = 2;
+        c.backoff_base_ms = 0;
+        c.timeout = Duration::from_millis(100);
+        match c.request("GET", "/healthz", "") {
+            Err(ClientError::Timeout(_)) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! job-<id>.metrics.json  merged metrics registry (atomic, deterministic)
 //! job-<id>.done          completion summary (atomic; presence = job finished)
 //! job-<id>.failed        failure summary (atomic; presence = job failed)
+//! gc.tombstones          journal of pruned job IDs (written before deletion)
 //! ```
 //!
 //! The `.spec` file is the durability point: a submission is
@@ -21,25 +22,45 @@
 //! directory, restores the submission counter, and re-queues every
 //! unfinished job — artifacts come out byte-identical to an
 //! uninterrupted run.
+//!
+//! Retention GC prunes finished jobs beyond [`DaemonConfig::retain_count`]
+//! / older than [`DaemonConfig::retain_age`]. Each pruned ID is first
+//! appended (fsynced) to the `gc.tombstones` journal, *then* its files
+//! are deleted — so a crash between the two leaves a tombstone the
+//! startup scan honors (leftovers removed, job never resurrected) and
+//! the submission counter continues past pruned jobs (IDs never
+//! collide).
+//!
+//! Every host write goes through [`DaemonConfig::host_io`]: production
+//! uses real I/O; tests and `aprofd --host-faults` inject ENOSPC,
+//! fsync-EIO, and torn writes. A spec that cannot be persisted is shed
+//! with a typed 507 and a deterministic retry-after — the queue slot is
+//! withdrawn, the counter is not advanced, and the daemon keeps serving.
 
-use crate::http::{Request, Response};
+use crate::http::{Request, RequestError, Response};
 use crate::queue::{Admission, AdmissionQueue, QueueConfig};
 use crate::spec::{job_id, JobSpec};
 use drms::analysis::{sweep_snapshot, CostPlot, InputMetric};
+use drms::trace::hostio::HostIo;
 use drms::trace::journal;
 use drms::trace::Metrics;
-use drms_bench::artifact::atomic_write;
+use drms_bench::artifact::atomic_write_with;
 use drms_bench::supervisor::{
-    decode_cell_payload, profile_cell, resume_sweep, run_supervised_with, JournalWriter,
+    decode_cell_payload, profile_cell, resume_sweep_with_io, run_supervised_with, JournalWriter,
 };
 use drms_bench::sweep::{family_workload, FamilyBench, SweepBench, SweepCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
+
+/// Deterministic retry-after for the 507 disk-full shed: long enough
+/// that an operator plausibly freed space, fixed so clients and tests
+/// see the same hint every time.
+pub const DISK_FULL_RETRY_MS: u64 = 5_000;
 
 /// Daemon configuration (CLI flags map 1:1 onto this).
 #[derive(Clone, Debug)]
@@ -51,6 +72,40 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Admission bounds.
     pub queue: QueueConfig,
+    /// Host file I/O for every durable write (specs, journals,
+    /// artifacts, tombstones). Real in production; fault-injected under
+    /// test and behind `--host-faults`.
+    pub host_io: HostIo,
+    /// Keep at most this many finished (done/failed) jobs on disk;
+    /// older ones are tombstoned and pruned. `None` = keep all.
+    pub retain_count: Option<usize>,
+    /// Prune finished jobs whose completion marker is older than this.
+    /// `None` = no age limit.
+    pub retain_age: Option<Duration>,
+    /// Concurrent connections served; excess connections get an
+    /// immediate 503 shed instead of an unbounded thread per socket.
+    pub max_connections: usize,
+    /// Per-socket read/write deadline — a slow-loris client dribbling
+    /// bytes gets a typed 408 when it expires, not a parked thread.
+    pub read_timeout: Duration,
+}
+
+impl DaemonConfig {
+    /// Production defaults over `state_dir`: 2 workers, default queue
+    /// bounds, real host I/O, no retention limits, 64 connections,
+    /// 10 s socket deadlines.
+    pub fn new(state_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            state_dir: state_dir.into(),
+            workers: 2,
+            queue: QueueConfig::default(),
+            host_io: HostIo::real(),
+            retain_count: None,
+            retain_age: None,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
 }
 
 /// Lifecycle state of one job.
@@ -163,6 +218,26 @@ impl Daemon {
         };
         let mut metrics = Metrics::new();
 
+        // Tombstones first: a pruned job must never be resurrected,
+        // even when a crash between tombstone-write and file-deletion
+        // left its spec behind. The tombstone also carries the pruned
+        // job's submission number, so the counter continues past it and
+        // new IDs never collide with GC'd history.
+        let mut tombstoned: BTreeSet<String> = BTreeSet::new();
+        if let Ok(text) = std::fs::read_to_string(cfg.state_dir.join("gc.tombstones")) {
+            for rec in &journal::from_text_lossy(&text).records {
+                let Some(id) = rec.meta.strip_prefix("gc ") else {
+                    continue;
+                };
+                tombstoned.insert(id.to_string());
+                for line in rec.payload.lines() {
+                    if let Some(v) = line.strip_prefix("submitted ") {
+                        inner.counter = inner.counter.max(v.parse().unwrap_or(0));
+                    }
+                }
+            }
+        }
+
         let mut restored: Vec<(u64, String, String)> = Vec::new(); // (submitted, id, tenant)
         for entry in std::fs::read_dir(&cfg.state_dir)? {
             let name = entry?.file_name();
@@ -174,6 +249,9 @@ impl Daemon {
                 continue;
             };
             let id = id.to_string();
+            if tombstoned.contains(&id) {
+                continue; // leftovers swept below
+            }
             let text = std::fs::read_to_string(cfg.state_dir.join(&*name))?;
             let mut submitted = 0u64;
             let mut spec_lines = String::new();
@@ -235,17 +313,120 @@ impl Daemon {
         }
         metrics.set_gauge("aprofd.queue.depth", inner.queue.queued() as u64);
 
-        Ok(Arc::new(Daemon {
+        // Sweep leftovers of tombstoned jobs (the crash window between
+        // tombstone-write and deletion).
+        for id in &tombstoned {
+            if remove_job_files(&cfg.state_dir, id) {
+                metrics.inc("aprofd.jobs.gc_swept");
+            }
+        }
+
+        let daemon = Arc::new(Daemon {
             cfg,
             inner: Mutex::new(inner),
             cv: Condvar::new(),
             metrics: Mutex::new(metrics),
             draining: AtomicBool::new(false),
-        }))
+        });
+        daemon.gc();
+        Ok(daemon)
     }
 
     fn job_path(&self, id: &str, suffix: &str) -> PathBuf {
         self.cfg.state_dir.join(format!("job-{id}.{suffix}"))
+    }
+
+    /// Retention GC: prunes finished (done/failed) jobs beyond
+    /// [`DaemonConfig::retain_count`] or older than
+    /// [`DaemonConfig::retain_age`]. Runs at startup and after every
+    /// job completion; a no-op when neither bound is set.
+    ///
+    /// Prune order is append-then-delete: the job's ID and submission
+    /// number land (fsynced) in the `gc.tombstones` journal *before*
+    /// any file is removed, so a crash mid-prune can only leave
+    /// tombstoned leftovers the next startup sweeps — never a
+    /// resurrected job. If the tombstone itself cannot be made durable
+    /// (disk full), nothing is deleted.
+    pub fn gc(&self) -> usize {
+        if self.cfg.retain_count.is_none() && self.cfg.retain_age.is_none() {
+            return 0;
+        }
+        // Pick victims under the lock; finished jobs cannot change
+        // state, so acting on the snapshot afterwards is safe.
+        let mut finished: Vec<(u64, String)> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.state, JobState::Done | JobState::Failed(_)))
+                .map(|(id, e)| (e.submitted, id.clone()))
+                .collect()
+        };
+        finished.sort();
+        let mut victims: BTreeSet<String> = BTreeSet::new();
+        if let Some(keep) = self.cfg.retain_count {
+            for (_, id) in finished.iter().take(finished.len().saturating_sub(keep)) {
+                victims.insert(id.clone());
+            }
+        }
+        if let Some(age) = self.cfg.retain_age {
+            let now = SystemTime::now();
+            for (_, id) in &finished {
+                let marker = ["done", "failed"]
+                    .iter()
+                    .map(|s| self.job_path(id, s))
+                    .find(|p| p.exists());
+                let Some(mtime) = marker.and_then(|p| std::fs::metadata(p).ok()?.modified().ok())
+                else {
+                    continue;
+                };
+                if now.duration_since(mtime).is_ok_and(|d| d >= age) {
+                    victims.insert(id.clone());
+                }
+            }
+        }
+        if victims.is_empty() {
+            return 0;
+        }
+        let path = self.cfg.state_dir.join("gc.tombstones");
+        let io = &self.cfg.host_io;
+        let writer = if path.exists() {
+            JournalWriter::append_to_with(io, &path)
+        } else {
+            JournalWriter::create_with(io, &path)
+        };
+        let mut writer = match writer {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("aprofd: gc skipped, tombstone journal unusable: {e}");
+                return 0;
+            }
+        };
+        let submitted_of: BTreeMap<&String, u64> =
+            finished.iter().map(|(n, id)| (id, *n)).collect();
+        let mut pruned = 0usize;
+        for id in &victims {
+            writer.append(
+                &format!("gc {id}"),
+                &format!("submitted {}\n", submitted_of.get(id).copied().unwrap_or(0)),
+            );
+            if !writer.is_active() {
+                // The tombstone did not reach the disk: stop pruning
+                // entirely rather than delete undurably-tombstoned jobs.
+                eprintln!("aprofd: gc stopped, tombstone append failed");
+                break;
+            }
+            remove_job_files(&self.cfg.state_dir, id);
+            self.inner.lock().unwrap().entries.remove(id);
+            pruned += 1;
+        }
+        if pruned > 0 {
+            self.metrics
+                .lock()
+                .unwrap()
+                .add("aprofd.jobs.gc_pruned", pruned as u64);
+        }
+        pruned
     }
 
     /// Begins the graceful drain: submissions are refused with a typed
@@ -324,6 +505,7 @@ impl Daemon {
             let mut m = self.metrics.lock().unwrap();
             m.inc("aprofd.jobs.finished");
             drop(m);
+            self.gc();
             self.publish_depth();
             self.cv.notify_all();
         }
@@ -346,11 +528,13 @@ impl Daemon {
         let opts = spec.supervisor_options();
         let journal_path = self.job_path(id, "journal");
 
+        let io = self.cfg.host_io.clone();
+
         let journal_bytes = std::fs::metadata(&journal_path)
             .map(|m| m.len())
             .unwrap_or(0);
         let (result, resumed) = if journal_bytes > 0 {
-            match resume_sweep(&sweep_spec, &opts, &journal_path) {
+            match resume_sweep_with_io(&sweep_spec, &opts, &journal_path, &profile_cell, &io) {
                 Ok((result, report)) => {
                     let mut m = self.metrics.lock().unwrap();
                     m.inc("aprofd.jobs.resumed");
@@ -361,12 +545,12 @@ impl Daemon {
                 }
                 Err(e) => {
                     let msg = render_error_chain(&e);
-                    let _ = atomic_write(&self.job_path(id, "failed"), &msg);
+                    let _ = atomic_write_with(&io, &self.job_path(id, "failed"), &msg);
                     return Err(msg);
                 }
             }
         } else {
-            let mut writer = JournalWriter::create(&journal_path)
+            let mut writer = JournalWriter::create_with(&io, &journal_path)
                 .map_err(|e| self.fail_job(id, format!("journal create: {e}")))?;
             (
                 run_supervised_with(&sweep_spec, &opts, Some(&mut writer), &profile_cell),
@@ -389,7 +573,7 @@ impl Daemon {
             families: vec![FamilyBench::from_resumed(result)],
         };
         let write = |suffix: &str, contents: &str| {
-            atomic_write(&self.job_path(id, suffix), contents)
+            atomic_write_with(&io, &self.job_path(id, suffix), contents)
                 .map_err(|e| self.fail_job(id, format!("artifact `{suffix}`: {e}")))
         };
         write("bench.json", &bench.to_json())?;
@@ -400,9 +584,12 @@ impl Daemon {
     }
 
     /// Records a job failure durably and returns the message (for use
-    /// as the in-memory state).
+    /// as the in-memory state). Best-effort on purpose: the failure may
+    /// *be* a full disk, and the partial outcome is already flushed in
+    /// the journal — the in-memory state and restart-resume both carry
+    /// the job regardless.
     fn fail_job(&self, id: &str, msg: String) -> String {
-        let _ = atomic_write(&self.job_path(id, "failed"), &msg);
+        let _ = atomic_write_with(&self.cfg.host_io, &self.job_path(id, "failed"), &msg);
         msg
     }
 
@@ -492,16 +679,31 @@ impl Daemon {
             let id = job_id(&spec, submitted);
             let decision = inner.queue.offer(&spec.tenant, &id);
             if decision == Admission::Queued {
-                inner.counter = submitted;
                 // Durability point: acknowledge only after the spec is
-                // atomically on disk. Failure to persist is a refusal,
-                // not a half-admitted job.
+                // atomically on disk. Failure to persist is a typed
+                // disk-full shed: the queue slot is withdrawn and the
+                // counter stays put, so the retried submission mints
+                // the *same* deterministic ID once space returns.
                 let spec_text = format!("{}submitted {submitted}\n", spec.canonical_text());
-                if let Err(e) = atomic_write(&self.job_path(&id, "spec"), &spec_text) {
-                    // The queued slot drains harmlessly: a worker pops the
-                    // id, finds no entry, and records nothing.
-                    return Response::text(500, format!("spec persist failed: {e}\n"));
+                if let Err(e) =
+                    atomic_write_with(&self.cfg.host_io, &self.job_path(&id, "spec"), &spec_text)
+                {
+                    inner.queue.cancel(&spec.tenant, &id);
+                    drop(inner);
+                    self.metrics
+                        .lock()
+                        .unwrap()
+                        .inc("aprofd.jobs.shed_disk_full");
+                    self.publish_depth();
+                    return Response::shed(
+                        507,
+                        DISK_FULL_RETRY_MS,
+                        format!(
+                            "shed: state disk unavailable ({e}); retry after {DISK_FULL_RETRY_MS} ms\n"
+                        ),
+                    );
                 }
+                inner.counter = submitted;
                 inner.entries.insert(
                     id.clone(),
                     JobEntry {
@@ -709,6 +911,26 @@ impl Daemon {
     }
 }
 
+/// Removes every `job-<id>.*` file. Returns whether anything existed.
+fn remove_job_files(state_dir: &std::path::Path, id: &str) -> bool {
+    let mut removed = false;
+    for suffix in [
+        "spec",
+        "journal",
+        "bench.json",
+        "report.txt",
+        "metrics.json",
+        "done",
+        "failed",
+    ] {
+        let path = state_dir.join(format!("job-{id}.{suffix}"));
+        if std::fs::remove_file(path).is_ok() {
+            removed = true;
+        }
+    }
+    removed
+}
+
 /// Renders an error with its `source()` chain, one frame per line.
 fn render_error_chain(err: &dyn std::error::Error) -> String {
     let mut out = format!("{err}\n");
@@ -721,19 +943,44 @@ fn render_error_chain(err: &dyn std::error::Error) -> String {
 }
 
 /// Serves `daemon` on `listener` until the drain completes: accepts
-/// connections (each handled on its own thread), refuses new
-/// submissions while draining, and returns once no job is mid-run.
-/// Both the `aprofd` binary and the in-process tests run this.
+/// connections (each handled on its own thread, bounded by
+/// [`DaemonConfig::max_connections`] — excess connections get an
+/// immediate 503 shed), refuses new submissions while draining, and
+/// returns once no job is mid-run. Both the `aprofd` binary and the
+/// in-process tests run this.
 pub fn serve(daemon: Arc<Daemon>, listener: TcpListener) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    let active = Arc::new(AtomicUsize::new(0));
+    let max_connections = daemon.cfg.max_connections.max(1);
     loop {
         if daemon.drain_complete() {
             return Ok(());
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    // Shed at the door: a deterministic 503 beats an
+                    // unbounded thread pile-up. The hint is short — the
+                    // cap clears as fast as one request round-trips.
+                    daemon
+                        .metrics
+                        .lock()
+                        .unwrap()
+                        .inc("aprofd.http.conn_refused");
+                    let _ = stream.set_write_timeout(Some(daemon.cfg.read_timeout));
+                    let _ = crate::http::write_response(
+                        &mut stream,
+                        &Response::shed(503, 250, "busy: connection limit reached; retry\n"),
+                    );
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
                 let d = Arc::clone(&daemon);
-                std::thread::spawn(move || handle_connection(&d, stream));
+                let a = Arc::clone(&active);
+                std::thread::spawn(move || {
+                    handle_connection(&d, stream);
+                    a.fetch_sub(1, Ordering::SeqCst);
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -744,8 +991,9 @@ pub fn serve(daemon: Arc<Daemon>, listener: TcpListener) -> std::io::Result<()> 
 }
 
 fn handle_connection(daemon: &Daemon, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let deadline = daemon.cfg.read_timeout;
+    let _ = stream.set_read_timeout(Some(deadline));
+    let _ = stream.set_write_timeout(Some(deadline));
     let mut write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -753,10 +1001,19 @@ fn handle_connection(daemon: &Daemon, stream: TcpStream) {
     let mut reader = std::io::BufReader::new(stream);
     let response = match crate::http::read_request(&mut reader) {
         Ok(req) => daemon.handle(&req),
-        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-            Response::text(400, format!("bad request: {e}\n"))
+        Err(e @ RequestError::TooLarge(_)) => {
+            daemon.metrics.lock().unwrap().inc("aprofd.http.too_large");
+            Response::text(413, format!("{e}\n"))
         }
-        Err(_) => return, // torn connection; nothing to answer
+        Err(e @ RequestError::Malformed(_)) => Response::text(400, format!("{e}\n")),
+        Err(RequestError::Timeout) => {
+            // Slow loris: the read deadline expired mid-request. Answer
+            // typed (best-effort — the peer may be gone) and close; the
+            // worker thread is freed either way.
+            daemon.metrics.lock().unwrap().inc("aprofd.http.timeouts");
+            Response::text(408, "request read deadline expired\n")
+        }
+        Err(RequestError::Closed | RequestError::Io(_)) => return, // nothing to answer
     };
     let _ = crate::http::write_response(&mut write_half, &response);
 }

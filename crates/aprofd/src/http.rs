@@ -8,6 +8,7 @@
 //! `Retry-After` (whole seconds, rounded up) and the millisecond
 //! `X-Retry-After-Ms` header the `aprofctl` client honors.
 
+use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -15,6 +16,63 @@ use std::time::Duration;
 /// Largest accepted request body: job specs are a few hundred bytes,
 /// so anything near this bound is abuse, not a job.
 pub const MAX_BODY: usize = 64 * 1024;
+
+/// Largest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 4 * 1024;
+
+/// Largest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 4 * 1024;
+
+/// Most header lines accepted in one request.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why reading a request off a connection failed — typed so the
+/// connection handler can answer 400/408/413 (or stay silent) instead
+/// of guessing from an [`std::io::ErrorKind`].
+#[derive(Debug)]
+pub enum RequestError {
+    /// The request exceeds a protocol bound (body, request line, header
+    /// line, or header count) — answered with 413 and closed before the
+    /// oversized data is buffered.
+    TooLarge(String),
+    /// The bytes are not a well-formed request — answered with 400.
+    Malformed(String),
+    /// The socket's read deadline expired mid-request (slow-loris or a
+    /// wedged client) — answered with 408, best-effort.
+    Timeout,
+    /// The peer closed (or tore) the connection; nothing to answer.
+    Closed,
+    /// Any other transport failure; nothing to answer.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::TooLarge(what) => write!(f, "request too large: {what}"),
+            RequestError::Malformed(what) => write!(f, "malformed request: {what}"),
+            RequestError::Timeout => write!(f, "read deadline expired"),
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Io(e) => write!(f, "transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Classifies a raw socket error: a blown read deadline (reported as
+/// `WouldBlock` or `TimedOut` depending on platform) becomes
+/// [`RequestError::Timeout`]; a torn stream becomes
+/// [`RequestError::Closed`].
+fn classify(e: std::io::Error) -> RequestError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::BrokenPipe => RequestError::Closed,
+        _ => RequestError::Io(e),
+    }
+}
 
 /// One parsed request.
 #[derive(Clone, Debug)]
@@ -80,11 +138,13 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        507 => "Insufficient Storage",
         _ => "Unknown",
     }
 }
@@ -93,50 +153,104 @@ fn invalid(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes — a
+/// slow-loris client dribbling an endless header line hits the cap
+/// instead of growing the buffer without bound. The trailing `\r\n` (or
+/// `\n`) is stripped. Returns `None` on clean EOF before any byte.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    what: &str,
+) -> Result<Option<String>, RequestError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(classify(e)),
+        };
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(RequestError::Closed);
+        }
+        let (chunk, found) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&available[..pos], true),
+            None => (available, false),
+        };
+        if buf.len() + chunk.len() > cap {
+            return Err(RequestError::TooLarge(format!(
+                "{what} exceeds {cap} bytes"
+            )));
+        }
+        buf.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(found);
+        reader.consume(consumed);
+        if found {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map(Some)
+                .map_err(|_| RequestError::Malformed(format!("{what} is not UTF-8")));
+        }
+    }
+}
+
 /// Reads one request from `reader` (a buffered wrapper of the accepted
-/// stream).
+/// stream), enforcing the protocol bounds: [`MAX_REQUEST_LINE`],
+/// [`MAX_HEADER_LINE`], [`MAX_HEADERS`], [`MAX_BODY`].
 ///
 /// # Errors
-/// I/O errors propagate; malformed framing and oversized bodies come
-/// back as [`InvalidData`](std::io::ErrorKind::InvalidData), which the
-/// connection handler maps to a 400/413.
-pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(invalid("empty request"));
-    }
+/// [`RequestError`] — typed so the connection handler can answer
+/// 413 (too large), 400 (malformed), 408 (read deadline blown), or
+/// close silently (peer gone).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError> {
+    let line =
+        read_line_capped(reader, MAX_REQUEST_LINE, "request line")?.ok_or(RequestError::Closed)?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or_else(|| invalid("missing method"))?;
-    let target = parts.next().ok_or_else(|| invalid("missing path"))?;
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing path".into()))?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
     let mut content_length = 0usize;
+    let mut headers = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(invalid("truncated headers"));
-        }
-        let header = header.trim_end();
+        let header = read_line_capped(reader, MAX_HEADER_LINE, "header line")?
+            .ok_or(RequestError::Closed)?;
         if header.is_empty() {
             break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(RequestError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
         }
         if let Some((k, v)) = header.split_once(':') {
             if k.eq_ignore_ascii_case("content-length") {
                 content_length = v
                     .trim()
                     .parse()
-                    .map_err(|_| invalid("bad content-length"))?;
+                    .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err(invalid("request body too large"));
+        return Err(RequestError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        )));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
+    reader.read_exact(&mut body).map_err(classify)?;
+    let body =
+        String::from_utf8(body).map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
@@ -175,9 +289,11 @@ pub struct Reply {
 }
 
 impl Reply {
-    /// Whether the server shed the request (retry may help).
+    /// Whether the server shed the request (retry may help): queue
+    /// pressure (429), draining or at the connection cap (503), or the
+    /// state disk is full (507).
     pub fn is_shed(&self) -> bool {
-        self.status == 429 || self.status == 503
+        matches!(self.status, 429 | 503 | 507)
     }
 }
 
@@ -277,13 +393,65 @@ mod tests {
             MAX_BODY + 1
         );
         let err = read_request(&mut Cursor::new(raw.as_bytes())).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
     }
 
     #[test]
     fn truncated_framing_is_invalid_not_a_hang() {
         let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n";
-        assert!(read_request(&mut Cursor::new(&raw[..])).is_err());
-        assert!(read_request(&mut Cursor::new(&b""[..])).is_err());
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..])),
+            Err(RequestError::Closed)
+        ));
+        assert!(matches!(
+            read_request(&mut Cursor::new(&b""[..])),
+            Err(RequestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn giant_request_line_is_too_large_without_buffering_it() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        let err = read_request(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn giant_header_line_is_too_large() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE)
+        );
+        let err = read_request(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn too_many_headers_are_refused() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = read_request(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn shed_covers_disk_full() {
+        for status in [429, 503, 507] {
+            let r = Reply {
+                status,
+                retry_after_ms: Some(1),
+                body: String::new(),
+            };
+            assert!(r.is_shed(), "{status}");
+        }
+        assert!(!Reply {
+            status: 500,
+            retry_after_ms: None,
+            body: String::new()
+        }
+        .is_shed());
     }
 }

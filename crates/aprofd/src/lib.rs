@@ -39,5 +39,6 @@ pub mod spec;
 
 pub use client::{Client, ClientError};
 pub use daemon::{serve, Daemon, DaemonConfig, JobState, JobSummary};
+pub use http::RequestError;
 pub use queue::{Admission, AdmissionQueue, QueueConfig};
 pub use spec::{job_id, JobSpec, SpecError};

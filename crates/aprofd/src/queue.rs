@@ -157,6 +157,22 @@ impl AdmissionQueue {
         None
     }
 
+    /// Withdraws a still-queued job (admission succeeded but a later
+    /// step of the submission — e.g. persisting the spec to a full disk
+    /// — failed, so the slot must be given back). Returns whether the
+    /// job was found and removed.
+    pub fn cancel(&mut self, tenant: &str, job: &str) -> bool {
+        let Some(q) = self.queues.get_mut(tenant) else {
+            return false;
+        };
+        let Some(pos) = q.iter().position(|j| j == job) else {
+            return false;
+        };
+        q.remove(pos);
+        self.queued_total -= 1;
+        true
+    }
+
     /// Marks one of `tenant`'s running jobs finished.
     pub fn finished(&mut self, tenant: &str) {
         if let Some(n) = self.running.get_mut(tenant) {
@@ -228,6 +244,19 @@ mod tests {
         assert_eq!(q.pop_fair(), Some(("a".into(), "j2".into())));
         q.finished("a");
         assert_eq!(q.running(), 0);
+    }
+
+    #[test]
+    fn cancel_gives_the_slot_back() {
+        let mut q = queue(2, 2, 1);
+        q.offer("a", "j1");
+        q.offer("a", "j2");
+        assert!(matches!(q.offer("a", "j3"), Admission::ShedFull { .. }));
+        assert!(q.cancel("a", "j2"));
+        assert!(!q.cancel("a", "j2"), "already gone");
+        assert_eq!(q.queued(), 1);
+        assert_eq!(q.offer("a", "j3"), Admission::Queued, "slot reusable");
+        assert_eq!(q.pop_fair(), Some(("a".into(), "j1".into())));
     }
 
     #[test]

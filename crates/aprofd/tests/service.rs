@@ -31,9 +31,9 @@ struct Server {
 
 fn start(dir: &Path, workers: usize, queue: QueueConfig) -> Server {
     let daemon = Daemon::new(DaemonConfig {
-        state_dir: dir.to_path_buf(),
         workers,
         queue,
+        ..DaemonConfig::new(dir.to_path_buf())
     })
     .expect("daemon");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -386,9 +386,8 @@ fn restored_entries_report_their_state_without_a_network_restart() {
     s2.stop();
 
     let d = Daemon::new(DaemonConfig {
-        state_dir: dir.clone(),
         workers: 0,
-        queue: QueueConfig::default(),
+        ..DaemonConfig::new(dir.clone())
     })
     .expect("daemon");
     let status = |id: &str| {

@@ -8,21 +8,36 @@
 //! which is what lets the kill-and-resume CI gate `cmp` artifacts
 //! byte-for-byte after a SIGKILL.
 
-use std::fs::{self, File};
-use std::io::{self, Write as _};
+use drms::trace::hostio::HostIo;
+use std::fs;
+use std::io;
 use std::path::Path;
 
-/// Atomically replaces `path` with `contents`.
+/// Atomically replaces `path` with `contents` through real host I/O.
+///
+/// # Errors
+/// Any I/O failure from creating, writing, syncing or renaming the
+/// temporary file. On error the target is untouched.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write_with(&HostIo::real(), path, contents)
+}
+
+/// Atomically replaces `path` with `contents`, performing every file
+/// operation through `io` so chaos suites can inject ENOSPC, fsync-EIO,
+/// torn writes, and rename failures at each step.
 ///
 /// The temporary sibling is named `<file>.tmp.<pid>` so concurrent
 /// writers of *different* artifacts never collide, and a leftover from
 /// a previous crash is simply overwritten on the next run.
 ///
 /// # Errors
-/// Any I/O failure from creating, writing, syncing or renaming the
-/// temporary file. On error the target is untouched.
-pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+/// Any I/O failure (real or injected) from creating, writing, syncing
+/// or renaming the temporary file, or from syncing the parent directory
+/// afterwards. On error the target is untouched (the rename either
+/// happened or it did not; a failed directory sync surfaces as an error
+/// even though the rename landed, because durability was requested and
+/// could not be guaranteed).
+pub fn atomic_write_with(io: &HostIo, path: &Path, contents: &str) -> io::Result<()> {
     let file_name = path
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
@@ -32,24 +47,23 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
         file_name.to_string_lossy(),
         std::process::id()
     ));
-    let mut f = File::create(&tmp)?;
-    f.write_all(contents.as_bytes())?;
-    // Data must be durable before the rename makes it visible,
-    // otherwise a crash could expose a renamed-but-empty file.
-    f.sync_all()?;
-    drop(f);
-    if let Err(e) = fs::rename(&tmp, path) {
+    let result = (|| {
+        let mut f = io.create(&tmp)?;
+        io.write_all(&mut f, contents.as_bytes())?;
+        // Data must be durable before the rename makes it visible,
+        // otherwise a crash could expose a renamed-but-empty file.
+        io.fsync(&f)?;
+        drop(f);
+        io.rename(&tmp, path)
+    })();
+    if let Err(e) = result {
         let _ = fs::remove_file(&tmp);
         return Err(e);
     }
-    // Persist the rename itself (the directory entry). Best-effort:
-    // directories cannot be opened for writing on every platform.
-    if let Some(dir) = dir {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    // Persist the rename itself (the directory entry) — without this a
+    // power cut after `rename` can roll the directory back to the old
+    // artifact, or to none at all.
+    io.sync_parent_dir(path)
 }
 
 #[cfg(test)]
@@ -76,6 +90,36 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "no temp files left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_leave_the_target_untouched() {
+        let dir = tmp_dir("faults");
+        let path = dir.join("out.json");
+        atomic_write(&path, "good").unwrap();
+        for spec in [
+            "create:enospc",
+            "write:enospc",
+            "write:torn",
+            "fsync:eio",
+            "rename:eio",
+        ] {
+            let io = HostIo::from_spec(spec).unwrap();
+            let err = atomic_write_with(&io, &path, "clobbered").unwrap_err();
+            assert!(drms::trace::hostio::is_injected(&err), "{spec}: {err}");
+            assert_eq!(fs::read_to_string(&path).unwrap(), "good", "{spec}");
+            let leftovers: Vec<_> = fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .collect();
+            assert!(leftovers.is_empty(), "{spec}: temp cleaned up");
+        }
+        // A failed directory sync is surfaced, but the rename landed.
+        let io = HostIo::from_spec("syncdir:eio").unwrap();
+        assert!(atomic_write_with(&io, &path, "landed").is_err());
+        assert_eq!(fs::read_to_string(&path).unwrap(), "landed");
         let _ = fs::remove_dir_all(&dir);
     }
 

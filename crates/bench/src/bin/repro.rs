@@ -39,7 +39,12 @@
 //!                 .metrics.json sibling). --journal checkpoints every
 //!                 finished cell; --resume salvages a journal after a
 //!                 crash and re-runs only the lost cells, reproducing
-//!                 the uninterrupted artifacts byte-for-byte
+//!                 the uninterrupted artifacts byte-for-byte.
+//!                 --host-faults SPEC injects storage faults (chaos
+//!                 testing): journal and artifact writes hit seeded
+//!                 ENOSPC / fsync-EIO / torn writes and the sweep must
+//!                 either finish byte-identical or exit 1 with a typed
+//!                 error — never leave a corrupt artifact
 //! ```
 //!
 //! Each experiment prints its series and also writes CSV/gnuplot data
@@ -70,6 +75,7 @@ struct Options {
     resume: Option<PathBuf>,
     max_attempts: u32,
     deadline_ms: Option<u64>,
+    host_io: drms::trace::hostio::HostIo,
 }
 
 fn main() {
@@ -88,6 +94,7 @@ fn main() {
         resume: None,
         max_attempts: 3,
         deadline_ms: None,
+        host_io: drms::trace::hostio::HostIo::real(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -141,6 +148,19 @@ fn main() {
                 }
                 opts.deadline_ms = Some(ms);
             }
+            "--host-faults" => {
+                let spec = args.next().expect("--host-faults SPEC");
+                match drms::trace::hostio::HostIo::from_spec(&spec) {
+                    Ok(io) => {
+                        eprintln!("repro: CHAOS MODE — injecting host faults from `{spec}`");
+                        opts.host_io = io;
+                    }
+                    Err(e) => {
+                        eprintln!("repro: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other if experiment.is_none() => experiment = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -149,7 +169,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N]");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N] [--host-faults SPEC]");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -922,9 +942,19 @@ fn sched_shrink(opts: &Options) {
 /// `--quick` shrinks the grids for smoke testing.
 fn sweep_bench(opts: &Options) {
     use drms::analysis::InputMetric;
-    use drms_bench::artifact::atomic_write;
-    use drms_bench::supervisor::{resume_sweep, JournalWriter, SupervisorOptions};
+    use drms_bench::artifact::atomic_write_with;
+    use drms_bench::supervisor::{resume_sweep_with_io, JournalWriter, SupervisorOptions};
     use drms_bench::sweep::{validate_bench_json, FamilyBench, SweepBench, SweepSpec};
+    // Artifact writes must fail typed, not panic: under --host-faults
+    // the CI chaos gate asserts a clean nonzero exit with the fault
+    // named, and the atomic temp+rename discipline guarantees the
+    // previous artifact (if any) is still intact.
+    let write_artifact = |path: &Path, contents: &str, what: &str| {
+        if let Err(e) = atomic_write_with(&opts.host_io, path, contents) {
+            eprintln!("sweep: cannot write {what} `{}`: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
     println!("\n=== Parallel sweep benchmark ({} jobs) ===", opts.jobs);
     let scale = opts.scale as i64;
     let (minidb_sizes, imgpipe_sizes, seeds): (Vec<i64>, Vec<i64>, Vec<u64>) = if opts.quick {
@@ -950,7 +980,13 @@ fn sweep_bench(opts: &Options) {
     if let Some(path) = &opts.resume {
         println!("  resuming from journal {}", path.display());
         for spec in &specs {
-            match resume_sweep(spec, &sup, path) {
+            match resume_sweep_with_io(
+                spec,
+                &sup,
+                path,
+                &drms_bench::supervisor::profile_cell,
+                &opts.host_io,
+            ) {
                 Ok((result, resume)) => {
                     println!(
                         "  {:<8} salvaged {} cells, re-ran {} ({:.3}s)",
@@ -981,7 +1017,16 @@ fn sweep_bench(opts: &Options) {
         }
     } else {
         let mut writer = opts.journal.as_ref().map(|p| {
-            let w = JournalWriter::create(p).expect("create checkpoint journal");
+            let w = match JournalWriter::create_with(&opts.host_io, p) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!(
+                        "sweep: cannot create checkpoint journal `{}`: {e}",
+                        p.display()
+                    );
+                    std::process::exit(1);
+                }
+            };
             println!("  journaling checkpoints to {}", p.display());
             w
         });
@@ -1047,10 +1092,10 @@ fn sweep_bench(opts: &Options) {
         bench.parallel_secs(),
         bench.speedup()
     );
-    atomic_write(&opts.bench_out, &json).expect("write BENCH_sweep.json");
+    write_artifact(&opts.bench_out, &json, "bench artifact");
     println!("  [benchmark written to {}]", opts.bench_out.display());
     let timings_out = opts.bench_out.with_extension("timings.json");
-    atomic_write(&timings_out, &bench.timings_json()).expect("write sweep timings");
+    write_artifact(&timings_out, &bench.timings_json(), "sweep timings");
     println!("  [timings written to {}]", timings_out.display());
     if let Err(violations) = merged_metrics.audit() {
         eprintln!(
@@ -1063,6 +1108,6 @@ fn sweep_bench(opts: &Options) {
         std::process::exit(1);
     }
     let metrics_out = opts.bench_out.with_extension("metrics.json");
-    atomic_write(&metrics_out, &merged_metrics.to_json()).expect("write sweep metrics");
+    write_artifact(&metrics_out, &merged_metrics.to_json(), "sweep metrics");
     println!("  [audited metrics written to {}]", metrics_out.display());
 }

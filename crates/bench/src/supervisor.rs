@@ -35,13 +35,13 @@
 use crate::sweep::{family_workload, QuarantinedCell, SweepCell, SweepResult, SweepSpec};
 use drms::core::report_io;
 use drms::sched::fnv1a;
+use drms::trace::hostio::HostIo;
 use drms::trace::journal::{self, ParseJournalError};
 use drms::trace::Metrics;
 use drms::vm::{EventCounters, FaultCounters, FaultPlan, RunConfig, RunError, RunStats};
 use drms::{Error, ProfileSession};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -293,23 +293,46 @@ fn supervise_cell(
 /// itself carries on — losing checkpoints must never lose the run.
 pub struct JournalWriter {
     file: Option<File>,
+    io: HostIo,
 }
 
 impl JournalWriter {
-    /// Creates (truncates) the journal at `path` and writes the file
-    /// header.
+    /// Creates (truncates) the journal at `path`, writes the file
+    /// header, and syncs the parent directory so the journal's
+    /// existence survives a crash.
     pub fn create(path: &Path) -> std::io::Result<JournalWriter> {
-        let mut file = File::create(path)?;
-        file.write_all(journal::FILE_HEADER.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_all()?;
-        Ok(JournalWriter { file: Some(file) })
+        JournalWriter::create_with(&HostIo::real(), path)
+    }
+
+    /// [`JournalWriter::create`] through `io`, so chaos suites can fail
+    /// any step of journal creation.
+    pub fn create_with(io: &HostIo, path: &Path) -> std::io::Result<JournalWriter> {
+        let mut file = io.create(path)?;
+        io.write_all(&mut file, journal::FILE_HEADER.as_bytes())?;
+        io.write_all(&mut file, b"\n")?;
+        io.fsync(&file)?;
+        // The file's *name* lives in the directory; without this a
+        // crash can lose the freshly-created journal entirely.
+        io.sync_parent_dir(path)?;
+        Ok(JournalWriter {
+            file: Some(file),
+            io: io.clone(),
+        })
     }
 
     /// Opens the journal at `path` for appending (resume).
     pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
+        JournalWriter::append_to_with(&HostIo::real(), path)
+    }
+
+    /// [`JournalWriter::append_to`] with appended records written
+    /// through `io`.
+    pub fn append_to_with(io: &HostIo, path: &Path) -> std::io::Result<JournalWriter> {
         let file = OpenOptions::new().append(true).open(path)?;
-        Ok(JournalWriter { file: Some(file) })
+        Ok(JournalWriter {
+            file: Some(file),
+            io: io.clone(),
+        })
     }
 
     /// Appends one record and flushes it to disk. Best-effort: on I/O
@@ -319,13 +342,20 @@ impl JournalWriter {
             return;
         };
         let encoded = journal::encode_record(meta, payload);
-        let result = file
-            .write_all(encoded.as_bytes())
-            .and_then(|()| file.sync_data());
+        let result = self
+            .io
+            .write_all(file, encoded.as_bytes())
+            .and_then(|()| self.io.fdatasync(file));
         if let Err(e) = result {
             eprintln!("warning: journal append failed ({e}); journaling disabled for this sweep");
             self.file = None;
         }
+    }
+
+    /// Whether the writer is still journaling (an append failure
+    /// disables it for the rest of the sweep).
+    pub fn is_active(&self) -> bool {
+        self.file.is_some()
     }
 }
 
@@ -740,6 +770,19 @@ pub fn resume_sweep_with(
     path: &Path,
     runner: &Runner,
 ) -> Result<(SweepResult, ResumeReport), Error> {
+    resume_sweep_with_io(spec, opts, path, runner, &HostIo::real())
+}
+
+/// [`resume_sweep_with`] with every journal/artifact write routed
+/// through `io` — the chaos suite's entry point for proving that a
+/// faulted resume either completes byte-identically or fails typed.
+pub fn resume_sweep_with_io(
+    spec: &SweepSpec,
+    opts: &SupervisorOptions,
+    path: &Path,
+    runner: &Runner,
+    io: &HostIo,
+) -> Result<(SweepResult, ResumeReport), Error> {
     let text = std::fs::read_to_string(path)?;
     let salvaged = journal::from_text_lossy(&text);
     let grid = spec.grid();
@@ -852,7 +895,7 @@ pub fn resume_sweep_with(
     let mut writer = if text.is_empty() || salvaged.records.is_empty() && salvaged.is_damaged() {
         // Nothing usable (empty file, or killed before the header hit
         // the disk): start the journal over.
-        JournalWriter::create(path)?
+        JournalWriter::create_with(io, path)?
     } else if salvaged.is_damaged() {
         // A torn tail or stray trailer would sit between the valid
         // prefix and everything this resume appends, and the *next*
@@ -860,11 +903,11 @@ pub fn resume_sweep_with(
         // records. Rewrite the journal to its salvaged prefix first so
         // interleaved appends from a resumed writer always extend a
         // clean file.
-        crate::artifact::atomic_write(path, &journal::to_text(&salvaged.records))?;
+        crate::artifact::atomic_write_with(io, path, &journal::to_text(&salvaged.records))?;
         report.metrics.inc("journal.rewritten");
-        JournalWriter::append_to(path)?
+        JournalWriter::append_to_with(io, path)?
     } else {
-        JournalWriter::append_to(path)?
+        JournalWriter::append_to_with(io, path)?
     };
     if !family_started {
         writer.append(&spec_meta(&spec.family), &want_payload);

@@ -8,6 +8,7 @@
 //! they need to.
 
 use drms_core::report_io::ParseReportError;
+use drms_trace::hostio::HostFaultSpecError;
 use drms_trace::journal::ParseJournalError;
 use drms_trace::obs::MergeError;
 use drms_trace::sched::ParseSchedError;
@@ -43,6 +44,8 @@ pub enum Error {
     Report(ParseReportError),
     /// A fault-plan spec string was malformed.
     Faults(FaultSpecError),
+    /// A host-fault spec string (`--host-faults`) was malformed.
+    HostFaults(HostFaultSpecError),
     /// A checkpoint journal was unusable (unreadable header, spec
     /// mismatch against the resuming sweep, …). Damaged *records* are
     /// not errors — the lossy salvage drops them and the supervisor
@@ -65,6 +68,7 @@ impl fmt::Display for Error {
             Error::Sched(_) => write!(f, "malformed schedule"),
             Error::Report(_) => write!(f, "malformed profile report"),
             Error::Faults(_) => write!(f, "malformed fault plan"),
+            Error::HostFaults(_) => write!(f, "malformed host fault plan"),
             Error::Journal(_) => write!(f, "unusable checkpoint journal"),
             Error::Metrics(_) => write!(f, "metrics merge failed"),
             Error::Io(_) => write!(f, "artifact I/O failed"),
@@ -81,6 +85,7 @@ impl std::error::Error for Error {
             Error::Sched(e) => Some(e),
             Error::Report(e) => Some(e),
             Error::Faults(e) => Some(e),
+            Error::HostFaults(e) => Some(e),
             Error::Journal(e) => Some(e),
             Error::Metrics(e) => Some(e),
             Error::Io(e) => Some(e),
@@ -121,6 +126,12 @@ impl From<ParseReportError> for Error {
 impl From<FaultSpecError> for Error {
     fn from(e: FaultSpecError) -> Self {
         Error::Faults(e)
+    }
+}
+
+impl From<HostFaultSpecError> for Error {
+    fn from(e: HostFaultSpecError) -> Self {
+        Error::HostFaults(e)
     }
 }
 

@@ -66,7 +66,8 @@ pub mod prelude {
         RoutineProfile,
     };
     pub use drms_trace::{
-        Addr, Event, EventSink, Metrics, RoutineId, Schedule, ThreadId, TimedEvent,
+        Addr, Event, EventSink, HostFaultPlan, HostIo, Metrics, RoutineId, Schedule, ThreadId,
+        TimedEvent,
     };
     pub use drms_vm::{
         run_program, run_program_with, Device, FaultPlan, NullTool, Operand, Program,

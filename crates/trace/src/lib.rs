@@ -38,6 +38,7 @@
 
 pub mod codec;
 pub mod event;
+pub mod hostio;
 pub mod ids;
 pub mod journal;
 pub mod merge;
@@ -49,6 +50,7 @@ pub mod trace;
 
 pub use codec::{from_text, from_text_lossy, to_text, ParseTraceError, SalvagedTrace};
 pub use event::{Event, SyncOp, TimedEvent};
+pub use hostio::{HostFaultPlan, HostFaultSpecError, HostIo};
 pub use ids::{Addr, BlockId, NameTable, RoutineId, ThreadId};
 pub use journal::{JournalRecord, ParseJournalError, SalvagedJournal};
 pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};
