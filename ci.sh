@@ -25,6 +25,37 @@ cargo run --release -q -p drms-bench --bin repro -- sched-fuzz --seeds 16 --quic
 cargo run --release -q -p drms-bench --bin repro -- sweep --quick --jobs 2 \
     --bench-out target/repro/BENCH_sweep.json
 
+# Perf gate: the fast interpreter core must stay fast and observably
+# equivalent. The quick sweep runs once decoded (the default: fused
+# dispatch, batched delivery) and once legacy (--decode off --batch 1);
+# the two deterministic bench artifacts must be byte-identical, and the
+# decoded run must clear the sustained instructions/sec floor (the
+# pre-decode baseline was ~34.5M/s; the floor is set conservatively
+# below the ~180M/s this grid sustains, to ride out container timing
+# noise). The jobs=4 speedup floor only applies on multi-core hosts: a
+# single core caps the parallel pass at ~1.0x by construction (see
+# EXPERIMENTS.md "Parallel sweep benchmark").
+mkdir -p target/repro/perf
+repro=target/release/repro
+"$repro" sweep --quick --jobs 4 \
+    --bench-out target/repro/perf/BENCH_decoded.json > /dev/null
+"$repro" sweep --quick --jobs 4 --decode off --batch 1 \
+    --bench-out target/repro/perf/BENCH_legacy.json > /dev/null
+cmp target/repro/perf/BENCH_decoded.json target/repro/perf/BENCH_legacy.json \
+    || { echo "ci: decoded and legacy sweeps are not byte-identical" >&2; exit 1; }
+cmp target/repro/perf/BENCH_decoded.metrics.json target/repro/perf/BENCH_legacy.metrics.json \
+    || { echo "ci: decoded and legacy sweep metrics are not byte-identical" >&2; exit 1; }
+ips=$(grep -o '"instructions_per_sec": [0-9.]*' target/repro/perf/BENCH_decoded.timings.json \
+    | awk '{print $2}')
+awk -v v="$ips" 'BEGIN { exit !(v >= 100000000) }' \
+    || { echo "ci: decoded sweep sustained only $ips instr/sec (floor 100M)" >&2; exit 1; }
+if [ "$(nproc)" -ge 2 ]; then
+    sp=$(grep -o '"speedup": [0-9.]*' target/repro/perf/BENCH_decoded.timings.json \
+        | head -1 | awk '{print $2}')
+    awk -v v="$sp" 'BEGIN { exit !(v >= 1.5) }' \
+        || { echo "ci: jobs=4 sweep speedup $sp below the 1.5x floor" >&2; exit 1; }
+fi
+
 # Crash-safety gate: journal a sweep, SIGKILL it mid-grid, resume from
 # the salvaged journal, and require the resumed BENCH_sweep.json and
 # audited .metrics.json to be byte-identical to an uninterrupted run of

@@ -12,14 +12,24 @@ fn bench(c: &mut Criterion) {
         let sizes: Vec<i64> = (1..=steps as i64).map(|i| i * 64).collect();
         let w = minidb::minidb_scaling(&sizes);
         group.bench_with_input(BenchmarkId::new("profile", steps), &w, |b, w| {
-            b.iter(|| drms::profile_workload(w).expect("run"))
+            b.iter(|| {
+                drms::ProfileSession::workload(w)
+                    .run()
+                    .expect("run")
+                    .into_parts()
+                    .expect("run")
+            })
         });
     }
     group.finish();
 
     let sizes: Vec<i64> = (1..=10).map(|i| i * 64).collect();
     let w = minidb::minidb_scaling(&sizes);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let p = report.merged_routine(w.focus.expect("mysql_select"));
     let rms = CostPlot::of(&p, InputMetric::Rms);
     let drms = CostPlot::of(&p, InputMetric::Drms);

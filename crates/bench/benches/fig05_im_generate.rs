@@ -10,10 +10,20 @@ fn bench(c: &mut Criterion) {
     c.benchmark_group("fig05")
         .sample_size(10)
         .bench_function("profile_vips", |b| {
-            b.iter(|| drms::profile_workload(&w).expect("run"))
+            b.iter(|| {
+                drms::ProfileSession::workload(&w)
+                    .run()
+                    .expect("run")
+                    .into_parts()
+                    .expect("run")
+            })
         });
 
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let p = report.merged_routine(w.focus.expect("im_generate"));
     let rms = CostPlot::of(&p, InputMetric::Rms);
     let drms = CostPlot::of(&p, InputMetric::Drms);

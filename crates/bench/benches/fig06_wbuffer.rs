@@ -11,16 +11,22 @@ fn bench(c: &mut Criterion) {
     let small = imgpipe::vips(2, 16, 1);
     let mut group = c.benchmark_group("fig06");
     group.bench_function("drms_full", |b| {
-        b.iter(|| drms::profile_workload(&small).expect("run"))
+        b.iter(|| {
+            drms::ProfileSession::workload(&small)
+                .run()
+                .expect("run")
+                .into_parts()
+                .expect("run")
+        })
     });
     group.bench_function("drms_external_only", |b| {
         b.iter(|| {
-            drms::profile_with(
-                &small.program,
-                small.run_config(),
-                DrmsConfig::external_only(),
-            )
-            .expect("run")
+            drms::ProfileSession::workload(&small)
+                .drms(DrmsConfig::external_only())
+                .run()
+                .expect("run")
+                .into_parts()
+                .expect("run")
         })
     });
     group.finish();
@@ -30,9 +36,17 @@ fn bench(c: &mut Criterion) {
         .program
         .routine_by_name("wbuffer_write_thread")
         .expect("routine");
-    let (full, _) = drms::profile_workload(&w).expect("run");
-    let (ext, _) =
-        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only()).expect("run");
+    let (full, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
+    let (ext, _) = drms::ProfileSession::workload(&w)
+        .drms(DrmsConfig::external_only())
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let pf = full.merged_routine(wb);
     let pe = ext.merged_routine(wb);
     let a = CostPlot::of(&pf, InputMetric::Rms).len();

@@ -9,7 +9,11 @@ use drms::workloads;
 
 fn bench(c: &mut Criterion) {
     let w = workloads::parsec::dedup(4, 1);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     c.benchmark_group("fig11_12")
         .bench_function("metric_extraction", |b| {
             b.iter(|| (richness_curve(&report), volume_curve(&report)))
@@ -27,7 +31,11 @@ fn bench(c: &mut Criterion) {
         workloads::parsec::swaptions(4, 1),
         workloads::imgpipe::vips(2, 10, 1),
     ] {
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let rich = richness_curve(&report);
         let vol = volume_curve(&report);
         negative_richness += rich.iter().filter(|p| p.1 < 0.0).count();

@@ -10,7 +10,11 @@ use drms::workloads;
 
 fn bench(c: &mut Criterion) {
     let w = workloads::minidb::mysqlslap(4, 4, 60);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     c.benchmark_group("fig13_14_15")
         .bench_function("characterize_mysqlslap", |b| {
             b.iter(|| {
@@ -24,7 +28,11 @@ fn bench(c: &mut Criterion) {
     // Fig 13: MySQL external-dominated, vips thread-dominated.
     let (mysql_th, mysql_ext) = induced_split(&report);
     let vips = workloads::imgpipe::vips(2, 10, 1);
-    let (vips_report, _) = drms::profile_workload(&vips).expect("run");
+    let (vips_report, _) = drms::ProfileSession::workload(&vips)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let (vips_th, vips_ext) = induced_split(&vips_report);
     println!(
         "\nfig13: mysqlslap thread {mysql_th:.0}% / external {mysql_ext:.0}%; \
@@ -36,7 +44,11 @@ fn bench(c: &mut Criterion) {
     // Fig 15: the OMP-like cluster is thread-input dominated (>69% in
     // the paper; we check a dominant majority).
     for w in workloads::spec_omp_suite(4, 1) {
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let (th, ext) = induced_split(&report);
         println!("fig15: {:<10} thread {th:.0}% external {ext:.0}%", w.name);
         assert!(th > 60.0, "{}: OMP cluster is thread-dominated", w.name);

@@ -23,6 +23,13 @@
 //!                       workloads: minidb, mysqlslap, vips,
 //!                       stream_reader, producer_consumer,
 //!                       selection_sort
+//!   --decode MODE       interpreter dispatch: off (reference
+//!                       interpreter) | blocks (pre-decoded basic
+//!                       blocks) | fused (blocks + superinstruction
+//!                       fusion, the default); every mode produces the
+//!                       same profile, report and metrics
+//!   --batch N           tool event-batch capacity (default 128);
+//!                       N=1 degenerates to per-event delivery
 //!   --jobs N            worker threads for --sweep (default 1)
 //!   --deadline-ms N     wall-clock budget per run (checked once per
 //!                       scheduler slice; exceeding it aborts with
@@ -71,7 +78,8 @@ use drms::analysis::{ascii_plot, CostPlot, InputMetric};
 use drms::core::{report_io, CctProfiler, DrmsConfig, ProfileReport, RmsProfiler};
 use drms::trace::{merge_traces, Metrics, TraceStats};
 use drms::vm::{
-    disassemble, FaultPlan, RunConfig, RunError, RunStats, SchedPolicy, Tool, TraceRecorder, Vm,
+    disassemble, DecodeMode, FaultPlan, RunConfig, RunError, RunStats, SchedPolicy, Tool,
+    TraceRecorder, Vm,
 };
 use drms::workloads::{self, Workload};
 use drms::ProfileSession;
@@ -104,13 +112,15 @@ struct Cli {
     disasm: bool,
     diff: Option<(String, String)>,
     sweep: Option<Vec<i64>>,
+    decode: Option<DecodeMode>,
+    batch: Option<usize>,
     jobs: usize,
     deadline_ms: Option<u64>,
     max_attempts: u32,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--jobs N] [--deadline-ms N] [--max-attempts N]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--decode off|blocks|fused] [--batch N] [--jobs N] [--deadline-ms N] [--max-attempts N]");
     exit(2)
 }
 
@@ -150,6 +160,8 @@ fn parse_cli() -> Cli {
         disasm: false,
         diff: None,
         sweep: None,
+        decode: None,
+        batch: None,
         jobs: 1,
         deadline_ms: None,
         max_attempts: 3,
@@ -199,6 +211,21 @@ fn parse_cli() -> Cli {
                         usage()
                     }
                 }
+            }
+            "--decode" => {
+                let v = value("--decode");
+                cli.decode = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("--decode: {e}");
+                    usage()
+                }));
+            }
+            "--batch" => {
+                let n: usize = value("--batch").parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--batch must be >= 1 (0 could never buffer an event)");
+                    usage()
+                }
+                cli.batch = Some(n);
             }
             "--jobs" => cli.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => {
@@ -321,6 +348,12 @@ fn main() {
     }
     let mut config = w.run_config();
     config.policy = cli.policy;
+    if let Some(mode) = cli.decode {
+        config.decode = mode;
+    }
+    if let Some(n) = cli.batch {
+        config.event_batch = n;
+    }
     if let Some(q) = cli.quantum {
         config.quantum = q;
     }
@@ -408,8 +441,15 @@ fn main() {
             let (stats, abort, metrics) = run_vm(&w, config, &mut p, record);
             (p.into_report(), stats, abort, metrics)
         }
+        // The nulgrind analogue: no analysis at all, measuring bare
+        // VM + instrumentation-dispatch overhead.
+        "null" | "nulgrind" => {
+            let mut p = drms::vm::NullTool;
+            let (stats, abort, metrics) = run_vm(&w, config, &mut p, record);
+            (ProfileReport::new(), stats, abort, metrics)
+        }
         other => {
-            eprintln!("unknown tool `{other}` (aprof-drms | aprof | external-only)");
+            eprintln!("unknown tool `{other}` (aprof-drms | aprof | external-only | nulgrind)");
             exit(1)
         }
     };

@@ -75,6 +75,8 @@ struct Options {
     resume: Option<PathBuf>,
     max_attempts: u32,
     deadline_ms: Option<u64>,
+    decode: Option<drms::vm::DecodeMode>,
+    batch: Option<usize>,
     host_io: drms::trace::hostio::HostIo,
 }
 
@@ -94,6 +96,8 @@ fn main() {
         resume: None,
         max_attempts: 3,
         deadline_ms: None,
+        decode: None,
+        batch: None,
         host_io: drms::trace::hostio::HostIo::real(),
     };
     while let Some(arg) = args.next() {
@@ -148,6 +152,21 @@ fn main() {
                 }
                 opts.deadline_ms = Some(ms);
             }
+            "--decode" => {
+                let v = args.next().expect("--decode off|blocks|fused");
+                opts.decode = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("--decode: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--batch" => {
+                let n: usize = args.next().and_then(|v| v.parse().ok()).expect("--batch N");
+                if n == 0 {
+                    eprintln!("--batch must be >= 1 (0 could never buffer an event)");
+                    std::process::exit(2);
+                }
+                opts.batch = Some(n);
+            }
             "--host-faults" => {
                 let spec = args.next().expect("--host-faults SPEC");
                 match drms::trace::hostio::HostIo::from_spec(&spec) {
@@ -169,7 +188,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N] [--host-faults SPEC]");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N] [--decode off|blocks|fused] [--batch N] [--host-faults SPEC]");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -957,36 +976,51 @@ fn sweep_bench(opts: &Options) {
     };
     println!("\n=== Parallel sweep benchmark ({} jobs) ===", opts.jobs);
     let scale = opts.scale as i64;
-    let (minidb_sizes, imgpipe_sizes, seeds): (Vec<i64>, Vec<i64>, Vec<u64>) = if opts.quick {
-        ((1..=3).map(|i| i * 32).collect(), vec![4, 8], vec![1])
-    } else {
-        (
-            (1..=8).map(|i| i * 64 * scale).collect(),
-            (1..=6).map(|i| 4 * i * scale).collect(),
-            vec![1, 2],
-        )
-    };
+    // The sort family's size is the Figure-10 step count (arrays of
+    // 10..=10·size elements), so a cell costs Θ(size³) instructions;
+    // sizes stay fixed rather than scaling with `--scale` because the
+    // VM watchdog (500M instructions) caps the step count near 140.
+    // Sizes are listed descending: workers pull cells off a shared
+    // cursor in grid order, so the longest quadratic arrays start first
+    // and the small minidb/imgpipe cells backfill the stragglers.
+    let (sort_sizes, minidb_sizes, imgpipe_sizes, seeds): (Vec<i64>, Vec<i64>, Vec<i64>, Vec<u64>) =
+        if opts.quick {
+            (
+                vec![64, 56, 48],
+                (1..=3).map(|i| i * 32).collect(),
+                vec![4, 8],
+                vec![1],
+            )
+        } else {
+            (
+                vec![112, 96, 80],
+                (1..=8).map(|i| i * 64 * scale).collect(),
+                (1..=6).map(|i| 4 * i * scale).collect(),
+                vec![1, 2],
+            )
+        };
     let specs = [
+        SweepSpec::new("sort", &sort_sizes, opts.jobs).seeds(&seeds),
         SweepSpec::new("minidb", &minidb_sizes, opts.jobs).seeds(&seeds),
         SweepSpec::new("imgpipe", &imgpipe_sizes, opts.jobs).seeds(&seeds),
     ];
     let sup = SupervisorOptions {
         max_attempts: opts.max_attempts.max(1),
         deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        decode: opts.decode,
+        event_batch: opts.batch,
         ..SupervisorOptions::default()
     };
     let resumed = opts.resume.is_some();
     let mut families = Vec::new();
     if let Some(path) = &opts.resume {
         println!("  resuming from journal {}", path.display());
+        let cache = drms_bench::supervisor::CellCache::new();
+        let runner = |ctx: &drms_bench::supervisor::CellCtx| {
+            drms_bench::supervisor::profile_cell_cached(ctx, &cache)
+        };
         for spec in &specs {
-            match resume_sweep_with_io(
-                spec,
-                &sup,
-                path,
-                &drms_bench::supervisor::profile_cell,
-                &opts.host_io,
-            ) {
+            match resume_sweep_with_io(spec, &sup, path, &runner, &opts.host_io) {
                 Ok((result, resume)) => {
                     println!(
                         "  {:<8} salvaged {} cells, re-ran {} ({:.3}s)",

@@ -38,14 +38,19 @@ use drms::sched::fnv1a;
 use drms::trace::hostio::HostIo;
 use drms::trace::journal::{self, ParseJournalError};
 use drms::trace::Metrics;
-use drms::vm::{EventCounters, FaultCounters, FaultPlan, RunConfig, RunError, RunStats};
+use drms::vm::{
+    DecodeMode, DecodedProgram, EventBatch, EventCounters, FaultCounters, FaultPlan, RunConfig,
+    RunError, RunStats,
+};
+use drms::workloads::Workload;
 use drms::{Error, ProfileSession};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Failure-handling policy of a supervised sweep.
@@ -67,6 +72,16 @@ pub struct SupervisorOptions {
     /// injected plan are treated as transient (the flaky-I/O world the
     /// plan simulates), so they retry instead of landing in the cell.
     pub faults: Option<FaultPlan>,
+    /// Interpreter dispatch mode override for every cell; `None` keeps
+    /// the workload's default ([`DecodeMode::Fused`]). A pure
+    /// performance knob — all modes profile identically — so, like
+    /// `jobs`, it does not bind the journal: a resume may switch modes.
+    pub decode: Option<DecodeMode>,
+    /// Tool event-batch capacity override for every cell; `None` keeps
+    /// the [`RunConfig`] default. Clamped to at least 1. Like
+    /// [`decode`](Self::decode), a perf knob that does not bind the
+    /// journal.
+    pub event_batch: Option<usize>,
 }
 
 impl Default for SupervisorOptions {
@@ -78,6 +93,8 @@ impl Default for SupervisorOptions {
             deadline: None,
             max_instructions: None,
             faults: None,
+            decode: None,
+            event_batch: None,
         }
     }
 }
@@ -86,6 +103,10 @@ impl SupervisorOptions {
     /// The options rendered as deterministic spec lines — part of the
     /// journal's spec record, so a resume with different failure policy
     /// is rejected instead of silently mixing semantics.
+    ///
+    /// [`decode`](Self::decode) and [`event_batch`](Self::event_batch)
+    /// are deliberately absent, like `jobs`: they change how fast cells
+    /// run, never what they produce, so a resume may retune them.
     fn spec_lines(&self) -> String {
         fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
             v.as_ref().map_or("-".to_string(), T::to_string)
@@ -136,21 +157,145 @@ pub struct CellCtx<'a> {
 /// supervisor catches panics around the call, so a runner (or the
 /// workload underneath it) may panic freely. Tests inject flaky or
 /// panicking runners; production uses [`profile_cell`].
-pub type Runner = dyn Fn(&CellCtx) -> Attempt + Sync;
+pub type Runner<'a> = dyn Fn(&CellCtx) -> Attempt + Sync + 'a;
+
+/// Shared per-sweep state the production runner draws on: built
+/// workloads with their pre-decoded programs, keyed by `(family, size)`,
+/// plus a pool of recycled event batches.
+///
+/// A sweep grid re-profiles the same `(family, size)` workload once per
+/// seed, and the supervisor may re-run a cell several times (retries,
+/// resume). Without the cache every attempt rebuilt the guest program
+/// and re-decoded it — pure overhead that scaled with `seeds ×
+/// attempts` and was the dominant fixed cost of small cells at high
+/// `--jobs`. The cache builds each workload and its
+/// [`DecodedProgram`] once; results are unaffected (workload
+/// construction is deterministic and takes no seed — the seed enters
+/// through [`RunConfig`]).
+///
+/// Thread-safe: workers share one cache behind internal mutexes, held
+/// only for lookups and (on miss) the one-time build.
+#[derive(Default)]
+pub struct CellCache {
+    entries: Mutex<HashMap<(String, i64), Arc<CacheEntry>>>,
+    batch_pool: Mutex<Vec<EventBatch>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One cached workload: the built guest program plus its pre-decoded
+/// image (absent under [`DecodeMode::Off`]).
+pub struct CacheEntry {
+    /// The built workload of this `(family, size)` cell.
+    pub workload: Workload,
+    /// The shared pre-decoded image, `None` when decoding is off.
+    pub decoded: Option<Arc<DecodedProgram>>,
+    mode: DecodeMode,
+}
+
+impl CellCache {
+    /// An empty cache.
+    pub fn new() -> CellCache {
+        CellCache::default()
+    }
+
+    /// The cached workload of `(family, size)` pre-decoded under
+    /// `mode`, building it on first use. `None` for unknown families.
+    pub fn entry(&self, family: &str, size: i64, mode: DecodeMode) -> Option<Arc<CacheEntry>> {
+        let key = (family.to_string(), size);
+        // A panic while building a workload is caught by the supervisor;
+        // recover the map rather than poisoning every later cell.
+        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = map.get(&key) {
+            if e.mode == mode {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(e));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let workload = family_workload(family, size)?;
+        let decoded = match mode {
+            DecodeMode::Off => None,
+            m => Some(DecodedProgram::decode(&workload.program, m)),
+        };
+        let entry = Arc::new(CacheEntry {
+            workload,
+            decoded,
+            mode,
+        });
+        map.insert(key, Arc::clone(&entry));
+        Some(entry)
+    }
+
+    /// A pooled event batch (or a fresh empty one); hand it back with
+    /// [`recycle`](Self::recycle) so the next cell on any worker reuses
+    /// its storage.
+    pub fn take_batch(&self) -> EventBatch {
+        self.batch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a batch to the pool.
+    pub fn recycle(&self, batch: EventBatch) {
+        self.batch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(batch);
+    }
+
+    /// Cache lookups served from an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache lookups that had to build the workload.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total buffer allocations across every pooled batch — with W
+    /// workers this stays at W no matter how many cells ran.
+    pub fn batch_allocations(&self) -> u64 {
+        self.batch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(EventBatch::allocations)
+            .sum()
+    }
+}
 
 /// The production cell runner: builds the family workload, applies the
 /// supervisor's budgets, and profiles it under a [`ProfileSession`].
+/// Stateless — every sweep entry point routes through
+/// [`profile_cell_cached`] instead; this remains for callers that hold
+/// no cache.
 pub fn profile_cell(ctx: &CellCtx) -> Attempt {
-    let Some(w) = family_workload(ctx.family, ctx.size) else {
+    profile_cell_cached(ctx, &CellCache::new())
+}
+
+/// [`profile_cell`] drawing the workload, its pre-decoded program and
+/// the event batch from `cache`.
+pub fn profile_cell_cached(ctx: &CellCtx, cache: &CellCache) -> Attempt {
+    let mode = ctx.opts.decode.unwrap_or_default();
+    let Some(entry) = cache.entry(ctx.family, ctx.size, mode) else {
         return Attempt::Fatal(format!(
             "unknown workload family `{}` (config drift?)",
             ctx.family
         ));
     };
+    let w = &entry.workload;
     let mut config = RunConfig {
         seed: ctx.seed,
+        decode: mode,
         ..w.run_config()
     };
+    if let Some(n) = ctx.opts.event_batch {
+        config.event_batch = n.max(1);
+    }
     if let Some(limit) = ctx.opts.max_instructions {
         config.max_instructions = limit;
     }
@@ -158,8 +303,17 @@ pub fn profile_cell(ctx: &CellCtx) -> Attempt {
     if ctx.opts.faults.is_some() {
         config.faults = ctx.opts.faults.clone();
     }
+    let mut batch = cache.take_batch();
     let start = Instant::now();
-    let outcome = match ProfileSession::new(&w.program).config(config).run() {
+    let mut session = ProfileSession::new(&w.program)
+        .config(config)
+        .batch_buffer(&mut batch);
+    if let Some(d) = &entry.decoded {
+        session = session.decoded(Arc::clone(d));
+    }
+    let result = session.run();
+    cache.recycle(batch);
+    let outcome = match result {
         Ok(o) => o,
         Err(e) => return Attempt::Fatal(format!("session setup failed: {e}")),
     };
@@ -233,7 +387,7 @@ fn supervise_cell(
     size: i64,
     seed: u64,
     opts: &SupervisorOptions,
-    runner: &Runner,
+    runner: &Runner<'_>,
 ) -> CellOutcome {
     let max_attempts = opts.max_attempts.max(1);
     let mut panics = 0u32;
@@ -613,7 +767,8 @@ fn decode_quarantine_payload(payload: &str) -> Result<QuarantinedCell, String> {
 /// runner, without journaling. This is what
 /// [`run_sweep`](crate::sweep::run_sweep) delegates to.
 pub fn run_supervised(spec: &SweepSpec, opts: &SupervisorOptions) -> SweepResult {
-    run_supervised_with(spec, opts, None, &profile_cell)
+    let cache = CellCache::new();
+    run_supervised_with(spec, opts, None, &|ctx| profile_cell_cached(ctx, &cache))
 }
 
 /// Runs `spec` under the supervisor with a custom runner and an
@@ -624,7 +779,7 @@ pub fn run_supervised_with(
     spec: &SweepSpec,
     opts: &SupervisorOptions,
     mut journal: Option<&mut JournalWriter>,
-    runner: &Runner,
+    runner: &Runner<'_>,
 ) -> SweepResult {
     let grid = spec.grid();
     let start = Instant::now();
@@ -643,7 +798,7 @@ fn run_missing(
     grid: &[(i64, u64)],
     opts: &SupervisorOptions,
     mut journal: Option<&mut JournalWriter>,
-    runner: &Runner,
+    runner: &Runner<'_>,
     slots: &mut [Option<CellOutcome>],
 ) {
     let pending: Vec<usize> = (0..grid.len()).filter(|&i| slots[i].is_none()).collect();
@@ -745,7 +900,8 @@ pub fn resume_sweep(
     opts: &SupervisorOptions,
     path: &Path,
 ) -> Result<(SweepResult, ResumeReport), Error> {
-    resume_sweep_with(spec, opts, path, &profile_cell)
+    let cache = CellCache::new();
+    resume_sweep_with(spec, opts, path, &|ctx| profile_cell_cached(ctx, &cache))
 }
 
 /// Resumes the sweep `spec` from the journal at `path`: salvages the
@@ -768,7 +924,7 @@ pub fn resume_sweep_with(
     spec: &SweepSpec,
     opts: &SupervisorOptions,
     path: &Path,
-    runner: &Runner,
+    runner: &Runner<'_>,
 ) -> Result<(SweepResult, ResumeReport), Error> {
     resume_sweep_with_io(spec, opts, path, runner, &HostIo::real())
 }
@@ -780,7 +936,7 @@ pub fn resume_sweep_with_io(
     spec: &SweepSpec,
     opts: &SupervisorOptions,
     path: &Path,
-    runner: &Runner,
+    runner: &Runner<'_>,
     io: &HostIo,
 ) -> Result<(SweepResult, ResumeReport), Error> {
     let text = std::fs::read_to_string(path)?;
@@ -1002,11 +1158,88 @@ mod tests {
             ..SupervisorOptions::default()
         };
         assert_ne!(a, spec_payload(&spec, &tighter));
-        let other_jobs = SweepSpec { jobs: 7, ..spec };
+        let other_jobs = SweepSpec {
+            jobs: 7,
+            ..spec.clone()
+        };
         assert_eq!(
             a,
             spec_payload(&other_jobs, &SupervisorOptions::default()),
             "jobs must not bind the journal: resume may use any worker count"
         );
+        let other_dispatch = SupervisorOptions {
+            decode: Some(DecodeMode::Off),
+            event_batch: Some(1),
+            ..SupervisorOptions::default()
+        };
+        assert_eq!(
+            a,
+            spec_payload(&spec, &other_dispatch),
+            "dispatch knobs must not bind the journal: all modes profile identically"
+        );
+    }
+
+    #[test]
+    fn cell_cache_reuses_workload_decoded_image_and_batch() {
+        let cache = CellCache::new();
+        let opts = SupervisorOptions::default();
+        for seed in [1u64, 2, 3] {
+            let ctx = CellCtx {
+                family: "stream",
+                size: 16,
+                seed,
+                attempt: 1,
+                opts: &opts,
+            };
+            match profile_cell_cached(&ctx, &cache) {
+                Attempt::Done(cell) => assert!(cell.error.is_none(), "seed {seed}"),
+                _ => panic!("stream cell must profile cleanly"),
+            }
+        }
+        assert_eq!(cache.misses(), 1, "one (family, size) pair, built once");
+        assert_eq!(cache.hits(), 2, "the two later seeds hit the cache");
+        assert_eq!(
+            cache.batch_allocations(),
+            1,
+            "sequential cells share one event batch buffer"
+        );
+        let entry = cache.entry("stream", 16, DecodeMode::default()).unwrap();
+        assert!(
+            entry.decoded.as_ref().unwrap().stats().fused() > 0,
+            "the shared image is pre-decoded with fusion"
+        );
+    }
+
+    #[test]
+    fn cached_runner_matches_uncached_across_dispatch_modes() {
+        let spec = SweepSpec::new("stream", &[8, 16], 1).seeds(&[1, 2]);
+        let baseline = run_supervised_with(
+            &spec,
+            &SupervisorOptions {
+                decode: Some(DecodeMode::Off),
+                event_batch: Some(1),
+                ..SupervisorOptions::default()
+            },
+            None,
+            &|ctx| profile_cell_cached(ctx, &CellCache::new()),
+        );
+        for decode in [DecodeMode::Blocks, DecodeMode::Fused] {
+            let opts = SupervisorOptions {
+                decode: Some(decode),
+                event_batch: Some(64),
+                ..SupervisorOptions::default()
+            };
+            let cached = run_supervised(&spec, &opts);
+            assert_eq!(
+                cached.fingerprint(),
+                baseline.fingerprint(),
+                "{decode:?}: dispatch mode must not perturb the merged report"
+            );
+            assert_eq!(
+                cached.merged_metrics().to_json(),
+                baseline.merged_metrics().to_json(),
+                "{decode:?}: dispatch mode must not perturb merged metrics"
+            );
+        }
     }
 }

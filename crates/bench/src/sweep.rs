@@ -387,19 +387,22 @@ impl FamilyBench {
         opts: &SupervisorOptions,
         journal: Option<&mut crate::supervisor::JournalWriter>,
     ) -> FamilyBench {
-        let serial = run_supervised(
+        // One cache for both runs: the parallel pass reuses every
+        // workload, pre-decoded program and event batch the serial
+        // baseline built, so only the first pass pays construction.
+        let cache = crate::supervisor::CellCache::new();
+        let runner =
+            |ctx: &crate::supervisor::CellCtx| crate::supervisor::profile_cell_cached(ctx, &cache);
+        let serial = crate::supervisor::run_supervised_with(
             &SweepSpec {
                 jobs: 1,
                 ..spec.clone()
             },
             opts,
+            None,
+            &runner,
         );
-        let parallel = crate::supervisor::run_supervised_with(
-            spec,
-            opts,
-            journal,
-            &crate::supervisor::profile_cell,
-        );
+        let parallel = crate::supervisor::run_supervised_with(spec, opts, journal, &runner);
         FamilyBench {
             serial_secs: serial.wall_secs,
             serial_fingerprint: serial.fingerprint(),

@@ -14,6 +14,7 @@
 //! event stream and re-keying collected activations by context.
 
 use crate::drms::{DrmsConfig, DrmsProfiler};
+use crate::fnv::FnvBuildHasher;
 use crate::profile::RoutineProfile;
 use drms_trace::{Addr, EventSink, RoutineId, SyncOp, ThreadId};
 use drms_vm::Tool;
@@ -43,7 +44,7 @@ impl std::fmt::Display for ContextId {
 struct Node {
     parent: ContextId,
     routine: Option<RoutineId>,
-    children: HashMap<RoutineId, ContextId>,
+    children: HashMap<RoutineId, ContextId, FnvBuildHasher>,
     depth: u32,
 }
 
@@ -80,7 +81,7 @@ impl ContextTree {
             nodes: vec![Node {
                 parent: ContextId::ROOT,
                 routine: None,
-                children: HashMap::new(),
+                children: HashMap::default(),
                 depth: 0,
             }],
         }
@@ -96,7 +97,7 @@ impl ContextTree {
         self.nodes.push(Node {
             parent,
             routine: Some(routine),
-            children: HashMap::new(),
+            children: HashMap::default(),
             depth,
         });
         self.nodes[parent.0 as usize].children.insert(routine, id);
@@ -206,7 +207,7 @@ pub struct CctProfiler {
     /// Per-thread cursor into the tree.
     cursors: Vec<ContextId>,
     /// Per-(context, thread) profiles.
-    profiles: HashMap<(ContextId, ThreadId), RoutineProfile>,
+    profiles: HashMap<(ContextId, ThreadId), RoutineProfile, FnvBuildHasher>,
     /// Activation bookkeeping: entry cost per frame, per thread.
     entry_costs: Vec<Vec<u64>>,
     /// Snapshot of (sum_rms, sum_drms) per frame to derive per-activation
@@ -221,7 +222,7 @@ impl CctProfiler {
             inner: DrmsProfiler::new(config),
             tree: ContextTree::new(),
             cursors: Vec::new(),
-            profiles: HashMap::new(),
+            profiles: HashMap::default(),
             entry_costs: Vec::new(),
             pending: Vec::new(),
         }
@@ -245,7 +246,7 @@ impl CctProfiler {
     /// All contexts whose label is `routine`, with their thread-merged
     /// profiles, in context-id order.
     pub fn contexts_of(&self, routine: RoutineId) -> Vec<(ContextId, RoutineProfile)> {
-        let mut by_ctx: HashMap<ContextId, RoutineProfile> = HashMap::new();
+        let mut by_ctx: HashMap<ContextId, RoutineProfile, FnvBuildHasher> = HashMap::default();
         for (&(ctx, _), p) in &self.profiles {
             if self.tree.routine(ctx) == Some(routine) {
                 by_ctx.entry(ctx).or_default().merge(p);

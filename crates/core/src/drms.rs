@@ -25,7 +25,7 @@
 
 use crate::profile::ProfileReport;
 use drms_trace::{Addr, EventSink, Metrics, RoutineId, ThreadId};
-use drms_vm::{ShadowCacheStats, ShadowMemory, Tool};
+use drms_vm::{BatchKind, EventBatch, ShadowCacheStats, ShadowMemory, Tool};
 
 /// Which write source a `wts` entry came from (provenance of induced
 /// first-reads, backing the thread/external input split of Figs. 13–15).
@@ -82,6 +82,138 @@ impl DrmsConfig {
             external_input: false,
             ..Self::default()
         }
+    }
+}
+
+/// Number of slots in the [`SuppressCache`]; a power of two.
+const SUPPRESS_SLOTS: usize = 8192;
+
+#[derive(Clone, Copy)]
+struct SuppressSlot {
+    addr: u64,
+    gen: u64,
+    /// Whether a *write* to this cell is also a no-op (set by a write,
+    /// cleared by a read: a read does not stamp `wts`/`wsrc`, so a
+    /// later write at the same count still has work to do).
+    write_ok: bool,
+}
+
+/// Hot-loop redundancy suppression: a direct-mapped, generation-tagged
+/// cache of cells the current thread has already accessed at the
+/// current global `count`.
+///
+/// Soundness rests on the timestamping algorithm itself: after
+/// `read(ℓ)` by thread `t` at count `c`, `ts_t[ℓ] = c`, and since every
+/// frame's invocation timestamp and every `wts` entry is ≤ `c`, a
+/// second `read(ℓ)` by `t` at the same `c` takes neither the induced
+/// nor the rms-first branch and rewrites `ts_t[ℓ] = c` — a complete
+/// no-op. Likewise a repeated `write(ℓ)` restores the identical
+/// `ts`/`wts`/`wsrc` values, and a read after a write is a no-op too
+/// (the reverse is not: a read does not stamp `wts`, hence `write_ok`).
+/// The cache is therefore invalidated *only* when `count` moves
+/// (thread switch, routine call, kernel fill — all call `bump_count`)
+/// or when events from a different thread arrive without an
+/// intervening switch (trace replays); both are O(1) generation bumps.
+/// Returns never invalidate: the no-op argument is stack-independent.
+///
+/// A collision merely evicts — the slow path re-runs the (idempotent)
+/// event handler — so the cache can never change the profile, only
+/// skip shadow-memory walks. The hit/lookup counters land in the
+/// metrics registry and are byte-identical across dispatch modes,
+/// because delivery order (and thus the cache's state machine) is.
+struct SuppressCache {
+    slots: Vec<SuppressSlot>,
+    gen: u64,
+    owner: ThreadId,
+    read_hits: u64,
+    write_hits: u64,
+    lookups: u64,
+    flushes: u64,
+}
+
+impl SuppressCache {
+    fn new() -> Self {
+        SuppressCache {
+            slots: vec![
+                SuppressSlot {
+                    addr: 0,
+                    gen: 0,
+                    write_ok: false,
+                };
+                SUPPRESS_SLOTS
+            ],
+            // Generation 0 is reserved for "never written" slots.
+            gen: 1,
+            owner: ThreadId::MAIN,
+            read_hits: 0,
+            write_hits: 0,
+            lookups: 0,
+            flushes: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn idx(cell: Addr) -> usize {
+        let a = cell.raw();
+        ((a ^ (a >> 13)) as usize) & (SUPPRESS_SLOTS - 1)
+    }
+
+    /// Invalidates every entry (generation bump; storage untouched).
+    #[inline]
+    fn flush(&mut self) {
+        self.gen += 1;
+        self.flushes += 1;
+    }
+
+    /// Re-homes the cache when events arrive from a different thread
+    /// than the one that filled it. VM streams flush on the thread
+    /// switch anyway; this guards direct trace replays.
+    #[inline(always)]
+    fn retarget(&mut self, t: ThreadId) {
+        if t != self.owner {
+            self.flush();
+            self.owner = t;
+        }
+    }
+
+    #[inline(always)]
+    fn read_suppressed(&mut self, t: ThreadId, cell: Addr) -> bool {
+        self.retarget(t);
+        self.lookups += 1;
+        let s = &self.slots[Self::idx(cell)];
+        let hit = s.gen == self.gen && s.addr == cell.raw();
+        self.read_hits += hit as u64;
+        hit
+    }
+
+    #[inline(always)]
+    fn write_suppressed(&mut self, t: ThreadId, cell: Addr) -> bool {
+        self.retarget(t);
+        self.lookups += 1;
+        let s = &self.slots[Self::idx(cell)];
+        let hit = s.gen == self.gen && s.addr == cell.raw() && s.write_ok;
+        self.write_hits += hit as u64;
+        hit
+    }
+
+    #[inline(always)]
+    fn insert_read(&mut self, cell: Addr) {
+        let s = &mut self.slots[Self::idx(cell)];
+        let write_ok = s.gen == self.gen && s.addr == cell.raw() && s.write_ok;
+        *s = SuppressSlot {
+            addr: cell.raw(),
+            gen: self.gen,
+            write_ok,
+        };
+    }
+
+    #[inline(always)]
+    fn insert_write(&mut self, cell: Addr) {
+        self.slots[Self::idx(cell)] = SuppressSlot {
+            addr: cell.raw(),
+            gen: self.gen,
+            write_ok: true,
+        };
     }
 }
 
@@ -152,6 +284,7 @@ pub struct DrmsProfiler {
     threads: Vec<Option<ThreadState>>,
     report: ProfileReport,
     renumberings: u64,
+    suppress: SuppressCache,
 }
 
 impl DrmsProfiler {
@@ -170,6 +303,7 @@ impl DrmsProfiler {
             threads: Vec::new(),
             report: ProfileReport::new(),
             renumberings: 0,
+            suppress: SuppressCache::new(),
         }
     }
 
@@ -200,6 +334,9 @@ impl DrmsProfiler {
     }
 
     fn bump_count(&mut self) {
+        // Any count move invalidates the redundancy cache: "already
+        // accessed at the current count" stops being true.
+        self.suppress.flush();
         self.count += 1;
         if self.count >= self.config.count_limit {
             self.renumber();
@@ -214,19 +351,35 @@ impl DrmsProfiler {
         self.threads[idx].get_or_insert_with(ThreadState::new)
     }
 
+    /// The `read(ℓ, t)` event handler, short-circuited through the
+    /// redundancy cache: a cell this thread already touched at the
+    /// current count needs no shadow-memory walk (see [`SuppressCache`]).
+    #[inline]
+    fn read_cell(&mut self, t: ThreadId, cell: Addr) {
+        if self.suppress.read_suppressed(t, cell) {
+            return;
+        }
+        self.read_cell_slow(t, cell);
+        self.suppress.insert_read(cell);
+    }
+
     /// Core of the `read(ℓ, t)` event handler (Figure 8), fused with the
     /// rms ("latest access", PLDI'12) update.
-    fn read_cell(&mut self, t: ThreadId, cell: Addr) {
+    fn read_cell_slow(&mut self, t: ThreadId, cell: Addr) {
         let count = self.count as u32;
         let wts_l = self.wts.get(cell) as u64;
-        let src = self.wsrc.get(cell);
         let state = self.thread_mut(t);
         let Some(top_idx) = state.stack.len().checked_sub(1) else {
             // Access outside any routine activation: only refresh ts_t.
             state.ts.set(cell, count);
             return;
         };
-        let ts_l = state.ts.get(cell) as u64;
+        // One walk for the ts_t read-modify-write: every exit path stamps
+        // the cell with the current count, so write it up front and keep
+        // the old stamp for the first-read tests below.
+        let slot = state.ts.slot_mut(cell);
+        let ts_l = *slot as u64;
+        *slot = count;
         let top_ts = state.stack[top_idx].ts;
 
         // rms side: a first access *by this thread's topmost activation*
@@ -245,8 +398,10 @@ impl DrmsProfiler {
                     }
                 }
             }
-            state.ts.set(cell, count);
             let routine = state.stack[top_idx].routine;
+            // The write source only matters on this (rare) branch, so
+            // its shadow walk is deferred to here.
+            let src = self.wsrc.get(cell);
             let breakdown = self.report.entry(routine, t);
             match src {
                 SRC_KERNEL => breakdown.breakdown.kernel_induced += 1,
@@ -266,21 +421,26 @@ impl DrmsProfiler {
                     state.stack[i].partial_rms -= 1;
                 }
             }
-            state.ts.set(cell, count);
             let routine = state.stack[top_idx].routine;
             self.report.entry(routine, t).breakdown.plain += 1;
-            return;
         }
-        state.ts.set(cell, count);
     }
 
+    /// The `write(ℓ, t)` event handler. Suppressible only when the
+    /// previous access at this count was itself a write (`write_ok`):
+    /// a repeated write restores identical `ts`/`wts`/`wsrc` stamps.
+    #[inline]
     fn write_cell(&mut self, t: ThreadId, cell: Addr) {
+        if self.suppress.write_suppressed(t, cell) {
+            return;
+        }
         let count = self.count as u32;
         self.thread_mut(t).ts.set(cell, count);
         if self.config.thread_input {
             self.wts.set(cell, count);
             self.wsrc.set(cell, SRC_THREAD);
         }
+        self.suppress.insert_write(cell);
     }
 
     /// Global timestamp renumbering (paper §3.2, "Counter Overflows").
@@ -495,6 +655,33 @@ impl Tool for DrmsProfiler {
         metrics.set_gauge("shadow.leaves", leaves);
         metrics.set_gauge("shadow.bytes", self.shadow_bytes());
         metrics.add("drms.renumberings", self.renumberings);
+        metrics.add("drms.suppress.lookups", self.suppress.lookups);
+        metrics.add("drms.suppress.read_hits", self.suppress.read_hits);
+        metrics.add("drms.suppress.write_hits", self.suppress.write_hits);
+        metrics.add("drms.suppress.flushes", self.suppress.flushes);
+    }
+
+    /// Native batch path: one virtual dispatch delivers the whole
+    /// read/write batch; each entry runs the same `read_cell` /
+    /// `write_cell` state machine as per-event delivery (the VM flushes
+    /// before every other event kind, so order is preserved exactly).
+    fn observe_batch(&mut self, batch: &EventBatch) {
+        let thread = batch.thread();
+        let (kinds, addrs, lens) = batch.arrays();
+        for i in 0..kinds.len() {
+            match kinds[i] {
+                BatchKind::Read => {
+                    for cell in addrs[i].range(lens[i]) {
+                        self.read_cell(thread, cell);
+                    }
+                }
+                BatchKind::Write => {
+                    for cell in addrs[i].range(lens[i]) {
+                        self.write_cell(thread, cell);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -857,6 +1044,78 @@ mod tests {
         prof.on_write(T0, a(1000), 64);
         assert!(prof.shadow_bytes() > before);
         assert_eq!(prof.name(), "aprof-drms");
+    }
+
+    /// Hot-loop redundancy suppression: repeated same-count accesses
+    /// hit the cache, never reach the shadow walk, and leave the
+    /// profile exactly where the unsuppressed algebra puts it.
+    #[test]
+    fn redundant_rereads_hit_the_suppression_cache() {
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        prof.on_call(T0, R0, 0);
+        for _ in 0..5 {
+            prof.on_read(T0, a(100), 1); // 1 slow read + 4 suppressed
+        }
+        for _ in 0..3 {
+            prof.on_write(T0, a(200), 1); // 1 slow write + 2 suppressed
+        }
+        prof.on_read(T0, a(200), 1); // read-after-write: suppressed too
+        prof.on_write(T0, a(100), 1); // write-after-read: NOT suppressible
+        assert_eq!(prof.suppress.read_hits, 5);
+        assert_eq!(prof.suppress.write_hits, 2);
+        assert_eq!(prof.suppress.lookups, 10);
+        // A count bump (here: a nested call) invalidates everything.
+        prof.on_call(T0, R1, 4);
+        prof.on_read(T0, a(100), 1);
+        assert_eq!(prof.suppress.read_hits, 5, "flushed on bump_count");
+        // Events from another thread without a switch re-home the cache.
+        prof.on_read(T1, a(100), 1);
+        assert_eq!(prof.suppress.read_hits, 5, "flushed on owner change");
+        prof.on_return(T0, R1, 8);
+        prof.on_return(T0, R0, 9);
+        let report = prof.into_report();
+        let p = report.get(R0, T0).unwrap();
+        // Only cell 100 is a first read for R0 (200 was self-written
+        // before it was read back) — exactly as without the cache.
+        assert_eq!(p.rms_plot(), vec![(1, 9)]);
+    }
+
+    /// The suppressed and unsuppressed event streams produce identical
+    /// profiles on a workload with heavy re-reading (the cache is
+    /// always on, so this pins the algebra the suppression relies on:
+    /// replaying each read N times must change nothing).
+    #[test]
+    fn repeated_accesses_do_not_change_any_profile() {
+        let base = vec![
+            (T0, call(R0)),
+            (T0, rd(10)),
+            (T0, wr(20)),
+            (T1, call(R1)),
+            (T1, wr(10)),
+            (T1, ret(R1)),
+            (T0, rd(10)),
+            (T0, ret(R0)),
+        ];
+        let mut tripled = Vec::new();
+        for (t, e) in &base {
+            let reps = match e {
+                Event::Read { .. } | Event::Write { .. } => 3,
+                _ => 1,
+            };
+            for _ in 0..reps {
+                tripled.push((*t, *e));
+            }
+        }
+        let a = drive(base, DrmsConfig::full());
+        let b = drive(tripled, DrmsConfig::full());
+        assert_eq!(
+            a.get(R0, T0).unwrap().drms_plot(),
+            b.get(R0, T0).unwrap().drms_plot()
+        );
+        assert_eq!(
+            a.get(R0, T0).unwrap().rms_plot(),
+            b.get(R0, T0).unwrap().rms_plot()
+        );
     }
 
     #[test]

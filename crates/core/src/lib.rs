@@ -59,6 +59,7 @@
 pub mod context;
 pub mod diff;
 pub mod drms;
+pub mod fnv;
 pub mod naive;
 pub mod profile;
 pub mod report_io;

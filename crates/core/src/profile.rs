@@ -7,6 +7,7 @@
 //! distinct input size `n` of routine `r`, the maximum cost of an
 //! activation of `r` on input size `n`.
 
+use crate::fnv::FnvBuildHasher;
 use drms_trace::{RoutineId, ThreadId};
 use std::collections::{BTreeMap, HashMap};
 
@@ -201,7 +202,7 @@ impl RoutineProfile {
 /// [`ProfileReport::merged_by_routine`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProfileReport {
-    profiles: HashMap<(RoutineId, ThreadId), RoutineProfile>,
+    profiles: HashMap<(RoutineId, ThreadId), RoutineProfile, FnvBuildHasher>,
 }
 
 impl ProfileReport {

@@ -70,8 +70,9 @@ pub mod prelude {
         TimedEvent,
     };
     pub use drms_vm::{
-        run_program, run_program_with, Device, FaultPlan, NullTool, Operand, Program,
-        ProgramBuilder, RunConfig, RunStats, SchedPolicy, SyscallNo, Tool, Vm,
+        run_program, run_program_with, BatchKind, DecodeMode, DecodeStats, DecodedProgram, Device,
+        EventBatch, FaultPlan, NullTool, Operand, Program, ProgramBuilder, RunConfig, RunStats,
+        SchedPolicy, SyscallNo, Tool, Vm,
     };
     pub use drms_workloads::Workload;
 }
@@ -90,17 +91,17 @@ fn setup_error(e: Error) -> RunError {
 /// Profiles `program` under `config` with the full drms metric, returning
 /// the thread-sensitive profile report and the run statistics.
 ///
-/// **Deprecated-style wrapper:** new code should use the
-/// [`ProfileSession`] builder, which exposes the same pipeline plus
-/// faults, scheduling, extra tools and partial profiles; this function
-/// remains for source compatibility.
+/// **Deprecated:** use the [`ProfileSession`] builder, which exposes the
+/// same pipeline plus faults, scheduling, dispatch/batching knobs, extra
+/// tools and partial profiles; this wrapper remains for source
+/// compatibility only.
 ///
 /// # Errors
 /// Propagates any guest [`RunError`].
 ///
 /// # Example
 /// ```
-/// use drms::vm::{ProgramBuilder, RunConfig};
+/// use drms::prelude::*;
 ///
 /// let mut pb = ProgramBuilder::new();
 /// let g = pb.global(4);
@@ -109,35 +110,38 @@ fn setup_error(e: Error) -> RunError {
 ///     f.ret(None);
 /// });
 /// let program = pb.finish(main).unwrap();
-/// let (report, stats) = drms::profile(&program, RunConfig::default()).unwrap();
-/// assert!(stats.basic_blocks > 0);
-/// assert!(!report.is_empty());
+/// let outcome = ProfileSession::new(&program).run().unwrap();
+/// assert!(outcome.stats.basic_blocks > 0);
+/// assert!(!outcome.report.is_empty());
 /// ```
+#[deprecated(since = "0.8.0", note = "use the `ProfileSession` builder")]
 pub fn profile(
     program: &Program,
     config: RunConfig,
 ) -> Result<(ProfileReport, RunStats), RunError> {
+    #[allow(deprecated)]
     profile_with(program, config, DrmsConfig::full())
 }
 
 /// Like [`profile`], with an explicit [`DrmsConfig`] (e.g. external input
 /// only, or a small renumbering limit).
 ///
-/// **Deprecated-style wrapper** over [`ProfileSession`]; see [`profile`].
+/// **Deprecated** wrapper over [`ProfileSession`]; see [`profile`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use `ProfileSession::new(program).config(config).drms(drms)`"
+)]
 pub fn profile_with(
     program: &Program,
     config: RunConfig,
     drms: DrmsConfig,
 ) -> Result<(ProfileReport, RunStats), RunError> {
-    let outcome = ProfileSession::new(program)
+    ProfileSession::new(program)
         .config(config)
         .drms(drms)
         .run()
-        .map_err(setup_error)?;
-    match outcome.error {
-        Some(e) => Err(e),
-        None => Ok((outcome.report, outcome.stats)),
-    }
+        .map_err(setup_error)?
+        .into_parts()
 }
 
 /// Outcome of a guest run that is allowed to abort: whatever profile
@@ -175,18 +179,35 @@ impl ProfileOutcome {
     pub fn is_partial(&self) -> bool {
         self.error.is_some()
     }
+
+    /// Splits the outcome into its `(report, stats)` pair, surfacing a
+    /// guest abort as the error it is — the legacy all-or-nothing
+    /// contract, for callers that have no use for partial profiles.
+    ///
+    /// # Errors
+    /// The abort reason, when the guest did not run to completion.
+    pub fn into_parts(self) -> Result<(ProfileReport, RunStats), RunError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok((self.report, self.stats)),
+        }
+    }
 }
 
 /// Like [`profile_with`], but a guest abort (watchdog, deadlock, corrupt
 /// stack) does not discard the profile: the data gathered so far is
 /// flushed and returned alongside the error.
 ///
-/// **Deprecated-style wrapper:** this is [`ProfileSession::run`]'s
-/// native contract; prefer the builder.
+/// **Deprecated:** this is [`ProfileSession::run`]'s native contract;
+/// use the builder directly.
 ///
 /// # Errors
 /// Only setup failures (program validation) are returned as `Err`;
 /// run-time aborts land in [`ProfileOutcome::error`].
+#[deprecated(
+    since = "0.8.0",
+    note = "`ProfileSession::run` already returns a partial-tolerant `ProfileOutcome`"
+)]
 pub fn profile_partial(
     program: &Program,
     config: RunConfig,
@@ -201,12 +222,14 @@ pub fn profile_partial(
 
 /// Profiles a prebuilt [`Workload`] with its own devices and defaults.
 ///
-/// **Deprecated-style wrapper** over
-/// [`ProfileSession::workload`]; see [`profile`].
+/// **Deprecated** wrapper over [`ProfileSession::workload`]; see
+/// [`profile`].
 ///
 /// # Errors
 /// Propagates any guest [`RunError`].
+#[deprecated(since = "0.8.0", note = "use `ProfileSession::workload(w)`")]
 pub fn profile_workload(w: &Workload) -> Result<(ProfileReport, RunStats), RunError> {
+    #[allow(deprecated)]
     profile(&w.program, w.run_config())
 }
 
@@ -219,7 +242,7 @@ mod tests {
     fn end_to_end_minidb_fit() {
         let sizes = [16, 32, 64, 128, 256, 512];
         let w = drms_workloads::minidb::minidb_scaling(&sizes);
-        let (report, _) = profile_workload(&w).unwrap();
+        let report = ProfileSession::workload(&w).run().unwrap().report;
         let p = report.merged_routine(w.focus.unwrap());
         let drms_fit = CostPlot::of(&p, InputMetric::Drms).fit(0.02);
         assert_eq!(
@@ -236,7 +259,10 @@ mod tests {
             max_instructions: 20_000,
             ..w.run_config()
         };
-        let outcome = profile_partial(&w.program, config, DrmsConfig::full()).unwrap();
+        let outcome = ProfileSession::new(&w.program)
+            .config(config)
+            .run()
+            .unwrap();
         assert!(outcome.is_partial(), "the budget is too small to finish");
         assert!(matches!(
             outcome.error,
@@ -253,22 +279,31 @@ mod tests {
         assert_eq!(back, outcome.report);
     }
 
+    // The deprecated wrappers must keep producing exactly what the
+    // session produces until they are removed.
     #[test]
-    fn completed_run_outcome_matches_profile() {
+    #[allow(deprecated)]
+    fn completed_run_outcome_matches_legacy_wrappers() {
         let w = drms_workloads::patterns::stream_reader(8);
         let (report, stats) = profile_workload(&w).unwrap();
-        let outcome = profile_partial(&w.program, w.run_config(), DrmsConfig::full()).unwrap();
+        let partial = profile_partial(&w.program, w.run_config(), DrmsConfig::full()).unwrap();
+        let outcome = ProfileSession::workload(&w).run().unwrap();
         assert!(!outcome.is_partial());
         assert_eq!(outcome.report, report);
         assert_eq!(outcome.stats, stats);
+        assert_eq!(partial.report, report);
+        assert_eq!(partial.stats, stats);
     }
 
     #[test]
     fn profile_with_static_config_equals_rms() {
         let w = drms_workloads::patterns::stream_reader(10);
-        let (full, _) = profile_workload(&w).unwrap();
-        let (stat, _) =
-            profile_with(&w.program, w.run_config(), DrmsConfig::static_only()).unwrap();
+        let full = ProfileSession::workload(&w).run().unwrap().report;
+        let stat = ProfileSession::workload(&w)
+            .drms(DrmsConfig::static_only())
+            .run()
+            .unwrap()
+            .report;
         let f = w.focus.unwrap();
         assert_eq!(
             stat.merged_routine(f).drms_plot(),

@@ -14,7 +14,10 @@
 
 use crate::{Error, ProfileOutcome};
 use drms_core::{DrmsConfig, DrmsProfiler};
-use drms_vm::{FaultPlan, MultiTool, Program, RunConfig, SchedPolicy, Schedule, Tool, Vm};
+use drms_vm::{
+    DecodeMode, DecodedProgram, EventBatch, FaultPlan, MultiTool, Program, RunConfig, SchedPolicy,
+    Schedule, Tool, Vm,
+};
 use drms_workloads::Workload;
 use std::sync::Arc;
 
@@ -39,6 +42,8 @@ pub struct ProfileSession<'p, 't> {
     config: RunConfig,
     drms: DrmsConfig,
     extra: Vec<&'t mut dyn Tool>,
+    decoded: Option<Arc<DecodedProgram>>,
+    batch_buf: Option<&'t mut EventBatch>,
 }
 
 impl<'p, 't> ProfileSession<'p, 't> {
@@ -50,6 +55,8 @@ impl<'p, 't> ProfileSession<'p, 't> {
             config: RunConfig::default(),
             drms: DrmsConfig::full(),
             extra: Vec::new(),
+            decoded: None,
+            batch_buf: None,
         }
     }
 
@@ -123,6 +130,52 @@ impl<'p, 't> ProfileSession<'p, 't> {
         self
     }
 
+    /// Sets the dispatch mode of the interpreter core: classic
+    /// tree-walking ([`DecodeMode::Off`]), pre-decoded basic blocks
+    /// ([`DecodeMode::Blocks`]) or pre-decoded blocks with
+    /// superinstruction fusion ([`DecodeMode::Fused`], the default).
+    ///
+    /// All modes produce identical profiles, statistics and traces; they
+    /// differ only in speed.
+    pub fn decode(mut self, mode: DecodeMode) -> Self {
+        self.config.decode = mode;
+        self
+    }
+
+    /// Sets the capacity of the tool event batch: memory events are
+    /// buffered and delivered to tools in groups of up to `n` via
+    /// [`Tool::observe_batch`](drms_vm::Tool::observe_batch). `1`
+    /// degenerates to per-event delivery. Must be non-zero.
+    pub fn event_batch(mut self, n: usize) -> Self {
+        self.config.event_batch = n;
+        self
+    }
+
+    /// Dispatches from a shared pre-decoded image instead of decoding
+    /// the program again, so many sessions over one program (a sweep
+    /// grid, repeated attempts) pay the decode cost once.
+    ///
+    /// The image must come from [`DecodedProgram::decode`] over the same
+    /// program this session profiles; the run keeps the image's fusion
+    /// mode. Ignored when [`decode`](Self::decode) is [`DecodeMode::Off`].
+    ///
+    /// # Panics
+    /// [`run`](Self::run) panics if `decoded` does not structurally
+    /// match the session's program.
+    pub fn decoded(mut self, decoded: Arc<DecodedProgram>) -> Self {
+        self.decoded = Some(decoded);
+        self
+    }
+
+    /// Lends `buf` to the VM as its event-batch storage for this run;
+    /// its (possibly grown) buffers are handed back through the same
+    /// reference when the run finishes. A loop of sessions sharing one
+    /// buffer this way performs a single batch allocation in total.
+    pub fn batch_buffer(mut self, buf: &'t mut EventBatch) -> Self {
+        self.batch_buf = Some(buf);
+        self
+    }
+
     /// Attaches an extra tool; it observes the identical event stream as
     /// the drms profiler, in insertion order after it.
     pub fn tool(mut self, tool: &'t mut dyn Tool) -> Self {
@@ -140,9 +193,15 @@ impl<'p, 't> ProfileSession<'p, 't> {
     /// # Errors
     /// Only setup failures — program validation, a replay policy without
     /// a schedule — are returned as `Err`.
-    pub fn run(self) -> Result<ProfileOutcome, Error> {
+    pub fn run(mut self) -> Result<ProfileOutcome, Error> {
         let mut profiler = DrmsProfiler::new(self.drms);
-        let mut vm = Vm::new(self.program, self.config)?;
+        let mut vm = match self.decoded.take() {
+            Some(d) => Vm::with_decoded(self.program, self.config, d)?,
+            None => Vm::new(self.program, self.config)?,
+        };
+        if let Some(buf) = self.batch_buf.as_mut() {
+            vm.install_batch(std::mem::take(*buf));
+        }
         let (error, shadow_bytes, mut metrics) = if self.extra.is_empty() {
             // Single-tool runs stay monomorphized: `T = DrmsProfiler`, so
             // per-event dispatch is direct calls, not a vtable.
@@ -163,6 +222,9 @@ impl<'p, 't> ProfileSession<'p, 't> {
         };
         if error.is_some() {
             metrics.inc("run.aborts");
+        }
+        if let Some(buf) = self.batch_buf {
+            *buf = vm.take_batch();
         }
         let stats = vm.stats().clone();
         let schedule = vm.take_recorded_schedule();
@@ -192,6 +254,7 @@ mod tests {
     use drms_vm::{NullTool, RunError};
 
     #[test]
+    #[allow(deprecated)]
     fn session_matches_the_legacy_entry_points() {
         let w = drms_workloads::patterns::stream_reader(8);
         let (report, stats) = crate::profile_workload(&w).unwrap();
@@ -307,6 +370,47 @@ mod tests {
             .unwrap();
         assert!(replayed.error.is_none(), "{:?}", replayed.error);
         assert_eq!(replayed.report, recorded.report);
+    }
+
+    #[test]
+    fn dispatch_and_batching_knobs_do_not_perturb_the_profile() {
+        let w = drms_workloads::minidb::minidb_scaling(&[32, 64, 128]);
+        let reference = ProfileSession::workload(&w)
+            .decode(DecodeMode::Off)
+            .event_batch(1)
+            .run()
+            .unwrap();
+        for mode in [DecodeMode::Blocks, DecodeMode::Fused] {
+            for batch in [1, 64] {
+                let got = ProfileSession::workload(&w)
+                    .decode(mode)
+                    .event_batch(batch)
+                    .run()
+                    .unwrap();
+                assert_eq!(got.report, reference.report, "{mode:?} batch={batch}");
+                assert_eq!(got.stats, reference.stats, "{mode:?} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_decoded_image_and_batch_buffer_are_reused() {
+        let w = drms_workloads::patterns::stream_reader(32);
+        let image = DecodedProgram::decode(&w.program, DecodeMode::Fused);
+        assert!(image.stats().fused() > 0, "fusion finds pairs here");
+        let fresh = ProfileSession::workload(&w).run().unwrap();
+        let mut buf = EventBatch::default();
+        for _ in 0..3 {
+            let shared = ProfileSession::workload(&w)
+                .decoded(Arc::clone(&image))
+                .batch_buffer(&mut buf)
+                .run()
+                .unwrap();
+            assert_eq!(shared.report, fresh.report);
+            assert_eq!(shared.stats, fresh.stats);
+        }
+        assert!(buf.capacity() > 0, "grown storage is handed back");
+        assert_eq!(buf.allocations(), 1, "one allocation across three runs");
     }
 
     #[test]

@@ -7,18 +7,21 @@
 //! [`Tool`] in a single total order, which is exactly the merged trace the
 //! paper's profiling algorithm consumes.
 
+use crate::batch::{BatchKind, EventBatch};
+use crate::decode::{BinHalf, DecodedOp, DecodedProgram};
 use crate::ir::{Inst, Operand, Program, Reg, Terminator, ValidateError};
 use crate::kernel::{Direction, Kernel, KernelError, Syscall};
 use crate::memory::Memory;
 use crate::rng::SmallRng;
 use crate::sched::{Scheduler, StepKind, SLICE_STEP_BOUNDS};
 use crate::shadow::ADDRESS_LIMIT;
-use crate::stats::{CostKind, RunConfig, RunStats};
+use crate::stats::{CostKind, DecodeMode, RunConfig, RunStats, SchedPolicy};
 use crate::tool::Tool;
 use drms_trace::sched::PreemptCause;
 use drms_trace::{Addr, BlockId, Histogram, Metrics, RoutineId, Schedule, SyncOp, ThreadId};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// The resource a blocked thread is waiting on — one node of the
 /// wait-graph reported by [`RunError::Deadlock`].
@@ -270,6 +273,15 @@ impl Step {
 /// ```
 pub struct Vm<'p> {
     program: &'p Program,
+    /// Pre-decoded image of `program`, present whenever
+    /// `config.decode != DecodeMode::Off`. Behind an [`Arc`] so the
+    /// sweep shares one decode across grid cells and so the dispatch
+    /// loop can untie the decoded-op borrow from `&mut self`.
+    decoded: Option<Arc<DecodedProgram>>,
+    /// Buffered read/write events awaiting delivery via
+    /// [`Tool::observe_batch`]. Always flushed before any other tool
+    /// callback, so delivery order matches per-event dispatch exactly.
+    batch: EventBatch,
     config: RunConfig,
     mem: Memory,
     kernel: Kernel,
@@ -284,6 +296,13 @@ pub struct Vm<'p> {
     /// to a device (output). Cleared before each use, so steady-state
     /// transfers allocate nothing.
     scratch: Vec<i64>,
+    /// Reusable buffer for evaluating call/spawn arguments, so argument
+    /// passing allocates nothing in steady state.
+    call_scratch: Vec<i64>,
+    /// Recycled call frames: a `Ret` parks its popped frame here and the
+    /// next `Call` reuses it (register vector capacity included), so a
+    /// call/return cycle at steady depth performs no heap traffic.
+    frame_pool: Vec<Frame>,
     /// Per-transfer cell counts bucketed by [`TRANSFER_CELL_BOUNDS`]
     /// (last slot is the overflow bucket) plus their running sum —
     /// the raw data of the `kernel.transfer.cells` histogram.
@@ -302,7 +321,44 @@ impl<'p> Vm<'p> {
     /// # Errors
     /// Returns [`RunError::Validate`] if the program is malformed.
     pub fn new(program: &'p Program, config: RunConfig) -> Result<Self, RunError> {
+        Self::build(program, config, None)
+    }
+
+    /// Like [`Vm::new`], but reuses a shared pre-decoded image instead
+    /// of decoding again — the sweep decodes each `(family, size)`
+    /// program once and hands the [`Arc`] to every attempt/run of that
+    /// cell. Ignored (the reference interpreter runs) when
+    /// `config.decode` is [`DecodeMode::Off`].
+    ///
+    /// # Panics
+    /// Panics if `decoded` does not structurally match `program` — a
+    /// harness bug, not a guest error.
+    ///
+    /// # Errors
+    /// Returns [`RunError::Validate`] if the program is malformed.
+    pub fn with_decoded(
+        program: &'p Program,
+        config: RunConfig,
+        decoded: Arc<DecodedProgram>,
+    ) -> Result<Self, RunError> {
+        assert!(
+            decoded.matches(program),
+            "shared DecodedProgram does not match the program being run"
+        );
+        Self::build(program, config, Some(decoded))
+    }
+
+    fn build(
+        program: &'p Program,
+        config: RunConfig,
+        shared: Option<Arc<DecodedProgram>>,
+    ) -> Result<Self, RunError> {
         program.validate()?;
+        let decoded = match config.decode {
+            DecodeMode::Off => None,
+            mode => Some(shared.unwrap_or_else(|| DecodedProgram::decode(program, mode))),
+        };
+        let batch = EventBatch::with_capacity(config.event_batch);
         let mut mem = Memory::new(program.heap_base());
         for (base, data) in program.globals() {
             mem.store_slice(*base, data);
@@ -329,6 +385,8 @@ impl<'p> Vm<'p> {
         let sched = Scheduler::new(&config)?;
         Ok(Vm {
             program,
+            decoded,
+            batch,
             config,
             mem,
             kernel,
@@ -339,6 +397,8 @@ impl<'p> Vm<'p> {
             stats: RunStats::default(),
             sched,
             scratch: Vec::new(),
+            call_scratch: Vec::new(),
+            frame_pool: Vec::new(),
             transfer_buckets: [0; 8],
             transfer_cells_sum: 0,
         })
@@ -347,6 +407,32 @@ impl<'p> Vm<'p> {
     /// Direct access to guest memory (for harnesses inspecting results).
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// The pre-decoded image this VM dispatches from, when decoding is
+    /// on. Clone the [`Arc`] to share it with further VMs over the same
+    /// program ([`Vm::with_decoded`]).
+    pub fn decoded(&self) -> Option<&Arc<DecodedProgram>> {
+        self.decoded.as_ref()
+    }
+
+    /// Replaces the internal event batch with `batch` — cleared and
+    /// grown to the configured capacity — so a sweep worker reuses one
+    /// allocation across every run it executes. Recover the buffer
+    /// afterwards with [`Vm::take_batch`]; its
+    /// [`allocations`](EventBatch::allocations) counter survives the
+    /// round-trip, which is how the reuse test proves no per-cell
+    /// reallocation happens.
+    pub fn install_batch(&mut self, mut batch: EventBatch) {
+        batch.clear();
+        batch.ensure_capacity(self.config.event_batch);
+        self.batch = batch;
+    }
+
+    /// Takes the event batch back out of the VM (leaving a minimal
+    /// replacement), for reuse by the next run.
+    pub fn take_batch(&mut self) -> EventBatch {
+        std::mem::take(&mut self.batch)
     }
 
     /// Direct access to the kernel (device counters etc.).
@@ -449,12 +535,24 @@ impl<'p> Vm<'p> {
     /// register values.
     pub fn run<T: Tool + ?Sized>(&mut self, tool: &mut T) -> Result<RunStats, RunError> {
         let started = std::time::Instant::now();
-        let result = self.run_inner(tool, started);
+        // Replay must honor recorded slices that can end after any step
+        // count, which only the reference stepper models; replay is the
+        // correctness path, not the hot path.
+        let use_decoded =
+            self.decoded.is_some() && !matches!(self.config.policy, SchedPolicy::Replay { .. });
+        let result = if use_decoded {
+            self.run_inner_decoded(tool, started)
+        } else {
+            self.run_inner(tool, started)
+        };
         if result.is_err() {
             // Flush the in-progress slice so a recorded failing run
             // replays to the same failure point.
             self.sched.abort_slice();
         }
+        // Deliver any reads/writes buffered up to an abort before the
+        // tool finalizes — partial profiles must see the full stream.
+        self.flush_batch(tool);
         self.stats.guest_pages = self.mem.page_count() as u64;
         self.stats.guest_bytes = self.mem.backing_bytes();
         self.stats.threads = self.threads.len() as u32;
@@ -462,6 +560,11 @@ impl<'p> Vm<'p> {
         self.stats.per_thread_nanos = self.threads.iter().map(|t| t.nanos).collect();
         self.stats.basic_blocks = self.stats.per_thread_blocks.iter().sum();
         self.stats.faults = self.kernel.fault_counters();
+        // `events` is derived, not counted: every emission site bumps
+        // exactly one (or, for spawn, two) of the per-kind counters, so
+        // the total is their sum — one fewer read-modify-write per event
+        // on the hot path.
+        self.stats.events = self.stats.events_by_kind.total();
         tool.on_finish();
         result.map(|()| self.stats.clone())
     }
@@ -503,7 +606,6 @@ impl<'p> Vm<'p> {
                 if current.is_some() {
                     self.stats.thread_switches += 1;
                 }
-                self.stats.events += 1;
                 self.stats.events_by_kind.thread_switch += 1;
                 tool.on_thread_switch(current.map(|i| self.threads[i].id), self.threads[next].id);
                 current = Some(next);
@@ -544,6 +646,446 @@ impl<'p> Vm<'p> {
                 }
             }
         }
+    }
+
+    /// The decoded twin of [`Vm::run_inner`]: identical scheduling
+    /// structure, but each "step" the scheduler sees may stand for a
+    /// whole run of plain instructions executed by [`Vm::step_decoded`]
+    /// (bulk-accounted via `note_plain_steps`, which is sound because a
+    /// plain step can never preempt on its own).
+    fn run_inner_decoded<T: Tool + ?Sized>(
+        &mut self,
+        tool: &mut T,
+        started: std::time::Instant,
+    ) -> Result<(), RunError> {
+        let decoded = Arc::clone(
+            self.decoded
+                .as_ref()
+                .expect("decoded dispatch requires a decoded program"),
+        );
+        self.spawn_thread(self.program.main(), Vec::new(), None, tool);
+        let mut current: Option<usize> = None;
+        let mut runnable: Vec<bool> = Vec::new();
+        loop {
+            if let Some(deadline) = self.config.deadline {
+                if started.elapsed() >= deadline {
+                    return Err(RunError::DeadlineExceeded {
+                        millis: deadline.as_millis() as u64,
+                    });
+                }
+            }
+            runnable.clear();
+            runnable.extend(
+                self.threads
+                    .iter()
+                    .map(|t| t.state == ThreadState::Runnable),
+            );
+            let Some(next) = self.sched.pick(&runnable)? else {
+                if self.threads.iter().all(|t| t.state == ThreadState::Exited) {
+                    return Ok(());
+                }
+                return Err(RunError::Deadlock {
+                    blocked: self.wait_graph(),
+                });
+            };
+            if current != Some(next) {
+                if current.is_some() {
+                    self.stats.thread_switches += 1;
+                }
+                self.stats.events_by_kind.thread_switch += 1;
+                self.flush_batch(tool);
+                tool.on_thread_switch(current.map(|i| self.threads[i].id), self.threads[next].id);
+                current = Some(next);
+            }
+            self.sched.begin_slice(next);
+            loop {
+                // The per-instruction budget checks live inside
+                // step_decoded, before every constituent it executes.
+                let step = self.step_decoded(next, &decoded, tool)?;
+                let forced = self.sched.note_step(step.kind());
+                match step {
+                    Step::Blocked => {
+                        self.sched.end_slice(PreemptCause::Block)?;
+                        break;
+                    }
+                    Step::Yielded => {
+                        self.sched.end_slice(PreemptCause::Yield)?;
+                        break;
+                    }
+                    Step::Exited => {
+                        self.sched.end_slice(PreemptCause::Exit)?;
+                        break;
+                    }
+                    Step::Continue | Step::BlockEntered | Step::Synced | Step::Kernel => {
+                        if let Some(cause) = forced {
+                            self.sched.end_slice(cause)?;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes decoded ops of thread `t` until the current basic block
+    /// ends (terminator), a slow op needs the reference path, or an
+    /// error aborts the run — then performs that final step and returns
+    /// it. Every plain constituent executed along the way is accounted
+    /// exactly as the reference stepper would: budget check first, then
+    /// `stats.instructions += 1`, then effects; read/write events are
+    /// buffered into the batch (tallied in `stats` at emission time)
+    /// and flushed before any other tool callback.
+    fn step_decoded<T: Tool + ?Sized>(
+        &mut self,
+        t: usize,
+        decoded: &DecodedProgram,
+        tool: &mut T,
+    ) -> Result<Step, RunError> {
+        if self.stats.instructions >= self.config.max_instructions {
+            return Err(RunError::InstructionLimit {
+                limit: self.config.max_instructions,
+            });
+        }
+        let (pending, routine_id, block_idx) = {
+            let frame = self.frame(t)?;
+            (frame.pending_entry, frame.routine, frame.block)
+        };
+        if pending {
+            self.enter_block(t, block_idx, tool)?;
+            return Ok(Step::BlockEntered);
+        }
+        let mut block_idx = block_idx;
+        let droutine = decoded.routine(routine_id);
+        let mut dblock = &droutine.blocks[block_idx];
+        let mut ops = &dblock.ops[..];
+
+        // Split borrows: the plain-op loop touches disjoint parts of the
+        // VM (registers, memory, stats, the event batch), hoisted out of
+        // `&mut self` so the compiler keeps them in registers.
+        let max_instructions = self.config.max_instructions;
+        let sim_nanos = matches!(self.config.cost, CostKind::SimNanos { .. });
+        let trace_blocks = self.config.trace_blocks;
+        // Jump/Branch terminators are executed inline ("chained") while
+        // the slice has block budget to spare; the slice's final block
+        // step always goes through the per-step scheduler path so
+        // quantum preemption decisions stay with `note_step`.
+        let chain_budget = self.sched.blocks_remaining();
+        let Vm {
+            threads,
+            mem,
+            stats,
+            batch,
+            ..
+        } = &mut *self;
+        let ThreadCtx {
+            id,
+            frames,
+            rng,
+            jitter,
+            nanos,
+            blocks,
+            ..
+        } = &mut threads[t];
+        let id = *id;
+        let frame = frames
+            .last_mut()
+            .ok_or(RunError::CorruptStack { thread: id })?;
+        if batch.is_empty() {
+            // The batch can only be non-empty with this same thread:
+            // any thread switch flushes before its switch event.
+            batch.set_thread(id);
+        }
+        let mut ip = frame.ip;
+        // Plain constituents successfully executed in this run; bulk
+        // accounted to the scheduler on exit. The constituent that
+        // *errors* is counted in `stats.instructions` but not here —
+        // the reference loop never `note_step`s a failed step either.
+        let mut plain: u32 = 0;
+        // Jump/Branch terminators executed inline (block steps).
+        let mut chained: u32 = 0;
+        // Instructions executed by this call (failing one included),
+        // held in a register and materialized into `stats.instructions`
+        // once on exit; the watchdog compares against the headroom
+        // computed up front so the hot loop never touches `stats`.
+        let mut done: u64 = 0;
+        let budget_left = max_instructions - stats.instructions;
+        let leave = 'blocks: loop {
+            if ip >= ops.len() {
+                // Terminator. Chain a Jump/Branch inline if the slice
+                // still has block budget beyond this step; everything
+                // else (Ret, the quantum's final block) leaves the fast
+                // loop and runs on the reference path.
+                if chained + 1 >= chain_budget {
+                    break Leave::Term;
+                }
+                let target = match dblock.term {
+                    Terminator::Jump(b) => b.index() as usize,
+                    Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                    } => {
+                        if ev(&frame.regs, cond) != 0 {
+                            then_block.index() as usize
+                        } else {
+                            else_block.index() as usize
+                        }
+                    }
+                    Terminator::Ret(_) => break Leave::Term,
+                };
+                if done >= budget_left {
+                    break Leave::Err(RunError::InstructionLimit {
+                        limit: max_instructions,
+                    });
+                }
+                done += 1;
+                if sim_nanos {
+                    // Jump cost, then block-entry cost — the same two
+                    // draws, in the same order, as the reference path.
+                    add_sim_nanos(jitter, nanos, 1);
+                    add_sim_nanos(jitter, nanos, 2);
+                }
+                *blocks += 1;
+                chained += 1;
+                block_idx = target;
+                ip = 0;
+                if trace_blocks {
+                    stats.events_by_kind.block += 1;
+                    flush_batch_to(batch, tool);
+                    tool.on_block(id, routine_id, BlockId::new(target as u32));
+                }
+                dblock = &droutine.blocks[block_idx];
+                ops = &dblock.ops[..];
+                continue 'blocks;
+            }
+            if done >= budget_left {
+                break Leave::Err(RunError::InstructionLimit {
+                    limit: max_instructions,
+                });
+            }
+            match &ops[ip] {
+                DecodedOp::MovImm { dst, imm } => {
+                    done += 1;
+                    frame.regs[*dst as usize] = *imm;
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                }
+                DecodedOp::MovReg { dst, src } => {
+                    done += 1;
+                    frame.regs[*dst as usize] = frame.regs[*src as usize];
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                }
+                DecodedOp::Bin(h) => {
+                    done += 1;
+                    if let Err(e) = exec_bin_half(&mut frame.regs, h, routine_id) {
+                        break Leave::Err(e);
+                    }
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                }
+                DecodedOp::Load { dst, base, offset } => {
+                    done += 1;
+                    match exec_load(
+                        &mut frame.regs,
+                        *dst,
+                        *base,
+                        *offset,
+                        mem,
+                        stats,
+                        batch,
+                        tool,
+                    ) {
+                        Ok(()) => {}
+                        Err(e) => break Leave::Err(e),
+                    }
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 3);
+                    }
+                }
+                DecodedOp::Store { base, offset, src } => {
+                    done += 1;
+                    let a = ev(&frame.regs, *base).wrapping_add(ev(&frame.regs, *offset));
+                    if a <= 0 || (a as u64) >= ADDRESS_LIMIT {
+                        break Leave::Err(RunError::BadAddress { value: a });
+                    }
+                    let addr = Addr::new(a as u64);
+                    let v = ev(&frame.regs, *src);
+                    stats.events_by_kind.write += 1;
+                    if batch.is_full() {
+                        flush_batch_to(batch, tool);
+                    }
+                    batch.push(BatchKind::Write, addr, 1);
+                    mem.store(addr, v);
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 3);
+                    }
+                }
+                DecodedOp::Alloc { dst, cells } => {
+                    done += 1;
+                    let n = ev(&frame.regs, *cells).max(0) as u64;
+                    let base = mem.alloc(n);
+                    frame.regs[*dst as usize] = base.raw() as i64;
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 4);
+                    }
+                }
+                DecodedOp::Rand { dst, bound } => {
+                    done += 1;
+                    let b = ev(&frame.regs, *bound).max(1);
+                    frame.regs[*dst as usize] = rng.gen_range(0..b);
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 2);
+                    }
+                }
+                DecodedOp::BinBin(a, b) => {
+                    done += 1;
+                    if let Err(e) = exec_bin_half(&mut frame.regs, a, routine_id) {
+                        break Leave::Err(e);
+                    }
+                    plain += 1;
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                    // The watchdog fires between fused halves exactly as
+                    // it would between the two unfused instructions.
+                    if done >= budget_left {
+                        break Leave::Err(RunError::InstructionLimit {
+                            limit: max_instructions,
+                        });
+                    }
+                    done += 1;
+                    if let Err(e) = exec_bin_half(&mut frame.regs, b, routine_id) {
+                        break Leave::Err(e);
+                    }
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                }
+                DecodedOp::BinLoad {
+                    a,
+                    dst,
+                    base,
+                    offset,
+                } => {
+                    done += 1;
+                    if let Err(e) = exec_bin_half(&mut frame.regs, a, routine_id) {
+                        break Leave::Err(e);
+                    }
+                    plain += 1;
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                    if done >= budget_left {
+                        break Leave::Err(RunError::InstructionLimit {
+                            limit: max_instructions,
+                        });
+                    }
+                    done += 1;
+                    match exec_load(
+                        &mut frame.regs,
+                        *dst,
+                        *base,
+                        *offset,
+                        mem,
+                        stats,
+                        batch,
+                        tool,
+                    ) {
+                        Ok(()) => {}
+                        Err(e) => break Leave::Err(e),
+                    }
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 3);
+                    }
+                }
+                DecodedOp::LoadBin {
+                    dst,
+                    base,
+                    offset,
+                    b,
+                } => {
+                    done += 1;
+                    match exec_load(
+                        &mut frame.regs,
+                        *dst,
+                        *base,
+                        *offset,
+                        mem,
+                        stats,
+                        batch,
+                        tool,
+                    ) {
+                        Ok(()) => {}
+                        Err(e) => break Leave::Err(e),
+                    }
+                    plain += 1;
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 3);
+                    }
+                    if done >= budget_left {
+                        break Leave::Err(RunError::InstructionLimit {
+                            limit: max_instructions,
+                        });
+                    }
+                    done += 1;
+                    if let Err(e) = exec_bin_half(&mut frame.regs, b, routine_id) {
+                        break Leave::Err(e);
+                    }
+                    if sim_nanos {
+                        add_sim_nanos(jitter, nanos, 1);
+                    }
+                }
+                DecodedOp::Slow { ip: orig } => break Leave::Slow(*orig),
+            }
+            plain += 1;
+            ip += 1;
+        };
+        frame.ip = ip;
+        frame.block = block_idx;
+        stats.instructions += done;
+        self.sched.note_plain_steps(plain);
+        if chained > 0 {
+            self.sched.note_block_steps(chained);
+        }
+        match leave {
+            Leave::Err(e) => Err(e),
+            Leave::Term => {
+                if self.stats.instructions >= self.config.max_instructions {
+                    return Err(RunError::InstructionLimit {
+                        limit: self.config.max_instructions,
+                    });
+                }
+                self.stats.instructions += 1;
+                self.exec_terminator(t, &dblock.term, tool)
+            }
+            Leave::Slow(orig) => {
+                if self.stats.instructions >= self.config.max_instructions {
+                    return Err(RunError::InstructionLimit {
+                        limit: self.config.max_instructions,
+                    });
+                }
+                self.stats.instructions += 1;
+                // Copying the `&'p Program` reference out of `self`
+                // unties the instruction borrow from `&mut self`.
+                let program: &'p Program = self.program;
+                let inst = &program.routine(routine_id).blocks[block_idx].insts[orig as usize];
+                // `exec_inst` advances `frame.ip` by one on completion —
+                // one decoded slot, exactly what a Slow op occupies.
+                self.exec_inst(t, inst, tool)
+            }
+        }
+    }
+
+    /// Delivers the pending event batch, if any. Called before every
+    /// non-read/write tool callback so batched delivery preserves the
+    /// per-event total order.
+    #[inline]
+    fn flush_batch<T: Tool + ?Sized>(&mut self, tool: &mut T) {
+        flush_batch_to(&mut self.batch, tool);
     }
 
     /// The schedule recorded by this run, when
@@ -623,9 +1165,9 @@ impl<'p> Vm<'p> {
             waiting_on: None,
         });
         let parent_id = parent.map(|p| self.threads[p].id);
-        self.stats.events += 2;
         self.stats.events_by_kind.thread_start += 1;
         self.stats.events_by_kind.call += 1;
+        self.flush_batch(tool);
         tool.on_thread_start(id, parent_id);
         tool.on_call(id, routine, 0);
         idx
@@ -707,8 +1249,8 @@ impl<'p> Vm<'p> {
         self.threads[t].blocks += 1;
         self.add_inst_cost(t, 2);
         if self.config.trace_blocks {
-            self.stats.events += 1;
             self.stats.events_by_kind.block += 1;
+            self.flush_batch(tool);
             tool.on_block(self.threads[t].id, routine, BlockId::new(block as u32));
         }
         Ok(())
@@ -730,8 +1272,8 @@ impl<'p> Vm<'p> {
         self.threads[t].state = ThreadState::Exited;
         let id = self.threads[t].id;
         let cost = self.cost_of(t);
-        self.stats.events += 1;
         self.stats.events_by_kind.thread_exit += 1;
+        self.flush_batch(tool);
         tool.on_thread_exit(id, cost);
         let waiters = std::mem::take(&mut self.threads[t].join_waiters);
         for w in waiters {
@@ -772,8 +1314,8 @@ impl<'p> Vm<'p> {
     }
 
     fn emit_sync<T: Tool + ?Sized>(&mut self, t: usize, op: SyncOp, tool: &mut T) {
-        self.stats.events += 1;
         self.stats.events_by_kind.sync += 1;
+        self.flush_batch(tool);
         tool.on_sync(self.threads[t].id, op);
     }
 
@@ -811,13 +1353,15 @@ impl<'p> Vm<'p> {
                     .pop()
                     .ok_or(RunError::CorruptStack { thread: id })?;
                 let cost = self.cost_of(t);
-                self.stats.events += 1;
                 self.stats.events_by_kind.ret += 1;
+                self.flush_batch(tool);
                 tool.on_return(id, frame.routine, cost);
+                let ret_dst = frame.ret_dst;
+                self.frame_pool.push(frame);
                 if self.threads[t].frames.is_empty() {
                     return Ok(self.exit_thread(t, tool));
                 }
-                if let Some(dst) = frame.ret_dst {
+                if let Some(dst) = ret_dst {
                     self.set_reg(t, dst, value)?;
                 }
                 // The caller's ip was advanced past the call instruction
@@ -829,7 +1373,6 @@ impl<'p> Vm<'p> {
                 self.threads[t].blocks += 1;
                 self.add_inst_cost(t, 2);
                 if self.config.trace_blocks {
-                    self.stats.events += 1;
                     self.stats.events_by_kind.block += 1;
                     tool.on_block(id, cont_routine, BlockId::new(cont_block as u32));
                 }
@@ -865,7 +1408,6 @@ impl<'p> Vm<'p> {
             Inst::Load { dst, base, offset } => {
                 let addr = self.addr_of(self.eval(t, base)?, self.eval(t, offset)?)?;
                 let id = self.threads[t].id;
-                self.stats.events += 1;
                 self.stats.events_by_kind.read += 1;
                 tool.on_read(id, addr, 1);
                 let v = self.mem.load(addr);
@@ -878,7 +1420,6 @@ impl<'p> Vm<'p> {
                 let addr = self.addr_of(self.eval(t, base)?, self.eval(t, offset)?)?;
                 let v = self.eval(t, src)?;
                 let id = self.threads[t].id;
-                self.stats.events += 1;
                 self.stats.events_by_kind.write += 1;
                 tool.on_write(id, addr, 1);
                 self.mem.store(addr, v);
@@ -899,29 +1440,45 @@ impl<'p> Vm<'p> {
                 ref args,
                 dst,
             } => {
-                let vals = args
-                    .iter()
-                    .map(|&a| self.eval(t, a))
-                    .collect::<Result<Vec<i64>, RunError>>()?;
-                self.advance(t)?; // resume after the call on return
+                let mut vals = std::mem::take(&mut self.call_scratch);
+                vals.clear();
+                for &a in args.iter() {
+                    match self.eval(t, a) {
+                        Ok(v) => vals.push(v),
+                        Err(e) => {
+                            self.call_scratch = vals;
+                            return Err(e);
+                        }
+                    }
+                }
                 let callee = self.program.routine(routine);
-                let mut regs = vec![0i64; callee.regs as usize];
-                regs[..vals.len()].copy_from_slice(&vals);
-                let id = self.threads[t].id;
-                let cost = self.cost_of(t);
-                self.stats.events += 1;
-                self.stats.events_by_kind.call += 1;
-                tool.on_call(id, routine, cost);
-                self.threads[t].frames.push(Frame {
+                let entry = callee.entry.index() as usize;
+                let mut frame = self.frame_pool.pop().unwrap_or_else(|| Frame {
                     routine,
-                    block: callee.entry.index() as usize,
+                    block: entry,
                     ip: 0,
-                    regs,
+                    regs: Vec::new(),
                     ret_dst: dst,
                     pending_entry: false,
                 });
+                frame.routine = routine;
+                frame.block = entry;
+                frame.ip = 0;
+                frame.ret_dst = dst;
+                frame.pending_entry = false;
+                frame.regs.clear();
+                frame.regs.resize(callee.regs as usize, 0);
+                frame.regs[..vals.len()].copy_from_slice(&vals);
+                self.call_scratch = vals;
+                self.advance(t)?; // resume after the call on return
+                let id = self.threads[t].id;
+                let cost = self.cost_of(t);
+                self.stats.events_by_kind.call += 1;
+                self.flush_batch(tool);
+                tool.on_call(id, routine, cost);
+                self.threads[t].frames.push(frame);
                 self.add_inst_cost(t, 5);
-                self.enter_block(t, callee.entry.index() as usize, tool)?;
+                self.enter_block(t, entry, tool)?;
                 Ok(Step::BlockEntered)
             }
             Inst::Spawn {
@@ -1149,8 +1706,8 @@ impl<'p> Vm<'p> {
                 };
                 if n > 0 {
                     // The kernel writes external data into the user buffer.
-                    self.stats.events += 1;
                     self.stats.events_by_kind.kernel_to_user += 1;
+                    self.flush_batch(tool);
                     tool.on_kernel_to_user(id, buf, n);
                     self.mem.store_slice(buf, &self.scratch);
                 }
@@ -1167,8 +1724,8 @@ impl<'p> Vm<'p> {
                     // The kernel reads the accepted prefix of the user
                     // buffer on the thread's behalf — "as if the system
                     // call were a normal subroutine" (Fig. 9).
-                    self.stats.events += 1;
                     self.stats.events_by_kind.user_to_kernel += 1;
+                    self.flush_batch(tool);
                     tool.on_user_to_kernel(id, buf, n);
                 }
                 n
@@ -1186,6 +1743,88 @@ impl<'p> Vm<'p> {
         self.add_inst_cost(t, 30 + 2 * transferred as u64);
         self.advance(t)?;
         Ok(Step::Kernel)
+    }
+}
+
+/// Why the decoded plain-op loop stopped.
+enum Leave {
+    /// The block's ops are exhausted: execute the terminator.
+    Term,
+    /// A slow op at the given *source* instruction index needs the
+    /// reference path.
+    Slow(u32),
+    /// An error aborts the run (the failing constituent is already
+    /// counted in `stats.instructions`, like the reference loop).
+    Err(RunError),
+}
+
+/// Register/immediate operand read against a live frame — the decoded
+/// loop's counterpart of [`Vm::eval`], with the frame already borrowed.
+#[inline(always)]
+fn ev(regs: &[i64], op: Operand) -> i64 {
+    match op {
+        Operand::Imm(v) => v,
+        Operand::Reg(r) => regs[r as usize],
+    }
+}
+
+/// One `Bin` constituent: evaluate, apply, write back.
+#[inline(always)]
+fn exec_bin_half(regs: &mut [i64], h: &BinHalf, routine: RoutineId) -> Result<(), RunError> {
+    let a = ev(regs, h.lhs);
+    let b = ev(regs, h.rhs);
+    let v =
+        h.op.apply(a, b)
+            .ok_or(RunError::DivisionByZero { routine })?;
+    regs[h.dst as usize] = v;
+    Ok(())
+}
+
+/// One `Load` constituent: address check, event emission into the
+/// batch, memory read, register write-back. Event tallies land in
+/// `stats` at emission time so `RunStats` equality holds regardless of
+/// when the batch is flushed.
+#[allow(clippy::too_many_arguments)] // hot-path: split borrows, not a context struct
+#[inline(always)]
+fn exec_load<T: Tool + ?Sized>(
+    regs: &mut [i64],
+    dst: Reg,
+    base: Operand,
+    offset: Operand,
+    mem: &mut Memory,
+    stats: &mut RunStats,
+    batch: &mut EventBatch,
+    tool: &mut T,
+) -> Result<(), RunError> {
+    let a = ev(regs, base).wrapping_add(ev(regs, offset));
+    if a <= 0 || (a as u64) >= ADDRESS_LIMIT {
+        return Err(RunError::BadAddress { value: a });
+    }
+    let addr = Addr::new(a as u64);
+    stats.events_by_kind.read += 1;
+    if batch.is_full() {
+        flush_batch_to(batch, tool);
+    }
+    batch.push(BatchKind::Read, addr, 1);
+    regs[dst as usize] = mem.load(addr);
+    Ok(())
+}
+
+/// The [`Vm::add_inst_cost`] jitter model, with the thread's RNG and
+/// nanos counter already split-borrowed out of the VM.
+#[inline(always)]
+fn add_sim_nanos(jitter: &mut SmallRng, nanos: &mut u64, inst_kind_cost: u64) {
+    let j = jitter.gen_range(0..=inst_kind_cost / 2 + 1);
+    let spike = if jitter.gen_ratio(1, 64) { 40 } else { 0 };
+    *nanos += inst_kind_cost + j + spike;
+}
+
+/// Delivers and clears a non-empty batch.
+#[inline]
+fn flush_batch_to<T: Tool + ?Sized>(batch: &mut EventBatch, tool: &mut T) {
+    if !batch.is_empty() {
+        tool.observe_batch(batch);
+        batch.clear();
     }
 }
 
@@ -2005,6 +2644,71 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.to_json(), b.to_json());
         assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    /// Every dispatch mode and batch size must execute the same run: a
+    /// threaded, syscalling, memory-heavy guest produces identical
+    /// stats, metrics and event traces under `Off`, `Blocks` and
+    /// `Fused` decoding with per-event and batched delivery.
+    #[test]
+    fn decoded_dispatch_matches_interpreted_reference() {
+        use crate::recorder::TraceRecorder;
+        use crate::stats::DecodeMode;
+
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(8);
+        let sem = pb.semaphore(0);
+        let worker = pb.function("worker", 1, |f| {
+            let buf = f.alloc(16);
+            let n = f.syscall(crate::kernel::SyscallNo::Read, 0, buf, 16, 0);
+            let acc = f.copy(0);
+            f.for_range(0, 24, |f, i| {
+                let v = f.load(buf, i);
+                let r = f.rand(7);
+                let s = f.add(v, r);
+                let t = f.add(acc, s);
+                f.assign(acc, t);
+                f.store(buf, i, t);
+            });
+            f.store(g.raw() as i64, 0, n);
+            f.sem_signal(sem);
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let a = f.spawn(worker, &[Operand::Imm(0)]);
+            let b = f.spawn(worker, &[Operand::Imm(1)]);
+            f.sem_wait(sem);
+            f.sem_wait(sem);
+            f.join(a);
+            f.join(b);
+        });
+        let program = pb.finish(main).unwrap();
+
+        let run = |decode: DecodeMode, event_batch: usize| {
+            let cfg = RunConfig {
+                policy: SchedPolicy::Random { seed: 17 },
+                quantum: 3,
+                trace_blocks: true,
+                decode,
+                event_batch,
+                ..RunConfig::with_devices(vec![Device::Stream { seed: 5 }])
+            };
+            let mut vm = Vm::new(&program, cfg).unwrap();
+            let mut rec = TraceRecorder::new();
+            let stats = vm.run(&mut rec).unwrap();
+            (stats, vm.metrics().to_json(), format!("{:?}", rec.traces()))
+        };
+
+        let reference = run(DecodeMode::Off, 1);
+        for decode in [DecodeMode::Off, DecodeMode::Blocks, DecodeMode::Fused] {
+            for batch in [1, 4, 128] {
+                let got = run(decode, batch);
+                assert_eq!(
+                    got, reference,
+                    "decode={decode} batch={batch} diverged from interpreted per-event run"
+                );
+            }
+        }
     }
 
     #[test]

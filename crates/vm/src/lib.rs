@@ -38,7 +38,9 @@
 //! assert!(stats.basic_blocks > 10);
 //! ```
 
+pub mod batch;
 pub mod builder;
+pub mod decode;
 pub mod disasm;
 pub mod fault;
 pub mod interp;
@@ -52,7 +54,9 @@ pub mod shadow;
 pub mod stats;
 pub mod tool;
 
+pub use batch::{BatchKind, EventBatch};
 pub use builder::{BuildError, FnBuilder, ProgramBuilder};
+pub use decode::{DecodeStats, DecodedProgram};
 pub use disasm::{disassemble, routine_listing};
 pub use fault::{FaultCounters, FaultKind, FaultPlan, FaultRule, FaultSpecError, FaultTrigger};
 pub use interp::{run_program, run_program_with, BlockedThread, RunError, Vm, WaitTarget};
@@ -63,7 +67,7 @@ pub use recorder::TraceRecorder;
 pub use rng::SmallRng;
 pub use shadow::ShadowCacheStats;
 pub use shadow::ShadowMemory;
-pub use stats::{CostKind, EventCounters, RunConfig, RunStats, SchedPolicy};
+pub use stats::{CostKind, DecodeMode, EventCounters, RunConfig, RunStats, SchedPolicy};
 pub use tool::{MultiTool, NullTool, Tool};
 
 // Schedule model re-exports, so VM users need not depend on the trace

@@ -5,7 +5,6 @@
 //! guest `Alloc` instructions.
 
 use drms_trace::Addr;
-use std::collections::HashMap;
 
 /// log2 of the page size in cells.
 pub const PAGE_BITS: u32 = 12;
@@ -13,6 +12,13 @@ pub const PAGE_BITS: u32 = 12;
 pub const PAGE_CELLS: usize = 1 << PAGE_BITS;
 
 /// Cell-addressed guest memory with lazy page allocation.
+///
+/// The page table is a dense `Vec` indexed by page number rather than a
+/// hash map: guest addresses are bounded (the interpreter rejects
+/// anything at or above the shadow-memory address limit) and workloads
+/// allocate contiguously from the bump allocator, so the table stays
+/// small while every load/store becomes a shift, a bounds check and an
+/// index — no hashing on the hot path.
 ///
 /// # Example
 /// ```
@@ -26,7 +32,11 @@ pub const PAGE_CELLS: usize = 1 << PAGE_BITS;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[i64; PAGE_CELLS]>>,
+    /// Dense page table: `pages[addr >> PAGE_BITS]`, grown to the
+    /// highest touched page, `None` for holes.
+    pages: Vec<Option<Box<[i64; PAGE_CELLS]>>>,
+    /// Number of `Some` entries in `pages`.
+    mapped: usize,
     brk: u64,
 }
 
@@ -34,7 +44,8 @@ impl Memory {
     /// Creates a memory whose bump allocator starts at `heap_base`.
     pub fn new(heap_base: u64) -> Self {
         Memory {
-            pages: HashMap::new(),
+            pages: Vec::new(),
+            mapped: 0,
             brk: heap_base,
         }
     }
@@ -43,9 +54,9 @@ impl Memory {
     #[inline]
     pub fn load(&self, addr: Addr) -> i64 {
         let a = addr.raw();
-        match self.pages.get(&(a >> PAGE_BITS)) {
-            Some(page) => page[(a & (PAGE_CELLS as u64 - 1)) as usize],
-            None => 0,
+        match self.pages.get((a >> PAGE_BITS) as usize) {
+            Some(Some(page)) => page[(a & (PAGE_CELLS as u64 - 1)) as usize],
+            _ => 0,
         }
     }
 
@@ -53,11 +64,16 @@ impl Memory {
     #[inline]
     pub fn store(&mut self, addr: Addr, value: i64) {
         let a = addr.raw();
-        let page = self
-            .pages
-            .entry(a >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0; PAGE_CELLS]));
-        page[(a & (PAGE_CELLS as u64 - 1)) as usize] = value;
+        let idx = (a >> PAGE_BITS) as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.pages[idx];
+        if slot.is_none() {
+            *slot = Some(Box::new([0; PAGE_CELLS]));
+            self.mapped += 1;
+        }
+        slot.as_mut().unwrap()[(a & (PAGE_CELLS as u64 - 1)) as usize] = value;
     }
 
     /// Bump-allocates `cells` contiguous cells (at least one), returning
@@ -76,12 +92,12 @@ impl Memory {
 
     /// Number of mapped pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.mapped
     }
 
     /// Bytes of host memory backing mapped guest pages.
     pub fn backing_bytes(&self) -> u64 {
-        (self.pages.len() * PAGE_CELLS * std::mem::size_of::<i64>()) as u64
+        (self.mapped * PAGE_CELLS * std::mem::size_of::<i64>()) as u64
     }
 
     /// Copies `values` into memory starting at `base`.

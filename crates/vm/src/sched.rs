@@ -256,6 +256,50 @@ impl Scheduler {
         }
     }
 
+    /// Accounts `n` plain steps at once — the decoded dispatch loop's
+    /// bulk equivalent of `n` calls to
+    /// [`note_step`](Self::note_step)`(StepKind::Plain)`.
+    ///
+    /// Sound because a plain step can never preempt on its own: under
+    /// the block-quantum policies only [`StepKind::Block`] decrements
+    /// the budget, chaos preempts only at sync/kernel points, and the
+    /// decoded loop never runs while a replay decision is active
+    /// (replay runs always use the reference stepper). Slice step
+    /// totals — recorded schedules and the `sched.slice.steps`
+    /// histogram — come out identical to per-step accounting.
+    pub(crate) fn note_plain_steps(&mut self, n: u32) {
+        debug_assert!(
+            self.replay_decision.is_none(),
+            "decoded dispatch never drives a replayed slice"
+        );
+        self.cur_steps += n;
+    }
+
+    /// Remaining block budget of the current slice: how many more
+    /// [`StepKind::Block`] steps may run before a quantum preemption.
+    /// At least 1 while a slice is open.
+    pub(crate) fn blocks_remaining(&self) -> u32 {
+        self.blocks_left
+    }
+
+    /// Accounts `n` block steps at once — the decoded dispatch loop's
+    /// bulk equivalent of `n` calls to
+    /// [`note_step`](Self::note_step)`(StepKind::Block)`, valid only
+    /// for `n <` [`blocks_remaining`](Self::blocks_remaining) (the
+    /// caller keeps the slice's *final* block step on the per-step
+    /// path, so a quantum expiry is always decided by `note_step`).
+    /// Chaos randomness is unaffected: its RNG draws happen only at
+    /// sync/kernel steps and slice starts, never per block.
+    pub(crate) fn note_block_steps(&mut self, n: u32) {
+        debug_assert!(
+            self.replay_decision.is_none(),
+            "decoded dispatch never drives a replayed slice"
+        );
+        debug_assert!(n < self.blocks_left, "bulk blocks may not end the slice");
+        self.cur_steps += n;
+        self.blocks_left -= n;
+    }
+
     /// Closes the current slice with `cause`, recording it if recording
     /// is on.
     ///

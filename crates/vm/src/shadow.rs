@@ -266,6 +266,53 @@ impl<T: Copy + Default> ShadowMemory<T> {
         )));
     }
 
+    /// A mutable reference to the shadow cell of `addr`, materializing
+    /// its chunk on demand.
+    ///
+    /// Lets a read-modify-write (the drms `ts_t` "load old stamp, store
+    /// new stamp" pattern) cost one table walk instead of a `get` plus a
+    /// `set`. Counted as a single lookup in the cache statistics.
+    #[inline]
+    pub fn slot_mut(&mut self, addr: Addr) -> &mut T {
+        self.lookups.set(self.lookups.get() + 1);
+        if let Some((tag, ptr, true)) = self.last.get() {
+            if tag == Self::leaf_tag(addr) {
+                self.hits.set(self.hits.get() + 1);
+                let leaf = (addr.raw() & (LEAF_CELLS as u64 - 1)) as usize;
+                // SAFETY: same invariant as in `set`: the pointer was
+                // derived from a mutable borrow of a live leaf chunk and
+                // `&mut self` grants exclusive access for the returned
+                // lifetime.
+                return unsafe { &mut *ptr.as_ptr().add(leaf) };
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        let (l1, l2, leaf) = Self::split(addr);
+        if self.root.len() <= l1 {
+            self.root.resize_with(l1 + 1, || None);
+        }
+        let level2 = self.root[l1].get_or_insert_with(|| Box::new(Level2::new()));
+        let chunk = match &mut level2.leaves[l2] {
+            Some(c) => c,
+            slot @ None => {
+                self.leaf_count += 1;
+                self.leaf_allocs += 1;
+                slot.insert(
+                    vec![T::default(); LEAF_CELLS]
+                        .into_boxed_slice()
+                        .try_into()
+                        .unwrap_or_else(|_| unreachable!()),
+                )
+            }
+        };
+        self.last.set(Some((
+            Self::leaf_tag(addr),
+            NonNull::from(&mut chunk[0]),
+            true,
+        )));
+        &mut chunk[leaf]
+    }
+
     /// Number of materialized leaf chunks.
     pub fn leaf_count(&self) -> usize {
         self.leaf_count

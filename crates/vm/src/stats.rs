@@ -22,6 +22,62 @@ pub enum CostKind {
     },
 }
 
+/// Dispatch strategy of the interpreter's hot loop.
+///
+/// All three modes are observably equivalent: same event stream, same
+/// [`RunStats`], same metrics, same recorded schedules. They differ only
+/// in how fast the VM gets there, which is what the differential
+/// property suite (and the CI byte-identity gate on sweep artifacts)
+/// asserts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum DecodeMode {
+    /// Interpret the [`Program`](crate::Program) IR directly, one
+    /// instruction per dispatch — the legacy reference path.
+    Off,
+    /// Pre-decode every routine into flat
+    /// [`DecodedProgram`](crate::DecodedProgram) blocks (operands
+    /// resolved, jump targets as block indices) and run the tight
+    /// block-dispatch loop over them.
+    Blocks,
+    /// Like [`Blocks`](DecodeMode::Blocks), plus superinstruction fusion
+    /// of the hottest adjacent opcode pairs in the sweep families
+    /// (`Bin;Bin`, `Bin;Load`, `Load;Bin`). The default.
+    #[default]
+    Fused,
+}
+
+impl DecodeMode {
+    /// The mode's CLI spelling (`--decode off|blocks|fused`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecodeMode::Off => "off",
+            DecodeMode::Blocks => "blocks",
+            DecodeMode::Fused => "fused",
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for DecodeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(DecodeMode::Off),
+            "blocks" => Ok(DecodeMode::Blocks),
+            "fused" => Ok(DecodeMode::Fused),
+            other => Err(format!(
+                "unknown decode mode `{other}` (off | blocks | fused)"
+            )),
+        }
+    }
+}
+
 /// Thread-scheduling policy of the serializing scheduler.
 ///
 /// Like Valgrind, the VM runs one guest thread at a time; the policy picks
@@ -90,6 +146,18 @@ pub struct RunConfig {
     /// ([`RunError::ScheduleMissing`](crate::RunError::ScheduleMissing)
     /// otherwise); ignored by the others.
     pub replay: Option<Arc<Schedule>>,
+    /// Interpreter dispatch strategy (see [`DecodeMode`]). Replay runs
+    /// always use the reference interpreter regardless of this setting —
+    /// replay is a correctness mode, never a hot path.
+    pub decode: DecodeMode,
+    /// Capacity of the struct-of-arrays [`EventBatch`](crate::EventBatch)
+    /// that the decoded dispatch loop fills with read/write events before
+    /// flushing it to the tool at block boundaries (or when full).
+    /// `1` delivers every event immediately (per-event mode); `0` is
+    /// invalid and treated as `1` by the VM, but rejected at admission
+    /// by front ends (`--batch`, `aprofd`). Ignored under
+    /// [`DecodeMode::Off`], which always delivers per-event.
+    pub event_batch: usize,
 }
 
 impl Default for RunConfig {
@@ -106,6 +174,8 @@ impl Default for RunConfig {
             faults: None,
             record_sched: false,
             replay: None,
+            decode: DecodeMode::default(),
+            event_batch: 512,
         }
     }
 }

@@ -5,6 +5,7 @@
 //! how much shadow state it allocated, which backs the paper's space
 //! overhead measurements.
 
+use crate::batch::{BatchKind, EventBatch};
 use drms_trace::{EventSink, Metrics};
 
 /// A dynamic-analysis tool attached to a guest execution.
@@ -33,6 +34,29 @@ pub trait Tool: EventSink {
             format!("tool.{}.shadow_bytes", self.name()),
             self.shadow_bytes(),
         );
+    }
+
+    /// Delivers a batch of buffered read/write events, in emission order.
+    ///
+    /// The decoded dispatch loop calls this instead of per-event
+    /// [`EventSink::on_read`]/[`EventSink::on_write`] when
+    /// [`RunConfig::event_batch`](crate::RunConfig::event_batch) > 1. The
+    /// default implementation replays the batch through those per-event
+    /// hooks, so existing tools observe an identical stream; tools with a
+    /// native batch path (the drms profiler, memcheck) override this to
+    /// amortize per-delivery setup over the whole batch.
+    ///
+    /// Every entry belongs to [`EventBatch::thread`]; the VM flushes
+    /// before any other event kind, so overriding implementations may
+    /// assume no call/return/sync/kernel event interleaves a batch.
+    fn observe_batch(&mut self, batch: &EventBatch) {
+        let thread = batch.thread();
+        for (kind, addr, len) in batch.entries() {
+            match kind {
+                BatchKind::Read => self.on_read(thread, addr, len),
+                BatchKind::Write => self.on_write(thread, addr, len),
+            }
+        }
     }
 }
 
@@ -147,6 +171,14 @@ impl Tool for MultiTool<'_> {
             t.observe_metrics(metrics);
         }
     }
+
+    /// Fans the batch out so each tool takes its own (native or
+    /// replayed) batch path.
+    fn observe_batch(&mut self, batch: &EventBatch) {
+        for t in self.tools.iter_mut() {
+            t.observe_batch(batch);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +228,47 @@ mod tests {
         assert_eq!(a.calls, 1);
         assert_eq!(b.calls, 1);
         assert!(a.finished && b.finished);
+    }
+
+    #[test]
+    fn default_observe_batch_replays_per_event() {
+        use drms_trace::Addr;
+
+        #[derive(Default)]
+        struct Log(Vec<(bool, u64, u32)>);
+        impl EventSink for Log {
+            fn on_read(&mut self, _: ThreadId, addr: Addr, len: u32) {
+                self.0.push((false, addr.raw(), len));
+            }
+            fn on_write(&mut self, _: ThreadId, addr: Addr, len: u32) {
+                self.0.push((true, addr.raw(), len));
+            }
+        }
+        impl Tool for Log {
+            fn name(&self) -> &str {
+                "log"
+            }
+        }
+
+        let mut batch = EventBatch::with_capacity(4);
+        batch.set_thread(ThreadId::MAIN);
+        batch.push(BatchKind::Read, Addr::new(8), 1);
+        batch.push(BatchKind::Write, Addr::new(16), 2);
+        batch.push(BatchKind::Read, Addr::new(8), 1);
+
+        let mut direct = Log::default();
+        direct.observe_batch(&batch);
+        assert_eq!(direct.0, vec![(false, 8, 1), (true, 16, 2), (false, 8, 1)]);
+
+        // MultiTool forwards the batch to each member.
+        let mut a = Log::default();
+        let mut b = Log::default();
+        let mut m = MultiTool::new();
+        m.push(&mut a).push(&mut b);
+        m.observe_batch(&batch);
+        drop(m);
+        assert_eq!(a.0.len(), 3);
+        assert_eq!(a.0, b.0);
     }
 
     #[test]

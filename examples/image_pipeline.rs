@@ -18,9 +18,17 @@ fn main() {
     let tasks = 110; // the paper's Figure 6 run observes 110 calls
     let w = imgpipe::vips(2, tasks, 1);
 
-    let (full, stats) = drms::profile_workload(&w).expect("run");
-    let (ext, _) =
-        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only()).expect("run");
+    let (full, stats) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
+    let (ext, _) = drms::ProfileSession::workload(&w)
+        .drms(DrmsConfig::external_only())
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     println!(
         "pipeline ran {} threads, {} thread switches, {} syscalls\n",
         stats.threads, stats.thread_switches, stats.syscalls

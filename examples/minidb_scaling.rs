@@ -17,7 +17,11 @@ use drms::workloads::minidb;
 fn main() {
     let sizes: Vec<i64> = (1..=12).map(|i| i * 100).collect();
     let w = minidb::minidb_scaling(&sizes);
-    let (report, stats) = drms::profile_workload(&w).expect("run");
+    let (report, stats) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     println!(
         "profiled {} syscalls, {} basic blocks\n",
         stats.syscalls, stats.basic_blocks

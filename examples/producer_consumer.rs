@@ -16,7 +16,11 @@ fn main() {
     println!("n        rms(consumer)  drms(consumer)");
     for n in [4i64, 16, 64, 256] {
         let w = patterns::producer_consumer(n);
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let consumer = report.merged_routine(w.focus.expect("consumer"));
         let rms = consumer.rms_plot().last().map(|&(x, _)| x).unwrap_or(0);
         let drms = consumer.drms_plot().last().map(|&(x, _)| x).unwrap_or(0);
@@ -28,7 +32,11 @@ fn main() {
     // The induced first-reads are classified as *thread input*: they were
     // caused by stores of the producer thread.
     let w = patterns::producer_consumer(32);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let consume_data = w
         .program
         .routine_by_name("consume_data")

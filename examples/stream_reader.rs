@@ -18,9 +18,17 @@ fn main() {
     println!("n        rms   drms  drms(external input disabled)");
     for n in [8i64, 32, 128] {
         let w = patterns::stream_reader(n);
-        let (full, _) = drms::profile_workload(&w).expect("run");
-        let (blind, _) =
-            drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only()).expect("run");
+        let (full, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
+        let (blind, _) = drms::ProfileSession::workload(&w)
+            .drms(DrmsConfig::static_only())
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let focus = w.focus.expect("stream_reader");
         let rms = full.merged_routine(focus).rms_plot().last().unwrap().0;
         let drms = full.merged_routine(focus).drms_plot().last().unwrap().0;
@@ -34,7 +42,11 @@ fn main() {
     // The profiler also tells us the input is external (I/O), not
     // thread communication.
     let w = patterns::stream_reader(64);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let cd = w.program.routine_by_name("consume_data").expect("routine");
     let b = report.merged_routine(cd).breakdown;
     println!(

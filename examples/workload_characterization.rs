@@ -12,7 +12,11 @@ fn main() {
     // Whole-benchmark split of induced first reads (Figure 15).
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for w in workloads::full_suite(4, 1) {
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let (thread, external) = induced_split(&report);
         rows.push((w.name.clone(), thread, external));
     }
@@ -29,7 +33,11 @@ fn main() {
 
     // Routine-level drill-down for one benchmark (Figure 13 style).
     let w = workloads::parsec::dedup(4, 1);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let names = w.program.name_table();
     let mut metrics = routine_metrics(&report);
     metrics.retain(|m| m.first_reads > 0);

@@ -67,8 +67,16 @@ fn trace_codec_roundtrips_a_real_execution() {
 #[test]
 fn profiling_is_deterministic_under_round_robin() {
     let w = workloads::parsec::dedup(3, 1);
-    let (r1, s1) = drms::profile_workload(&w).expect("run 1");
-    let (r2, s2) = drms::profile_workload(&w).expect("run 2");
+    let (r1, s1) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run 1")
+        .into_parts()
+        .expect("run 1");
+    let (r2, s2) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run 2")
+        .into_parts()
+        .expect("run 2");
     assert_eq!(r1, r2, "round-robin scheduling must be deterministic");
     assert_eq!(s1.basic_blocks, s2.basic_blocks);
     assert_eq!(s1.thread_switches, s2.thread_switches);
@@ -77,7 +85,11 @@ fn profiling_is_deterministic_under_round_robin() {
 #[test]
 fn quadratic_routine_is_identified_end_to_end() {
     let w = workloads::sorting::selection_sort_sweep(&[10, 20, 40, 80, 120, 160]);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let p = report.merged_routine(w.focus.expect("selection_sort"));
     let fit = CostPlot::of(&p, InputMetric::Drms).fit(0.01);
     assert_eq!(fit.model, Model::Quadratic, "fit: {fit}");
@@ -87,7 +99,11 @@ fn quadratic_routine_is_identified_end_to_end() {
 #[test]
 fn renumbering_is_transparent_on_real_workloads() {
     let w = workloads::imgpipe::vips(2, 5, 1);
-    let (baseline, _) = drms::profile_workload(&w).expect("run");
+    let (baseline, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let tiny = DrmsConfig {
         count_limit: 128,
         ..DrmsConfig::full()
@@ -106,7 +122,11 @@ fn drms_dominates_rms_on_every_profile() {
     // Paper Inequality 1: drms >= rms for every activation; in aggregate,
     // Σdrms >= Σrms per (routine, thread).
     for w in workloads::full_suite(2, 1) {
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         for (&(r, t), p) in report.iter() {
             assert!(
                 p.sum_drms >= p.sum_rms,
@@ -150,7 +170,10 @@ fn full_suite_is_robust_across_thread_counts() {
     // (Figure 16 uses 1..8 threads).
     for threads in [1u32, 3, 8] {
         for w in workloads::full_suite(threads, 1) {
-            let (report, stats) = drms::profile_workload(&w)
+            let (report, stats) = drms::ProfileSession::workload(&w)
+                .run()
+                .expect("setup")
+                .into_parts()
                 .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", w.name));
             assert!(stats.basic_blocks > 0, "{} at {threads}", w.name);
             assert!(!report.is_empty(), "{} at {threads}", w.name);
@@ -197,7 +220,11 @@ fn report_roundtrips_through_text_for_all_pattern_workloads() {
         workloads::patterns::stream_reader(10),
         workloads::parsec::dedup(3, 1),
     ] {
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let text = report_io::to_text(&report);
         let back = report_io::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(back, report, "{}", w.name);

@@ -10,7 +10,11 @@ use drms::workloads::{imgpipe, minidb, patterns};
 fn figure_2_producer_consumer_scaling() {
     for n in [1i64, 5, 25, 125] {
         let w = patterns::producer_consumer(n);
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let consumer = report.merged_routine(w.focus.unwrap());
         assert_eq!(consumer.rms_plot().last().unwrap().0, 1, "n = {n}");
         assert_eq!(consumer.drms_plot().last().unwrap().0, n as u64, "n = {n}");
@@ -21,7 +25,11 @@ fn figure_2_producer_consumer_scaling() {
 fn figure_3_stream_reader_scaling() {
     for n in [1i64, 7, 49] {
         let w = patterns::stream_reader(n);
-        let (report, _) = drms::profile_workload(&w).expect("run");
+        let (report, _) = drms::ProfileSession::workload(&w)
+            .run()
+            .expect("run")
+            .into_parts()
+            .expect("run");
         let reader = report.merged_routine(w.focus.unwrap());
         assert_eq!(reader.rms_plot().last().unwrap().0, 1, "n = {n}");
         assert_eq!(reader.drms_plot().last().unwrap().0, n as u64, "n = {n}");
@@ -32,7 +40,11 @@ fn figure_3_stream_reader_scaling() {
 fn figure_4_rms_collapses_drms_grows() {
     let sizes = [32i64, 64, 128, 256, 512, 1024];
     let w = minidb::minidb_scaling(&sizes);
-    let (report, _) = drms::profile_workload(&w).expect("run");
+    let (report, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let select = report.merged_routine(w.focus.unwrap());
     let rms = CostPlot::of(&select, InputMetric::Rms);
     let drms = CostPlot::of(&select, InputMetric::Drms);
@@ -51,11 +63,23 @@ fn figure_6_metric_refinement_chain() {
     let tasks = 24;
     let w = imgpipe::vips(2, tasks, 1);
     let wb = w.program.routine_by_name("wbuffer_write_thread").unwrap();
-    let (full, _) = drms::profile_workload(&w).expect("run");
-    let (ext, _) =
-        drms::profile_with(&w.program, w.run_config(), DrmsConfig::external_only()).expect("run");
-    let (none, _) =
-        drms::profile_with(&w.program, w.run_config(), DrmsConfig::static_only()).expect("run");
+    let (full, _) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
+    let (ext, _) = drms::ProfileSession::workload(&w)
+        .drms(DrmsConfig::external_only())
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
+    let (none, _) = drms::ProfileSession::workload(&w)
+        .drms(DrmsConfig::static_only())
+        .run()
+        .expect("run")
+        .into_parts()
+        .expect("run");
     let p_full = full.merged_routine(wb);
     let p_ext = ext.merged_routine(wb);
     let p_none = none.merged_routine(wb);
@@ -89,7 +113,11 @@ fn write_before_read_suppresses_input_everywhere() {
         f.ret(None);
     });
     let program = pb.finish(main).unwrap();
-    let (report, _) = drms::profile(&program, RunConfig::default()).unwrap();
+    let (report, _) = drms::ProfileSession::new(&program)
+        .run()
+        .unwrap()
+        .into_parts()
+        .unwrap();
     let p = report.merged_routine(scratch);
     assert_eq!(p.drms_plot(), vec![(0, p.drms_plot()[0].1)]);
     assert_eq!(p.rms_plot()[0].0, 0);

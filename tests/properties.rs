@@ -294,7 +294,11 @@ fn fault_injection_preserves_cost_function_shape() {
     let sizes = [32i64, 64, 96, 128, 192, 256];
     let w = drms::workloads::minidb::minidb_scaling(&sizes);
     let focus = w.focus.expect("mysql_select");
-    let (clean_report, clean_stats) = drms::profile_workload(&w).expect("fault-free run");
+    let (clean_report, clean_stats) = drms::ProfileSession::workload(&w)
+        .run()
+        .expect("fault-free run")
+        .into_parts()
+        .expect("fault-free run");
     let clean_plot = CostPlot::of(&clean_report.merged_routine(focus), InputMetric::Drms);
     let clean_sizes: Vec<u64> = clean_plot.points.iter().map(|p| p.0).collect();
     let clean_fit = clean_plot.fit(0.02);
@@ -305,8 +309,10 @@ fn fault_injection_preserves_cost_function_shape() {
         let plan = random_recoverable_plan(&mut rng);
         let mut cfg = w.run_config();
         cfg.faults = Some(plan.clone());
-        let outcome =
-            drms::profile_partial(&w.program, cfg, DrmsConfig::full()).expect("valid workload");
+        let outcome = drms::ProfileSession::new(&w.program)
+            .config(cfg)
+            .run()
+            .expect("valid workload");
         assert!(
             outcome.error.is_none(),
             "recoverable faults must not abort the run (case {case}, plan {plan})"
