@@ -224,6 +224,44 @@ grep -q "408" target/repro/aprofd/loris.out \
 "$aprofctl" --addr-file target/repro/aprofd/addr-loris shutdown > /dev/null
 wait "$daemon_loris"
 
+# Out-of-core trace gate: a run that spills its event stream to binary
+# shards must (a) produce the same report as the in-memory run —
+# attaching the shard recorder cannot perturb the profile — and (b)
+# replay offline (repro replay-shards) to a byte-identical report.
+aprof=target/release/aprof
+rm -rf target/repro/shards
+mkdir -p target/repro/shards
+"$aprof" --workload minidb --scale 1 \
+    --report target/repro/shards/live.report > /dev/null
+"$aprof" --workload minidb --scale 1 --trace-out target/repro/shards/spill \
+    --report target/repro/shards/spill.report > /dev/null
+cmp target/repro/shards/live.report target/repro/shards/spill.report \
+    || { echo "ci: spilling trace shards perturbed the profile report" >&2; exit 1; }
+"$repro" replay-shards target/repro/shards/spill --jobs 2 \
+    --report target/repro/shards/replayed.report \
+    --metrics target/repro/shards/replayed.metrics.json > /dev/null
+cmp target/repro/shards/live.report target/repro/shards/replayed.report \
+    || { echo "ci: offline shard replay differs from the in-memory report" >&2; exit 1; }
+
+# ENOSPC mid-shard: the run must fail typed (nonzero exit, the injected
+# fault attributed on stderr), and the flushed shard prefix must stay
+# salvageable — replay-shards loads it, accounts the loss under the
+# salvaged + dropped == total law (its metrics audit runs before the
+# export), and exits clean.
+shard_rc=0
+"$aprof" --workload minidb --scale 1 --trace-out target/repro/shards/faulted \
+    --host-faults write:enospc:once=4 \
+    > /dev/null 2> target/repro/shards/fault.err || shard_rc=$?
+[ "$shard_rc" -ne 0 ] \
+    || { echo "ci: ENOSPC mid-shard should exit nonzero" >&2; exit 1; }
+grep -q "injected host fault" target/repro/shards/fault.err \
+    || { echo "ci: mid-shard fault was not attributed on stderr" >&2; exit 1; }
+"$repro" replay-shards target/repro/shards/faulted --jobs 2 \
+    --metrics target/repro/shards/faulted.metrics.json > /dev/null \
+    || { echo "ci: salvaging the faulted shard prefix failed" >&2; exit 1; }
+grep -q '"trace.shard.lines.total"' target/repro/shards/faulted.metrics.json \
+    || { echo "ci: salvage accounting missing from the replayed metrics" >&2; exit 1; }
+
 # Metrics smoke gate: the same workload + seed twice must render a
 # byte-identical metrics export (aprof exits non-zero if the registry
 # fails its self-consistency audit).

@@ -525,7 +525,14 @@ impl Daemon {
             }
         };
         let sweep_spec = spec.sweep_spec();
-        let opts = spec.supervisor_options();
+        let mut opts = spec.supervisor_options();
+        if spec.trace_dir {
+            // Shards are a job artifact: they live next to the journal
+            // and report, survive restarts, and are removed with the
+            // job (DELETE, tombstone sweep, retention GC).
+            opts.trace_dir = Some(self.job_path(id, "shards"));
+            opts.trace_io = self.cfg.host_io.clone();
+        }
         let journal_path = self.job_path(id, "journal");
 
         let io = self.cfg.host_io.clone();
@@ -927,6 +934,10 @@ fn remove_job_files(state_dir: &std::path::Path, id: &str) -> bool {
         if std::fs::remove_file(path).is_ok() {
             removed = true;
         }
+    }
+    // The trace-shard spill directory (`trace_dir on` jobs).
+    if std::fs::remove_dir_all(state_dir.join(format!("job-{id}.shards"))).is_ok() {
+        removed = true;
     }
     removed
 }

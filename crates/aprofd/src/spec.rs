@@ -51,6 +51,11 @@ pub struct JobSpec {
     /// Tool event-batch capacity (≥ 1 when set — a zero-capacity batch
     /// could never buffer an event, so it is rejected at admission).
     pub event_batch: Option<usize>,
+    /// Whether the job spills its event stream into per-thread binary
+    /// trace shards (`on` / `-`). The daemon maps this to a
+    /// `job-<id>.shards` directory under its state dir, retained as a
+    /// job artifact and garbage-collected with the rest.
+    pub trace_dir: bool,
 }
 
 impl Default for JobSpec {
@@ -66,6 +71,7 @@ impl Default for JobSpec {
             max_instructions: None,
             decode: None,
             event_batch: None,
+            trace_dir: false,
         }
     }
 }
@@ -156,6 +162,18 @@ impl JobSpec {
                     }
                 }
                 "event_batch" => spec.event_batch = parse_opt_num("event_batch", value)?,
+                "trace_dir" => {
+                    spec.trace_dir = match value {
+                        "on" => true,
+                        "-" | "off" => false,
+                        other => {
+                            return Err(err(
+                                "trace_dir",
+                                format!("bad value `{other}` (on | off | -)"),
+                            ))
+                        }
+                    }
+                }
                 other => return Err(err("spec", format!("unknown key `{other}`"))),
             }
         }
@@ -260,6 +278,7 @@ impl JobSpec {
             "event_batch {}",
             self.event_batch.map_or("-".to_string(), |n| n.to_string())
         );
+        let _ = writeln!(out, "trace_dir {}", if self.trace_dir { "on" } else { "-" });
         out
     }
 
@@ -393,6 +412,22 @@ mod tests {
         assert!(e.message.contains("never buffer"), "{e}");
         let e = JobSpec::parse("family stream\nsizes 4\ndecode warp\n").unwrap_err();
         assert_eq!(e.field, "decode");
+    }
+
+    #[test]
+    fn trace_dir_parses_roundtrips_and_keys_the_id() {
+        let spec = JobSpec::parse("family stream\nsizes 4\ntrace_dir on\n").unwrap();
+        assert!(spec.trace_dir);
+        let reparsed = JobSpec::parse(&spec.canonical_text()).unwrap();
+        assert_eq!(spec, reparsed);
+        let off = JobSpec::parse("family stream\nsizes 4\ntrace_dir off\n").unwrap();
+        assert!(!off.trace_dir);
+        let dash = JobSpec::parse("family stream\nsizes 4\ntrace_dir -\n").unwrap();
+        assert!(!dash.trace_dir);
+        // Spilling shards keys the job ID: the artifact set differs.
+        assert_ne!(job_id(&spec, 1), job_id(&off, 1));
+        let e = JobSpec::parse("family stream\nsizes 4\ntrace_dir maybe\n").unwrap_err();
+        assert_eq!(e.field, "trace_dir");
     }
 
     #[test]

@@ -332,3 +332,46 @@ fn gc_pruned_jobs_stay_gone_across_restart_and_the_counter_advances() {
     assert_eq!(code, 404, "age-expired jobs are pruned at startup");
     s3.stop();
 }
+
+/// `trace_dir on`: the job spills per-cell trace shards under
+/// `job-<id>.shards/`, the shards replay offline into a clean drms
+/// report, and retention GC removes the shard directory with the rest
+/// of the job's files.
+#[test]
+fn trace_shards_are_retained_as_artifacts_and_gc_removes_them() {
+    let dir = state_dir("trace-shards");
+    let s = start_with(DaemonConfig {
+        workers: 1,
+        retain_count: Some(1),
+        ..DaemonConfig::new(dir.clone())
+    });
+    const TRACED: &str = "tenant alice\nfamily stream\nsizes 4\nseeds 1\ntrace_dir on\n";
+    let id = submit(&s, TRACED);
+    wait_done(&s, &id);
+
+    let shards = dir.join(format!("job-{id}.shards"));
+    assert!(shards.is_dir(), "traced job leaves a shard directory");
+    let cell = shards.join("cell-stream-4-1");
+    assert!(cell.is_dir(), "one spill directory per sweep cell");
+    assert!(cell.join("MANIFEST").exists());
+
+    // The spilled stream replays offline into a complete profile.
+    let set = drms::trace::ShardSet::load(&cell, 2).expect("load shards");
+    assert_eq!(set.dropped, 0, "clean shards salvage everything");
+    assert!(set.total > 0);
+    let mut prof = drms::core::DrmsProfiler::new(drms::core::DrmsConfig::full());
+    drms::vm::replay_shards_into(&set, &mut prof);
+    assert!(!prof.report().is_empty());
+
+    // retain_count = 1: the next finished job pushes this one out of
+    // policy, and the GC removes the shard directory too.
+    let id2 = submit(&s, SPEC);
+    wait_done(&s, &id2);
+    let (code, _) = status_of(&s, &id);
+    assert_eq!(code, 404, "traced job is pruned");
+    assert!(
+        !shards.exists(),
+        "GC must remove the shard directory with the job"
+    );
+    s.stop();
+}

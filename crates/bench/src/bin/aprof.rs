@@ -62,6 +62,17 @@
 //!                       --sweep this dumps the grid-merged registry
 //!   --trace FILE        record and dump the merged execution trace
 //!   --trace-stats       print event-stream statistics
+//!   --trace-out DIR     spill the live event stream into per-thread
+//!                       binary shards under DIR (the out-of-core trace
+//!                       pipeline); replay offline with
+//!                       `repro replay-shards DIR`. With --sweep, each
+//!                       cell gets its own `cell-<family>-<size>-<seed>`
+//!                       subdirectory
+//!   --host-faults SPEC  inject storage faults into the shard writes
+//!                       (same spec language as repro; e.g.
+//!                       "write:enospc:once=3"); a mid-shard fault is a
+//!                       typed failure and the flushed prefix stays
+//!                       salvageable
 //!   --disasm            print the guest program listing and exit
 //!   --diff OLD NEW      compare two saved reports and print regressions
 //!                       (standalone mode: no --workload needed)
@@ -117,10 +128,12 @@ struct Cli {
     jobs: usize,
     deadline_ms: Option<u64>,
     max_attempts: u32,
+    trace_out: Option<String>,
+    host_io: drms::trace::HostIo,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--decode off|blocks|fused] [--batch N] [--jobs N] [--deadline-ms N] [--max-attempts N]");
+    eprintln!("usage: aprof --workload <name> [--tool aprof-drms|aprof|external-only] [--focus ROUTINE] [--fit] [--faults SPEC] [--context] [--report FILE] [--metrics FILE] [--trace FILE] [--trace-stats] [--disasm] [--diff OLD NEW] [--threads N] [--scale S] [--policy|--sched rr|random:SEED|chaos,seed=N] [--quantum N] [--record-sched FILE] [--replay-sched FILE] [--sweep SIZES] [--decode off|blocks|fused] [--batch N] [--jobs N] [--deadline-ms N] [--max-attempts N] [--trace-out DIR] [--host-faults SPEC]");
     exit(2)
 }
 
@@ -165,6 +178,8 @@ fn parse_cli() -> Cli {
         jobs: 1,
         deadline_ms: None,
         max_attempts: 3,
+        trace_out: None,
+        host_io: drms::trace::HostIo::real(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -247,6 +262,20 @@ fn parse_cli() -> Cli {
                 let old = value("--diff");
                 let new = value("--diff");
                 cli.diff = Some((old, new));
+            }
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")),
+            "--host-faults" => {
+                let spec = value("--host-faults");
+                match drms::trace::hostio::HostIo::from_spec(&spec) {
+                    Ok(io) => {
+                        eprintln!("aprof: CHAOS MODE — injecting host faults from `{spec}`");
+                        cli.host_io = io;
+                    }
+                    Err(e) => {
+                        eprintln!("aprof: {e}");
+                        exit(2)
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other => {
@@ -434,8 +463,8 @@ fn main() {
     // Standard run under the selected profiler.
     let record = cli.record_sched.as_deref();
     let (report, stats, abort, metrics) = match cli.tool.as_str() {
-        "aprof-drms" => run_drms_tool(&w, config, DrmsConfig::full(), record),
-        "external-only" => run_drms_tool(&w, config, DrmsConfig::external_only(), record),
+        "aprof-drms" => run_drms_tool(&w, config, DrmsConfig::full(), &cli),
+        "external-only" => run_drms_tool(&w, config, DrmsConfig::external_only(), &cli),
         "aprof" => {
             let mut p = RmsProfiler::new();
             let (stats, abort, metrics) = run_vm(&w, config, &mut p, record);
@@ -544,6 +573,8 @@ fn run_size_sweep(name: &str, sizes: &[i64], cli: &Cli) {
     let opts = SupervisorOptions {
         max_attempts: cli.max_attempts.max(1),
         deadline: cli.deadline_ms.map(Duration::from_millis),
+        trace_dir: cli.trace_out.as_deref().map(std::path::PathBuf::from),
+        trace_io: cli.host_io.clone(),
         ..SupervisorOptions::default()
     };
     let result = run_supervised(&spec, &opts);
@@ -625,25 +656,39 @@ fn run_vm<T: Tool>(
 
 /// Runs the drms profiler through [`ProfileSession`], keeping whatever
 /// profile data an aborted run produced instead of discarding it.
-/// Setup failures exit immediately with their documented code.
+/// Setup failures exit immediately with their documented code; a failed
+/// shard finalize (`--trace-out` on a faulty disk) exits 1 with the
+/// underlying host-I/O error on stderr — the salvageable shard prefix
+/// stays on disk.
 fn run_drms_tool(
     w: &Workload,
     config: RunConfig,
     drms: DrmsConfig,
-    record: Option<&str>,
+    cli: &Cli,
 ) -> (ProfileReport, RunStats, Option<RunError>, Metrics) {
-    let outcome = ProfileSession::new(&w.program)
-        .config(config)
-        .drms(drms)
-        .run()
-        .unwrap_or_else(|e| match e {
-            drms::Error::Run(e) => abort_exit(&w.name, &e),
-            other => {
-                eprintln!("{}: {other}", w.name);
-                exit(1)
-            }
-        });
-    if let Some(path) = record {
+    let mut session = ProfileSession::new(&w.program).config(config).drms(drms);
+    if let Some(dir) = &cli.trace_out {
+        session = session
+            .trace_dir(Path::new(dir))
+            .trace_io(cli.host_io.clone());
+    }
+    let outcome = session.run().unwrap_or_else(|e| match e {
+        drms::Error::Run(e) => abort_exit(&w.name, &e),
+        drms::Error::Io(io_err) => {
+            eprintln!("{}: trace spill failed: {io_err}", w.name);
+            exit(1)
+        }
+        other => {
+            eprintln!("{}: {other}", w.name);
+            exit(1)
+        }
+    });
+    if let Some(dir) = &cli.trace_out {
+        let frames = outcome.metrics.counter("trace.shard.frames");
+        let bytes = outcome.metrics.counter("trace.shard.bytes");
+        println!("trace shards written to {dir} ({frames} frames, {bytes} bytes)");
+    }
+    if let Some(path) = cli.record_sched.as_deref() {
         let sched = outcome
             .schedule
             .as_ref()

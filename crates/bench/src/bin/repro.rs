@@ -45,6 +45,16 @@
 //!                 ENOSPC / fsync-EIO / torn writes and the sweep must
 //!                 either finish byte-identical or exit 1 with a typed
 //!                 error — never leave a corrupt artifact
+//!   replay-shards DIR  offline half of the out-of-core trace pipeline:
+//!                 load the per-thread binary shards a live run spilled
+//!                 under DIR (`aprof --trace-out` / a session's
+//!                 `trace_dir`), salvage any torn tails, replay the
+//!                 merged stream through a fresh drms profiler
+//!                 ([--jobs N] parallel shard loading) and print the
+//!                 profile summary; [--report FILE] dumps the report
+//!                 (byte-identical to the live run's for clean shards),
+//!                 [--metrics FILE] dumps the shard + profiler registry
+//!                 after its self-consistency audit
 //! ```
 //!
 //! Each experiment prints its series and also writes CSV/gnuplot data
@@ -78,11 +88,14 @@ struct Options {
     decode: Option<drms::vm::DecodeMode>,
     batch: Option<usize>,
     host_io: drms::trace::hostio::HostIo,
+    report_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut experiment = None;
+    let mut positional = None;
     let mut opts = Options {
         threads: 4,
         scale: 2,
@@ -99,6 +112,8 @@ fn main() {
         decode: None,
         batch: None,
         host_io: drms::trace::hostio::HostIo::real(),
+        report_out: None,
+        metrics_out: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -180,7 +195,18 @@ fn main() {
                     }
                 }
             }
+            "--report" => {
+                opts.report_out = Some(PathBuf::from(args.next().expect("--report FILE")));
+            }
+            "--metrics" => {
+                opts.metrics_out = Some(PathBuf::from(args.next().expect("--metrics FILE")));
+            }
             other if experiment.is_none() => experiment = Some(other.to_owned()),
+            // One operand after the experiment name (the shard directory
+            // of `replay-shards DIR`); the dispatch arm validates it.
+            other if positional.is_none() && !other.starts_with('-') => {
+                positional = Some(other.to_owned())
+            }
             other => {
                 eprintln!("unexpected argument `{other}`");
                 std::process::exit(2);
@@ -188,7 +214,7 @@ fn main() {
         }
     }
     let Some(experiment) = experiment else {
-        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N] [--decode off|blocks|fused] [--batch N] [--host-faults SPEC]");
+        eprintln!("usage: repro <fig4|fig5|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|sched|faults|all|sched-fuzz|sched-shrink|sweep|replay-shards DIR> [--threads N] [--scale S] [--out DIR] [--seeds N] [--quick] [--sched FILE] [--jobs N] [--bench-out FILE] [--journal FILE] [--resume FILE] [--max-attempts N] [--deadline-ms N] [--decode off|blocks|fused] [--batch N] [--host-faults SPEC] [--report FILE] [--metrics FILE]");
         std::process::exit(2);
     };
     fs::create_dir_all(&opts.out).expect("create output dir");
@@ -209,6 +235,7 @@ fn main() {
         "sched-fuzz" => sched_fuzz(&opts),
         "sched-shrink" => sched_shrink(&opts),
         "sweep" => sweep_bench(&opts),
+        "replay-shards" => replay_shards(&opts, positional.as_deref()),
         "all" => {
             fig4(&opts);
             fig5(&opts);
@@ -235,6 +262,69 @@ fn save(out: &Path, name: &str, contents: &str) {
     let path = out.join(name);
     drms_bench::artifact::atomic_write(&path, contents).expect("write data file");
     println!("  [data written to {}]", path.display());
+}
+
+/// `replay-shards DIR`: the offline half of the out-of-core trace
+/// pipeline. Loads the shard directory (salvaging torn tails), replays
+/// the merged stream through a fresh full-drms profiler with native
+/// batch delivery, and renders the same report/metrics artifacts a live
+/// run would have — byte-identical when every shard is clean.
+fn replay_shards(opts: &Options, dir: Option<&str>) {
+    use drms::vm::Tool;
+    let Some(dir) = dir else {
+        eprintln!("replay-shards needs the shard directory: repro replay-shards DIR");
+        std::process::exit(2);
+    };
+    let set = drms::trace::ShardSet::load(Path::new(dir), opts.jobs.max(1)).unwrap_or_else(|e| {
+        eprintln!("{dir}: {e}");
+        std::process::exit(1);
+    });
+    for warning in &set.warnings {
+        eprintln!("  [salvage] {warning}");
+    }
+    let mut profiler = drms::core::DrmsProfiler::new(DrmsConfig::full());
+    drms::vm::replay_shards_into(&set, &mut profiler);
+
+    let mut metrics = drms::trace::Metrics::new();
+    set.observe_metrics(&mut metrics);
+    profiler.observe_metrics(&mut metrics);
+    println!(
+        "replayed {} frames from {} shards ({} bytes; {} salvaged, {} dropped)",
+        set.total - set.dropped,
+        set.shards.len(),
+        set.bytes,
+        set.salvaged,
+        set.dropped,
+    );
+    let report = profiler.into_report();
+    println!(
+        "{} profiles, dynamic input volume {:.1}%",
+        report.len(),
+        report.dynamic_input_volume() * 100.0
+    );
+    if let Some(path) = &opts.report_out {
+        let text = drms::core::report_io::to_text(&report);
+        drms_bench::artifact::atomic_write_with(&opts.host_io, path, &text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("report written to {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        if let Err(violations) = metrics.audit() {
+            eprintln!("metrics audit failed ({} violations):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        drms_bench::artifact::atomic_write_with(&opts.host_io, path, &metrics.to_json())
+            .unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(1);
+            });
+        println!("metrics written to {} (audit passed)", path.display());
+    }
 }
 
 /// Profiles `w` through the session builder and returns the completed

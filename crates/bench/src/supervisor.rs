@@ -82,6 +82,16 @@ pub struct SupervisorOptions {
     /// [`decode`](Self::decode), a perf knob that does not bind the
     /// journal.
     pub event_batch: Option<usize>,
+    /// Spill every cell's event stream to binary trace shards under
+    /// `<trace_dir>/cell-<family>-<size>-<seed>/` (see
+    /// [`drms::trace::shard`]). An observability knob, not a semantic
+    /// one — the profile is unchanged and replaying the shards offline
+    /// reproduces it byte-for-byte — so, like `decode`, it does not
+    /// bind the journal.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Host I/O seam the shard spill writes through; fault-injected
+    /// under chaos testing. Defaults to the real host.
+    pub trace_io: drms::trace::HostIo,
 }
 
 impl Default for SupervisorOptions {
@@ -95,6 +105,8 @@ impl Default for SupervisorOptions {
             faults: None,
             decode: None,
             event_batch: None,
+            trace_dir: None,
+            trace_io: drms::trace::HostIo::real(),
         }
     }
 }
@@ -311,11 +323,18 @@ pub fn profile_cell_cached(ctx: &CellCtx, cache: &CellCache) -> Attempt {
     if let Some(d) = &entry.decoded {
         session = session.decoded(Arc::clone(d));
     }
+    if let Some(dir) = &ctx.opts.trace_dir {
+        session = session
+            .trace_dir(dir.join(format!("cell-{}-{}-{}", ctx.family, ctx.size, ctx.seed)))
+            .trace_io(ctx.opts.trace_io.clone());
+    }
     let result = session.run();
     cache.recycle(batch);
     let outcome = match result {
         Ok(o) => o,
-        Err(e) => return Attempt::Fatal(format!("session setup failed: {e}")),
+        // Setup failures and shard-trace finalize failures both land
+        // here; neither leaves a profile worth keeping.
+        Err(e) => return Attempt::Fatal(format!("session failed: {e}")),
     };
     match &outcome.error {
         // Budget exhaustion is what the supervisor's deadlines are for:

@@ -66,13 +66,13 @@ pub mod prelude {
         RoutineProfile,
     };
     pub use drms_trace::{
-        Addr, Event, EventSink, HostFaultPlan, HostIo, Metrics, RoutineId, Schedule, ThreadId,
-        TimedEvent,
+        Addr, Event, EventSink, HostFaultPlan, HostIo, Metrics, RoutineId, Schedule, ShardSet,
+        ShardWriter, ThreadId, TimedEvent,
     };
     pub use drms_vm::{
-        run_program, run_program_with, BatchKind, DecodeMode, DecodeStats, DecodedProgram, Device,
-        EventBatch, FaultPlan, NullTool, Operand, Program, ProgramBuilder, RunConfig, RunStats,
-        SchedPolicy, SyscallNo, Tool, Vm,
+        replay_shards_into, run_program, run_program_with, BatchKind, DecodeMode, DecodeStats,
+        DecodedProgram, Device, EventBatch, FaultPlan, NullTool, Operand, Program, ProgramBuilder,
+        RunConfig, RunStats, SchedPolicy, ShardRecorder, SyscallNo, Tool, Vm,
     };
     pub use drms_workloads::Workload;
 }

@@ -14,11 +14,14 @@
 
 use crate::{Error, ProfileOutcome};
 use drms_core::{DrmsConfig, DrmsProfiler};
+use drms_trace::shard::{ShardWriter, DEFAULT_SPILL_THRESHOLD};
+use drms_trace::HostIo;
 use drms_vm::{
     DecodeMode, DecodedProgram, EventBatch, FaultPlan, MultiTool, Program, RunConfig, SchedPolicy,
-    Schedule, Tool, Vm,
+    Schedule, ShardRecorder, Tool, Vm,
 };
 use drms_workloads::Workload;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// A configurable profiling run over one guest program.
@@ -44,6 +47,9 @@ pub struct ProfileSession<'p, 't> {
     extra: Vec<&'t mut dyn Tool>,
     decoded: Option<Arc<DecodedProgram>>,
     batch_buf: Option<&'t mut EventBatch>,
+    trace_dir: Option<PathBuf>,
+    spill_threshold: usize,
+    trace_io: HostIo,
 }
 
 impl<'p, 't> ProfileSession<'p, 't> {
@@ -57,6 +63,9 @@ impl<'p, 't> ProfileSession<'p, 't> {
             extra: Vec::new(),
             decoded: None,
             batch_buf: None,
+            trace_dir: None,
+            spill_threshold: DEFAULT_SPILL_THRESHOLD,
+            trace_io: HostIo::real(),
         }
     }
 
@@ -183,6 +192,34 @@ impl<'p, 't> ProfileSession<'p, 't> {
         self
     }
 
+    /// Spills the instrumentation event stream to per-thread binary
+    /// shard files under `dir` (see [`drms_trace::shard`]) while the
+    /// run executes. The shards replay offline into any tool —
+    /// `repro replay-shards DIR` — reproducing this run's report
+    /// byte-for-byte; writer-side `trace.shard.*` counters land in
+    /// [`ProfileOutcome::metrics`].
+    pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Buffered bytes per shard before the writer flushes to the host
+    /// (default [`DEFAULT_SPILL_THRESHOLD`]). Smaller thresholds bound
+    /// memory tighter; larger ones batch host writes harder. Only
+    /// meaningful together with [`trace_dir`](Self::trace_dir).
+    pub fn spill_threshold(mut self, bytes: usize) -> Self {
+        self.spill_threshold = bytes;
+        self
+    }
+
+    /// Routes shard-trace writes through `io` instead of the real host
+    /// — the chaos seam: a seeded fault plan makes ENOSPC / EIO land
+    /// mid-shard exactly like on a failing disk.
+    pub fn trace_io(mut self, io: HostIo) -> Self {
+        self.trace_io = io;
+        self
+    }
+
     /// Runs the session.
     ///
     /// A guest abort (watchdog, deadlock, injected fault escalation)
@@ -192,9 +229,19 @@ impl<'p, 't> ProfileSession<'p, 't> {
     ///
     /// # Errors
     /// Only setup failures — program validation, a replay policy without
-    /// a schedule — are returned as `Err`.
+    /// a schedule, an unusable [`trace_dir`](Self::trace_dir) — and a
+    /// shard-trace finalize failure (`Error::Io`: the host faulted while
+    /// persisting the spill; the shards keep a salvageable prefix) are
+    /// returned as `Err`.
     pub fn run(mut self) -> Result<ProfileOutcome, Error> {
         let mut profiler = DrmsProfiler::new(self.drms);
+        let mut shard_rec = match self.trace_dir.take() {
+            Some(dir) => {
+                let writer = ShardWriter::create(&self.trace_io, &dir, self.spill_threshold)?;
+                Some(ShardRecorder::new(writer))
+            }
+            None => None,
+        };
         let mut vm = match self.decoded.take() {
             Some(d) => Vm::with_decoded(self.program, self.config, d)?,
             None => Vm::new(self.program, self.config)?,
@@ -202,7 +249,7 @@ impl<'p, 't> ProfileSession<'p, 't> {
         if let Some(buf) = self.batch_buf.as_mut() {
             vm.install_batch(std::mem::take(*buf));
         }
-        let (error, shadow_bytes, mut metrics) = if self.extra.is_empty() {
+        let (error, shadow_bytes, mut metrics) = if self.extra.is_empty() && shard_rec.is_none() {
             // Single-tool runs stay monomorphized: `T = DrmsProfiler`, so
             // per-event dispatch is direct calls, not a vtable.
             let error = vm.run(&mut profiler).err();
@@ -212,6 +259,9 @@ impl<'p, 't> ProfileSession<'p, 't> {
         } else {
             let mut fan = MultiTool::new();
             fan.push(&mut profiler);
+            if let Some(rec) = shard_rec.as_mut() {
+                fan.push(rec);
+            }
             for t in self.extra {
                 fan.push(t);
             }
@@ -220,6 +270,10 @@ impl<'p, 't> ProfileSession<'p, 't> {
             fan.observe_metrics(&mut metrics);
             (error, fan.shadow_bytes(), metrics)
         };
+        if let Some(rec) = shard_rec {
+            let summary = rec.finish()?;
+            summary.observe_metrics(&mut metrics);
+        }
         if error.is_some() {
             metrics.inc("run.aborts");
         }
@@ -411,6 +465,51 @@ mod tests {
         }
         assert!(buf.capacity() > 0, "grown storage is handed back");
         assert_eq!(buf.allocations(), 1, "one allocation across three runs");
+    }
+
+    #[test]
+    fn trace_dir_spill_and_replay_reproduce_the_run() {
+        let w = drms_workloads::patterns::producer_consumer(12);
+        let dir = std::env::temp_dir().join(format!("drms-session-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = ProfileSession::workload(&w).run().unwrap();
+        let spilled = ProfileSession::workload(&w)
+            .trace_dir(&dir)
+            .spill_threshold(128)
+            .run()
+            .unwrap();
+        assert_eq!(spilled.report, live.report, "spilling must not perturb");
+        assert!(spilled.metrics.counter("trace.shard.frames") > 0);
+        assert_eq!(spilled.metrics.audit(), Ok(()));
+
+        let set = drms_trace::shard::ShardSet::load(&dir, 2).unwrap();
+        assert_eq!(set.dropped, 0);
+        let mut prof = DrmsProfiler::new(DrmsConfig::full());
+        drms_vm::replay_shards_into(&set, &mut prof);
+        assert_eq!(
+            prof.into_report(),
+            live.report,
+            "offline replay reproduces the in-memory run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_shard_spill_is_a_typed_io_error() {
+        let w = drms_workloads::patterns::stream_reader(8);
+        let dir = std::env::temp_dir().join(format!("drms-session-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = ProfileSession::workload(&w)
+            .trace_dir(&dir)
+            .spill_threshold(64)
+            .trace_io(HostIo::from_spec("write:enospc:once=2").unwrap())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err:?}");
+        // Whatever reached the disk is still a salvageable prefix.
+        let set = drms_trace::shard::ShardSet::load(&dir, 1).unwrap();
+        assert_eq!(set.salvaged + set.dropped, set.total);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

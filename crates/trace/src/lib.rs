@@ -45,6 +45,7 @@ pub mod merge;
 pub mod obs;
 pub mod replay;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 
@@ -57,5 +58,9 @@ pub use merge::{merge_traces, merge_traces_with_ties, TieBreaker};
 pub use obs::{Histogram, MergeError, Metrics};
 pub use replay::{replay, EventSink};
 pub use sched::{PreemptCause, SalvagedSchedule, SchedDecision, Schedule};
+pub use shard::{
+    SalvagedShard, ShardBatchKind, ShardEvent, ShardFrame, ShardPayload, ShardSet, ShardSummary,
+    ShardWriter,
+};
 pub use stats::TraceStats;
 pub use trace::ThreadTrace;

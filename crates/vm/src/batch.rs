@@ -50,14 +50,32 @@ pub enum BatchKind {
 /// assert!(!b.is_full());
 /// assert_eq!(b.entries().next(), Some((BatchKind::Read, Addr::new(100), 1)));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct EventBatch {
     thread: ThreadId,
+    /// Configured capacity; always ≥ 1. [`EventBatch::ensure_capacity`]
+    /// is the only place that clamps, so every other method can trust
+    /// the invariant instead of re-deriving it.
     capacity: usize,
     kinds: Vec<BatchKind>,
     addrs: Vec<Addr>,
     lens: Vec<u32>,
     allocations: u64,
+}
+
+impl Default for EventBatch {
+    /// An empty one-event batch: the ≥1 capacity invariant holds from
+    /// construction on, before any `ensure_capacity` call.
+    fn default() -> EventBatch {
+        EventBatch {
+            thread: ThreadId::default(),
+            capacity: 1,
+            kinds: Vec::new(),
+            addrs: Vec::new(),
+            lens: Vec::new(),
+            allocations: 0,
+        }
+    }
 }
 
 impl EventBatch {
@@ -73,13 +91,32 @@ impl EventBatch {
     /// Reusing one batch across runs with the same configured capacity
     /// therefore allocates exactly once.
     pub fn ensure_capacity(&mut self, capacity: usize) {
+        // The one place the ≥1 clamp lives; `push`/`is_full`/`capacity`
+        // assert on and return `self.capacity` directly.
         let capacity = capacity.max(1);
         self.capacity = capacity;
+        // Each array reserves against its own deficit: the three Vecs
+        // can legally over-allocate differently, so gating all three on
+        // `kinds.capacity()` both skips needed `addrs`/`lens` growth
+        // (when `kinds` is already large enough) and underflows (when
+        // another array is larger than the requested capacity).
+        // `reserve_exact(n)` guarantees room for `len + n` elements, so
+        // the deficit is measured from `len` (inside the branch
+        // `len <= capacity() < capacity`, so it cannot underflow).
+        let mut grew = false;
         if self.kinds.capacity() < capacity {
-            let grow = capacity - self.kinds.capacity();
-            self.kinds.reserve_exact(grow);
-            self.addrs.reserve_exact(capacity - self.addrs.capacity());
-            self.lens.reserve_exact(capacity - self.lens.capacity());
+            self.kinds.reserve_exact(capacity - self.kinds.len());
+            grew = true;
+        }
+        if self.addrs.capacity() < capacity {
+            self.addrs.reserve_exact(capacity - self.addrs.len());
+            grew = true;
+        }
+        if self.lens.capacity() < capacity {
+            self.lens.reserve_exact(capacity - self.lens.len());
+            grew = true;
+        }
+        if grew {
             self.allocations += 1;
         }
     }
@@ -100,7 +137,7 @@ impl EventBatch {
     /// Appends one event. The caller flushes before exceeding capacity.
     #[inline]
     pub fn push(&mut self, kind: BatchKind, addr: Addr, len: u32) {
-        debug_assert!(self.kinds.len() < self.capacity.max(1));
+        debug_assert!(self.kinds.len() < self.capacity);
         self.kinds.push(kind);
         self.addrs.push(addr);
         self.lens.push(len);
@@ -121,12 +158,12 @@ impl EventBatch {
     /// Whether the next push would exceed capacity.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.kinds.len() >= self.capacity.max(1)
+        self.kinds.len() >= self.capacity
     }
 
-    /// Configured capacity.
+    /// Configured capacity (always ≥ 1).
     pub fn capacity(&self) -> usize {
-        self.capacity.max(1)
+        self.capacity
     }
 
     /// Times the backing arrays were (re)allocated since construction.
@@ -198,6 +235,50 @@ mod tests {
         // Zero-capacity requests degrade to one-event batches.
         let z = EventBatch::with_capacity(0);
         assert_eq!(z.capacity(), 1);
+    }
+
+    #[test]
+    fn ensure_capacity_grows_each_array_on_its_own_deficit() {
+        // Diverge the backing arrays first: any Vec may legally hold
+        // more capacity than its siblings (allocator rounding, a clone,
+        // a swap). The old code gated all three reserves on
+        // `kinds.capacity()` alone, so this request both skipped the
+        // `lens` growth and underflowed `capacity - addrs.capacity()`.
+        let mut b = EventBatch::with_capacity(4);
+        b.addrs.reserve_exact(256);
+        assert!(b.addrs.capacity() >= 256);
+        b.ensure_capacity(128);
+        assert!(b.kinds.capacity() >= 128);
+        assert!(b.lens.capacity() >= 128);
+
+        // The converse divergence: `kinds` already large enough must
+        // not skip growing the two smaller arrays.
+        let mut b = EventBatch::with_capacity(1);
+        b.kinds.reserve_exact(512);
+        b.ensure_capacity(256);
+        assert!(b.addrs.capacity() >= 256);
+        assert!(b.lens.capacity() >= 256);
+        let before = b.allocations();
+        b.set_thread(ThreadId::new(0));
+        for i in 0..256 {
+            b.push(BatchKind::Write, Addr::new(i + 1), 1);
+        }
+        assert_eq!(
+            b.allocations(),
+            before,
+            "filling to capacity reuses storage"
+        );
+    }
+
+    #[test]
+    fn default_batch_holds_one_event() {
+        // The ≥1 invariant is established at construction, not patched
+        // up by `.max(1)` at each use site.
+        let mut b = EventBatch::default();
+        assert_eq!(b.capacity(), 1);
+        assert!(!b.is_full());
+        b.push(BatchKind::Read, Addr::new(7), 1);
+        assert!(b.is_full());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod recorder;
 pub mod rng;
 pub mod sched;
 pub mod shadow;
+pub mod shard_tool;
 pub mod stats;
 pub mod tool;
 
@@ -67,6 +68,7 @@ pub use recorder::TraceRecorder;
 pub use rng::SmallRng;
 pub use shadow::ShadowCacheStats;
 pub use shadow::ShadowMemory;
+pub use shard_tool::{replay_shards_into, ShardRecorder};
 pub use stats::{CostKind, DecodeMode, EventCounters, RunConfig, RunStats, SchedPolicy};
 pub use tool::{MultiTool, NullTool, Tool};
 

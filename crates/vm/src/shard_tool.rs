@@ -1,0 +1,229 @@
+//! Spilling the live event stream to on-disk shards, and replaying
+//! shards back into tools with native batch delivery.
+//!
+//! [`ShardRecorder`] is the [`Tool`] face of
+//! [`drms_trace::shard::ShardWriter`]: attach it next to a profiler
+//! (via [`MultiTool`](crate::MultiTool) or a session's extra-tool list)
+//! and every callback — including whole struct-of-arrays
+//! [`EventBatch`] flushes, persisted columnar without unrolling — is
+//! appended to the per-thread shard files. [`replay_shards_into`] is
+//! the offline other half: it walks a loaded [`ShardSet`] in global
+//! record order and delivers `BATCH` frames through
+//! [`Tool::observe_batch`] exactly as the VM did live, so a
+//! write-then-replay run reproduces the in-memory run byte-for-byte.
+
+use crate::batch::{BatchKind, EventBatch};
+use crate::tool::Tool;
+use drms_trace::shard::{
+    deliver_frame, ShardBatchKind, ShardEvent, ShardPayload, ShardSet, ShardSummary, ShardWriter,
+};
+use drms_trace::{Addr, BlockId, EventSink, RoutineId, SyncOp, ThreadId};
+use std::io;
+
+/// A [`Tool`] that appends every instrumentation event to an on-disk
+/// shard directory through a [`ShardWriter`].
+///
+/// Recording is infallible (the writer latches its first host-I/O
+/// error); call [`ShardRecorder::finish`] after the run to flush,
+/// publish the manifest, and surface any latched fault.
+pub struct ShardRecorder {
+    writer: ShardWriter,
+}
+
+impl ShardRecorder {
+    /// Wraps an open shard writer.
+    pub fn new(writer: ShardWriter) -> Self {
+        ShardRecorder { writer }
+    }
+
+    /// The first latched host-I/O error, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.writer.error()
+    }
+
+    /// Finishes the underlying writer: flush, fsync, atomic manifest.
+    pub fn finish(self) -> io::Result<ShardSummary> {
+        self.writer.finish()
+    }
+}
+
+impl EventSink for ShardRecorder {
+    fn on_thread_start(&mut self, thread: ThreadId, parent: Option<ThreadId>) {
+        self.writer
+            .record_event(thread, ShardEvent::ThreadStart { parent });
+    }
+    fn on_thread_exit(&mut self, thread: ThreadId, cost: u64) {
+        self.writer
+            .record_event(thread, ShardEvent::ThreadExit { cost });
+    }
+    fn on_thread_switch(&mut self, from: Option<ThreadId>, to: ThreadId) {
+        // Stored in the *incoming* thread's shard; the global sequence
+        // number keeps its place in the merged order.
+        self.writer
+            .record_event(to, ShardEvent::ThreadSwitch { from });
+    }
+    fn on_call(&mut self, thread: ThreadId, routine: RoutineId, cost: u64) {
+        self.writer
+            .record_event(thread, ShardEvent::Call { routine, cost });
+    }
+    fn on_return(&mut self, thread: ThreadId, routine: RoutineId, cost: u64) {
+        self.writer
+            .record_event(thread, ShardEvent::Return { routine, cost });
+    }
+    fn on_read(&mut self, thread: ThreadId, addr: Addr, len: u32) {
+        self.writer
+            .record_event(thread, ShardEvent::Read { addr, len });
+    }
+    fn on_write(&mut self, thread: ThreadId, addr: Addr, len: u32) {
+        self.writer
+            .record_event(thread, ShardEvent::Write { addr, len });
+    }
+    fn on_user_to_kernel(&mut self, thread: ThreadId, addr: Addr, len: u32) {
+        self.writer
+            .record_event(thread, ShardEvent::UserToKernel { addr, len });
+    }
+    fn on_kernel_to_user(&mut self, thread: ThreadId, addr: Addr, len: u32) {
+        self.writer
+            .record_event(thread, ShardEvent::KernelToUser { addr, len });
+    }
+    fn on_sync(&mut self, thread: ThreadId, op: SyncOp) {
+        self.writer.record_event(thread, ShardEvent::Sync { op });
+    }
+    fn on_block(&mut self, thread: ThreadId, routine: RoutineId, block: BlockId) {
+        self.writer
+            .record_event(thread, ShardEvent::Block { routine, block });
+    }
+    // on_finish is deliberately not recorded: the offline replay driver
+    // finishes its sinks itself, once, after the merged stream ends.
+}
+
+impl Tool for ShardRecorder {
+    fn name(&self) -> &str {
+        "shard-writer"
+    }
+
+    fn shadow_bytes(&self) -> u64 {
+        // The writer's state is bounded I/O buffering, not shadow
+        // memory; it does not count against a tool's shadow budget.
+        0
+    }
+
+    /// Native batch path: one frame persists the whole batch columnar,
+    /// preserving the struct-of-arrays layout end to end.
+    fn observe_batch(&mut self, batch: &EventBatch) {
+        let (kinds, addrs, lens) = batch.arrays();
+        let entries = kinds.iter().zip(addrs).zip(lens).map(|((&k, &a), &l)| {
+            let k = match k {
+                BatchKind::Read => ShardBatchKind::Read,
+                BatchKind::Write => ShardBatchKind::Write,
+            };
+            (k, a, l)
+        });
+        self.writer.record_batch(batch.thread(), entries);
+    }
+}
+
+/// Replays a loaded shard set into `tool` with the live run's delivery
+/// shape: single events arrive through their [`EventSink`] callbacks,
+/// `BATCH` frames arrive through [`Tool::observe_batch`] as one
+/// reconstructed [`EventBatch`] each. Finishes the tool at the end.
+pub fn replay_shards_into<T: Tool + ?Sized>(set: &ShardSet, tool: &mut T) {
+    let mut batch = EventBatch::default();
+    for frame in set.frames_in_order() {
+        match &frame.payload {
+            ShardPayload::Batch(entries) => {
+                batch.clear();
+                batch.ensure_capacity(entries.len());
+                batch.set_thread(frame.thread);
+                for &(kind, addr, len) in entries {
+                    let kind = match kind {
+                        ShardBatchKind::Read => BatchKind::Read,
+                        ShardBatchKind::Write => BatchKind::Write,
+                    };
+                    batch.push(kind, addr, len);
+                }
+                tool.observe_batch(&batch);
+            }
+            ShardPayload::Event(_) => deliver_frame(frame, tool),
+        }
+    }
+    tool.on_finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::interp::run_program;
+    use crate::ir::Program;
+    use crate::recorder::TraceRecorder;
+    use crate::stats::{DecodeMode, RunConfig};
+    use crate::tool::MultiTool;
+    use drms_trace::hostio::HostIo;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("drms-shard-tool-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn two_thread_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global(16);
+        let worker = pb.function("worker", 0, |f| {
+            f.for_range(0, 16, |f, i| {
+                f.store(g.raw() as i64, i, 7);
+            });
+            f.ret(None);
+        });
+        let main = pb.function("main", 0, |f| {
+            let t = f.spawn(worker, &[]);
+            f.for_range(0, 16, |f, i| {
+                let _ = f.load(g.raw() as i64, i);
+            });
+            f.join(t);
+            f.ret(None);
+        });
+        pb.finish(main).unwrap()
+    }
+
+    /// Live record through the batched decoded pipeline, then offline
+    /// native-batch replay: the replayed tool must observe the exact
+    /// event stream the live tool did.
+    #[test]
+    fn spill_and_replay_reproduces_the_live_stream() {
+        let dir = tmp_dir("equiv");
+        let program = two_thread_program();
+        let config = RunConfig {
+            decode: DecodeMode::Fused,
+            event_batch: 8,
+            ..RunConfig::default()
+        };
+
+        let io = HostIo::real();
+        let writer = ShardWriter::create(&io, &dir, 64).unwrap();
+        let mut shard = ShardRecorder::new(writer);
+        let mut live = TraceRecorder::new();
+        let mut fan = MultiTool::new();
+        fan.push(&mut shard);
+        fan.push(&mut live);
+        run_program(&program, config, &mut fan).unwrap();
+        let summary = shard.finish().unwrap();
+        assert!(summary.frames > 0);
+
+        let set = ShardSet::load(&dir, 4).unwrap();
+        assert_eq!(set.dropped, 0);
+        let mut replayed = TraceRecorder::new();
+        replay_shards_into(&set, &mut replayed);
+
+        let live: Vec<_> = live.into_traces();
+        let replayed: Vec<_> = replayed.into_traces();
+        assert_eq!(live.len(), replayed.len());
+        for (a, b) in live.iter().zip(&replayed) {
+            assert_eq!(a.events(), b.events(), "identical per-thread streams");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
