@@ -273,4 +273,84 @@ cargo run --release -q -p drms-bench --bin aprof -- --workload producer_consumer
 cmp target/repro/metrics_a.json target/repro/metrics_b.json \
     || { echo "ci: metrics export is not deterministic" >&2; exit 1; }
 
+# Priority-preemption gate: a one-worker daemon mid-way through a
+# low-priority sweep takes a high-priority quick job. The running sweep
+# must yield at its next grid-cell boundary (observable in the
+# preemption counters), the high job must finish while the preempted
+# one is still unfinished, and the preempted job — resumed from its own
+# journal checkpoint — must publish artifacts byte-identical to the
+# same spec run solo on an undisturbed daemon.
+rm -rf target/repro/aprofd/state-solo target/repro/aprofd/state-pre
+low_spec=target/repro/aprofd/low.spec
+high_spec=target/repro/aprofd/high.spec
+printf 'family stream\nsizes 200000,400000\nseeds 1,2,3,4,5,6,7,8,9,10\njobs 1\npriority 0\n' \
+    > "$low_spec"
+printf 'tenant fastlane\nfamily stream\nsizes 4\nseeds 1\njobs 1\npriority 9\n' > "$high_spec"
+
+"$aprofd" --state-dir target/repro/aprofd/state-solo \
+    --addr-file target/repro/aprofd/addr-solo --workers 1 > /dev/null &
+daemon_solo=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-solo ] && break; sleep 0.01; done
+low_solo=$("$aprofctl" --addr-file target/repro/aprofd/addr-solo submit "$low_spec")
+"$aprofctl" --addr-file target/repro/aprofd/addr-solo wait "$low_solo" > /dev/null
+"$aprofctl" --addr-file target/repro/aprofd/addr-solo shutdown > /dev/null
+wait "$daemon_solo"
+
+"$aprofd" --state-dir target/repro/aprofd/state-pre \
+    --addr-file target/repro/aprofd/addr-pre --workers 1 > /dev/null &
+daemon_pre=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-pre ] && break; sleep 0.01; done
+ctl_pre="$aprofctl --addr-file target/repro/aprofd/addr-pre"
+low_job=$($ctl_pre submit "$low_spec")
+[ "$low_job" = "$low_solo" ] \
+    || { echo "ci: the preemption gate's job ids diverged ($low_solo vs $low_job)" >&2; exit 1; }
+for _ in $(seq 1 500); do
+    $ctl_pre status "$low_job" | grep -q "^state running" && break
+    sleep 0.01
+done
+high_job=$($ctl_pre submit "$high_spec")
+$ctl_pre wait "$high_job" > /dev/null
+if $ctl_pre status "$low_job" | grep -q "^state done"; then
+    echo "ci: the high-priority job did not finish first" >&2
+    exit 1
+fi
+$ctl_pre wait "$low_job" | grep -q "^resumed 1" \
+    || { echo "ci: the preempted job did not resume from its journal" >&2; exit 1; }
+$ctl_pre metrics | grep -q "drms_aprofd_jobs_preempted 1" \
+    || { echo "ci: the preemption was not counted" >&2; exit 1; }
+$ctl_pre shutdown > /dev/null
+wait "$daemon_pre"
+cmp "target/repro/aprofd/state-solo/job-$low_job.bench.json" \
+    "target/repro/aprofd/state-pre/job-$low_job.bench.json" \
+    || { echo "ci: preempted bench JSON differs from the solo run" >&2; exit 1; }
+cmp "target/repro/aprofd/state-solo/job-$low_job.metrics.json" \
+    "target/repro/aprofd/state-pre/job-$low_job.metrics.json" \
+    || { echo "ci: preempted metrics differ from the solo run" >&2; exit 1; }
+
+# Keep-alive soak gate: one raw connection, pipelined sequential
+# requests, a connection cap of one — the daemon must answer every
+# /healthz on that single persistent socket (the cap leaves no room for
+# per-request connections) and still serve a fresh client afterwards.
+rm -rf target/repro/aprofd/state-ka
+"$aprofd" --state-dir target/repro/aprofd/state-ka \
+    --addr-file target/repro/aprofd/addr-ka --workers 0 --max-conns 1 > /dev/null &
+daemon_ka=$!
+for _ in $(seq 1 500); do [ -s target/repro/aprofd/addr-ka ] && break; sleep 0.01; done
+IFS=: read -r ka_host ka_port < target/repro/aprofd/addr-ka
+(
+    exec 3<>"/dev/tcp/${ka_host}/${ka_port}"
+    for _ in $(seq 1 19); do
+        printf 'GET /healthz HTTP/1.1\r\n\r\n' >&3
+    done
+    printf 'GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n' >&3
+    cat <&3 > target/repro/aprofd/ka.out
+)
+ka_ok=$(grep -c "HTTP/1.1 200" target/repro/aprofd/ka.out) || ka_ok=0
+[ "$ka_ok" -eq 20 ] \
+    || { echo "ci: keep-alive soak got $ka_ok/20 responses on one connection" >&2; exit 1; }
+"$aprofctl" --addr-file target/repro/aprofd/addr-ka health | grep -q "^ok" \
+    || { echo "ci: daemon unhealthy after the keep-alive soak" >&2; exit 1; }
+"$aprofctl" --addr-file target/repro/aprofd/addr-ka shutdown > /dev/null
+wait "$daemon_ka"
+
 echo "ci: all green"

@@ -7,10 +7,17 @@
 //!   status ID                 one job's status lines
 //!   wait ID [--timeout-ms N]  poll until the job finishes
 //!   report ID [--since N]     snapshot (or delta) report of a live or done job
+//!   watch ID                  stream finished cells over one keep-alive connection
 //!   metrics [ID]              daemon (or per-job) metrics as Prometheus text
 //!   health                    daemon health lines
 //!   shutdown                  begin the graceful drain
 //! ```
+//!
+//! `watch` drives the `/jobs/ID/events` long-poll: the daemon holds
+//! each request until new cells finish (or its poll timeout passes)
+//! and the client re-arms from the returned cursor — all over a single
+//! persistent connection, so a dashboard costs one socket, not one per
+//! poll.
 //!
 //! Retries are the supervisor's discipline: exponential backoff with
 //! seeded FNV-1a jitter, honoring the server's `X-Retry-After-Ms` when
@@ -35,6 +42,7 @@ fn usage() -> ! {
          \x20 status ID                 one job's status lines\n\
          \x20 wait ID [--timeout-ms N]  poll until the job finishes (default 120000)\n\
          \x20 report ID [--since N]     snapshot (or delta) report\n\
+         \x20 watch ID                  stream finished cells until the job ends\n\
          \x20 metrics [ID]              daemon (or per-job) metrics\n\
          \x20 health                    daemon health lines\n\
          \x20 shutdown                  begin the graceful drain"
@@ -193,6 +201,44 @@ fn main() {
                 fail(reply.body.trim_end(), 1);
             }
             print!("{}", reply.body);
+        }
+        "watch" => {
+            let id = rest.next().unwrap_or_else(|| usage());
+            // One persistent connection for the whole watch: each
+            // long-poll re-arms from the cursor the daemon returned.
+            let mut conn = drms_aprofd::http::Conn::new(client.addr.clone(), client.timeout);
+            let mut since = 0u64;
+            loop {
+                let path = format!("/jobs/{id}/events?since={since}");
+                let reply = match conn.request("GET", &path, "") {
+                    Ok(reply) => reply,
+                    Err(e) => fail(format!("watch transport failed: {e}"), 1),
+                };
+                if reply.status != 200 {
+                    fail(reply.body.trim_end(), 1);
+                }
+                let mut state = None;
+                for line in reply.body.lines() {
+                    if let Some(cursor) = line.strip_prefix("cursor ") {
+                        since = cursor.parse().unwrap_or(since);
+                    } else if let Some(s) = line.strip_prefix("state ") {
+                        state = Some(s.to_string());
+                    } else {
+                        println!("{line}");
+                    }
+                }
+                match state.as_deref() {
+                    Some("done") => {
+                        println!("state done");
+                        return;
+                    }
+                    Some("failed") => {
+                        eprintln!("state failed");
+                        std::process::exit(4);
+                    }
+                    _ => {}
+                }
+            }
         }
         "metrics" => {
             let path = match rest.next() {

@@ -42,19 +42,22 @@ fn install_sigterm() {
 fn usage() -> ! {
     eprintln!(
         "usage: aprofd --state-dir DIR [--addr HOST:PORT] [--addr-file FILE]\n\
-         \x20             [--workers N] [--queue-cap N] [--tenant-queued N] [--tenant-running N]\n\
-         \x20             [--max-conns N] [--read-timeout-ms N] [--retain N] [--retain-age-ms N]\n\
+         \x20             [--workers N] [--io-threads N] [--queue-cap N] [--tenant-queued N]\n\
+         \x20             [--tenant-running N] [--max-conns N] [--read-timeout-ms N]\n\
+         \x20             [--poll-timeout-ms N] [--retain N] [--retain-age-ms N]\n\
          \x20             [--host-faults SPEC]\n\
          \n\
          --state-dir DIR      job specs, journals, and artifacts (required)\n\
          --addr HOST:PORT     bind address (default 127.0.0.1:0)\n\
          --addr-file FILE     write the bound address here (for port 0)\n\
          --workers N          concurrent jobs; 0 = admit-only (default 2)\n\
+         --io-threads N       connection-handler threads (default 4)\n\
          --queue-cap N        queued jobs before submissions shed (default 64)\n\
          --tenant-queued N    queued jobs per tenant before shed (default 16)\n\
          --tenant-running N   running jobs per tenant (default 2)\n\
-         --max-conns N        concurrent connections; excess shed 503 (default 64)\n\
-         --read-timeout-ms N  per-socket read/write deadline (default 10000)\n\
+         --max-conns N        queued+handled connections; excess shed 503 (default 64)\n\
+         --read-timeout-ms N  per-socket read/write + keep-alive idle deadline (default 10000)\n\
+         --poll-timeout-ms N  long-poll hold for /jobs/ID/events (default 10000)\n\
          --retain N           keep at most N finished jobs; prune older (default all)\n\
          --retain-age-ms N    prune finished jobs older than N ms (default never)\n\
          --host-faults SPEC   inject host I/O faults (chaos testing), e.g.\n\
@@ -78,9 +81,11 @@ fn main() {
     let mut addr = "127.0.0.1:0".to_string();
     let mut addr_file: Option<PathBuf> = None;
     let mut workers = 2usize;
+    let mut io_threads = 4usize;
     let mut queue = QueueConfig::default();
     let mut max_connections = 64usize;
     let mut read_timeout_ms = 10_000u64;
+    let mut poll_timeout_ms = 10_000u64;
     let mut retain_count: Option<usize> = None;
     let mut retain_age_ms: Option<u64> = None;
     let mut host_faults: Option<String> = None;
@@ -92,6 +97,7 @@ fn main() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
             "--addr-file" => addr_file = args.next().map(PathBuf::from),
             "--workers" => workers = parse_num("--workers", args.next()),
+            "--io-threads" => io_threads = parse_num("--io-threads", args.next()),
             "--queue-cap" => queue.capacity = parse_num("--queue-cap", args.next()),
             "--tenant-queued" => {
                 queue.tenant_queued_cap = parse_num("--tenant-queued", args.next())
@@ -102,6 +108,9 @@ fn main() {
             "--max-conns" => max_connections = parse_num("--max-conns", args.next()),
             "--read-timeout-ms" => {
                 read_timeout_ms = parse_num("--read-timeout-ms", args.next()) as u64
+            }
+            "--poll-timeout-ms" => {
+                poll_timeout_ms = parse_num("--poll-timeout-ms", args.next()) as u64
             }
             "--retain" => retain_count = Some(parse_num("--retain", args.next())),
             "--retain-age-ms" => {
@@ -141,12 +150,14 @@ fn main() {
 
     let cfg = DaemonConfig {
         workers,
+        io_threads,
         queue,
         host_io,
         retain_count,
         retain_age: retain_age_ms.map(std::time::Duration::from_millis),
         max_connections,
         read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        poll_timeout: std::time::Duration::from_millis(poll_timeout_ms),
         ..DaemonConfig::new(state_dir)
     };
     let daemon = match Daemon::new(cfg) {

@@ -37,7 +37,7 @@
 //! with a typed 507 and a deterministic retry-after — the queue slot is
 //! withdrawn, the counter is not advanced, and the daemon keeps serving.
 
-use crate::http::{Request, RequestError, Response};
+use crate::http::{Request, RequestError, Response, MAX_REQUESTS_PER_CONN};
 use crate::queue::{Admission, AdmissionQueue, QueueConfig};
 use crate::spec::{job_id, JobSpec};
 use drms::analysis::{sweep_snapshot, CostPlot, InputMetric};
@@ -46,12 +46,14 @@ use drms::trace::journal;
 use drms::trace::Metrics;
 use drms_bench::artifact::atomic_write_with;
 use drms_bench::supervisor::{
-    decode_cell_payload, profile_cell, resume_sweep_with_io, run_supervised_with, JournalWriter,
+    decode_cell_payload, profile_cell, resume_sweep_preemptible_with_io,
+    run_supervised_preemptible, JournalWriter, PreemptSignal, SupervisedRun,
 };
 use drms_bench::sweep::{family_workload, FamilyBench, SweepBench, SweepCell};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -61,6 +63,10 @@ use std::time::{Duration, SystemTime};
 /// that an operator plausibly freed space, fixed so clients and tests
 /// see the same hint every time.
 pub const DISK_FULL_RETRY_MS: u64 = 5_000;
+
+/// Sleep quantum of the `/jobs/{id}/events` long-poll loop: new journal
+/// cells are noticed within this bound without a wakeup channel.
+const POLL_STEP: Duration = Duration::from_millis(20);
 
 /// Daemon configuration (CLI flags map 1:1 onto this).
 #[derive(Clone, Debug)]
@@ -82,18 +88,32 @@ pub struct DaemonConfig {
     /// Prune finished jobs whose completion marker is older than this.
     /// `None` = no age limit.
     pub retain_age: Option<Duration>,
-    /// Concurrent connections served; excess connections get an
-    /// immediate 503 shed instead of an unbounded thread per socket.
+    /// Concurrent connections admitted (queued + being handled); excess
+    /// connections get an immediate 503 shed instead of an unbounded
+    /// thread per socket.
     pub max_connections: usize,
+    /// Fixed connection-handler threads fed by the bounded accept
+    /// queue. The daemon's thread count is `io_threads + workers`
+    /// plus the accept loop — never a thread per connection.
+    pub io_threads: usize,
     /// Per-socket read/write deadline — a slow-loris client dribbling
     /// bytes gets a typed 408 when it expires, not a parked thread.
+    /// Doubles as the keep-alive idle deadline: a persistent connection
+    /// with no next request within it is closed silently.
     pub read_timeout: Duration,
+    /// Longest a `/jobs/{id}/events` long-poll blocks for a newer
+    /// journal delta before answering with whatever is there.
+    pub poll_timeout: Duration,
+    /// Enables `GET /debug/panic` (a handler that panics on purpose) so
+    /// chaos tests can prove a panicking handler frees its connection
+    /// slot. Never enabled in production defaults.
+    pub debug_endpoints: bool,
 }
 
 impl DaemonConfig {
     /// Production defaults over `state_dir`: 2 workers, default queue
-    /// bounds, real host I/O, no retention limits, 64 connections,
-    /// 10 s socket deadlines.
+    /// bounds, real host I/O, no retention limits, 64 connections over
+    /// 4 io-threads, 10 s socket deadlines and long-poll timeout.
     pub fn new(state_dir: impl Into<PathBuf>) -> DaemonConfig {
         DaemonConfig {
             state_dir: state_dir.into(),
@@ -103,7 +123,10 @@ impl DaemonConfig {
             retain_count: None,
             retain_age: None,
             max_connections: 64,
+            io_threads: 4,
             read_timeout: Duration::from_secs(10),
+            poll_timeout: Duration::from_secs(10),
+            debug_endpoints: false,
         }
     }
 }
@@ -185,11 +208,54 @@ struct JobEntry {
     summary: Option<JobSummary>,
 }
 
+/// Book-keeping for one job mid-run: enough to pick a preemption
+/// victim (base priority, deterministic job-ID tie-break via the map
+/// key) and to signal it.
+struct RunningJob {
+    priority: u8,
+    signal: PreemptSignal,
+}
+
 struct Inner {
     entries: BTreeMap<String, JobEntry>,
     queue: AdmissionQueue,
     counter: u64,
-    running_jobs: usize,
+    /// Jobs currently on a worker, keyed by job ID.
+    running: BTreeMap<String, RunningJob>,
+}
+
+/// How one dispatch of a job ended.
+enum JobOutcome {
+    Done(JobSummary),
+    /// The job yielded to a cooperative preempt at a cell boundary; its
+    /// journal is the checkpoint and it returns to the queue.
+    Preempted,
+    Failed(String),
+}
+
+/// The brownout ladder, derived from queue depth against capacity only
+/// (counters and queue state — never wall-clock):
+///
+/// | tier | trigger (queued/capacity) | degradation |
+/// |---|---|---|
+/// | 0 | < 25 % | none |
+/// | 1 | ≥ 25 % | keep-alive disabled: every response closes |
+/// | 2 | ≥ 50 % | snapshot/report endpoints answer from last persisted state; long-polls answer immediately |
+/// | 3 | = 100 % | new submissions shed (the existing typed 429) |
+///
+/// Each tier includes the degradations of the tiers below it, so the
+/// daemon sheds optional work first and paying work last.
+fn brownout_tier(queued: usize, capacity: usize) -> u8 {
+    let capacity = capacity.max(1);
+    if queued >= capacity {
+        3
+    } else if queued * 2 >= capacity {
+        2
+    } else if queued * 4 >= capacity {
+        1
+    } else {
+        0
+    }
 }
 
 /// The shared daemon state. Cheap to clone behind an [`Arc`]; the
@@ -200,6 +266,9 @@ pub struct Daemon {
     cv: Condvar,
     metrics: Mutex<Metrics>,
     draining: AtomicBool,
+    /// Current brownout tier (see [`brownout_tier`]), updated whenever
+    /// queue depth changes so connection handlers read it lock-free.
+    brownout: AtomicUsize,
 }
 
 impl Daemon {
@@ -214,7 +283,7 @@ impl Daemon {
             entries: BTreeMap::new(),
             queue: AdmissionQueue::new(cfg.queue.clone()),
             counter: 0,
-            running_jobs: 0,
+            running: BTreeMap::new(),
         };
         let mut metrics = Metrics::new();
 
@@ -238,7 +307,7 @@ impl Daemon {
             }
         }
 
-        let mut restored: Vec<(u64, String, String)> = Vec::new(); // (submitted, id, tenant)
+        let mut restored: Vec<(u64, String, String, u8)> = Vec::new(); // (submitted, id, tenant, priority)
         for entry in std::fs::read_dir(&cfg.state_dir)? {
             let name = entry?.file_name();
             let Some(id) = name
@@ -290,7 +359,7 @@ impl Daemon {
             } else if let Ok(t) = std::fs::read_to_string(&failed) {
                 (JobState::Failed(t.trim().to_string()), None)
             } else {
-                restored.push((submitted, id.clone(), spec.tenant.clone()));
+                restored.push((submitted, id.clone(), spec.tenant.clone(), spec.priority));
                 (JobState::Queued, None)
             };
             inner.entries.insert(
@@ -307,11 +376,13 @@ impl Daemon {
         // Re-queue unfinished jobs in their original submission order,
         // bypassing admission caps (they were admitted pre-crash).
         restored.sort();
-        for (_, id, tenant) in restored {
-            inner.queue.restore(&tenant, &id);
+        for (_, id, tenant, priority) in restored {
+            inner.queue.restore(&tenant, &id, priority);
             metrics.inc("aprofd.jobs.restored");
         }
         metrics.set_gauge("aprofd.queue.depth", inner.queue.queued() as u64);
+        let tier = brownout_tier(inner.queue.queued(), inner.queue.capacity());
+        metrics.set_gauge("aprofd.brownout.tier", tier as u64);
 
         // Sweep leftovers of tombstoned jobs (the crash window between
         // tombstone-write and deletion).
@@ -323,6 +394,7 @@ impl Daemon {
 
         let daemon = Arc::new(Daemon {
             cfg,
+            brownout: AtomicUsize::new(tier as usize),
             inner: Mutex::new(inner),
             cv: Condvar::new(),
             metrics: Mutex::new(metrics),
@@ -330,6 +402,12 @@ impl Daemon {
         });
         daemon.gc();
         Ok(daemon)
+    }
+
+    /// The current brownout tier (see [`brownout_tier`]); lock-free so
+    /// every connection handler can consult it per response.
+    pub fn current_brownout(&self) -> u8 {
+        self.brownout.load(Ordering::SeqCst) as u8
     }
 
     fn job_path(&self, id: &str, suffix: &str) -> PathBuf {
@@ -446,9 +524,10 @@ impl Daemon {
 
     /// Whether the drain has finished (no job mid-run). Queued jobs do
     /// not block exit — their specs are durable and the next start
-    /// resumes them.
+    /// resumes them. Running jobs complete normally (their artifacts
+    /// are moments away); preemption is for scheduling, not shutdown.
     pub fn drain_complete(&self) -> bool {
-        self.is_draining() && self.inner.lock().unwrap().running_jobs == 0
+        self.is_draining() && self.inner.lock().unwrap().running.is_empty()
     }
 
     /// Spawns the worker pool (`cfg.workers` threads).
@@ -466,12 +545,19 @@ impl Daemon {
             let popped = {
                 let mut inner = self.inner.lock().unwrap();
                 loop {
-                    if let Some((tenant, id)) = inner.queue.pop_fair() {
-                        inner.running_jobs += 1;
-                        if let Some(e) = inner.entries.get_mut(&id) {
+                    if let Some(d) = inner.queue.pop_fair() {
+                        let signal = PreemptSignal::new();
+                        inner.running.insert(
+                            d.job.clone(),
+                            RunningJob {
+                                priority: d.priority,
+                                signal: signal.clone(),
+                            },
+                        );
+                        if let Some(e) = inner.entries.get_mut(&d.job) {
                             e.state = JobState::Running;
                         }
-                        break Some((tenant, id));
+                        break Some((d, signal));
                     }
                     if self.is_draining() {
                         break None;
@@ -483,27 +569,64 @@ impl Daemon {
                     inner = guard;
                 }
             };
-            let Some((tenant, id)) = popped else {
+            let Some((dispatch, signal)) = popped else {
                 return;
             };
             self.publish_depth();
-            let outcome = self.run_job(&id);
+            // A panicking job (a supervisor bug — guest panics are
+            // already caught per-cell) must not take the worker thread
+            // with it: catch it, fail the job, keep the pool at
+            // `cfg.workers`.
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.run_job(&dispatch.job, &signal)))
+                .unwrap_or_else(|p| {
+                    self.metrics
+                        .lock()
+                        .unwrap()
+                        .inc("aprofd.jobs.worker_panics");
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    JobOutcome::Failed(self.fail_job(&dispatch.job, format!("panic: {msg}")))
+                });
+            let preempted = matches!(outcome, JobOutcome::Preempted);
             {
                 let mut inner = self.inner.lock().unwrap();
-                inner.queue.finished(&tenant);
-                inner.running_jobs -= 1;
-                if let Some(e) = inner.entries.get_mut(&id) {
-                    match outcome {
-                        Ok(summary) => {
+                inner.queue.finished(&dispatch.tenant);
+                inner.running.remove(&dispatch.job);
+                match outcome {
+                    JobOutcome::Done(summary) => {
+                        if let Some(e) = inner.entries.get_mut(&dispatch.job) {
                             e.state = JobState::Done;
                             e.summary = Some(summary);
                         }
-                        Err(msg) => e.state = JobState::Failed(msg),
+                    }
+                    JobOutcome::Failed(msg) => {
+                        if let Some(e) = inner.entries.get_mut(&dispatch.job) {
+                            e.state = JobState::Failed(msg);
+                        }
+                    }
+                    JobOutcome::Preempted => {
+                        // Back to the queue at its base priority; the
+                        // fsync'd journal is the checkpoint the next
+                        // dispatch resumes from. `restore` bypasses the
+                        // admission caps — the job was admitted once.
+                        if let Some(e) = inner.entries.get_mut(&dispatch.job) {
+                            e.state = JobState::Queued;
+                        }
+                        inner
+                            .queue
+                            .restore(&dispatch.tenant, &dispatch.job, dispatch.priority);
                     }
                 }
             }
             let mut m = self.metrics.lock().unwrap();
-            m.inc("aprofd.jobs.finished");
+            if preempted {
+                m.inc("aprofd.jobs.preempted");
+            } else {
+                m.inc("aprofd.jobs.finished");
+            }
             drop(m);
             self.gc();
             self.publish_depth();
@@ -511,21 +634,56 @@ impl Daemon {
         }
     }
 
-    /// Runs (or resumes) one job to its artifacts. Every failure mode
-    /// the sweep itself can absorb — panics, deadlines, budgets,
-    /// transient faults — is already the supervisor's business; only
-    /// setup-level failures (journal unusable, artifact I/O) fail the
-    /// job, and those are recorded durably in the `.failed` marker.
-    fn run_job(&self, id: &str) -> Result<JobSummary, String> {
+    /// Raises the preempt signal of the lowest-priority running job iff
+    /// every worker is busy and that job's priority is strictly below
+    /// `incoming` — called under no lock after a successful admission.
+    /// Victim choice is deterministic: minimum (base priority, job ID),
+    /// skipping jobs already signaled. The victim yields at its next
+    /// grid-cell boundary; cells in flight finish and journal first.
+    fn maybe_preempt(&self, incoming: u8) {
+        let workers = self.cfg.workers;
+        if workers == 0 {
+            return;
+        }
+        let inner = self.inner.lock().unwrap();
+        if inner.running.len() < workers {
+            return; // a free worker will pick the job up directly
+        }
+        let victim = inner
+            .running
+            .iter()
+            .filter(|(_, r)| !r.signal.is_raised())
+            .min_by_key(|(id, r)| (r.priority, (*id).clone()));
+        if let Some((_id, r)) = victim {
+            if r.priority < incoming {
+                r.signal.raise();
+                drop(inner);
+                self.metrics
+                    .lock()
+                    .unwrap()
+                    .inc("aprofd.jobs.preempt_signals");
+            }
+        }
+    }
+
+    /// Runs (or resumes) one job to its artifacts, or to a preemption
+    /// yield. Every failure mode the sweep itself can absorb — panics,
+    /// deadlines, budgets, transient faults — is already the
+    /// supervisor's business; only setup-level failures (journal
+    /// unusable, artifact I/O) fail the job, and those are recorded
+    /// durably in the `.failed` marker. A yielded job writes nothing
+    /// beyond its journal: the journal *is* the checkpoint.
+    fn run_job(&self, id: &str, signal: &PreemptSignal) -> JobOutcome {
         let spec = {
             let inner = self.inner.lock().unwrap();
             match inner.entries.get(id) {
                 Some(e) => e.spec.clone(),
-                None => return Err("job vanished from the store".to_string()),
+                None => return JobOutcome::Failed("job vanished from the store".to_string()),
             }
         };
         let sweep_spec = spec.sweep_spec();
         let mut opts = spec.supervisor_options();
+        opts.preempt = Some(signal.clone());
         if spec.trace_dir {
             // Shards are a job artifact: they live next to the journal
             // and report, survive restarts, and are removed with the
@@ -541,28 +699,49 @@ impl Daemon {
             .map(|m| m.len())
             .unwrap_or(0);
         let (result, resumed) = if journal_bytes > 0 {
-            match resume_sweep_with_io(&sweep_spec, &opts, &journal_path, &profile_cell, &io) {
-                Ok((result, report)) => {
+            match resume_sweep_preemptible_with_io(
+                &sweep_spec,
+                &opts,
+                &journal_path,
+                &profile_cell,
+                &io,
+            ) {
+                Ok((run, report)) => {
                     let mut m = self.metrics.lock().unwrap();
                     m.inc("aprofd.jobs.resumed");
-                    m.merge(&report.metrics)
-                        .map_err(|e| format!("resume metrics merge: {e}"))?;
+                    if let Err(e) = m.merge(&report.metrics) {
+                        drop(m);
+                        return JobOutcome::Failed(format!("resume metrics merge: {e}"));
+                    }
                     drop(m);
-                    (result, true)
+                    // This dispatch picked up from the journal — a
+                    // restart *or* a preemption checkpoint; the status
+                    // line reports both the same way.
+                    if let Some(e) = self.inner.lock().unwrap().entries.get_mut(id) {
+                        e.resumed = true;
+                    }
+                    match run {
+                        SupervisedRun::Completed(result) => (*result, true),
+                        SupervisedRun::Yielded { .. } => return JobOutcome::Preempted,
+                    }
                 }
                 Err(e) => {
                     let msg = render_error_chain(&e);
                     let _ = atomic_write_with(&io, &self.job_path(id, "failed"), &msg);
-                    return Err(msg);
+                    return JobOutcome::Failed(msg);
                 }
             }
         } else {
-            let mut writer = JournalWriter::create_with(&io, &journal_path)
-                .map_err(|e| self.fail_job(id, format!("journal create: {e}")))?;
-            (
-                run_supervised_with(&sweep_spec, &opts, Some(&mut writer), &profile_cell),
-                false,
-            )
+            let mut writer = match JournalWriter::create_with(&io, &journal_path) {
+                Ok(w) => w,
+                Err(e) => {
+                    return JobOutcome::Failed(self.fail_job(id, format!("journal create: {e}")))
+                }
+            };
+            match run_supervised_preemptible(&sweep_spec, &opts, Some(&mut writer), &profile_cell) {
+                SupervisedRun::Completed(result) => (*result, false),
+                SupervisedRun::Yielded { .. } => return JobOutcome::Preempted,
+            }
         };
 
         let summary = JobSummary {
@@ -583,11 +762,14 @@ impl Daemon {
             atomic_write_with(&io, &self.job_path(id, suffix), contents)
                 .map_err(|e| self.fail_job(id, format!("artifact `{suffix}`: {e}")))
         };
-        write("bench.json", &bench.to_json())?;
-        write("report.txt", &report_text)?;
-        write("metrics.json", &metrics_json)?;
-        write("done", &summary.to_text())?;
-        Ok(summary)
+        let wrote = write("bench.json", &bench.to_json())
+            .and_then(|()| write("report.txt", &report_text))
+            .and_then(|()| write("metrics.json", &metrics_json))
+            .and_then(|()| write("done", &summary.to_text()));
+        match wrote {
+            Ok(()) => JobOutcome::Done(summary),
+            Err(msg) => JobOutcome::Failed(msg),
+        }
     }
 
     /// Records a job failure durably and returns the message (for use
@@ -601,13 +783,23 @@ impl Daemon {
     }
 
     fn publish_depth(&self) {
-        let (queued, running) = {
+        let (queued, running, capacity) = {
             let inner = self.inner.lock().unwrap();
-            (inner.queue.queued(), inner.running_jobs)
+            (
+                inner.queue.queued(),
+                inner.running.len(),
+                inner.queue.capacity(),
+            )
         };
+        let tier = brownout_tier(queued, capacity);
+        let prev = self.brownout.swap(tier as usize, Ordering::SeqCst) as u8;
         let mut m = self.metrics.lock().unwrap();
         m.set_gauge("aprofd.queue.depth", queued as u64);
         m.set_gauge("aprofd.jobs.running", running as u64);
+        m.set_gauge("aprofd.brownout.tier", tier as u64);
+        if prev != tier {
+            m.inc("aprofd.brownout.transitions");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -621,6 +813,9 @@ impl Daemon {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/metrics") => Response::ok(self.metrics.lock().unwrap().to_prometheus()),
+            ("GET", "/debug/panic") if self.cfg.debug_endpoints => {
+                panic!("debug: handler panic requested")
+            }
             ("POST", "/jobs") => self.submit(&req.body),
             ("POST", "/shutdown") => {
                 self.begin_drain();
@@ -631,6 +826,7 @@ impl Daemon {
                     match rest.split_once('/') {
                         None => self.job_status(rest),
                         Some((id, "report")) => self.job_report(id, req.query_u64("since")),
+                        Some((id, "events")) => self.job_events(id, req.query_u64("since")),
                         Some((id, "metrics")) => self.job_metrics(id),
                         Some(_) => Response::text(404, "not found\n"),
                     }
@@ -650,12 +846,13 @@ impl Daemon {
             .filter(|e| e.state == JobState::Done)
             .count();
         Response::ok(format!(
-            "ok\nqueued {}\nrunning {}\ndone {}\njobs {}\ndraining {}\n",
+            "ok\nqueued {}\nrunning {}\ndone {}\njobs {}\ndraining {}\nbrownout {}\n",
             inner.queue.queued(),
-            inner.running_jobs,
+            inner.running.len(),
             done,
             inner.entries.len(),
             self.is_draining() as u8,
+            self.current_brownout(),
         ))
     }
 
@@ -684,7 +881,7 @@ impl Daemon {
             let mut inner = self.inner.lock().unwrap();
             let submitted = inner.counter + 1;
             let id = job_id(&spec, submitted);
-            let decision = inner.queue.offer(&spec.tenant, &id);
+            let decision = inner.queue.offer(&spec.tenant, &id, spec.priority);
             if decision == Admission::Queued {
                 // Durability point: acknowledge only after the spec is
                 // atomically on disk. Failure to persist is a typed
@@ -731,6 +928,7 @@ impl Daemon {
                 drop(m);
                 self.publish_depth();
                 self.cv.notify_all();
+                self.maybe_preempt(spec.priority);
                 Response::ok(format!("{id}\n"))
             }
             Admission::ShedFull {
@@ -773,6 +971,7 @@ impl Daemon {
         let _ = writeln!(out, "tenant {}", e.spec.tenant);
         let _ = writeln!(out, "family {}", e.spec.family);
         let _ = writeln!(out, "state {}", e.state.as_str());
+        let _ = writeln!(out, "priority {}", e.spec.priority);
         let _ = writeln!(out, "submitted {}", e.submitted);
         let _ = writeln!(out, "resumed {}", e.resumed as u8);
         match (&e.state, &e.summary) {
@@ -867,6 +1066,18 @@ impl Daemon {
                 Err(e) => Response::text(500, format!("artifact unreadable: {e}\n")),
             };
         }
+        // Brownout tier ≥ 2: answer snapshots from the last persisted
+        // state instead of re-reading and re-fitting the live journal —
+        // the journal salvage + drms fit below is the expensive part of
+        // this endpoint, and under queue pressure the cycles belong to
+        // the sweeps.
+        if since.is_none() && self.current_brownout() >= 2 {
+            return Response::ok(format!(
+                "brownout {}: live snapshot degraded; state {}\n",
+                self.current_brownout(),
+                state.as_str(),
+            ));
+        }
         let cells = self.live_cells(id);
         let mut out = String::new();
         let _ = writeln!(out, "cursor {}", cells.len());
@@ -897,6 +1108,57 @@ impl Daemon {
             out.push_str(&sweep_snapshot(&family, &points, cells.len(), total));
         }
         Response::ok(out)
+    }
+
+    /// The `/jobs/{id}/events?since=N` long-poll: blocks (in bounded
+    /// [`POLL_STEP`] sleeps, up to [`DaemonConfig::poll_timeout`]) until
+    /// the job's journal has a cell the caller has not seen, the job
+    /// reaches a terminal state, the daemon drains, or brownout tier
+    /// ≥ 2 forces an immediate answer — then renders the delta:
+    ///
+    /// ```text
+    /// cursor <total cells journaled>
+    /// state <queued|running|done|failed>
+    /// cell <idx> size <s> seed <s> attempts <n> shadow_bytes <b>   (per new cell)
+    /// ```
+    ///
+    /// `aprofctl watch` drives this in a loop, feeding each answer's
+    /// `cursor` back as the next `since`.
+    fn job_events(&self, id: &str, since: Option<u64>) -> Response {
+        let since = since.unwrap_or(0) as usize;
+        let steps = (self.cfg.poll_timeout.as_millis() / POLL_STEP.as_millis()).max(1) as u64;
+        for step in 0u64.. {
+            let state = {
+                let inner = self.inner.lock().unwrap();
+                match inner.entries.get(id) {
+                    Some(e) => e.state.clone(),
+                    None => return Response::text(404, format!("no such job `{id}`\n")),
+                }
+            };
+            let terminal = matches!(state, JobState::Done | JobState::Failed(_));
+            let cells = self.live_cells(id);
+            let expired = step + 1 >= steps;
+            if cells.len() > since
+                || terminal
+                || expired
+                || self.is_draining()
+                || self.current_brownout() >= 2
+            {
+                let mut out = String::new();
+                let _ = writeln!(out, "cursor {}", cells.len());
+                let _ = writeln!(out, "state {}", state.as_str());
+                for (idx, cell) in cells.iter().skip(since) {
+                    let _ = writeln!(
+                        out,
+                        "cell {idx} size {} seed {} attempts {} shadow_bytes {}",
+                        cell.size, cell.seed, cell.attempts, cell.shadow_bytes
+                    );
+                }
+                return Response::ok(out);
+            }
+            std::thread::sleep(POLL_STEP);
+        }
+        unreachable!("the poll loop always answers by its last step")
     }
 
     /// Streams the job's merged metrics as Prometheus text, rebuilt
@@ -953,26 +1215,63 @@ fn render_error_chain(err: &dyn std::error::Error) -> String {
     out
 }
 
-/// Serves `daemon` on `listener` until the drain completes: accepts
-/// connections (each handled on its own thread, bounded by
-/// [`DaemonConfig::max_connections`] — excess connections get an
-/// immediate 503 shed), refuses new submissions while draining, and
-/// returns once no job is mid-run. Both the `aprofd` binary and the
-/// in-process tests run this.
+/// Frees one connection slot on drop — however the handler exits,
+/// including a panic unwinding through it, the `max_connections`
+/// accounting stays correct.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The bounded accept queue feeding the io-thread pool. `slots` counts
+/// queued + in-flight connections against `max_connections`.
+struct AcceptQueue {
+    queue: Mutex<VecDeque<(TcpStream, SlotGuard)>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// Serves `daemon` on `listener` until the drain completes: a fixed
+/// pool of [`DaemonConfig::io_threads`] connection handlers consumes a
+/// bounded accept queue — total admitted connections (queued plus
+/// in-flight) are capped at [`DaemonConfig::max_connections`]; excess
+/// connections get an immediate 503 shed at the door instead of an
+/// unbounded thread per socket. Refuses new submissions while draining
+/// and returns once no job is mid-run, after joining the io pool. Both
+/// the `aprofd` binary and the in-process tests run this.
 pub fn serve(daemon: Arc<Daemon>, listener: TcpListener) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
-    let active = Arc::new(AtomicUsize::new(0));
+    let slots = Arc::new(AtomicUsize::new(0));
     let max_connections = daemon.cfg.max_connections.max(1);
-    loop {
+    let accept = Arc::new(AcceptQueue {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        stop: AtomicBool::new(false),
+    });
+    let io_pool: Vec<_> = (0..daemon.cfg.io_threads.max(1))
+        .map(|_| {
+            let d = Arc::clone(&daemon);
+            let q = Arc::clone(&accept);
+            std::thread::spawn(move || io_thread_loop(&d, &q))
+        })
+        .collect();
+    let result = loop {
         if daemon.drain_complete() {
-            return Ok(());
+            break Ok(());
         }
         match listener.accept() {
             Ok((mut stream, _)) => {
-                if active.load(Ordering::SeqCst) >= max_connections {
+                // Reserve a slot before queueing; the guard travels
+                // with the stream and frees it wherever the connection
+                // ends (drained, handled, or handler panic).
+                if slots.fetch_add(1, Ordering::SeqCst) >= max_connections {
+                    slots.fetch_sub(1, Ordering::SeqCst);
                     // Shed at the door: a deterministic 503 beats an
-                    // unbounded thread pile-up. The hint is short — the
-                    // cap clears as fast as one request round-trips.
+                    // unbounded pile-up. The hint is short — the cap
+                    // clears as fast as one request round-trips.
                     daemon
                         .metrics
                         .lock()
@@ -982,22 +1281,67 @@ pub fn serve(daemon: Arc<Daemon>, listener: TcpListener) -> std::io::Result<()> 
                     let _ = crate::http::write_response(
                         &mut stream,
                         &Response::shed(503, 250, "busy: connection limit reached; retry\n"),
+                        false,
                     );
                     continue;
                 }
-                active.fetch_add(1, Ordering::SeqCst);
-                let d = Arc::clone(&daemon);
-                let a = Arc::clone(&active);
-                std::thread::spawn(move || {
-                    handle_connection(&d, stream);
-                    a.fetch_sub(1, Ordering::SeqCst);
-                });
+                let guard = SlotGuard(Arc::clone(&slots));
+                let mut q = accept.queue.lock().unwrap();
+                q.push_back((stream, guard));
+                drop(q);
+                accept.cv.notify_one();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
             }
-            Err(e) => return Err(e),
+            Err(e) => break Err(e),
         }
+    };
+    // Stop the pool: unserved queued connections drop (their guards
+    // free the slots) and each io thread exits at its next wakeup.
+    accept.stop.store(true, Ordering::SeqCst);
+    accept.queue.lock().unwrap().clear();
+    accept.cv.notify_all();
+    for t in io_pool {
+        let _ = t.join();
+    }
+    result
+}
+
+/// One io-thread: pops connections off the accept queue and handles
+/// each to completion. A handler panic is caught here — the thread
+/// survives, the counter records it, and the connection's slot guard
+/// drops either way.
+fn io_thread_loop(daemon: &Daemon, accept: &AcceptQueue) {
+    loop {
+        let popped = {
+            let mut q = accept.queue.lock().unwrap();
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if accept.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = accept
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some((stream, _slot)) = popped else {
+            return;
+        };
+        if catch_unwind(AssertUnwindSafe(|| handle_connection(daemon, stream))).is_err() {
+            daemon
+                .metrics
+                .lock()
+                .unwrap()
+                .inc("aprofd.http.handler_panics");
+        }
+        // `_slot` drops here: the connection slot is returned even when
+        // the handler panicked.
     }
 }
 
@@ -1010,21 +1354,53 @@ fn handle_connection(daemon: &Daemon, stream: TcpStream) {
         Err(_) => return,
     };
     let mut reader = std::io::BufReader::new(stream);
-    let response = match crate::http::read_request(&mut reader) {
-        Ok(req) => daemon.handle(&req),
-        Err(e @ RequestError::TooLarge(_)) => {
-            daemon.metrics.lock().unwrap().inc("aprofd.http.too_large");
-            Response::text(413, format!("{e}\n"))
-        }
-        Err(e @ RequestError::Malformed(_)) => Response::text(400, format!("{e}\n")),
-        Err(RequestError::Timeout) => {
-            // Slow loris: the read deadline expired mid-request. Answer
-            // typed (best-effort — the peer may be gone) and close; the
-            // worker thread is freed either way.
-            daemon.metrics.lock().unwrap().inc("aprofd.http.timeouts");
-            Response::text(408, "request read deadline expired\n")
-        }
-        Err(RequestError::Closed | RequestError::Io(_)) => return, // nothing to answer
-    };
-    let _ = crate::http::write_response(&mut write_half, &response);
+    // Keep-alive loop: serve requests off one connection until the
+    // client asks to close, the per-connection cap is reached, the
+    // idle deadline expires, an error ends the framing, or the daemon
+    // is draining / browned out (tier ≥ 1 disables keep-alive).
+    for served in 0..MAX_REQUESTS_PER_CONN {
+        let response = match crate::http::read_request(&mut reader) {
+            Ok(req) => {
+                let resp = daemon.handle(&req);
+                let keep_alive = !req.close
+                    && served + 1 < MAX_REQUESTS_PER_CONN
+                    && !daemon.is_draining()
+                    && daemon.current_brownout() < 1;
+                if crate::http::write_response(&mut write_half, &resp, keep_alive).is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(e @ RequestError::TooLarge(_)) => {
+                daemon.metrics.lock().unwrap().inc("aprofd.http.too_large");
+                Response::text(413, format!("{e}\n"))
+            }
+            Err(e @ RequestError::Malformed(_)) => Response::text(400, format!("{e}\n")),
+            Err(RequestError::Timeout) => {
+                if served > 0 {
+                    // Keep-alive idle deadline: the client simply had no
+                    // next request within `read_timeout`. Close quietly —
+                    // this is the protocol working, not a slow loris.
+                    daemon
+                        .metrics
+                        .lock()
+                        .unwrap()
+                        .inc("aprofd.http.idle_closed");
+                    return;
+                }
+                // Slow loris: the read deadline expired mid-request.
+                // Answer typed (best-effort — the peer may be gone) and
+                // close; the io thread is freed either way.
+                daemon.metrics.lock().unwrap().inc("aprofd.http.timeouts");
+                Response::text(408, "request read deadline expired\n")
+            }
+            Err(RequestError::Closed | RequestError::Io(_)) => return, // nothing to answer
+        };
+        // Error responses always end the connection: the request
+        // framing is unreliable past this point.
+        let _ = crate::http::write_response(&mut write_half, &response, false);
+        return;
+    }
 }

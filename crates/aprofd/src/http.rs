@@ -1,15 +1,19 @@
 //! A deliberately tiny HTTP/1.1 subset over `std::net`.
 //!
 //! The workspace is dependency-free by design, so the daemon speaks
-//! just enough HTTP for line tools and `curl`: one request per
-//! connection (`Connection: close`), plain-text bodies, and a
-//! `Content-Length` requirement both ways. Responses that shed load
-//! carry the deterministic back-pressure hint in both the standard
-//! `Retry-After` (whole seconds, rounded up) and the millisecond
-//! `X-Retry-After-Ms` header the `aprofctl` client honors.
+//! just enough HTTP for line tools and `curl`: plain-text bodies and a
+//! `Content-Length` requirement both ways. Connections are persistent
+//! by HTTP/1.1 default — a client that sends `Connection: close` (or a
+//! server answering under brownout) gets the one-shot behavior back,
+//! and the server caps requests per connection at
+//! [`MAX_REQUESTS_PER_CONN`] so a single socket cannot hold an
+//! io-thread forever. Responses that shed load carry the deterministic
+//! back-pressure hint in both the standard `Retry-After` (whole
+//! seconds, rounded up) and the millisecond `X-Retry-After-Ms` header
+//! the `aprofctl` client honors.
 
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -25,6 +29,11 @@ pub const MAX_HEADER_LINE: usize = 4 * 1024;
 
 /// Most header lines accepted in one request.
 pub const MAX_HEADERS: usize = 64;
+
+/// Requests served on one keep-alive connection before the server
+/// closes it — bounds how long a single client can monopolize an
+/// io-thread, and recycles per-connection buffers.
+pub const MAX_REQUESTS_PER_CONN: usize = 100;
 
 /// Why reading a request off a connection failed — typed so the
 /// connection handler can answer 400/408/413 (or stay silent) instead
@@ -85,6 +94,10 @@ pub struct Request {
     pub query: String,
     /// Request body (empty when absent).
     pub body: String,
+    /// Whether the client asked for the connection to be closed after
+    /// this response (`Connection: close`). HTTP/1.1 connections are
+    /// persistent by default, so this is `false` unless sent.
+    pub close: bool,
 }
 
 impl Request {
@@ -221,6 +234,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError>
     };
     let mut content_length = 0usize;
     let mut headers = 0usize;
+    let mut close = false;
     loop {
         let header = read_line_capped(reader, MAX_HEADER_LINE, "header line")?
             .ok_or(RequestError::Closed)?;
@@ -239,6 +253,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError>
                     .trim()
                     .parse()
                     .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
+            } else if k.eq_ignore_ascii_case("connection") {
+                close = v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
             }
         }
     }
@@ -256,16 +272,25 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, RequestError>
         path: path.to_string(),
         query: query.to_string(),
         body,
+        close,
     })
 }
 
-/// Serializes `resp` onto `stream` and flushes it.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+/// Serializes `resp` onto `stream` and flushes it. `keep_alive` picks
+/// the `Connection` header: the server passes `false` when the client
+/// asked to close, the per-connection request cap is reached, the
+/// daemon is draining, or the brownout ladder has disabled keep-alive.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(ms) = resp.retry_after_ms {
         head.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000)));
@@ -313,17 +338,38 @@ pub fn roundtrip(
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
+    write_request(&mut writer, addr, method, path, body, true)?;
+    let mut reader = BufReader::new(stream);
+    let (reply, _) = read_reply(&mut reader)?;
+    Ok(reply)
+}
+
+/// Writes one serialized request. `close` adds `Connection: close`;
+/// otherwise the HTTP/1.1 default (persistent) applies.
+fn write_request<W: Write>(
+    writer: &mut W,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "Connection: close\r\n" } else { "" };
     writer.write_all(
         format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{connection}\r\n",
             body.len()
         )
         .as_bytes(),
     )?;
     writer.write_all(body.as_bytes())?;
-    writer.flush()?;
+    writer.flush()
+}
 
-    let mut reader = BufReader::new(stream);
+/// Reads one response off `reader`. Returns the reply plus whether the
+/// server signaled `Connection: close` (the caller must not reuse the
+/// connection in that case).
+fn read_reply<R: BufRead>(reader: &mut R) -> std::io::Result<(Reply, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -333,6 +379,7 @@ pub fn roundtrip(
         .ok_or_else(|| invalid("bad status line"))?;
     let mut content_length: Option<usize> = None;
     let mut retry_after_ms = None;
+    let mut close = false;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -348,6 +395,8 @@ pub fn roundtrip(
                 content_length = v.parse().ok();
             } else if k.eq_ignore_ascii_case("x-retry-after-ms") {
                 retry_after_ms = v.parse().ok();
+            } else if k.eq_ignore_ascii_case("connection") {
+                close = v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"));
             }
         }
     }
@@ -358,16 +407,97 @@ pub fn roundtrip(
             String::from_utf8(buf).map_err(|_| invalid("response body is not UTF-8"))?
         }
         None => {
+            // No framing: the body runs to EOF, so the connection is
+            // spent whatever the Connection header said.
+            close = true;
             let mut buf = String::new();
             reader.read_to_string(&mut buf)?;
             buf
         }
     };
-    Ok(Reply {
-        status,
-        retry_after_ms,
-        body,
-    })
+    Ok((
+        Reply {
+            status,
+            retry_after_ms,
+            body,
+        },
+        close,
+    ))
+}
+
+/// A persistent keep-alive client connection: one TCP stream reused
+/// across sequential requests, reconnecting transparently when the
+/// server closes it (request cap, idle deadline, brownout, restart).
+///
+/// The reconnect-and-retry happens at most once per request and only
+/// when a *reused* stream failed — a stale keep-alive connection dies
+/// on first use, before the server has processed anything, so the
+/// retry cannot double-apply a request. A fresh connection's failure
+/// is reported to the caller unchanged.
+#[derive(Debug)]
+pub struct Conn {
+    addr: String,
+    timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Conn {
+    /// A lazily-connected persistent client for `addr`.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Conn {
+        Conn {
+            addr: addr.into(),
+            timeout,
+            stream: None,
+        }
+    }
+
+    fn connect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        self.stream = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Reply> {
+        let addr = self.addr.clone();
+        let reader = self.stream.as_mut().expect("connected before try_request");
+        write_request(reader.get_mut(), &addr, method, path, body, false)?;
+        let (reply, close) = read_reply(reader)?;
+        if close {
+            self.stream = None;
+        }
+        Ok(reply)
+    }
+
+    /// Performs one request, reusing the open connection when possible.
+    ///
+    /// # Errors
+    /// Connection, timeout, and framing failures, after the one
+    /// stale-stream retry described on the type.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Reply> {
+        let reused = self.stream.is_some();
+        if !reused {
+            self.connect()?;
+        }
+        match self.try_request(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err(first) => {
+                self.stream = None;
+                if !reused {
+                    return Err(first);
+                }
+                self.connect()?;
+                match self.try_request(method, path, body) {
+                    Ok(reply) => Ok(reply),
+                    Err(e) => {
+                        self.stream = None;
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +514,39 @@ mod tests {
         assert_eq!(req.query_u64("since"), Some(3));
         assert_eq!(req.query_u64("missing"), None);
         assert_eq!(req.body, "hello");
+        assert!(!req.close, "HTTP/1.1 default is keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_parsed_case_insensitively() {
+        for header in [
+            "Connection: close",
+            "connection: Close",
+            "Connection: x, close",
+        ] {
+            let raw = format!("GET / HTTP/1.1\r\n{header}\r\n\r\n");
+            let req = read_request(&mut Cursor::new(raw.as_bytes())).unwrap();
+            assert!(req.close, "{header}");
+        }
+        let raw = b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        assert!(!read_request(&mut Cursor::new(&raw[..])).unwrap().close);
+    }
+
+    #[test]
+    fn read_reply_reports_the_connection_verdict() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+        let (reply, close) = read_reply(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(
+            (reply.status, reply.body.as_str(), close),
+            (200, "ok", false)
+        );
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nX-Retry-After-Ms: 250\r\nConnection: close\r\n\r\n";
+        let (reply, close) = read_reply(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!((reply.retry_after_ms, close), (Some(250), true));
+        // Unframed bodies spend the connection even without the header.
+        let raw = b"HTTP/1.1 200 OK\r\n\r\ntail";
+        let (reply, close) = read_reply(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!((reply.body.as_str(), close), ("tail", true));
     }
 
     #[test]

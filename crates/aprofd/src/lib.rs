@@ -12,8 +12,23 @@
 //!   capacity and per-tenant quotas. A full queue *sheds* the
 //!   submission with a typed refusal and a deterministic retry-after —
 //!   it never grows unbounded and never silently drops work.
-//! - **Fair dispatch**: round-robin across tenants with a per-tenant
-//!   running cap, so one noisy tenant cannot starve the rest.
+//! - **Priorities and preemption**: each job carries a `priority`
+//!   band (0..=9); dispatch picks the highest effective band first,
+//!   round-robin across tenants within a band, with counter-driven
+//!   aging so low bands never starve. When every worker is busy and a
+//!   higher-priority job arrives, the lowest-priority running job is
+//!   signaled ([`drms_bench::supervisor::PreemptSignal`]) and yields
+//!   at its next grid-cell boundary; its fsync'd journal *is* the
+//!   checkpoint, and on re-dispatch the resume produces byte-identical
+//!   artifacts.
+//! - **Bounded worker pools**: `--workers` job executors and
+//!   `--io-threads` connection handlers fed by a bounded accept queue —
+//!   thread count is fixed at startup, and a panicking handler or job
+//!   returns its slot (and bumps a counter) instead of leaking it.
+//! - **Keep-alive HTTP with brownout**: persistent connections (capped
+//!   per connection), degraded in deterministic tiers as the queue
+//!   fills — keep-alive off, then snapshots answered from last
+//!   persisted state, then new submissions shed.
 //! - **Deterministic identity** ([`spec`]): job IDs are FNV-1a over the
 //!   canonical spec plus a submission counter — no wall clock, no RNG —
 //!   so a restarted daemon reproduces the same IDs, paths, and
@@ -39,6 +54,6 @@ pub mod spec;
 
 pub use client::{Client, ClientError};
 pub use daemon::{serve, Daemon, DaemonConfig, JobState, JobSummary};
-pub use http::RequestError;
-pub use queue::{Admission, AdmissionQueue, QueueConfig};
+pub use http::{Conn, RequestError, MAX_REQUESTS_PER_CONN};
+pub use queue::{Admission, AdmissionQueue, Dispatch, QueueConfig, MAX_PRIORITY};
 pub use spec::{job_id, JobSpec, SpecError};

@@ -1,14 +1,32 @@
-//! Bounded admission with per-tenant fairness and quotas.
+//! Bounded admission with priorities, per-tenant fairness and quotas.
 //!
 //! The queue is the daemon's only growth point, so it is bounded twice:
 //! a global capacity (full ⇒ the submission is *shed* with a
 //! deterministic retry-after, never silently queued) and a per-tenant
 //! queued cap (one tenant flooding the service cannot evict the
-//! others' headroom). Dispatch is round-robin across tenants with a
-//! per-tenant running cap, so a tenant with a hundred queued sweeps
-//! still yields the next free worker to a tenant with one.
+//! others' headroom).
+//!
+//! Dispatch order is a total, deterministic key over the queued set:
+//!
+//! 1. **effective priority**, descending — a job's spec priority
+//!    (`0..=9`) plus anti-starvation aging (every
+//!    [`QueueConfig::aging_every`] dispatches, every queued job is
+//!    promoted one band, capped at [`MAX_PRIORITY`]), so a low-priority
+//!    job under a stream of high-priority arrivals climbs to the top
+//!    band in bounded dispatches and then wins on FIFO order;
+//! 2. **least-recently-dispatched tenant**, ascending (tenant name
+//!    breaks ties) — round-robin across tenants within a band, so a
+//!    tenant with a hundred queued sweeps still yields the next free
+//!    worker to a tenant with one;
+//! 3. **admission sequence**, ascending — FIFO within a (band, tenant).
+//!    Restart-resume re-admits journaled jobs in sorted job-ID order,
+//!    so the sequence (and therefore the dispatch order) is a pure
+//!    function of the job IDs, never of wall-clock.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
+
+/// The highest admissible job priority (bands are `0..=MAX_PRIORITY`).
+pub const MAX_PRIORITY: u8 = 9;
 
 /// Bounds of the admission queue.
 #[derive(Clone, Debug)]
@@ -19,6 +37,12 @@ pub struct QueueConfig {
     pub tenant_queued_cap: usize,
     /// Concurrently running jobs per tenant.
     pub tenant_running_cap: usize,
+    /// Dispatches between anti-starvation promotions: every
+    /// `aging_every` dispatches, every queued job's effective priority
+    /// rises one band (capped at [`MAX_PRIORITY`]). Counter-driven —
+    /// never wall-clock — so the promotion points are identical across
+    /// a restart replaying the same dispatch sequence.
+    pub aging_every: usize,
 }
 
 impl Default for QueueConfig {
@@ -27,6 +51,7 @@ impl Default for QueueConfig {
             capacity: 64,
             tenant_queued_cap: 16,
             tenant_running_cap: 2,
+            aging_every: 8,
         }
     }
 }
@@ -53,15 +78,44 @@ pub enum Admission {
     },
 }
 
-/// The bounded, tenant-fair admission queue. Pure data structure — the
-/// daemon holds it under its state mutex.
+/// One dispatched job, as handed to a worker by
+/// [`AdmissionQueue::pop_fair`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dispatch {
+    /// The job's tenant.
+    pub tenant: String,
+    /// The job ID.
+    pub job: String,
+    /// The job's *base* (spec) priority — what a preempted re-queue
+    /// restores, and what preemption victim selection compares.
+    pub priority: u8,
+}
+
+#[derive(Debug)]
+struct QueuedJob {
+    tenant: String,
+    job: String,
+    /// Spec priority, `0..=MAX_PRIORITY`.
+    base: u8,
+    /// Base plus aging promotions, capped at [`MAX_PRIORITY`].
+    effective: u8,
+    /// Admission order, strictly increasing — the FIFO axis.
+    seq: u64,
+}
+
+/// The bounded, tenant-fair, priority-ordered admission queue. Pure
+/// data structure — the daemon holds it under its state mutex.
 #[derive(Debug)]
 pub struct AdmissionQueue {
     cfg: QueueConfig,
-    queues: BTreeMap<String, VecDeque<String>>,
+    queued: Vec<QueuedJob>,
     running: BTreeMap<String, usize>,
-    rr: VecDeque<String>,
-    queued_total: usize,
+    /// Dispatch counter value at each tenant's last dispatch (0 =
+    /// never) — the round-robin axis within a priority band.
+    last_dispatch: BTreeMap<String, u64>,
+    /// Total dispatches, drives aging and `last_dispatch`.
+    dispatches: u64,
+    seq: u64,
 }
 
 impl AdmissionQueue {
@@ -69,21 +123,35 @@ impl AdmissionQueue {
     pub fn new(cfg: QueueConfig) -> Self {
         AdmissionQueue {
             cfg,
-            queues: BTreeMap::new(),
+            queued: Vec::new(),
             running: BTreeMap::new(),
-            rr: VecDeque::new(),
-            queued_total: 0,
+            last_dispatch: BTreeMap::new(),
+            dispatches: 0,
+            seq: 0,
         }
     }
 
     /// Jobs currently queued across tenants.
     pub fn queued(&self) -> usize {
-        self.queued_total
+        self.queued.len()
+    }
+
+    /// The configured global capacity (the brownout ladder is keyed to
+    /// `queued() / capacity()`).
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
     }
 
     /// Jobs currently marked running across tenants.
     pub fn running(&self) -> usize {
         self.running.values().sum()
+    }
+
+    /// The highest effective priority among queued jobs, if any — what
+    /// the daemon compares against running jobs when deciding whether
+    /// to preempt.
+    pub fn highest_queued_priority(&self) -> Option<u8> {
+        self.queued.iter().map(|j| j.effective).max()
     }
 
     /// The deterministic retry-after hint for a shed submission:
@@ -92,69 +160,86 @@ impl AdmissionQueue {
     /// No randomness — the jitter that prevents a thundering herd is
     /// the *client's* seeded FNV-1a discipline, not the server's.
     pub fn retry_after_ms(&self) -> u64 {
-        (250u64.saturating_mul(self.queued_total as u64)).clamp(250, 10_000)
+        (250u64.saturating_mul(self.queued.len() as u64)).clamp(250, 10_000)
     }
 
     /// Offers one submission. Queues it or sheds it with a typed
     /// decision — the queue never grows past its bounds.
-    pub fn offer(&mut self, tenant: &str, job: &str) -> Admission {
-        if self.queued_total >= self.cfg.capacity {
+    pub fn offer(&mut self, tenant: &str, job: &str, priority: u8) -> Admission {
+        if self.queued.len() >= self.cfg.capacity {
             return Admission::ShedFull {
-                queued: self.queued_total,
+                queued: self.queued.len(),
                 retry_after_ms: self.retry_after_ms(),
             };
         }
-        let tenant_queued = self.queues.get(tenant).map_or(0, VecDeque::len);
+        let tenant_queued = self.queued.iter().filter(|j| j.tenant == tenant).count();
         if tenant_queued >= self.cfg.tenant_queued_cap {
             return Admission::ShedTenant {
                 queued: tenant_queued,
                 retry_after_ms: self.retry_after_ms(),
             };
         }
-        self.push(tenant, job);
+        self.push(tenant, job, priority);
         Admission::Queued
     }
 
-    /// Re-admits a journaled job during restart-resume, bypassing the
-    /// caps: it was admitted before the crash and its spec is already
-    /// durable — shedding it now would lose accepted work.
-    pub fn restore(&mut self, tenant: &str, job: &str) {
-        self.push(tenant, job);
+    /// Re-admits a job bypassing the caps: a journaled job during
+    /// restart-resume, or a preempted job returning to the queue. It
+    /// was admitted once and its spec is already durable — shedding it
+    /// now would lose accepted work.
+    pub fn restore(&mut self, tenant: &str, job: &str, priority: u8) {
+        self.push(tenant, job, priority);
     }
 
-    fn push(&mut self, tenant: &str, job: &str) {
-        if !self.queues.contains_key(tenant) && !self.rr.iter().any(|t| t == tenant) {
-            self.rr.push_back(tenant.to_string());
-        }
-        self.queues
-            .entry(tenant.to_string())
-            .or_default()
-            .push_back(job.to_string());
-        self.queued_total += 1;
+    fn push(&mut self, tenant: &str, job: &str, priority: u8) {
+        let priority = priority.min(MAX_PRIORITY);
+        self.queued.push(QueuedJob {
+            tenant: tenant.to_string(),
+            job: job.to_string(),
+            base: priority,
+            effective: priority,
+            seq: self.seq,
+        });
+        self.seq += 1;
     }
 
-    /// Dispatches the next job fairly: rotates through tenants, skipping
-    /// any whose running cap is reached, and pops FIFO within a tenant.
-    /// Marks the job running for its tenant.
-    pub fn pop_fair(&mut self) -> Option<(String, String)> {
-        for _ in 0..self.rr.len() {
-            let tenant = self.rr.pop_front()?;
-            let eligible = self.queues.get(&tenant).is_some_and(|q| !q.is_empty())
-                && self.running.get(&tenant).copied().unwrap_or(0) < self.cfg.tenant_running_cap;
-            if eligible {
-                let job = self
-                    .queues
-                    .get_mut(&tenant)
-                    .and_then(VecDeque::pop_front)
-                    .expect("eligible tenant has a queued job");
-                self.queued_total -= 1;
-                *self.running.entry(tenant.clone()).or_insert(0) += 1;
-                self.rr.push_back(tenant.clone());
-                return Some((tenant, job));
+    /// Dispatches the next job by the deterministic order documented on
+    /// the module: effective priority, then least-recently-dispatched
+    /// tenant (skipping tenants at their running cap), then admission
+    /// order. Marks the job running for its tenant and ages the
+    /// remaining queue every [`QueueConfig::aging_every`] dispatches.
+    pub fn pop_fair(&mut self) -> Option<Dispatch> {
+        let best = self
+            .queued
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| {
+                self.running.get(&j.tenant).copied().unwrap_or(0) < self.cfg.tenant_running_cap
+            })
+            .min_by(|(_, a), (_, b)| {
+                let last = |j: &QueuedJob| self.last_dispatch.get(&j.tenant).copied().unwrap_or(0);
+                b.effective
+                    .cmp(&a.effective)
+                    .then_with(|| last(a).cmp(&last(b)))
+                    .then_with(|| a.tenant.cmp(&b.tenant))
+                    .then_with(|| a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i)?;
+        let picked = self.queued.remove(best);
+        self.dispatches += 1;
+        *self.running.entry(picked.tenant.clone()).or_insert(0) += 1;
+        self.last_dispatch
+            .insert(picked.tenant.clone(), self.dispatches);
+        if self.cfg.aging_every > 0 && self.dispatches.is_multiple_of(self.cfg.aging_every as u64) {
+            for j in &mut self.queued {
+                j.effective = (j.effective + 1).min(MAX_PRIORITY);
             }
-            self.rr.push_back(tenant);
         }
-        None
+        Some(Dispatch {
+            tenant: picked.tenant,
+            job: picked.job,
+            priority: picked.base,
+        })
     }
 
     /// Withdraws a still-queued job (admission succeeded but a later
@@ -162,14 +247,14 @@ impl AdmissionQueue {
     /// — failed, so the slot must be given back). Returns whether the
     /// job was found and removed.
     pub fn cancel(&mut self, tenant: &str, job: &str) -> bool {
-        let Some(q) = self.queues.get_mut(tenant) else {
+        let Some(pos) = self
+            .queued
+            .iter()
+            .position(|j| j.tenant == tenant && j.job == job)
+        else {
             return false;
         };
-        let Some(pos) = q.iter().position(|j| j == job) else {
-            return false;
-        };
-        q.remove(pos);
-        self.queued_total -= 1;
+        self.queued.remove(pos);
         true
     }
 
@@ -190,15 +275,26 @@ mod tests {
             capacity,
             tenant_queued_cap: tq,
             tenant_running_cap: tr,
+            ..QueueConfig::default()
         })
+    }
+
+    fn drain(q: &mut AdmissionQueue) -> Vec<String> {
+        std::iter::from_fn(|| {
+            q.pop_fair().map(|d| {
+                q.finished(&d.tenant);
+                d.job
+            })
+        })
+        .collect()
     }
 
     #[test]
     fn full_queue_sheds_with_depth_proportional_retry_after() {
         let mut q = queue(2, 16, 2);
-        assert_eq!(q.offer("a", "j1"), Admission::Queued);
-        assert_eq!(q.offer("a", "j2"), Admission::Queued);
-        match q.offer("b", "j3") {
+        assert_eq!(q.offer("a", "j1", 0), Admission::Queued);
+        assert_eq!(q.offer("a", "j2", 0), Admission::Queued);
+        match q.offer("b", "j3", 9) {
             Admission::ShedFull {
                 queued,
                 retry_after_ms,
@@ -214,34 +310,49 @@ mod tests {
     #[test]
     fn tenant_quota_sheds_only_the_noisy_tenant() {
         let mut q = queue(64, 1, 2);
-        assert_eq!(q.offer("noisy", "j1"), Admission::Queued);
+        assert_eq!(q.offer("noisy", "j1", 0), Admission::Queued);
         assert!(matches!(
-            q.offer("noisy", "j2"),
+            q.offer("noisy", "j2", 0),
             Admission::ShedTenant { queued: 1, .. }
         ));
-        assert_eq!(q.offer("quiet", "j3"), Admission::Queued);
+        assert_eq!(q.offer("quiet", "j3", 0), Admission::Queued);
     }
 
     #[test]
     fn dispatch_round_robins_across_tenants() {
         let mut q = queue(64, 16, 4);
         for j in ["a1", "a2", "a3"] {
-            q.offer("alice", j);
+            q.offer("alice", j, 0);
         }
-        q.offer("bob", "b1");
-        let order: Vec<String> = std::iter::from_fn(|| q.pop_fair().map(|(_, j)| j)).collect();
+        q.offer("bob", "b1", 0);
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_fair().map(|d| d.job)).collect();
         assert_eq!(order, ["a1", "b1", "a2", "a3"], "bob is not starved");
+    }
+
+    #[test]
+    fn higher_priority_dispatches_first_fifo_within_a_band() {
+        let mut q = queue(64, 16, 16);
+        q.offer("a", "low1", 1);
+        q.offer("a", "high1", 5);
+        q.offer("b", "high2", 5);
+        q.offer("a", "low2", 1);
+        let order = drain(&mut q);
+        assert_eq!(
+            order,
+            ["high1", "high2", "low1", "low2"],
+            "bands strictly ordered, FIFO + round-robin within a band"
+        );
     }
 
     #[test]
     fn running_cap_defers_a_tenants_next_job() {
         let mut q = queue(64, 16, 1);
-        q.offer("a", "j1");
-        q.offer("a", "j2");
-        assert_eq!(q.pop_fair(), Some(("a".into(), "j1".into())));
+        q.offer("a", "j1", 0);
+        q.offer("a", "j2", 0);
+        assert_eq!(q.pop_fair().map(|d| d.job).as_deref(), Some("j1"));
         assert_eq!(q.pop_fair(), None, "tenant at running cap");
         q.finished("a");
-        assert_eq!(q.pop_fair(), Some(("a".into(), "j2".into())));
+        assert_eq!(q.pop_fair().map(|d| d.job).as_deref(), Some("j2"));
         q.finished("a");
         assert_eq!(q.running(), 0);
     }
@@ -249,22 +360,158 @@ mod tests {
     #[test]
     fn cancel_gives_the_slot_back() {
         let mut q = queue(2, 2, 1);
-        q.offer("a", "j1");
-        q.offer("a", "j2");
-        assert!(matches!(q.offer("a", "j3"), Admission::ShedFull { .. }));
+        q.offer("a", "j1", 0);
+        q.offer("a", "j2", 0);
+        assert!(matches!(q.offer("a", "j3", 0), Admission::ShedFull { .. }));
         assert!(q.cancel("a", "j2"));
         assert!(!q.cancel("a", "j2"), "already gone");
         assert_eq!(q.queued(), 1);
-        assert_eq!(q.offer("a", "j3"), Admission::Queued, "slot reusable");
-        assert_eq!(q.pop_fair(), Some(("a".into(), "j1".into())));
+        assert_eq!(q.offer("a", "j3", 0), Admission::Queued, "slot reusable");
+        assert_eq!(q.pop_fair().map(|d| d.job).as_deref(), Some("j1"));
     }
 
     #[test]
-    fn restore_bypasses_the_caps() {
+    fn restore_bypasses_the_caps_and_keeps_priority() {
         let mut q = queue(1, 1, 1);
-        q.offer("a", "j1");
-        q.restore("a", "j2");
+        q.offer("a", "j1", 0);
+        q.restore("a", "j2", 7);
         assert_eq!(q.queued(), 2, "restored jobs are never shed");
-        assert!(matches!(q.offer("a", "j3"), Admission::ShedFull { .. }));
+        assert!(matches!(q.offer("a", "j3", 0), Admission::ShedFull { .. }));
+        let d = q.pop_fair().unwrap();
+        assert_eq!((d.job.as_str(), d.priority), ("j2", 7));
+    }
+
+    // -----------------------------------------------------------------
+    // Seeded property suite. A tiny xorshift PRNG keeps the scenarios
+    // deterministic: every run of the suite sees the same arrivals.
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// No starvation: a single low-priority job admitted into a steady
+    /// stream of high-priority arrivals still dispatches within a
+    /// bounded number of dispatches (aging promotes it band by band;
+    /// once it reaches the top band its earlier admission sequence wins
+    /// the FIFO tie-break over every later arrival).
+    #[test]
+    fn property_no_starvation_under_aging() {
+        for seed in [1u64, 7, 42, 1337] {
+            let mut rng = Rng(seed);
+            let mut q = AdmissionQueue::new(QueueConfig {
+                capacity: 1024,
+                tenant_queued_cap: 1024,
+                tenant_running_cap: 1024,
+                aging_every: 4,
+            });
+            q.offer("victim", "starved", 0);
+            let mut dispatched_at = None;
+            for step in 0..400u64 {
+                let tenant = format!("noisy{}", rng.below(3));
+                q.offer(&tenant, &format!("hi{step}"), MAX_PRIORITY);
+                let d = q.pop_fair().expect("queue is never empty here");
+                q.finished(&d.tenant);
+                if d.job == "starved" {
+                    dispatched_at = Some(step);
+                    break;
+                }
+            }
+            // Worst case: 9 promotions × aging_every dispatches to reach
+            // the top band, plus the jobs already ahead of it there.
+            let at = dispatched_at.unwrap_or_else(|| panic!("seed {seed}: job starved"));
+            assert!(at <= 60, "seed {seed}: dispatched only at step {at}");
+        }
+    }
+
+    /// Fairness within a band: with equal priorities, no tenant's
+    /// dispatch share exceeds its fair share by more than one while
+    /// every tenant still has queued work.
+    #[test]
+    fn property_fairness_within_a_band() {
+        for seed in [3u64, 11, 99] {
+            let mut rng = Rng(seed);
+            let tenants = ["alpha", "beta", "gamma"];
+            let mut q = AdmissionQueue::new(QueueConfig {
+                capacity: 1024,
+                tenant_queued_cap: 1024,
+                tenant_running_cap: 1024,
+                aging_every: 8,
+            });
+            let per_tenant = 20;
+            // Interleave admissions in a seed-dependent order.
+            let mut remaining: Vec<usize> = vec![per_tenant; tenants.len()];
+            let mut n = 0;
+            while remaining.iter().any(|&r| r > 0) {
+                let t = rng.below(tenants.len() as u64) as usize;
+                if remaining[t] > 0 {
+                    remaining[t] -= 1;
+                    q.offer(tenants[t], &format!("{}-{n}", tenants[t]), 3);
+                    n += 1;
+                }
+            }
+            let mut counts = BTreeMap::new();
+            for step in 1..=tenants.len() * per_tenant {
+                let d = q.pop_fair().expect("work remains");
+                q.finished(&d.tenant);
+                *counts.entry(d.tenant.clone()).or_insert(0usize) += 1;
+                // While every tenant still has queued jobs, shares stay
+                // within one of each other (pure round-robin).
+                if step <= tenants.len() * (per_tenant - 1) {
+                    let max = counts.values().max().copied().unwrap_or(0);
+                    let min = tenants
+                        .iter()
+                        .map(|t| counts.get(*t).copied().unwrap_or(0))
+                        .min()
+                        .unwrap();
+                    assert!(
+                        max - min <= 1,
+                        "seed {seed} step {step}: unfair shares {counts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Restart determinism: re-admitting the same (tenant, job,
+    /// priority) set in the same order — what the daemon does on
+    /// restart, sorted by job ID — always yields the same dispatch
+    /// order, regardless of how the first incarnation interleaved
+    /// offers and pops before dying.
+    #[test]
+    fn property_dispatch_order_is_deterministic_across_restarts() {
+        for seed in [5u64, 23, 77] {
+            let mut rng = Rng(seed);
+            let jobs: Vec<(String, String, u8)> = (0..30)
+                .map(|_| {
+                    (
+                        format!("t{}", rng.below(4)),
+                        format!("{:016x}", rng.next()),
+                        rng.below(10) as u8,
+                    )
+                })
+                .chain(std::iter::once(("t0".into(), "ffff".into(), 0)))
+                .collect();
+            let order = |q: &mut AdmissionQueue| -> Vec<String> { drain(q) };
+            let mut sorted = jobs.clone();
+            sorted.sort_by(|a, b| a.1.cmp(&b.1));
+            let mut a = AdmissionQueue::new(QueueConfig::default());
+            let mut b = AdmissionQueue::new(QueueConfig::default());
+            for (t, j, p) in &sorted {
+                a.restore(t, j, *p);
+                b.restore(t, j, *p);
+            }
+            assert_eq!(order(&mut a), order(&mut b), "seed {seed}");
+        }
     }
 }

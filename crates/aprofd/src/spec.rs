@@ -38,6 +38,11 @@ pub struct JobSpec {
     pub seeds: Vec<u64>,
     /// Worker threads the sweep itself may use.
     pub jobs: usize,
+    /// Scheduling priority, `0..=9` (higher dispatches first; default
+    /// 0). When every daemon worker is busy, a queued job with a
+    /// strictly higher priority preempts the lowest-priority running
+    /// job at its next grid-cell boundary.
+    pub priority: u8,
     /// Supervisor attempts per cell before quarantine (≥ 1).
     pub max_attempts: u32,
     /// Per-attempt wall-clock budget in milliseconds (≥ 1 when set).
@@ -66,6 +71,7 @@ impl Default for JobSpec {
             sizes: Vec::new(),
             seeds: vec![1],
             jobs: 1,
+            priority: 0,
             max_attempts: 3,
             deadline_ms: None,
             max_instructions: None,
@@ -149,6 +155,7 @@ impl JobSpec {
                 "sizes" => spec.sizes = parse_list("sizes", value)?,
                 "seeds" => spec.seeds = parse_list("seeds", value)?,
                 "jobs" => spec.jobs = parse_num("jobs", value)?,
+                "priority" => spec.priority = parse_num("priority", value)?,
                 "max_attempts" => spec.max_attempts = parse_num("max_attempts", value)?,
                 "deadline_ms" => spec.deadline_ms = parse_opt_num("deadline_ms", value)?,
                 "max_instructions" => {
@@ -225,6 +232,9 @@ impl JobSpec {
         if self.jobs == 0 {
             return Err(err("jobs", "must be >= 1"));
         }
+        if self.priority > 9 {
+            return Err(err("priority", "must be in 0..=9"));
+        }
         if self.max_attempts == 0 {
             return Err(err(
                 "max_attempts",
@@ -265,6 +275,7 @@ impl JobSpec {
         let _ = writeln!(out, "sizes {}", csv(&self.sizes));
         let _ = writeln!(out, "seeds {}", csv(&self.seeds));
         let _ = writeln!(out, "jobs {}", self.jobs);
+        let _ = writeln!(out, "priority {}", self.priority);
         let _ = writeln!(out, "max_attempts {}", self.max_attempts);
         let _ = writeln!(out, "deadline_ms {}", opt(&self.deadline_ms));
         let _ = writeln!(out, "max_instructions {}", opt(&self.max_instructions));
@@ -428,6 +439,24 @@ mod tests {
         assert_ne!(job_id(&spec, 1), job_id(&off, 1));
         let e = JobSpec::parse("family stream\nsizes 4\ntrace_dir maybe\n").unwrap_err();
         assert_eq!(e.field, "trace_dir");
+    }
+
+    #[test]
+    fn priority_parses_validates_and_keys_the_id() {
+        let spec = JobSpec::parse("family stream\nsizes 4\npriority 7\n").unwrap();
+        assert_eq!(spec.priority, 7);
+        let reparsed = JobSpec::parse(&spec.canonical_text()).unwrap();
+        assert_eq!(spec, reparsed);
+        let plain = JobSpec::parse("family stream\nsizes 4\n").unwrap();
+        assert_eq!(plain.priority, 0, "default is the lowest band");
+        // Priority keys the job ID like every other spec field; only the
+        // journal-binding payload (grid + failure policy) excludes it.
+        assert_ne!(job_id(&spec, 1), job_id(&plain, 1));
+        let e = JobSpec::parse("family stream\nsizes 4\npriority 10\n").unwrap_err();
+        assert_eq!(e.field, "priority");
+        assert!(e.message.contains("0..=9"), "{e}");
+        let e = JobSpec::parse("family stream\nsizes 4\npriority -1\n").unwrap_err();
+        assert_eq!(e.field, "priority");
     }
 
     #[test]

@@ -263,6 +263,163 @@ fn connection_cap_sheds_excess_connections_with_503() {
     s.stop();
 }
 
+/// Regression for the slot leak: a handler that panics mid-request
+/// must return its `max_connections` slot (the drop guard runs during
+/// unwind) and be counted — with a cap of one, three consecutive
+/// panics would wedge the daemon forever if any slot leaked.
+#[test]
+fn a_panicking_handler_returns_its_slot_and_is_counted() {
+    let dir = state_dir("panic");
+    let s = start_with(DaemonConfig {
+        workers: 0,
+        max_connections: 1,
+        debug_endpoints: true,
+        ..DaemonConfig::new(dir)
+    });
+    for round in 1..=3 {
+        let out = raw(&s.addr, b"GET /debug/panic HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            out, "",
+            "a panicked handler answers nothing (round {round})"
+        );
+        // The freed slot must serve the very next connection. The
+        // client absorbs the tiny window between socket close and the
+        // guard's drop by honoring the 503's retry hint.
+        let health = s.client().request("GET", "/healthz", "").expect("health");
+        assert_eq!(health.status, 200, "round {round}: {}", health.body);
+    }
+    let metrics = s.client().request("GET", "/metrics", "").expect("metrics");
+    assert!(
+        metrics.body.contains("aprofd_http_handler_panics 3"),
+        "{}",
+        metrics.body
+    );
+    s.stop();
+}
+
+/// The `Threads:` line of `/proc/self/status` — the whole test
+/// process, which is fine: we only assert the *delta* across churn.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("proc status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// The io-thread pool keeps the thread count flat: forty short-lived
+/// connections must not grow the process by even one thread (the old
+/// design spawned one per connection).
+#[test]
+fn the_io_pool_keeps_thread_count_flat_under_connection_churn() {
+    let dir = state_dir("threads");
+    let s = start_with(DaemonConfig {
+        workers: 0,
+        io_threads: 2,
+        ..DaemonConfig::new(dir)
+    });
+    // Warm the pool so its threads are in the baseline.
+    let health = s.client().request("GET", "/healthz", "").expect("health");
+    assert_eq!(health.status, 200);
+    let before = thread_count();
+    for _ in 0..40 {
+        let out = raw(
+            &s.addr,
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(out.starts_with("HTTP/1.1 200"), "got: {out:?}");
+    }
+    let after = thread_count();
+    assert!(
+        after <= before + 2,
+        "connection churn grew the thread count: {before} -> {after}"
+    );
+    // And the chaos endpoint is gated: without `debug_endpoints` it
+    // does not exist.
+    let out = raw(&s.addr, b"GET /debug/panic HTTP/1.1\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 404"), "got: {out:?}");
+    s.stop();
+}
+
+/// Reads one `Content-Length`-framed response off a keep-alive
+/// connection: status line, headers, exactly `Content-Length` body
+/// bytes — leaving the stream positioned at the next response.
+fn read_framed(reader: &mut std::io::BufReader<TcpStream>) -> (String, String, String) {
+    use std::io::BufRead as _;
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    let mut headers = String::new();
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.trim_end().strip_prefix("content-length:") {
+            len = v.trim().parse().expect("content length");
+        }
+        headers.push_str(&line);
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// Keep-alive soak: one raw connection serves many sequential requests
+/// under a connection cap of one — proof the daemon stays fully
+/// responsive through a single persistent socket — and `Connection:
+/// close` ends it on request.
+#[test]
+fn one_keep_alive_connection_serves_many_requests_under_the_cap() {
+    let dir = state_dir("keepalive");
+    let s = start_with(DaemonConfig {
+        workers: 0,
+        max_connections: 1,
+        ..DaemonConfig::new(dir)
+    });
+
+    let stream = TcpStream::connect(&s.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::new(stream);
+    for i in 0..50 {
+        writer
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let (status, headers, body) = read_framed(&mut reader);
+        assert!(status.starts_with("HTTP/1.1 200"), "req {i}: {status:?}");
+        assert!(
+            headers
+                .to_ascii_lowercase()
+                .contains("connection: keep-alive"),
+            "req {i}: {headers:?}"
+        );
+        assert!(body.starts_with("ok\n"), "req {i}: {body:?}");
+    }
+    // An explicit close is honored: the reply says so and the server
+    // hangs up after it.
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let (status, headers, _) = read_framed(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200"), "{status:?}");
+    assert!(
+        headers.to_ascii_lowercase().contains("connection: close"),
+        "{headers:?}"
+    );
+    let mut rest = String::new();
+    let _ = reader.read_to_string(&mut rest);
+    assert_eq!(rest, "", "the server must close after Connection: close");
+    s.stop();
+}
+
 /// Retention GC: finished jobs beyond `retain_count` are tombstoned and
 /// pruned, stay gone across a restart (the startup scan honors the
 /// tombstone journal), the submission counter continues past pruned

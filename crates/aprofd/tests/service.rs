@@ -266,6 +266,7 @@ fn draining_refuses_submissions_but_finishes_the_queue_on_restart() {
         path: "/jobs".into(),
         query: String::new(),
         body: SPEC.into(),
+        close: false,
     });
     assert_eq!(refusal.status, 503);
     assert_eq!(refusal.retry_after_ms, Some(1000));
@@ -370,6 +371,180 @@ fn live_jobs_serve_snapshot_and_delta_reports_from_the_journal() {
     s2.stop();
 }
 
+/// The tentpole end-to-end: a one-worker daemon running a low-priority
+/// sweep gets a high-priority job. The running job must yield at its
+/// next grid-cell boundary, the high job must finish first, and the
+/// preempted job — resumed from its own journal — must still produce
+/// artifacts byte-identical to an uninterrupted run.
+#[test]
+fn a_high_priority_job_preempts_and_the_yielded_job_resumes_identically() {
+    let dir = state_dir("preempt");
+    // Enough cells that the low job is still mid-grid when the high
+    // one arrives: 5 sizes x 4 seeds = 20 cell boundaries to yield at.
+    let low_spec = "tenant alice\nfamily stream\nsizes 256,384,512,640,768\n\
+                    seeds 1,2,3,4\njobs 1\npriority 0\n";
+    let high_spec = "tenant bob\nfamily stream\nsizes 4\nseeds 1\njobs 1\npriority 9\n";
+
+    let s = start(&dir, 1, QueueConfig::default());
+    let low = submit(&s, low_spec);
+    // Wait until the low job is actually on the worker.
+    let client = s.client();
+    for i in 0.. {
+        let body = client
+            .request("GET", &format!("/jobs/{low}"), "")
+            .expect("status")
+            .body;
+        match body.lines().find_map(|l| l.strip_prefix("state ")) {
+            Some("running") => break,
+            Some("done") => panic!("low job finished before the high one could preempt"),
+            _ if i > 2000 => panic!("low job never started:\n{body}"),
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    let high = submit(&s, high_spec);
+
+    // Record which job reaches `done` first.
+    let mut first_done = None;
+    for i in 0.. {
+        for id in [&high, &low] {
+            let body = client
+                .request("GET", &format!("/jobs/{id}"), "")
+                .expect("status")
+                .body;
+            match body.lines().find_map(|l| l.strip_prefix("state ")) {
+                Some("done") => {
+                    first_done.get_or_insert_with(|| id.to_string());
+                }
+                Some("failed") => panic!("job {id} failed:\n{body}"),
+                _ => {}
+            }
+        }
+        if first_done.is_some() {
+            break;
+        }
+        assert!(i < 6000, "neither job finished");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        first_done.as_deref(),
+        Some(high.as_str()),
+        "the high-priority job must finish before the preempted sweep"
+    );
+    let low_status = wait_done(&s, low.as_str());
+    assert!(
+        low_status.contains("resumed 1"),
+        "the preempted job re-dispatches through the resume path:\n{low_status}"
+    );
+
+    // The preemption itself is observable and counted.
+    let metrics = client.request("GET", "/metrics", "").expect("metrics").body;
+    let counter = |name: &str| {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    assert!(
+        counter("drms_aprofd_jobs_preempt_signals ") >= 1,
+        "no preempt signal was raised:\n{metrics}"
+    );
+    assert!(
+        counter("drms_aprofd_jobs_preempted ") >= 1,
+        "the low job never yielded:\n{metrics}"
+    );
+    s.stop();
+
+    // Byte-identity: the preempted-then-resumed artifact matches the
+    // same spec swept directly, journal checkpoint and all.
+    let bench = std::fs::read_to_string(dir.join(format!("job-{low}.bench.json"))).unwrap();
+    assert_eq!(
+        bench,
+        direct_bench(&dir, low_spec),
+        "preemption must not change the artifact"
+    );
+}
+
+/// The `/jobs/ID/events` long-poll: a queued job's poll parks until the
+/// daemon's poll timeout, and a finished job answers immediately with
+/// every cell past the cursor plus its terminal state.
+#[test]
+fn events_long_poll_parks_then_streams_cells_past_the_cursor() {
+    let dir = state_dir("events");
+    let daemon = Daemon::new(DaemonConfig {
+        workers: 0,
+        poll_timeout: Duration::from_millis(120),
+        ..DaemonConfig::new(dir.clone())
+    })
+    .expect("daemon");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let mut threads = daemon.spawn_workers();
+    let d = Arc::clone(&daemon);
+    threads.push(std::thread::spawn(move || {
+        serve(d, listener).expect("serve");
+    }));
+    let s = Server {
+        daemon,
+        addr,
+        threads,
+    };
+
+    let id = submit(&s, SPEC);
+    // No workers: the poll has nothing to report and must park until
+    // the configured timeout, then answer with an unchanged cursor.
+    let t0 = std::time::Instant::now();
+    let reply = s
+        .client()
+        .request("GET", &format!("/jobs/{id}/events?since=0"), "")
+        .expect("events");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(100),
+        "the poll answered without parking"
+    );
+    assert_eq!(reply.status, 200);
+    assert!(reply.body.contains("cursor 0"), "{}", reply.body);
+    assert!(reply.body.contains("state queued"), "{}", reply.body);
+    assert!(
+        s.client()
+            .request("GET", "/jobs/nope/events", "")
+            .expect("missing")
+            .status
+            == 404,
+        "unknown jobs 404"
+    );
+    s.stop();
+
+    // Restart with a worker: once the job finishes, the poll answers
+    // immediately with all four cells, and a cursor-advanced poll
+    // serves only the tail.
+    let s2 = start(&dir, 1, QueueConfig::default());
+    wait_done(&s2, id.as_str());
+    let full = s2
+        .client()
+        .request("GET", &format!("/jobs/{id}/events?since=0"), "")
+        .expect("events");
+    assert!(full.body.contains("cursor 4"), "{}", full.body);
+    assert!(full.body.contains("state done"), "{}", full.body);
+    assert_eq!(
+        full.body.lines().filter(|l| l.starts_with("cell ")).count(),
+        4,
+        "{}",
+        full.body
+    );
+    let tail = s2
+        .client()
+        .request("GET", &format!("/jobs/{id}/events?since=3"), "")
+        .expect("events");
+    assert_eq!(
+        tail.body.lines().filter(|l| l.starts_with("cell ")).count(),
+        1,
+        "the cursor skips already-delivered cells:\n{}",
+        tail.body
+    );
+    s2.stop();
+}
+
 #[test]
 fn restored_entries_report_their_state_without_a_network_restart() {
     // Pure store-level check of Daemon::new's scan: done markers load
@@ -396,6 +571,7 @@ fn restored_entries_report_their_state_without_a_network_restart() {
             path: format!("/jobs/{id}"),
             query: String::new(),
             body: String::new(),
+            close: false,
         })
     };
     assert!(status(&done_id).body.contains("state done"));

@@ -49,9 +49,50 @@ use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A cooperative preemption flag shared between a scheduler (the
+/// `aprofd` daemon's dispatcher) and a running supervised sweep.
+///
+/// Raising the signal asks the sweep to yield at its **next grid-cell
+/// boundary**: cells already in flight finish and journal normally, no
+/// new cell starts, and the run returns [`SupervisedRun::Yielded`].
+/// The fsync'd checkpoint journal *is* the preemption checkpoint — a
+/// later [`resume_sweep`] of the same journal completes the grid to
+/// artifacts byte-identical to an uninterrupted run (the same property
+/// the crash-safety machinery already proves for arbitrary prefixes).
+///
+/// The signal is level-triggered and sticky until [`clear`]ed; clone
+/// handles share one flag.
+///
+/// [`clear`]: PreemptSignal::clear
+#[derive(Clone, Debug, Default)]
+pub struct PreemptSignal(Arc<AtomicBool>);
+
+impl PreemptSignal {
+    /// A fresh, un-raised signal.
+    pub fn new() -> PreemptSignal {
+        PreemptSignal::default()
+    }
+
+    /// Asks the sweep holding this signal to yield at its next cell
+    /// boundary.
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a yield has been requested.
+    pub fn is_raised(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Re-arms the signal (a re-dispatched job starts un-preempted).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
 
 /// Failure-handling policy of a supervised sweep.
 #[derive(Clone, Debug)]
@@ -92,6 +133,12 @@ pub struct SupervisorOptions {
     /// Host I/O seam the shard spill writes through; fault-injected
     /// under chaos testing. Defaults to the real host.
     pub trace_io: drms::trace::HostIo,
+    /// Cooperative preemption signal checked at every grid-cell
+    /// boundary (see [`PreemptSignal`]). `None` runs to completion.
+    /// Like `jobs` and [`decode`](Self::decode), scheduling does not
+    /// bind the journal: a preempted run and its resume share one
+    /// journal and one spec record.
+    pub preempt: Option<PreemptSignal>,
 }
 
 impl Default for SupervisorOptions {
@@ -107,6 +154,7 @@ impl Default for SupervisorOptions {
             event_batch: None,
             trace_dir: None,
             trace_io: drms::trace::HostIo::real(),
+            preempt: None,
         }
     }
 }
@@ -116,9 +164,10 @@ impl SupervisorOptions {
     /// journal's spec record, so a resume with different failure policy
     /// is rejected instead of silently mixing semantics.
     ///
-    /// [`decode`](Self::decode) and [`event_batch`](Self::event_batch)
-    /// are deliberately absent, like `jobs`: they change how fast cells
-    /// run, never what they produce, so a resume may retune them.
+    /// [`decode`](Self::decode), [`event_batch`](Self::event_batch) and
+    /// [`preempt`](Self::preempt) are deliberately absent, like `jobs`:
+    /// they change how fast (or whether) cells run *now*, never what
+    /// they produce, so a resume may retune or re-signal them.
     fn spec_lines(&self) -> String {
         fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
             v.as_ref().map_or("-".to_string(), T::to_string)
@@ -782,6 +831,22 @@ fn decode_quarantine_payload(payload: &str) -> Result<QuarantinedCell, String> {
 // ---------------------------------------------------------------------------
 // The supervisor proper.
 
+/// How a preemptible supervised run ended.
+#[derive(Debug)]
+pub enum SupervisedRun {
+    /// Every grid cell has an outcome; the merged result is final.
+    Completed(Box<SweepResult>),
+    /// The [`PreemptSignal`] was raised: the run stopped at a cell
+    /// boundary with `cells_done` outcomes journaled. Re-dispatching
+    /// through [`resume_sweep`] completes the grid byte-identically.
+    Yielded {
+        /// Grid slots with a journaled outcome when the run yielded.
+        cells_done: usize,
+        /// Total grid cells.
+        cells_total: usize,
+    },
+}
+
 /// Runs `spec` under the supervisor with `opts` and the production
 /// runner, without journaling. This is what
 /// [`run_sweep`](crate::sweep::run_sweep) delegates to.
@@ -794,24 +859,65 @@ pub fn run_supervised(spec: &SweepSpec, opts: &SupervisorOptions) -> SweepResult
 /// optional checkpoint journal. Cells append to the journal in
 /// completion order; the merged result is assembled in grid order, so
 /// journal order never leaks into the output.
+///
+/// This entry point is non-preemptible: callers that thread a
+/// [`PreemptSignal`] through their options must use
+/// [`run_supervised_preemptible`] instead, which can represent the
+/// yielded state.
 pub fn run_supervised_with(
+    spec: &SweepSpec,
+    opts: &SupervisorOptions,
+    journal: Option<&mut JournalWriter>,
+    runner: &Runner<'_>,
+) -> SweepResult {
+    match run_supervised_preemptible(spec, opts, journal, runner) {
+        SupervisedRun::Completed(r) => *r,
+        SupervisedRun::Yielded { .. } => unreachable!(
+            "run_supervised_with is only reachable without a preempt signal; \
+             preemptible callers use run_supervised_preemptible"
+        ),
+    }
+}
+
+/// [`run_supervised_with`] that honors [`SupervisorOptions::preempt`]:
+/// when the signal is raised mid-grid the run stops at the next cell
+/// boundary and returns [`SupervisedRun::Yielded`] — everything
+/// finished so far is already fsync'd in the journal, which is the
+/// checkpoint a later [`resume_sweep`] completes from.
+pub fn run_supervised_preemptible(
     spec: &SweepSpec,
     opts: &SupervisorOptions,
     mut journal: Option<&mut JournalWriter>,
     runner: &Runner<'_>,
-) -> SweepResult {
+) -> SupervisedRun {
     let grid = spec.grid();
     let start = Instant::now();
     if let Some(j) = journal.as_deref_mut() {
         j.append(&spec_meta(&spec.family), &spec_payload(spec, opts));
     }
     let mut slots: Vec<Option<CellOutcome>> = (0..grid.len()).map(|_| None).collect();
-    run_missing(spec, &grid, opts, journal, runner, &mut slots);
-    assemble(spec, slots, start.elapsed().as_secs_f64())
+    if run_missing(spec, &grid, opts, journal, runner, &mut slots) {
+        SupervisedRun::Completed(Box::new(assemble(
+            spec,
+            slots,
+            start.elapsed().as_secs_f64(),
+        )))
+    } else {
+        SupervisedRun::Yielded {
+            cells_done: slots.iter().filter(|s| s.is_some()).count(),
+            cells_total: grid.len(),
+        }
+    }
+}
+
+fn preempt_raised(opts: &SupervisorOptions) -> bool {
+    opts.preempt.as_ref().is_some_and(PreemptSignal::is_raised)
 }
 
 /// Fills every `None` slot by running its cell, appending each outcome
-/// to the journal as it completes.
+/// to the journal as it completes. Returns whether the grid is complete
+/// — `false` only when a raised [`PreemptSignal`] stopped the run at a
+/// cell boundary (cells already in flight still finish and journal).
 fn run_missing(
     spec: &SweepSpec,
     grid: &[(i64, u64)],
@@ -819,14 +925,17 @@ fn run_missing(
     mut journal: Option<&mut JournalWriter>,
     runner: &Runner<'_>,
     slots: &mut [Option<CellOutcome>],
-) {
+) -> bool {
     let pending: Vec<usize> = (0..grid.len()).filter(|&i| slots[i].is_none()).collect();
     if pending.is_empty() {
-        return;
+        return true;
     }
     let workers = spec.jobs.max(1).min(pending.len());
     if workers <= 1 {
         for &i in &pending {
+            if preempt_raised(opts) {
+                return false;
+            }
             let (size, seed) = grid[i];
             let outcome = supervise_cell(&spec.family, size, seed, opts, runner);
             if let Some(j) = journal.as_deref_mut() {
@@ -837,7 +946,7 @@ fn run_missing(
             }
             slots[i] = Some(outcome);
         }
-        return;
+        return true;
     }
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, CellOutcome)>();
@@ -847,6 +956,12 @@ fn run_missing(
         for _ in 0..workers {
             let tx = tx.clone();
             s.spawn(move || loop {
+                // The preempt check guards the *claim*: a raised signal
+                // stops workers from starting new cells, while cells
+                // already claimed run to completion and journal.
+                if preempt_raised(opts) {
+                    break;
+                }
                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = pending.get(k) else {
                     break;
@@ -873,6 +988,7 @@ fn run_missing(
             slots[i] = Some(outcome);
         }
     });
+    pending.iter().all(|&i| slots[i].is_some())
 }
 
 /// Splits filled slots into completed cells and quarantined cells, both
@@ -951,6 +1067,10 @@ pub fn resume_sweep_with(
 /// [`resume_sweep_with`] with every journal/artifact write routed
 /// through `io` — the chaos suite's entry point for proving that a
 /// faulted resume either completes byte-identically or fails typed.
+///
+/// Non-preemptible, like [`run_supervised_with`]: callers that set
+/// [`SupervisorOptions::preempt`] use
+/// [`resume_sweep_preemptible_with_io`].
 pub fn resume_sweep_with_io(
     spec: &SweepSpec,
     opts: &SupervisorOptions,
@@ -958,6 +1078,28 @@ pub fn resume_sweep_with_io(
     runner: &Runner<'_>,
     io: &HostIo,
 ) -> Result<(SweepResult, ResumeReport), Error> {
+    match resume_sweep_preemptible_with_io(spec, opts, path, runner, io)? {
+        (SupervisedRun::Completed(r), report) => Ok((*r, report)),
+        (SupervisedRun::Yielded { .. }, _) => unreachable!(
+            "resume_sweep_with_io is only reachable without a preempt signal; \
+             preemptible callers use resume_sweep_preemptible_with_io"
+        ),
+    }
+}
+
+/// [`resume_sweep_with_io`] that honors [`SupervisorOptions::preempt`]:
+/// a raised signal stops the re-run at the next cell boundary and
+/// returns [`SupervisedRun::Yielded`] — the journal (salvaged prefix
+/// plus everything this pass appended) remains the checkpoint for the
+/// next dispatch, so preempt/resume cycles can stack arbitrarily deep
+/// and still assemble byte-identical artifacts.
+pub fn resume_sweep_preemptible_with_io(
+    spec: &SweepSpec,
+    opts: &SupervisorOptions,
+    path: &Path,
+    runner: &Runner<'_>,
+    io: &HostIo,
+) -> Result<(SupervisedRun, ResumeReport), Error> {
     let text = std::fs::read_to_string(path)?;
     let salvaged = journal::from_text_lossy(&text);
     let grid = spec.grid();
@@ -1087,8 +1229,19 @@ pub fn resume_sweep_with_io(
     if !family_started {
         writer.append(&spec_meta(&spec.family), &want_payload);
     }
-    run_missing(spec, &grid, opts, Some(&mut writer), runner, &mut slots);
-    Ok((assemble(spec, slots, start.elapsed().as_secs_f64()), report))
+    let run = if run_missing(spec, &grid, opts, Some(&mut writer), runner, &mut slots) {
+        SupervisedRun::Completed(Box::new(assemble(
+            spec,
+            slots,
+            start.elapsed().as_secs_f64(),
+        )))
+    } else {
+        SupervisedRun::Yielded {
+            cells_done: slots.iter().filter(|s| s.is_some()).count(),
+            cells_total: grid.len(),
+        }
+    };
+    Ok((run, report))
 }
 
 fn outcome_size(o: &CellOutcome) -> i64 {
@@ -1196,6 +1349,75 @@ mod tests {
             spec_payload(&spec, &other_dispatch),
             "dispatch knobs must not bind the journal: all modes profile identically"
         );
+        let preemptible = SupervisorOptions {
+            preempt: Some(PreemptSignal::new()),
+            ..SupervisorOptions::default()
+        };
+        assert_eq!(
+            a,
+            spec_payload(&spec, &preemptible),
+            "scheduling must not bind the journal: a preempted run and its resume \
+             share one spec record"
+        );
+    }
+
+    #[test]
+    fn preempt_yields_at_cell_boundary_and_resume_completes() {
+        let dir = std::env::temp_dir().join(format!("drms-preempt-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("sweep.journal");
+        let spec = SweepSpec::new("stream", &[4, 6, 8], 1).seeds(&[1, 2]);
+        let opts = SupervisorOptions::default();
+
+        // Baseline: uninterrupted run (no journal needed for comparison).
+        let baseline = run_supervised(&spec, &opts);
+
+        // Preempted run: the signal is raised after the second cell
+        // completes, so the run must yield with exactly two outcomes
+        // journaled.
+        let signal = PreemptSignal::new();
+        let preempt_opts = SupervisorOptions {
+            preempt: Some(signal.clone()),
+            ..SupervisorOptions::default()
+        };
+        let done = AtomicUsize::new(0);
+        let cache = CellCache::new();
+        let counting_runner = |ctx: &CellCtx<'_>| {
+            let out = profile_cell_cached(ctx, &cache);
+            if done.fetch_add(1, Ordering::SeqCst) + 1 == 2 {
+                signal.raise();
+            }
+            out
+        };
+        let mut writer = JournalWriter::create(&journal_path).unwrap();
+        match run_supervised_preemptible(&spec, &preempt_opts, Some(&mut writer), &counting_runner)
+        {
+            SupervisedRun::Yielded {
+                cells_done,
+                cells_total,
+            } => {
+                assert_eq!(cells_done, 2);
+                assert_eq!(cells_total, 6);
+            }
+            SupervisedRun::Completed(_) => panic!("raised signal must yield the run"),
+        }
+        drop(writer);
+
+        // Resume with a cleared signal: completes and matches baseline.
+        let (resumed, report) = resume_sweep(&spec, &opts, &journal_path).unwrap();
+        assert_eq!(report.salvaged_cells, 2);
+        assert_eq!(report.rerun_cells, 4);
+        let bench = |r: SweepResult| crate::sweep::SweepBench {
+            jobs: 1,
+            resumed: false,
+            families: vec![crate::sweep::FamilyBench::from_resumed(r)],
+        };
+        assert_eq!(
+            bench(resumed).to_json(),
+            bench(baseline).to_json(),
+            "preempt + resume must be byte-identical to an uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
